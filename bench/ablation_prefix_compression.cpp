@@ -1,0 +1,78 @@
+// Ablation (§II-A, §VI-C2): prefix-compression strategies.
+// Compares device bytes, simulated scan time and hypothetical stream time
+// for kNone / kBytePrefix / kBitPacked on the paper's two key columns
+// (spatial lon, TPC-H l_shipdate). Bit packing is what lets the hot set
+// fit the 2 GB card at all.
+
+#include <memory>
+
+#include "bench/harness.h"
+#include "bwd/bwd_column.h"
+#include "workloads/spatial.h"
+#include "workloads/tpch.h"
+
+namespace wastenot {
+namespace {
+
+void Report(const char* label, const cs::Column& col,
+            bwd::Compression compression) {
+  auto dev = std::make_unique<device::Device>(device::DeviceSpec::Gtx680());
+  auto bwd_col = bwd::BwdColumn::Decompose(col, 32, dev.get(), compression);
+  if (!bwd_col.ok()) {
+    // kNone cannot represent negative domains; report and continue.
+    std::printf("%-24s %-12s %s\n", label,
+                bwd::CompressionToString(compression),
+                bwd_col.status().ToString().c_str());
+    return;
+  }
+  const uint64_t bytes = bwd_col->device_bytes();
+  const double scan_ms =
+      device::KernelSeconds(dev->spec(), bytes, 0, col.size()) * 1e3;
+  const double stream_ms =
+      device::TransferSeconds(dev->spec(), bytes) * 1e3;
+  std::printf("%-24s %-12s %10.1f MB %8u bit %12.2f ms %12.2f ms\n", label,
+              bwd::CompressionToString(compression), bytes / 1e6,
+              bwd_col->spec().approximation_bits(), scan_ms, stream_ms);
+  std::printf("# csv,%s,%s,%llu,%u,%.4f,%.4f\n", label,
+              bwd::CompressionToString(compression),
+              static_cast<unsigned long long>(bytes),
+              bwd_col->spec().approximation_bits(), scan_ms, stream_ms);
+}
+
+int Run() {
+  bench::Header("Ablation", "Prefix compression strategies",
+                "device bytes / packed width / simulated scan / transfer");
+  std::printf("%-24s %-12s %13s %12s %15s %15s\n", "column", "strategy",
+              "device bytes", "width", "scan", "transfer");
+
+  {
+    cs::Table trips =
+        workloads::GenerateTrips(bench::SpatialRows() / 4, 5);
+    for (auto c : {bwd::Compression::kNone, bwd::Compression::kBytePrefix,
+                   bwd::Compression::kBitPacked}) {
+      Report("spatial lon", trips.column("lon"), c);
+    }
+    for (auto c : {bwd::Compression::kNone, bwd::Compression::kBytePrefix,
+                   bwd::Compression::kBitPacked}) {
+      Report("spatial lat", trips.column("lat"), c);
+    }
+  }
+  {
+    cs::Database db;
+    workloads::GenerateTpch(bench::TpchSf() / 4, 6, &db);
+    for (auto c : {bwd::Compression::kNone, bwd::Compression::kBytePrefix,
+                   bwd::Compression::kBitPacked}) {
+      Report("l_shipdate", db.table("lineitem").column("l_shipdate"), c);
+    }
+    for (auto c : {bwd::Compression::kNone, bwd::Compression::kBytePrefix,
+                   bwd::Compression::kBitPacked}) {
+      Report("l_quantity", db.table("lineitem").column("l_quantity"), c);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wastenot
+
+int main() { return wastenot::Run(); }

@@ -1,0 +1,72 @@
+// Fig 8c: selection — time vs number of device-resident bits, at three
+// selectivities (5%, .05%, .01%). Fewer resident bits mean a coarser
+// approximation, more false positives, and a costlier refinement; the more
+// selective the query, the fewer bits suffice for near-optimal time.
+
+#include <memory>
+
+#include "bench/harness.h"
+#include "bwd/bwd_table.h"
+#include "core/select.h"
+#include "util/bits.h"
+#include "workloads/uniform.h"
+
+namespace wastenot {
+namespace {
+
+int Run() {
+  const uint64_t n = bench::MicroRows();
+  bench::Header("Fig 8c", "Selection, varying number of GPU-resident bits",
+                "rows=" + std::to_string(n) +
+                    "; series pairs: Approx+Refine and Approximate at "
+                    "5%, .05%, .01% selectivity");
+
+  cs::Column base = workloads::UniqueShuffledInts(n, 42);
+  const uint32_t value_bits =
+      bits::BitWidth(static_cast<uint64_t>(base.max_value()));
+  const double stream_ms =
+      bench::StreamHypothetical(base.byte_size()).total() * 1e3;
+  const double selectivities[] = {0.05, 0.0005, 0.0001};
+
+  std::vector<bench::SeriesRow> rows;
+  for (uint32_t gpu_bits = 10; gpu_bits <= value_bits + 2; gpu_bits += 2) {
+    // Request counts from the top of the 32-bit type: residual bits =
+    // value_bits - gpu-resident value bits.
+    const uint32_t residual =
+        gpu_bits >= value_bits ? 0 : value_bits - gpu_bits;
+    auto dev = std::make_unique<device::Device>(device::DeviceSpec::Gtx680());
+    auto col = bwd::BwdColumn::Decompose(base, 32 - residual, dev.get());
+    if (!col.ok()) continue;
+
+    bench::SeriesRow row;
+    row.x = std::min(gpu_bits, value_bits);
+    for (double sel : selectivities) {
+      const cs::RangePred pred = cs::RangePred::Lt(
+          workloads::ThresholdForSelectivity(n, sel));
+      core::SelectApproximate(*col, pred, dev.get());  // JIT pre-heat
+      const auto clock0 = dev->clock().snapshot();
+      core::ApproxSelection s = core::SelectApproximate(*col, pred, dev.get());
+      const double approx_ms =
+          (dev->clock().snapshot().device - clock0.device) * 1e3;
+      core::PredicateRefinement conj{&*col, pred, &s.values};
+      const double refine_ms =
+          bench::TimeSeconds(
+              [&] { core::SelectRefine(s.cands, std::span(&conj, 1)); }) *
+          1e3;
+      row.values.push_back(approx_ms + refine_ms);
+      row.values.push_back(approx_ms);
+    }
+    row.values.push_back(stream_ms);
+    rows.push_back(row);
+  }
+  bench::PrintSeries("GPU bits",
+                     {"A+R (5%)", "Approx (5%)", "A+R (.05%)", "Approx (.05%)",
+                      "A+R (.01%)", "Approx (.01%)", "Stream"},
+                     rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace wastenot
+
+int main() { return wastenot::Run(); }

@@ -1,0 +1,118 @@
+// Shared reporting helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) a human-readable table of the same series the
+// paper's figure plots, and (b) machine-readable "# csv," rows. Scales
+// default to laptop-friendly sizes and grow to paper scale through WN_*
+// environment variables (see README).
+
+#ifndef WASTENOT_BENCH_HARNESS_H_
+#define WASTENOT_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ar_engine.h"
+#include "device/cost_model.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace wastenot::bench {
+
+/// Default row counts (paper scale in comments).
+inline uint64_t MicroRows() {
+  return static_cast<uint64_t>(
+      EnvInt64("WN_SCALE_MICRO", 10'000'000));  // paper: 100M
+}
+inline uint64_t SpatialRows() {
+  return static_cast<uint64_t>(
+      EnvInt64("WN_SCALE_SPATIAL", 20'000'000));  // paper: ~250M
+}
+inline double TpchSf() {
+  return EnvDouble("WN_SCALE_TPCH", 1.0);  // paper: SF-10
+}
+inline double BenchSeconds() {
+  return EnvDouble("WN_BENCH_SECONDS", 1.0);
+}
+
+/// Prints the figure header with provenance.
+inline void Header(const std::string& figure, const std::string& caption,
+                   const std::string& scale_note) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("(%s)\n", scale_note.c_str());
+  std::printf("==========================================================\n");
+}
+
+/// One row of a time-series table (times in milliseconds).
+struct SeriesRow {
+  double x = 0;
+  std::vector<double> values;
+};
+
+/// Prints an aligned series table plus csv lines.
+inline void PrintSeries(const std::string& x_label,
+                        const std::vector<std::string>& series_labels,
+                        const std::vector<SeriesRow>& rows,
+                        const char* unit = "ms") {
+  std::printf("%-16s", x_label.c_str());
+  for (const auto& label : series_labels) {
+    std::printf("%18s", (label + " (" + unit + ")").c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-16.4g", row.x);
+    for (double v : row.values) std::printf("%18.3f", v);
+    std::printf("\n");
+  }
+  // csv block
+  std::printf("# csv,%s", x_label.c_str());
+  for (const auto& label : series_labels) std::printf(",%s", label.c_str());
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("# csv,%.6g", row.x);
+    for (double v : row.values) std::printf(",%.6f", v);
+    std::printf("\n");
+  }
+}
+
+/// Prints a Fig 9/10-style bar group with device breakdowns (seconds).
+inline void PrintBars(
+    const std::vector<std::pair<std::string, core::ExecutionBreakdown>>&
+        bars) {
+  std::printf("%-28s %12s %12s %12s %12s\n", "configuration", "total (s)",
+              "GPU (s)", "CPU (s)", "PCI (s)");
+  for (const auto& [name, b] : bars) {
+    std::printf("%-28s %12.4f %12.4f %12.4f %12.4f\n", name.c_str(),
+                b.total(), b.device_seconds, b.host_seconds, b.bus_seconds);
+    std::printf("# csv,%s,%.6f,%.6f,%.6f,%.6f\n", name.c_str(), b.total(),
+                b.device_seconds, b.host_seconds, b.bus_seconds);
+  }
+}
+
+/// The 'Stream (Hypothetical)' baseline of §VI-A: the minimal work of a
+/// streaming GPU system — pushing the input columns through PCI-E.
+inline core::ExecutionBreakdown StreamHypothetical(uint64_t input_bytes) {
+  core::ExecutionBreakdown b;
+  b.bus_seconds =
+      device::TransferSeconds(device::DeviceSpec::Gtx680(), input_bytes);
+  return b;
+}
+
+/// Times a callable, returning seconds (median of `reps` runs).
+template <typename F>
+double TimeSeconds(F&& fn, int reps = 3) {
+  std::vector<double> times;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    times.push_back(t.Seconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+}  // namespace wastenot::bench
+
+#endif  // WASTENOT_BENCH_HARNESS_H_

@@ -1,0 +1,88 @@
+// TPC-H console: runs the paper's relational workload (Q1, Q6, Q14) on a
+// generated dataset with both engines and prints the result tables,
+// fixed-point scales applied — a miniature of the §VI-D evaluation.
+//
+//   $ WN_SCALE_TPCH=0.1 ./build/examples/tpch_console
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bwd/bwd_table.h"
+#include "core/ar_engine.h"
+#include "core/classic_engine.h"
+#include "util/env.h"
+#include "util/timer.h"
+#include "workloads/tpch.h"
+
+using namespace wastenot;
+
+namespace {
+
+int RunQuery(core::QuerySpec q, const cs::Database& db,
+             const bwd::BwdTable& fact, const bwd::BwdTable& dim,
+             device::Device* dev) {
+  if (q.join.has_value()) {
+    Status st = workloads::ResolvePromoFilter(db, &q);
+    if (!st.ok()) return 1;
+  }
+  std::printf("--- %s ---\n", q.name.c_str());
+
+  core::ClassicOptions copts;
+  copts.threads = std::thread::hardware_concurrency();
+  WallTimer cpu_timer;
+  auto classic = core::ExecuteClassic(q, db, copts);
+  const double cpu_ms = cpu_timer.Millis();
+  auto ar = core::ExecuteAr(q, fact, &dim, dev);
+  if (!classic.ok() || !ar.ok()) {
+    std::fprintf(stderr, "failed: %s / %s\n",
+                 classic.status().ToString().c_str(),
+                 ar.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s", classic->ToString(q.aggregates).c_str());
+  std::printf("engines agree: %s | CPU %.1f ms | A&R %.3f ms "
+              "(device %.3f + bus %.3f + host %.3f)\n\n",
+              ar->result == *classic ? "yes" : "NO",
+              cpu_ms, ar->breakdown.total() * 1e3,
+              ar->breakdown.device_seconds * 1e3,
+              ar->breakdown.bus_seconds * 1e3,
+              ar->breakdown.host_seconds * 1e3);
+  if (q.name == "TPC-H Q14") {
+    std::printf("promo_revenue = %.4f %%\n\n",
+                workloads::PromoRevenuePercent(
+                    classic->agg_values[0][0], classic->agg_values[0][1]));
+  }
+  return ar->result == *classic ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  const double sf = EnvDouble("WN_SCALE_TPCH", 0.1);
+  std::printf("generating TPC-H subset at SF=%.3g...\n", sf);
+  cs::Database db;
+  workloads::GenerateTpch(sf, 7, &db);
+  std::printf("lineitem: %llu rows, part: %llu rows\n\n",
+              static_cast<unsigned long long>(db.table("lineitem").num_rows()),
+              static_cast<unsigned long long>(db.table("part").num_rows()));
+
+  auto dev = std::make_unique<device::Device>(device::DeviceSpec::Gtx680());
+  auto fact = bwd::BwdTable::Decompose(db.table("lineitem"),
+                                       workloads::TpchAllResident(),
+                                       dev.get());
+  auto dim = bwd::BwdTable::Decompose(db.table("part"),
+                                      workloads::TpchPartResident(),
+                                      dev.get());
+  if (!fact.ok() || !dim.ok()) {
+    std::fprintf(stderr, "decompose failed\n");
+    return 1;
+  }
+
+  int rc = 0;
+  rc |= RunQuery(workloads::TpchQ1(), db, *fact, *dim, dev.get());
+  rc |= RunQuery(workloads::TpchQ6(), db, *fact, *dim, dev.get());
+  rc |= RunQuery(workloads::TpchQ14(), db, *fact, *dim, dev.get());
+  return rc;
+}

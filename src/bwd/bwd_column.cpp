@@ -1,0 +1,91 @@
+#include "bwd/bwd_column.h"
+
+#include <cstring>
+
+#include "util/thread_pool.h"
+
+namespace wastenot::bwd {
+
+StatusOr<BwdColumn> BwdColumn::Decompose(const cs::Column& column,
+                                         uint32_t device_bits,
+                                         device::Device* device,
+                                         Compression compression) {
+  if (device == nullptr) {
+    return Status::InvalidArgument("Decompose requires a device");
+  }
+  if (device_bits == 0) {
+    return Status::InvalidArgument("device_bits must be >= 1");
+  }
+  const cs::Column* col = &column;
+  int64_t min_value, max_value;
+  if (column.has_stats()) {
+    min_value = column.min_value();
+    max_value = column.max_value();
+  } else {
+    // Stats are required to plan the prefix compression; compute locally.
+    int64_t mn = column.size() ? column.Get(0) : 0;
+    int64_t mx = mn;
+    for (uint64_t i = 1; i < column.size(); ++i) {
+      const int64_t v = column.Get(i);
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    min_value = mn;
+    max_value = mx;
+  }
+
+  const uint32_t type_bits =
+      column.type() == cs::ValueType::kInt32 ? 32u : 64u;
+  BwdColumn out;
+  out.spec_ = DecompositionSpec::Plan(min_value, max_value, type_bits,
+                                      device_bits, compression);
+  out.count_ = column.size();
+  out.device_ = device;
+
+  const DecompositionSpec& spec = out.spec_;
+  const uint32_t approx_width = spec.approximation_bits();
+
+  // Pack approximation digits on the host, then move them to the device.
+  PackedVector approx_host(approx_width, out.count_);
+  out.residual_ = PackedVector(spec.residual_bits, out.count_);
+  {
+    uint64_t* approx_words = approx_host.mutable_words();
+    uint64_t* res_words = out.residual_.mutable_words();
+    // Chunk at multiples of 64 elements: element index 64k starts on a
+    // word boundary for every width, so chunks never share words.
+    const uint64_t n = out.count_;
+    const uint64_t chunk_elems = 1u << 16;  // multiple of 64
+    const uint64_t chunks = bits::CeilDiv(n, chunk_elems);
+    ParallelFor(chunks, [&](uint64_t cb, uint64_t ce) {
+      for (uint64_t c = cb; c < ce; ++c) {
+        const uint64_t begin = c * chunk_elems;
+        const uint64_t end = std::min(n, begin + chunk_elems);
+        for (uint64_t i = begin; i < end; ++i) {
+          const int64_t v = col->Get(i);
+          internal::PackedSet(approx_words, approx_width, i,
+                              spec.ApproxDigit(v));
+          internal::PackedSet(res_words, spec.residual_bits, i,
+                              spec.ResidualDigit(v));
+        }
+      }
+    });
+  }
+
+  WN_ASSIGN_OR_RETURN(
+      out.approx_device_,
+      device->Upload(approx_host.words(),
+                     approx_host.word_count() * sizeof(uint64_t)));
+  return out;
+}
+
+cs::Column BwdColumn::ReconstructAll() const {
+  cs::Column out(cs::ValueType::kInt64, count_);
+  auto dst = out.MutableI64();
+  const PackedView approx = approximation();
+  for (uint64_t i = 0; i < count_; ++i) {
+    dst[i] = spec_.Reassemble(approx.Get(i), residual_.Get(i));
+  }
+  return out;
+}
+
+}  // namespace wastenot::bwd

@@ -1,0 +1,79 @@
+// BwdColumn: a bitwise-decomposed, bitwise-distributed column.
+//
+// The device-resident part is the bit-packed approximation (major bits,
+// prefix-compressed); the host-resident part is the bit-packed residual
+// (minor bits). Joining the two on tuple id reconstructs exact values
+// (paper Fig. 2). The approximation is an *index-like* auxiliary structure:
+// it is created explicitly, like an index, by Decompose (the paper's
+// `select bwdecompose(A, 24) from R`, §V-A).
+
+#ifndef WASTENOT_BWD_BWD_COLUMN_H_
+#define WASTENOT_BWD_BWD_COLUMN_H_
+
+#include <memory>
+
+#include "bwd/decomposition.h"
+#include "bwd/packed_vector.h"
+#include "columnstore/column.h"
+#include "device/device.h"
+#include "util/status.h"
+
+namespace wastenot::bwd {
+
+/// A column split into a device-resident approximation and a host residual.
+class BwdColumn {
+ public:
+  BwdColumn() = default;
+
+  /// Decomposes `column`, keeping the top `device_bits` of its type on the
+  /// device (the rest becomes the CPU residual), and uploads the packed
+  /// approximation into `device`'s arena. Fails with DeviceOutOfMemory when
+  /// the approximation does not fit the remaining device capacity.
+  static StatusOr<BwdColumn> Decompose(
+      const cs::Column& column, uint32_t device_bits, device::Device* device,
+      Compression compression = Compression::kBitPacked);
+
+  const DecompositionSpec& spec() const { return spec_; }
+  uint64_t size() const { return count_; }
+  device::Device* device() const { return device_; }
+
+  /// The device-resident packed approximation digits.
+  PackedView approximation() const {
+    return PackedView(approx_device_.as<uint64_t>(),
+                      spec_.approximation_bits(), count_);
+  }
+  /// The host-resident packed residual digits.
+  const PackedVector& residual() const { return residual_; }
+
+  /// Device bytes occupied by the approximation.
+  uint64_t device_bytes() const { return approx_device_.size(); }
+  /// Host bytes occupied by the residual.
+  uint64_t residual_bytes() const { return residual_.byte_size(); }
+
+  /// Exact value of row `i` (joins approximation and residual on the id).
+  int64_t Reconstruct(uint64_t i) const {
+    return spec_.Reassemble(approximation().Get(i), residual_.Get(i));
+  }
+
+  /// Smallest/largest true value compatible with row i's approximation.
+  int64_t ApproxLowerBound(uint64_t i) const {
+    return spec_.LowerBound(approximation().Get(i));
+  }
+  int64_t ApproxUpperBound(uint64_t i) const {
+    return spec_.UpperBound(approximation().Get(i));
+  }
+
+  /// Materializes all exact values (verification / tooling path).
+  cs::Column ReconstructAll() const;
+
+ private:
+  DecompositionSpec spec_;
+  uint64_t count_ = 0;
+  device::Device* device_ = nullptr;
+  device::DeviceBuffer approx_device_;
+  PackedVector residual_;
+};
+
+}  // namespace wastenot::bwd
+
+#endif  // WASTENOT_BWD_BWD_COLUMN_H_

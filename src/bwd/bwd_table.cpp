@@ -1,0 +1,46 @@
+#include "bwd/bwd_table.h"
+
+namespace wastenot::bwd {
+
+StatusOr<BwdTable> BwdTable::Decompose(
+    const cs::Table& base, const std::vector<DecomposeRequest>& reqs,
+    device::Device* dev) {
+  BwdTable out;
+  out.name_ = base.name();
+  out.rows_ = base.num_rows();
+  out.device_ = dev;
+  out.base_dictionaries_ = &base;
+  for (const DecomposeRequest& req : reqs) {
+    if (!base.HasColumn(req.column)) {
+      return Status::NotFound("table '" + base.name() + "' has no column '" +
+                              req.column + "'");
+    }
+    WN_ASSIGN_OR_RETURN(BwdColumn col,
+                        BwdColumn::Decompose(base.column(req.column),
+                                             req.device_bits, dev,
+                                             req.compression));
+    out.columns_.emplace(req.column, std::move(col));
+  }
+  return out;
+}
+
+uint64_t BwdTable::device_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [_, col] : columns_) total += col.device_bytes();
+  return total;
+}
+
+uint64_t BwdTable::residual_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [_, col] : columns_) total += col.residual_bytes();
+  return total;
+}
+
+std::vector<std::string> BwdTable::column_names() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [name, _] : columns_) names.push_back(name);
+  return names;
+}
+
+}  // namespace wastenot::bwd

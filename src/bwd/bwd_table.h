@@ -1,0 +1,78 @@
+// BwdTable: a relation whose columns are bitwise-distributed between the
+// device and the host. Construction mirrors the paper's explicit,
+// index-like decomposition step (§V-A): the caller states, per column, how
+// many major bits stay on the device (`bwdecompose(col, k)`).
+//
+// Distribution is non-redundant: after decomposition the A&R engine reads
+// only approximations (device) and residuals (host); the base table is not
+// consulted (it remains available to the *classic* engine, which plays the
+// CPU-only MonetDB baseline).
+
+#ifndef WASTENOT_BWD_BWD_TABLE_H_
+#define WASTENOT_BWD_BWD_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bwd/bwd_column.h"
+#include "columnstore/table.h"
+#include "device/device.h"
+#include "util/status.h"
+
+namespace wastenot::bwd {
+
+/// Per-column decomposition request.
+struct DecomposeRequest {
+  std::string column;
+  /// Major bits kept on the device, counted from the top of the physical
+  /// type (32 = an int32 column is fully device-resident).
+  uint32_t device_bits = 32;
+  Compression compression = Compression::kBitPacked;
+};
+
+/// A bitwise-distributed relation.
+class BwdTable {
+ public:
+  /// Decomposes the requested columns of `base` onto `dev`.
+  static StatusOr<BwdTable> Decompose(const cs::Table& base,
+                                      const std::vector<DecomposeRequest>& reqs,
+                                      device::Device* dev);
+
+  const std::string& name() const { return name_; }
+  uint64_t num_rows() const { return rows_; }
+  device::Device* device() const { return device_; }
+
+  bool HasColumn(const std::string& column) const {
+    return columns_.count(column) != 0;
+  }
+  const BwdColumn& column(const std::string& column) const {
+    return columns_.at(column);
+  }
+
+  /// Dictionary passthrough from the base table (dictionary-encoded
+  /// columns keep their code books host-side; codes are what is
+  /// decomposed).
+  const cs::Dictionary* dictionary(const std::string& column) const {
+    return base_dictionaries_ != nullptr ? base_dictionaries_->dictionary(column)
+                                         : nullptr;
+  }
+
+  /// Device bytes across all approximations.
+  uint64_t device_bytes() const;
+  /// Host bytes across all residuals.
+  uint64_t residual_bytes() const;
+
+  std::vector<std::string> column_names() const;
+
+ private:
+  std::string name_;
+  uint64_t rows_ = 0;
+  device::Device* device_ = nullptr;
+  std::map<std::string, BwdColumn> columns_;
+  const cs::Table* base_dictionaries_ = nullptr;  // dictionaries only
+};
+
+}  // namespace wastenot::bwd
+
+#endif  // WASTENOT_BWD_BWD_TABLE_H_

@@ -1,0 +1,76 @@
+#include "bwd/decomposition.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wastenot::bwd {
+
+const char* CompressionToString(Compression c) {
+  switch (c) {
+    case Compression::kNone:
+      return "none";
+    case Compression::kBitPacked:
+      return "bit-packed";
+    case Compression::kBytePrefix:
+      return "byte-prefix";
+  }
+  return "?";
+}
+
+DecompositionSpec DecompositionSpec::Plan(int64_t min_value, int64_t max_value,
+                                          uint32_t type_bits,
+                                          uint32_t device_bits,
+                                          Compression compression) {
+  DecompositionSpec spec;
+  spec.type_bits = type_bits;
+  spec.compression = compression;
+
+  switch (compression) {
+    case Compression::kNone:
+      if (min_value < 0) {
+        // Raw packing cannot represent negative values; fall back to a
+        // frame-of-reference base (documented behaviour).
+        spec.compression = Compression::kBitPacked;
+        spec.prefix_base = min_value;
+        spec.value_bits =
+            bits::BitWidth(static_cast<uint64_t>(max_value - min_value));
+        break;
+      }
+      spec.prefix_base = 0;
+      spec.value_bits = bits::BitWidth(static_cast<uint64_t>(max_value));
+      break;
+    case Compression::kBitPacked:
+      spec.prefix_base = min_value;
+      spec.value_bits =
+          bits::BitWidth(static_cast<uint64_t>(max_value - min_value));
+      break;
+    case Compression::kBytePrefix: {
+      spec.prefix_base = min_value;
+      const uint32_t tight =
+          bits::BitWidth(static_cast<uint64_t>(max_value - min_value));
+      spec.value_bits = static_cast<uint32_t>(bits::CeilDiv(tight, 8) * 8);
+      break;
+    }
+  }
+  // Degenerate single-value domains still need one bit of representation.
+  spec.value_bits = std::max(spec.value_bits, 1u);
+
+  // bwdecompose(A, k) keeps the top k of the type's bits on the device;
+  // the residual is the bottom (type_bits - k) bits — but never more than
+  // the significant value bits (a residual cannot exceed the value).
+  const uint32_t requested_residual =
+      device_bits >= type_bits ? 0 : type_bits - device_bits;
+  spec.residual_bits = std::min(requested_residual, spec.value_bits);
+  return spec;
+}
+
+std::string DecompositionSpec::ToString() const {
+  std::ostringstream os;
+  os << "Decomposition{type=" << type_bits << "b, device="
+     << approximation_bits() << "b packed, residual=" << residual_bits
+     << "b, base=" << prefix_base << ", " << CompressionToString(compression)
+     << "}";
+  return os.str();
+}
+
+}  // namespace wastenot::bwd

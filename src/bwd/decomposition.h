@@ -1,0 +1,103 @@
+// DecompositionSpec: how a column's bits are split between devices and how
+// the approximation is compressed (paper §II-A and §V-A).
+//
+// A 32-bit value decomposed with `bwdecompose(A, 24)` keeps the 24 major
+// bits on the device and the 8 minor bits (the residual) on the CPU. On the
+// device, leading zeros are removed by prefix compression: values are
+// stored relative to a base, packed at the width of the remaining
+// significant bits.
+
+#ifndef WASTENOT_BWD_DECOMPOSITION_H_
+#define WASTENOT_BWD_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bits.h"
+
+namespace wastenot::bwd {
+
+/// Prefix-compression strategy for the device-resident approximation.
+enum class Compression : uint8_t {
+  /// No rebase; values must be non-negative. Width = BitWidth(max).
+  kNone,
+  /// Frame-of-reference at bit granularity: base = min, width =
+  /// BitWidth(max - min). The tightest packing (the default).
+  kBitPacked,
+  /// Frame-of-reference rounded up to whole bytes — the byte-granular
+  /// "factor out the highest value bytes" scheme of the original BWD work
+  /// (paper §VI-C2, the 25% volume reduction on the spatial data).
+  kBytePrefix,
+};
+
+const char* CompressionToString(Compression c);
+
+/// Complete description of one column's bitwise decomposition.
+struct DecompositionSpec {
+  /// Bits of the column's physical type (32 or 64).
+  uint32_t type_bits = 32;
+  /// Minor bits kept CPU-resident (= type_bits - requested device bits,
+  /// clamped so that residual_bits <= value_bits).
+  uint32_t residual_bits = 0;
+  /// Significant bits of the rebased domain (after prefix compression).
+  uint32_t value_bits = 0;
+  /// Prefix-compression base subtracted before packing.
+  int64_t prefix_base = 0;
+  Compression compression = Compression::kBitPacked;
+
+  /// Width of the device-resident approximation in bits per value.
+  uint32_t approximation_bits() const {
+    return value_bits > residual_bits ? value_bits - residual_bits : 0;
+  }
+
+  /// True when no residual exists (the column is fully device-resident).
+  bool fully_resident() const { return residual_bits == 0; }
+
+  /// Largest positive deviation of a reconstructed-from-approximation
+  /// value from the true value: the true value lies in
+  /// [approx_value, approx_value + error()].
+  uint64_t error() const { return bits::ApproximationError(residual_bits); }
+
+  /// Rebased (unsigned) image of a true value.
+  uint64_t Rebase(int64_t v) const {
+    return static_cast<uint64_t>(v - prefix_base);
+  }
+  /// Inverse of Rebase.
+  int64_t Unbase(uint64_t u) const {
+    return static_cast<int64_t>(u) + prefix_base;
+  }
+
+  /// The packed approximation digit of a true value (major bits).
+  uint64_t ApproxDigit(int64_t v) const {
+    return Rebase(v) >> residual_bits;
+  }
+  /// The residual digit of a true value (minor bits).
+  uint64_t ResidualDigit(int64_t v) const {
+    return bits::Residual(Rebase(v), residual_bits);
+  }
+  /// Reassembles a true value from its two digits (the paper's bitwise
+  /// concatenation +bw, then prefix decompression).
+  int64_t Reassemble(uint64_t approx_digit, uint64_t residual_digit) const {
+    return Unbase((approx_digit << residual_bits) | residual_digit);
+  }
+  /// The smallest true value compatible with an approximation digit.
+  int64_t LowerBound(uint64_t approx_digit) const {
+    return Unbase(approx_digit << residual_bits);
+  }
+  /// The largest true value compatible with an approximation digit.
+  int64_t UpperBound(uint64_t approx_digit) const {
+    return Unbase((approx_digit << residual_bits) | error());
+  }
+
+  /// Plans a decomposition for a domain [min_value, max_value] of a
+  /// `type_bits`-wide column with `device_bits` requested major bits.
+  static DecompositionSpec Plan(int64_t min_value, int64_t max_value,
+                                uint32_t type_bits, uint32_t device_bits,
+                                Compression compression);
+
+  std::string ToString() const;
+};
+
+}  // namespace wastenot::bwd
+
+#endif  // WASTENOT_BWD_DECOMPOSITION_H_

@@ -1,0 +1,136 @@
+// Fixed-width bit-packed arrays — the physical representation of
+// approximations and residuals (paper §II-A: approximations are stored
+// bit-packed after removing leading zeros; §VI-D1: "these attributes only
+// occupy little space on the GPU if stored bit-packed").
+//
+// PackedVector owns its words; PackedView is a non-owning codec over words
+// living elsewhere (e.g. in a DeviceBuffer). Widths 0..64 are supported;
+// width 0 is a valid degenerate vector of all-zero values occupying no
+// space (it arises when every bit of a column is residual, or none is).
+
+#ifndef WASTENOT_BWD_PACKED_VECTOR_H_
+#define WASTENOT_BWD_PACKED_VECTOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace wastenot::bwd {
+
+namespace internal {
+
+/// Reads the `width`-bit value at element index `i` from `words`.
+/// `words` must have one padding word past the last data word.
+inline uint64_t PackedGet(const uint64_t* words, uint32_t width, uint64_t i) {
+  if (width == 0) return 0;
+  const uint64_t bitpos = i * width;
+  const uint64_t word = bitpos >> 6;
+  const uint32_t shift = static_cast<uint32_t>(bitpos & 63);
+  // Two-word read handles straddling; the padding word keeps it in bounds.
+  uint64_t v = words[word] >> shift;
+  if (shift + width > 64) {
+    v |= words[word + 1] << (64 - shift);
+  }
+  return v & bits::LowMask(width);
+}
+
+/// Writes the `width`-bit value at element index `i`. Not safe for
+/// concurrent writes to adjacent elements that share a word; parallel
+/// encoders must chunk at multiples of 64 elements (any element index that
+/// is a multiple of 64 starts on a word boundary for every width).
+inline void PackedSet(uint64_t* words, uint32_t width, uint64_t i,
+                      uint64_t value) {
+  if (width == 0) return;
+  const uint64_t bitpos = i * width;
+  const uint64_t word = bitpos >> 6;
+  const uint32_t shift = static_cast<uint32_t>(bitpos & 63);
+  const uint64_t mask = bits::LowMask(width);
+  value &= mask;
+  words[word] = (words[word] & ~(mask << shift)) | (value << shift);
+  if (shift + width > 64) {
+    const uint32_t spill = shift + width - 64;
+    const uint64_t high_mask = bits::LowMask(spill);
+    words[word + 1] =
+        (words[word + 1] & ~high_mask) | (value >> (64 - shift));
+  }
+}
+
+/// Number of 64-bit words (incl. one padding word) for `count` elements.
+inline uint64_t PackedWordCount(uint32_t width, uint64_t count) {
+  return bits::CeilDiv(count * width, 64) + 1;
+}
+
+}  // namespace internal
+
+/// Non-owning read view over packed words.
+class PackedView {
+ public:
+  PackedView() = default;
+  PackedView(const uint64_t* words, uint32_t width, uint64_t count)
+      : words_(words), width_(width), count_(count) {}
+
+  uint64_t Get(uint64_t i) const {
+    assert(i < count_);
+    return internal::PackedGet(words_, width_, i);
+  }
+
+  uint32_t width() const { return width_; }
+  uint64_t size() const { return count_; }
+  /// Payload bytes (excluding padding); what a scan reads.
+  uint64_t byte_size() const {
+    return bits::CeilDiv(count_ * width_, 8);
+  }
+  const uint64_t* words() const { return words_; }
+
+ private:
+  const uint64_t* words_ = nullptr;
+  uint32_t width_ = 0;
+  uint64_t count_ = 0;
+};
+
+/// Owning packed array.
+class PackedVector {
+ public:
+  PackedVector() = default;
+
+  /// Creates a zero-filled packed vector of `count` `width`-bit elements.
+  PackedVector(uint32_t width, uint64_t count)
+      : width_(width),
+        count_(count),
+        words_(internal::PackedWordCount(width, count), 0) {
+    assert(width <= 64);
+  }
+
+  uint64_t Get(uint64_t i) const {
+    assert(i < count_);
+    return internal::PackedGet(words_.data(), width_, i);
+  }
+  void Set(uint64_t i, uint64_t value) {
+    assert(i < count_);
+    internal::PackedSet(words_.data(), width_, i, value);
+  }
+
+  uint32_t width() const { return width_; }
+  uint64_t size() const { return count_; }
+  uint64_t byte_size() const { return bits::CeilDiv(count_ * width_, 8); }
+  /// Total allocation, including the padding word.
+  uint64_t allocated_bytes() const { return words_.size() * sizeof(uint64_t); }
+
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+  uint64_t word_count() const { return words_.size(); }
+
+  PackedView view() const { return PackedView(words_.data(), width_, count_); }
+
+ private:
+  uint32_t width_ = 0;
+  uint64_t count_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace wastenot::bwd
+
+#endif  // WASTENOT_BWD_PACKED_VECTOR_H_

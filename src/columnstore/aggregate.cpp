@@ -1,0 +1,91 @@
+#include "columnstore/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wastenot::cs {
+
+int64_t Sum(const Column& col) {
+  int64_t sum = 0;
+  if (col.type() == ValueType::kInt32) {
+    for (int32_t v : col.I32()) sum += v;
+  } else {
+    for (int64_t v : col.I64()) sum += v;
+  }
+  return sum;
+}
+
+int64_t Min(const Column& col) {
+  int64_t mn = std::numeric_limits<int64_t>::max();
+  if (col.type() == ValueType::kInt32) {
+    for (int32_t v : col.I32()) mn = std::min<int64_t>(mn, v);
+  } else {
+    for (int64_t v : col.I64()) mn = std::min(mn, v);
+  }
+  return mn;
+}
+
+int64_t Max(const Column& col) {
+  int64_t mx = std::numeric_limits<int64_t>::min();
+  if (col.type() == ValueType::kInt32) {
+    for (int32_t v : col.I32()) mx = std::max<int64_t>(mx, v);
+  } else {
+    for (int64_t v : col.I64()) mx = std::max(mx, v);
+  }
+  return mx;
+}
+
+int64_t Sum(const Column& col, const OidVec& rows) {
+  int64_t sum = 0;
+  for (oid_t o : rows) sum += col.Get(o);
+  return sum;
+}
+
+int64_t Min(const Column& col, const OidVec& rows) {
+  int64_t mn = std::numeric_limits<int64_t>::max();
+  for (oid_t o : rows) mn = std::min(mn, col.Get(o));
+  return mn;
+}
+
+int64_t Max(const Column& col, const OidVec& rows) {
+  int64_t mx = std::numeric_limits<int64_t>::min();
+  for (oid_t o : rows) mx = std::max(mx, col.Get(o));
+  return mx;
+}
+
+std::vector<int64_t> GroupedSum(const std::vector<int64_t>& values,
+                                const std::vector<uint32_t>& group_ids,
+                                uint64_t num_groups) {
+  std::vector<int64_t> out(num_groups, 0);
+  for (uint64_t i = 0; i < values.size(); ++i) out[group_ids[i]] += values[i];
+  return out;
+}
+
+std::vector<int64_t> GroupedMin(const std::vector<int64_t>& values,
+                                const std::vector<uint32_t>& group_ids,
+                                uint64_t num_groups) {
+  std::vector<int64_t> out(num_groups, std::numeric_limits<int64_t>::max());
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    out[group_ids[i]] = std::min(out[group_ids[i]], values[i]);
+  }
+  return out;
+}
+
+std::vector<int64_t> GroupedMax(const std::vector<int64_t>& values,
+                                const std::vector<uint32_t>& group_ids,
+                                uint64_t num_groups) {
+  std::vector<int64_t> out(num_groups, std::numeric_limits<int64_t>::min());
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    out[group_ids[i]] = std::max(out[group_ids[i]], values[i]);
+  }
+  return out;
+}
+
+std::vector<int64_t> GroupedCount(const std::vector<uint32_t>& group_ids,
+                                  uint64_t num_groups) {
+  std::vector<int64_t> out(num_groups, 0);
+  for (uint32_t g : group_ids) ++out[g];
+  return out;
+}
+
+}  // namespace wastenot::cs

@@ -1,0 +1,45 @@
+// Bulk aggregation operators: global and grouped count/sum/min/max/avg.
+// Sums are 64-bit (inputs are fixed-point integers; overflow headroom is
+// the caller's responsibility and asserted in debug builds).
+
+#ifndef WASTENOT_COLUMNSTORE_AGGREGATE_H_
+#define WASTENOT_COLUMNSTORE_AGGREGATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnstore/column.h"
+#include "columnstore/types.h"
+
+namespace wastenot::cs {
+
+/// Supported aggregate functions.
+enum class AggOp : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+/// Global aggregates over a full column.
+int64_t Sum(const Column& col);
+int64_t Min(const Column& col);
+int64_t Max(const Column& col);
+
+/// Global aggregates over the rows named by `rows`.
+int64_t Sum(const Column& col, const OidVec& rows);
+int64_t Min(const Column& col, const OidVec& rows);
+int64_t Max(const Column& col, const OidVec& rows);
+
+/// Grouped aggregation: values[i] belongs to group group_ids[i].
+/// Returns one slot per group (0..num_groups).
+std::vector<int64_t> GroupedSum(const std::vector<int64_t>& values,
+                                const std::vector<uint32_t>& group_ids,
+                                uint64_t num_groups);
+std::vector<int64_t> GroupedMin(const std::vector<int64_t>& values,
+                                const std::vector<uint32_t>& group_ids,
+                                uint64_t num_groups);
+std::vector<int64_t> GroupedMax(const std::vector<int64_t>& values,
+                                const std::vector<uint32_t>& group_ids,
+                                uint64_t num_groups);
+std::vector<int64_t> GroupedCount(const std::vector<uint32_t>& group_ids,
+                                  uint64_t num_groups);
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_AGGREGATE_H_

@@ -1,0 +1,51 @@
+#include "columnstore/column.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace wastenot::cs {
+
+Column Column::FromI32(const std::vector<int32_t>& values) {
+  Column col(ValueType::kInt32, values.size());
+  std::memcpy(col.buf_.data(), values.data(), values.size() * sizeof(int32_t));
+  return col;
+}
+
+Column Column::FromI64(const std::vector<int64_t>& values) {
+  Column col(ValueType::kInt64, values.size());
+  std::memcpy(col.buf_.data(), values.data(), values.size() * sizeof(int64_t));
+  return col;
+}
+
+void Column::ComputeStats() {
+  if (count_ == 0) {
+    has_stats_ = true;
+    min_ = 0;
+    max_ = 0;
+    return;
+  }
+  int64_t mn = Get(0), mx = Get(0);
+  bool sorted = true;
+  int64_t prev = mn;
+  if (type_ == ValueType::kInt32) {
+    for (int32_t v : I32()) {
+      mn = std::min<int64_t>(mn, v);
+      mx = std::max<int64_t>(mx, v);
+      sorted = sorted && v >= prev;
+      prev = v;
+    }
+  } else {
+    for (int64_t v : I64()) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+      sorted = sorted && v >= prev;
+      prev = v;
+    }
+  }
+  min_ = mn;
+  max_ = mx;
+  sorted_ = sorted;
+  has_stats_ = true;
+}
+
+}  // namespace wastenot::cs

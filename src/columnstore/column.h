@@ -1,0 +1,109 @@
+// Column: a dense-headed BAT (Binary Association Table).
+//
+// MonetDB represents all data as BATs — pairs of (head, tail) arrays that
+// associate tuple ids with values. For persistent columns the head is
+// "void" (virtual: dense, sorted, starting at 0), so a Column here is just
+// a typed tail array; candidate lists (OidVec) play the role of BATs whose
+// tail holds oids. Explicitly-headed intermediates are represented in the
+// core library as (OidVec, Column) pairs kept positionally aligned
+// (paper §V-C).
+
+#ifndef WASTENOT_COLUMNSTORE_COLUMN_H_
+#define WASTENOT_COLUMNSTORE_COLUMN_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "columnstore/types.h"
+#include "util/aligned_buffer.h"
+#include "util/status.h"
+
+namespace wastenot::cs {
+
+/// A typed, immutable-after-build value array with cache-aligned storage.
+///
+/// Properties (sortedness, key-ness, min/max) are tracked as in MonetDB BAT
+/// descriptors; operators use them to pick fast paths and the BWD encoder
+/// uses min/max to choose the prefix-compression base.
+class Column {
+ public:
+  Column() = default;
+
+  /// Creates an uninitialized column of `count` values of `type`.
+  Column(ValueType type, uint64_t count)
+      : type_(type), count_(count), buf_(count * ValueSize(type)) {}
+
+  /// Builds an int32 column from a vector (values must fit in int32).
+  static Column FromI32(const std::vector<int32_t>& values);
+  /// Builds an int64 column from a vector.
+  static Column FromI64(const std::vector<int64_t>& values);
+
+  ValueType type() const { return type_; }
+  uint64_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Bytes of tail storage (the quantity the cost model charges for scans).
+  uint64_t byte_size() const { return buf_.size(); }
+
+  /// Typed access. The requested T must match type().
+  std::span<const int32_t> I32() const {
+    assert(type_ == ValueType::kInt32);
+    return {buf_.as<int32_t>(), count_};
+  }
+  std::span<int32_t> MutableI32() {
+    assert(type_ == ValueType::kInt32);
+    return {buf_.as<int32_t>(), count_};
+  }
+  std::span<const int64_t> I64() const {
+    assert(type_ == ValueType::kInt64);
+    return {buf_.as<int64_t>(), count_};
+  }
+  std::span<int64_t> MutableI64() {
+    assert(type_ == ValueType::kInt64);
+    return {buf_.as<int64_t>(), count_};
+  }
+
+  /// Type-erased read of row `i`, widened to int64.
+  int64_t Get(uint64_t i) const {
+    assert(i < count_);
+    return type_ == ValueType::kInt32 ? buf_.as<int32_t>()[i]
+                                      : buf_.as<int64_t>()[i];
+  }
+
+  /// Type-erased write of row `i` (value must fit the physical type).
+  void Set(uint64_t i, int64_t v) {
+    assert(i < count_);
+    if (type_ == ValueType::kInt32) {
+      buf_.as<int32_t>()[i] = static_cast<int32_t>(v);
+    } else {
+      buf_.as<int64_t>()[i] = v;
+    }
+  }
+
+  /// Scans for min/max and records them in the descriptor. O(n).
+  void ComputeStats();
+
+  /// Descriptor properties (valid after ComputeStats() or builder-set).
+  bool has_stats() const { return has_stats_; }
+  int64_t min_value() const { return min_; }
+  int64_t max_value() const { return max_; }
+
+  bool sorted() const { return sorted_; }
+  void set_sorted(bool s) { sorted_ = s; }
+
+ private:
+  ValueType type_ = ValueType::kInt64;
+  uint64_t count_ = 0;
+  AlignedBuffer buf_;
+  bool has_stats_ = false;
+  bool sorted_ = false;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_COLUMN_H_

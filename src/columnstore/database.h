@@ -1,0 +1,46 @@
+// Database: a named collection of Tables — what the classic engine
+// executes against and what BwdTable::Decompose consumes.
+
+#ifndef WASTENOT_COLUMNSTORE_DATABASE_H_
+#define WASTENOT_COLUMNSTORE_DATABASE_H_
+
+#include <cassert>
+#include <map>
+#include <string>
+
+#include "columnstore/table.h"
+
+namespace wastenot::cs {
+
+/// Owning map of tables by name.
+class Database {
+ public:
+  Table* AddTable(Table table) {
+    auto [it, inserted] = tables_.emplace(table.name(), std::move(table));
+    assert(inserted && "duplicate table");
+    (void)inserted;
+    return &it->second;
+  }
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) != 0;
+  }
+  const Table& table(const std::string& name) const {
+    auto it = tables_.find(name);
+    assert(it != tables_.end() && "unknown table");
+    return it->second;
+  }
+
+  uint64_t byte_size() const {
+    uint64_t total = 0;
+    for (const auto& [_, t] : tables_) total += t.byte_size();
+    return total;
+  }
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_DATABASE_H_

@@ -1,0 +1,36 @@
+#include "columnstore/dictionary.h"
+
+#include <algorithm>
+
+namespace wastenot::cs {
+
+Dictionary Dictionary::Build(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Dictionary dict;
+  dict.values_ = std::move(values);
+  return dict;
+}
+
+int32_t Dictionary::CodeOf(const std::string& value) const {
+  auto it = std::lower_bound(values_.begin(), values_.end(), value);
+  if (it == values_.end() || *it != value) return -1;
+  return static_cast<int32_t>(it - values_.begin());
+}
+
+RangePred Dictionary::PrefixRange(const std::string& prefix) const {
+  auto lo = std::lower_bound(values_.begin(), values_.end(), prefix);
+  // The smallest string greater than every string with this prefix is the
+  // prefix with its last character incremented.
+  std::string upper = prefix;
+  auto hi = values_.end();
+  if (!upper.empty()) {
+    upper.back() = static_cast<char>(upper.back() + 1);
+    hi = std::lower_bound(values_.begin(), values_.end(), upper);
+  }
+  const int64_t lo_code = lo - values_.begin();
+  const int64_t hi_code = static_cast<int64_t>(hi - values_.begin()) - 1;
+  return RangePred{lo_code, hi_code};
+}
+
+}  // namespace wastenot::cs

@@ -1,0 +1,45 @@
+// Ordered string dictionary.
+//
+// Paper §VI-D1: the string-prefix predicate of TPC-H Q14 (p_type like
+// 'PROMO%') is replaced by "a range-selection on an ordered dictionary of
+// the (125) string values of the column". This class provides exactly that:
+// strings are stored sorted and deduplicated; a column stores the code
+// (rank) of its string, and a prefix predicate becomes an inclusive code
+// range.
+
+#ifndef WASTENOT_COLUMNSTORE_DICTIONARY_H_
+#define WASTENOT_COLUMNSTORE_DICTIONARY_H_
+
+#include <string>
+#include <vector>
+
+#include "columnstore/types.h"
+
+namespace wastenot::cs {
+
+/// Sorted, deduplicated string domain; codes are ranks, so the code order
+/// equals the lexicographic order and prefix predicates map to code ranges.
+class Dictionary {
+ public:
+  /// Builds from arbitrary (possibly duplicated, unsorted) values.
+  static Dictionary Build(std::vector<std::string> values);
+
+  /// Code of `value`, or -1 if absent.
+  int32_t CodeOf(const std::string& value) const;
+
+  /// String for a code.
+  const std::string& Decode(int32_t code) const { return values_[code]; }
+
+  /// The inclusive code range [lo, hi] of all strings starting with
+  /// `prefix`; an empty range (lo > hi) if none do.
+  RangePred PrefixRange(const std::string& prefix) const;
+
+  int32_t size() const { return static_cast<int32_t>(values_.size()); }
+
+ private:
+  std::vector<std::string> values_;
+};
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_DICTIONARY_H_

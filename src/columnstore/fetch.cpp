@@ -1,0 +1,29 @@
+#include "columnstore/fetch.h"
+
+namespace wastenot::cs {
+
+Column Fetch(const Column& col, const OidVec& oids) {
+  Column out(col.type(), oids.size());
+  if (col.type() == ValueType::kInt32) {
+    auto src = col.I32();
+    auto dst = out.MutableI32();
+    for (uint64_t i = 0; i < oids.size(); ++i) dst[i] = src[oids[i]];
+  } else {
+    auto src = col.I64();
+    auto dst = out.MutableI64();
+    for (uint64_t i = 0; i < oids.size(); ++i) dst[i] = src[oids[i]];
+  }
+  return out;
+}
+
+void FetchTo(const Column& col, const OidVec& oids, int64_t* out) {
+  if (col.type() == ValueType::kInt32) {
+    auto src = col.I32();
+    for (uint64_t i = 0; i < oids.size(); ++i) out[i] = src[oids[i]];
+  } else {
+    auto src = col.I64();
+    for (uint64_t i = 0; i < oids.size(); ++i) out[i] = src[oids[i]];
+  }
+}
+
+}  // namespace wastenot::cs

@@ -1,0 +1,23 @@
+// Positional lookups — MonetDB's leftfetchjoin, the "invisible join" of
+// Abadi et al. cited in paper §IV-A. Projections in a late-materializing
+// column store are implemented as these gathers.
+
+#ifndef WASTENOT_COLUMNSTORE_FETCH_H_
+#define WASTENOT_COLUMNSTORE_FETCH_H_
+
+#include "columnstore/column.h"
+#include "columnstore/types.h"
+
+namespace wastenot::cs {
+
+/// Gathers col[oid] for every oid in `oids`, preserving order.
+/// The classic projective join: result[i] = col[oids[i]].
+Column Fetch(const Column& col, const OidVec& oids);
+
+/// Gathers into a caller-provided int64 buffer (avoids an allocation in
+/// fused refinement loops). `out` must have oids.size() capacity.
+void FetchTo(const Column& col, const OidVec& oids, int64_t* out);
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_FETCH_H_

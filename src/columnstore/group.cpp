@@ -1,0 +1,121 @@
+#include "columnstore/group.h"
+
+#include <bit>
+
+#include "util/random.h"
+
+namespace wastenot::cs {
+
+namespace {
+
+/// Open-addressed map from 64-bit key to dense group id, specialized for
+/// the grouping loops (no tombstones, linear probing, grows past 50% load).
+class GroupTable {
+ public:
+  explicit GroupTable(uint64_t expected) {
+    Rehash(std::bit_ceil(std::max<uint64_t>(expected * 2, 16)));
+  }
+
+  /// Returns the group id of `key`, inserting a fresh one if unseen.
+  uint32_t IdOf(int64_t key, uint64_t* num_groups) {
+    if ((entries_ + 1) * 2 > keys_.size()) Rehash(keys_.size() * 2);
+    uint64_t slot = Mix64(static_cast<uint64_t>(key)) & mask_;
+    for (;;) {
+      if (keys_[slot] == kEmpty) {
+        keys_[slot] = key;
+        ids_[slot] = static_cast<uint32_t>((*num_groups)++);
+        ++entries_;
+        return ids_[slot];
+      }
+      if (keys_[slot] == key) return ids_[slot];
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+ private:
+  void Rehash(uint64_t cap) {
+    std::vector<int64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_ids = std::move(ids_);
+    mask_ = cap - 1;
+    keys_.assign(cap, kEmpty);
+    ids_.assign(cap, 0);
+    for (uint64_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      uint64_t slot = Mix64(static_cast<uint64_t>(old_keys[i])) & mask_;
+      while (keys_[slot] != kEmpty) slot = (slot + 1) & mask_;
+      keys_[slot] = old_keys[i];
+      ids_[slot] = old_ids[i];
+    }
+  }
+
+  // An int64 sentinel outside any data domain we generate (keys are value
+  // or (group,value) mixes; collisions with the sentinel are broken by the
+  // mix below in SubGroup).
+  static constexpr int64_t kEmpty = std::numeric_limits<int64_t>::min();
+  uint64_t mask_ = 0;
+  uint64_t entries_ = 0;
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> ids_;
+};
+
+}  // namespace
+
+GroupResult GroupBy(const Column& col) {
+  GroupResult result;
+  const uint64_t n = col.size();
+  result.group_ids.resize(n);
+  GroupTable table(1024);
+  for (uint64_t i = 0; i < n; ++i) {
+    const int64_t v = col.Get(i);
+    const uint64_t before = result.num_groups;
+    const uint32_t g = table.IdOf(v, &result.num_groups);
+    result.group_ids[i] = g;
+    if (result.num_groups != before) {
+      result.representatives.push_back(v);
+      result.first_row.push_back(static_cast<oid_t>(i));
+    }
+  }
+  return result;
+}
+
+GroupResult GroupBy(const Column& col, const OidVec& rows) {
+  GroupResult result;
+  result.group_ids.resize(rows.size());
+  GroupTable table(1024);
+  for (uint64_t i = 0; i < rows.size(); ++i) {
+    const int64_t v = col.Get(rows[i]);
+    const uint64_t before = result.num_groups;
+    const uint32_t g = table.IdOf(v, &result.num_groups);
+    result.group_ids[i] = g;
+    if (result.num_groups != before) {
+      result.representatives.push_back(v);
+      result.first_row.push_back(static_cast<oid_t>(i));
+    }
+  }
+  return result;
+}
+
+GroupResult SubGroup(const GroupResult& prior,
+                     const std::vector<int64_t>& values) {
+  GroupResult result;
+  const uint64_t n = prior.group_ids.size();
+  result.group_ids.resize(n);
+  GroupTable table(prior.num_groups * 4 + 16);
+  for (uint64_t i = 0; i < n; ++i) {
+    // Combine (prior group, value) into one 64-bit key; the mix decorrelates
+    // the halves so linear probing stays well distributed.
+    const int64_t key = static_cast<int64_t>(
+        Mix64(static_cast<uint64_t>(prior.group_ids[i]) * 0x9e3779b97f4a7c15ULL ^
+              static_cast<uint64_t>(values[i])));
+    const uint64_t before = result.num_groups;
+    const uint32_t g = table.IdOf(key, &result.num_groups);
+    result.group_ids[i] = g;
+    if (result.num_groups != before) {
+      result.representatives.push_back(values[i]);
+      result.first_row.push_back(static_cast<oid_t>(i));
+    }
+  }
+  return result;
+}
+
+}  // namespace wastenot::cs

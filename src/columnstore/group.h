@@ -1,0 +1,46 @@
+// Hash-based grouping (MonetDB's group.new / group.derive).
+//
+// Grouping assigns a dense group id to every input row; a grouping result
+// is positionally aligned with its input (paper §IV-E: "groupings are
+// physically represented by mappings of implicit tuple IDs to group IDs").
+// Multi-attribute grouping is expressed by refining an existing grouping
+// with another column (MonetDB's subgrouping), which is also exactly what
+// the A&R grouping refinement does with residual bits.
+
+#ifndef WASTENOT_COLUMNSTORE_GROUP_H_
+#define WASTENOT_COLUMNSTORE_GROUP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnstore/column.h"
+#include "columnstore/types.h"
+
+namespace wastenot::cs {
+
+/// Result of a grouping: per-row group ids plus per-group metadata.
+struct GroupResult {
+  std::vector<uint32_t> group_ids;     ///< aligned with the grouped input
+  uint64_t num_groups = 0;
+  std::vector<int64_t> representatives; ///< first value seen per group
+  /// Position (index into the grouped input, 0..n-1) of the first member
+  /// of each group — uniform across GroupBy/SubGroup so callers can chain.
+  OidVec first_row;
+};
+
+/// Groups `col` (all rows). Group ids are assigned in first-occurrence
+/// order, so equal inputs yield identical groupings across engines.
+GroupResult GroupBy(const Column& col);
+
+/// Groups the subset of rows named by `rows` (aligned with `rows`).
+GroupResult GroupBy(const Column& col, const OidVec& rows);
+
+/// Refines `prior` by subdividing each group on `col`'s values
+/// (the (prior_group, value) pair becomes the new key). `values[i]` must
+/// correspond to the same row as `prior.group_ids[i]`.
+GroupResult SubGroup(const GroupResult& prior,
+                     const std::vector<int64_t>& values);
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_GROUP_H_

@@ -1,0 +1,73 @@
+#include "columnstore/hash_index.h"
+
+#include <bit>
+
+#include "util/random.h"
+
+namespace wastenot::cs {
+
+namespace {
+uint64_t NextPow2(uint64_t v) {
+  return std::bit_ceil(std::max<uint64_t>(v, 2));
+}
+}  // namespace
+
+uint64_t HashIndex::BucketOf(int64_t v) const {
+  return Mix64(static_cast<uint64_t>(v)) & mask_;
+}
+
+HashIndex HashIndex::Build(const Column& col) {
+  HashIndex idx;
+  idx.n_ = col.size();
+  const uint64_t cap = NextPow2(idx.n_ * 2);  // <=50% load
+  idx.mask_ = cap - 1;
+  idx.buckets_.assign(cap, kInvalidOid);
+  idx.next_.assign(idx.n_, kInvalidOid);
+  idx.keys_.resize(idx.n_);
+  for (uint64_t i = 0; i < idx.n_; ++i) {
+    const int64_t v = col.Get(i);
+    idx.keys_[i] = v;
+    const uint64_t b = idx.BucketOf(v);
+    // Push-front into the bucket chain.
+    idx.next_[i] = idx.buckets_[b];
+    idx.buckets_[b] = static_cast<oid_t>(i);
+  }
+  return idx;
+}
+
+uint64_t HashIndex::Lookup(int64_t v, OidVec* out) const {
+  uint64_t matches = 0;
+  for (oid_t o = buckets_[BucketOf(v)]; o != kInvalidOid; o = next_[o]) {
+    if (keys_[o] == v) {
+      out->push_back(o);
+      ++matches;
+    }
+  }
+  return matches;
+}
+
+oid_t HashIndex::LookupFirst(int64_t v) const {
+  for (oid_t o = buckets_[BucketOf(v)]; o != kInvalidOid; o = next_[o]) {
+    if (keys_[o] == v) return o;
+  }
+  return kInvalidOid;
+}
+
+JoinResult HashJoin(const HashIndex& index, const Column& probe) {
+  JoinResult result;
+  result.probe_oids.reserve(probe.size());
+  result.build_oids.reserve(probe.size());
+  const uint64_t n = probe.size();
+  OidVec matches;
+  for (uint64_t i = 0; i < n; ++i) {
+    matches.clear();
+    index.Lookup(probe.Get(i), &matches);
+    for (oid_t m : matches) {
+      result.probe_oids.push_back(static_cast<oid_t>(i));
+      result.build_oids.push_back(m);
+    }
+  }
+  return result;
+}
+
+}  // namespace wastenot::cs

@@ -1,0 +1,65 @@
+// A linear-probing hash index from values to oids, used for
+//  (a) the pre-built foreign-key indexes of paper §IV-D ("we resort to
+//      (pre-)building a hashtable on the CPU in the form of a foreign-key
+//      index"), and
+//  (b) the hash-join refinement path of non-order-preserving join sides.
+//
+// Keys are int64 values; payloads are the oids of the indexed column. The
+// table is open-addressed with power-of-two capacity and a 50% max load
+// factor; collisions chain by linear probing, duplicates chain through a
+// next-array (classic bucket-chained MonetDB hash).
+
+#ifndef WASTENOT_COLUMNSTORE_HASH_INDEX_H_
+#define WASTENOT_COLUMNSTORE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnstore/column.h"
+#include "columnstore/types.h"
+#include "util/status.h"
+
+namespace wastenot::cs {
+
+/// Immutable hash index over a column's values.
+class HashIndex {
+ public:
+  /// Builds an index over all rows of `col`.
+  static HashIndex Build(const Column& col);
+
+  /// Appends the oids of every row whose value equals `v` to `out`.
+  /// Returns the number of matches.
+  uint64_t Lookup(int64_t v, OidVec* out) const;
+
+  /// Returns the first matching oid or kInvalidOid. For key columns this is
+  /// the unique match.
+  oid_t LookupFirst(int64_t v) const;
+
+  uint64_t size() const { return n_; }
+  /// Host bytes occupied (buckets + chain), charged by the cost model.
+  uint64_t byte_size() const {
+    return buckets_.size() * sizeof(oid_t) + next_.size() * sizeof(oid_t) +
+           keys_.size() * sizeof(int64_t);
+  }
+
+ private:
+  uint64_t BucketOf(int64_t v) const;
+
+  uint64_t n_ = 0;
+  uint64_t mask_ = 0;
+  std::vector<oid_t> buckets_;   // head of chain per bucket, kInvalidOid=empty
+  std::vector<oid_t> next_;      // next oid in chain, per row
+  std::vector<int64_t> keys_;    // copy of the key values, per row
+};
+
+/// Hash join: for each probe value, finds all matching build-side oids.
+/// Returns aligned (probe_idx, build_oid) pairs in probe order.
+struct JoinResult {
+  OidVec probe_oids;  ///< oid (position) on the probe side
+  OidVec build_oids;  ///< matching oid on the build side
+};
+JoinResult HashJoin(const HashIndex& index, const Column& probe);
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_HASH_INDEX_H_

@@ -1,0 +1,105 @@
+#include "columnstore/select.h"
+
+#include <algorithm>
+
+#include "util/thread_pool.h"
+
+namespace wastenot::cs {
+
+namespace {
+
+// Static type expansion: one tight loop per physical type, selected once
+// per call (the template analogue of MonetDB's macro expansion, §V-C).
+template <typename T>
+void SelectLoop(std::span<const T> vals, int64_t lo, int64_t hi, oid_t base,
+                OidVec* out) {
+  const uint64_t n = vals.size();
+  for (uint64_t i = 0; i < n; ++i) {
+    const int64_t v = vals[i];
+    if (v >= lo && v <= hi) out->push_back(base + static_cast<oid_t>(i));
+  }
+}
+
+template <typename T>
+void SelectCandLoop(std::span<const T> vals, int64_t lo, int64_t hi,
+                    const OidVec& cands, OidVec* out) {
+  for (oid_t o : cands) {
+    const int64_t v = vals[o];
+    if (v >= lo && v <= hi) out->push_back(o);
+  }
+}
+
+template <typename T>
+uint64_t CountLoop(std::span<const T> vals, int64_t lo, int64_t hi) {
+  uint64_t count = 0;
+  for (const T v : vals) count += (v >= lo && v <= hi);
+  return count;
+}
+
+}  // namespace
+
+OidVec Select(const Column& col, const RangePred& pred) {
+  OidVec out;
+  if (pred.Empty()) return out;
+  out.reserve(col.size() / 4 + 16);
+  if (col.type() == ValueType::kInt32) {
+    SelectLoop<int32_t>(col.I32(), pred.lo, pred.hi, 0, &out);
+  } else {
+    SelectLoop<int64_t>(col.I64(), pred.lo, pred.hi, 0, &out);
+  }
+  return out;
+}
+
+OidVec SelectCandidates(const Column& col, const RangePred& pred,
+                        const OidVec& candidates) {
+  OidVec out;
+  if (pred.Empty()) return out;
+  out.reserve(candidates.size() / 2 + 16);
+  if (col.type() == ValueType::kInt32) {
+    SelectCandLoop<int32_t>(col.I32(), pred.lo, pred.hi, candidates, &out);
+  } else {
+    SelectCandLoop<int64_t>(col.I64(), pred.lo, pred.hi, candidates, &out);
+  }
+  return out;
+}
+
+OidVec SelectParallel(const Column& col, const RangePred& pred,
+                      unsigned threads) {
+  if (threads <= 1 || col.size() < (1u << 16)) return Select(col, pred);
+  if (pred.Empty()) return {};
+  const uint64_t n = col.size();
+  const uint64_t slices = std::min<uint64_t>(threads, n);
+  std::vector<OidVec> partial(slices);
+  ParallelFor(ThreadPool::Default(), slices, [&](uint64_t b, uint64_t e) {
+    for (uint64_t s = b; s < e; ++s) {
+      const uint64_t begin = n * s / slices;
+      const uint64_t end = n * (s + 1) / slices;
+      OidVec& out = partial[s];
+      out.reserve((end - begin) / 4 + 16);
+      if (col.type() == ValueType::kInt32) {
+        auto vals = col.I32().subspan(begin, end - begin);
+        SelectLoop<int32_t>(vals, pred.lo, pred.hi,
+                            static_cast<oid_t>(begin), &out);
+      } else {
+        auto vals = col.I64().subspan(begin, end - begin);
+        SelectLoop<int64_t>(vals, pred.lo, pred.hi,
+                            static_cast<oid_t>(begin), &out);
+      }
+    }
+  });
+  uint64_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  OidVec out;
+  out.reserve(total);
+  for (const auto& p : partial) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+uint64_t CountSelect(const Column& col, const RangePred& pred) {
+  if (pred.Empty()) return 0;
+  return col.type() == ValueType::kInt32
+             ? CountLoop<int32_t>(col.I32(), pred.lo, pred.hi)
+             : CountLoop<int64_t>(col.I64(), pred.lo, pred.hi);
+}
+
+}  // namespace wastenot::cs

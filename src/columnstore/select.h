@@ -1,0 +1,35 @@
+// Bulk selection operators (MonetDB's uselect / thetauselect family).
+//
+// Tight, call-free loops that materialize qualifying oids, optionally
+// restricted to a prior candidate list — the bulk-processing model of
+// paper §II-B. These are the "MonetDB" baseline bars of Figs 8-10 and the
+// CPU-side workhorses of the refinement operators.
+
+#ifndef WASTENOT_COLUMNSTORE_SELECT_H_
+#define WASTENOT_COLUMNSTORE_SELECT_H_
+
+#include "columnstore/column.h"
+#include "columnstore/types.h"
+
+namespace wastenot::cs {
+
+/// Materializes the (ascending) oids of all rows whose value lies in `pred`.
+OidVec Select(const Column& col, const RangePred& pred);
+
+/// Like Select but only considers the rows named by `candidates`
+/// (candidate-list refinement; preserves the candidate order).
+OidVec SelectCandidates(const Column& col, const RangePred& pred,
+                        const OidVec& candidates);
+
+/// Multi-threaded Select over `threads` contiguous slices. The result is
+/// ascending (slices are concatenated in order). Used by the CPU baseline
+/// for the throughput experiment (Fig 11).
+OidVec SelectParallel(const Column& col, const RangePred& pred,
+                      unsigned threads);
+
+/// Counts qualifying rows without materializing them.
+uint64_t CountSelect(const Column& col, const RangePred& pred);
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_SELECT_H_

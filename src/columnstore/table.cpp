@@ -1,0 +1,61 @@
+#include "columnstore/table.h"
+
+#include <cassert>
+
+namespace wastenot::cs {
+
+Status Table::AddColumn(const std::string& column_name, Column column) {
+  if (has_rows_ && column.size() != rows_) {
+    return Status::InvalidArgument("column '" + column_name + "' has " +
+                                   std::to_string(column.size()) +
+                                   " rows, table '" + name_ + "' has " +
+                                   std::to_string(rows_));
+  }
+  if (columns_.count(column_name) != 0) {
+    return Status::AlreadyExists("column '" + column_name + "' already in '" +
+                                 name_ + "'");
+  }
+  rows_ = column.size();
+  has_rows_ = true;
+  columns_.emplace(column_name, std::move(column));
+  return Status::OK();
+}
+
+void Table::AttachDictionary(const std::string& column_name, Dictionary dict) {
+  dictionaries_.insert_or_assign(column_name, std::move(dict));
+}
+
+bool Table::HasColumn(const std::string& column_name) const {
+  return columns_.count(column_name) != 0;
+}
+
+const Column& Table::column(const std::string& column_name) const {
+  auto it = columns_.find(column_name);
+  assert(it != columns_.end() && "unknown column");
+  return it->second;
+}
+
+Column* Table::mutable_column(const std::string& column_name) {
+  auto it = columns_.find(column_name);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+const Dictionary* Table::dictionary(const std::string& column_name) const {
+  auto it = dictionaries_.find(column_name);
+  return it == dictionaries_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Table::column_names() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [name, _] : columns_) names.push_back(name);
+  return names;
+}
+
+uint64_t Table::byte_size() const {
+  uint64_t total = 0;
+  for (const auto& [_, col] : columns_) total += col.byte_size();
+  return total;
+}
+
+}  // namespace wastenot::cs

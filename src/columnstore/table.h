@@ -1,0 +1,53 @@
+// Table: a named collection of equal-length columns plus their dictionaries.
+// The workload generators build Tables; the query layer resolves column
+// references against them.
+
+#ifndef WASTENOT_COLUMNSTORE_TABLE_H_
+#define WASTENOT_COLUMNSTORE_TABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columnstore/column.h"
+#include "columnstore/dictionary.h"
+#include "util/status.h"
+
+namespace wastenot::cs {
+
+/// A named, fully-decomposed relation (one Column per attribute).
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  uint64_t num_rows() const { return rows_; }
+
+  /// Adds a column; all columns must have the same length.
+  Status AddColumn(const std::string& column_name, Column column);
+
+  /// Attaches the string dictionary backing a dictionary-encoded column.
+  void AttachDictionary(const std::string& column_name, Dictionary dict);
+
+  bool HasColumn(const std::string& column_name) const;
+  const Column& column(const std::string& column_name) const;
+  Column* mutable_column(const std::string& column_name);
+  const Dictionary* dictionary(const std::string& column_name) const;
+
+  std::vector<std::string> column_names() const;
+
+  /// Total tail bytes across all columns.
+  uint64_t byte_size() const;
+
+ private:
+  std::string name_;
+  uint64_t rows_ = 0;
+  bool has_rows_ = false;
+  std::map<std::string, Column> columns_;
+  std::map<std::string, Dictionary> dictionaries_;
+};
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_TABLE_H_

@@ -1,0 +1,73 @@
+// Fundamental types of the bulk-processing column store.
+//
+// The engine is integer-centric, like the paper's MonetDB substrate: dates,
+// decimals and dictionary-encoded strings are all stored as (fixed-point)
+// integers, which is also what bitwise decomposition requires. Physical
+// tails are either 32- or 64-bit; operators are statically expanded per
+// physical type (the C++ template analogue of MonetDB's C-preprocessor type
+// expansion described in paper §V-C).
+
+#ifndef WASTENOT_COLUMNSTORE_TYPES_H_
+#define WASTENOT_COLUMNSTORE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wastenot::cs {
+
+/// Tuple identifier (MonetDB "oid"). 32-bit: relations are limited to
+/// 2^32-1 tuples, which comfortably covers the paper's largest dataset
+/// (250 M rows) while halving candidate-list bandwidth.
+using oid_t = uint32_t;
+
+/// Sentinel for "no oid".
+inline constexpr oid_t kInvalidOid = std::numeric_limits<oid_t>::max();
+
+/// A materialized candidate list (ascending unless stated otherwise).
+using OidVec = std::vector<oid_t>;
+
+/// Physical tail type of a column.
+enum class ValueType : uint8_t {
+  kInt32,
+  kInt64,
+};
+
+/// Size in bytes of one value of `type`.
+constexpr size_t ValueSize(ValueType type) {
+  return type == ValueType::kInt32 ? 4 : 8;
+}
+
+/// An inclusive value range [lo, hi]; the canonical form every comparison
+/// predicate is normalized into (see core/logical.h). A full-domain range
+/// selects everything.
+struct RangePred {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  bool Contains(int64_t v) const { return v >= lo && v <= hi; }
+  bool Empty() const { return lo > hi; }
+
+  static RangePred All() { return RangePred{}; }
+  static RangePred Eq(int64_t v) { return RangePred{v, v}; }
+  static RangePred Lt(int64_t v) {
+    return RangePred{std::numeric_limits<int64_t>::min(), v - 1};
+  }
+  static RangePred Le(int64_t v) {
+    return RangePred{std::numeric_limits<int64_t>::min(), v};
+  }
+  static RangePred Gt(int64_t v) {
+    return RangePred{v + 1, std::numeric_limits<int64_t>::max()};
+  }
+  static RangePred Ge(int64_t v) {
+    return RangePred{v, std::numeric_limits<int64_t>::max()};
+  }
+  static RangePred Between(int64_t lo, int64_t hi) {
+    return RangePred{lo, hi};
+  }
+};
+
+}  // namespace wastenot::cs
+
+#endif  // WASTENOT_COLUMNSTORE_TYPES_H_

@@ -1,0 +1,225 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <unordered_set>
+
+#include "core/translucent_join.h"
+#include "util/bits.h"
+
+namespace wastenot::core {
+
+ValueBounds CountApproximate(const Candidates& cands, uint64_t num_certain) {
+  return ValueBounds{static_cast<int64_t>(num_certain),
+                     static_cast<int64_t>(cands.size())};
+}
+
+ValueBounds SumApproximate(const BoundedValues& values, device::Device* dev) {
+  const uint64_t n = values.size();
+  // Per-worker partial sums; a real device would tree-reduce in shared
+  // memory. Conflict-free (each lane owns its partials).
+  std::vector<int64_t> lo_part, hi_part;
+  std::mutex mu;
+  dev->Run(n, [&](uint64_t begin, uint64_t end) {
+    int64_t lo = 0, hi = 0;
+    for (uint64_t i = begin; i < end; ++i) {
+      lo += values.lo[i];
+      hi += values.hi[i];
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    lo_part.push_back(lo);
+    hi_part.push_back(hi);
+  });
+  ValueBounds out{0, 0};
+  for (int64_t v : lo_part) out.lo += v;
+  for (int64_t v : hi_part) out.hi += v;
+
+  device::KernelSignature sig;
+  sig.op = "sum_approximate";
+  sig.extra = "global";
+  dev->ChargeKernel(sig, {.elements = n,
+                          .bytes_read = n * 2 * sizeof(int64_t),
+                          .bytes_written = sizeof(int64_t) * 2,
+                          .ops = 2 * n});
+  return out;
+}
+
+std::vector<ValueBounds> GroupedSumApproximate(
+    const BoundedValues& values, const std::vector<uint32_t>& group_ids,
+    uint64_t num_groups, device::Device* dev) {
+  std::vector<ValueBounds> out(num_groups, ValueBounds{0, 0});
+  const uint64_t n = values.size();
+  // Host stand-in accumulates serially; the simulated device pays the
+  // atomic-conflict cost for num_groups destinations instead.
+  for (uint64_t i = 0; i < n; ++i) {
+    out[group_ids[i]].lo += values.lo[i];
+    out[group_ids[i]].hi += values.hi[i];
+  }
+  device::KernelSignature sig;
+  sig.op = "sum_approximate";
+  sig.extra = "grouped";
+  dev->ChargeKernel(sig,
+                    {.elements = n,
+                     .bytes_read = n * (2 * sizeof(int64_t) + sizeof(uint32_t)),
+                     .bytes_written = n * 2 * sizeof(int64_t),
+                     .ops = 2 * n,
+                     .distinct_write_targets = std::max<uint64_t>(num_groups, 1)});
+  return out;
+}
+
+int64_t SumRefine(const std::vector<int64_t>& exact_values) {
+  int64_t sum = 0;
+  for (int64_t v : exact_values) sum += v;
+  return sum;
+}
+
+std::vector<int64_t> GroupedSumRefine(const std::vector<int64_t>& exact_values,
+                                      const std::vector<uint32_t>& group_ids,
+                                      uint64_t num_groups) {
+  std::vector<int64_t> out(num_groups, 0);
+  for (uint64_t i = 0; i < exact_values.size(); ++i) {
+    out[group_ids[i]] += exact_values[i];
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared min/max approximation. `invert` = false: minimum; true: maximum
+/// (implemented by mirroring the comparisons).
+ExtremumCandidates ExtremumApproximate(const bwd::BwdColumn& target,
+                                       const Candidates& cands,
+                                       std::span<const uint8_t> certain,
+                                       bool is_max, device::Device* dev) {
+  const bwd::DecompositionSpec& spec = target.spec();
+  const bwd::PackedView view = target.approximation();
+  const uint64_t n = cands.size();
+
+  ExtremumCandidates out;
+
+  // Pass 1: the pruning threshold over *certain* candidates only — a
+  // false positive must never tighten the bound (Fig 6).
+  //   min: threshold = min over certain of UpperBound(digit)
+  //   max: threshold = max over certain of LowerBound(digit)
+  int64_t threshold = is_max ? std::numeric_limits<int64_t>::min()
+                             : std::numeric_limits<int64_t>::max();
+  bool any_certain = false;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!certain.empty() && !certain[i]) continue;
+    any_certain = true;
+    const uint64_t digit = view.Get(cands.ids[i]);
+    if (is_max) {
+      threshold = std::max(threshold, spec.LowerBound(digit));
+    } else {
+      threshold = std::min(threshold, spec.UpperBound(digit));
+    }
+  }
+  // Without a certain candidate the threshold cannot prune anything.
+  out.threshold = threshold;
+
+  // Pass 2: survivors = candidates whose interval can beat the threshold.
+  int64_t best_lo = std::numeric_limits<int64_t>::max();
+  int64_t best_hi = std::numeric_limits<int64_t>::min();
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t digit = view.Get(cands.ids[i]);
+    const int64_t lo = spec.LowerBound(digit);
+    const int64_t hi = spec.UpperBound(digit);
+    const bool survives = !any_certain || (is_max ? hi >= threshold
+                                                  : lo <= threshold);
+    if (survives) {
+      out.survivors.ids.push_back(cands.ids[i]);
+      out.positions.push_back(static_cast<cs::oid_t>(i));
+      best_lo = std::min(best_lo, lo);
+      best_hi = std::max(best_hi, hi);
+    }
+  }
+  out.survivors.sorted = cands.sorted;
+  if (!out.survivors.empty()) {
+    // The true extremum lies within the hull of the surviving intervals,
+    // clipped by the threshold on the certain side.
+    if (is_max) {
+      out.bounds = ValueBounds{any_certain ? threshold : best_lo, best_hi};
+    } else {
+      out.bounds = ValueBounds{best_lo, any_certain ? threshold : best_hi};
+    }
+  }
+
+  device::KernelSignature sig;
+  sig.op = is_max ? "max_approximate" : "min_approximate";
+  sig.value_bits = spec.value_bits;
+  sig.packed_bits = spec.approximation_bits();
+  sig.prefix_base = spec.prefix_base;
+  const uint64_t digit_bytes =
+      std::max<uint64_t>(bits::CeilDiv(spec.approximation_bits(), 8), 1);
+  dev->ChargeKernel(sig,
+                    {.elements = n,
+                     .bytes_read = 2 * n * (digit_bytes + sizeof(cs::oid_t)),
+                     .bytes_written =
+                         out.survivors.size() * sizeof(cs::oid_t),
+                     .ops = 2 * n});
+  return out;
+}
+
+StatusOr<std::optional<int64_t>> ExtremumRefine(
+    const bwd::BwdColumn& target, const ExtremumCandidates& approx,
+    const cs::OidVec& refined_ids, bool is_max) {
+  // Neither input is generally a subset of the other (a refined row may
+  // have been pruned by the threshold; a survivor may be a selection false
+  // positive), so this is a plain set intersection; reduction order is
+  // irrelevant for an extremum.
+  std::unordered_set<cs::oid_t> survivor_set(approx.survivors.ids.begin(),
+                                             approx.survivors.ids.end());
+  std::optional<int64_t> best;
+  for (cs::oid_t id : refined_ids) {
+    if (survivor_set.count(id) == 0) continue;
+    const int64_t exact = target.Reconstruct(id);
+    if (!best.has_value() || (is_max ? exact > *best : exact < *best)) {
+      best = exact;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+ExtremumCandidates MinApproximate(const bwd::BwdColumn& target,
+                                  const Candidates& cands,
+                                  std::span<const uint8_t> certain,
+                                  device::Device* dev) {
+  return ExtremumApproximate(target, cands, certain, /*is_max=*/false, dev);
+}
+
+ExtremumCandidates MaxApproximate(const bwd::BwdColumn& target,
+                                  const Candidates& cands,
+                                  std::span<const uint8_t> certain,
+                                  device::Device* dev) {
+  return ExtremumApproximate(target, cands, certain, /*is_max=*/true, dev);
+}
+
+StatusOr<std::optional<int64_t>> MinRefine(const bwd::BwdColumn& target,
+                                           const ExtremumCandidates& approx,
+                                           const cs::OidVec& refined_ids) {
+  return ExtremumRefine(target, approx, refined_ids, /*is_max=*/false);
+}
+
+StatusOr<std::optional<int64_t>> MaxRefine(const bwd::BwdColumn& target,
+                                           const ExtremumCandidates& approx,
+                                           const cs::OidVec& refined_ids) {
+  return ExtremumRefine(target, approx, refined_ids, /*is_max=*/true);
+}
+
+ValueBounds AvgBounds(const ValueBounds& sum, const ValueBounds& count) {
+  if (count.hi <= 0) return ValueBounds{0, 0};
+  const int64_t count_lo = std::max<int64_t>(count.lo, 1);
+  // avg in [sum.lo / n_big-or-small, sum.hi / n_small-or-big] depending on
+  // sign; take the widest sound combination.
+  const int64_t candidates_lo[] = {FloorDiv(sum.lo, count_lo),
+                                   FloorDiv(sum.lo, count.hi)};
+  const int64_t candidates_hi[] = {CeilDivSigned(sum.hi, count_lo),
+                                   CeilDivSigned(sum.hi, count.hi)};
+  return ValueBounds{std::min(candidates_lo[0], candidates_lo[1]),
+                     std::max(candidates_hi[0], candidates_hi[1])};
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,92 @@
+// A&R aggregation (paper §IV-F).
+//
+//  * count  — trivial: the candidate count bounds the exact count from
+//    above, the certain count from below; refinement counts refined ids.
+//  * sum / avg — approximated as interval sums of per-row bounds. Exact
+//    refinement of sums over *products* is impossible from result
+//    approximations alone (destructive distributivity, §IV-G), so the
+//    refinement recomputes from exact operand values on the CPU.
+//  * min / max — the approximation must output a *candidate set* that
+//    provably contains the true extremum even in the presence of selection
+//    false positives (the Fig 6 hazard). The rule implemented here:
+//    threshold = min over *certain* candidates of the value's upper bound;
+//    survivors = all candidates whose lower bound <= threshold. Since the
+//    true minimum is <= every certain row's exact value, its lower bound
+//    is <= threshold, so it always survives.
+
+#ifndef WASTENOT_CORE_AGGREGATE_H_
+#define WASTENOT_CORE_AGGREGATE_H_
+
+#include <optional>
+#include <vector>
+
+#include "bwd/bwd_column.h"
+#include "core/candidates.h"
+#include "device/device.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// ----- count ------------------------------------------------------------
+
+/// Bounds of a count given candidates and their certainty flags.
+ValueBounds CountApproximate(const Candidates& cands, uint64_t num_certain);
+
+/// ----- sum --------------------------------------------------------------
+
+/// Interval sum of per-row bounds (device reduction).
+ValueBounds SumApproximate(const BoundedValues& values, device::Device* dev);
+
+/// Grouped interval sums; values aligned with group_ids.
+std::vector<ValueBounds> GroupedSumApproximate(
+    const BoundedValues& values, const std::vector<uint32_t>& group_ids,
+    uint64_t num_groups, device::Device* dev);
+
+/// Exact sum over exact values (CPU refinement).
+int64_t SumRefine(const std::vector<int64_t>& exact_values);
+std::vector<int64_t> GroupedSumRefine(const std::vector<int64_t>& exact_values,
+                                      const std::vector<uint32_t>& group_ids,
+                                      uint64_t num_groups);
+
+/// ----- min / max ---------------------------------------------------------
+
+/// The candidate set of an extremum approximation.
+struct ExtremumCandidates {
+  Candidates survivors;       ///< ids that may hold the true extremum
+  cs::OidVec positions;       ///< positions of survivors in the input cands
+  int64_t threshold = 0;      ///< the pruning bound used
+  ValueBounds bounds{0, 0};   ///< interval containing the true extremum
+};
+
+/// Approximate minimum of `target` over a candidate set with certainty
+/// flags (the propagated selection error bounds of Fig 6). `certain` is
+/// aligned with `cands`; an empty span means every candidate is certain.
+ExtremumCandidates MinApproximate(const bwd::BwdColumn& target,
+                                  const Candidates& cands,
+                                  std::span<const uint8_t> certain,
+                                  device::Device* dev);
+/// Approximate maximum (mirror image).
+ExtremumCandidates MaxApproximate(const bwd::BwdColumn& target,
+                                  const Candidates& cands,
+                                  std::span<const uint8_t> certain,
+                                  device::Device* dev);
+
+/// Refines an extremum: keeps the survivors that are in `refined_ids`
+/// (translucent join), reconstructs exact values, reduces.
+/// Returns nullopt when the refined set is empty.
+StatusOr<std::optional<int64_t>> MinRefine(const bwd::BwdColumn& target,
+                                           const ExtremumCandidates& approx,
+                                           const cs::OidVec& refined_ids);
+StatusOr<std::optional<int64_t>> MaxRefine(const bwd::BwdColumn& target,
+                                           const ExtremumCandidates& approx,
+                                           const cs::OidVec& refined_ids);
+
+/// ----- avg ---------------------------------------------------------------
+
+/// Bounds of an average from sum bounds and count bounds (count_lo may be
+/// 0; the result is then the widest sound interval for a non-empty input).
+ValueBounds AvgBounds(const ValueBounds& sum, const ValueBounds& count);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_AGGREGATE_H_

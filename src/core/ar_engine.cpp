@@ -1,0 +1,784 @@
+#include "core/ar_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <optional>
+#include <sstream>
+
+#include "core/aggregate.h"
+#include "core/arithmetic.h"
+#include "core/group.h"
+#include "core/project.h"
+#include "core/select.h"
+#include "core/translucent_join.h"
+#include "util/bits.h"
+#include "util/timer.h"
+
+namespace wastenot::core {
+
+namespace {
+
+/// Renders the physical plan as paired approximate/refine operators
+/// (the textual analogue of the paper's Fig 7 MAL-plan graph).
+class PlanWriter {
+ public:
+  void Approx(const std::string& op, const std::string& detail) {
+    lines_.push_back("  [device] bwd." + op + "approximate(" + detail + ")");
+  }
+  void Refine(const std::string& op, const std::string& detail) {
+    lines_.push_back("  [host]   bwd." + op + "refine(" + detail + ")");
+  }
+  void Note(const std::string& note) { lines_.push_back("  # " + note); }
+  void Phase(const std::string& name) { lines_.push_back(name + ":"); }
+
+  std::string Render() const {
+    std::string out;
+    for (const auto& l : lines_) {
+      out += l;
+      out += "\n";
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// Fraction of the digit domain a relaxed predicate covers — the
+/// rule-based optimizer's selectivity estimate (paper §III-A: push the
+/// most selective approximate selections down).
+double EstimateSelectivity(const bwd::DecompositionSpec& spec,
+                           const cs::RangePred& pred) {
+  const RelaxedPred relaxed = RelaxPredicate(spec, pred);
+  if (relaxed.none) return 0.0;
+  const uint64_t max_digit =
+      bits::LowMask(spec.value_bits) >> spec.residual_bits;
+  const double width =
+      static_cast<double>(relaxed.hi_digit - relaxed.lo_digit) + 1.0;
+  return width / (static_cast<double>(max_digit) + 1.0);
+}
+
+/// Compacts `v` to the rows named by `keep` (new[i] = old[keep[i]]).
+template <typename T>
+void CompactBy(const cs::OidVec& keep, std::vector<T>* v) {
+  std::vector<T> out(keep.size());
+  for (uint64_t i = 0; i < keep.size(); ++i) out[i] = (*v)[keep[i]];
+  *v = std::move(out);
+}
+
+/// A dimension predicate evaluated through the fk column on the device:
+/// per fact candidate, a 0/1 indicator interval (certain, possible).
+struct DimIndicator {
+  BoundedValues bounds;  ///< aligned with the candidate list
+  bool exact = false;
+};
+
+DimIndicator BuildDimIndicator(const bwd::BwdColumn& fk,
+                               const bwd::BwdColumn& dim_attr,
+                               const cs::RangePred& range, int64_t fk_base,
+                               const Candidates& cands,
+                               device::Device* dev) {
+  const bwd::DecompositionSpec& aspec = dim_attr.spec();
+  const bwd::DecompositionSpec& fspec = fk.spec();
+  const RelaxedPred relaxed = RelaxPredicate(aspec, range);
+  const bwd::PackedView fk_view = fk.approximation();
+  const bwd::PackedView attr_view = dim_attr.approximation();
+  const uint64_t n = cands.size();
+
+  DimIndicator out;
+  out.exact = aspec.fully_resident();
+  out.bounds.lo.resize(n);
+  out.bounds.hi.resize(n);
+  const cs::oid_t* ids = cands.ids.data();
+
+  device::KernelSignature sig;
+  sig.op = "semijoin_approximate";
+  sig.value_bits = aspec.value_bits;
+  sig.packed_bits = aspec.approximation_bits();
+  sig.prefix_base = aspec.prefix_base;
+  const uint64_t attr_bytes =
+      std::max<uint64_t>(bits::CeilDiv(aspec.approximation_bits(), 8), 1);
+  const uint64_t fk_bytes =
+      std::max<uint64_t>(bits::CeilDiv(fspec.approximation_bits(), 8), 1);
+  dev->Launch(
+      sig,
+      {.elements = n,
+       .bytes_read = n * (sizeof(cs::oid_t) + fk_bytes + attr_bytes),
+       .bytes_written = n * 2,
+       .ops = 3 * n},
+      [&](uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i) {
+          const uint64_t dim_oid = static_cast<uint64_t>(
+              fspec.Reassemble(fk_view.Get(ids[i]), 0) - fk_base);
+          const uint64_t digit = attr_view.Get(dim_oid);
+          out.bounds.hi[i] = relaxed.Matches(digit) ? 1 : 0;
+          out.bounds.lo[i] = relaxed.Certain(digit) ? 1 : 0;
+        }
+      });
+  return out;
+}
+
+/// Wraps a ValueBounds transform for affine min/max handling.
+struct AffineView {
+  int64_t offset = 0;
+  int sign = +1;
+  int64_t Apply(int64_t v) const { return sign >= 0 ? offset + v : offset - v; }
+  ValueBounds Apply(const ValueBounds& b) const {
+    return sign >= 0 ? b.Shift(offset) : b.Negate().Shift(offset);
+  }
+};
+
+}  // namespace
+
+StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
+                                const bwd::BwdTable& fact,
+                                const bwd::BwdTable* dim,
+                                device::Device* dev,
+                                const ArOptions& options) {
+  // ---------- validation ---------------------------------------------------
+  auto require_fact_column =
+      [&](const std::string& name) -> const bwd::BwdColumn* {
+    return fact.HasColumn(name) ? &fact.column(name) : nullptr;
+  };
+  for (const auto& p : query.predicates) {
+    if (require_fact_column(p.column) == nullptr) {
+      return Status::NotFound("predicate column '" + p.column +
+                              "' is not decomposed in '" + fact.name() + "'");
+    }
+  }
+  for (const auto& g : query.group_by) {
+    if (require_fact_column(g) == nullptr) {
+      return Status::NotFound("group column '" + g + "' is not decomposed");
+    }
+  }
+  const bwd::BwdColumn* fk_col = nullptr;
+  if (query.join.has_value()) {
+    if (dim == nullptr) {
+      return Status::InvalidArgument("query joins but no dimension given");
+    }
+    fk_col = require_fact_column(query.join->fk_column);
+    if (fk_col == nullptr) {
+      return Status::NotFound("fk column '" + query.join->fk_column +
+                              "' is not decomposed");
+    }
+    if (!fk_col->spec().fully_resident()) {
+      return Status::Unsupported(
+          "join keys must be fully device-resident (never decomposed)");
+    }
+  }
+  for (const auto& agg : query.aggregates) {
+    for (const auto& t : agg.terms) {
+      const bool found = t.from_dimension
+                             ? (dim != nullptr && dim->HasColumn(t.column))
+                             : fact.HasColumn(t.column);
+      if (!found) {
+        return Status::NotFound("aggregate column '" + t.column +
+                                "' is not decomposed");
+      }
+    }
+    if (agg.filter.has_value() &&
+        (dim == nullptr || !dim->HasColumn(agg.filter->dim_column))) {
+      return Status::NotFound("filter column not decomposed in dimension");
+    }
+    if ((agg.func == AggFunc::kMin || agg.func == AggFunc::kMax) &&
+        (agg.terms.size() != 1 || agg.terms[0].from_dimension ||
+         agg.filter.has_value() || !query.group_by.empty())) {
+      return Status::Unsupported(
+          "min/max supports a single fact-column term, ungrouped, "
+          "without filters");
+    }
+  }
+
+  ArExecution exec;
+  PlanWriter plan;
+  const auto clock0 = dev->clock().snapshot();
+  const uint64_t num_preds = query.predicates.size();
+
+  // ======================== Phase A: approximate ===========================
+  plan.Phase("approximate subplan (device)");
+
+  // --- rule-based optimizer: approximate-selection pushdown ordering ------
+  std::vector<uint32_t> pred_order(num_preds);
+  std::iota(pred_order.begin(), pred_order.end(), 0);
+  if (options.pushdown) {
+    std::vector<double> sel(num_preds);
+    for (uint32_t p = 0; p < num_preds; ++p) {
+      sel[p] = EstimateSelectivity(fact.column(query.predicates[p].column).spec(),
+                                   query.predicates[p].range);
+    }
+    std::stable_sort(pred_order.begin(), pred_order.end(),
+                     [&](uint32_t a, uint32_t b) { return sel[a] < sel[b]; });
+  }
+
+  // --- approximate selection chain ----------------------------------------
+  Candidates cands;
+  std::vector<std::optional<ApproxValues>> pred_values(num_preds);
+  std::vector<uint8_t> certain;
+  if (num_preds == 0) {
+    cands.ids.resize(fact.num_rows());
+    std::iota(cands.ids.begin(), cands.ids.end(), 0);
+    cands.sorted = true;
+    certain.assign(fact.num_rows(), 1);
+  } else {
+    bool first = true;
+    std::vector<uint32_t> done;
+    for (uint32_t idx : pred_order) {
+      const Predicate& pred = query.predicates[idx];
+      const bwd::BwdColumn& col = fact.column(pred.column);
+      plan.Approx("uselect", pred.column + (first ? "" : ", candidates"));
+      if (first) {
+        ApproxSelection s = SelectApproximate(col, pred.range, dev);
+        cands = std::move(s.cands);
+        pred_values[idx] = std::move(s.values);
+        certain = std::move(s.certain);
+        first = false;
+      } else {
+        ApproxSelection s = SelectApproximateOn(col, pred.range, cands, dev);
+        for (uint32_t d : done) {
+          CompactBy(s.kept_positions, &pred_values[d]->lower);
+        }
+        CompactBy(s.kept_positions, &certain);
+        for (uint64_t i = 0; i < certain.size(); ++i) {
+          certain[i] = certain[i] & s.certain[i];
+        }
+        cands = std::move(s.cands);
+        pred_values[idx] = std::move(s.values);
+      }
+      done.push_back(idx);
+    }
+  }
+  uint64_t num_certain = 0;
+  for (uint8_t c : certain) num_certain += c;
+  exec.num_candidates = cands.size();
+
+  // --- dimension indicators (semijoin approximations) ---------------------
+  // Keyed by (column, range) so distinct filters on one column coexist.
+  auto indicator_key = [](const CaseFilter& f) {
+    return f.dim_column + "/" + std::to_string(f.range.lo) + ":" +
+           std::to_string(f.range.hi);
+  };
+  std::map<std::string, DimIndicator> indicators;
+  std::map<std::string, CaseFilter> indicator_filters;
+  for (const auto& agg : query.aggregates) {
+    if (!agg.filter.has_value()) continue;
+    const std::string key = indicator_key(*agg.filter);
+    if (indicators.count(key) != 0) continue;
+    plan.Approx("semijoin",
+                query.join->fk_column + " -> " + agg.filter->dim_column);
+    indicators.emplace(key, BuildDimIndicator(*fk_col,
+                                              dim->column(agg.filter->dim_column),
+                                              agg.filter->range,
+                                              query.join->fk_base, cands, dev));
+    indicator_filters.emplace(key, *agg.filter);
+  }
+
+  // --- approximate pre-grouping --------------------------------------------
+  const bool grouped = !query.group_by.empty();
+  ApproxGrouping pre;
+  if (grouped) {
+    for (uint64_t g = 0; g < query.group_by.size(); ++g) {
+      const bwd::BwdColumn& col = fact.column(query.group_by[g]);
+      plan.Approx("group", query.group_by[g]);
+      pre = (g == 0) ? GroupApproximate(col, &cands, dev)
+                     : GroupApproximateSub(col, &cands, pre, dev);
+    }
+  } else {
+    pre.group_ids.assign(cands.size(), 0);
+    pre.num_groups = 1;
+    pre.first_positions = {0};
+  }
+  const uint64_t num_pre_groups = pre.num_groups;
+
+  // Per-group candidate/certain counts (count bounds + avg denominators).
+  std::vector<int64_t> group_count_hi(num_pre_groups, 0);
+  std::vector<int64_t> group_count_lo(num_pre_groups, 0);
+  for (uint64_t i = 0; i < cands.size(); ++i) {
+    ++group_count_hi[pre.group_ids[i]];
+    group_count_lo[pre.group_ids[i]] += certain[i];
+  }
+
+  // Refinement-need flags (used by the aggregation fast paths below and
+  // by the phase boundary).
+  const bool select_needs_refine = [&] {
+    for (const auto& p : query.predicates) {
+      if (!fact.column(p.column).spec().fully_resident()) return true;
+    }
+    return false;
+  }();
+  bool group_has_residual = false;
+  for (const auto& g : query.group_by) {
+    group_has_residual |= !fact.column(g).spec().fully_resident();
+  }
+  const bool group_needs_refine = select_needs_refine || group_has_residual;
+
+  // --- approximate aggregation ---------------------------------------------
+  struct AggState {
+    std::vector<ApproxValues> term_values;     // aligned with cands
+    std::vector<ValueBounds> group_bounds;     // per pre-group (sums scaled)
+    std::optional<ExtremumCandidates> extremum;
+    const DimIndicator* indicator = nullptr;
+    bool exact_from_approx = true;
+    /// Delta-refinement support: per-pre-group sums of the *exact* per-row
+    /// expression over every candidate, fused into the same device pass as
+    /// the bounds (populated only when the expression is exact per row and
+    /// the only error is candidate membership).
+    std::vector<int64_t> exact_candidate_sums;
+  };
+  std::vector<AggState> agg_states(query.aggregates.size());
+
+  for (uint64_t a = 0; a < query.aggregates.size(); ++a) {
+    const Aggregate& agg = query.aggregates[a];
+    AggState& state = agg_states[a];
+    if (agg.filter.has_value()) {
+      state.indicator = &indicators.at(indicator_key(*agg.filter));
+    }
+
+    switch (agg.func) {
+      case AggFunc::kCount: {
+        plan.Approx("count", agg.label);
+        state.group_bounds.resize(num_pre_groups);
+        for (uint64_t g = 0; g < num_pre_groups; ++g) {
+          state.group_bounds[g] =
+              ValueBounds{group_count_lo[g], group_count_hi[g]};
+        }
+        if (state.indicator != nullptr) {
+          // Filtered count: recount with indicator bounds.
+          std::fill(state.group_bounds.begin(), state.group_bounds.end(),
+                    ValueBounds{0, 0});
+          for (uint64_t i = 0; i < cands.size(); ++i) {
+            const uint32_t g = pre.group_ids[i];
+            state.group_bounds[g].lo +=
+                (certain[i] && state.indicator->bounds.lo[i]) ? 1 : 0;
+            state.group_bounds[g].hi += state.indicator->bounds.hi[i] ? 1 : 0;
+          }
+        }
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        const Term& t = agg.terms[0];
+        const bwd::BwdColumn& col = fact.column(t.column);
+        const AffineView affine{t.offset, t.sign};
+        const bool want_max = (agg.func == AggFunc::kMax) == (t.sign >= 0);
+        plan.Approx(agg.func == AggFunc::kMin ? "min" : "max", t.column);
+        state.extremum =
+            want_max ? MaxApproximate(col, cands, certain, dev)
+                     : MinApproximate(col, cands, certain, dev);
+        state.group_bounds.assign(1, affine.Apply(state.extremum->bounds));
+        state.exact_from_approx = false;  // extrema always verify on CPU
+        break;
+      }
+      case AggFunc::kSum:
+      case AggFunc::kAvg: {
+        plan.Approx("sum", agg.label);
+        BoundedValues expr;
+        for (uint64_t t = 0; t < agg.terms.size(); ++t) {
+          const Term& term = agg.terms[t];
+          ApproxValues tv;
+          if (term.from_dimension) {
+            WN_ASSIGN_OR_RETURN(
+                tv, FkJoinApproximate(*fk_col, dim->column(term.column),
+                                      cands, dev));
+          } else {
+            tv = ProjectApproximate(fact.column(term.column), cands, dev);
+          }
+          BoundedValues tb = BoundedValues::FromApprox(tv);
+          if (term.offset != 0 || term.sign < 0) {
+            tb = AffineApproximate(tb, term.offset, term.sign, dev);
+          }
+          state.term_values.push_back(std::move(tv));
+          expr = (t == 0) ? std::move(tb) : MulApproximate(expr, tb, dev);
+        }
+        if (expr.size() == 0) {  // sum over empty product: count-like
+          expr.lo.assign(cands.size(), 1);
+          expr.hi.assign(cands.size(), 1);
+        }
+        if (state.indicator != nullptr) {
+          expr = MulIndicatorApproximate(expr, state.indicator->bounds, dev);
+        }
+        // Delta-refinement pre-pass (fused into this kernel's data pass):
+        // when every per-row value is exact and only membership is in
+        // doubt, accumulate exact per-pre-group candidate sums so the
+        // refinement can subtract false positives instead of recomputing
+        // everything (§III-A: plan-level optimization).
+        {
+          bool delta_ok = select_needs_refine && !group_has_residual &&
+                          (state.indicator == nullptr ||
+                           state.indicator->exact);
+          for (const auto& term : agg.terms) {
+            delta_ok &= !term.from_dimension;
+          }
+          for (const auto& tv : state.term_values) delta_ok &= tv.exact();
+          if (delta_ok) {
+            state.exact_candidate_sums.assign(
+                std::max<uint64_t>(num_pre_groups, 1), 0);
+            for (uint64_t i = 0; i < expr.size(); ++i) {
+              // expr is exact per row here (indicator already applied).
+              state.exact_candidate_sums[pre.group_ids[i]] +=
+                  expr.lo[i] * agg.constant;
+            }
+          }
+        }
+        // Candidate-membership gate: a non-certain candidate may be a
+        // selection false positive, so its contribution interval must
+        // include 0 — even when its value approximation is exact. The gate
+        // is the 0/1 interval [certain, 1], the same mechanism as the
+        // dimension indicator (error bounds of the selection propagated to
+        // the aggregation, Fig 6's rule generalized to sums).
+        if (num_certain != cands.size()) {
+          BoundedValues membership;
+          membership.lo.resize(cands.size());
+          membership.hi.assign(cands.size(), 1);
+          for (uint64_t i = 0; i < cands.size(); ++i) {
+            membership.lo[i] = certain[i];
+          }
+          expr = MulIndicatorApproximate(expr, membership, dev);
+        }
+        if (grouped) {
+          state.group_bounds =
+              GroupedSumApproximate(expr, pre.group_ids, num_pre_groups, dev);
+        } else {
+          // Global sums tree-reduce without conflicting writes.
+          state.group_bounds = {SumApproximate(expr, dev)};
+        }
+        if (agg.constant != 1) {
+          for (auto& b : state.group_bounds) b = b.Scale(agg.constant);
+        }
+        // The selection's false positives make even "exact" interval sums
+        // over-approximate unless every candidate is certain.
+        state.exact_from_approx =
+            num_certain == cands.size() &&
+            (state.indicator == nullptr || state.indicator->exact);
+        for (const auto& b : state.group_bounds) {
+          state.exact_from_approx &= b.IsExact();
+        }
+        break;
+      }
+    }
+  }
+
+  // --- the approximate answer (phase-A output) -----------------------------
+  {
+    exec.approx.row_count = CountApproximate(cands, num_certain);
+    exec.approx.key_bounds.resize(num_pre_groups);
+    exec.approx.agg_bounds.resize(num_pre_groups);
+    for (uint64_t g = 0; g < num_pre_groups; ++g) {
+      if (grouped) {
+        const cs::oid_t row_id = cands.ids[pre.first_positions[g]];
+        for (const auto& key_col : query.group_by) {
+          const bwd::BwdColumn& col = fact.column(key_col);
+          const uint64_t digit = col.approximation().Get(row_id);
+          exec.approx.key_bounds[g].push_back(ValueBounds{
+              col.spec().LowerBound(digit), col.spec().UpperBound(digit)});
+        }
+      }
+      for (uint64_t a = 0; a < query.aggregates.size(); ++a) {
+        const Aggregate& agg = query.aggregates[a];
+        const AggState& state = agg_states[a];
+        if (agg.func == AggFunc::kAvg) {
+          exec.approx.agg_bounds[g].push_back(
+              AvgBounds(state.group_bounds[g],
+                        ValueBounds{group_count_lo[g], group_count_hi[g]}));
+        } else if (agg.func == AggFunc::kMin || agg.func == AggFunc::kMax) {
+          exec.approx.agg_bounds[g].push_back(state.group_bounds[0]);
+        } else {
+          exec.approx.agg_bounds[g].push_back(state.group_bounds[g]);
+        }
+      }
+    }
+  }
+
+  // --- phase boundary: what refinement consumes crosses the bus -----------
+  {
+    uint64_t bytes = cands.size() * sizeof(cs::oid_t);  // candidate ids
+    if (select_needs_refine) {
+      bytes += cands.size();  // certainty flags
+      for (uint32_t p = 0; p < num_preds; ++p) {
+        const auto& spec = fact.column(query.predicates[p].column).spec();
+        bytes += cands.size() *
+                 std::max<uint64_t>(bits::CeilDiv(spec.approximation_bits(), 8),
+                                    1);
+      }
+    }
+    if (grouped) bytes += cands.size() * sizeof(uint32_t);  // pre-group ids
+    for (uint64_t a = 0; a < query.aggregates.size(); ++a) {
+      if (agg_states[a].exact_from_approx && options.skip_exact_refinement) {
+        continue;  // phase-A bounds are the exact result; nothing to ship
+      }
+      for (const auto& tv : agg_states[a].term_values) {
+        bytes += cands.size() *
+                 std::max<uint64_t>(bits::CeilDiv(bits::BitWidth(tv.error), 8),
+                                    1);
+      }
+      if (agg_states[a].indicator != nullptr) bytes += cands.size();
+    }
+    dev->ChargeTransfer(bytes);
+  }
+
+  // ========================= Phase R: refine (measured) ====================
+  plan.Phase("refinement subplan (host)");
+  WallTimer host_timer;
+
+  // --- fused selection refinement (Algorithm 2) ----------------------------
+  RefinedSelection refined;
+  if (!select_needs_refine && options.skip_exact_refinement) {
+    plan.Note("selection refinement skipped: all predicate bits resident");
+    refined.ids = cands.ids;
+    refined.positions.resize(cands.size());
+    std::iota(refined.positions.begin(), refined.positions.end(), 0);
+  } else {
+    std::vector<PredicateRefinement> conjuncts;
+    for (uint32_t p = 0; p < num_preds; ++p) {
+      plan.Refine("uselect", query.predicates[p].column);
+      conjuncts.push_back(PredicateRefinement{
+          &fact.column(query.predicates[p].column), query.predicates[p].range,
+          pred_values[p].has_value() ? &*pred_values[p] : nullptr});
+    }
+    refined = SelectRefine(cands, conjuncts);
+  }
+  exec.num_refined = refined.ids.size();
+
+  // --- grouping refinement --------------------------------------------------
+  RefinedGrouping final_groups;
+  if (grouped) {
+    std::vector<const bwd::BwdColumn*> group_cols;
+    for (const auto& g : query.group_by) group_cols.push_back(&fact.column(g));
+    if (!group_needs_refine && options.skip_exact_refinement) {
+      plan.Note("grouping refinement skipped: pre-groups are exact");
+      final_groups.group_ids = pre.group_ids;
+      final_groups.num_groups = pre.num_groups;
+      for (uint64_t p : pre.first_positions) {
+        final_groups.first_ids.push_back(cands.ids[p]);
+      }
+    } else {
+      plan.Refine("group", "translucent join + residual subgroup");
+      WN_ASSIGN_OR_RETURN(final_groups, GroupRefine(group_cols, pre, cands,
+                                                    refined.ids));
+    }
+  } else {
+    final_groups.group_ids.assign(refined.ids.size(), 0);
+    final_groups.num_groups = 1;
+  }
+  const uint64_t num_groups = grouped ? final_groups.num_groups : 1;
+
+  // --- per-row exact indicators (for filtered aggregates) ------------------
+  std::map<std::string, std::vector<uint8_t>> exact_indicators;
+  for (const auto& [key, ind] : indicators) {
+    const CaseFilter& filter = indicator_filters.at(key);
+    std::vector<uint8_t> flags(refined.ids.size());
+    if (ind.exact) {
+      for (uint64_t i = 0; i < refined.ids.size(); ++i) {
+        flags[i] = static_cast<uint8_t>(ind.bounds.lo[refined.positions[i]]);
+      }
+    } else {
+      // Ambiguous rows need the dimension residual: ship the fk values of
+      // the refined rows over the bus, then reconstruct host-side.
+      const bwd::BwdColumn& attr = dim->column(filter.dim_column);
+      uint64_t ambiguous = 0;
+      for (uint64_t i = 0; i < refined.ids.size(); ++i) {
+        const uint64_t pos = refined.positions[i];
+        if (ind.bounds.lo[pos] == ind.bounds.hi[pos]) {
+          flags[i] = static_cast<uint8_t>(ind.bounds.lo[pos]);
+        } else {
+          ++ambiguous;
+          const uint64_t dim_oid = static_cast<uint64_t>(
+              fk_col->Reconstruct(refined.ids[i]) - query.join->fk_base);
+          flags[i] = filter.range.Contains(attr.Reconstruct(dim_oid)) ? 1 : 0;
+        }
+      }
+      dev->ChargeTransfer(ambiguous * (sizeof(cs::oid_t) + 1));
+      plan.Refine("semijoin", filter.dim_column + " (" +
+                                  std::to_string(ambiguous) +
+                                  " ambiguous rows)");
+    }
+    exact_indicators.emplace(key, std::move(flags));
+  }
+
+  // --- aggregate refinement -------------------------------------------------
+  std::vector<std::vector<int64_t>> agg_columns;  // [agg][group]
+  std::vector<int64_t> group_counts(num_groups, 0);
+  for (uint32_t g : final_groups.group_ids) ++group_counts[g];
+
+  for (uint64_t a = 0; a < query.aggregates.size(); ++a) {
+    const Aggregate& agg = query.aggregates[a];
+    AggState& state = agg_states[a];
+
+    if (state.exact_from_approx && options.skip_exact_refinement &&
+        !group_needs_refine && !select_needs_refine &&
+        agg.func != AggFunc::kMin && agg.func != AggFunc::kMax) {
+      plan.Note("aggregate '" + agg.label + "' exact from approximation");
+      std::vector<int64_t> exact(num_groups);
+      for (uint64_t g = 0; g < num_groups; ++g) {
+        exact[g] = state.group_bounds[g].lo;
+      }
+      agg_columns.push_back(std::move(exact));
+      continue;
+    }
+
+    switch (agg.func) {
+      case AggFunc::kCount: {
+        plan.Refine("count", agg.label);
+        std::vector<int64_t> counts(num_groups, 0);
+        const std::vector<uint8_t>* flags =
+            agg.filter.has_value()
+                ? &exact_indicators.at(indicator_key(*agg.filter))
+                : nullptr;
+        for (uint64_t i = 0; i < refined.ids.size(); ++i) {
+          if (flags == nullptr || (*flags)[i]) {
+            ++counts[final_groups.group_ids[i]];
+          }
+        }
+        agg_columns.push_back(std::move(counts));
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        const Term& t = agg.terms[0];
+        const bwd::BwdColumn& col = fact.column(t.column);
+        const AffineView affine{t.offset, t.sign};
+        const bool want_max = (agg.func == AggFunc::kMax) == (t.sign >= 0);
+        plan.Refine(agg.func == AggFunc::kMin ? "min" : "max", t.column);
+        WN_ASSIGN_OR_RETURN(
+            std::optional<int64_t> extremum,
+            want_max ? MaxRefine(col, *state.extremum, refined.ids)
+                     : MinRefine(col, *state.extremum, refined.ids));
+        std::vector<int64_t> out(num_groups,
+                                 extremum ? affine.Apply(*extremum) : 0);
+        agg_columns.push_back(std::move(out));
+        break;
+      }
+      case AggFunc::kSum:
+      case AggFunc::kAvg: {
+        // Delta refinement: when the only approximation error is candidate
+        // *membership* (the selection needed refining but every term,
+        // group column and indicator is exact), the device aggregates all
+        // candidates and the CPU merely subtracts the false positives'
+        // contributions — work proportional to the error, not the data
+        // ("waste not"). Falls through to full host recomputation when
+        // destructive distributivity (§IV-G) forces it.
+        if (!state.exact_candidate_sums.empty()) {
+          plan.Refine("sum", agg.label + " (delta: false positives only)");
+          // Per-row exact expression over the candidate list (the same
+          // value the fused phase-A pass accumulated).
+          auto expr_at = [&](uint64_t pos) -> int64_t {
+            int64_t v = agg.constant;
+            for (uint64_t t = 0; t < agg.terms.size(); ++t) {
+              const Term& term = agg.terms[t];
+              const int64_t exact = state.term_values[t].lower[pos];
+              v *= (term.sign >= 0 ? term.offset + exact
+                                   : term.offset - exact);
+            }
+            if (state.indicator != nullptr) {
+              v *= state.indicator->bounds.lo[pos];
+            }
+            return v;
+          };
+          // Host work proportional to the false positives only: walk the
+          // candidate positions not present in the (ascending) refined
+          // position list and subtract their contributions.
+          std::vector<int64_t> sums = state.exact_candidate_sums;
+          uint64_t next_refined = 0;
+          for (uint64_t p = 0; p < cands.size(); ++p) {
+            if (next_refined < refined.positions.size() &&
+                refined.positions[next_refined] == p) {
+              ++next_refined;
+              continue;
+            }
+            sums[pre.group_ids[p]] -= expr_at(p);
+          }
+          // Map surviving pre-groups onto the final (compacted) groups.
+          std::vector<int64_t> out(num_groups, 0);
+          if (grouped) {
+            for (uint64_t i = 0; i < refined.ids.size(); ++i) {
+              const uint32_t fg = final_groups.group_ids[i];
+              const uint32_t pg = pre.group_ids[refined.positions[i]];
+              out[fg] = sums[pg];
+            }
+          } else if (num_groups == 1) {
+            out[0] = sums[0];
+          }
+          agg_columns.push_back(std::move(out));
+          break;
+        }
+
+        // Destructive distributivity (§IV-G): products are recomputed from
+        // exact operand values host-side.
+        plan.Refine("sum", agg.label);
+        std::vector<int64_t> values(refined.ids.size(), 1);
+        for (uint64_t t = 0; t < agg.terms.size(); ++t) {
+          const Term& term = agg.terms[t];
+          for (uint64_t i = 0; i < refined.ids.size(); ++i) {
+            const cs::oid_t id = refined.ids[i];
+            int64_t exact;
+            if (term.from_dimension) {
+              const uint64_t dim_oid = static_cast<uint64_t>(
+                  fk_col->Reconstruct(id) - query.join->fk_base);
+              exact = dim->column(term.column).Reconstruct(dim_oid);
+            } else {
+              // Invisible join of the shipped approximation output with the
+              // host residual (Algorithm 2's reconstruction step).
+              const bwd::BwdColumn& col = fact.column(term.column);
+              exact = state.term_values[t].lower[refined.positions[i]] +
+                      static_cast<int64_t>(col.residual().Get(id));
+            }
+            values[i] *= (term.sign >= 0 ? term.offset + exact
+                                         : term.offset - exact);
+          }
+        }
+        if (agg.constant != 1) {
+          for (auto& v : values) v *= agg.constant;
+        }
+        if (agg.filter.has_value()) {
+          const auto& flags = exact_indicators.at(indicator_key(*agg.filter));
+          for (uint64_t i = 0; i < values.size(); ++i) {
+            if (!flags[i]) values[i] = 0;
+          }
+        }
+        agg_columns.push_back(GroupedSumRefine(values, final_groups.group_ids,
+                                               num_groups));
+        break;
+      }
+    }
+  }
+
+  // --- result materialization ----------------------------------------------
+  exec.result.selected_rows = refined.ids.size();
+  for (const auto& name : query.group_by) {
+    exec.result.key_names.push_back(name);
+  }
+  for (const auto& agg : query.aggregates) {
+    exec.result.agg_labels.push_back(agg.label);
+  }
+  exec.result.group_counts = group_counts;
+  exec.result.group_keys.resize(num_groups);
+  exec.result.agg_values.resize(num_groups);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    if (grouped) {
+      const cs::oid_t id = final_groups.first_ids[g];
+      for (const auto& key_col : query.group_by) {
+        exec.result.group_keys[g].push_back(
+            fact.column(key_col).Reconstruct(id));
+      }
+    }
+    for (const auto& col : agg_columns) {
+      exec.result.agg_values[g].push_back(col[g]);
+    }
+  }
+  if (grouped) {
+    // Reading the group representatives' approximation digits host-side is
+    // a (tiny) transfer.
+    dev->ChargeTransfer(num_groups * query.group_by.size() *
+                        sizeof(uint32_t));
+  }
+  exec.result.SortByKeys();
+
+  exec.breakdown.host_seconds = host_timer.Seconds();
+  const auto clock1 = dev->clock().snapshot();
+  exec.breakdown.device_seconds = clock1.device - clock0.device;
+  exec.breakdown.bus_seconds = clock1.bus - clock0.bus;
+  exec.plan_text = plan.Render();
+  return exec;
+}
+
+}  // namespace wastenot::core

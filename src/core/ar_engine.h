@@ -1,0 +1,75 @@
+// The Approximate & Refine query engine (paper §III and §V).
+//
+// ExecuteAr compiles a QuerySpec into an A&R physical plan — each classic
+// operator replaced by an approximation/refinement pair, approximate
+// selections pushed down (the bwd_pipe rewriter + rule-based optimizer of
+// §V-B) — and executes it in two phases:
+//
+//   Phase A (device): the approximation subplan. No approximate operator
+//   depends on a refinement result, so the full subplan runs to completion
+//   and yields an ApproximateAnswer with strict error bounds before any
+//   refinement work starts.
+//
+//   Phase boundary: the candidate ids, approximate values, certainty flags
+//   and pre-group ids that refinement consumes cross the PCI-E bus
+//   (charged to the bus clock).
+//
+//   Phase R (host, measured): fused selection refinement (Algorithm 2),
+//   translucent-join alignment, residual subgrouping, exact recomputation
+//   of destructively-distributive expressions, final aggregation.
+//
+// The returned breakdown carries simulated device seconds, simulated bus
+// seconds and measured host seconds — the GPU/CPU/PCI bars of Figs 9-10.
+
+#ifndef WASTENOT_CORE_AR_ENGINE_H_
+#define WASTENOT_CORE_AR_ENGINE_H_
+
+#include <string>
+
+#include "bwd/bwd_table.h"
+#include "core/query.h"
+#include "device/device.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// Per-device time attribution of one execution.
+struct ExecutionBreakdown {
+  double device_seconds = 0;  ///< simulated co-processor time
+  double bus_seconds = 0;     ///< simulated PCI-E time
+  double host_seconds = 0;    ///< measured CPU (refinement) time
+  double total() const { return device_seconds + bus_seconds + host_seconds; }
+};
+
+/// Tuning knobs (the ablation levers of DESIGN.md §4).
+struct ArOptions {
+  /// Rule-based optimizer: order approximate selections most-selective
+  /// first (paper §III-A). Off = evaluate in the user-given order.
+  bool pushdown = true;
+  /// Skip refinement stages whose inputs are provably exact (the
+  /// all-device-resident fast path). Off = always refine (ablation).
+  bool skip_exact_refinement = true;
+};
+
+/// Everything one A&R execution produces.
+struct ArExecution {
+  QueryResult result;          ///< exact, canonical order
+  ApproximateAnswer approx;    ///< the phase-A answer with bounds
+  ExecutionBreakdown breakdown;
+  uint64_t num_candidates = 0; ///< size of the candidate set after phase A
+  uint64_t num_refined = 0;    ///< rows surviving refinement
+  std::string plan_text;       ///< rendered physical plan (Fig 7 style)
+};
+
+/// Executes `query` with the A&R engine. `dim` may be null when the query
+/// has no join. All referenced columns must have been decomposed into the
+/// respective BwdTable.
+StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
+                                const bwd::BwdTable& fact,
+                                const bwd::BwdTable* dim,
+                                device::Device* dev,
+                                const ArOptions& options = {});
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_AR_ENGINE_H_

@@ -1,0 +1,140 @@
+#include "core/arithmetic.h"
+
+#include <cassert>
+
+namespace wastenot::core {
+
+namespace {
+
+/// Common launch wrapper for elementwise interval kernels.
+BoundedValues Elementwise(const char* op, uint64_t n, uint64_t input_arrays,
+                          device::Device* dev,
+                          const std::function<void(uint64_t, uint64_t,
+                                                   BoundedValues&)>& body) {
+  BoundedValues out;
+  out.lo.resize(n);
+  out.hi.resize(n);
+  device::KernelSignature sig;
+  sig.op = op;
+  sig.extra = "bounded";
+  dev->Launch(sig,
+              {.elements = n,
+               .bytes_read = n * input_arrays * 2 * sizeof(int64_t),
+               .bytes_written = n * 2 * sizeof(int64_t),
+               .ops = 4 * n},
+              [&](uint64_t begin, uint64_t end) { body(begin, end, out); });
+  return out;
+}
+
+}  // namespace
+
+BoundedValues AddApproximate(const BoundedValues& a, const BoundedValues& b,
+                             device::Device* dev) {
+  assert(a.size() == b.size());
+  return Elementwise("add_approximate", a.size(), 2, dev,
+                     [&](uint64_t begin, uint64_t end, BoundedValues& out) {
+                       for (uint64_t i = begin; i < end; ++i) {
+                         out.lo[i] = a.lo[i] + b.lo[i];
+                         out.hi[i] = a.hi[i] + b.hi[i];
+                       }
+                     });
+}
+
+BoundedValues SubApproximate(const BoundedValues& a, const BoundedValues& b,
+                             device::Device* dev) {
+  assert(a.size() == b.size());
+  return Elementwise("sub_approximate", a.size(), 2, dev,
+                     [&](uint64_t begin, uint64_t end, BoundedValues& out) {
+                       for (uint64_t i = begin; i < end; ++i) {
+                         out.lo[i] = a.lo[i] - b.hi[i];
+                         out.hi[i] = a.hi[i] - b.lo[i];
+                       }
+                     });
+}
+
+BoundedValues MulApproximate(const BoundedValues& a, const BoundedValues& b,
+                             device::Device* dev) {
+  assert(a.size() == b.size());
+  return Elementwise(
+      "mul_approximate", a.size(), 2, dev,
+      [&](uint64_t begin, uint64_t end, BoundedValues& out) {
+        for (uint64_t i = begin; i < end; ++i) {
+          const ValueBounds r = a.At(i) * b.At(i);
+          out.lo[i] = r.lo;
+          out.hi[i] = r.hi;
+        }
+      });
+}
+
+BoundedValues AffineApproximate(const BoundedValues& a, int64_t k, int sign,
+                                device::Device* dev) {
+  return Elementwise(
+      "affine_approximate", a.size(), 1, dev,
+      [&](uint64_t begin, uint64_t end, BoundedValues& out) {
+        if (sign >= 0) {
+          for (uint64_t i = begin; i < end; ++i) {
+            out.lo[i] = k + a.lo[i];
+            out.hi[i] = k + a.hi[i];
+          }
+        } else {
+          for (uint64_t i = begin; i < end; ++i) {
+            out.lo[i] = k - a.hi[i];
+            out.hi[i] = k - a.lo[i];
+          }
+        }
+      });
+}
+
+BoundedValues DivConstApproximate(const BoundedValues& a, int64_t k,
+                                  device::Device* dev) {
+  assert(k != 0);
+  return Elementwise(
+      "div_approximate", a.size(), 1, dev,
+      [&](uint64_t begin, uint64_t end, BoundedValues& out) {
+        for (uint64_t i = begin; i < end; ++i) {
+          const ValueBounds r = a.At(i).DivideBy(k);
+          out.lo[i] = r.lo;
+          out.hi[i] = r.hi;
+        }
+      });
+}
+
+BoundedValues SqrtApproximate(const BoundedValues& a, device::Device* dev) {
+  return Elementwise(
+      "sqrt_approximate", a.size(), 1, dev,
+      [&](uint64_t begin, uint64_t end, BoundedValues& out) {
+        for (uint64_t i = begin; i < end; ++i) {
+          const ValueBounds r = a.At(i).Sqrt();
+          out.lo[i] = r.lo;
+          out.hi[i] = r.hi;
+        }
+      });
+}
+
+BoundedValues MulIndicatorApproximate(const BoundedValues& a,
+                                      const BoundedValues& indicator,
+                                      device::Device* dev) {
+  assert(a.size() == indicator.size());
+  return MulApproximate(a, indicator, dev);
+}
+
+std::vector<int64_t> MulExact(const std::vector<int64_t>& a,
+                              const std::vector<int64_t>& b) {
+  assert(a.size() == b.size());
+  std::vector<int64_t> out(a.size());
+  for (uint64_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+std::vector<int64_t> AffineExact(const std::vector<int64_t>& a, int64_t k,
+                                 int sign) {
+  std::vector<int64_t> out(a.size());
+  if (sign >= 0) {
+    for (uint64_t i = 0; i < a.size(); ++i) out[i] = k + a[i];
+  } else {
+    for (uint64_t i = 0; i < a.size(); ++i) out[i] = k - a[i];
+  }
+  return out;
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,57 @@
+// Approximate arithmetic map operators (paper §IV-B "complex selections"
+// and §IV-G "destructive distributivity").
+//
+// Bulk primitives over per-row bounds: every operator consumes aligned
+// BoundedValues and produces sound per-row intervals. Multiplication is
+// the canonical destructively-distributive case — the exact product of two
+// decomposed values contains approximation×residual cross terms that no
+// device holds in isolation, so the *refinement* of a product must
+// recompute from exact operand values (which is why the A&R executor
+// routes product aggregations to the CPU unless operands are fully
+// resident). The approximations computed here are still useful: they bound
+// later selections and the final answer (paper: "If, e.g., a query contains
+// a condition on the product of two attributes, the approximation of the
+// product can be used to approximate the result of the selection").
+
+#ifndef WASTENOT_CORE_ARITHMETIC_H_
+#define WASTENOT_CORE_ARITHMETIC_H_
+
+#include "core/candidates.h"
+#include "device/device.h"
+
+namespace wastenot::core {
+
+/// out[i] = a[i] + b[i] (interval add).
+BoundedValues AddApproximate(const BoundedValues& a, const BoundedValues& b,
+                             device::Device* dev);
+/// out[i] = a[i] - b[i] (interval subtract).
+BoundedValues SubApproximate(const BoundedValues& a, const BoundedValues& b,
+                             device::Device* dev);
+/// out[i] = a[i] * b[i] (interval product; destructively distributive).
+BoundedValues MulApproximate(const BoundedValues& a, const BoundedValues& b,
+                             device::Device* dev);
+/// out[i] = (k + sign*a[i]) — the affine terms (c - x) / (c + x) of
+/// TPC-H-style expressions.
+BoundedValues AffineApproximate(const BoundedValues& a, int64_t k, int sign,
+                                device::Device* dev);
+/// out[i] = a[i] / k for a non-zero constant k, rounded outward.
+BoundedValues DivConstApproximate(const BoundedValues& a, int64_t k,
+                                  device::Device* dev);
+/// out[i] = sqrt(a[i]) with outward rounding (clamped at 0).
+BoundedValues SqrtApproximate(const BoundedValues& a, device::Device* dev);
+
+/// out[i] = a[i] * flag_bounds[i] where flags are 0/1 intervals (used for
+/// conditional aggregates such as Q14's CASE WHEN indicator).
+BoundedValues MulIndicatorApproximate(const BoundedValues& a,
+                                      const BoundedValues& indicator,
+                                      device::Device* dev);
+
+/// Exact CPU counterparts used by refinement.
+std::vector<int64_t> MulExact(const std::vector<int64_t>& a,
+                              const std::vector<int64_t>& b);
+std::vector<int64_t> AffineExact(const std::vector<int64_t>& a, int64_t k,
+                                 int sign);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_ARITHMETIC_H_

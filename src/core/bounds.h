@@ -1,0 +1,112 @@
+// Strict error bounds for approximate values (paper §III "Approximation":
+// arithmetic on approximate inputs "yields the expected value and strict
+// error bounds of the result based on the approximate inputs").
+//
+// A ValueBounds is a closed integer interval guaranteed to contain the
+// exact value. Interval arithmetic here is *sound* (never excludes the true
+// value); tightness is best-effort. Multiplication is where destructive
+// distributivity (paper §IV-G) shows: the exact product cannot be recovered
+// from the operand approximations, only bounded.
+
+#ifndef WASTENOT_CORE_BOUNDS_H_
+#define WASTENOT_CORE_BOUNDS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace wastenot::core {
+
+/// A closed interval [lo, hi] certain to contain an exact (int64) value.
+struct ValueBounds {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  static ValueBounds Exact(int64_t v) { return {v, v}; }
+  /// Interval of an approximation digit: [lower, lower + error].
+  static ValueBounds FromApproximation(int64_t lower, uint64_t error) {
+    return {lower, lower + static_cast<int64_t>(error)};
+  }
+
+  bool IsExact() const { return lo == hi; }
+  int64_t width() const { return hi - lo; }
+  bool Contains(int64_t v) const { return v >= lo && v <= hi; }
+  /// Midpoint, the natural point estimate of the interval.
+  int64_t Estimate() const { return lo + (hi - lo) / 2; }
+
+  bool Overlaps(int64_t range_lo, int64_t range_hi) const {
+    return hi >= range_lo && lo <= range_hi;
+  }
+
+  ValueBounds operator+(const ValueBounds& o) const {
+    return {lo + o.lo, hi + o.hi};
+  }
+  ValueBounds operator-(const ValueBounds& o) const {
+    return {lo - o.hi, hi - o.lo};
+  }
+  /// Interval product: min/max over the four corner products.
+  ValueBounds operator*(const ValueBounds& o) const {
+    const int64_t a = lo * o.lo, b = lo * o.hi, c = hi * o.lo, d = hi * o.hi;
+    return {std::min(std::min(a, b), std::min(c, d)),
+            std::max(std::max(a, b), std::max(c, d))};
+  }
+
+  /// Scales by a constant (sign-aware).
+  ValueBounds Scale(int64_t k) const {
+    return k >= 0 ? ValueBounds{lo * k, hi * k} : ValueBounds{hi * k, lo * k};
+  }
+  /// Shifts by a constant.
+  ValueBounds Shift(int64_t k) const { return {lo + k, hi + k}; }
+  /// Negation (for (c - x) terms).
+  ValueBounds Negate() const { return {-hi, -lo}; }
+
+  /// Sound quotient by a constant divisor (k != 0), rounding outward.
+  ValueBounds DivideBy(int64_t k) const;
+
+  /// Sound integer square root bounds (inputs clamped at 0).
+  ValueBounds Sqrt() const;
+
+  std::string ToString() const {
+    return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+  }
+};
+
+/// Floor division that rounds toward negative infinity (sound lower end).
+inline int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+/// Ceiling division that rounds toward positive infinity (sound upper end).
+inline int64_t CeilDivSigned(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+inline ValueBounds ValueBounds::DivideBy(int64_t k) const {
+  if (k > 0) return {FloorDiv(lo, k), CeilDivSigned(hi, k)};
+  return {FloorDiv(hi, k), CeilDivSigned(lo, k)};
+}
+
+/// Integer sqrt (floor).
+inline int64_t ISqrt(int64_t v) {
+  if (v <= 0) return 0;
+  int64_t x = static_cast<int64_t>(std::max(0.0, __builtin_sqrt(
+                                                     static_cast<double>(v))));
+  while (x > 0 && x * x > v) --x;
+  while ((x + 1) * (x + 1) <= v) ++x;
+  return x;
+}
+
+inline ValueBounds ValueBounds::Sqrt() const {
+  const int64_t l = std::max<int64_t>(lo, 0);
+  const int64_t h = std::max<int64_t>(hi, 0);
+  int64_t hs = ISqrt(h);
+  if (hs * hs < h) ++hs;  // round the upper end outward
+  return {ISqrt(l), hs};
+}
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_BOUNDS_H_

@@ -1,0 +1,73 @@
+// The intermediate data of A&R processing (paper §III): approximation
+// operators produce *candidate* results — id supersets and value
+// approximations with error bounds — which refinement operators combine
+// with residuals into exact results. These types keep the alignment
+// contract explicit: an ApproxValues is always positionally aligned with
+// the Candidates it was produced for.
+
+#ifndef WASTENOT_CORE_CANDIDATES_H_
+#define WASTENOT_CORE_CANDIDATES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnstore/types.h"
+#include "core/bounds.h"
+
+namespace wastenot::core {
+
+/// A candidate tuple-id list produced by an approximation operator.
+/// Contains every tuple of the exact result (superset invariant) plus
+/// possible false positives that refinement eliminates.
+struct Candidates {
+  cs::OidVec ids;
+
+  /// True when ids are ascending. A massively parallel device selection is
+  /// not order-preserving in general (paper §IV-A item 3); the refinement
+  /// contract only requires that later stages preserve *this* permutation.
+  bool sorted = false;
+
+  uint64_t size() const { return ids.size(); }
+  bool empty() const { return ids.empty(); }
+};
+
+/// Approximate values positionally aligned with a Candidates list:
+/// the exact value of row ids[i] lies in [lower[i], lower[i] + error].
+/// error == 0 means the values are exact (fully device-resident column).
+struct ApproxValues {
+  std::vector<int64_t> lower;
+  uint64_t error = 0;
+
+  uint64_t size() const { return lower.size(); }
+  bool exact() const { return error == 0; }
+
+  ValueBounds BoundsAt(uint64_t i) const {
+    return ValueBounds::FromApproximation(lower[i], error);
+  }
+};
+
+/// Per-row closed intervals, aligned with a Candidates list. The general
+/// form ApproxValues degrades into after arithmetic (errors stop being
+/// uniform once values are combined).
+struct BoundedValues {
+  std::vector<int64_t> lo;
+  std::vector<int64_t> hi;
+
+  uint64_t size() const { return lo.size(); }
+
+  static BoundedValues FromApprox(const ApproxValues& a) {
+    BoundedValues out;
+    out.lo = a.lower;
+    out.hi.resize(a.lower.size());
+    for (uint64_t i = 0; i < a.lower.size(); ++i) {
+      out.hi[i] = a.lower[i] + static_cast<int64_t>(a.error);
+    }
+    return out;
+  }
+
+  ValueBounds At(uint64_t i) const { return {lo[i], hi[i]}; }
+};
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_CANDIDATES_H_

@@ -1,0 +1,211 @@
+#include "core/classic_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "columnstore/aggregate.h"
+#include "columnstore/fetch.h"
+#include "columnstore/group.h"
+#include "columnstore/select.h"
+
+namespace wastenot::core {
+
+namespace {
+
+/// Evaluates one term (offset + sign·col) for the selected rows; dimension
+/// terms read through the fk mapping (an invisible join into the dimension).
+StatusOr<std::vector<int64_t>> EvalTerm(const Term& term,
+                                        const cs::Table& fact,
+                                        const cs::Table* dim,
+                                        const cs::OidVec& rows,
+                                        const std::vector<cs::oid_t>& dim_oids) {
+  const cs::Table* src = term.from_dimension ? dim : &fact;
+  if (src == nullptr || !src->HasColumn(term.column)) {
+    return Status::NotFound("aggregate term column '" + term.column +
+                            "' not found");
+  }
+  const cs::Column& col = src->column(term.column);
+  std::vector<int64_t> out(rows.size());
+  if (term.from_dimension) {
+    for (uint64_t i = 0; i < rows.size(); ++i) out[i] = col.Get(dim_oids[i]);
+  } else {
+    for (uint64_t i = 0; i < rows.size(); ++i) out[i] = col.Get(rows[i]);
+  }
+  if (term.sign >= 0) {
+    if (term.offset != 0) {
+      for (auto& v : out) v = term.offset + v;
+    }
+  } else {
+    for (auto& v : out) v = term.offset - v;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> ExecuteClassic(const QuerySpec& query,
+                                     const cs::Database& db,
+                                     const ClassicOptions& options) {
+  if (!db.HasTable(query.table)) {
+    return Status::NotFound("table '" + query.table + "' not found");
+  }
+  const cs::Table& fact = db.table(query.table);
+  const cs::Table* dim = nullptr;
+  if (query.join.has_value()) {
+    if (!db.HasTable(query.join->dim_table)) {
+      return Status::NotFound("dimension table '" + query.join->dim_table +
+                              "' not found");
+    }
+    dim = &db.table(query.join->dim_table);
+  }
+
+  // --- Selection chain (bulk uselect with candidate lists) ---------------
+  cs::OidVec rows;
+  if (query.predicates.empty()) {
+    rows.resize(fact.num_rows());
+    std::iota(rows.begin(), rows.end(), 0);
+  } else {
+    for (uint64_t p = 0; p < query.predicates.size(); ++p) {
+      const Predicate& pred = query.predicates[p];
+      if (!fact.HasColumn(pred.column)) {
+        return Status::NotFound("predicate column '" + pred.column +
+                                "' not found");
+      }
+      const cs::Column& col = fact.column(pred.column);
+      rows = (p == 0) ? cs::SelectParallel(col, pred.range, options.threads)
+                      : cs::SelectCandidates(col, pred.range, rows);
+    }
+  }
+
+  // --- FK join: positional dimension oids (invisible join) ---------------
+  std::vector<cs::oid_t> dim_oids;
+  if (query.join.has_value()) {
+    const cs::Column& fk = fact.column(query.join->fk_column);
+    dim_oids.resize(rows.size());
+    for (uint64_t i = 0; i < rows.size(); ++i) {
+      dim_oids[i] =
+          static_cast<cs::oid_t>(fk.Get(rows[i]) - query.join->fk_base);
+    }
+  }
+
+  // --- Grouping (hash group + subgroup chain) -----------------------------
+  cs::GroupResult grouping;
+  if (query.group_by.empty()) {
+    grouping.group_ids.assign(rows.size(), 0);
+    grouping.num_groups = 1;
+    grouping.first_row = {0};
+  } else {
+    for (uint64_t g = 0; g < query.group_by.size(); ++g) {
+      const cs::Column& col = fact.column(query.group_by[g]);
+      if (g == 0) {
+        grouping = cs::GroupBy(col, rows);
+      } else {
+        std::vector<int64_t> values(rows.size());
+        for (uint64_t i = 0; i < rows.size(); ++i) {
+          values[i] = col.Get(rows[i]);
+        }
+        grouping = cs::SubGroup(grouping, values);
+      }
+    }
+  }
+  // A global aggregation always has one (possibly empty) group; a grouped
+  // aggregation over zero rows has zero result rows.
+  const uint64_t num_groups =
+      query.group_by.empty() ? 1 : grouping.num_groups;
+
+  // --- Aggregates ---------------------------------------------------------
+  QueryResult result;
+  result.selected_rows = rows.size();
+  for (const auto& name : query.group_by) result.key_names.push_back(name);
+  for (const auto& agg : query.aggregates) {
+    result.agg_labels.push_back(agg.label);
+  }
+
+  result.group_counts = cs::GroupedCount(grouping.group_ids, num_groups);
+
+  std::vector<std::vector<int64_t>> agg_columns;  // [agg][group]
+  for (const Aggregate& agg : query.aggregates) {
+    // Per-row expression value: constant * Π terms (empty product = 1).
+    std::vector<int64_t> values;
+    if (agg.func == AggFunc::kCount && agg.terms.empty()) {
+      values.assign(rows.size(), 1);
+    } else {
+      for (uint64_t t = 0; t < agg.terms.size(); ++t) {
+        WN_ASSIGN_OR_RETURN(std::vector<int64_t> term_vals,
+                            EvalTerm(agg.terms[t], fact, dim, rows, dim_oids));
+        if (t == 0) {
+          values = std::move(term_vals);
+        } else {
+          for (uint64_t i = 0; i < values.size(); ++i) {
+            values[i] *= term_vals[i];
+          }
+        }
+      }
+      if (values.empty()) values.assign(rows.size(), 1);
+      if (agg.constant != 1) {
+        for (auto& v : values) v *= agg.constant;
+      }
+    }
+    // CASE WHEN filter: zero out rows whose dimension attribute misses.
+    if (agg.filter.has_value()) {
+      if (dim == nullptr) {
+        return Status::InvalidArgument("aggregate filter requires a join");
+      }
+      const cs::Column& fcol = dim->column(agg.filter->dim_column);
+      for (uint64_t i = 0; i < values.size(); ++i) {
+        if (!agg.filter->range.Contains(fcol.Get(dim_oids[i]))) values[i] = 0;
+      }
+    }
+
+    switch (agg.func) {
+      case AggFunc::kCount: {
+        std::vector<int64_t> counts(num_groups, 0);
+        for (uint64_t i = 0; i < values.size(); ++i) {
+          counts[grouping.group_ids[i]] += values[i] != 0 ? 1 : 0;
+        }
+        agg_columns.push_back(std::move(counts));
+        break;
+      }
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        agg_columns.push_back(
+            cs::GroupedSum(values, grouping.group_ids, num_groups));
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        std::vector<int64_t> extrema =
+            agg.func == AggFunc::kMin
+                ? cs::GroupedMin(values, grouping.group_ids, num_groups)
+                : cs::GroupedMax(values, grouping.group_ids, num_groups);
+        // SQL would return NULL for an empty group; both engines report 0
+        // so results stay comparable.
+        for (uint64_t g = 0; g < num_groups; ++g) {
+          if (result.group_counts[g] == 0) extrema[g] = 0;
+        }
+        agg_columns.push_back(std::move(extrema));
+        break;
+      }
+    }
+  }
+
+  // --- Materialize result rows --------------------------------------------
+  result.group_keys.resize(num_groups);
+  result.agg_values.resize(num_groups);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    if (!query.group_by.empty()) {
+      const uint64_t pos = grouping.first_row[g];
+      for (const auto& key_col : query.group_by) {
+        result.group_keys[g].push_back(
+            fact.column(key_col).Get(rows[pos]));
+      }
+    }
+    for (const auto& col : agg_columns) {
+      result.agg_values[g].push_back(col[g]);
+    }
+  }
+  result.SortByKeys();
+  return result;
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,29 @@
+// The classic bulk-processing engine — the paper's CPU-only MonetDB
+// baseline. Executes a QuerySpec with materializing bulk operators over
+// plain (non-decomposed) columns: selection chains on candidate lists,
+// invisible-join projections, hash grouping, grouped aggregation.
+
+#ifndef WASTENOT_CORE_CLASSIC_ENGINE_H_
+#define WASTENOT_CORE_CLASSIC_ENGINE_H_
+
+#include "columnstore/database.h"
+#include "core/query.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+struct ClassicOptions {
+  /// Threads for the selection scans (1 = the single-threaded stream of
+  /// the throughput experiment; >1 = intra-operator parallelism).
+  unsigned threads = 1;
+};
+
+/// Executes `query` on the CPU engine. The result is in canonical
+/// (key-sorted) order.
+StatusOr<QueryResult> ExecuteClassic(const QuerySpec& query,
+                                     const cs::Database& db,
+                                     const ClassicOptions& options = {});
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_CLASSIC_ENGINE_H_

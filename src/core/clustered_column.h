@@ -1,0 +1,100 @@
+// Radix-clustered bitwise-distributed storage — the physical layout of the
+// original BWD prototype (paper §II-A: "the values were (radix-)clustered
+// and prefix-compressed within a cluster"; §VI-C3 credits it for the
+// prototype's order-of-magnitude gains: clustered indices "improve
+// compression as well as access locality").
+//
+// Rows are reordered by approximation digit (a stable counting sort on the
+// major bits). Afterwards:
+//   * the device no longer stores per-row digits at all — just one offset
+//     per digit (the digit IS the cluster id): the approximation
+//     compresses from n·width bits to (#digits+1)·64 bits,
+//   * an approximate range selection is two binary searches over the
+//     offsets — O(log #digits) instead of a scan,
+//   * only the two *boundary* clusters of a range can contain false
+//     positives; every interior cluster is certain, so refinement touches
+//     at most 2·2^residual_bits rows regardless of selectivity,
+//   * the residual is stored in clustered order, making refinement access
+//     perfectly sequential (the locality §VI-C3 talks about).
+//
+// The price is the permutation: results come back as original tuple ids
+// via the stored row map (an invisible join), and multi-column queries
+// need either shared clustering or id-based re-alignment.
+
+#ifndef WASTENOT_CORE_CLUSTERED_COLUMN_H_
+#define WASTENOT_CORE_CLUSTERED_COLUMN_H_
+
+#include <vector>
+
+#include "bwd/bwd_column.h"
+#include "core/select.h"
+#include "columnstore/column.h"
+#include "core/candidates.h"
+#include "device/device.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// A radix-clustered, bitwise-distributed column.
+class ClusteredBwdColumn {
+ public:
+  /// Clusters `column` on its approximation digits under the decomposition
+  /// that `device_bits` requests, storing cluster offsets on the device
+  /// and clustered residuals on the host.
+  static StatusOr<ClusteredBwdColumn> Cluster(const cs::Column& column,
+                                              uint32_t device_bits,
+                                              device::Device* dev,
+                                              bwd::Compression compression =
+                                                  bwd::Compression::kBitPacked);
+
+  const bwd::DecompositionSpec& spec() const { return spec_; }
+  uint64_t size() const { return count_; }
+  uint64_t num_clusters() const { return num_digits_; }
+
+  /// Device bytes: the offsets table (the whole approximation!).
+  uint64_t device_bytes() const { return offsets_device_.size(); }
+  /// Host bytes: clustered residual + the row map.
+  uint64_t host_bytes() const {
+    return residual_.byte_size() + row_map_.size() * sizeof(cs::oid_t);
+  }
+
+  /// Original tuple id of clustered position `pos`.
+  cs::oid_t RowAt(uint64_t pos) const { return row_map_[pos]; }
+
+  /// Exact value at clustered position `pos` (digit from the cluster,
+  /// residual from host storage).
+  int64_t ReconstructAt(uint64_t pos) const;
+
+  /// Approximate selection: binary search over the device-resident
+  /// offsets. Candidates are the clustered positions [begin, end);
+  /// every position outside the two boundary clusters is certain.
+  struct ClusteredSelection {
+    uint64_t begin = 0;           ///< first candidate clustered position
+    uint64_t end = 0;             ///< one past the last
+    uint64_t certain_begin = 0;   ///< interior (certain) sub-range
+    uint64_t certain_end = 0;
+    uint64_t size() const { return end - begin; }
+    uint64_t num_certain() const {
+      return certain_end > certain_begin ? certain_end - certain_begin : 0;
+    }
+  };
+  ClusteredSelection SelectApproximate(const cs::RangePred& pred,
+                                       device::Device* dev) const;
+
+  /// Refinement: exact original-id result of the predicate. Touches the
+  /// residuals of the boundary clusters only.
+  cs::OidVec SelectRefine(const ClusteredSelection& sel,
+                          const cs::RangePred& pred) const;
+
+ private:
+  bwd::DecompositionSpec spec_;
+  uint64_t count_ = 0;
+  uint64_t num_digits_ = 0;
+  device::DeviceBuffer offsets_device_;  ///< uint64 per digit + sentinel
+  cs::OidVec row_map_;                   ///< clustered pos -> original id
+  bwd::PackedVector residual_;                ///< clustered order, host
+};
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_CLUSTERED_COLUMN_H_

@@ -1,0 +1,187 @@
+#include "core/group.h"
+
+#include <bit>
+#include <limits>
+
+#include "core/translucent_join.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace wastenot::core {
+
+namespace {
+
+/// Linear-probing 64-bit-key -> dense-group-id table (device stand-in for
+/// the massively parallel hash build; the cost model pays the conflicts).
+/// Grows (rehashes) beyond 50% load so unknown group cardinalities are safe.
+class DigitGroupTable {
+ public:
+  explicit DigitGroupTable(uint64_t expected) {
+    Rehash(std::bit_ceil(std::max<uint64_t>(expected * 2, 16)));
+  }
+
+  /// Returns the dense id of `key`; sets *fresh when the key was new.
+  uint32_t IdOf(uint64_t key, uint64_t* num_groups, bool* fresh) {
+    if ((entries_ + 1) * 2 > keys_.size()) Rehash(keys_.size() * 2);
+    uint64_t slot = Mix64(key) & mask_;
+    for (;;) {
+      if (keys_[slot] == kEmpty) {
+        keys_[slot] = key;
+        ids_[slot] = static_cast<uint32_t>((*num_groups)++);
+        ++entries_;
+        *fresh = true;
+        return ids_[slot];
+      }
+      if (keys_[slot] == key) {
+        *fresh = false;
+        return ids_[slot];
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+ private:
+  void Rehash(uint64_t cap) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_ids = std::move(ids_);
+    mask_ = cap - 1;
+    keys_.assign(cap, kEmpty);
+    ids_.assign(cap, 0);
+    for (uint64_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmpty) continue;
+      uint64_t slot = Mix64(old_keys[i]) & mask_;
+      while (keys_[slot] != kEmpty) slot = (slot + 1) & mask_;
+      keys_[slot] = old_keys[i];
+      ids_[slot] = old_ids[i];
+    }
+  }
+
+  static constexpr uint64_t kEmpty = std::numeric_limits<uint64_t>::max();
+  uint64_t mask_ = 0;
+  uint64_t entries_ = 0;
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> ids_;
+};
+
+void ChargeGroupKernel(const bwd::DecompositionSpec& spec, uint64_t n,
+                       uint64_t num_groups, bool candidates, bool chained,
+                       device::Device* dev) {
+  device::KernelSignature sig;
+  sig.op = "group_approximate";
+  sig.value_bits = spec.value_bits;
+  sig.packed_bits = spec.approximation_bits();
+  sig.prefix_base = spec.prefix_base;
+  sig.extra = std::string(candidates ? "cand" : "full") +
+              (chained ? "/derive" : "/new");
+  const uint64_t digit_bytes =
+      std::max<uint64_t>(bits::CeilDiv(spec.approximation_bits(), 8), 1);
+  dev->ChargeKernel(
+      sig,
+      {.elements = n,
+       .bytes_read = n * (digit_bytes + (candidates ? sizeof(cs::oid_t) : 0) +
+                          (chained ? sizeof(uint32_t) : 0)),
+       .bytes_written = n * sizeof(uint32_t),
+       .ops = 3 * n,
+       .distinct_write_targets = std::max<uint64_t>(num_groups, 1)});
+}
+
+}  // namespace
+
+ApproxGrouping GroupApproximate(const bwd::BwdColumn& column,
+                                const Candidates* cands,
+                                device::Device* dev) {
+  const bwd::PackedView view = column.approximation();
+  const uint64_t n = cands != nullptr ? cands->size() : column.size();
+
+  ApproxGrouping out;
+  out.group_ids.resize(n);
+  DigitGroupTable table(1024);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t row = cands != nullptr ? cands->ids[i] : i;
+    bool fresh = false;
+    out.group_ids[i] = table.IdOf(view.Get(row), &out.num_groups, &fresh);
+    if (fresh) out.first_positions.push_back(i);
+  }
+  ChargeGroupKernel(column.spec(), n, out.num_groups, cands != nullptr,
+                    /*chained=*/false, dev);
+  return out;
+}
+
+ApproxGrouping GroupApproximateSub(const bwd::BwdColumn& column,
+                                   const Candidates* cands,
+                                   const ApproxGrouping& prior,
+                                   device::Device* dev) {
+  const bwd::PackedView view = column.approximation();
+  const uint64_t n = prior.group_ids.size();
+
+  ApproxGrouping out;
+  out.group_ids.resize(n);
+  DigitGroupTable table(prior.num_groups * 4 + 16);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t row = cands != nullptr ? cands->ids[i] : i;
+    // Combine (prior group, digit); the mix decorrelates the halves.
+    const uint64_t key =
+        Mix64(static_cast<uint64_t>(prior.group_ids[i]) * 0x9e3779b97f4a7c15ULL ^
+              view.Get(row));
+    bool fresh = false;
+    out.group_ids[i] = table.IdOf(key, &out.num_groups, &fresh);
+    if (fresh) out.first_positions.push_back(i);
+  }
+  ChargeGroupKernel(column.spec(), n, out.num_groups, cands != nullptr,
+                    /*chained=*/true, dev);
+  return out;
+}
+
+StatusOr<RefinedGrouping> GroupRefine(
+    std::span<const bwd::BwdColumn* const> columns, const ApproxGrouping& pre,
+    const Candidates& cands, const cs::OidVec& refined_ids) {
+  // Step 1: translucent join — align the pre-grouping (aligned with the
+  // candidate list) with the refined subset.
+  WN_ASSIGN_OR_RETURN(
+      cs::OidVec positions,
+      TranslucentJoinPositionsAuto(
+          std::span<const cs::oid_t>(cands.ids.data(), cands.ids.size()),
+          std::span<const cs::oid_t>(refined_ids.data(), refined_ids.size())));
+
+  RefinedGrouping out;
+  const uint64_t n = refined_ids.size();
+  out.group_ids.resize(n);
+
+  bool any_residual = false;
+  for (const bwd::BwdColumn* col : columns) {
+    any_residual = any_residual || !col->spec().fully_resident();
+  }
+
+  if (!any_residual) {
+    // No residuals: pre-groups are exact; compact away emptied groups.
+    std::vector<uint32_t> remap(pre.num_groups,
+                                std::numeric_limits<uint32_t>::max());
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint32_t g = pre.group_ids[positions[i]];
+      if (remap[g] == std::numeric_limits<uint32_t>::max()) {
+        remap[g] = static_cast<uint32_t>(out.num_groups++);
+        out.first_ids.push_back(refined_ids[i]);
+      }
+      out.group_ids[i] = remap[g];
+    }
+    return out;
+  }
+
+  // Step 2: subgrouping — split each pre-group by the residual digits of
+  // every decomposed grouping column.
+  DigitGroupTable table(pre.num_groups * 4 + 16);
+  for (uint64_t i = 0; i < n; ++i) {
+    const cs::oid_t id = refined_ids[i];
+    uint64_t key = pre.group_ids[positions[i]];
+    for (const bwd::BwdColumn* col : columns) {
+      if (col->spec().fully_resident()) continue;
+      key = Mix64(key * 0x9e3779b97f4a7c15ULL ^ col->residual().Get(id));
+    }
+    bool fresh = false;
+    out.group_ids[i] = table.IdOf(key, &out.num_groups, &fresh);
+    if (fresh) out.first_ids.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace wastenot::core

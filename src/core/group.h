@@ -1,0 +1,69 @@
+// A&R grouping (paper §IV-E).
+//
+// The approximation pre-groups tuples by their approximate values with a
+// device hash table (conflicting atomic writes make this cheaper the more
+// groups there are — the Fig 8f effect, which the cost model captures via
+// distinct_write_targets). The output is positionally aligned with its
+// input. Multi-attribute grouping chains pre-groupings (MonetDB's
+// group.derive): each additional column subdivides the prior groups.
+//
+// The refinement (a) eliminates earlier operators' false positives with a
+// translucent join against the refined id set and (b) when grouping
+// columns have residual bits, subdivides each pre-group by the residual
+// digits (a subgrouping), yielding exact groups.
+
+#ifndef WASTENOT_CORE_GROUP_H_
+#define WASTENOT_CORE_GROUP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bwd/bwd_column.h"
+#include "core/candidates.h"
+#include "device/device.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// Device pre-grouping on approximate values, aligned with its input rows.
+struct ApproxGrouping {
+  std::vector<uint32_t> group_ids;  ///< aligned with the grouped input
+  uint64_t num_groups = 0;
+  /// Input position (index into the grouped row set) of the first member
+  /// of each group.
+  std::vector<uint64_t> first_positions;
+};
+
+/// Pre-groups all rows of `column` (cands == nullptr) or the candidate
+/// subset, by approximation digit, on the device.
+ApproxGrouping GroupApproximate(const bwd::BwdColumn& column,
+                                const Candidates* cands,
+                                device::Device* dev);
+
+/// Subdivides `prior` by `column`'s approximation digits (multi-attribute
+/// grouping). Input alignment must match `prior.group_ids`.
+ApproxGrouping GroupApproximateSub(const bwd::BwdColumn& column,
+                                   const Candidates* cands,
+                                   const ApproxGrouping& prior,
+                                   device::Device* dev);
+
+/// Exact grouping produced by refinement.
+struct RefinedGrouping {
+  std::vector<uint32_t> group_ids;  ///< aligned with the refined id set
+  uint64_t num_groups = 0;
+  cs::OidVec first_ids;  ///< a representative tuple id per group
+};
+
+/// Refines `pre` (aligned with `cands`) onto the refined id subset:
+/// translucent join to drop false positives, then subgrouping by the
+/// residual digits of every decomposed grouping column. `refined_ids` must
+/// be a subset of `cands.ids` in the same permutation; `columns` are the
+/// grouping columns that fed the pre-grouping, in order.
+StatusOr<RefinedGrouping> GroupRefine(
+    std::span<const bwd::BwdColumn* const> columns, const ApproxGrouping& pre,
+    const Candidates& cands, const cs::OidVec& refined_ids);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_GROUP_H_

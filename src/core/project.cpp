@@ -1,0 +1,131 @@
+#include "core/project.h"
+
+#include "util/bits.h"
+
+namespace wastenot::core {
+
+namespace {
+
+device::KernelSignature ProjectSignature(const bwd::DecompositionSpec& spec,
+                                         const char* variant) {
+  device::KernelSignature sig;
+  sig.op = "leftfetchjoin_approximate";
+  sig.value_bits = spec.value_bits;
+  sig.packed_bits = spec.approximation_bits();
+  sig.prefix_base = spec.prefix_base;
+  sig.extra = variant;
+  return sig;
+}
+
+}  // namespace
+
+ApproxValues ProjectApproximate(const bwd::BwdColumn& column,
+                                const Candidates& cands,
+                                device::Device* dev) {
+  const bwd::DecompositionSpec& spec = column.spec();
+  const bwd::PackedView view = column.approximation();
+  const uint64_t n = cands.size();
+
+  ApproxValues out;
+  out.error = spec.error();
+  out.lower.resize(n);
+  int64_t* lower = out.lower.data();
+  const cs::oid_t* ids = cands.ids.data();
+
+  dev->Launch(ProjectSignature(spec, "gather"),
+              {.elements = n,
+               .bytes_read =
+                   n * (sizeof(cs::oid_t) +
+                        std::max<uint64_t>(
+                            bits::CeilDiv(spec.approximation_bits(), 8), 1)),
+               .bytes_written = n * sizeof(int64_t),
+               .ops = n},
+              [&](uint64_t begin, uint64_t end) {
+                for (uint64_t i = begin; i < end; ++i) {
+                  lower[i] = spec.LowerBound(view.Get(ids[i]));
+                }
+              });
+  return out;
+}
+
+std::vector<int64_t> ProjectRefine(const bwd::BwdColumn& column,
+                                   const cs::OidVec& ids,
+                                   const ApproxValues* approx_aligned) {
+  std::vector<int64_t> out(ids.size());
+  const bwd::PackedVector& residual = column.residual();
+  if (approx_aligned != nullptr) {
+    // Translucent/invisible join of the approximation output with the
+    // residual: the aligned lower bounds plus residual digits reassemble
+    // the exact values.
+    for (uint64_t i = 0; i < ids.size(); ++i) {
+      out[i] = approx_aligned->lower[i] +
+               static_cast<int64_t>(residual.Get(ids[i]));
+    }
+  } else {
+    for (uint64_t i = 0; i < ids.size(); ++i) {
+      out[i] = column.Reconstruct(ids[i]);
+    }
+  }
+  return out;
+}
+
+StatusOr<ApproxValues> FkJoinApproximate(const bwd::BwdColumn& fk,
+                                         const bwd::BwdColumn& dim_attribute,
+                                         const Candidates& cands,
+                                         device::Device* dev) {
+  if (!fk.spec().fully_resident()) {
+    return Status::Unsupported(
+        "FK join requires a fully device-resident fk column (got " +
+        fk.spec().ToString() + ")");
+  }
+  const bwd::DecompositionSpec& fk_spec = fk.spec();
+  const bwd::DecompositionSpec& attr_spec = dim_attribute.spec();
+  const bwd::PackedView fk_view = fk.approximation();
+  const bwd::PackedView attr_view = dim_attribute.approximation();
+  const uint64_t n = cands.size();
+
+  ApproxValues out;
+  out.error = attr_spec.error();
+  out.lower.resize(n);
+  int64_t* lower = out.lower.data();
+  const cs::oid_t* ids = cands.ids.data();
+
+  device::KernelSignature sig = ProjectSignature(attr_spec, "fkjoin");
+  dev->Launch(sig,
+              {.elements = n,
+               .bytes_read =
+                   n * (sizeof(cs::oid_t) +
+                        std::max<uint64_t>(
+                            bits::CeilDiv(fk_spec.approximation_bits(), 8), 1) +
+                        std::max<uint64_t>(
+                            bits::CeilDiv(attr_spec.approximation_bits(), 8),
+                            1)),
+               .bytes_written = n * sizeof(int64_t),
+               .ops = 2 * n},
+              [&](uint64_t begin, uint64_t end) {
+                for (uint64_t i = begin; i < end; ++i) {
+                  // fk is fully resident: the gathered value is exact.
+                  const uint64_t dim_oid = static_cast<uint64_t>(
+                      fk_spec.Reassemble(fk_view.Get(ids[i]), 0));
+                  lower[i] = attr_spec.LowerBound(attr_view.Get(dim_oid));
+                }
+              });
+  return out;
+}
+
+StatusOr<std::vector<int64_t>> FkJoinRefine(const bwd::BwdColumn& fk,
+                                            const bwd::BwdColumn& dim_attribute,
+                                            const cs::OidVec& ids) {
+  if (!fk.spec().fully_resident()) {
+    return Status::Unsupported("FK join requires a fully resident fk column");
+  }
+  std::vector<int64_t> out(ids.size());
+  for (uint64_t i = 0; i < ids.size(); ++i) {
+    const uint64_t dim_oid =
+        static_cast<uint64_t>(fk.Reconstruct(ids[i]));
+    out[i] = dim_attribute.Reconstruct(dim_oid);
+  }
+  return out;
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,60 @@
+// A&R projection (paper §IV-C) and foreign-key join (paper §IV-D).
+//
+// Projection approximation = an invisible join (positional gather) of the
+// candidate id set against the device-resident approximation digits. When
+// all bits of the target are device-resident, the result is already exact
+// and no refinement is needed. Otherwise the refinement joins the
+// approximation output with the host residual (a translucent — in practice
+// invisible — join) to reconstruct exact values.
+//
+// FK joins with a pre-built index are equivalent to projective joins and
+// share this code (paper: "With a pre-built hashtable, a foreign-key join
+// is equivalent to a projective join... they share the same code"). The
+// fk column maps fact rows to dimension oids; a projection *through* the
+// fk column gathers dimension-attribute approximations for fact
+// candidates.
+
+#ifndef WASTENOT_CORE_PROJECT_H_
+#define WASTENOT_CORE_PROJECT_H_
+
+#include <vector>
+
+#include "bwd/bwd_column.h"
+#include "columnstore/column.h"
+#include "core/candidates.h"
+#include "device/device.h"
+
+namespace wastenot::core {
+
+/// Device-side gather of approximation digits at the candidate ids;
+/// returns lower-bound values aligned with `cands`.
+ApproxValues ProjectApproximate(const bwd::BwdColumn& column,
+                                const Candidates& cands,
+                                device::Device* dev);
+
+/// Refinement: exact values at `ids`, reconstructed from the (cached)
+/// approximation and the residual. `approx_aligned`, when given, must be
+/// aligned with `ids` and saves re-reading the approximation.
+std::vector<int64_t> ProjectRefine(const bwd::BwdColumn& column,
+                                   const cs::OidVec& ids,
+                                   const ApproxValues* approx_aligned = nullptr);
+
+/// FK-join approximation: gathers `dim_attribute` approximations for the
+/// fact candidates through the fully-resident fk column:
+/// out[i] = approx(dim_attribute[fk[cands.ids[i]]]).
+/// Requires the fk column to be fully device-resident (join keys are never
+/// decomposed; approximate keys would make the positional gather
+/// ill-defined — see DESIGN.md).
+StatusOr<ApproxValues> FkJoinApproximate(const bwd::BwdColumn& fk,
+                                         const bwd::BwdColumn& dim_attribute,
+                                         const Candidates& cands,
+                                         device::Device* dev);
+
+/// FK-join refinement: exact dimension-attribute values for fact `ids`.
+StatusOr<std::vector<int64_t>> FkJoinRefine(const bwd::BwdColumn& fk,
+                                            const bwd::BwdColumn& dim_attribute,
+                                            const cs::OidVec& ids);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_PROJECT_H_

@@ -1,0 +1,83 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace wastenot::core {
+
+void QueryResult::SortByKeys() {
+  const uint64_t n = group_keys.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return group_keys[a] < group_keys[b];
+  });
+  auto permute = [&](auto& v) {
+    using V = std::remove_reference_t<decltype(v)>;
+    V out;
+    out.reserve(v.size());
+    for (uint32_t idx : order) out.push_back(std::move(v[idx]));
+    v = std::move(out);
+  };
+  permute(group_keys);
+  permute(agg_values);
+  if (!group_counts.empty()) permute(group_counts);
+}
+
+std::string QueryResult::ToString(const std::vector<Aggregate>& aggs) const {
+  std::ostringstream os;
+  for (const auto& k : key_names) os << k << "\t";
+  for (const auto& a : agg_labels) os << a << "\t";
+  os << "\n";
+  for (uint64_t g = 0; g < group_keys.size(); ++g) {
+    for (int64_t k : group_keys[g]) os << k << "\t";
+    for (uint64_t a = 0; a < agg_values[g].size(); ++a) {
+      const Aggregate& spec = aggs[a];
+      double v = static_cast<double>(agg_values[g][a]);
+      if (spec.func == AggFunc::kAvg && !group_counts.empty() &&
+          group_counts[g] > 0) {
+        v /= static_cast<double>(group_counts[g]);
+      }
+      v /= spec.display_scale;
+      os << v << "\t";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool ApproximateAnswer::exact() const {
+  for (const auto& group : agg_bounds) {
+    for (const auto& b : group) {
+      if (!b.IsExact()) return false;
+    }
+  }
+  for (const auto& group : key_bounds) {
+    for (const auto& b : group) {
+      if (!b.IsExact()) return false;
+    }
+  }
+  return row_count.IsExact();
+}
+
+std::string ApproximateAnswer::ToString(
+    const std::vector<std::string>& key_names,
+    const std::vector<Aggregate>& aggs) const {
+  std::ostringstream os;
+  os << "approximate answer (" << num_groups() << " groups, rows in "
+     << row_count.ToString() << ")\n";
+  for (uint64_t g = 0; g < key_bounds.size(); ++g) {
+    os << "  ";
+    for (uint64_t k = 0; k < key_bounds[g].size(); ++k) {
+      os << key_names[k] << "=" << key_bounds[g][k].ToString() << " ";
+    }
+    for (uint64_t a = 0; a < agg_bounds[g].size(); ++a) {
+      os << aggs[a].label << "=" << agg_bounds[g][a].ToString() << " ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,155 @@
+// QuerySpec: the declarative query fragment both engines execute.
+//
+// It covers the relational shape of every query in the paper's
+// evaluation — conjunctive range selections, an optional foreign-key join
+// to a dimension table, multi-attribute grouping, and aggregates over
+// products of (affine transforms of) columns, optionally gated by a
+// dimension predicate (TPC-H Q1, Q6, Q14; the spatial range count;
+// the microbenchmark shapes).
+//
+// Values are fixed-point integers throughout (dates are day numbers,
+// decimals are scaled, strings are ordered-dictionary codes), which is
+// both what MonetDB does internally and what bitwise decomposition
+// requires. `display_scale` records the fixed-point denominator for
+// rendering only.
+
+#ifndef WASTENOT_CORE_QUERY_H_
+#define WASTENOT_CORE_QUERY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "columnstore/table.h"
+#include "columnstore/types.h"
+#include "core/bounds.h"
+
+namespace wastenot::core {
+
+/// A conjunct: column `column` must lie in `range`.
+struct Predicate {
+  std::string column;
+  cs::RangePred range;
+};
+
+/// One multiplicative term of an aggregate expression: (offset + sign·col).
+/// `from_dimension` marks columns of the joined dimension table.
+struct Term {
+  std::string column;
+  int64_t offset = 0;
+  int sign = +1;
+  bool from_dimension = false;
+
+  static Term Col(std::string column) { return Term{std::move(column), 0, +1, false}; }
+  static Term OneMinus(std::string column, int64_t one) {
+    return Term{std::move(column), one, -1, false};
+  }
+  static Term OnePlus(std::string column, int64_t one) {
+    return Term{std::move(column), one, +1, false};
+  }
+};
+
+/// CASE WHEN <dim_column in range> THEN <expr> ELSE 0 — the Q14 indicator.
+struct CaseFilter {
+  std::string dim_column;
+  cs::RangePred range;
+};
+
+/// Aggregate functions supported by both engines.
+enum class AggFunc : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+/// One aggregate: func(constant · Π terms) [ FILTER (case filter) ].
+struct Aggregate {
+  AggFunc func = AggFunc::kSum;
+  int64_t constant = 1;
+  std::vector<Term> terms;  ///< empty for count(*)
+  std::optional<CaseFilter> filter;
+  std::string label;
+  double display_scale = 1.0;
+
+  static Aggregate CountStar(std::string label) {
+    Aggregate a;
+    a.func = AggFunc::kCount;
+    a.label = std::move(label);
+    return a;
+  }
+  static Aggregate SumOf(std::string column, std::string label,
+                         double scale = 1.0) {
+    Aggregate a;
+    a.func = AggFunc::kSum;
+    a.terms = {Term::Col(std::move(column))};
+    a.label = std::move(label);
+    a.display_scale = scale;
+    return a;
+  }
+};
+
+/// Foreign-key join: fact.fk_column references dimension row ids
+/// (dimension primary keys are dense, so the pre-built FK index is the
+/// identity — the paper's "pre-built hashtable in the form of a
+/// foreign-key index" reduces to a positional gather).
+struct JoinSpec {
+  std::string fk_column;
+  std::string dim_table;
+  /// Offset between fk values and dimension oids (TPC-H keys start at 1).
+  int64_t fk_base = 0;
+};
+
+/// The query.
+struct QuerySpec {
+  std::string table;
+  std::vector<Predicate> predicates;
+  std::optional<JoinSpec> join;
+  std::vector<std::string> group_by;
+  std::vector<Aggregate> aggregates;
+  std::string name;  ///< for reports ("TPC-H Q6", ...)
+};
+
+/// One engine-agnostic result table: one row per group, canonical order.
+struct QueryResult {
+  std::vector<std::string> key_names;
+  std::vector<std::string> agg_labels;
+  std::vector<std::vector<int64_t>> group_keys;  ///< [group][key idx]
+  std::vector<std::vector<int64_t>> agg_values;  ///< [group][agg idx]
+  /// For avg aggregates, values hold the *sum*; counts divide at render
+  /// time so both engines stay exactly comparable in integer space.
+  std::vector<int64_t> group_counts;
+  uint64_t selected_rows = 0;
+
+  uint64_t num_groups() const { return group_keys.size(); }
+
+  /// Sorts groups lexicographically by key tuple (canonical order for
+  /// engine-vs-engine comparison).
+  void SortByKeys();
+
+  /// Renders an aligned text table (display_scales applied to averages
+  /// and fixed-point sums).
+  std::string ToString(const std::vector<Aggregate>& aggs) const;
+
+  bool operator==(const QueryResult& other) const {
+    return group_keys == other.group_keys && agg_values == other.agg_values &&
+           group_counts == other.group_counts;
+  }
+};
+
+/// An approximate answer: the output of the approximation subplan alone
+/// (paper §III advantage 4 — available before any refinement work).
+struct ApproximateAnswer {
+  std::vector<std::vector<ValueBounds>> key_bounds;  ///< [group][key idx]
+  std::vector<std::vector<ValueBounds>> agg_bounds;  ///< [group][agg idx]
+  ValueBounds row_count{0, 0};
+
+  uint64_t num_groups() const { return key_bounds.size(); }
+
+  /// True when every interval is a point (the approximation is exact —
+  /// the all-device-resident fast path).
+  bool exact() const;
+
+  std::string ToString(const std::vector<std::string>& key_names,
+                       const std::vector<Aggregate>& aggs) const;
+};
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_QUERY_H_

@@ -1,0 +1,272 @@
+#include "core/select.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace wastenot::core {
+
+using bwd::DecompositionSpec;
+
+RelaxedPred RelaxPredicate(const DecompositionSpec& spec,
+                           const cs::RangePred& pred) {
+  RelaxedPred out;
+  const uint64_t max_reb = bits::LowMask(spec.value_bits);
+  const uint32_t res = spec.residual_bits;
+  const int64_t domain_lo = spec.prefix_base;
+  // Guarded 128-bit domain top avoids overflow for wide specs.
+  const __int128 domain_hi =
+      static_cast<__int128>(spec.prefix_base) + static_cast<__int128>(max_reb);
+
+  if (pred.Empty() || pred.hi < domain_lo ||
+      static_cast<__int128>(pred.lo) > domain_hi) {
+    out.none = true;
+    return out;
+  }
+
+  const uint64_t max_digit = max_reb >> res;
+  // Candidate digit range: f(x) of §IV-B. '>= lo' relaxes to digits whose
+  // interval can still contain lo; '<= hi' symmetrically.
+  out.lo_digit =
+      pred.lo <= domain_lo ? 0 : (spec.Rebase(pred.lo) >> res);
+  out.hi_digit = static_cast<__int128>(pred.hi) >= domain_hi
+                     ? max_digit
+                     : (spec.Rebase(pred.hi) >> res);
+
+  // Certainty range: digits whose whole interval lies inside [lo, hi].
+  const uint64_t step = uint64_t{1} << std::min(res, 63u);
+  uint64_t certain_lo;
+  if (pred.lo <= domain_lo) {
+    certain_lo = 0;
+  } else {
+    certain_lo = bits::CeilDiv(spec.Rebase(pred.lo), step);
+  }
+  uint64_t certain_hi;
+  bool certain_empty = false;
+  if (static_cast<__int128>(pred.hi) >= domain_hi) {
+    certain_hi = max_digit;
+  } else {
+    const uint64_t reb_hi = spec.Rebase(pred.hi);
+    const uint64_t err = spec.error();
+    if (reb_hi >= err) {
+      certain_hi = (reb_hi - err) >> res;
+    } else {
+      certain_empty = true;
+      certain_hi = 0;
+    }
+  }
+  if (certain_empty || certain_lo > certain_hi) {
+    out.certain_lo = 1;
+    out.certain_hi = 0;
+  } else {
+    out.certain_lo = certain_lo;
+    out.certain_hi = certain_hi;
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared emit-and-concatenate machinery for the two selection kernels.
+struct ChunkOut {
+  cs::OidVec ids;
+  std::vector<int64_t> lower;
+  std::vector<uint8_t> certain;
+  cs::OidVec positions;
+  uint64_t num_certain = 0;
+};
+
+ApproxSelection Concatenate(std::vector<ChunkOut> chunks, bool with_positions,
+                            uint64_t error) {
+  ApproxSelection out;
+  uint64_t total = 0;
+  for (const auto& c : chunks) total += c.ids.size();
+  out.cands.ids.reserve(total);
+  out.values.lower.reserve(total);
+  out.certain.reserve(total);
+  if (with_positions) out.kept_positions.reserve(total);
+  for (auto& c : chunks) {
+    out.cands.ids.insert(out.cands.ids.end(), c.ids.begin(), c.ids.end());
+    out.values.lower.insert(out.values.lower.end(), c.lower.begin(),
+                            c.lower.end());
+    out.certain.insert(out.certain.end(), c.certain.begin(), c.certain.end());
+    if (with_positions) {
+      out.kept_positions.insert(out.kept_positions.end(), c.positions.begin(),
+                                c.positions.end());
+    }
+    out.num_certain += c.num_certain;
+  }
+  out.values.error = error;
+  return out;
+}
+
+device::KernelSignature SelectSignature(const DecompositionSpec& spec,
+                                        const char* variant) {
+  device::KernelSignature sig;
+  sig.op = "uselect_approximate";
+  sig.value_bits = spec.value_bits;
+  sig.packed_bits = spec.approximation_bits();
+  sig.prefix_base = spec.prefix_base;
+  sig.extra = variant;
+  return sig;
+}
+
+}  // namespace
+
+ApproxSelection SelectApproximate(const bwd::BwdColumn& column,
+                                  const cs::RangePred& pred,
+                                  device::Device* dev) {
+  const DecompositionSpec& spec = column.spec();
+  const RelaxedPred relaxed = RelaxPredicate(spec, pred);
+  const bwd::PackedView view = column.approximation();
+  const uint64_t n = view.size();
+
+  if (relaxed.none) {
+    dev->ChargeKernel(SelectSignature(spec, "range/full"),
+                      {.elements = 0, .bytes_read = 0, .bytes_written = 0});
+    ApproxSelection empty;
+    empty.values.error = spec.error();
+    return empty;
+  }
+
+  // One chunk per 64-element-aligned slice; concatenation in chunk order
+  // keeps the output ascending (sorted) for a full scan.
+  const uint64_t chunk_elems = 1u << 16;
+  const uint64_t num_chunks = n == 0 ? 0 : bits::CeilDiv(n, chunk_elems);
+  std::vector<ChunkOut> chunks(num_chunks);
+  dev->Run(num_chunks, [&](uint64_t cb, uint64_t ce) {
+    for (uint64_t c = cb; c < ce; ++c) {
+      const uint64_t begin = c * chunk_elems;
+      const uint64_t end = std::min(n, begin + chunk_elems);
+      ChunkOut& out = chunks[c];
+      for (uint64_t i = begin; i < end; ++i) {
+        const uint64_t digit = view.Get(i);
+        if (relaxed.Matches(digit)) {
+          out.ids.push_back(static_cast<cs::oid_t>(i));
+          out.lower.push_back(spec.LowerBound(digit));
+          const bool certain = relaxed.Certain(digit);
+          out.certain.push_back(certain ? 1 : 0);
+          out.num_certain += certain;
+        }
+      }
+    }
+  });
+
+  ApproxSelection result = Concatenate(std::move(chunks), false, spec.error());
+  result.cands.sorted = true;
+
+  const uint64_t out_bytes =
+      result.cands.size() *
+      (sizeof(cs::oid_t) + bits::CeilDiv(spec.approximation_bits(), 8) + 1);
+  dev->ChargeKernel(SelectSignature(spec, "range/full"),
+                    {.elements = n,
+                     .bytes_read = view.byte_size(),
+                     .bytes_written = out_bytes,
+                     .ops = 2 * n});
+  return result;
+}
+
+ApproxSelection SelectApproximateOn(const bwd::BwdColumn& column,
+                                    const cs::RangePred& pred,
+                                    const Candidates& in,
+                                    device::Device* dev) {
+  const DecompositionSpec& spec = column.spec();
+  const RelaxedPred relaxed = RelaxPredicate(spec, pred);
+  const bwd::PackedView view = column.approximation();
+  const uint64_t n = in.size();
+
+  if (relaxed.none) {
+    dev->ChargeKernel(SelectSignature(spec, "range/cand"),
+                      {.elements = 0, .bytes_read = 0, .bytes_written = 0});
+    ApproxSelection empty;
+    empty.values.error = spec.error();
+    return empty;
+  }
+
+  const uint64_t chunk_elems = 1u << 16;
+  const uint64_t num_chunks = n == 0 ? 0 : bits::CeilDiv(n, chunk_elems);
+  std::vector<ChunkOut> chunks(num_chunks);
+  dev->Run(num_chunks, [&](uint64_t cb, uint64_t ce) {
+    for (uint64_t c = cb; c < ce; ++c) {
+      const uint64_t begin = c * chunk_elems;
+      const uint64_t end = std::min(n, begin + chunk_elems);
+      ChunkOut& out = chunks[c];
+      for (uint64_t i = begin; i < end; ++i) {
+        const cs::oid_t id = in.ids[i];
+        const uint64_t digit = view.Get(id);
+        if (relaxed.Matches(digit)) {
+          out.ids.push_back(id);
+          out.positions.push_back(static_cast<cs::oid_t>(i));
+          out.lower.push_back(spec.LowerBound(digit));
+          const bool certain = relaxed.Certain(digit);
+          out.certain.push_back(certain ? 1 : 0);
+          out.num_certain += certain;
+        }
+      }
+    }
+  });
+
+  ApproxSelection result = Concatenate(std::move(chunks), true, spec.error());
+  result.cands.sorted = in.sorted;  // gather preserves the input permutation
+
+  const uint64_t gathered_bytes =
+      n * std::max<uint64_t>(bits::CeilDiv(spec.approximation_bits(), 8), 1) +
+      n * sizeof(cs::oid_t);
+  const uint64_t out_bytes =
+      result.cands.size() *
+      (sizeof(cs::oid_t) + bits::CeilDiv(spec.approximation_bits(), 8) + 1);
+  dev->ChargeKernel(SelectSignature(spec, "range/cand"),
+                    {.elements = n,
+                     .bytes_read = gathered_bytes,
+                     .bytes_written = out_bytes,
+                     .ops = 2 * n});
+  return result;
+}
+
+RefinedSelection SelectRefine(const Candidates& cands,
+                              std::span<const PredicateRefinement> conjuncts,
+                              bool keep_values) {
+  RefinedSelection out;
+  const uint64_t n = cands.size();
+  out.ids.reserve(n);
+  out.positions.reserve(n);
+  if (keep_values) {
+    out.exact_values.resize(conjuncts.size());
+    for (auto& v : out.exact_values) v.reserve(n);
+  }
+  std::vector<int64_t> row_values(conjuncts.size());
+
+  // Algorithm 2, fused over every conjunct: reconstruct by bitwise
+  // concatenation (lower-bound value + residual digit) and re-check the
+  // precise predicates. The residual access is an invisible join (the
+  // persistent residual is dense); the candidate order is preserved.
+  for (uint64_t i = 0; i < n; ++i) {
+    const cs::oid_t id = cands.ids[i];
+    bool pass = true;
+    for (uint64_t c = 0; c < conjuncts.size(); ++c) {
+      const PredicateRefinement& conj = conjuncts[c];
+      const int64_t lower = conj.approx != nullptr
+                                ? conj.approx->lower[i]
+                                : conj.column->ApproxLowerBound(id);
+      const int64_t exact =
+          lower + static_cast<int64_t>(conj.column->residual().Get(id));
+      row_values[c] = exact;
+      if (!conj.pred.Contains(exact)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      out.ids.push_back(id);
+      out.positions.push_back(static_cast<cs::oid_t>(i));
+      if (keep_values) {
+        for (uint64_t c = 0; c < conjuncts.size(); ++c) {
+          out.exact_values[c].push_back(row_values[c]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,103 @@
+// A&R selection (paper §IV-B).
+//
+// The approximation relaxes the predicate so that every value whose
+// approximation matches a matching value's approximation qualifies — the
+// f(x) table of the paper, which in the packed digit domain collapses to
+// inclusive digit-range comparison — and scans the device-resident packed
+// approximation. The result is a candidate id superset plus, per
+// candidate, the approximate value (lower bound) and a *certainty* flag
+// (the whole approximation interval satisfies the precise predicate; used
+// for approximate-answer bounds and min/max error propagation, Fig 6).
+//
+// The refinement (Algorithm 2) joins candidates with the residual
+// (an invisible join on the persistent, dense residual), reconstructs the
+// exact value by bitwise concatenation, and re-evaluates the precise
+// predicate — all in one fused loop.
+
+#ifndef WASTENOT_CORE_SELECT_H_
+#define WASTENOT_CORE_SELECT_H_
+
+#include <span>
+#include <vector>
+
+#include "bwd/bwd_column.h"
+#include "columnstore/types.h"
+#include "core/candidates.h"
+#include "device/device.h"
+
+namespace wastenot::core {
+
+/// A predicate translated into the packed-digit domain of a decomposition.
+struct RelaxedPred {
+  uint64_t lo_digit = 0;       ///< smallest candidate digit
+  uint64_t hi_digit = 0;       ///< largest candidate digit (inclusive)
+  uint64_t certain_lo = 1;     ///< digits in [certain_lo, certain_hi] are
+  uint64_t certain_hi = 0;     ///< certain matches (empty when lo > hi)
+  bool none = false;           ///< predicate selects nothing
+
+  bool Matches(uint64_t digit) const {
+    return !none && digit >= lo_digit && digit <= hi_digit;
+  }
+  bool Certain(uint64_t digit) const {
+    return digit >= certain_lo && digit <= certain_hi;
+  }
+};
+
+/// Relaxes an exact value predicate into digit space (f(x) of §IV-B).
+/// Guarantees the superset property: any value satisfying `pred` has a
+/// digit within the relaxed range.
+RelaxedPred RelaxPredicate(const bwd::DecompositionSpec& spec,
+                           const cs::RangePred& pred);
+
+/// Output of an approximate selection.
+struct ApproxSelection {
+  Candidates cands;              ///< candidate ids (superset of exact)
+  ApproxValues values;           ///< this column's approximations, aligned
+  std::vector<uint8_t> certain;  ///< 1 = certainly satisfies the predicate
+  uint64_t num_certain = 0;
+  /// For chained selections: position of each surviving candidate within
+  /// the *input* candidate list, so callers can compact other aligned
+  /// payloads. Empty for a full-column scan.
+  cs::OidVec kept_positions;
+};
+
+/// Full-column approximate selection on the device.
+ApproxSelection SelectApproximate(const bwd::BwdColumn& column,
+                                  const cs::RangePred& pred,
+                                  device::Device* dev);
+
+/// Chained approximate selection restricted to `in` (device gather +
+/// filter). Produces kept_positions into `in`.
+ApproxSelection SelectApproximateOn(const bwd::BwdColumn& column,
+                                    const cs::RangePred& pred,
+                                    const Candidates& in,
+                                    device::Device* dev);
+
+/// One conjunct of a fused refinement.
+struct PredicateRefinement {
+  const bwd::BwdColumn* column = nullptr;
+  cs::RangePred pred;
+  /// This column's approximations aligned with the candidate list (the
+  /// approximation operator's downloaded output). May be null: the refine
+  /// then reads the column's cached approximation digits by id.
+  const ApproxValues* approx = nullptr;
+};
+
+/// Output of a (fused) selection refinement.
+struct RefinedSelection {
+  cs::OidVec ids;        ///< exact result ids, in candidate order
+  cs::OidVec positions;  ///< index of each result row in the candidate list
+  /// Exact values of each refined conjunct column (aligned with ids), in
+  /// the order the conjuncts were given; filled when requested.
+  std::vector<std::vector<int64_t>> exact_values;
+};
+
+/// Algorithm 2, fused over all conjuncts: one pass over the candidates,
+/// reconstructing exact values and re-evaluating every precise predicate.
+RefinedSelection SelectRefine(const Candidates& cands,
+                              std::span<const PredicateRefinement> conjuncts,
+                              bool keep_values = false);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_SELECT_H_

@@ -1,0 +1,46 @@
+// The "GPU streaming" engine — the state-of-the-art comparison point of
+// paper §VI-A: a system that ships raw input columns to the device on
+// demand (caching them LRU), processes them there, and ships results back.
+//
+// The paper could not find a mature streaming GPU DBMS to measure and
+// reports the hypothetical minimum (the PCI-E push) instead. This engine
+// makes the comparison executable: results are computed exactly (by the
+// bulk operators) while the device/bus clocks are charged what a streaming
+// system would pay — full-width column transfers on every cache miss and
+// raw-width kernel scans. Its defining failure mode is reproduced: once
+// the hot set exceeds device memory, LRU thrashing re-transfers every
+// input on every query (the Fig 9 worst case).
+
+#ifndef WASTENOT_CORE_STREAMING_ENGINE_H_
+#define WASTENOT_CORE_STREAMING_ENGINE_H_
+
+#include "columnstore/database.h"
+#include "core/ar_engine.h"
+#include "core/query.h"
+#include "device/residency_cache.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// Outcome of a streaming execution.
+struct StreamingExecution {
+  QueryResult result;           ///< exact, canonical order
+  ExecutionBreakdown breakdown; ///< device kernels + PCI transfers
+  uint64_t bytes_transferred = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+/// Executes `query` in streaming mode: inputs are pinned into `cache`
+/// (uploading on miss), kernels are charged at raw column width, the
+/// result is exact. The cache persists across calls — repeated queries on
+/// a device-resident hot set become transfer-free, oversized hot sets
+/// thrash.
+StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
+                                              const cs::Database& db,
+                                              device::Device* dev,
+                                              device::ResidencyCache* cache);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_STREAMING_ENGINE_H_

@@ -1,0 +1,74 @@
+#include "core/string_select.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wastenot::core {
+
+int64_t StringPrefixCode(std::string_view s, uint32_t k) {
+  assert(k >= 1 && k <= 7);
+  uint64_t code = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint8_t byte =
+        i < s.size() ? static_cast<uint8_t>(s[i]) : uint8_t{0};
+    code = (code << 8) | byte;
+  }
+  return static_cast<int64_t>(code);
+}
+
+cs::RangePred StringPrefixRange(std::string_view prefix, uint32_t k) {
+  const uint32_t m = std::min<uint32_t>(static_cast<uint32_t>(prefix.size()), k);
+  uint64_t lo = 0, hi = 0;
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint8_t lo_byte =
+        i < m ? static_cast<uint8_t>(prefix[i]) : uint8_t{0};
+    const uint8_t hi_byte =
+        i < m ? static_cast<uint8_t>(prefix[i]) : uint8_t{0xFF};
+    lo = (lo << 8) | lo_byte;
+    hi = (hi << 8) | hi_byte;
+  }
+  return cs::RangePred{static_cast<int64_t>(lo), static_cast<int64_t>(hi)};
+}
+
+cs::Column BuildPrefixCodeColumn(std::span<const std::string> strings,
+                                 uint32_t k) {
+  cs::Column col(cs::ValueType::kInt64, strings.size());
+  auto out = col.MutableI64();
+  for (uint64_t i = 0; i < strings.size(); ++i) {
+    out[i] = StringPrefixCode(strings[i], k);
+  }
+  col.ComputeStats();
+  return col;
+}
+
+StringApproxSelection StringPrefixSelectApproximate(
+    const bwd::BwdColumn& prefix_codes, std::string_view prefix, uint32_t k,
+    device::Device* dev) {
+  StringApproxSelection out;
+  const cs::RangePred range = StringPrefixRange(prefix, k);
+  out.inner = SelectApproximate(prefix_codes, range, dev);
+  // Exact when the pattern fits within the coded prefix (the code range
+  // then characterizes the predicate precisely) and every candidate is
+  // certain w.r.t. the code decomposition.
+  out.exact = prefix.size() <= k &&
+              out.inner.num_certain == out.inner.cands.size();
+  return out;
+}
+
+cs::OidVec StringPrefixSelectRefine(const StringApproxSelection& approx,
+                                    std::span<const std::string> strings,
+                                    std::string_view prefix) {
+  if (approx.exact) return approx.inner.cands.ids;
+  cs::OidVec out;
+  out.reserve(approx.inner.cands.size());
+  for (cs::oid_t id : approx.inner.cands.ids) {
+    const std::string& s = strings[id];
+    if (s.size() >= prefix.size() &&
+        std::equal(prefix.begin(), prefix.end(), s.begin())) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace wastenot::core

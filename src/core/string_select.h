@@ -1,0 +1,64 @@
+// String-prefix approximation (paper §VII-B, implemented future work).
+//
+// "In particular string processing on GPUs is still an open problem due to
+//  the variable length of string attributes. We believe that our approach
+//  can help to solve this problem by approximating variable length strings
+//  with a fixed length prefix."
+//
+// A variable-length string column is approximated by an order-preserving
+// fixed-width prefix code (its first K bytes, big-endian) that lives on
+// the device — possibly bitwise-decomposed like any other column — while
+// the full strings stay host-resident as the "residual". A LIKE 'p%'
+// predicate becomes a code-range selection on the device:
+//   * pattern length <= K: the range is exact (every candidate matches),
+//   * pattern length  > K: candidates share the K-byte prefix and the
+//     refinement compares full strings on the host.
+
+#ifndef WASTENOT_CORE_STRING_SELECT_H_
+#define WASTENOT_CORE_STRING_SELECT_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bwd/bwd_column.h"
+#include "columnstore/column.h"
+#include "core/select.h"
+#include "device/device.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// Order-preserving code of the first `k` bytes of `s` (big-endian,
+/// zero-padded). k in [1, 7] so codes fit comfortably in int64.
+int64_t StringPrefixCode(std::string_view s, uint32_t k);
+
+/// The inclusive code range of all strings starting with `prefix`
+/// (clipped to the first `k` bytes).
+cs::RangePred StringPrefixRange(std::string_view prefix, uint32_t k);
+
+/// Builds the int64 prefix-code column for a host string collection.
+cs::Column BuildPrefixCodeColumn(std::span<const std::string> strings,
+                                 uint32_t k);
+
+/// Approximate LIKE 'prefix%' on the device-resident prefix codes.
+struct StringApproxSelection {
+  ApproxSelection inner;  ///< candidates from the code-range selection
+  /// True when every candidate provably matches (pattern fits the code
+  /// and the code column carries no residual error): refinement may skip
+  /// the host string comparison.
+  bool exact = false;
+};
+StringApproxSelection StringPrefixSelectApproximate(
+    const bwd::BwdColumn& prefix_codes, std::string_view prefix, uint32_t k,
+    device::Device* dev);
+
+/// Refinement: the exact LIKE result, comparing host-resident strings for
+/// candidates the approximation could not certify.
+cs::OidVec StringPrefixSelectRefine(const StringApproxSelection& approx,
+                                    std::span<const std::string> strings,
+                                    std::string_view prefix);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_STRING_SELECT_H_

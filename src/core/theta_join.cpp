@@ -1,0 +1,177 @@
+#include "core/theta_join.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace wastenot::core {
+
+namespace {
+
+/// Possible / certain tests on intervals for each theta condition.
+struct IntervalTheta {
+  ThetaOp op;
+  int64_t band;
+
+  bool Possible(const ValueBounds& a, const ValueBounds& b) const {
+    switch (op) {
+      case ThetaOp::kLess:
+        return a.lo < b.hi;
+      case ThetaOp::kLessEqual:
+        return a.lo <= b.hi;
+      case ThetaOp::kBandWithin: {
+        // |a-b| <= band possible iff the difference interval meets [-band, band].
+        const ValueBounds diff = a - b;
+        return diff.Overlaps(-band, band);
+      }
+    }
+    return false;
+  }
+
+  bool Certain(const ValueBounds& a, const ValueBounds& b) const {
+    switch (op) {
+      case ThetaOp::kLess:
+        return a.hi < b.lo;
+      case ThetaOp::kLessEqual:
+        return a.hi <= b.lo;
+      case ThetaOp::kBandWithin: {
+        const ValueBounds diff = a - b;
+        return diff.lo >= -band && diff.hi <= band;
+      }
+    }
+    return false;
+  }
+
+  bool Exact(int64_t a, int64_t b) const {
+    switch (op) {
+      case ThetaOp::kLess:
+        return a < b;
+      case ThetaOp::kLessEqual:
+        return a <= b;
+      case ThetaOp::kBandWithin:
+        return a - b >= -band && a - b <= band;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+PairCandidates ThetaJoinApproximate(const bwd::BwdColumn& left,
+                                    const bwd::BwdColumn& right, ThetaOp op,
+                                    int64_t band, device::Device* dev) {
+  const bwd::DecompositionSpec& lspec = left.spec();
+  const bwd::DecompositionSpec& rspec = right.spec();
+  const bwd::PackedView lview = left.approximation();
+  const bwd::PackedView rview = right.approximation();
+  const IntervalTheta theta{op, band};
+  const uint64_t nl = lview.size();
+  const uint64_t nr = rview.size();
+
+  // Parallel over left chunks; each work item streams the whole right side
+  // (the classic massively parallel nested loop).
+  const uint64_t chunk_elems = 256;
+  const uint64_t num_chunks = nl == 0 ? 0 : bits::CeilDiv(nl, chunk_elems);
+  struct ChunkOut {
+    cs::OidVec left_ids, right_ids;
+    std::vector<uint8_t> certain;
+    uint64_t num_certain = 0;
+  };
+  std::vector<ChunkOut> chunks(num_chunks);
+  dev->Run(num_chunks, [&](uint64_t cb, uint64_t ce) {
+    for (uint64_t c = cb; c < ce; ++c) {
+      const uint64_t begin = c * chunk_elems;
+      const uint64_t end = std::min(nl, begin + chunk_elems);
+      ChunkOut& out = chunks[c];
+      for (uint64_t i = begin; i < end; ++i) {
+        const uint64_t ld = lview.Get(i);
+        const ValueBounds a{lspec.LowerBound(ld), lspec.UpperBound(ld)};
+        for (uint64_t j = 0; j < nr; ++j) {
+          const uint64_t rd = rview.Get(j);
+          const ValueBounds b{rspec.LowerBound(rd), rspec.UpperBound(rd)};
+          if (theta.Possible(a, b)) {
+            out.left_ids.push_back(static_cast<cs::oid_t>(i));
+            out.right_ids.push_back(static_cast<cs::oid_t>(j));
+            const bool certain = theta.Certain(a, b);
+            out.certain.push_back(certain ? 1 : 0);
+            out.num_certain += certain;
+          }
+        }
+      }
+    }
+  });
+
+  PairCandidates result;
+  uint64_t total = 0;
+  for (const auto& c : chunks) total += c.left_ids.size();
+  result.left_ids.reserve(total);
+  result.right_ids.reserve(total);
+  result.certain.reserve(total);
+  for (auto& c : chunks) {
+    result.left_ids.insert(result.left_ids.end(), c.left_ids.begin(),
+                           c.left_ids.end());
+    result.right_ids.insert(result.right_ids.end(), c.right_ids.begin(),
+                            c.right_ids.end());
+    result.certain.insert(result.certain.end(), c.certain.begin(),
+                          c.certain.end());
+    result.num_certain += c.num_certain;
+  }
+
+  device::KernelSignature sig;
+  sig.op = "thetajoin_approximate";
+  sig.value_bits = lspec.value_bits;
+  sig.packed_bits = lspec.approximation_bits();
+  sig.extra = op == ThetaOp::kBandWithin ? "band" : "less";
+  const uint64_t l_bytes =
+      std::max<uint64_t>(bits::CeilDiv(lspec.approximation_bits(), 8), 1);
+  const uint64_t r_bytes =
+      std::max<uint64_t>(bits::CeilDiv(rspec.approximation_bits(), 8), 1);
+  dev->ChargeKernel(
+      sig, {.elements = nl,
+            // Every left element streams the right side once; the right
+            // side is read from device memory nl times (no cache modeled —
+            // conservative).
+            .bytes_read = nl * l_bytes + nl * nr * r_bytes,
+            .bytes_written = total * 2 * sizeof(cs::oid_t),
+            .ops = nl * nr});
+  return result;
+}
+
+JoinedPairs ThetaJoinRefine(const bwd::BwdColumn& left,
+                            const bwd::BwdColumn& right, ThetaOp op,
+                            int64_t band, const PairCandidates& cands) {
+  const IntervalTheta theta{op, band};
+  JoinedPairs out;
+  out.left_ids.reserve(cands.size());
+  out.right_ids.reserve(cands.size());
+  // Pair order is the approximation's permutation; the left side's
+  // reconstruction is an invisible join on the persistent residual, the
+  // right side a by-id fetch (the side whose order was not preserved).
+  for (uint64_t i = 0; i < cands.size(); ++i) {
+    if (cands.certain[i] ||
+        theta.Exact(left.Reconstruct(cands.left_ids[i]),
+                    right.Reconstruct(cands.right_ids[i]))) {
+      out.left_ids.push_back(cands.left_ids[i]);
+      out.right_ids.push_back(cands.right_ids[i]);
+    }
+  }
+  return out;
+}
+
+JoinedPairs ThetaJoinExact(const cs::Column& left, const cs::Column& right,
+                           ThetaOp op, int64_t band) {
+  const IntervalTheta theta{op, band};
+  JoinedPairs out;
+  for (uint64_t i = 0; i < left.size(); ++i) {
+    const int64_t a = left.Get(i);
+    for (uint64_t j = 0; j < right.size(); ++j) {
+      if (theta.Exact(a, right.Get(j))) {
+        out.left_ids.push_back(static_cast<cs::oid_t>(i));
+        out.right_ids.push_back(static_cast<cs::oid_t>(j));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,65 @@
+// A&R theta join (paper §IV-D).
+//
+// Theta joins are "generally implemented as nested loop joins which are
+// bandwidth intensive, often subject to computation intensive comparison
+// functions and trivial to massively parallelize because they do not
+// employ intermediate structures that have to be locked" — the best-case
+// operator for a GPU. The approximation runs the nested loop over the
+// packed approximations with a relaxed condition, producing candidate
+// pairs plus certainty flags; the refinement reconstructs exact values and
+// re-evaluates the precise condition. Only one side's order survives the
+// approximation, so one refinement side uses the translucent machinery
+// (implicitly, by pair order) and the other is re-fetched by id.
+
+#ifndef WASTENOT_CORE_THETA_JOIN_H_
+#define WASTENOT_CORE_THETA_JOIN_H_
+
+#include <vector>
+
+#include "bwd/bwd_column.h"
+#include "core/candidates.h"
+#include "device/device.h"
+
+namespace wastenot::core {
+
+/// Supported theta-join conditions between left value a and right value b.
+enum class ThetaOp : uint8_t {
+  kLess,        ///< a <  b
+  kLessEqual,   ///< a <= b
+  kBandWithin,  ///< |a - b| <= band
+};
+
+/// Candidate pair list of an approximate theta join.
+struct PairCandidates {
+  cs::OidVec left_ids;
+  cs::OidVec right_ids;
+  std::vector<uint8_t> certain;  ///< pair certainly satisfies the condition
+  uint64_t num_certain = 0;
+
+  uint64_t size() const { return left_ids.size(); }
+};
+
+/// Nested-loop approximate theta join on the device (O(|L|·|R|) work; use
+/// on dimension-scale inputs). Superset invariant: every exactly-matching
+/// pair is produced.
+PairCandidates ThetaJoinApproximate(const bwd::BwdColumn& left,
+                                    const bwd::BwdColumn& right, ThetaOp op,
+                                    int64_t band, device::Device* dev);
+
+/// Exact pairs after CPU refinement of the candidates.
+struct JoinedPairs {
+  cs::OidVec left_ids;
+  cs::OidVec right_ids;
+  uint64_t size() const { return left_ids.size(); }
+};
+JoinedPairs ThetaJoinRefine(const bwd::BwdColumn& left,
+                            const bwd::BwdColumn& right, ThetaOp op,
+                            int64_t band, const PairCandidates& cands);
+
+/// Reference CPU nested loop on exact values (baseline & test oracle).
+JoinedPairs ThetaJoinExact(const cs::Column& left, const cs::Column& right,
+                           ThetaOp op, int64_t band);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_THETA_JOIN_H_

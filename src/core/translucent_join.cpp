@@ -1,0 +1,56 @@
+#include "core/translucent_join.h"
+
+namespace wastenot::core {
+
+bool SortedAndDense(std::span<const cs::oid_t> a) {
+  if (a.empty()) return true;
+  const cs::oid_t base = a[0];
+  for (uint64_t i = 1; i < a.size(); ++i) {
+    if (a[i] != base + i) return false;
+  }
+  return true;
+}
+
+StatusOr<cs::OidVec> TranslucentJoinPositions(std::span<const cs::oid_t> a,
+                                              std::span<const cs::oid_t> b) {
+  cs::OidVec positions;
+  positions.reserve(b.size());
+  uint64_t ia = 0;
+  // Advance the A cursor until it matches the current B element; never
+  // rewind (precondition 3 guarantees the partner lies ahead).
+  for (uint64_t ib = 0; ib < b.size(); ++ib) {
+    const cs::oid_t needle = b[ib];
+    while (ia < a.size() && a[ia] != needle) ++ia;
+    if (ia == a.size()) {
+      return Status::PreconditionFailed(
+          "translucent join: id " + std::to_string(needle) +
+          " of the refined input not found (in order) in the candidate "
+          "input — subset/permutation contract violated");
+    }
+    positions.push_back(static_cast<cs::oid_t>(ia));
+    ++ia;  // ids are unique; the next partner is strictly ahead
+  }
+  return positions;
+}
+
+StatusOr<cs::OidVec> TranslucentJoinPositionsAuto(
+    std::span<const cs::oid_t> a, std::span<const cs::oid_t> b) {
+  // Invisible-join fast path (Algorithm 1's SORTED ∧ DENSE branch).
+  if (SortedAndDense(a)) {
+    const cs::oid_t base = a.empty() ? 0 : a[0];
+    cs::OidVec positions;
+    positions.reserve(b.size());
+    for (cs::oid_t id : b) {
+      if (id < base || id - base >= a.size()) {
+        return Status::PreconditionFailed(
+            "translucent join (invisible path): id " + std::to_string(id) +
+            " outside the dense candidate range");
+      }
+      positions.push_back(id - base);
+    }
+    return positions;
+  }
+  return TranslucentJoinPositions(a, b);
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,47 @@
+// The translucent join (paper §IV-A, Algorithm 1).
+//
+// Joins two id lists A and B on equality under the paper's three
+// preconditions:
+//   1. A.id and B.id are each duplicate-free,
+//   2. B.id ⊆ A.id (B is a foreign-key set into A),
+//   3. the elements of B.id appear in the same relative order
+//      (permutation) in A.id as in B.id.
+// Under these conditions a single forward pass suffices: advance the A
+// cursor until it matches the current B element; both lists are consumed in
+// O(|A| + |B|) memory accesses and O(|A|) comparisons — cheaper than a
+// hash join, more general than an invisible (positional) join.
+//
+// The canonical use: A is an approximation operator's candidate output
+// (arbitrary permutation, possible false positives), B the refined subset
+// in the same permutation. The returned positions align any payload that is
+// aligned with A to the rows of B.
+
+#ifndef WASTENOT_CORE_TRANSLUCENT_JOIN_H_
+#define WASTENOT_CORE_TRANSLUCENT_JOIN_H_
+
+#include <span>
+
+#include "columnstore/types.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// For each element of `b`, the index at which it occurs in `a`
+/// (positions are strictly increasing, enabling sequential payload
+/// gathers). Fails with PreconditionFailed if some element of `b` is not
+/// found in order — i.e. the permutation/subset contract is violated.
+StatusOr<cs::OidVec> TranslucentJoinPositions(std::span<const cs::oid_t> a,
+                                              std::span<const cs::oid_t> b);
+
+/// Algorithm 1 verbatim, including its invisible-join fast path: when `a`
+/// is sorted and dense (a[i] == a[0] + i), positions are computed by
+/// subtraction without scanning.
+StatusOr<cs::OidVec> TranslucentJoinPositionsAuto(
+    std::span<const cs::oid_t> a, std::span<const cs::oid_t> b);
+
+/// True when `a` is sorted and dense (the invisible-join precondition).
+bool SortedAndDense(std::span<const cs::oid_t> a);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_TRANSLUCENT_JOIN_H_

@@ -1,0 +1,44 @@
+#include "device/cost_model.h"
+
+#include <algorithm>
+
+#include "util/env.h"
+
+namespace wastenot::device {
+
+DeviceSpec DeviceSpec::Gtx680() {
+  DeviceSpec spec;
+  spec.memory_capacity = static_cast<uint64_t>(
+      EnvInt64("WN_DEVICE_MEM", static_cast<int64_t>(spec.memory_capacity)));
+  return spec;
+}
+
+double KernelSeconds(const DeviceSpec& spec, uint64_t bytes_read,
+                     uint64_t bytes_written, uint64_t ops) {
+  const double mem_time = static_cast<double>(bytes_read + bytes_written) /
+                          (spec.memory_bandwidth * spec.kernel_efficiency);
+  const double compute_time =
+      static_cast<double>(ops) / spec.compute_throughput;
+  // Memory and compute overlap on a GPU; the kernel is bound by the slower.
+  return spec.launch_overhead + std::max(mem_time, compute_time);
+}
+
+double HashKernelSeconds(const DeviceSpec& spec, uint64_t bytes_read,
+                         uint64_t bytes_written, uint64_t ops,
+                         uint64_t distinct_keys) {
+  const double base = KernelSeconds(spec, bytes_read, bytes_written, ops);
+  // Expected number of intra-warp colliding writes per atomic update:
+  // with W lanes hitting K buckets uniformly, a lane serializes behind
+  // (W-1)/K others on average. K >= W means nearly conflict-free.
+  const double k = static_cast<double>(std::max<uint64_t>(distinct_keys, 1));
+  const double serialization =
+      1.0 + static_cast<double>(spec.warp_width - 1) / k;
+  return spec.launch_overhead + (base - spec.launch_overhead) * serialization;
+}
+
+double TransferSeconds(const DeviceSpec& spec, uint64_t bytes) {
+  if (bytes == 0) return 0.0;
+  return spec.pcie_latency + static_cast<double>(bytes) / spec.pcie_bandwidth;
+}
+
+}  // namespace wastenot::device

@@ -1,0 +1,64 @@
+#include "device/device.h"
+
+#include <algorithm>
+
+#include "util/env.h"
+#include "util/logging.h"
+
+namespace wastenot::device {
+
+Device::Device(DeviceSpec spec, unsigned worker_threads)
+    : spec_(std::move(spec)),
+      arena_(spec_.memory_capacity),
+      pool_(worker_threads != 0
+                ? worker_threads
+                : static_cast<unsigned>(EnvInt64("WN_DEVICE_THREADS", 0))) {}
+
+StatusOr<DeviceBuffer> Device::Upload(const void* host_data, uint64_t bytes) {
+  WN_ASSIGN_OR_RETURN(DeviceBuffer buffer, arena_.Allocate(bytes));
+  if (bytes > 0) std::memcpy(buffer.data(), host_data, bytes);
+  clock_.Add(Phase::kBusTransfer, TransferSeconds(spec_, bytes));
+  return buffer;
+}
+
+void Device::Download(const DeviceBuffer& buffer, void* host_out,
+                      uint64_t bytes) {
+  if (bytes > 0) std::memcpy(host_out, buffer.data(), bytes);
+  clock_.Add(Phase::kBusTransfer, TransferSeconds(spec_, bytes));
+}
+
+void Device::Charge(const KernelSignature& signature, const LaunchCost& cost) {
+  const double compile =
+      kernel_cache_.EnsureCompiled(signature, spec_.jit_compile_seconds);
+  const uint64_t ops = cost.ops != 0 ? cost.ops : cost.elements;
+  const double kernel_time =
+      cost.distinct_write_targets > 0
+          ? HashKernelSeconds(spec_, cost.bytes_read, cost.bytes_written, ops,
+                              cost.distinct_write_targets)
+          : KernelSeconds(spec_, cost.bytes_read, cost.bytes_written, ops);
+  WN_LOG_DEBUG << "kernel " << signature.CacheKey() << ": elements="
+               << cost.elements << " read=" << cost.bytes_read
+               << " written=" << cost.bytes_written
+               << " time=" << (compile + kernel_time) * 1e3 << "ms";
+  clock_.Add(Phase::kDeviceCompute, compile + kernel_time);
+}
+
+void Device::Launch(const KernelSignature& signature, const LaunchCost& cost,
+                    const std::function<void(uint64_t, uint64_t)>& body) {
+  Charge(signature, cost);
+  ParallelFor(pool_, cost.elements, body);
+}
+
+void Device::LaunchSerial(const KernelSignature& signature,
+                          const LaunchCost& cost,
+                          const std::function<void()>& body) {
+  Charge(signature, cost);
+  body();
+}
+
+void Device::Run(uint64_t elements,
+                 const std::function<void(uint64_t, uint64_t)>& body) {
+  ParallelFor(pool_, elements, body);
+}
+
+}  // namespace wastenot::device

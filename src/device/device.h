@@ -1,0 +1,106 @@
+// Device: the simulated GPU co-processor.
+//
+// Executes data-parallel kernels over its own worker pool (SIMT stand-in)
+// against buffers held in a capacity-enforced arena, charging a SimClock
+// according to the calibrated cost model. Host<->device transfers go
+// through Upload/Download, which charge PCI-E time.
+//
+// Substitution note (see DESIGN.md §2): results produced by kernels are
+// real — they execute genuine C++ over the genuine packed data — while the
+// *timing* attributed to the device comes from the cost model, reproducing
+// the paper's hardware ratios on GPU-less machines.
+
+#ifndef WASTENOT_DEVICE_DEVICE_H_
+#define WASTENOT_DEVICE_DEVICE_H_
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "device/cost_model.h"
+#include "device/device_arena.h"
+#include "device/kernel_cache.h"
+#include "device/sim_clock.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace wastenot::device {
+
+/// Resource footprint of one kernel launch, fed to the cost model.
+struct LaunchCost {
+  uint64_t elements = 0;       ///< grid size (one work item per tuple)
+  uint64_t bytes_read = 0;     ///< device-memory bytes read
+  uint64_t bytes_written = 0;  ///< device-memory bytes written
+  uint64_t ops = 0;            ///< arithmetic ops (defaults to elements)
+  /// >0 marks a conflicting-atomic-write kernel with this many distinct
+  /// destinations (hash build / grouping); 0 = conflict-free streaming.
+  uint64_t distinct_write_targets = 0;
+};
+
+/// A simulated co-processor: arena + worker pool + JIT cache + sim clock.
+class Device {
+ public:
+  explicit Device(DeviceSpec spec = DeviceSpec::Gtx680(),
+                  unsigned worker_threads = 0);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceSpec& spec() const { return spec_; }
+  DeviceArena& arena() { return arena_; }
+  SimClock& clock() { return clock_; }
+  KernelCache& kernel_cache() { return kernel_cache_; }
+
+  /// Allocates device memory.
+  StatusOr<DeviceBuffer> Allocate(uint64_t bytes) {
+    return arena_.Allocate(bytes);
+  }
+
+  /// Copies host memory into a fresh device buffer, charging PCI-E time.
+  StatusOr<DeviceBuffer> Upload(const void* host_data, uint64_t bytes);
+
+  /// Copies a device buffer back to host memory, charging PCI-E time.
+  void Download(const DeviceBuffer& buffer, void* host_out, uint64_t bytes);
+
+  /// Charges transfer time without moving data (used by the hypothetical
+  /// streaming baseline, §VI-A: the minimal work any streaming system does).
+  void ChargeTransfer(uint64_t bytes) {
+    clock_.Add(Phase::kBusTransfer, TransferSeconds(spec_, bytes));
+  }
+
+  /// JIT-compiles (once) and launches a kernel: `body(begin, end)` is run
+  /// grid-parallel over [0, cost.elements). Charges compile cost on the
+  /// first use of a signature plus the modeled kernel time. Blocking.
+  void Launch(const KernelSignature& signature, const LaunchCost& cost,
+              const std::function<void(uint64_t, uint64_t)>& body);
+
+  /// Sequential-launch variant for kernels whose stand-in host
+  /// implementation is not parallel-safe; simulated cost is identical
+  /// (the simulated device is always massively parallel).
+  void LaunchSerial(const KernelSignature& signature, const LaunchCost& cost,
+                    const std::function<void()>& body);
+
+  /// Executes a grid without charging (for kernels whose output size is
+  /// data-dependent: run first, then ChargeKernel with exact counts).
+  void Run(uint64_t elements,
+           const std::function<void(uint64_t, uint64_t)>& body);
+
+  /// Charges JIT-compile (first use) + modeled kernel time only.
+  void ChargeKernel(const KernelSignature& signature, const LaunchCost& cost) {
+    Charge(signature, cost);
+  }
+
+ private:
+  void Charge(const KernelSignature& signature, const LaunchCost& cost);
+
+  DeviceSpec spec_;
+  DeviceArena arena_;
+  SimClock clock_;
+  KernelCache kernel_cache_;
+  ThreadPool pool_;
+};
+
+}  // namespace wastenot::device
+
+#endif  // WASTENOT_DEVICE_DEVICE_H_

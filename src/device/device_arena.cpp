@@ -1,0 +1,32 @@
+#include "device/device_arena.h"
+
+namespace wastenot::device {
+
+StatusOr<DeviceBuffer> DeviceArena::Allocate(uint64_t bytes) {
+  // Optimistic reservation with rollback keeps the fast path lock-free.
+  const uint64_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+  if (prev + bytes > capacity_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::DeviceOutOfMemory(
+        "device arena exhausted: requested " + std::to_string(bytes) +
+        " bytes, " + std::to_string(capacity_ - prev > capacity_ ? 0
+                                                                 : capacity_ - prev) +
+        " available of " + std::to_string(capacity_));
+  }
+  DeviceBuffer buffer(this, bytes);
+  if (bytes > 0 && buffer.data() == nullptr) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::OutOfMemory("host allocation backing device buffer failed");
+  }
+  return buffer;
+}
+
+void DeviceBuffer::Release() {
+  if (arena_ != nullptr) {
+    arena_->Free(size_);
+    arena_ = nullptr;
+  }
+  size_ = 0;
+}
+
+}  // namespace wastenot::device

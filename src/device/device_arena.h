@@ -1,0 +1,46 @@
+// DeviceArena: capacity-enforced allocator for simulated device memory.
+// Allocations beyond the configured capacity fail with
+// Status::DeviceOutOfMemory — the condition that forces bitwise
+// decomposition (store fewer bits) or streaming (re-transfer per query).
+
+#ifndef WASTENOT_DEVICE_DEVICE_ARENA_H_
+#define WASTENOT_DEVICE_DEVICE_ARENA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "device/device_buffer.h"
+#include "util/status.h"
+
+namespace wastenot::device {
+
+/// Tracks simulated device-memory usage against a hard capacity.
+/// Thread-safe.
+class DeviceArena {
+ public:
+  explicit DeviceArena(uint64_t capacity) : capacity_(capacity) {}
+
+  DeviceArena(const DeviceArena&) = delete;
+  DeviceArena& operator=(const DeviceArena&) = delete;
+
+  /// Reserves and zero-fills `bytes` of device memory.
+  StatusOr<DeviceBuffer> Allocate(uint64_t bytes);
+
+  uint64_t capacity() const { return capacity_; }
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t available() const { return capacity_ - used(); }
+
+ private:
+  friend class DeviceBuffer;
+  void Free(uint64_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  const uint64_t capacity_;
+  std::atomic<uint64_t> used_{0};
+};
+
+}  // namespace wastenot::device
+
+#endif  // WASTENOT_DEVICE_DEVICE_ARENA_H_

@@ -1,0 +1,70 @@
+// DeviceBuffer: a handle to a region of (simulated) device memory.
+//
+// The bytes live in host RAM (there is no physical device), but ownership
+// and capacity are tracked by the DeviceArena, so exceeding the simulated
+// 2 GB fails exactly like a real cudaMalloc/clCreateBuffer would.
+
+#ifndef WASTENOT_DEVICE_DEVICE_BUFFER_H_
+#define WASTENOT_DEVICE_DEVICE_BUFFER_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/aligned_buffer.h"
+
+namespace wastenot::device {
+
+class DeviceArena;
+
+/// Owning handle to device memory; releases its reservation on destruction.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept { MoveFrom(std::move(other)); }
+  DeviceBuffer& operator=(DeviceBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~DeviceBuffer() { Release(); }
+
+  uint8_t* data() { return storage_.data(); }
+  const uint8_t* data() const { return storage_.data(); }
+  uint64_t size() const { return size_; }
+  bool valid() const { return arena_ != nullptr; }
+
+  template <typename T>
+  T* as() {
+    return storage_.as<T>();
+  }
+  template <typename T>
+  const T* as() const {
+    return storage_.as<T>();
+  }
+
+ private:
+  friend class DeviceArena;
+  DeviceBuffer(DeviceArena* arena, uint64_t size)
+      : arena_(arena), size_(size), storage_(size) {}
+
+  void MoveFrom(DeviceBuffer&& other) {
+    arena_ = std::exchange(other.arena_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    storage_ = std::move(other.storage_);
+  }
+
+  void Release();
+
+  DeviceArena* arena_ = nullptr;
+  uint64_t size_ = 0;
+  AlignedBuffer storage_;
+};
+
+}  // namespace wastenot::device
+
+#endif  // WASTENOT_DEVICE_DEVICE_BUFFER_H_

@@ -1,0 +1,62 @@
+// KernelCache: the JIT-compilation model of paper §V-C.
+//
+// "To yield efficient code, the OpenCL operator code is generated and
+//  compiled just-in-time. The code is generated using the data type, the
+//  decomposition as well as compression-strategy as parameters."
+//
+// The simulated device executes C++ functors, but the cache faithfully
+// models the JIT pipeline: each distinct (operator, type, decomposition,
+// compression) signature generates a kernel source string, pays a one-time
+// simulated compile cost, and is reused afterwards. The generated source is
+// retained for introspection/tests (and mirrors what the real system would
+// hand to the OpenCL compiler).
+
+#ifndef WASTENOT_DEVICE_KERNEL_CACHE_H_
+#define WASTENOT_DEVICE_KERNEL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace wastenot::device {
+
+/// Parameters a kernel is specialized on (paper §V-C).
+struct KernelSignature {
+  std::string op;            ///< e.g. "uselect_approximate"
+  uint32_t value_bits = 32;  ///< logical value width
+  uint32_t packed_bits = 32; ///< physical packed width on the device
+  int64_t prefix_base = 0;   ///< prefix-compression base
+  std::string extra;         ///< operator-specific variant (predicate kind…)
+
+  std::string CacheKey() const;
+};
+
+/// Thread-safe compile-once cache of generated kernels.
+class KernelCache {
+ public:
+  /// Ensures the kernel for `sig` is compiled. Returns the simulated
+  /// compile cost incurred by *this* call (the JIT compile time on a miss,
+  /// 0.0 on a hit) so the caller can charge its SimClock.
+  double EnsureCompiled(const KernelSignature& sig, double compile_seconds);
+
+  /// The generated source of a compiled kernel ("" if not compiled).
+  std::string SourceOf(const KernelSignature& sig) const;
+
+  uint64_t compiled_count() const;
+  uint64_t hit_count() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> sources_;
+  std::atomic<uint64_t> hits_{0};
+};
+
+/// Renders a plausible OpenCL-ish kernel source for a signature. Pure
+/// function; used by the cache and directly testable.
+std::string GenerateKernelSource(const KernelSignature& sig);
+
+}  // namespace wastenot::device
+
+#endif  // WASTENOT_DEVICE_KERNEL_CACHE_H_

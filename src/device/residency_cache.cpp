@@ -1,0 +1,52 @@
+#include "device/residency_cache.h"
+
+namespace wastenot::device {
+
+StatusOr<ResidencyCache::Access> ResidencyCache::Pin(const std::string& key,
+                                                     const void* host_data,
+                                                     uint64_t bytes) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(key);
+    it->second.lru_pos = lru_.begin();
+    return Access{true, 0, &it->second.buffer};
+  }
+
+  ++misses_;
+  if (bytes > device_->arena().capacity()) {
+    return Status::DeviceOutOfMemory("buffer '" + key +
+                                     "' exceeds device capacity outright");
+  }
+  // Evict least-recently-used entries until the upload fits.
+  while (device_->arena().available() < bytes) {
+    if (lru_.empty()) {
+      return Status::DeviceOutOfMemory(
+          "cannot make room for '" + key +
+          "': arena holds non-cache allocations");
+    }
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    auto vit = entries_.find(victim);
+    resident_bytes_ -= vit->second.buffer.size();
+    entries_.erase(vit);  // DeviceBuffer destructor returns the reservation
+    ++evictions_;
+  }
+
+  WN_ASSIGN_OR_RETURN(DeviceBuffer buffer, device_->Upload(host_data, bytes));
+  lru_.push_front(key);
+  Entry entry{std::move(buffer), lru_.begin()};
+  auto [pos, inserted] = entries_.emplace(key, std::move(entry));
+  (void)inserted;
+  resident_bytes_ += bytes;
+  return Access{false, bytes, &pos->second.buffer};
+}
+
+void ResidencyCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+}
+
+}  // namespace wastenot::device

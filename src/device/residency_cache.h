@@ -1,0 +1,62 @@
+// ResidencyCache: LRU cache of device-resident copies of host data, the
+// model behind the "GPU streaming" comparison point (paper §VI-A/§VI-C):
+// a streaming system transfers inputs on demand and caches them for reuse;
+// once the hot set exceeds device memory, an LRU policy thrashes — every
+// run of the same query re-transfers its inputs because they were just
+// evicted (the Fig 9 worst case).
+
+#ifndef WASTENOT_DEVICE_RESIDENCY_CACHE_H_
+#define WASTENOT_DEVICE_RESIDENCY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "device/device.h"
+#include "util/status.h"
+
+namespace wastenot::device {
+
+/// LRU-managed set of named device buffers backed by a Device's arena.
+class ResidencyCache {
+ public:
+  explicit ResidencyCache(Device* device) : device_(device) {}
+
+  /// Ensures a device copy of `host_data` named `key` exists, uploading it
+  /// (and evicting LRU entries if needed) on a miss. Returns whether the
+  /// call was a hit and how many bytes were transferred.
+  struct Access {
+    bool hit = false;
+    uint64_t bytes_transferred = 0;
+    const DeviceBuffer* buffer = nullptr;
+  };
+  StatusOr<Access> Pin(const std::string& key, const void* host_data,
+                       uint64_t bytes);
+
+  /// Drops every cached buffer.
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t resident_bytes() const { return resident_bytes_; }
+
+ private:
+  struct Entry {
+    DeviceBuffer buffer;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  Device* device_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t resident_bytes_ = 0;
+};
+
+}  // namespace wastenot::device
+
+#endif  // WASTENOT_DEVICE_RESIDENCY_CACHE_H_

@@ -1,0 +1,60 @@
+// SimClock: thread-safe accumulator of simulated time, split by phase.
+// Every device kernel and bus transfer charges it; benchmarks read it to
+// print the GPU/CPU/PCI breakdowns of Figs 9 and 10.
+
+#ifndef WASTENOT_DEVICE_SIM_CLOCK_H_
+#define WASTENOT_DEVICE_SIM_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace wastenot::device {
+
+/// Categories of simulated (and measured) time in an execution breakdown.
+enum class Phase : uint8_t { kDeviceCompute = 0, kBusTransfer = 1, kHostCompute = 2 };
+
+/// Accumulates seconds per phase. Add() is lock-free and thread-safe.
+class SimClock {
+ public:
+  void Add(Phase phase, double seconds) {
+    // Accumulate in nanoseconds to use fetch_add on integers.
+    counters_[static_cast<int>(phase)].fetch_add(
+        static_cast<uint64_t>(seconds * 1e9), std::memory_order_relaxed);
+  }
+
+  double Seconds(Phase phase) const {
+    return static_cast<double>(
+               counters_[static_cast<int>(phase)].load(
+                   std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  double device_seconds() const { return Seconds(Phase::kDeviceCompute); }
+  double bus_seconds() const { return Seconds(Phase::kBusTransfer); }
+  double host_seconds() const { return Seconds(Phase::kHostCompute); }
+  double total_seconds() const {
+    return device_seconds() + bus_seconds() + host_seconds();
+  }
+
+  void Reset() {
+    for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the three phase totals.
+  struct Breakdown {
+    double device = 0;
+    double bus = 0;
+    double host = 0;
+    double total() const { return device + bus + host; }
+  };
+  Breakdown snapshot() const {
+    return Breakdown{device_seconds(), bus_seconds(), host_seconds()};
+  }
+
+ private:
+  std::atomic<uint64_t> counters_[3] = {0, 0, 0};
+};
+
+}  // namespace wastenot::device
+
+#endif  // WASTENOT_DEVICE_SIM_CLOCK_H_

@@ -1,0 +1,83 @@
+// Cache-line-aligned raw buffers. BAT tails, packed vectors and device
+// arenas all sit on 64-byte-aligned storage so that scans stride cleanly
+// and the simulated-GPU cost model can reason in whole cache lines.
+
+#ifndef WASTENOT_UTIL_ALIGNED_BUFFER_H_
+#define WASTENOT_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace wastenot {
+
+/// Owning, 64-byte-aligned, zero-initialized byte buffer.
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+
+  /// Allocates `size` bytes (rounded up to the alignment), zero-filled.
+  explicit AlignedBuffer(size_t size) { Reset(size); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { Free(); }
+
+  /// Re-allocates to `size` bytes; previous contents are discarded.
+  void Reset(size_t size) {
+    Free();
+    if (size == 0) return;
+    size_t padded = (size + kAlignment - 1) / kAlignment * kAlignment;
+    data_ = static_cast<uint8_t*>(std::aligned_alloc(kAlignment, padded));
+    if (data_ != nullptr) {
+      std::memset(data_, 0, padded);
+      size_ = size;
+    }
+  }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(data_);
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(data_);
+  }
+
+ private:
+  void Free() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace wastenot
+
+#endif  // WASTENOT_UTIL_ALIGNED_BUFFER_H_

@@ -1,0 +1,61 @@
+// Bit-manipulation helpers shared by the BWD storage layer and the
+// approximate operators. All helpers are constexpr and branch-free where
+// practical; they are on the hot path of every packed scan.
+
+#ifndef WASTENOT_UTIL_BITS_H_
+#define WASTENOT_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+namespace wastenot::bits {
+
+/// A mask with the `n` least-significant bits set. n in [0, 64].
+constexpr uint64_t LowMask(uint32_t n) {
+  return n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+}
+
+/// Number of bits needed to represent `v` (BitWidth(0) == 0).
+constexpr uint32_t BitWidth(uint64_t v) {
+  return static_cast<uint32_t>(std::bit_width(v));
+}
+
+/// Rounds `v` up to the next multiple of `align` (align must be a power of 2).
+constexpr uint64_t RoundUpPow2(uint64_t v, uint64_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Ceiling division for unsigned integers.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// The approximation of `x` under `res_bits` residual bits: the value with
+/// its `res_bits` least-significant bits cleared (paper §IV-B, appr(x)).
+constexpr uint64_t Approximation(uint64_t x, uint32_t res_bits) {
+  return x & ~LowMask(res_bits);
+}
+
+/// The residual of `x` under `res_bits` residual bits: its low bits.
+constexpr uint64_t Residual(uint64_t x, uint32_t res_bits) {
+  return x & LowMask(res_bits);
+}
+
+/// Bitwise concatenation of an approximation and a residual (paper's +bw).
+constexpr uint64_t Reconstruct(uint64_t approximation, uint64_t residual,
+                               uint32_t res_bits) {
+  (void)res_bits;
+  return approximation | residual;
+}
+
+/// Maximum positive error of an approximation with `res_bits` residual bits:
+/// the true value lies in [appr, appr + ApproximationError(res_bits)].
+constexpr uint64_t ApproximationError(uint32_t res_bits) {
+  return LowMask(res_bits);
+}
+
+/// True if `v` is a power of two (0 is not).
+constexpr bool IsPow2(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace wastenot::bits
+
+#endif  // WASTENOT_UTIL_BITS_H_

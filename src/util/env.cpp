@@ -1,0 +1,69 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace wastenot {
+
+namespace {
+
+bool ParseSuffixed(const char* s, int64_t* out) {
+  char* end = nullptr;
+  long long base = std::strtoll(s, &end, 10);
+  if (end == s) return false;
+  int64_t mult = 1;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k':
+        mult = (end[1] == 'i' || end[1] == 'I') ? 1024LL : 1000LL;
+        break;
+      case 'm':
+        mult = (end[1] == 'i' || end[1] == 'I') ? 1024LL * 1024
+                                                : 1000LL * 1000;
+        break;
+      case 'g':
+        mult = (end[1] == 'i' || end[1] == 'I') ? 1024LL * 1024 * 1024
+                                                : 1000LL * 1000 * 1000;
+        break;
+      default:
+        return false;
+    }
+  }
+  *out = static_cast<int64_t>(base) * mult;
+  return true;
+}
+
+}  // namespace
+
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  int64_t out = 0;
+  return ParseSuffixed(v, &out) ? out : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  double out = std::strtod(v, &end);
+  return end == v ? fallback : out;
+}
+
+std::string EnvString(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
+bool EnvBool(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  std::string s(v);
+  for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (s == "1" || s == "true" || s == "on" || s == "yes") return true;
+  if (s == "0" || s == "false" || s == "off" || s == "no") return false;
+  return fallback;
+}
+
+}  // namespace wastenot

@@ -1,0 +1,29 @@
+// Environment-variable configuration helpers. Benchmarks and examples are
+// scaled through WN_* environment variables so the same binaries run both as
+// quick smoke tests and as full-scale reproductions.
+
+#ifndef WASTENOT_UTIL_ENV_H_
+#define WASTENOT_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wastenot {
+
+/// Reads an integer environment variable; returns `fallback` when unset or
+/// unparsable. Accepts plain integers with an optional k/m/g suffix
+/// (powers of 1000) or Ki/Mi/Gi (powers of 1024), e.g. WN_SCALE_MICRO=10m.
+int64_t EnvInt64(const char* name, int64_t fallback);
+
+/// Reads a double environment variable; returns `fallback` when unset.
+double EnvDouble(const char* name, double fallback);
+
+/// Reads a string environment variable; returns `fallback` when unset.
+std::string EnvString(const char* name, const std::string& fallback);
+
+/// True when the variable is set to 1/true/on/yes (case-insensitive).
+bool EnvBool(const char* name, bool fallback);
+
+}  // namespace wastenot
+
+#endif  // WASTENOT_UTIL_ENV_H_

@@ -1,0 +1,29 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "util/env.h"
+
+namespace wastenot::internal {
+
+LogLevel LogThreshold() {
+  static LogLevel threshold = [] {
+    std::string s = EnvString("WN_LOG", "warn");
+    if (s == "debug") return LogLevel::kDebug;
+    if (s == "info") return LogLevel::kInfo;
+    if (s == "error") return LogLevel::kError;
+    return LogLevel::kWarn;
+  }();
+  return threshold;
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[wn %s] %s\n", kNames[static_cast<int>(level)],
+               message.c_str());
+}
+
+}  // namespace wastenot::internal

@@ -1,0 +1,48 @@
+// Minimal leveled logging. Quiet by default; WN_LOG=debug enables verbose
+// output. Not designed for multi-megabyte log streams — the library's normal
+// reporting channel is return values, not logs.
+
+#ifndef WASTENOT_UTIL_LOGGING_H_
+#define WASTENOT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace wastenot {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+namespace internal {
+
+/// Current threshold; messages below it are dropped.
+LogLevel LogThreshold();
+
+void LogMessage(LogLevel level, const std::string& message);
+
+/// Builds a message with stream syntax and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= LogThreshold()) LogMessage(level_, stream_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace wastenot
+
+#define WN_LOG_DEBUG ::wastenot::internal::LogLine(::wastenot::LogLevel::kDebug)
+#define WN_LOG_INFO ::wastenot::internal::LogLine(::wastenot::LogLevel::kInfo)
+#define WN_LOG_WARN ::wastenot::internal::LogLine(::wastenot::LogLevel::kWarn)
+#define WN_LOG_ERROR ::wastenot::internal::LogLine(::wastenot::LogLevel::kError)
+
+#endif  // WASTENOT_UTIL_LOGGING_H_

@@ -1,0 +1,87 @@
+// Deterministic, fast PRNGs for workload generation and property tests.
+// SplitMix64 for seeding / single values, Xoshiro256** for bulk streams.
+// Both are reproducible across platforms (unlike std::mt19937 distributions).
+
+#ifndef WASTENOT_UTIL_RANDOM_H_
+#define WASTENOT_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wastenot {
+
+/// SplitMix64: tiny, high-quality 64-bit generator. Used for seeding and
+/// for cheap stateless hashing of indices.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Stateless mix of a 64-bit value; useful to derive per-index randomness.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Xoshiro256**: fast general-purpose generator for bulk data generation.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    // Lemire's multiply-shift rejection-free-ish reduction; bias is
+    // negligible for bounds << 2^64 and irrelevant for synthetic workloads.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+/// Fisher-Yates shuffle with a deterministic generator.
+template <typename T>
+void Shuffle(std::vector<T>& v, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (size_t i = v.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.Below(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace wastenot
+
+#endif  // WASTENOT_UTIL_RANDOM_H_

@@ -1,0 +1,169 @@
+// Status / StatusOr error model (Arrow / RocksDB idiom).
+//
+// Hot paths in this library do not throw exceptions; fallible functions
+// return Status (or StatusOr<T> when they produce a value). Statuses are
+// cheap to copy in the OK case (a single pointer-sized tag).
+
+#ifndef WASTENOT_UTIL_STATUS_H_
+#define WASTENOT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wastenot {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,       ///< host allocation failure
+  kDeviceOutOfMemory, ///< simulated device arena exhausted
+  kNotFound,
+  kAlreadyExists,
+  kUnsupported,
+  kInternal,
+  kPreconditionFailed, ///< an operator precondition (e.g. translucent-join
+                       ///< order contract) does not hold
+  kIoError,
+};
+
+/// Human-readable name of a StatusCode ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: OK, or a code plus a message.
+///
+/// The OK state stores no heap data; error states allocate a small record.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status DeviceOutOfMemory(std::string msg) {
+    return Status(StatusCode::kDeviceOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status PreconditionFailed(std::string msg) {
+    return Status(StatusCode::kPreconditionFailed, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const noexcept { return rep_ == nullptr; }
+  StatusCode code() const noexcept {
+    return rep_ ? rep_->code : StatusCode::kOk;
+  }
+  /// Message of a non-OK status; empty for OK.
+  const std::string& message() const;
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool IsDeviceOutOfMemory() const {
+    return code() == StatusCode::kDeviceOutOfMemory;
+  }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsPreconditionFailed() const {
+    return code() == StatusCode::kPreconditionFailed;
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // nullptr <=> OK
+};
+
+/// A value of type T or an error Status. Modeled after absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Error constructor; `status` must be non-OK.
+  StatusOr(Status status) : var_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(var_).ok() &&
+           "StatusOr constructed from OK status without a value");
+  }
+  /// Value constructors.
+  StatusOr(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(var_); }
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// Access the contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(var_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+}  // namespace wastenot
+
+/// Propagates a non-OK Status to the caller.
+#define WN_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::wastenot::Status _wn_st = (expr);         \
+    if (!_wn_st.ok()) return _wn_st;            \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define WN_ASSIGN_OR_RETURN(lhs, expr)          \
+  WN_ASSIGN_OR_RETURN_IMPL(                     \
+      WN_STATUS_CONCAT(_wn_sor, __LINE__), lhs, expr)
+
+#define WN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define WN_STATUS_CONCAT_IMPL(a, b) a##b
+#define WN_STATUS_CONCAT(a, b) WN_STATUS_CONCAT_IMPL(a, b)
+
+#endif  // WASTENOT_UTIL_STATUS_H_

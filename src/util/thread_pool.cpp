@@ -1,0 +1,102 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <latch>
+
+#include "util/env.h"
+
+namespace wastenot {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool pool(
+      static_cast<unsigned>(EnvInt64("WN_THREADS", 0)));
+  return pool;
+}
+
+void ParallelFor(ThreadPool& pool, uint64_t n,
+                 const std::function<void(uint64_t, uint64_t)>& body) {
+  if (n == 0) return;
+  const uint64_t workers = std::max<uint64_t>(1, pool.num_threads());
+  if (workers == 1 || n < 2) {
+    body(0, n);
+    return;
+  }
+  const uint64_t chunks = std::min<uint64_t>(workers, n);
+  const uint64_t chunk = n / chunks;
+  const uint64_t rem = n % chunks;
+  // Per-call latch: concurrent ParallelFor calls on the same pool only wait
+  // for their own chunks, not for each other's.
+  std::latch done(static_cast<ptrdiff_t>(chunks));
+  uint64_t begin = 0;
+  for (uint64_t c = 0; c < chunks; ++c) {
+    const uint64_t len = chunk + (c < rem ? 1 : 0);
+    const uint64_t end = begin + len;
+    pool.Submit([&body, &done, begin, end] {
+      body(begin, end);
+      done.count_down();
+    });
+    begin = end;
+  }
+  done.wait();
+}
+
+void ParallelFor(uint64_t n,
+                 const std::function<void(uint64_t, uint64_t)>& body) {
+  ParallelFor(ThreadPool::Default(), n, body);
+}
+
+}  // namespace wastenot

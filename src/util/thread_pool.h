@@ -1,0 +1,68 @@
+// A fixed-size thread pool plus a ParallelFor convenience used by the
+// simulated-GPU kernel launcher and by the multi-threaded CPU baseline.
+//
+// The pool is deliberately simple: tasks are std::function, submitted in
+// batches, joined with a latch. Kernel launches are coarse (one task per
+// worker, grid-stride inside), so per-task overhead is irrelevant.
+
+#ifndef WASTENOT_UTIL_THREAD_POOL_H_
+#define WASTENOT_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wastenot {
+
+/// Fixed-size worker pool. Thread-safe task submission; Wait() blocks the
+/// caller until every task submitted so far has completed.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have run to completion.
+  void Wait();
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Process-wide default pool, sized to the hardware (or WN_THREADS).
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signaled when tasks arrive / shutdown
+  std::condition_variable idle_cv_;   // signaled when the pool drains
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  uint64_t in_flight_ = 0;  // queued + running
+  bool shutdown_ = false;
+};
+
+/// Runs body(begin, end) over [0, n) split into roughly even contiguous
+/// chunks, one per worker, on `pool`. Blocks until all chunks are done.
+/// With n == 0 this is a no-op; with a single worker it runs inline.
+void ParallelFor(ThreadPool& pool, uint64_t n,
+                 const std::function<void(uint64_t, uint64_t)>& body);
+
+/// ParallelFor on the default pool.
+void ParallelFor(uint64_t n,
+                 const std::function<void(uint64_t, uint64_t)>& body);
+
+}  // namespace wastenot
+
+#endif  // WASTENOT_UTIL_THREAD_POOL_H_

@@ -1,0 +1,49 @@
+// Wall-clock timing helpers for benchmarks and the executor's phase
+// breakdowns.
+
+#ifndef WASTENOT_UTIL_TIMER_H_
+#define WASTENOT_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace wastenot {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time across multiple Start/Stop intervals; used by the
+/// executor to attribute time to CPU / device / bus phases.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_seconds_ += timer_.Seconds(); }
+  void Add(double seconds) { total_seconds_ += seconds; }
+  void Reset() { total_seconds_ = 0; }
+  double Seconds() const { return total_seconds_; }
+
+ private:
+  WallTimer timer_;
+  double total_seconds_ = 0;
+};
+
+}  // namespace wastenot
+
+#endif  // WASTENOT_UTIL_TIMER_H_

@@ -1,0 +1,147 @@
+#include "workloads/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace wastenot::workloads {
+
+namespace {
+
+/// Hotspot cities trips start from (lon, lat, weight). The first entry is
+/// the Table I query region (around Calais, 2.69 E / 50.43 N) so the
+/// benchmark query always has matches.
+struct Hotspot {
+  double lon;
+  double lat;
+  double weight;
+  double spread;  ///< city extent in degrees (uniform box around center)
+};
+constexpr Hotspot kHotspots[] = {
+    // The Table I query region (a small town): tight spread so the
+    // city-scale query box is populated at every generation scale.
+    {2.6925, 50.4350, 0.05, 0.08},
+    {4.8952, 52.3702, 0.20, 0.4},   // Amsterdam
+    {13.4050, 52.5200, 0.15, 0.4},  // Berlin
+    {2.3522, 48.8566, 0.20, 0.4},   // Paris
+    {-3.7038, 40.4168, 0.10, 0.4},  // Madrid
+    {12.4964, 41.9028, 0.10, 0.4},  // Rome
+    {18.0686, 59.3293, 0.05, 0.4},  // Stockholm
+    {21.0122, 52.2297, 0.05, 0.4},  // Warsaw
+    {-0.1278, 51.5074, 0.10, 0.4},  // London
+};
+
+int64_t ClampScaled(double degrees, int64_t lo, int64_t hi) {
+  const int64_t scaled =
+      static_cast<int64_t>(std::llround(degrees * kCoordScale));
+  return std::clamp(scaled, lo, hi);
+}
+
+}  // namespace
+
+cs::Table GenerateTrips(uint64_t num_fixes, uint64_t seed) {
+  std::vector<int32_t> tripid(num_fixes), lon(num_fixes), lat(num_fixes),
+      time(num_fixes);
+
+  const uint64_t kFixesPerTrip = 64;  // one fix every few seconds
+  const uint64_t num_trips = std::max<uint64_t>(1, num_fixes / kFixesPerTrip);
+
+  ParallelFor(num_trips, [&](uint64_t tb, uint64_t te) {
+    for (uint64_t t = tb; t < te; ++t) {
+      Xoshiro256 rng(seed ^ Mix64(t));
+      // Pick a hotspot by weight.
+      double pick = rng.NextDouble();
+      const Hotspot* spot = &kHotspots[0];
+      for (const auto& h : kHotspots) {
+        spot = &h;
+        pick -= h.weight;
+        if (pick <= 0) break;
+      }
+      // Start within the hotspot city's extent.
+      double cur_lon = spot->lon + (rng.NextDouble() - 0.5) * spot->spread;
+      double cur_lat = spot->lat + (rng.NextDouble() - 0.5) * spot->spread;
+      int32_t cur_time = static_cast<int32_t>(rng.Below(86400 * 365));
+      // Random-walk the trip: correlated fixes, ~30 m steps.
+      const uint64_t begin = t * kFixesPerTrip;
+      const uint64_t end = std::min(num_fixes, begin + kFixesPerTrip);
+      double heading = rng.NextDouble() * 2 * M_PI;
+      for (uint64_t i = begin; i < end; ++i) {
+        tripid[i] = static_cast<int32_t>(t);
+        lon[i] = static_cast<int32_t>(
+            ClampScaled(cur_lon, kLonMin, kLonMax));
+        lat[i] = static_cast<int32_t>(
+            ClampScaled(cur_lat, kLatMin, kLatMax));
+        time[i] = cur_time;
+        heading += (rng.NextDouble() - 0.5) * 0.6;  // gentle turns
+        cur_lon += std::cos(heading) * 0.0004;
+        cur_lat += std::sin(heading) * 0.0003;
+        cur_time += static_cast<int32_t>(3 + rng.Below(10));
+      }
+    }
+  });
+  // Tail rows beyond the last full trip (num_trips*kFixesPerTrip may be
+  // short of num_fixes): fill from the first hotspot region.
+  {
+    Xoshiro256 rng(seed ^ 0xdeadbeefULL);
+    int32_t tail_time = 0;
+    for (uint64_t i = num_trips * kFixesPerTrip; i < num_fixes; ++i) {
+      // Single-fix trips: distinct ids keep per-trip invariants (e.g. time
+      // monotonicity) trivially true for the tail.
+      tripid[i] = static_cast<int32_t>(num_trips + (i % kFixesPerTrip));
+      lon[i] = static_cast<int32_t>(ClampScaled(
+          kHotspots[1].lon + (rng.NextDouble() - 0.5) * 0.4, kLonMin, kLonMax));
+      lat[i] = static_cast<int32_t>(ClampScaled(
+          kHotspots[1].lat + (rng.NextDouble() - 0.5) * 0.4, kLatMin, kLatMax));
+      tail_time += static_cast<int32_t>(1 + rng.Below(100));
+      time[i] = tail_time;
+    }
+  }
+
+  cs::Table table("trips");
+  auto add = [&table](const char* name, std::vector<int32_t>& v) {
+    cs::Column col = cs::Column::FromI32(v);
+    col.ComputeStats();
+    Status st = table.AddColumn(name, std::move(col));
+    (void)st;
+  };
+  add("tripid", tripid);
+  add("lon", lon);
+  add("lat", lat);
+  add("time", time);
+  return table;
+}
+
+core::QuerySpec SpatialRangeQuery() {
+  core::QuerySpec q;
+  q.name = "spatial range count (Table I)";
+  q.table = "trips";
+  q.predicates = {
+      {"lon", cs::RangePred::Between(268288, 270228)},   // 2.68288..2.70228
+      {"lat", cs::RangePred::Between(5042220, 5044850)}, // 50.4222..50.4485
+  };
+  q.aggregates = {core::Aggregate::CountStar("count(lon)")};
+  return q;
+}
+
+core::QuerySpec SpatialRangeQueryAt(double lon_center, double lat_center,
+                                    double lon_width, double lat_width) {
+  core::QuerySpec q;
+  q.name = "spatial range count";
+  q.table = "trips";
+  auto scaled = [](double d) {
+    return static_cast<int64_t>(std::llround(d * kCoordScale));
+  };
+  q.predicates = {
+      {"lon", cs::RangePred::Between(scaled(lon_center - lon_width / 2),
+                                     scaled(lon_center + lon_width / 2))},
+      {"lat", cs::RangePred::Between(scaled(lat_center - lat_width / 2),
+                                     scaled(lat_center + lat_width / 2))},
+  };
+  q.aggregates = {core::Aggregate::CountStar("count(lon)")};
+  return q;
+}
+
+}  // namespace wastenot::workloads

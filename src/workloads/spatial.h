@@ -1,0 +1,50 @@
+// The spatial range query benchmark (paper §VI-C, Table I).
+//
+// The paper's dataset — ~250 M GPS fixes from users' navigation devices,
+// generated with the synthetic-trace generator of Bösche et al. [19] — is
+// proprietary; this module substitutes a synthetic trip generator that
+// preserves the properties the experiment depends on (see DESIGN.md §2):
+//
+//   * the coordinate bounding box (lat 27.09371..70.13643,
+//     lon -12.62427..29.64975), which fixes the bit widths,
+//   * decimal(8,5)/decimal(7,5) fixed-point encoding (scale 1e5),
+//   * trip-correlated fixes (random-walk trips around hotspot cities),
+//   * a city-scale query box with realistic (tiny) selectivity, with one
+//     hotspot guaranteeing non-empty results.
+//
+// Schema (Table I): trips(tripid int, lon decimal(8,5), lat decimal(7,5),
+// time int). Query: select count(lon) from trips where lon between
+// 2.68288 and 2.70228 and lat between 50.4222 and 50.4485.
+
+#ifndef WASTENOT_WORKLOADS_SPATIAL_H_
+#define WASTENOT_WORKLOADS_SPATIAL_H_
+
+#include <cstdint>
+
+#include "columnstore/database.h"
+#include "core/query.h"
+
+namespace wastenot::workloads {
+
+/// Fixed-point scale of lon/lat (decimal(_,5)).
+inline constexpr int64_t kCoordScale = 100000;
+
+/// Paper bounding box, scaled.
+inline constexpr int64_t kLatMin = 2709371;   // 27.09371
+inline constexpr int64_t kLatMax = 7013643;   // 70.13643
+inline constexpr int64_t kLonMin = -1262427;  // -12.62427
+inline constexpr int64_t kLonMax = 2964975;   // 29.64975
+
+/// Generates the trips table with ~`num_fixes` rows.
+cs::Table GenerateTrips(uint64_t num_fixes, uint64_t seed);
+
+/// The Table I query (fixed-point bounds).
+core::QuerySpec SpatialRangeQuery();
+
+/// A query box around an arbitrary hotspot, for parameterized sweeps.
+core::QuerySpec SpatialRangeQueryAt(double lon_center, double lat_center,
+                                    double lon_width, double lat_width);
+
+}  // namespace wastenot::workloads
+
+#endif  // WASTENOT_WORKLOADS_SPATIAL_H_

@@ -1,0 +1,296 @@
+#include "workloads/tpch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace wastenot::workloads {
+
+namespace {
+
+/// Howard Hinnant's days-from-civil algorithm (proleptic Gregorian).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * (static_cast<unsigned>(m) + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int64_t>(doe) - 719468LL;
+}
+
+const int64_t kEpoch = DaysFromCivil(1992, 1, 1);
+
+// p_type syllables (spec 4.2.2.13): 6 x 5 x 5 = 150 distinct strings.
+const char* kTypes1[] = {"ECONOMY", "LARGE",    "MEDIUM",
+                         "PROMO",   "SMALL",    "STANDARD"};
+const char* kTypes2[] = {"ANODIZED", "BRUSHED", "BURNISHED", "PLATED",
+                         "POLISHED"};
+const char* kTypes3[] = {"BRASS", "COPPER", "NICKEL", "STEEL", "TIN"};
+
+/// p_retailprice in cents (spec 4.2.3).
+int64_t RetailPriceCents(uint64_t partkey) {
+  return 90000 + (partkey / 10) % 20001 + 100 * (partkey % 1000);
+}
+
+const int64_t kReceiptCutoff = DateToDays(1995, 6, 17);
+
+}  // namespace
+
+int64_t DateToDays(int year, int month, int day) {
+  return DaysFromCivil(year, month, day) - kEpoch;
+}
+
+uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db) {
+  const uint64_t num_parts = std::max<uint64_t>(
+      64, static_cast<uint64_t>(static_cast<double>(kPartPerSf) * sf));
+  const uint64_t num_lines = std::max<uint64_t>(
+      256, static_cast<uint64_t>(static_cast<double>(kLineitemPerSf) * sf));
+
+  // ---- part ---------------------------------------------------------------
+  {
+    std::vector<std::string> type_strings;
+    for (const char* t1 : kTypes1) {
+      for (const char* t2 : kTypes2) {
+        for (const char* t3 : kTypes3) {
+          type_strings.push_back(std::string(t1) + " " + t2 + " " + t3);
+        }
+      }
+    }
+    cs::Dictionary dict = cs::Dictionary::Build(type_strings);
+
+    std::vector<int32_t> type_code(num_parts);
+    std::vector<int32_t> retail(num_parts);
+    Xoshiro256 rng(seed ^ 0x7061727473ULL);  // "parts"
+    for (uint64_t pk = 0; pk < num_parts; ++pk) {
+      const std::string t =
+          std::string(kTypes1[rng.Below(6)]) + " " + kTypes2[rng.Below(5)] +
+          " " + kTypes3[rng.Below(5)];
+      type_code[pk] = dict.CodeOf(t);
+      retail[pk] = static_cast<int32_t>(RetailPriceCents(pk + 1));
+    }
+
+    cs::Table part("part");
+    cs::Column type_col = cs::Column::FromI32(type_code);
+    type_col.ComputeStats();
+    cs::Column retail_col = cs::Column::FromI32(retail);
+    retail_col.ComputeStats();
+    (void)part.AddColumn("p_type", std::move(type_col));
+    (void)part.AddColumn("p_retailprice", std::move(retail_col));
+    part.AttachDictionary("p_type", std::move(dict));
+    db->AddTable(std::move(part));
+  }
+
+  // ---- lineitem -------------------------------------------------------------
+  {
+    std::vector<int32_t> partkey(num_lines), quantity(num_lines),
+        extendedprice(num_lines), discount(num_lines), tax(num_lines),
+        shipdate(num_lines), returnflag(num_lines), linestatus(num_lines);
+
+    const int64_t order_lo = DateToDays(1992, 1, 1);
+    const int64_t order_hi = DateToDays(1998, 8, 2);  // ENDDATE - 151 days
+
+    ParallelFor(num_lines, [&](uint64_t begin, uint64_t end) {
+      Xoshiro256 rng(seed ^ Mix64(begin));
+      for (uint64_t i = begin; i < end; ++i) {
+        const uint64_t pk = 1 + rng.Below(num_parts);
+        const int64_t qty = 1 + static_cast<int64_t>(rng.Below(50));
+        partkey[i] = static_cast<int32_t>(pk);
+        quantity[i] = static_cast<int32_t>(qty);
+        // Cents; max 50 * 209,900 = 10,495,000 fits int32 comfortably.
+        extendedprice[i] = static_cast<int32_t>(qty * RetailPriceCents(pk));
+        discount[i] = static_cast<int32_t>(rng.Below(11));  // 0.00..0.10
+        tax[i] = static_cast<int32_t>(rng.Below(9));        // 0.00..0.08
+        const int64_t orderdate =
+            order_lo + static_cast<int64_t>(
+                           rng.Below(static_cast<uint64_t>(order_hi - order_lo)));
+        const int64_t ship = orderdate + 1 + static_cast<int64_t>(rng.Below(121));
+        shipdate[i] = static_cast<int32_t>(ship);
+        const int64_t receipt = ship + 1 + static_cast<int64_t>(rng.Below(30));
+        // dbgen: R/A for old receipts, N otherwise; O/F on the ship side.
+        if (receipt <= kReceiptCutoff) {
+          returnflag[i] = rng.Below(2) == 0 ? 0 /*A*/ : 2 /*R*/;
+        } else {
+          returnflag[i] = 1 /*N*/;
+        }
+        linestatus[i] = ship > kReceiptCutoff ? 1 /*O*/ : 0 /*F*/;
+      }
+    });
+
+    cs::Table lineitem("lineitem");
+    auto add = [&lineitem](const char* name, std::vector<int32_t>& v) {
+      cs::Column col = cs::Column::FromI32(v);
+      col.ComputeStats();
+      (void)lineitem.AddColumn(name, std::move(col));
+    };
+    add("l_partkey", partkey);
+    add("l_quantity", quantity);
+    add("l_extendedprice", extendedprice);
+    add("l_discount", discount);
+    add("l_tax", tax);
+    add("l_shipdate", shipdate);
+    add("l_returnflag", returnflag);
+    add("l_linestatus", linestatus);
+    lineitem.AttachDictionary(
+        "l_returnflag", cs::Dictionary::Build({"A", "N", "R"}));
+    lineitem.AttachDictionary("l_linestatus", cs::Dictionary::Build({"F", "O"}));
+    db->AddTable(std::move(lineitem));
+  }
+  return num_parts;
+}
+
+core::QuerySpec TpchQ1() {
+  core::QuerySpec q;
+  q.name = "TPC-H Q1";
+  q.table = "lineitem";
+  q.predicates = {
+      {"l_shipdate", cs::RangePred::Le(DateToDays(1998, 12, 1) - 90)}};
+  q.group_by = {"l_returnflag", "l_linestatus"};
+  using core::Aggregate;
+  using core::AggFunc;
+  using core::Term;
+  q.aggregates.push_back(Aggregate::SumOf("l_quantity", "sum_qty"));
+  q.aggregates.push_back(
+      Aggregate::SumOf("l_extendedprice", "sum_base_price", 100.0));
+  {
+    Aggregate a;
+    a.func = AggFunc::kSum;
+    a.terms = {Term::Col("l_extendedprice"), Term::OneMinus("l_discount", 100)};
+    a.label = "sum_disc_price";
+    a.display_scale = 1e4;
+    q.aggregates.push_back(a);
+  }
+  {
+    Aggregate a;
+    a.func = AggFunc::kSum;
+    a.terms = {Term::Col("l_extendedprice"), Term::OneMinus("l_discount", 100),
+               Term::OnePlus("l_tax", 100)};
+    a.label = "sum_charge";
+    a.display_scale = 1e6;
+    q.aggregates.push_back(a);
+  }
+  {
+    Aggregate a;
+    a.func = AggFunc::kAvg;
+    a.terms = {Term::Col("l_quantity")};
+    a.label = "avg_qty";
+    q.aggregates.push_back(a);
+  }
+  {
+    Aggregate a;
+    a.func = AggFunc::kAvg;
+    a.terms = {Term::Col("l_extendedprice")};
+    a.label = "avg_price";
+    a.display_scale = 100.0;
+    q.aggregates.push_back(a);
+  }
+  {
+    Aggregate a;
+    a.func = AggFunc::kAvg;
+    a.terms = {Term::Col("l_discount")};
+    a.label = "avg_disc";
+    a.display_scale = 100.0;
+    q.aggregates.push_back(a);
+  }
+  q.aggregates.push_back(Aggregate::CountStar("count_order"));
+  return q;
+}
+
+core::QuerySpec TpchQ6() {
+  core::QuerySpec q;
+  q.name = "TPC-H Q6";
+  q.table = "lineitem";
+  q.predicates = {
+      {"l_shipdate", cs::RangePred::Between(DateToDays(1994, 1, 1),
+                                            DateToDays(1995, 1, 1) - 1)},
+      {"l_discount", cs::RangePred::Between(5, 7)},  // 0.06 +- 0.01
+      {"l_quantity", cs::RangePred::Lt(24)},
+  };
+  core::Aggregate revenue;
+  revenue.func = core::AggFunc::kSum;
+  revenue.terms = {core::Term::Col("l_extendedprice"),
+                   core::Term::Col("l_discount")};
+  revenue.label = "revenue";
+  revenue.display_scale = 1e4;  // cents * hundredths
+  q.aggregates.push_back(revenue);
+  return q;
+}
+
+core::QuerySpec TpchQ14() {
+  core::QuerySpec q;
+  q.name = "TPC-H Q14";
+  q.table = "lineitem";
+  q.predicates = {
+      {"l_shipdate", cs::RangePred::Between(DateToDays(1995, 9, 1),
+                                            DateToDays(1995, 10, 1) - 1)}};
+  q.join = core::JoinSpec{"l_partkey", "part", /*fk_base=*/1};
+  // The PROMO% prefix becomes a code range on the ordered dictionary; the
+  // caller resolves it against the part dictionary (see Q14PromoRange).
+  core::Aggregate promo;
+  promo.func = core::AggFunc::kSum;
+  promo.terms = {core::Term::Col("l_extendedprice"),
+                 core::Term::OneMinus("l_discount", 100)};
+  promo.filter = core::CaseFilter{"p_type", cs::RangePred::All()};
+  promo.label = "promo_revenue";
+  promo.display_scale = 1e4;
+  q.aggregates.push_back(promo);
+
+  core::Aggregate total = promo;
+  total.filter.reset();
+  total.label = "total_revenue";
+  q.aggregates.push_back(total);
+  return q;
+}
+
+std::vector<bwd::DecomposeRequest> TpchAllResident() {
+  using bwd::Compression;
+  return {
+      {"l_partkey", 32, Compression::kBitPacked},
+      {"l_quantity", 32, Compression::kBitPacked},
+      {"l_extendedprice", 32, Compression::kBitPacked},
+      {"l_discount", 32, Compression::kBitPacked},
+      {"l_tax", 32, Compression::kBitPacked},
+      {"l_shipdate", 32, Compression::kBitPacked},
+      {"l_returnflag", 32, Compression::kBitPacked},
+      {"l_linestatus", 32, Compression::kBitPacked},
+  };
+}
+
+std::vector<bwd::DecomposeRequest> TpchSpaceConstrained() {
+  std::vector<bwd::DecomposeRequest> reqs = TpchAllResident();
+  for (auto& r : reqs) {
+    if (r.column == "l_shipdate") r.device_bits = 24;  // 8 residual bits
+  }
+  return reqs;
+}
+
+std::vector<bwd::DecomposeRequest> TpchPartResident() {
+  using bwd::Compression;
+  return {
+      {"p_type", 32, Compression::kBitPacked},
+      {"p_retailprice", 32, Compression::kBitPacked},
+  };
+}
+
+Status ResolvePromoFilter(const cs::Database& db, core::QuerySpec* q14) {
+  if (!db.HasTable("part")) return Status::NotFound("part table missing");
+  const cs::Dictionary* dict = db.table("part").dictionary("p_type");
+  if (dict == nullptr) return Status::NotFound("p_type dictionary missing");
+  for (auto& agg : q14->aggregates) {
+    if (agg.filter.has_value() && agg.filter->dim_column == "p_type") {
+      agg.filter->range = dict->PrefixRange("PROMO");
+    }
+  }
+  return Status::OK();
+}
+
+double PromoRevenuePercent(int64_t promo_sum, int64_t total_sum) {
+  if (total_sum == 0) return 0.0;
+  return 100.0 * static_cast<double>(promo_sum) /
+         static_cast<double>(total_sum);
+}
+
+}  // namespace wastenot::workloads

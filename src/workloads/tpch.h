@@ -1,0 +1,69 @@
+// A from-scratch dbgen subset for the TPC-H experiments (paper §VI-D).
+//
+// Generates `lineitem` and `part` with the columns and value distributions
+// Q1, Q6 and Q14 touch, following the TPC-H specification:
+//   l_quantity      1..50                     (50 values / 6 bits — paper)
+//   l_discount      0.00..0.10 step 0.01      (11 values / 4 bits)
+//   l_tax           0.00..0.08 step 0.01      (9 values / 4 bits)
+//   l_shipdate      orderdate + 1..121 days   (2526 values / 12 bits)
+//   l_extendedprice quantity * retail price   (cents, fixed point)
+//   l_returnflag    R/A before, N after the 1995-06-17 receipt cutoff
+//   l_linestatus    F shipped before, O after the cutoff
+//   l_partkey       uniform FK into part
+//   p_type          6x5x5 syllable strings, ordered-dictionary coded; the
+//                   Q14 'PROMO%' prefix predicate becomes a code range
+//                   (paper §VI-D1)
+//   p_retailprice   spec formula 4.2.3, cents
+//
+// All decimals are fixed-point integers (cents / hundredths); dates are
+// day numbers since 1992-01-01. Both engines compute in this integer
+// space, so their results are exactly comparable.
+
+#ifndef WASTENOT_WORKLOADS_TPCH_H_
+#define WASTENOT_WORKLOADS_TPCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwd/bwd_table.h"
+#include "columnstore/database.h"
+#include "core/query.h"
+
+namespace wastenot::workloads {
+
+/// Days since 1992-01-01 for a YYYY-MM-DD date (proleptic Gregorian).
+int64_t DateToDays(int year, int month, int day);
+
+/// Rows per scale factor (spec: SF * 6M lineitems, SF * 200k parts).
+inline constexpr uint64_t kLineitemPerSf = 6'000'000;
+inline constexpr uint64_t kPartPerSf = 200'000;
+
+/// Generates both tables into `db` at scale factor `sf` (fractional SFs
+/// supported for smoke tests). Returns the part count (fk domain).
+uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db);
+
+/// Query builders (fixed-point constants per the spec).
+core::QuerySpec TpchQ1();
+core::QuerySpec TpchQ6();
+core::QuerySpec TpchQ14();
+
+/// Decomposition configurations of §VI-D1.
+/// Everything bit-packed and fully device-resident (the "A & R" bars).
+std::vector<bwd::DecomposeRequest> TpchAllResident();
+/// The space-constrained variant: l_shipdate decomposed 24-bit-device /
+/// 8-bit-CPU (the "A & R Space Constraint" bars).
+std::vector<bwd::DecomposeRequest> TpchSpaceConstrained();
+/// Part-side columns (always resident: p_type is 150 values / 8 bits).
+std::vector<bwd::DecomposeRequest> TpchPartResident();
+
+/// Resolves Q14's 'PROMO%' prefix predicate against the part table's
+/// ordered p_type dictionary (must be called after GenerateTpch).
+Status ResolvePromoFilter(const cs::Database& db, core::QuerySpec* q14);
+
+/// Renders a Q14-style promo revenue percentage from the two Q14 sums.
+double PromoRevenuePercent(int64_t promo_sum, int64_t total_sum);
+
+}  // namespace wastenot::workloads
+
+#endif  // WASTENOT_WORKLOADS_TPCH_H_

@@ -1,0 +1,35 @@
+#include "workloads/uniform.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/random.h"
+
+namespace wastenot::workloads {
+
+cs::Column UniqueShuffledInts(uint64_t n, uint64_t seed) {
+  std::vector<int32_t> values(n);
+  std::iota(values.begin(), values.end(), 0);
+  Shuffle(values, seed);
+  cs::Column col = cs::Column::FromI32(values);
+  col.ComputeStats();
+  return col;
+}
+
+cs::Column UniformGroupKeys(uint64_t n, uint64_t num_distinct, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<int32_t> values(n);
+  for (auto& v : values) {
+    v = static_cast<int32_t>(rng.Below(num_distinct));
+  }
+  cs::Column col = cs::Column::FromI32(values);
+  col.ComputeStats();
+  return col;
+}
+
+int64_t ThresholdForSelectivity(uint64_t n, double fraction) {
+  return static_cast<int64_t>(static_cast<double>(n) * fraction);
+}
+
+}  // namespace wastenot::workloads

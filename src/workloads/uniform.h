@@ -1,0 +1,30 @@
+// The microbenchmark dataset of paper §VI-B: unique, randomly shuffled
+// integers with value range equal to the row count ("100 million unique,
+// randomly shuffled integers (value range 0 to 100 million)"), scaled by
+// an environment variable so the same binaries run as smoke tests or at
+// paper scale.
+
+#ifndef WASTENOT_WORKLOADS_UNIFORM_H_
+#define WASTENOT_WORKLOADS_UNIFORM_H_
+
+#include <cstdint>
+
+#include "columnstore/column.h"
+
+namespace wastenot::workloads {
+
+/// `n` unique values 0..n-1, Fisher-Yates shuffled with `seed`.
+cs::Column UniqueShuffledInts(uint64_t n, uint64_t seed);
+
+/// A column with exactly `num_distinct` distinct values (0..num_distinct-1)
+/// uniformly distributed over `n` rows — the grouping microbenchmark input
+/// (Fig 8f sweeps the number of groups).
+cs::Column UniformGroupKeys(uint64_t n, uint64_t num_distinct, uint64_t seed);
+
+/// Selectivity helper: the predicate value <= x selecting ~`fraction` of a
+/// UniqueShuffledInts(n) column.
+int64_t ThresholdForSelectivity(uint64_t n, double fraction);
+
+}  // namespace wastenot::workloads
+
+#endif  // WASTENOT_WORKLOADS_UNIFORM_H_

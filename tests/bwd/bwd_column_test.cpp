@@ -1,0 +1,139 @@
+#include "bwd/bwd_column.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::bwd {
+namespace {
+
+std::unique_ptr<device::Device> MakeDevice(uint64_t capacity = 64 << 20) {
+  device::DeviceSpec spec;
+  spec.memory_capacity = capacity;
+  return std::make_unique<device::Device>(spec, 2);
+}
+
+cs::Column RandomColumn(uint64_t n, int64_t lo, int64_t hi, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<int32_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<int32_t>(lo + static_cast<int64_t>(
+                                      rng.Below(static_cast<uint64_t>(hi - lo + 1))));
+  }
+  cs::Column col = cs::Column::FromI32(v);
+  col.ComputeStats();
+  return col;
+}
+
+class DecomposeBitsTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DecomposeBitsTest, ReconstructionIsExact) {
+  const uint32_t device_bits = GetParam();
+  auto dev = MakeDevice();
+  cs::Column col = RandomColumn(5000, -500, 100000, device_bits);
+  auto bwd = BwdColumn::Decompose(col, device_bits, dev.get());
+  ASSERT_TRUE(bwd.ok()) << bwd.status().ToString();
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    ASSERT_EQ(bwd->Reconstruct(i), col.Get(i))
+        << "device_bits=" << device_bits << " row=" << i;
+  }
+}
+
+TEST_P(DecomposeBitsTest, BoundsBracketTrueValues) {
+  const uint32_t device_bits = GetParam();
+  auto dev = MakeDevice();
+  cs::Column col = RandomColumn(2000, 0, 1 << 20, device_bits + 100);
+  auto bwd = BwdColumn::Decompose(col, device_bits, dev.get());
+  ASSERT_TRUE(bwd.ok());
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    ASSERT_LE(bwd->ApproxLowerBound(i), col.Get(i));
+    ASSERT_GE(bwd->ApproxUpperBound(i), col.Get(i));
+    ASSERT_EQ(bwd->ApproxUpperBound(i) - bwd->ApproxLowerBound(i),
+              static_cast<int64_t>(bwd->spec().error()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DeviceBits, DecomposeBitsTest,
+                         ::testing::Values(1u, 4u, 8u, 10u, 16u, 20u, 24u,
+                                           28u, 30u, 31u, 32u));
+
+TEST(BwdColumnTest, ReconstructAllMatches) {
+  auto dev = MakeDevice();
+  cs::Column col = RandomColumn(1000, -10, 10, 1);
+  auto bwd = BwdColumn::Decompose(col, 28, dev.get());
+  ASSERT_TRUE(bwd.ok());
+  cs::Column all = bwd->ReconstructAll();
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    ASSERT_EQ(all.Get(i), col.Get(i));
+  }
+}
+
+TEST(BwdColumnTest, DeviceBytesReflectPacking) {
+  auto dev = MakeDevice();
+  // Domain 0..2525 (12 bits), fully resident: ~12 bits/value on device.
+  cs::Column col = RandomColumn(10000, 0, 2525, 3);
+  auto bwd = BwdColumn::Decompose(col, 32, dev.get());
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_EQ(bwd->spec().approximation_bits(), 12u);
+  EXPECT_LE(bwd->device_bytes(), 10000 * 2 + 1024);  // ~1.5 B/value
+  EXPECT_EQ(bwd->residual_bytes(), 0u);
+  EXPECT_EQ(dev->arena().used(), bwd->device_bytes());
+}
+
+TEST(BwdColumnTest, ResidualStaysOnHost) {
+  auto dev = MakeDevice();
+  cs::Column col = RandomColumn(10000, 0, (1 << 24) - 1, 4);
+  auto bwd = BwdColumn::Decompose(col, 16, dev.get());  // 16 residual bits
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_EQ(bwd->spec().residual_bits, 16u);
+  EXPECT_GT(bwd->residual_bytes(), 10000u * 16 / 8 - 64);
+}
+
+TEST(BwdColumnTest, FailsWhenDeviceFull) {
+  auto dev = MakeDevice(1024);  // 1 KB device
+  cs::Column col = RandomColumn(100000, 0, 1 << 20, 5);
+  auto bwd = BwdColumn::Decompose(col, 32, dev.get());
+  EXPECT_FALSE(bwd.ok());
+  EXPECT_TRUE(bwd.status().IsDeviceOutOfMemory());
+  EXPECT_EQ(dev->arena().used(), 0u) << "failed decompose must not leak";
+}
+
+TEST(BwdColumnTest, FewerDeviceBitsFitSmallerDevices) {
+  // The capacity-driven decomposition choice: 32 resident bits do not fit,
+  // 8 do (the core premise of the paper's storage model).
+  cs::Column col = RandomColumn(100000, 0, (1 << 27) - 1, 6);
+  auto small = MakeDevice(200 * 1024);
+  EXPECT_FALSE(BwdColumn::Decompose(col, 32, small.get()).ok());
+  auto ok = BwdColumn::Decompose(col, 32 - 27 + 8, small.get());
+  // 8 approximation bits -> 100k B + padding fits in 200 KiB.
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->spec().approximation_bits(), 8u);
+}
+
+TEST(BwdColumnTest, InvalidArguments) {
+  auto dev = MakeDevice();
+  cs::Column col = RandomColumn(10, 0, 5, 7);
+  EXPECT_FALSE(BwdColumn::Decompose(col, 32, nullptr).ok());
+  EXPECT_FALSE(BwdColumn::Decompose(col, 0, dev.get()).ok());
+}
+
+TEST(BwdColumnTest, PaperExampleValue) {
+  // Fig 2: 747979 split 13 major / 7 minor bits. Build a column whose
+  // domain makes value_bits=20, then request 7 residual bits.
+  auto dev = MakeDevice();
+  std::vector<int32_t> v = {747979, 0, (1 << 20) - 1};
+  cs::Column col = cs::Column::FromI32(v);
+  col.ComputeStats();
+  auto bwd = BwdColumn::Decompose(col, 32 - 7, dev.get());
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_EQ(bwd->spec().residual_bits, 7u);
+  EXPECT_EQ(bwd->spec().approximation_bits(), 13u);
+  EXPECT_EQ(bwd->Reconstruct(0), 747979);
+  EXPECT_EQ(bwd->approximation().Get(0), 747979u >> 7);
+  EXPECT_EQ(bwd->residual().Get(0), 747979u & 0x7F);
+}
+
+}  // namespace
+}  // namespace wastenot::bwd

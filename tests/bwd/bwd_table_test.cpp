@@ -1,0 +1,74 @@
+#include "bwd/bwd_table.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace wastenot::bwd {
+namespace {
+
+std::unique_ptr<device::Device> MakeDevice() {
+  device::DeviceSpec spec;
+  spec.memory_capacity = 16 << 20;
+  return std::make_unique<device::Device>(spec, 2);
+}
+
+cs::Table MakeBase() {
+  cs::Table t("r");
+  cs::Column a = cs::Column::FromI32({100, 200, 300, 400});
+  a.ComputeStats();
+  cs::Column b = cs::Column::FromI32({7, 8, 9, 10});
+  b.ComputeStats();
+  (void)t.AddColumn("a", std::move(a));
+  (void)t.AddColumn("b", std::move(b));
+  t.AttachDictionary("b", cs::Dictionary::Build({"p", "q", "r", "s"}));
+  return t;
+}
+
+TEST(BwdTableTest, DecomposeSelectedColumns) {
+  auto dev = MakeDevice();
+  cs::Table base = MakeBase();
+  auto table = BwdTable::Decompose(base, {{"a", 24, Compression::kBitPacked}},
+                                   dev.get());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_TRUE(table->HasColumn("a"));
+  EXPECT_FALSE(table->HasColumn("b"));
+  EXPECT_EQ(table->num_rows(), 4u);
+  EXPECT_EQ(table->column("a").Reconstruct(2), 300);
+  EXPECT_GT(table->device_bytes(), 0u);
+}
+
+TEST(BwdTableTest, UnknownColumnFails) {
+  auto dev = MakeDevice();
+  cs::Table base = MakeBase();
+  auto table =
+      BwdTable::Decompose(base, {{"zz", 24, Compression::kBitPacked}},
+                          dev.get());
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BwdTableTest, DictionaryPassthrough) {
+  auto dev = MakeDevice();
+  cs::Table base = MakeBase();
+  auto table = BwdTable::Decompose(base, {{"b", 32, Compression::kBitPacked}},
+                                   dev.get());
+  ASSERT_TRUE(table.ok());
+  ASSERT_NE(table->dictionary("b"), nullptr);
+  EXPECT_EQ(table->dictionary("b")->Decode(0), "p");
+  EXPECT_EQ(table->dictionary("a"), nullptr);
+}
+
+TEST(BwdTableTest, ColumnNamesSorted) {
+  auto dev = MakeDevice();
+  cs::Table base = MakeBase();
+  auto table = BwdTable::Decompose(base,
+                                   {{"b", 32, Compression::kBitPacked},
+                                    {"a", 32, Compression::kBitPacked}},
+                                   dev.get());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->column_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace wastenot::bwd

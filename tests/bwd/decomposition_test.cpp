@@ -1,0 +1,100 @@
+#include "bwd/decomposition.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::bwd {
+namespace {
+
+TEST(DecompositionTest, PlanBitPacked) {
+  // Domain 0..100M (27 bits), 32-bit type, 24 device bits -> 8 residual.
+  auto spec = DecompositionSpec::Plan(0, 100'000'000, 32, 24,
+                                      Compression::kBitPacked);
+  EXPECT_EQ(spec.residual_bits, 8u);
+  EXPECT_EQ(spec.value_bits, 27u);
+  EXPECT_EQ(spec.approximation_bits(), 19u);
+  EXPECT_EQ(spec.prefix_base, 0);
+  EXPECT_FALSE(spec.fully_resident());
+  EXPECT_EQ(spec.error(), 255u);
+}
+
+TEST(DecompositionTest, PlanFullyResident) {
+  auto spec =
+      DecompositionSpec::Plan(0, 2525, 32, 32, Compression::kBitPacked);
+  EXPECT_EQ(spec.residual_bits, 0u);
+  EXPECT_EQ(spec.value_bits, 12u);
+  EXPECT_TRUE(spec.fully_resident());
+  EXPECT_EQ(spec.error(), 0u);
+}
+
+TEST(DecompositionTest, ResidualClampedToValueBits) {
+  // 6-bit values with 24 requested device bits: the 8-bit residual request
+  // exceeds the value width; clamp so the residual never exceeds the value.
+  auto spec = DecompositionSpec::Plan(1, 50, 32, 24, Compression::kBitPacked);
+  EXPECT_EQ(spec.value_bits, 6u);  // 50-1=49 -> 6 bits
+  EXPECT_EQ(spec.residual_bits, 6u);
+  EXPECT_EQ(spec.approximation_bits(), 0u);
+}
+
+TEST(DecompositionTest, NegativeDomainUsesBase) {
+  // The spatial lon domain: -12.62427..29.64975 scaled by 1e5.
+  auto spec = DecompositionSpec::Plan(-1262427, 2964975, 32, 24,
+                                      Compression::kBitPacked);
+  EXPECT_EQ(spec.prefix_base, -1262427);
+  EXPECT_EQ(spec.value_bits, 23u);  // span 4227402 -> 23 bits
+  EXPECT_EQ(spec.residual_bits, 8u);
+}
+
+TEST(DecompositionTest, BytePrefixRoundsToBytes) {
+  // 23 significant bits round to 24 (3 bytes): the 25% volume reduction of
+  // the paper's spatial experiment (4-byte values -> 3 bytes).
+  auto spec = DecompositionSpec::Plan(-1262427, 2964975, 32, 32,
+                                      Compression::kBytePrefix);
+  EXPECT_EQ(spec.value_bits, 24u);
+  EXPECT_EQ(spec.approximation_bits(), 24u);
+}
+
+TEST(DecompositionTest, DigitsRoundTrip) {
+  auto spec =
+      DecompositionSpec::Plan(-100, 1000, 32, 26, Compression::kBitPacked);
+  for (int64_t v = -100; v <= 1000; v += 7) {
+    const uint64_t a = spec.ApproxDigit(v);
+    const uint64_t r = spec.ResidualDigit(v);
+    EXPECT_EQ(spec.Reassemble(a, r), v);
+    EXPECT_LE(spec.LowerBound(a), v);
+    EXPECT_GE(spec.UpperBound(a), v);
+    EXPECT_EQ(spec.UpperBound(a) - spec.LowerBound(a),
+              static_cast<int64_t>(spec.error()));
+  }
+}
+
+TEST(DecompositionTest, SingleValueDomain) {
+  auto spec = DecompositionSpec::Plan(42, 42, 32, 32, Compression::kBitPacked);
+  EXPECT_GE(spec.value_bits, 1u);
+  EXPECT_EQ(spec.Reassemble(spec.ApproxDigit(42), spec.ResidualDigit(42)), 42);
+}
+
+TEST(DecompositionTest, KNoneRequiresNonNegative) {
+  auto spec = DecompositionSpec::Plan(5, 1000, 32, 32, Compression::kNone);
+  EXPECT_EQ(spec.prefix_base, 0);
+  EXPECT_EQ(spec.value_bits, 10u);  // BitWidth(1000)
+}
+
+TEST(DecompositionTest, KNoneNegativeDomainFallsBackToRebase) {
+  // Raw packing cannot hold negatives; Plan falls back to a FOR base so
+  // digits stay well-defined.
+  auto spec = DecompositionSpec::Plan(-100, 1000, 32, 32, Compression::kNone);
+  EXPECT_EQ(spec.compression, Compression::kBitPacked);
+  EXPECT_EQ(spec.prefix_base, -100);
+  EXPECT_EQ(spec.Reassemble(spec.ApproxDigit(-100), spec.ResidualDigit(-100)),
+            -100);
+}
+
+TEST(DecompositionTest, ToStringMentionsParts) {
+  auto spec = DecompositionSpec::Plan(0, 255, 32, 28, Compression::kBitPacked);
+  const std::string s = spec.ToString();
+  EXPECT_NE(s.find("residual=4"), std::string::npos);
+  EXPECT_NE(s.find("bit-packed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wastenot::bwd

@@ -1,0 +1,102 @@
+#include "bwd/packed_vector.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace wastenot::bwd {
+namespace {
+
+class PackedWidthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PackedWidthTest, RoundTripRandomValues) {
+  const uint32_t width = GetParam();
+  const uint64_t n = 1000;
+  PackedVector pv(width, n);
+  Xoshiro256 rng(width * 7919 + 1);
+  std::vector<uint64_t> expect(n);
+  const uint64_t mask = bits::LowMask(width);
+  for (uint64_t i = 0; i < n; ++i) {
+    expect[i] = rng.Next() & mask;
+    pv.Set(i, expect[i]);
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(pv.Get(i), expect[i]) << "width=" << width << " i=" << i;
+  }
+  // The view decodes identically.
+  PackedView view = pv.view();
+  for (uint64_t i = 0; i < n; ++i) ASSERT_EQ(view.Get(i), expect[i]);
+}
+
+TEST_P(PackedWidthTest, OverwriteDoesNotLeakIntoNeighbors) {
+  const uint32_t width = GetParam();
+  if (width == 0) return;
+  PackedVector pv(width, 3);
+  const uint64_t mask = bits::LowMask(width);
+  pv.Set(0, mask);
+  pv.Set(1, 0);
+  pv.Set(2, mask);
+  pv.Set(1, mask);
+  pv.Set(1, 0);  // rewrite must clear its own bits only
+  EXPECT_EQ(pv.Get(0), mask);
+  EXPECT_EQ(pv.Get(1), 0u);
+  EXPECT_EQ(pv.Get(2), mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PackedWidthTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 7u, 8u, 12u,
+                                           13u, 16u, 24u, 27u, 31u, 32u, 33u,
+                                           48u, 63u, 64u));
+
+TEST(PackedVectorTest, WidthZeroReadsZero) {
+  PackedVector pv(0, 10);
+  pv.Set(3, 999);  // ignored
+  EXPECT_EQ(pv.Get(3), 0u);
+  EXPECT_EQ(pv.byte_size(), 0u);
+}
+
+TEST(PackedVectorTest, ByteSizeTight) {
+  PackedVector pv(13, 100);
+  EXPECT_EQ(pv.byte_size(), (100 * 13 + 7) / 8);
+  // Allocation includes the padding word.
+  EXPECT_GE(pv.allocated_bytes(), pv.byte_size() + 8);
+}
+
+TEST(PackedVectorTest, ParallelChunkedWritesAt64ElementBoundaries) {
+  // Chunks starting at multiples of 64 elements never share words, for any
+  // width — the contract the parallel encoder relies on.
+  const uint32_t width = 27;
+  const uint64_t n = 64 * 100;
+  PackedVector pv(width, n);
+  ParallelFor(100, [&](uint64_t cb, uint64_t ce) {
+    for (uint64_t c = cb; c < ce; ++c) {
+      for (uint64_t i = c * 64; i < (c + 1) * 64; ++i) {
+        internal::PackedSet(pv.mutable_words(), width, i, i & bits::LowMask(width));
+      }
+    }
+  });
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(pv.Get(i), i & bits::LowMask(width)) << i;
+  }
+}
+
+TEST(PackedVectorTest, WordBoundaryStraddling) {
+  // Width 33 guarantees every other element straddles a word boundary.
+  PackedVector pv(33, 64);
+  for (uint64_t i = 0; i < 64; ++i) pv.Set(i, (1ull << 33) - 1 - i);
+  for (uint64_t i = 0; i < 64; ++i) EXPECT_EQ(pv.Get(i), (1ull << 33) - 1 - i);
+}
+
+TEST(PackedViewTest, NonOwningOverExternalWords) {
+  PackedVector pv(9, 50);
+  for (uint64_t i = 0; i < 50; ++i) pv.Set(i, i * 3);
+  PackedView view(pv.words(), 9, 50);
+  EXPECT_EQ(view.Get(17), 51u);
+  EXPECT_EQ(view.byte_size(), (50 * 9 + 7) / 8);
+}
+
+}  // namespace
+}  // namespace wastenot::bwd

@@ -1,0 +1,53 @@
+#include "columnstore/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::cs {
+namespace {
+
+TEST(AggregateTest, GlobalSumMinMax) {
+  Column col = Column::FromI32({3, -1, 7, 0});
+  EXPECT_EQ(Sum(col), 9);
+  EXPECT_EQ(Min(col), -1);
+  EXPECT_EQ(Max(col), 7);
+}
+
+TEST(AggregateTest, SubsetSumMinMax) {
+  Column col = Column::FromI32({3, -1, 7, 0});
+  const OidVec rows = {0, 2};
+  EXPECT_EQ(Sum(col, rows), 10);
+  EXPECT_EQ(Min(col, rows), 3);
+  EXPECT_EQ(Max(col, rows), 7);
+}
+
+TEST(AggregateTest, Int64Values) {
+  Column col = Column::FromI64({1ll << 40, 1ll << 40});
+  EXPECT_EQ(Sum(col), 1ll << 41);
+}
+
+TEST(AggregateTest, GroupedSum) {
+  const std::vector<int64_t> values = {1, 2, 3, 4};
+  const std::vector<uint32_t> groups = {0, 1, 0, 1};
+  EXPECT_EQ(GroupedSum(values, groups, 2), (std::vector<int64_t>{4, 6}));
+}
+
+TEST(AggregateTest, GroupedMinMax) {
+  const std::vector<int64_t> values = {5, -2, 9, 1};
+  const std::vector<uint32_t> groups = {0, 0, 1, 1};
+  EXPECT_EQ(GroupedMin(values, groups, 2), (std::vector<int64_t>{-2, 1}));
+  EXPECT_EQ(GroupedMax(values, groups, 2), (std::vector<int64_t>{5, 9}));
+}
+
+TEST(AggregateTest, GroupedCount) {
+  const std::vector<uint32_t> groups = {2, 0, 2, 2};
+  EXPECT_EQ(GroupedCount(groups, 3), (std::vector<int64_t>{1, 0, 3}));
+}
+
+TEST(AggregateTest, EmptyInputs) {
+  Column col(ValueType::kInt32, 0);
+  EXPECT_EQ(Sum(col), 0);
+  EXPECT_EQ(GroupedSum({}, {}, 2), (std::vector<int64_t>{0, 0}));
+}
+
+}  // namespace
+}  // namespace wastenot::cs

@@ -1,0 +1,64 @@
+#include "columnstore/column.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::cs {
+namespace {
+
+TEST(ColumnTest, FromI32RoundTrip) {
+  Column col = Column::FromI32({3, 1, 4, 1, 5});
+  EXPECT_EQ(col.size(), 5u);
+  EXPECT_EQ(col.type(), ValueType::kInt32);
+  EXPECT_EQ(col.byte_size(), 20u);
+  EXPECT_EQ(col.Get(0), 3);
+  EXPECT_EQ(col.Get(4), 5);
+}
+
+TEST(ColumnTest, FromI64RoundTrip) {
+  Column col = Column::FromI64({-10, 1ll << 40});
+  EXPECT_EQ(col.type(), ValueType::kInt64);
+  EXPECT_EQ(col.Get(0), -10);
+  EXPECT_EQ(col.Get(1), 1ll << 40);
+}
+
+TEST(ColumnTest, SetGet) {
+  Column col(ValueType::kInt32, 3);
+  col.Set(0, 7);
+  col.Set(2, -9);
+  EXPECT_EQ(col.Get(0), 7);
+  EXPECT_EQ(col.Get(1), 0);  // zero-initialized
+  EXPECT_EQ(col.Get(2), -9);
+}
+
+TEST(ColumnTest, Stats) {
+  Column col = Column::FromI32({5, -2, 9, 0});
+  EXPECT_FALSE(col.has_stats());
+  col.ComputeStats();
+  EXPECT_TRUE(col.has_stats());
+  EXPECT_EQ(col.min_value(), -2);
+  EXPECT_EQ(col.max_value(), 9);
+  EXPECT_FALSE(col.sorted());
+}
+
+TEST(ColumnTest, StatsSorted) {
+  Column col = Column::FromI32({1, 2, 2, 7});
+  col.ComputeStats();
+  EXPECT_TRUE(col.sorted());
+}
+
+TEST(ColumnTest, StatsEmpty) {
+  Column col(ValueType::kInt64, 0);
+  col.ComputeStats();
+  EXPECT_TRUE(col.has_stats());
+  EXPECT_TRUE(col.empty());
+}
+
+TEST(ColumnTest, SpansMatchTypes) {
+  Column c32 = Column::FromI32({1, 2});
+  EXPECT_EQ(c32.I32().size(), 2u);
+  Column c64 = Column::FromI64({1, 2, 3});
+  EXPECT_EQ(c64.I64().size(), 3u);
+}
+
+}  // namespace
+}  // namespace wastenot::cs

@@ -1,0 +1,61 @@
+#include "columnstore/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::cs {
+namespace {
+
+TEST(DictionaryTest, BuildSortsAndDedups) {
+  Dictionary d = Dictionary::Build({"b", "a", "b", "c"});
+  EXPECT_EQ(d.size(), 3);
+  EXPECT_EQ(d.CodeOf("a"), 0);
+  EXPECT_EQ(d.CodeOf("b"), 1);
+  EXPECT_EQ(d.CodeOf("c"), 2);
+  EXPECT_EQ(d.CodeOf("zz"), -1);
+  EXPECT_EQ(d.Decode(1), "b");
+}
+
+TEST(DictionaryTest, CodesPreserveOrder) {
+  Dictionary d = Dictionary::Build({"PROMO POLISHED TIN", "ECONOMY BRUSHED",
+                                    "STANDARD PLATED", "PROMO ANODIZED"});
+  // Lexicographic order <=> code order.
+  EXPECT_LT(d.CodeOf("ECONOMY BRUSHED"), d.CodeOf("PROMO ANODIZED"));
+  EXPECT_LT(d.CodeOf("PROMO ANODIZED"), d.CodeOf("PROMO POLISHED TIN"));
+  EXPECT_LT(d.CodeOf("PROMO POLISHED TIN"), d.CodeOf("STANDARD PLATED"));
+}
+
+TEST(DictionaryTest, PrefixRange) {
+  Dictionary d = Dictionary::Build(
+      {"ECONOMY X", "PROMO A", "PROMO B", "PROMO Z", "STANDARD Y"});
+  RangePred r = d.PrefixRange("PROMO");
+  EXPECT_EQ(r.lo, 1);
+  EXPECT_EQ(r.hi, 3);
+  // Every string in range has the prefix; none outside does.
+  for (int32_t c = 0; c < d.size(); ++c) {
+    const bool in_range = c >= r.lo && c <= r.hi;
+    EXPECT_EQ(d.Decode(c).rfind("PROMO", 0) == 0, in_range) << c;
+  }
+}
+
+TEST(DictionaryTest, PrefixRangeNoMatches) {
+  Dictionary d = Dictionary::Build({"AAA", "BBB"});
+  RangePred r = d.PrefixRange("ZZZ");
+  EXPECT_TRUE(r.Empty());
+}
+
+TEST(DictionaryTest, PrefixRangeEverything) {
+  Dictionary d = Dictionary::Build({"AB", "AC"});
+  RangePred r = d.PrefixRange("A");
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 1);
+}
+
+TEST(DictionaryTest, EmptyPrefixSelectsAll) {
+  Dictionary d = Dictionary::Build({"x", "y"});
+  RangePred r = d.PrefixRange("");
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 1);
+}
+
+}  // namespace
+}  // namespace wastenot::cs

@@ -1,0 +1,45 @@
+#include "columnstore/fetch.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::cs {
+namespace {
+
+TEST(FetchTest, GathersInOrder) {
+  Column col = Column::FromI32({10, 20, 30, 40});
+  Column out = Fetch(col, {3, 0, 2});
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.Get(0), 40);
+  EXPECT_EQ(out.Get(1), 10);
+  EXPECT_EQ(out.Get(2), 30);
+}
+
+TEST(FetchTest, EmptyOids) {
+  Column col = Column::FromI32({1});
+  EXPECT_EQ(Fetch(col, {}).size(), 0u);
+}
+
+TEST(FetchTest, Int64Column) {
+  Column col = Column::FromI64({1ll << 40, -5});
+  Column out = Fetch(col, {1, 0, 0});
+  EXPECT_EQ(out.Get(0), -5);
+  EXPECT_EQ(out.Get(1), 1ll << 40);
+  EXPECT_EQ(out.Get(2), 1ll << 40);
+}
+
+TEST(FetchTest, FetchToBuffer) {
+  Column col = Column::FromI32({7, 8, 9});
+  std::vector<int64_t> buf(3);
+  FetchTo(col, {2, 1, 0}, buf.data());
+  EXPECT_EQ(buf, (std::vector<int64_t>{9, 8, 7}));
+}
+
+TEST(FetchTest, DuplicateOidsAllowed) {
+  Column col = Column::FromI32({5, 6});
+  Column out = Fetch(col, {1, 1, 1});
+  EXPECT_EQ(out.Get(0), 6);
+  EXPECT_EQ(out.Get(2), 6);
+}
+
+}  // namespace
+}  // namespace wastenot::cs

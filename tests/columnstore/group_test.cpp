@@ -1,0 +1,82 @@
+#include "columnstore/group.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::cs {
+namespace {
+
+/// Checks a grouping is consistent with the oracle partition: two rows are
+/// in the same group iff their key values are equal.
+void CheckPartition(const GroupResult& g, const std::vector<int64_t>& keys) {
+  ASSERT_EQ(g.group_ids.size(), keys.size());
+  std::map<int64_t, uint32_t> value_to_group;
+  std::map<uint32_t, int64_t> group_to_value;
+  for (uint64_t i = 0; i < keys.size(); ++i) {
+    auto [it, fresh] = value_to_group.emplace(keys[i], g.group_ids[i]);
+    EXPECT_EQ(it->second, g.group_ids[i]) << "row " << i;
+    auto [it2, fresh2] = group_to_value.emplace(g.group_ids[i], keys[i]);
+    EXPECT_EQ(it2->second, keys[i]) << "row " << i;
+  }
+  EXPECT_EQ(value_to_group.size(), g.num_groups);
+}
+
+TEST(GroupTest, BasicGroups) {
+  Column col = Column::FromI32({3, 1, 3, 2, 1});
+  GroupResult g = GroupBy(col);
+  EXPECT_EQ(g.num_groups, 3u);
+  CheckPartition(g, {3, 1, 3, 2, 1});
+  // First-occurrence order: 3 -> 0, 1 -> 1, 2 -> 2.
+  EXPECT_EQ(g.group_ids, (std::vector<uint32_t>{0, 1, 0, 2, 1}));
+  EXPECT_EQ(g.representatives, (std::vector<int64_t>{3, 1, 2}));
+  EXPECT_EQ(g.first_row, (OidVec{0, 1, 3}));
+}
+
+TEST(GroupTest, GroupOnCandidates) {
+  Column col = Column::FromI32({9, 8, 9, 7, 8, 9});
+  GroupResult g = GroupBy(col, {0, 2, 3, 5});
+  EXPECT_EQ(g.num_groups, 2u);  // values 9 and 7
+  CheckPartition(g, {9, 9, 7, 9});
+  EXPECT_EQ(g.first_row, (OidVec{0, 2}));  // positions within the subset
+}
+
+TEST(GroupTest, SubGroupSplitsGroups) {
+  Column a = Column::FromI32({1, 1, 2, 2});
+  GroupResult g1 = GroupBy(a);
+  GroupResult g2 = SubGroup(g1, {10, 20, 10, 10});
+  // Pairs: (1,10) (1,20) (2,10) (2,10) -> 3 groups.
+  EXPECT_EQ(g2.num_groups, 3u);
+  EXPECT_EQ(g2.group_ids[2], g2.group_ids[3]);
+  EXPECT_NE(g2.group_ids[0], g2.group_ids[1]);
+  EXPECT_NE(g2.group_ids[0], g2.group_ids[2]);
+}
+
+TEST(GroupTest, RandomizedPartitionProperty) {
+  Xoshiro256 rng(5);
+  std::vector<int32_t> v(5000);
+  for (auto& x : v) x = static_cast<int32_t>(rng.Below(37));
+  Column col = Column::FromI32(v);
+  GroupResult g = GroupBy(col);
+  std::vector<int64_t> keys(v.begin(), v.end());
+  CheckPartition(g, keys);
+  EXPECT_EQ(g.num_groups, 37u);
+}
+
+TEST(GroupTest, EmptyInput) {
+  Column col(ValueType::kInt32, 0);
+  GroupResult g = GroupBy(col);
+  EXPECT_EQ(g.num_groups, 0u);
+  EXPECT_TRUE(g.group_ids.empty());
+}
+
+TEST(GroupTest, SingleGroup) {
+  Column col = Column::FromI32({4, 4, 4});
+  GroupResult g = GroupBy(col);
+  EXPECT_EQ(g.num_groups, 1u);
+}
+
+}  // namespace
+}  // namespace wastenot::cs

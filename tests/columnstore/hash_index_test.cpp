@@ -1,0 +1,76 @@
+#include "columnstore/hash_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::cs {
+namespace {
+
+TEST(HashIndexTest, LookupUnique) {
+  Column col = Column::FromI32({10, 20, 30});
+  HashIndex idx = HashIndex::Build(col);
+  EXPECT_EQ(idx.LookupFirst(20), 1u);
+  EXPECT_EQ(idx.LookupFirst(99), kInvalidOid);
+}
+
+TEST(HashIndexTest, LookupDuplicates) {
+  Column col = Column::FromI32({5, 7, 5, 5, 7});
+  HashIndex idx = HashIndex::Build(col);
+  OidVec out;
+  EXPECT_EQ(idx.Lookup(5, &out), 3u);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (OidVec{0, 2, 3}));
+}
+
+TEST(HashIndexTest, EmptyColumn) {
+  Column col(ValueType::kInt32, 0);
+  HashIndex idx = HashIndex::Build(col);
+  EXPECT_EQ(idx.LookupFirst(1), kInvalidOid);
+}
+
+TEST(HashIndexTest, NegativeKeys) {
+  Column col = Column::FromI32({-1, -100, 0});
+  HashIndex idx = HashIndex::Build(col);
+  EXPECT_EQ(idx.LookupFirst(-100), 1u);
+}
+
+TEST(HashJoinTest, MatchesNestedLoopOracle) {
+  Xoshiro256 rng(3);
+  std::vector<int32_t> build(500), probe(800);
+  for (auto& v : build) v = static_cast<int32_t>(rng.Below(200));
+  for (auto& v : probe) v = static_cast<int32_t>(rng.Below(200));
+  Column bcol = Column::FromI32(build);
+  Column pcol = Column::FromI32(probe);
+
+  HashIndex idx = HashIndex::Build(bcol);
+  JoinResult join = HashJoin(idx, pcol);
+
+  // Oracle pairs.
+  std::vector<std::pair<oid_t, oid_t>> expect;
+  for (uint64_t p = 0; p < probe.size(); ++p) {
+    for (uint64_t b = 0; b < build.size(); ++b) {
+      if (probe[p] == build[b]) expect.emplace_back(p, b);
+    }
+  }
+  std::vector<std::pair<oid_t, oid_t>> got;
+  for (uint64_t i = 0; i < join.probe_oids.size(); ++i) {
+    got.emplace_back(join.probe_oids[i], join.build_oids[i]);
+  }
+  std::sort(expect.begin(), expect.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(HashIndexTest, ByteSizeAccounted) {
+  Column col = Column::FromI32({1, 2, 3, 4});
+  HashIndex idx = HashIndex::Build(col);
+  EXPECT_GT(idx.byte_size(), 0u);
+  EXPECT_EQ(idx.size(), 4u);
+}
+
+}  // namespace
+}  // namespace wastenot::cs

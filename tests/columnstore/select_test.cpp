@@ -1,0 +1,99 @@
+#include "columnstore/select.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::cs {
+namespace {
+
+/// Scalar oracle.
+OidVec OracleSelect(const Column& col, const RangePred& pred) {
+  OidVec out;
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    if (pred.Contains(col.Get(i))) out.push_back(static_cast<oid_t>(i));
+  }
+  return out;
+}
+
+Column RandomColumn(uint64_t n, int64_t range, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<int32_t> v(n);
+  for (auto& x : v) x = static_cast<int32_t>(rng.Below(range));
+  return Column::FromI32(v);
+}
+
+TEST(SelectTest, BasicRange) {
+  Column col = Column::FromI32({5, 1, 9, 3, 7});
+  OidVec got = Select(col, RangePred::Between(3, 7));
+  EXPECT_EQ(got, (OidVec{0, 3, 4}));
+}
+
+TEST(SelectTest, EmptyPredicate) {
+  Column col = Column::FromI32({1, 2, 3});
+  EXPECT_TRUE(Select(col, RangePred{5, 2}).empty());
+}
+
+TEST(SelectTest, OpenEndedPredicates) {
+  Column col = Column::FromI32({5, 1, 9});
+  EXPECT_EQ(Select(col, RangePred::Ge(5)), (OidVec{0, 2}));
+  EXPECT_EQ(Select(col, RangePred::Lt(5)), (OidVec{1}));
+  EXPECT_EQ(Select(col, RangePred::Eq(9)), (OidVec{2}));
+  EXPECT_EQ(Select(col, RangePred::All()).size(), 3u);
+}
+
+TEST(SelectTest, CandidatesChainEqualsConjunction) {
+  Column a = RandomColumn(5000, 100, 1);
+  Column b = RandomColumn(5000, 100, 2);
+  OidVec first = Select(a, RangePred::Le(30));
+  OidVec chained = SelectCandidates(b, RangePred::Ge(70), first);
+  // Oracle: both predicates.
+  OidVec expect;
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    if (a.Get(i) <= 30 && b.Get(i) >= 70) expect.push_back(i);
+  }
+  EXPECT_EQ(chained, expect);
+}
+
+TEST(SelectTest, CountMatchesMaterialize) {
+  Column col = RandomColumn(10000, 1000, 3);
+  const RangePred pred = RangePred::Between(100, 250);
+  EXPECT_EQ(CountSelect(col, pred), Select(col, pred).size());
+}
+
+class SelectParallelTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SelectParallelTest, MatchesSerial) {
+  Column col = RandomColumn(200000, 5000, GetParam());
+  const RangePred pred = RangePred::Between(1000, 2000);
+  OidVec serial = Select(col, pred);
+  OidVec parallel = SelectParallel(col, pred, GetParam());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, OracleSelect(col, pred));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SelectParallelTest,
+                         ::testing::Values(1u, 2u, 3u, 8u, 16u));
+
+class SelectPredicateSweep
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(SelectPredicateSweep, MatchesOracle) {
+  Column col = RandomColumn(20000, 1 << 14, 77);
+  const RangePred pred{GetParam().first, GetParam().second};
+  EXPECT_EQ(Select(col, pred), OracleSelect(col, pred));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, SelectPredicateSweep,
+    ::testing::Values(std::pair<int64_t, int64_t>{0, 0},
+                      std::pair<int64_t, int64_t>{0, 100},
+                      std::pair<int64_t, int64_t>{16000, 17000},
+                      std::pair<int64_t, int64_t>{-50, 20},
+                      std::pair<int64_t, int64_t>{8000, 8000},
+                      std::pair<int64_t, int64_t>{
+                          std::numeric_limits<int64_t>::min(),
+                          std::numeric_limits<int64_t>::max()}));
+
+}  // namespace
+}  // namespace wastenot::cs

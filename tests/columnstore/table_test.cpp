@@ -1,0 +1,62 @@
+#include "columnstore/table.h"
+
+#include <gtest/gtest.h>
+
+#include "columnstore/database.h"
+
+namespace wastenot::cs {
+namespace {
+
+TEST(TableTest, AddAndAccess) {
+  Table t("r");
+  EXPECT_TRUE(t.AddColumn("a", Column::FromI32({1, 2})).ok());
+  EXPECT_TRUE(t.AddColumn("b", Column::FromI32({3, 4})).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("c"));
+  EXPECT_EQ(t.column("b").Get(1), 4);
+  EXPECT_EQ(t.column_names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TableTest, RejectsMismatchedLength) {
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn("a", Column::FromI32({1, 2})).ok());
+  Status st = t.AddColumn("b", Column::FromI32({1}));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, RejectsDuplicateColumn) {
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn("a", Column::FromI32({1})).ok());
+  EXPECT_EQ(t.AddColumn("a", Column::FromI32({2})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, DictionaryAttachment) {
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn("s", Column::FromI32({0, 1})).ok());
+  EXPECT_EQ(t.dictionary("s"), nullptr);
+  t.AttachDictionary("s", Dictionary::Build({"x", "y"}));
+  ASSERT_NE(t.dictionary("s"), nullptr);
+  EXPECT_EQ(t.dictionary("s")->Decode(0), "x");
+}
+
+TEST(TableTest, ByteSize) {
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn("a", Column::FromI32({1, 2, 3})).ok());
+  EXPECT_EQ(t.byte_size(), 12u);
+}
+
+TEST(DatabaseTest, AddAndLookup) {
+  Database db;
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn("a", Column::FromI32({1})).ok());
+  db.AddTable(std::move(t));
+  EXPECT_TRUE(db.HasTable("r"));
+  EXPECT_FALSE(db.HasTable("s"));
+  EXPECT_EQ(db.table("r").num_rows(), 1u);
+  EXPECT_EQ(db.byte_size(), 4u);
+}
+
+}  // namespace
+}  // namespace wastenot::cs

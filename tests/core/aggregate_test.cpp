@@ -1,0 +1,179 @@
+#include "core/aggregate.h"
+
+#include <memory>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/select.h"
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+struct AggFixture {
+  std::unique_ptr<device::Device> dev;
+  cs::Column base;
+  bwd::BwdColumn col;
+
+  AggFixture(std::vector<int32_t> values, uint32_t device_bits) {
+    device::DeviceSpec spec;
+    spec.memory_capacity = 64 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    base = cs::Column::FromI32(values);
+    base.ComputeStats();
+    col = std::move(bwd::BwdColumn::Decompose(base, device_bits, dev.get()))
+              .value();
+  }
+};
+
+TEST(CountApproximateTest, Bounds) {
+  Candidates cands;
+  cands.ids = {1, 2, 3, 4, 5};
+  ValueBounds b = CountApproximate(cands, 3);
+  EXPECT_EQ(b.lo, 3);
+  EXPECT_EQ(b.hi, 5);
+}
+
+TEST(SumApproximateTest, IntervalSumContainsExact) {
+  AggFixture f({100, 200, 300, 400}, 32 - 4);
+  BoundedValues values;
+  for (uint64_t i = 0; i < 4; ++i) {
+    values.lo.push_back(f.col.ApproxLowerBound(i));
+    values.hi.push_back(f.col.ApproxUpperBound(i));
+  }
+  ValueBounds sum = SumApproximate(values, f.dev.get());
+  EXPECT_LE(sum.lo, 1000);
+  EXPECT_GE(sum.hi, 1000);
+  EXPECT_EQ(SumRefine({100, 200, 300, 400}), 1000);
+}
+
+TEST(GroupedSumApproximateTest, PerGroupBounds) {
+  AggFixture f({10, 20, 30, 40}, 32);
+  BoundedValues values;
+  values.lo = {10, 20, 30, 40};
+  values.hi = {10, 20, 30, 40};
+  const std::vector<uint32_t> groups = {0, 1, 0, 1};
+  auto bounds = GroupedSumApproximate(values, groups, 2, f.dev.get());
+  EXPECT_EQ(bounds[0].lo, 40);
+  EXPECT_EQ(bounds[0].hi, 40);
+  EXPECT_EQ(bounds[1].lo, 60);
+  EXPECT_EQ(GroupedSumRefine({10, 20, 30, 40}, groups, 2),
+            (std::vector<int64_t>{40, 60}));
+}
+
+// ---------- Fig 6: the false-minimum hazard -------------------------------
+
+// Reconstruction of the paper's Figure 6 scenario: a selection on x keeps a
+// *false positive* whose y-approximation is the smallest. A naive "take
+// the minimal approximate y" would return the false minimum; the candidate
+// set must still contain the true minimum after refinement.
+TEST(MinApproximateTest, Fig6FalseMinimumSurvives) {
+  // Rows: (x, y). Selection: x > 6. Approximation granularity 4 (2 bits).
+  //   row 0: x=7,  y=9   -> true qualifying row
+  //   row 1: x=5,  y=1   -> FALSE POSITIVE under appr (x>=4), minimal y!
+  //   row 2: x=9,  y=6   -> true minimum of y among qualifying rows
+  std::vector<int32_t> x = {7, 5, 9};
+  std::vector<int32_t> y = {9, 1, 6};
+  AggFixture fx(x, 32 - 2);
+  AggFixture fy(y, 32 - 2);
+
+  const cs::RangePred pred = cs::RangePred::Gt(6);
+  ApproxSelection sel = SelectApproximate(fx.col, pred, fx.dev.get());
+  // All three rows are candidates (row 1 is the false positive).
+  ASSERT_EQ(sel.cands.size(), 3u);
+  EXPECT_EQ(sel.num_certain, 1u);  // only x=9 is certain at granularity 4
+
+  ExtremumCandidates approx =
+      MinApproximate(fy.col, sel.cands, sel.certain, fy.dev.get());
+  // The true minimum (row 2, y=6) must be in the candidate set even though
+  // the false positive row 1 has the smaller approximate y.
+  bool has_true_min = false;
+  for (cs::oid_t id : approx.survivors.ids) has_true_min |= (id == 2);
+  EXPECT_TRUE(has_true_min)
+      << "error-bound propagation must keep the true minimum (Fig 6)";
+
+  // Refinement: drop false positives, take the exact min.
+  PredicateRefinement conj{&fx.col, pred, &sel.values};
+  RefinedSelection refined = SelectRefine(sel.cands, std::span(&conj, 1));
+  auto min = MinRefine(fy.col, approx, refined.ids);
+  ASSERT_TRUE(min.ok());
+  ASSERT_TRUE(min->has_value());
+  EXPECT_EQ(**min, 6);
+}
+
+/// Property: for random data, decompositions and predicates, the refined
+/// min/max equals the oracle.
+class ExtremumProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtremumProperty, RefinedExtremaMatchOracle) {
+  const uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  const uint64_t n = 500 + rng.Below(3000);
+  std::vector<int32_t> x(n), y(n);
+  for (auto& v : x) v = static_cast<int32_t>(rng.Below(1 << 12));
+  for (auto& v : y) v = static_cast<int32_t>(rng.Below(1 << 14));
+  const uint32_t bits_x = 32 - 2 - static_cast<uint32_t>(rng.Below(8));
+  const uint32_t bits_y = 32 - 2 - static_cast<uint32_t>(rng.Below(8));
+  AggFixture fx(x, bits_x);
+  AggFixture fy(y, bits_y);
+
+  const int64_t lo = static_cast<int64_t>(rng.Below(1 << 12));
+  const int64_t hi = lo + static_cast<int64_t>(rng.Below(1 << 11));
+  const cs::RangePred pred{lo, hi};
+
+  ApproxSelection sel = SelectApproximate(fx.col, pred, fx.dev.get());
+  PredicateRefinement conj{&fx.col, pred, &sel.values};
+  RefinedSelection refined = SelectRefine(sel.cands, std::span(&conj, 1));
+
+  // Oracle.
+  std::optional<int64_t> expect_min, expect_max;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (pred.Contains(x[i])) {
+      if (!expect_min || y[i] < *expect_min) expect_min = y[i];
+      if (!expect_max || y[i] > *expect_max) expect_max = y[i];
+    }
+  }
+
+  ExtremumCandidates mn =
+      MinApproximate(fy.col, sel.cands, sel.certain, fy.dev.get());
+  auto got_min = MinRefine(fy.col, mn, refined.ids);
+  ASSERT_TRUE(got_min.ok());
+  EXPECT_EQ(*got_min, expect_min) << "seed=" << seed;
+  if (expect_min.has_value()) {
+    EXPECT_TRUE(mn.bounds.Contains(*expect_min))
+        << "approximate bounds must bracket the true minimum";
+  }
+
+  ExtremumCandidates mx =
+      MaxApproximate(fy.col, sel.cands, sel.certain, fy.dev.get());
+  auto got_max = MaxRefine(fy.col, mx, refined.ids);
+  ASSERT_TRUE(got_max.ok());
+  EXPECT_EQ(*got_max, expect_max) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtremumProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+TEST(MinApproximateTest, EmptyCandidates) {
+  AggFixture f({1, 2, 3}, 30);
+  Candidates empty;
+  ExtremumCandidates approx =
+      MinApproximate(f.col, empty, {}, f.dev.get());
+  EXPECT_TRUE(approx.survivors.empty());
+  auto refined = MinRefine(f.col, approx, {});
+  ASSERT_TRUE(refined.ok());
+  EXPECT_FALSE(refined->has_value());
+}
+
+TEST(AvgBoundsTest, SoundCombination) {
+  // sum in [100, 200], count in [5, 10]: avg must lie in [10, 40].
+  ValueBounds avg = AvgBounds({100, 200}, {5, 10});
+  EXPECT_LE(avg.lo, 10);
+  EXPECT_GE(avg.hi, 40);
+  // Degenerate zero counts.
+  EXPECT_EQ(AvgBounds({5, 5}, {0, 0}).hi, 0);
+}
+
+}  // namespace
+}  // namespace wastenot::core

@@ -1,0 +1,319 @@
+#include "core/ar_engine.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/classic_engine.h"
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+/// A random star-schema database plus its decomposed mirror.
+struct EngineFixture {
+  cs::Database db;
+  std::unique_ptr<device::Device> dev;
+  std::unique_ptr<bwd::BwdTable> fact;
+  std::unique_ptr<bwd::BwdTable> dim;
+
+  EngineFixture(uint64_t n, uint64_t seed, uint32_t a_bits, uint32_t b_bits,
+                uint32_t g_bits, uint32_t v_bits) {
+    Xoshiro256 rng(seed);
+    const uint64_t dim_rows = 64;
+    {
+      cs::Table fact_t("fact");
+      std::vector<int32_t> a(n), b(n), g(n), v(n), fk(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        a[i] = static_cast<int32_t>(rng.Below(1 << 14));
+        b[i] = static_cast<int32_t>(rng.Below(1 << 12));
+        g[i] = static_cast<int32_t>(rng.Below(7));
+        v[i] = static_cast<int32_t>(rng.Below(1000));
+        fk[i] = static_cast<int32_t>(1 + rng.Below(dim_rows));
+      }
+      auto add = [&fact_t](const char* name, std::vector<int32_t>& vals) {
+        cs::Column col = cs::Column::FromI32(vals);
+        col.ComputeStats();
+        (void)fact_t.AddColumn(name, std::move(col));
+      };
+      add("a", a);
+      add("b", b);
+      add("g", g);
+      add("v", v);
+      add("fk", fk);
+      db.AddTable(std::move(fact_t));
+    }
+    {
+      cs::Table dim_t("dim");
+      std::vector<int32_t> t(dim_rows), w(dim_rows);
+      for (uint64_t i = 0; i < dim_rows; ++i) {
+        t[i] = static_cast<int32_t>(rng.Below(16));
+        w[i] = static_cast<int32_t>(rng.Below(30));
+      }
+      auto add = [&dim_t](const char* name, std::vector<int32_t>& vals) {
+        cs::Column col = cs::Column::FromI32(vals);
+        col.ComputeStats();
+        (void)dim_t.AddColumn(name, std::move(col));
+      };
+      add("t", t);
+      add("w", w);
+      db.AddTable(std::move(dim_t));
+    }
+
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    fact = std::make_unique<bwd::BwdTable>(
+        std::move(bwd::BwdTable::Decompose(
+                      db.table("fact"),
+                      {{"a", a_bits, bwd::Compression::kBitPacked},
+                       {"b", b_bits, bwd::Compression::kBitPacked},
+                       {"g", g_bits, bwd::Compression::kBitPacked},
+                       {"v", v_bits, bwd::Compression::kBitPacked},
+                       {"fk", 32, bwd::Compression::kBitPacked}},
+                      dev.get()))
+            .value());
+    dim = std::make_unique<bwd::BwdTable>(
+        std::move(bwd::BwdTable::Decompose(
+                      db.table("dim"),
+                      {{"t", 32, bwd::Compression::kBitPacked},
+                       {"w", 32, bwd::Compression::kBitPacked}},
+                      dev.get()))
+            .value());
+  }
+
+  void ExpectEnginesAgree(const QuerySpec& q, const ArOptions& opts = {}) {
+    auto classic = ExecuteClassic(q, db);
+    ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+    auto ar = ExecuteAr(q, *fact, dim.get(), dev.get(), opts);
+    ASSERT_TRUE(ar.ok()) << ar.status().ToString();
+    EXPECT_EQ(ar->result, *classic) << "A&R result differs from classic";
+    // The approximate answer must bracket the exact one.
+    CheckApproxBrackets(*classic, ar->approx, q);
+  }
+
+  static void CheckApproxBrackets(const QueryResult& exact,
+                                  const ApproximateAnswer& approx,
+                                  const QuerySpec& q) {
+    EXPECT_GE(approx.row_count.hi,
+              static_cast<int64_t>(exact.selected_rows));
+    EXPECT_LE(approx.row_count.lo,
+              static_cast<int64_t>(exact.selected_rows));
+    // Every exact group's keys lie within some pre-group's key bounds
+    // (pre-groups may merge residual-neighboring exact groups, so counts
+    // need not match).
+    for (uint64_t ge = 0; ge < exact.num_groups(); ++ge) {
+      bool found = false;
+      for (uint64_t ga = 0; ga < approx.num_groups() && !found; ++ga) {
+        bool keys_match = true;
+        for (uint64_t k = 0; k < exact.group_keys[ge].size(); ++k) {
+          keys_match &=
+              approx.key_bounds[ga][k].Contains(exact.group_keys[ge][k]);
+        }
+        found = keys_match;
+      }
+      EXPECT_TRUE(found) << "exact group " << ge
+                         << " not covered by any approximate group";
+    }
+    // With a 1:1 group correspondence, non-avg aggregate bounds must
+    // contain the exact values (digit intervals are disjoint, so the
+    // matching pre-group is unique).
+    if (approx.num_groups() != exact.num_groups()) return;
+    for (uint64_t ge = 0; ge < exact.num_groups(); ++ge) {
+      for (uint64_t ga = 0; ga < approx.num_groups(); ++ga) {
+        bool keys_match = true;
+        for (uint64_t k = 0; k < exact.group_keys[ge].size(); ++k) {
+          keys_match &=
+              approx.key_bounds[ga][k].Contains(exact.group_keys[ge][k]);
+        }
+        if (!keys_match) continue;
+        for (uint64_t a = 0; a < q.aggregates.size(); ++a) {
+          if (q.aggregates[a].func == AggFunc::kAvg) continue;
+          EXPECT_TRUE(
+              approx.agg_bounds[ga][a].Contains(exact.agg_values[ge][a]))
+              << "group " << ge << " agg " << a << ": exact "
+              << exact.agg_values[ge][a] << " not in "
+              << approx.agg_bounds[ga][a].ToString();
+        }
+      }
+    }
+  }
+};
+
+struct BitsCase {
+  uint32_t a_bits, b_bits, g_bits, v_bits;
+};
+
+class ArEngineSweep : public ::testing::TestWithParam<BitsCase> {};
+
+TEST_P(ArEngineSweep, SelectSumCount) {
+  const BitsCase& c = GetParam();
+  EngineFixture f(20000, c.a_bits * 1000 + c.v_bits, c.a_bits, c.b_bits,
+                  c.g_bits, c.v_bits);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Le(4000)},
+                  {"b", cs::RangePred::Ge(1024)}};
+  q.aggregates = {Aggregate::SumOf("v", "sum_v"),
+                  Aggregate::CountStar("n")};
+  f.ExpectEnginesAgree(q);
+}
+
+TEST_P(ArEngineSweep, GroupedProductAggregate) {
+  const BitsCase& c = GetParam();
+  EngineFixture f(15000, c.a_bits * 77 + 5, c.a_bits, c.b_bits, c.g_bits,
+                  c.v_bits);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Between(1000, 9000)}};
+  q.group_by = {"g"};
+  Aggregate prod;
+  prod.func = AggFunc::kSum;
+  prod.terms = {Term::Col("v"), Term::OneMinus("b", 5000)};
+  prod.label = "s";
+  q.aggregates = {prod, Aggregate::CountStar("n")};
+  f.ExpectEnginesAgree(q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decompositions, ArEngineSweep,
+    ::testing::Values(BitsCase{32, 32, 32, 32},    // all resident (fast path)
+                      BitsCase{24, 32, 32, 32},    // selection refinement
+                      BitsCase{24, 26, 32, 32},    // two refined conjuncts
+                      BitsCase{24, 26, 30, 32},    // + group residual
+                      BitsCase{24, 26, 30, 26},    // + value residual
+                      BitsCase{20, 22, 31, 24}));  // aggressive residuals
+
+TEST(ArEngineTest, JoinFilterAggregate) {
+  EngineFixture f(10000, 42, 26, 32, 32, 28);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Le(5000)}};
+  q.join = JoinSpec{"fk", "dim", 1};
+  Aggregate promo;
+  promo.func = AggFunc::kSum;
+  promo.terms = {Term::Col("v")};
+  promo.filter = CaseFilter{"t", cs::RangePred::Between(4, 9)};
+  promo.label = "filtered";
+  q.aggregates = {promo, Aggregate::SumOf("v", "total")};
+  f.ExpectEnginesAgree(q);
+}
+
+TEST(ArEngineTest, MinMaxAggregates) {
+  EngineFixture f(8000, 43, 24, 32, 32, 24);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Between(2000, 2600)}};
+  Aggregate mn, mx;
+  mn.func = AggFunc::kMin;
+  mn.terms = {Term::Col("v")};
+  mn.label = "min_v";
+  mx.func = AggFunc::kMax;
+  mx.terms = {Term::Col("v")};
+  mx.label = "max_v";
+  QuerySpec q2 = q;
+  q.aggregates = {mn};
+  q2.aggregates = {mx};
+  f.ExpectEnginesAgree(q);
+  f.ExpectEnginesAgree(q2);
+}
+
+TEST(ArEngineTest, PushdownOffStillCorrect) {
+  EngineFixture f(12000, 44, 24, 26, 32, 32);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::All()},  // non-selective first
+                  {"b", cs::RangePred::Le(64)}};
+  q.aggregates = {Aggregate::CountStar("n")};
+  ArOptions opts;
+  opts.pushdown = false;
+  f.ExpectEnginesAgree(q, opts);
+  opts.pushdown = true;
+  f.ExpectEnginesAgree(q, opts);
+}
+
+TEST(ArEngineTest, SkipExactRefinementOffStillCorrect) {
+  EngineFixture f(9000, 45, 32, 32, 32, 32);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Le(2000)}};
+  q.group_by = {"g"};
+  q.aggregates = {Aggregate::SumOf("v", "s"), Aggregate::CountStar("n")};
+  ArOptions opts;
+  opts.skip_exact_refinement = false;
+  f.ExpectEnginesAgree(q, opts);
+}
+
+TEST(ArEngineTest, AllResidentApproxAnswerIsExact) {
+  EngineFixture f(5000, 46, 32, 32, 32, 32);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Le(3000)}};
+  q.aggregates = {Aggregate::SumOf("v", "s")};
+  auto ar = ExecuteAr(q, *f.fact, f.dim.get(), f.dev.get());
+  ASSERT_TRUE(ar.ok());
+  EXPECT_TRUE(ar->approx.exact())
+      << "with every bit resident the approximation is the exact answer";
+  EXPECT_EQ(ar->num_candidates, ar->num_refined);
+}
+
+TEST(ArEngineTest, DecomposedApproxAnswerHasWidth) {
+  EngineFixture f(5000, 47, 22, 32, 32, 22);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Le(3000)}};
+  q.aggregates = {Aggregate::SumOf("v", "s")};
+  auto ar = ExecuteAr(q, *f.fact, f.dim.get(), f.dev.get());
+  ASSERT_TRUE(ar.ok());
+  EXPECT_FALSE(ar->approx.exact());
+  EXPECT_GE(ar->num_candidates, ar->num_refined);
+}
+
+TEST(ArEngineTest, BreakdownPhasesPopulated) {
+  EngineFixture f(20000, 48, 24, 32, 32, 24);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Le(4000)}};
+  q.aggregates = {Aggregate::SumOf("v", "s")};
+  auto ar = ExecuteAr(q, *f.fact, f.dim.get(), f.dev.get());
+  ASSERT_TRUE(ar.ok());
+  EXPECT_GT(ar->breakdown.device_seconds, 0.0);
+  EXPECT_GT(ar->breakdown.bus_seconds, 0.0);
+  EXPECT_GT(ar->breakdown.host_seconds, 0.0);
+}
+
+TEST(ArEngineTest, PlanTextShowsOperatorPairs) {
+  EngineFixture f(2000, 49, 24, 32, 30, 32);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Le(1000)}};
+  q.group_by = {"g"};
+  q.aggregates = {Aggregate::SumOf("v", "s")};
+  auto ar = ExecuteAr(q, *f.fact, f.dim.get(), f.dev.get());
+  ASSERT_TRUE(ar.ok());
+  EXPECT_NE(ar->plan_text.find("uselectapproximate"), std::string::npos);
+  EXPECT_NE(ar->plan_text.find("uselectrefine"), std::string::npos);
+  EXPECT_NE(ar->plan_text.find("groupapproximate"), std::string::npos);
+  EXPECT_NE(ar->plan_text.find("approximate subplan"), std::string::npos);
+}
+
+TEST(ArEngineTest, ErrorsOnMissingColumns) {
+  EngineFixture f(100, 50, 32, 32, 32, 32);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"nope", cs::RangePred::All()}};
+  auto ar = ExecuteAr(q, *f.fact, f.dim.get(), f.dev.get());
+  EXPECT_EQ(ar.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArEngineTest, NoPredicatesAggregatesWholeTable) {
+  EngineFixture f(3000, 51, 32, 32, 32, 30);
+  QuerySpec q;
+  q.table = "fact";
+  q.group_by = {"g"};
+  q.aggregates = {Aggregate::SumOf("v", "s"), Aggregate::CountStar("n")};
+  f.ExpectEnginesAgree(q);
+}
+
+}  // namespace
+}  // namespace wastenot::core

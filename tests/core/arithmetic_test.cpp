@@ -1,0 +1,130 @@
+#include "core/arithmetic.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+std::unique_ptr<device::Device> MakeDevice() {
+  device::DeviceSpec spec;
+  spec.memory_capacity = 16 << 20;
+  return std::make_unique<device::Device>(spec, 2);
+}
+
+/// Builds aligned (bounds, exact) pairs with random interval widths.
+struct BoundedFixture {
+  BoundedValues bounds;
+  std::vector<int64_t> exact;
+
+  BoundedFixture(uint64_t n, int64_t range, uint64_t max_width,
+                 uint64_t seed) {
+    Xoshiro256 rng(seed);
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t lo =
+          static_cast<int64_t>(rng.Below(2 * range)) - range;
+      const int64_t width = static_cast<int64_t>(rng.Below(max_width + 1));
+      bounds.lo.push_back(lo);
+      bounds.hi.push_back(lo + width);
+      exact.push_back(lo + static_cast<int64_t>(
+                               rng.Below(static_cast<uint64_t>(width + 1))));
+    }
+  }
+};
+
+TEST(ArithmeticTest, AddSubSound) {
+  auto dev = MakeDevice();
+  BoundedFixture a(1000, 500, 32, 1), b(1000, 500, 32, 2);
+  BoundedValues sum = AddApproximate(a.bounds, b.bounds, dev.get());
+  BoundedValues diff = SubApproximate(a.bounds, b.bounds, dev.get());
+  for (uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(sum.At(i).Contains(a.exact[i] + b.exact[i])) << i;
+    ASSERT_TRUE(diff.At(i).Contains(a.exact[i] - b.exact[i])) << i;
+  }
+}
+
+TEST(ArithmeticTest, MulSoundAcrossSigns) {
+  auto dev = MakeDevice();
+  BoundedFixture a(2000, 300, 16, 3), b(2000, 300, 16, 4);
+  BoundedValues prod = MulApproximate(a.bounds, b.bounds, dev.get());
+  for (uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(prod.At(i).Contains(a.exact[i] * b.exact[i])) << i;
+  }
+  EXPECT_EQ(MulExact(a.exact, b.exact)[7], a.exact[7] * b.exact[7]);
+}
+
+// Destructive distributivity (§IV-G): with non-trivial residuals on both
+// operands, the product interval is *strictly wider* than zero even though
+// each operand interval has modest width — the exact product cannot be
+// recovered from approximations alone.
+TEST(ArithmeticTest, DestructiveDistributivityWidensProducts) {
+  auto dev = MakeDevice();
+  BoundedValues a{{100}, {115}};  // a in [100, 115] (residual error 15)
+  BoundedValues b{{200}, {215}};
+  BoundedValues prod = MulApproximate(a, b, dev.get());
+  EXPECT_EQ(prod.lo[0], 100 * 200);
+  EXPECT_EQ(prod.hi[0], 115 * 215);
+  // Both (105 * 210) and (110 * 205) are consistent with the inputs but
+  // differ: no refinement can pick one from the product bounds alone.
+  EXPECT_TRUE(prod.At(0).Contains(105 * 210));
+  EXPECT_TRUE(prod.At(0).Contains(110 * 205));
+  EXPECT_NE(105 * 210, 110 * 205);
+}
+
+TEST(ArithmeticTest, AffineForms) {
+  auto dev = MakeDevice();
+  BoundedFixture a(500, 100, 8, 5);
+  BoundedValues one_minus = AffineApproximate(a.bounds, 100, -1, dev.get());
+  BoundedValues one_plus = AffineApproximate(a.bounds, 100, +1, dev.get());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(one_minus.At(i).Contains(100 - a.exact[i]));
+    ASSERT_TRUE(one_plus.At(i).Contains(100 + a.exact[i]));
+  }
+  EXPECT_EQ(AffineExact({3, 4}, 100, -1), (std::vector<int64_t>{97, 96}));
+  EXPECT_EQ(AffineExact({3, 4}, 100, +1), (std::vector<int64_t>{103, 104}));
+}
+
+TEST(ArithmeticTest, DivConstSound) {
+  auto dev = MakeDevice();
+  BoundedFixture a(500, 1000, 64, 6);
+  BoundedValues q = DivConstApproximate(a.bounds, 7, dev.get());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(q.At(i).Contains(a.exact[i] / 7)) << i;
+  }
+}
+
+TEST(ArithmeticTest, SqrtSound) {
+  auto dev = MakeDevice();
+  BoundedFixture a(500, 100000, 256, 7);
+  BoundedValues r = SqrtApproximate(a.bounds, dev.get());
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(r.At(i).Contains(ISqrt(std::max<int64_t>(a.exact[i], 0))));
+  }
+}
+
+TEST(ArithmeticTest, IndicatorGatesValues) {
+  auto dev = MakeDevice();
+  BoundedValues vals{{10, 20, 30}, {10, 20, 30}};
+  BoundedValues ind{{1, 0, 0}, {1, 1, 0}};  // certain, ambiguous, certain-no
+  BoundedValues gated = MulIndicatorApproximate(vals, ind, dev.get());
+  EXPECT_EQ(gated.At(0).lo, 10);
+  EXPECT_EQ(gated.At(0).hi, 10);
+  EXPECT_EQ(gated.At(1).lo, 0);
+  EXPECT_EQ(gated.At(1).hi, 20);
+  EXPECT_EQ(gated.At(2).lo, 0);
+  EXPECT_EQ(gated.At(2).hi, 0);
+}
+
+TEST(ArithmeticTest, KernelsChargeDeviceTime) {
+  auto dev = MakeDevice();
+  BoundedFixture a(10000, 100, 8, 8);
+  const double before = dev->clock().device_seconds();
+  AddApproximate(a.bounds, a.bounds, dev.get());
+  EXPECT_GT(dev->clock().device_seconds(), before);
+}
+
+}  // namespace
+}  // namespace wastenot::core

@@ -1,0 +1,124 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+TEST(BoundsTest, ExactAndContains) {
+  ValueBounds b = ValueBounds::Exact(7);
+  EXPECT_TRUE(b.IsExact());
+  EXPECT_TRUE(b.Contains(7));
+  EXPECT_FALSE(b.Contains(8));
+  EXPECT_EQ(b.Estimate(), 7);
+}
+
+TEST(BoundsTest, FromApproximation) {
+  ValueBounds b = ValueBounds::FromApproximation(100, 255);
+  EXPECT_EQ(b.lo, 100);
+  EXPECT_EQ(b.hi, 355);
+  EXPECT_TRUE(b.Contains(200));
+  EXPECT_FALSE(b.IsExact());
+}
+
+TEST(BoundsTest, AddSub) {
+  ValueBounds a{1, 3}, b{10, 20};
+  EXPECT_EQ((a + b).lo, 11);
+  EXPECT_EQ((a + b).hi, 23);
+  EXPECT_EQ((a - b).lo, 1 - 20);
+  EXPECT_EQ((a - b).hi, 3 - 10);
+}
+
+TEST(BoundsTest, MulCoversSignCombinations) {
+  ValueBounds a{-2, 3}, b{-5, 4};
+  ValueBounds p = a * b;
+  EXPECT_EQ(p.lo, -15);  // 3 * -5
+  EXPECT_EQ(p.hi, 12);   // 3 * 4 or -2 * -5 = 10 < 12
+}
+
+TEST(BoundsTest, ScaleAndNegate) {
+  ValueBounds a{2, 5};
+  EXPECT_EQ(a.Scale(3).lo, 6);
+  EXPECT_EQ(a.Scale(-1).lo, -5);
+  EXPECT_EQ(a.Scale(-1).hi, -2);
+  EXPECT_EQ(a.Negate().lo, -5);
+  EXPECT_EQ(a.Shift(10).hi, 15);
+}
+
+TEST(BoundsTest, DivideRoundsOutward) {
+  ValueBounds a{-7, 7};
+  ValueBounds q = a.DivideBy(2);
+  EXPECT_LE(q.lo, -4);  // floor(-3.5)
+  EXPECT_GE(q.hi, 4);   // ceil(3.5)
+  EXPECT_TRUE(q.Contains(-3));
+  EXPECT_TRUE(q.Contains(3));
+}
+
+TEST(BoundsTest, SqrtSound) {
+  ValueBounds a{10, 26};
+  ValueBounds r = a.Sqrt();
+  EXPECT_LE(r.lo * r.lo, 10);
+  EXPECT_GE(r.hi * r.hi, 26);
+}
+
+TEST(BoundsTest, Overlaps) {
+  ValueBounds a{5, 10};
+  EXPECT_TRUE(a.Overlaps(10, 20));
+  EXPECT_TRUE(a.Overlaps(0, 5));
+  EXPECT_FALSE(a.Overlaps(11, 20));
+  EXPECT_FALSE(a.Overlaps(-5, 4));
+}
+
+/// Property: for random interval pairs and random contained points, every
+/// arithmetic result interval contains the exact result — the soundness
+/// guarantee approximation operators rely on (paper §III).
+TEST(BoundsTest, PropertySoundnessUnderRandomChains) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto make = [&](int64_t range) {
+      const int64_t lo =
+          static_cast<int64_t>(rng.Below(2 * range)) - range;
+      const int64_t width = static_cast<int64_t>(rng.Below(100));
+      ValueBounds b{lo, lo + width};
+      const int64_t exact =
+          lo + static_cast<int64_t>(rng.Below(static_cast<uint64_t>(width + 1)));
+      return std::make_pair(b, exact);
+    };
+    auto [a, xa] = make(1000);
+    auto [b, xb] = make(1000);
+
+    EXPECT_TRUE((a + b).Contains(xa + xb));
+    EXPECT_TRUE((a - b).Contains(xa - xb));
+    EXPECT_TRUE((a * b).Contains(xa * xb));
+    EXPECT_TRUE(a.Scale(7).Contains(xa * 7));
+    EXPECT_TRUE(a.Scale(-7).Contains(xa * -7));
+    EXPECT_TRUE(a.Shift(-13).Contains(xa - 13));
+    EXPECT_TRUE(a.DivideBy(3).Contains(xa / 3));
+    EXPECT_TRUE(a.DivideBy(-3).Contains(xa / -3));
+    EXPECT_TRUE(a.Sqrt().Contains(ISqrt(xa)));
+    // Chained: (a*b + a).Scale(2)
+    EXPECT_TRUE(((a * b) + a).Scale(2).Contains((xa * xb + xa) * 2));
+  }
+}
+
+TEST(BoundsTest, FloorCeilDivHelpers) {
+  EXPECT_EQ(FloorDiv(7, 2), 3);
+  EXPECT_EQ(FloorDiv(-7, 2), -4);
+  EXPECT_EQ(CeilDivSigned(7, 2), 4);
+  EXPECT_EQ(CeilDivSigned(-7, 2), -3);
+  EXPECT_EQ(FloorDiv(6, 3), 2);
+  EXPECT_EQ(CeilDivSigned(6, 3), 2);
+}
+
+TEST(BoundsTest, ISqrtExactness) {
+  for (int64_t v = 0; v < 1000; ++v) {
+    const int64_t r = ISqrt(v);
+    EXPECT_LE(r * r, v);
+    EXPECT_GT((r + 1) * (r + 1), v);
+  }
+}
+
+}  // namespace
+}  // namespace wastenot::core

@@ -1,0 +1,170 @@
+#include "core/classic_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::core {
+namespace {
+
+cs::Database SmallDb() {
+  cs::Database db;
+  cs::Table fact("fact");
+  // rows:        0   1   2   3   4   5
+  auto add = [&fact](const char* name, std::vector<int32_t> v) {
+    cs::Column col = cs::Column::FromI32(v);
+    col.ComputeStats();
+    (void)fact.AddColumn(name, std::move(col));
+  };
+  add("a", {5, 1, 8, 3, 9, 2});
+  add("g", {0, 1, 0, 1, 0, 1});
+  add("v", {10, 20, 30, 40, 50, 60});
+  add("fk", {1, 2, 1, 3, 2, 1});
+  db.AddTable(std::move(fact));
+
+  cs::Table dim("dim");
+  auto addd = [&dim](const char* name, std::vector<int32_t> v) {
+    cs::Column col = cs::Column::FromI32(v);
+    col.ComputeStats();
+    (void)dim.AddColumn(name, std::move(col));
+  };
+  addd("t", {7, 8, 9});   // dim oid 0,1,2 <-> fk 1,2,3
+  addd("w", {2, 3, 4});
+  db.AddTable(std::move(dim));
+  return db;
+}
+
+TEST(ClassicEngineTest, GlobalCount) {
+  cs::Database db = SmallDb();
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Ge(5)}};
+  q.aggregates = {Aggregate::CountStar("n")};
+  auto result = ExecuteClassic(q, db);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_groups(), 1u);
+  EXPECT_EQ(result->agg_values[0][0], 3);  // a in {5,8,9}
+  EXPECT_EQ(result->selected_rows, 3u);
+}
+
+TEST(ClassicEngineTest, GroupedSumAndCount) {
+  cs::Database db = SmallDb();
+  QuerySpec q;
+  q.table = "fact";
+  q.group_by = {"g"};
+  q.aggregates = {Aggregate::SumOf("v", "sum_v"),
+                  Aggregate::CountStar("n")};
+  auto result = ExecuteClassic(q, db);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->num_groups(), 2u);
+  // Canonical order: g=0 then g=1.
+  EXPECT_EQ(result->group_keys[0], (std::vector<int64_t>{0}));
+  EXPECT_EQ(result->agg_values[0][0], 10 + 30 + 50);
+  EXPECT_EQ(result->agg_values[0][1], 3);
+  EXPECT_EQ(result->agg_values[1][0], 20 + 40 + 60);
+}
+
+TEST(ClassicEngineTest, ProductAggregate) {
+  cs::Database db = SmallDb();
+  QuerySpec q;
+  q.table = "fact";
+  Aggregate prod;
+  prod.func = AggFunc::kSum;
+  prod.terms = {Term::Col("v"), Term::OneMinus("g", 1)};  // v * (1 - g)
+  prod.label = "s";
+  q.aggregates = {prod};
+  auto result = ExecuteClassic(q, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->agg_values[0][0], 10 + 30 + 50);  // g=1 rows vanish
+}
+
+TEST(ClassicEngineTest, MinMax) {
+  cs::Database db = SmallDb();
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Le(5)}};
+  Aggregate mn, mx;
+  mn.func = AggFunc::kMin;
+  mn.terms = {Term::Col("v")};
+  mn.label = "min_v";
+  mx.func = AggFunc::kMax;
+  mx.terms = {Term::Col("v")};
+  mx.label = "max_v";
+  q.aggregates = {mn, mx};
+  auto result = ExecuteClassic(q, db);
+  ASSERT_TRUE(result.ok());
+  // Rows with a<=5: {0,1,3,5} -> v in {10,20,40,60}.
+  EXPECT_EQ(result->agg_values[0][0], 10);
+  EXPECT_EQ(result->agg_values[0][1], 60);
+}
+
+TEST(ClassicEngineTest, JoinWithFilterAggregate) {
+  cs::Database db = SmallDb();
+  QuerySpec q;
+  q.table = "fact";
+  q.join = JoinSpec{"fk", "dim", /*fk_base=*/1};
+  Aggregate filtered;
+  filtered.func = AggFunc::kSum;
+  filtered.terms = {Term::Col("v")};
+  filtered.filter = CaseFilter{"t", cs::RangePred::Eq(7)};  // dim rows fk=1
+  filtered.label = "s";
+  q.aggregates = {filtered, Aggregate::SumOf("v", "total")};
+  auto result = ExecuteClassic(q, db);
+  ASSERT_TRUE(result.ok());
+  // fk=1 rows: {0, 2, 5} -> v {10, 30, 60}.
+  EXPECT_EQ(result->agg_values[0][0], 100);
+  EXPECT_EQ(result->agg_values[0][1], 210);
+}
+
+TEST(ClassicEngineTest, DimensionTerm) {
+  cs::Database db = SmallDb();
+  QuerySpec q;
+  q.table = "fact";
+  q.join = JoinSpec{"fk", "dim", 1};
+  Aggregate s;
+  s.func = AggFunc::kSum;
+  Term dim_term = Term::Col("w");
+  dim_term.from_dimension = true;
+  s.terms = {Term::Col("v"), dim_term};
+  s.label = "vw";
+  q.aggregates = {s};
+  auto result = ExecuteClassic(q, db);
+  ASSERT_TRUE(result.ok());
+  // v*w by row: 10*2 + 20*3 + 30*2 + 40*4 + 50*3 + 60*2 = 570.
+  EXPECT_EQ(result->agg_values[0][0], 570);
+}
+
+TEST(ClassicEngineTest, AvgKeepsSumAndCount) {
+  cs::Database db = SmallDb();
+  QuerySpec q;
+  q.table = "fact";
+  Aggregate avg;
+  avg.func = AggFunc::kAvg;
+  avg.terms = {Term::Col("v")};
+  avg.label = "avg_v";
+  q.aggregates = {avg};
+  auto result = ExecuteClassic(q, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->agg_values[0][0], 210);  // the sum; count divides
+  EXPECT_EQ(result->group_counts[0], 6);
+}
+
+TEST(ClassicEngineTest, MissingTableFails) {
+  cs::Database db = SmallDb();
+  QuerySpec q;
+  q.table = "nope";
+  EXPECT_EQ(ExecuteClassic(q, db).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ClassicEngineTest, EmptyResultGroupedQuery) {
+  cs::Database db = SmallDb();
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Ge(1000)}};
+  q.group_by = {"g"};
+  q.aggregates = {Aggregate::CountStar("n")};
+  auto result = ExecuteClassic(q, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_groups(), 0u);
+}
+
+}  // namespace
+}  // namespace wastenot::core

@@ -1,0 +1,162 @@
+#include "core/clustered_column.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+struct ClusteredFixture {
+  std::unique_ptr<device::Device> dev;
+  cs::Column base;
+  ClusteredBwdColumn col;
+
+  ClusteredFixture(uint64_t n, int64_t lo, int64_t hi, uint32_t device_bits,
+                   uint64_t seed) {
+    device::DeviceSpec spec;
+    spec.memory_capacity = 64 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    Xoshiro256 rng(seed);
+    std::vector<int32_t> v(n);
+    for (auto& x : v) {
+      x = static_cast<int32_t>(
+          lo + static_cast<int64_t>(
+                   rng.Below(static_cast<uint64_t>(hi - lo + 1))));
+    }
+    base = cs::Column::FromI32(v);
+    base.ComputeStats();
+    col = std::move(ClusteredBwdColumn::Cluster(base, device_bits, dev.get()))
+              .value();
+  }
+
+  cs::OidVec Oracle(const cs::RangePred& pred) const {
+    cs::OidVec out;
+    for (uint64_t i = 0; i < base.size(); ++i) {
+      if (pred.Contains(base.Get(i))) out.push_back(static_cast<cs::oid_t>(i));
+    }
+    return out;
+  }
+};
+
+TEST(ClusteredColumnTest, ClusteringPreservesTheMultiset) {
+  ClusteredFixture f(5000, -100, 5000, 32 - 6, 1);
+  std::multiset<int64_t> original, clustered;
+  for (uint64_t i = 0; i < f.base.size(); ++i) {
+    original.insert(f.base.Get(i));
+    clustered.insert(f.col.ReconstructAt(i));
+  }
+  EXPECT_EQ(original, clustered);
+  // The row map reconstructs original positions exactly.
+  for (uint64_t pos = 0; pos < f.col.size(); ++pos) {
+    ASSERT_EQ(f.col.ReconstructAt(pos), f.base.Get(f.col.RowAt(pos)));
+  }
+}
+
+TEST(ClusteredColumnTest, OffsetsTableIsTheWholeDeviceFootprint) {
+  ClusteredFixture f(100000, 0, (1 << 16) - 1, 32 - 8, 2);
+  // 8 residual bits on 16-bit values -> 256 clusters: the device holds
+  // (256+1) uint64 offsets instead of 100k packed digits.
+  EXPECT_EQ(f.col.num_clusters(), 256u);
+  EXPECT_LE(f.col.device_bytes(), (256 + 1) * sizeof(uint64_t) + 64);
+  // Versus the unclustered approximation: 100k * 8 bits = 100 KB.
+  auto unclustered =
+      bwd::BwdColumn::Decompose(f.base, 32 - 8, f.dev.get());
+  ASSERT_TRUE(unclustered.ok());
+  EXPECT_GT(unclustered->device_bytes(), 40 * f.col.device_bytes());
+}
+
+struct ClusteredCase {
+  uint32_t device_bits;
+  int64_t lo, hi;
+};
+
+class ClusteredSelectSweep : public ::testing::TestWithParam<ClusteredCase> {};
+
+TEST_P(ClusteredSelectSweep, RefinedSelectionMatchesOracle) {
+  const ClusteredCase& c = GetParam();
+  ClusteredFixture f(20000, 0, (1 << 14) - 1, c.device_bits,
+                     c.device_bits * 31 + 1);
+  const cs::RangePred pred{c.lo, c.hi};
+  auto sel = f.col.SelectApproximate(pred, f.dev.get());
+  cs::OidVec refined = f.col.SelectRefine(sel, pred);
+  cs::OidVec oracle = f.Oracle(pred);
+  std::sort(refined.begin(), refined.end());
+  EXPECT_EQ(refined, oracle);
+  EXPECT_GE(sel.size(), oracle.size()) << "candidates form a superset";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndRanges, ClusteredSelectSweep,
+    ::testing::Values(ClusteredCase{32 - 4, 100, 900},
+                      ClusteredCase{32 - 8, 100, 900},
+                      ClusteredCase{32 - 8, 0, (1 << 14) - 1},
+                      ClusteredCase{32 - 10, 8000, 8100},
+                      ClusteredCase{32 - 10, 5, 5},
+                      ClusteredCase{32 - 6, -50, 3},
+                      ClusteredCase{32 - 6, 20000, 30000}));
+
+TEST(ClusteredColumnTest, BoundaryOnlyRefinement) {
+  // At 8 residual bits, at most 2 * 256-ish rows of residual work per
+  // query, regardless of how many rows qualify.
+  ClusteredFixture f(50000, 0, (1 << 12) - 1, 32 - 8, 3);
+  const cs::RangePred pred = cs::RangePred::Between(100, 3000);
+  auto sel = f.col.SelectApproximate(pred, f.dev.get());
+  const uint64_t uncertain = sel.size() - sel.num_certain();
+  // Two boundary clusters, each ~ n / #digits rows.
+  const uint64_t cluster_rows = 50000 / f.col.num_clusters();
+  EXPECT_LE(uncertain, 4 * cluster_rows + 64);
+  EXPECT_GT(sel.num_certain(), 0u);
+}
+
+TEST(ClusteredColumnTest, EmptyAndFullPredicates) {
+  ClusteredFixture f(1000, 0, 999, 32 - 5, 4);
+  auto none = f.col.SelectApproximate(cs::RangePred{10, 5}, f.dev.get());
+  EXPECT_EQ(none.size(), 0u);
+  EXPECT_TRUE(f.col.SelectRefine(none, cs::RangePred{10, 5}).empty());
+
+  auto all = f.col.SelectApproximate(cs::RangePred::All(), f.dev.get());
+  EXPECT_EQ(all.size(), 1000u);
+  EXPECT_EQ(f.col.SelectRefine(all, cs::RangePred::All()).size(), 1000u);
+}
+
+TEST(ClusteredColumnTest, RejectsUnboundedDigitDomains) {
+  // 28+ approximation bits would need a gigantic offsets table.
+  device::DeviceSpec spec;
+  spec.memory_capacity = 64 << 20;
+  device::Device dev(spec, 1);
+  cs::Column wide = cs::Column::FromI32({0, 1 << 30});
+  wide.ComputeStats();
+  auto col = ClusteredBwdColumn::Cluster(wide, 32, &dev);
+  EXPECT_FALSE(col.ok());
+  EXPECT_TRUE(col.status().IsUnsupported());
+}
+
+TEST(ClusteredColumnTest, SelectionChargesLogarithmicDeviceWork) {
+  // Enough rows that the packed scan clearly exceeds the fixed launch
+  // overhead (the clustered binary search stays at the launch floor).
+  ClusteredFixture f(2'000'000, 0, (1 << 12) - 1, 32 - 8, 5);
+  auto unclustered = bwd::BwdColumn::Decompose(f.base, 32 - 8, f.dev.get());
+  ASSERT_TRUE(unclustered.ok());
+  const cs::RangePred pred = cs::RangePred::Between(500, 600);
+
+  // JIT warm-up for both kernels, then compare marginal charges.
+  (void)f.col.SelectApproximate(pred, f.dev.get());
+  (void)SelectApproximate(*unclustered, pred, f.dev.get());
+
+  const double d0 = f.dev->clock().device_seconds();
+  (void)f.col.SelectApproximate(pred, f.dev.get());
+  const double clustered_cost = f.dev->clock().device_seconds() - d0;
+  (void)SelectApproximate(*unclustered, pred, f.dev.get());
+  const double scan_cost =
+      f.dev->clock().device_seconds() - d0 - clustered_cost;
+  EXPECT_LT(clustered_cost * 3, scan_cost)
+      << "binary search must be far cheaper than the packed scan";
+}
+
+}  // namespace
+}  // namespace wastenot::core

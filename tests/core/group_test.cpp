@@ -1,0 +1,155 @@
+#include "core/group.h"
+
+#include <map>
+#include <numeric>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/select.h"
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+struct GroupFixture {
+  std::unique_ptr<device::Device> dev;
+  cs::Column base;
+  bwd::BwdColumn col;
+
+  GroupFixture(uint64_t n, uint64_t domain, uint32_t device_bits,
+               uint64_t seed) {
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    Xoshiro256 rng(seed);
+    std::vector<int32_t> v(n);
+    for (auto& x : v) x = static_cast<int32_t>(rng.Below(domain));
+    base = cs::Column::FromI32(v);
+    base.ComputeStats();
+    col = std::move(bwd::BwdColumn::Decompose(base, device_bits, dev.get()))
+              .value();
+  }
+};
+
+/// Oracle partition check: same exact value <=> same refined group.
+void CheckExactPartition(const std::vector<uint32_t>& group_ids,
+                         const std::vector<int64_t>& keys,
+                         uint64_t num_groups) {
+  ASSERT_EQ(group_ids.size(), keys.size());
+  std::map<int64_t, uint32_t> v2g;
+  std::map<uint32_t, int64_t> g2v;
+  for (uint64_t i = 0; i < keys.size(); ++i) {
+    auto [it, _] = v2g.emplace(keys[i], group_ids[i]);
+    ASSERT_EQ(it->second, group_ids[i]) << "row " << i;
+    auto [it2, _2] = g2v.emplace(group_ids[i], keys[i]);
+    ASSERT_EQ(it2->second, keys[i]) << "row " << i;
+  }
+  EXPECT_EQ(v2g.size(), num_groups);
+}
+
+TEST(GroupApproximateTest, FullyResidentGroupsAreExact) {
+  GroupFixture f(5000, 37, 32, 1);
+  ApproxGrouping pre = GroupApproximate(f.col, nullptr, f.dev.get());
+  EXPECT_EQ(pre.num_groups, 37u);
+  std::vector<int64_t> keys(f.base.size());
+  for (uint64_t i = 0; i < keys.size(); ++i) keys[i] = f.base.Get(i);
+  CheckExactPartition(pre.group_ids, keys, pre.num_groups);
+}
+
+TEST(GroupApproximateTest, PreGroupsMergeResidualNeighbors) {
+  // With residual bits, values sharing major bits land in one pre-group:
+  // the pre-group count is the number of distinct approximation digits.
+  GroupFixture f(5000, 1 << 10, 32 - 4, 2);  // 4 residual bits
+  ApproxGrouping pre = GroupApproximate(f.col, nullptr, f.dev.get());
+  EXPECT_LE(pre.num_groups, (1u << 10) >> 4);
+  // Rows in one pre-group share the approximation digit.
+  const auto view = f.col.approximation();
+  std::map<uint32_t, uint64_t> group_digit;
+  for (uint64_t i = 0; i < pre.group_ids.size(); ++i) {
+    auto [it, _] = group_digit.emplace(pre.group_ids[i], view.Get(i));
+    ASSERT_EQ(it->second, view.Get(i));
+  }
+}
+
+TEST(GroupRefineTest, ResidualSubgroupingRecoversExactGroups) {
+  GroupFixture f(8000, 1 << 9, 32 - 5, 3);  // 5 residual bits
+  Candidates all;
+  all.ids.resize(f.base.size());
+  std::iota(all.ids.begin(), all.ids.end(), 0);
+  all.sorted = true;
+
+  ApproxGrouping pre = GroupApproximate(f.col, &all, f.dev.get());
+  const bwd::BwdColumn* cols[] = {&f.col};
+  auto refined = GroupRefine(cols, pre, all, all.ids);
+  ASSERT_TRUE(refined.ok());
+
+  std::vector<int64_t> keys(f.base.size());
+  for (uint64_t i = 0; i < keys.size(); ++i) keys[i] = f.base.Get(i);
+  CheckExactPartition(refined->group_ids, keys, refined->num_groups);
+  // Representatives reconstruct to group keys.
+  for (uint64_t g = 0; g < refined->num_groups; ++g) {
+    const cs::oid_t id = refined->first_ids[g];
+    EXPECT_EQ(f.col.Reconstruct(id), f.base.Get(id));
+  }
+}
+
+TEST(GroupRefineTest, DropsFalsePositives) {
+  GroupFixture f(6000, 1 << 12, 32 - 6, 4);
+  const cs::RangePred pred = cs::RangePred::Le(1000);
+  ApproxSelection sel = SelectApproximate(f.col, pred, f.dev.get());
+  ApproxGrouping pre = GroupApproximate(f.col, &sel.cands, f.dev.get());
+
+  PredicateRefinement conj{&f.col, pred, &sel.values};
+  RefinedSelection rsel = SelectRefine(sel.cands, std::span(&conj, 1));
+
+  const bwd::BwdColumn* cols[] = {&f.col};
+  auto refined = GroupRefine(cols, pre, sel.cands, rsel.ids);
+  ASSERT_TRUE(refined.ok());
+  ASSERT_EQ(refined->group_ids.size(), rsel.ids.size());
+
+  std::vector<int64_t> keys(rsel.ids.size());
+  for (uint64_t i = 0; i < keys.size(); ++i) {
+    keys[i] = f.base.Get(rsel.ids[i]);
+  }
+  CheckExactPartition(refined->group_ids, keys, refined->num_groups);
+}
+
+TEST(GroupApproximateSubTest, MultiColumnGrouping) {
+  GroupFixture a(4000, 3, 32, 5);
+  GroupFixture b(4000, 2, 32, 6);
+  Candidates all;
+  all.ids.resize(4000);
+  std::iota(all.ids.begin(), all.ids.end(), 0);
+
+  ApproxGrouping g1 = GroupApproximate(a.col, &all, a.dev.get());
+  ApproxGrouping g2 = GroupApproximateSub(b.col, &all, g1, a.dev.get());
+  EXPECT_LE(g2.num_groups, 6u);
+  EXPECT_GE(g2.num_groups, g1.num_groups);
+
+  // Pair partition check.
+  std::map<std::pair<int64_t, int64_t>, uint32_t> p2g;
+  std::map<uint32_t, std::pair<int64_t, int64_t>> g2p;
+  for (uint64_t i = 0; i < 4000; ++i) {
+    const auto key = std::make_pair(a.base.Get(i), b.base.Get(i));
+    auto [it, _] = p2g.emplace(key, g2.group_ids[i]);
+    ASSERT_EQ(it->second, g2.group_ids[i]);
+    auto [it2, _2] = g2p.emplace(g2.group_ids[i], key);
+    ASSERT_EQ(it2->second, key);
+  }
+}
+
+TEST(GroupRefineTest, TranslucentContractViolationSurfaces) {
+  GroupFixture f(100, 8, 32, 7);
+  Candidates cands;
+  cands.ids = {5, 10, 20};
+  ApproxGrouping pre = GroupApproximate(f.col, &cands, f.dev.get());
+  const bwd::BwdColumn* cols[] = {&f.col};
+  // 99 is not among the candidates: precondition violation.
+  auto refined = GroupRefine(cols, pre, cands, {5, 99});
+  EXPECT_FALSE(refined.ok());
+  EXPECT_TRUE(refined.status().IsPreconditionFailed());
+}
+
+}  // namespace
+}  // namespace wastenot::core

@@ -1,0 +1,141 @@
+#include "core/project.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/select.h"
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+struct TwoColumns {
+  std::unique_ptr<device::Device> dev;
+  cs::Column sel_base, proj_base;
+  bwd::BwdColumn sel_col, proj_col;
+
+  TwoColumns(uint64_t n, uint32_t sel_bits, uint32_t proj_bits,
+             uint64_t seed) {
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    Xoshiro256 rng(seed);
+    std::vector<int32_t> a(n), b(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      a[i] = static_cast<int32_t>(rng.Below(1 << 16));
+      b[i] = static_cast<int32_t>(rng.Below(1 << 20));
+    }
+    sel_base = cs::Column::FromI32(a);
+    sel_base.ComputeStats();
+    proj_base = cs::Column::FromI32(b);
+    proj_base.ComputeStats();
+    sel_col =
+        std::move(bwd::BwdColumn::Decompose(sel_base, sel_bits, dev.get()))
+            .value();
+    proj_col =
+        std::move(bwd::BwdColumn::Decompose(proj_base, proj_bits, dev.get()))
+            .value();
+  }
+};
+
+TEST(ProjectTest, ApproximateBracketsAndRefineMatches) {
+  TwoColumns f(8000, 24, 24, 1);
+  ApproxSelection sel =
+      SelectApproximate(f.sel_col, cs::RangePred::Le(10000), f.dev.get());
+  ApproxValues proj = ProjectApproximate(f.proj_col, sel.cands, f.dev.get());
+  ASSERT_EQ(proj.size(), sel.cands.size());
+  for (uint64_t i = 0; i < proj.size(); ++i) {
+    const int64_t truth = f.proj_base.Get(sel.cands.ids[i]);
+    ASSERT_LE(proj.lower[i], truth);
+    ASSERT_GE(proj.lower[i] + static_cast<int64_t>(proj.error), truth);
+  }
+  // Refinement yields exact values (invisible join with the residual).
+  std::vector<int64_t> exact =
+      ProjectRefine(f.proj_col, sel.cands.ids, &proj);
+  for (uint64_t i = 0; i < exact.size(); ++i) {
+    ASSERT_EQ(exact[i], f.proj_base.Get(sel.cands.ids[i]));
+  }
+}
+
+TEST(ProjectTest, FullyResidentProjectionIsExactWithoutRefinement) {
+  TwoColumns f(4000, 24, 32, 2);
+  ApproxSelection sel =
+      SelectApproximate(f.sel_col, cs::RangePred::Le(500), f.dev.get());
+  ApproxValues proj = ProjectApproximate(f.proj_col, sel.cands, f.dev.get());
+  EXPECT_TRUE(proj.exact()) << "paper §IV-C: no refinement when all bits "
+                               "of the projected attribute are resident";
+  for (uint64_t i = 0; i < proj.size(); ++i) {
+    ASSERT_EQ(proj.lower[i], f.proj_base.Get(sel.cands.ids[i]));
+  }
+}
+
+TEST(ProjectTest, RefineWithoutDownloadedApprox) {
+  TwoColumns f(4000, 26, 22, 3);
+  ApproxSelection sel =
+      SelectApproximate(f.sel_col, cs::RangePred::Ge(60000), f.dev.get());
+  std::vector<int64_t> exact = ProjectRefine(f.proj_col, sel.cands.ids);
+  for (uint64_t i = 0; i < exact.size(); ++i) {
+    ASSERT_EQ(exact[i], f.proj_base.Get(sel.cands.ids[i]));
+  }
+}
+
+struct FkFixture {
+  std::unique_ptr<device::Device> dev;
+  cs::Column fk_base, attr_base;
+  bwd::BwdColumn fk_col, attr_col;
+
+  FkFixture(uint64_t fact_rows, uint64_t dim_rows, uint32_t attr_bits,
+            uint64_t seed) {
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    Xoshiro256 rng(seed);
+    std::vector<int32_t> fk(fact_rows), attr(dim_rows);
+    for (auto& v : fk) v = static_cast<int32_t>(rng.Below(dim_rows));
+    for (auto& v : attr) v = static_cast<int32_t>(rng.Below(1 << 18));
+    fk_base = cs::Column::FromI32(fk);
+    fk_base.ComputeStats();
+    attr_base = cs::Column::FromI32(attr);
+    attr_base.ComputeStats();
+    fk_col =
+        std::move(bwd::BwdColumn::Decompose(fk_base, 32, dev.get())).value();
+    attr_col =
+        std::move(bwd::BwdColumn::Decompose(attr_base, attr_bits, dev.get()))
+            .value();
+  }
+};
+
+TEST(FkJoinTest, GathersThroughFk) {
+  FkFixture f(5000, 200, 24, 4);
+  Candidates cands;
+  for (cs::oid_t i = 0; i < 5000; i += 3) cands.ids.push_back(i);
+  auto approx = FkJoinApproximate(f.fk_col, f.attr_col, cands, f.dev.get());
+  ASSERT_TRUE(approx.ok());
+  for (uint64_t i = 0; i < cands.size(); ++i) {
+    const int64_t truth = f.attr_base.Get(f.fk_base.Get(cands.ids[i]));
+    ASSERT_LE(approx->lower[i], truth);
+    ASSERT_GE(approx->lower[i] + static_cast<int64_t>(approx->error), truth);
+  }
+  auto exact = FkJoinRefine(f.fk_col, f.attr_col, cands.ids);
+  ASSERT_TRUE(exact.ok());
+  for (uint64_t i = 0; i < cands.size(); ++i) {
+    ASSERT_EQ((*exact)[i], f.attr_base.Get(f.fk_base.Get(cands.ids[i])));
+  }
+}
+
+TEST(FkJoinTest, RejectsDecomposedFk) {
+  FkFixture f(100, 50, 24, 5);
+  // Re-decompose the fk with residual bits: must be rejected.
+  auto bad_fk = bwd::BwdColumn::Decompose(f.fk_base, 2, f.dev.get());
+  ASSERT_TRUE(bad_fk.ok());
+  Candidates cands;
+  cands.ids = {0, 1};
+  auto approx =
+      FkJoinApproximate(*bad_fk, f.attr_col, cands, f.dev.get());
+  EXPECT_FALSE(approx.ok());
+  EXPECT_TRUE(approx.status().IsUnsupported());
+}
+
+}  // namespace
+}  // namespace wastenot::core

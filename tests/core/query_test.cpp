@@ -1,0 +1,123 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::core {
+namespace {
+
+TEST(RangePredTest, Factories) {
+  EXPECT_TRUE(cs::RangePred::Eq(5).Contains(5));
+  EXPECT_FALSE(cs::RangePred::Eq(5).Contains(6));
+  EXPECT_TRUE(cs::RangePred::Lt(5).Contains(4));
+  EXPECT_FALSE(cs::RangePred::Lt(5).Contains(5));
+  EXPECT_TRUE(cs::RangePred::Le(5).Contains(5));
+  EXPECT_TRUE(cs::RangePred::Gt(5).Contains(6));
+  EXPECT_FALSE(cs::RangePred::Gt(5).Contains(5));
+  EXPECT_TRUE(cs::RangePred::Ge(5).Contains(5));
+  EXPECT_TRUE(cs::RangePred::Between(3, 7).Contains(3));
+  EXPECT_TRUE(cs::RangePred::Between(3, 7).Contains(7));
+  EXPECT_FALSE(cs::RangePred::Between(3, 7).Contains(8));
+  EXPECT_TRUE(cs::RangePred::All().Contains(
+      std::numeric_limits<int64_t>::min()));
+  EXPECT_TRUE((cs::RangePred{7, 3}).Empty());
+  EXPECT_FALSE(cs::RangePred::Eq(0).Empty());
+}
+
+TEST(TermTest, Builders) {
+  Term c = Term::Col("x");
+  EXPECT_EQ(c.column, "x");
+  EXPECT_EQ(c.offset, 0);
+  EXPECT_EQ(c.sign, +1);
+  Term om = Term::OneMinus("d", 100);
+  EXPECT_EQ(om.offset, 100);
+  EXPECT_EQ(om.sign, -1);
+  Term op = Term::OnePlus("t", 100);
+  EXPECT_EQ(op.sign, +1);
+}
+
+QueryResult MakeResult() {
+  QueryResult r;
+  r.key_names = {"g"};
+  r.agg_labels = {"s"};
+  r.group_keys = {{3}, {1}, {2}};
+  r.agg_values = {{30}, {10}, {20}};
+  r.group_counts = {3, 1, 2};
+  r.selected_rows = 6;
+  return r;
+}
+
+TEST(QueryResultTest, SortByKeysIsCanonical) {
+  QueryResult r = MakeResult();
+  r.SortByKeys();
+  EXPECT_EQ(r.group_keys, (std::vector<std::vector<int64_t>>{{1}, {2}, {3}}));
+  EXPECT_EQ(r.agg_values, (std::vector<std::vector<int64_t>>{{10}, {20}, {30}}));
+  EXPECT_EQ(r.group_counts, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(QueryResultTest, EqualityAfterCanonicalization) {
+  QueryResult a = MakeResult();
+  QueryResult b = MakeResult();
+  std::swap(b.group_keys[0], b.group_keys[2]);
+  std::swap(b.agg_values[0], b.agg_values[2]);
+  std::swap(b.group_counts[0], b.group_counts[2]);
+  EXPECT_FALSE(a == b);
+  a.SortByKeys();
+  b.SortByKeys();
+  EXPECT_TRUE(a == b);
+}
+
+TEST(QueryResultTest, ToStringAppliesScalesAndAverages) {
+  QueryResult r;
+  r.key_names = {};
+  r.agg_labels = {"avg_x", "sum_cents"};
+  r.group_keys = {{}};
+  r.agg_values = {{100, 250}};
+  r.group_counts = {4};
+  Aggregate avg;
+  avg.func = AggFunc::kAvg;
+  avg.label = "avg_x";
+  Aggregate sum;
+  sum.func = AggFunc::kSum;
+  sum.label = "sum_cents";
+  sum.display_scale = 100.0;
+  const std::string text = r.ToString({avg, sum});
+  EXPECT_NE(text.find("25"), std::string::npos);   // 100 / 4
+  EXPECT_NE(text.find("2.5"), std::string::npos);  // 250 / 100
+}
+
+TEST(ApproximateAnswerTest, ExactDetection) {
+  ApproximateAnswer a;
+  a.row_count = ValueBounds::Exact(5);
+  a.key_bounds = {{ValueBounds::Exact(1)}};
+  a.agg_bounds = {{ValueBounds::Exact(10)}};
+  EXPECT_TRUE(a.exact());
+  a.agg_bounds[0][0] = ValueBounds{9, 11};
+  EXPECT_FALSE(a.exact());
+}
+
+TEST(ApproximateAnswerTest, ToStringShowsBounds) {
+  ApproximateAnswer a;
+  a.row_count = ValueBounds{90, 110};
+  a.key_bounds = {{ValueBounds{0, 3}}};
+  a.agg_bounds = {{ValueBounds{100, 200}}};
+  Aggregate s;
+  s.label = "sum";
+  const std::string text = a.ToString({"g"}, {s});
+  EXPECT_NE(text.find("[90, 110]"), std::string::npos);
+  EXPECT_NE(text.find("[100, 200]"), std::string::npos);
+  EXPECT_NE(text.find("g=[0, 3]"), std::string::npos);
+}
+
+TEST(AggregateTest, BuildersProduceLabels) {
+  Aggregate c = Aggregate::CountStar("n");
+  EXPECT_EQ(c.func, AggFunc::kCount);
+  EXPECT_TRUE(c.terms.empty());
+  Aggregate s = Aggregate::SumOf("price", "sum_price", 100.0);
+  EXPECT_EQ(s.func, AggFunc::kSum);
+  ASSERT_EQ(s.terms.size(), 1u);
+  EXPECT_EQ(s.terms[0].column, "price");
+  EXPECT_DOUBLE_EQ(s.display_scale, 100.0);
+}
+
+}  // namespace
+}  // namespace wastenot::core

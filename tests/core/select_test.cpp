@@ -1,0 +1,207 @@
+#include "core/select.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<device::Device> dev;
+  cs::Column base;
+  bwd::BwdColumn col;
+
+  Fixture(uint64_t n, int64_t lo, int64_t hi, uint32_t device_bits,
+          uint64_t seed) {
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    Xoshiro256 rng(seed);
+    std::vector<int32_t> v(n);
+    for (auto& x : v) {
+      x = static_cast<int32_t>(
+          lo + static_cast<int64_t>(rng.Below(static_cast<uint64_t>(hi - lo + 1))));
+    }
+    base = cs::Column::FromI32(v);
+    base.ComputeStats();
+    auto decomposed = bwd::BwdColumn::Decompose(base, device_bits, dev.get());
+    EXPECT_TRUE(decomposed.ok());
+    col = std::move(decomposed).value();
+  }
+
+  cs::OidVec Oracle(const cs::RangePred& pred) const {
+    cs::OidVec out;
+    for (uint64_t i = 0; i < base.size(); ++i) {
+      if (pred.Contains(base.Get(i))) out.push_back(static_cast<cs::oid_t>(i));
+    }
+    return out;
+  }
+};
+
+TEST(RelaxPredicateTest, ExactWhenFullyResident) {
+  Fixture f(100, 0, 1000, 32, 1);
+  const cs::RangePred pred = cs::RangePred::Between(100, 200);
+  RelaxedPred relaxed = RelaxPredicate(f.col.spec(), pred);
+  // With no residual bits, relaxed == exact and everything is certain.
+  EXPECT_EQ(relaxed.certain_lo, relaxed.lo_digit);
+  EXPECT_EQ(relaxed.certain_hi, relaxed.hi_digit);
+}
+
+TEST(RelaxPredicateTest, NonePredicates) {
+  Fixture f(10, 0, 100, 24, 2);
+  EXPECT_TRUE(RelaxPredicate(f.col.spec(), cs::RangePred{50, 20}).none);
+  EXPECT_TRUE(RelaxPredicate(f.col.spec(), cs::RangePred{2000, 3000}).none);
+  EXPECT_TRUE(RelaxPredicate(f.col.spec(), cs::RangePred{-100, -50}).none);
+}
+
+TEST(RelaxPredicateTest, PaperRelaxationSemantics) {
+  // §IV-B: '> x' relaxes to appr(v) >= appr(x); '<= x' to
+  // appr(v) <= appr(x)  (digit comparisons in our packed domain).
+  // Relaxation is a property of the decomposition spec alone.
+  const auto spec = bwd::DecompositionSpec::Plan(
+      0, (1 << 12) - 1, 32, 32 - 4, bwd::Compression::kBitPacked);
+  ASSERT_EQ(spec.residual_bits, 4u);
+  const int64_t x = 100;
+  RelaxedPred gt = RelaxPredicate(spec, cs::RangePred::Gt(x));
+  EXPECT_EQ(gt.lo_digit, spec.ApproxDigit(x));  // appr(x)-1 exclusive
+  RelaxedPred le = RelaxPredicate(spec, cs::RangePred::Le(x));
+  EXPECT_EQ(le.hi_digit, spec.ApproxDigit(x));
+  RelaxedPred eq = RelaxPredicate(spec, cs::RangePred::Eq(x));
+  EXPECT_EQ(eq.lo_digit, spec.ApproxDigit(x));
+  EXPECT_EQ(eq.hi_digit, spec.ApproxDigit(x));
+}
+
+struct SelectCase {
+  uint32_t device_bits;
+  int64_t pred_lo;
+  int64_t pred_hi;
+};
+
+class SelectSweep : public ::testing::TestWithParam<SelectCase> {};
+
+TEST_P(SelectSweep, SupersetAndRefineExact) {
+  const SelectCase& c = GetParam();
+  Fixture f(20000, 0, (1 << 16) - 1, c.device_bits, c.device_bits * 131 + 7);
+  const cs::RangePred pred{c.pred_lo, c.pred_hi};
+
+  ApproxSelection approx = SelectApproximate(f.col, pred, f.dev.get());
+  const cs::OidVec oracle = f.Oracle(pred);
+
+  // Invariant 1: superset.
+  std::set<cs::oid_t> cand_set(approx.cands.ids.begin(),
+                               approx.cands.ids.end());
+  for (cs::oid_t id : oracle) {
+    ASSERT_TRUE(cand_set.count(id)) << "missing exact-result id " << id;
+  }
+  // Certain candidates must truly match.
+  for (uint64_t i = 0; i < approx.cands.size(); ++i) {
+    if (approx.certain[i]) {
+      ASSERT_TRUE(pred.Contains(f.base.Get(approx.cands.ids[i])));
+    }
+  }
+  // Approximate values bracket the truth.
+  for (uint64_t i = 0; i < approx.cands.size(); ++i) {
+    const int64_t truth = f.base.Get(approx.cands.ids[i]);
+    ASSERT_LE(approx.values.lower[i], truth);
+    ASSERT_GE(approx.values.lower[i] + static_cast<int64_t>(approx.values.error),
+              truth);
+  }
+
+  // Invariant 2: refinement is exact.
+  PredicateRefinement conj{&f.col, pred, &approx.values};
+  RefinedSelection refined =
+      SelectRefine(approx.cands, std::span(&conj, 1), /*keep_values=*/true);
+  EXPECT_EQ(refined.ids, oracle);
+  for (uint64_t i = 0; i < refined.ids.size(); ++i) {
+    ASSERT_EQ(refined.exact_values[0][i], f.base.Get(refined.ids[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndSelectivities, SelectSweep,
+    ::testing::Values(SelectCase{32, 0, 600},           // resident, selective
+                      SelectCase{32, 0, 60000},         // resident, broad
+                      SelectCase{24, 0, 600},           // 8 residual bits
+                      SelectCase{24, 30000, 31000},     //
+                      SelectCase{20, 0, 65535},         // everything
+                      SelectCase{16, 12345, 12345},     // point query
+                      SelectCase{12, 0, 100},           // 20 residual bits
+                      SelectCase{24, 65530, 70000},     // touches domain top
+                      SelectCase{24, -100, 5}));        // touches domain bottom
+
+TEST(SelectApproximateTest, FullScanOutputSorted) {
+  Fixture f(5000, 0, 1000, 24, 11);
+  ApproxSelection s =
+      SelectApproximate(f.col, cs::RangePred::Le(500), f.dev.get());
+  EXPECT_TRUE(s.cands.sorted);
+  EXPECT_TRUE(std::is_sorted(s.cands.ids.begin(), s.cands.ids.end()));
+}
+
+TEST(SelectApproximateTest, EmptyPredicate) {
+  Fixture f(100, 0, 50, 24, 12);
+  ApproxSelection s =
+      SelectApproximate(f.col, cs::RangePred{10, 5}, f.dev.get());
+  EXPECT_TRUE(s.cands.empty());
+}
+
+TEST(SelectApproximateOnTest, ChainEqualsConjunction) {
+  Fixture f(10000, 0, 10000, 24, 13);
+  Fixture g(10000, 0, 10000, 26, 14);
+  const cs::RangePred pa = cs::RangePred::Le(3000);
+  const cs::RangePred pb = cs::RangePred::Ge(7000);
+
+  ApproxSelection sa = SelectApproximate(f.col, pa, f.dev.get());
+  ApproxSelection sb =
+      SelectApproximateOn(g.col, pb, sa.cands, g.dev.get());
+
+  // kept_positions points into sa's candidate list.
+  ASSERT_EQ(sb.kept_positions.size(), sb.cands.size());
+  for (uint64_t i = 0; i < sb.cands.size(); ++i) {
+    ASSERT_EQ(sa.cands.ids[sb.kept_positions[i]], sb.cands.ids[i]);
+  }
+
+  // Refining both conjuncts yields the exact conjunction.
+  std::vector<int64_t> a_lower_compacted(sb.cands.size());
+  for (uint64_t i = 0; i < sb.cands.size(); ++i) {
+    a_lower_compacted[i] = sa.values.lower[sb.kept_positions[i]];
+  }
+  ApproxValues a_vals{std::move(a_lower_compacted), sa.values.error};
+  PredicateRefinement conjs[2] = {{&f.col, pa, &a_vals},
+                                  {&g.col, pb, &sb.values}};
+  RefinedSelection refined = SelectRefine(sb.cands, conjs);
+
+  cs::OidVec oracle;
+  for (uint64_t i = 0; i < f.base.size(); ++i) {
+    if (pa.Contains(f.base.Get(i)) && pb.Contains(g.base.Get(i))) {
+      oracle.push_back(static_cast<cs::oid_t>(i));
+    }
+  }
+  EXPECT_EQ(refined.ids, oracle);
+}
+
+TEST(SelectRefineTest, NullApproxFallsBackToColumnRead) {
+  Fixture f(3000, 0, 4000, 22, 15);
+  const cs::RangePred pred = cs::RangePred::Between(100, 900);
+  ApproxSelection s = SelectApproximate(f.col, pred, f.dev.get());
+  PredicateRefinement conj{&f.col, pred, nullptr};  // no downloaded values
+  RefinedSelection refined = SelectRefine(s.cands, std::span(&conj, 1));
+  EXPECT_EQ(refined.ids, f.Oracle(pred));
+}
+
+TEST(SelectRefineTest, PositionsIndexCandidates) {
+  Fixture f(2000, 0, 500, 26, 16);
+  const cs::RangePred pred = cs::RangePred::Le(100);
+  ApproxSelection s = SelectApproximate(f.col, pred, f.dev.get());
+  PredicateRefinement conj{&f.col, pred, &s.values};
+  RefinedSelection refined = SelectRefine(s.cands, std::span(&conj, 1));
+  for (uint64_t i = 0; i < refined.ids.size(); ++i) {
+    ASSERT_EQ(s.cands.ids[refined.positions[i]], refined.ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace wastenot::core

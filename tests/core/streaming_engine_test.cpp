@@ -1,0 +1,104 @@
+#include "core/streaming_engine.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/classic_engine.h"
+#include "workloads/uniform.h"
+
+namespace wastenot::core {
+namespace {
+
+struct StreamingFixture {
+  cs::Database db;
+  std::unique_ptr<device::Device> dev;
+  std::unique_ptr<device::ResidencyCache> cache;
+
+  explicit StreamingFixture(uint64_t n, uint64_t device_capacity) {
+    cs::Table t("r");
+    (void)t.AddColumn("a", workloads::UniqueShuffledInts(n, 1));
+    (void)t.AddColumn("v", workloads::UniqueShuffledInts(n, 2));
+    db.AddTable(std::move(t));
+    device::DeviceSpec spec;
+    spec.memory_capacity = device_capacity;
+    dev = std::make_unique<device::Device>(spec, 2);
+    cache = std::make_unique<device::ResidencyCache>(dev.get());
+  }
+
+  QuerySpec Query(int64_t threshold) const {
+    QuerySpec q;
+    q.table = "r";
+    q.predicates = {{"a", cs::RangePred::Lt(threshold)}};
+    q.aggregates = {Aggregate::SumOf("v", "s"), Aggregate::CountStar("n")};
+    return q;
+  }
+};
+
+TEST(StreamingEngineTest, ResultsMatchClassic) {
+  StreamingFixture f(50000, 64 << 20);
+  auto classic = ExecuteClassic(f.Query(10000), f.db);
+  auto streaming =
+      ExecuteStreaming(f.Query(10000), f.db, f.dev.get(), f.cache.get());
+  ASSERT_TRUE(classic.ok());
+  ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
+  EXPECT_EQ(streaming->result, *classic);
+}
+
+TEST(StreamingEngineTest, HotSetFitsCacheWarmsUp) {
+  StreamingFixture f(50000, 64 << 20);  // plenty of device memory
+  auto first = ExecuteStreaming(f.Query(5000), f.db, f.dev.get(),
+                                f.cache.get());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->cache_misses, 2u);  // columns a and v uploaded
+  EXPECT_GT(first->bytes_transferred, 0u);
+
+  auto second = ExecuteStreaming(f.Query(7000), f.db, f.dev.get(),
+                                 f.cache.get());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cache_hits, 2u);
+  EXPECT_EQ(second->bytes_transferred, 0u)
+      << "resident hot set needs no re-transfer";
+  EXPECT_LT(second->breakdown.bus_seconds, first->breakdown.bus_seconds);
+}
+
+TEST(StreamingEngineTest, OversizedHotSetThrashes) {
+  // Device fits one column but not both: LRU evicts whichever the next
+  // query needs — the Fig 9 worst case, every run re-transfers.
+  StreamingFixture f(50000, 260 * 1024);  // columns are 200 KB each
+  for (int run = 0; run < 3; ++run) {
+    auto exec = ExecuteStreaming(f.Query(1000), f.db, f.dev.get(),
+                                 f.cache.get());
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    EXPECT_EQ(exec->cache_hits, 0u) << "run " << run;
+    EXPECT_EQ(exec->bytes_transferred, 2u * 50000 * 4) << "run " << run;
+  }
+}
+
+TEST(StreamingEngineTest, ColumnLargerThanDeviceFails) {
+  StreamingFixture f(50000, 100 * 1024);  // 200 KB column, 100 KB device
+  auto exec = ExecuteStreaming(f.Query(1000), f.db, f.dev.get(),
+                               f.cache.get());
+  EXPECT_FALSE(exec.ok());
+  EXPECT_TRUE(exec.status().IsDeviceOutOfMemory());
+}
+
+TEST(StreamingEngineTest, ChargesDeviceAndBusPhases) {
+  StreamingFixture f(50000, 64 << 20);
+  auto exec = ExecuteStreaming(f.Query(20000), f.db, f.dev.get(),
+                               f.cache.get());
+  ASSERT_TRUE(exec.ok());
+  EXPECT_GT(exec->breakdown.device_seconds, 0.0);
+  EXPECT_GT(exec->breakdown.bus_seconds, 0.0);
+}
+
+TEST(StreamingEngineTest, MissingTableSurfacesError) {
+  StreamingFixture f(100, 1 << 20);
+  QuerySpec q;
+  q.table = "nope";
+  auto exec = ExecuteStreaming(q, f.db, f.dev.get(), f.cache.get());
+  EXPECT_EQ(exec.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace wastenot::core

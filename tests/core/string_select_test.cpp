@@ -1,0 +1,142 @@
+#include "core/string_select.h"
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+TEST(StringPrefixCodeTest, OrderPreserving) {
+  // Codes compare like the (padded) strings themselves.
+  EXPECT_LT(StringPrefixCode("ABC", 4), StringPrefixCode("ABD", 4));
+  EXPECT_LT(StringPrefixCode("AB", 4), StringPrefixCode("ABA", 4));
+  EXPECT_LT(StringPrefixCode("", 4), StringPrefixCode("A", 4));
+  // Only the first k bytes matter.
+  EXPECT_EQ(StringPrefixCode("ABCDE", 4), StringPrefixCode("ABCDZ", 4));
+}
+
+TEST(StringPrefixCodeTest, HighBytesHandled) {
+  const std::string high = "\xFF\xFE";
+  EXPECT_GT(StringPrefixCode(high, 4), StringPrefixCode("zzzz", 4));
+}
+
+TEST(StringPrefixRangeTest, ShortPatternIsTight) {
+  const cs::RangePred r = StringPrefixRange("AB", 4);
+  EXPECT_LE(r.lo, StringPrefixCode("AB", 4));
+  EXPECT_GE(r.hi, StringPrefixCode("ABzz", 4));
+  EXPECT_LT(r.hi, StringPrefixCode("AC", 4));
+  // A non-matching string is outside.
+  EXPECT_FALSE(r.Contains(StringPrefixCode("AA", 4)));
+}
+
+TEST(StringPrefixRangeTest, LongPatternClipsToK) {
+  // Pattern longer than the code: range covers the k-byte prefix.
+  const cs::RangePred r = StringPrefixRange("ABCDEFG", 4);
+  EXPECT_TRUE(r.Contains(StringPrefixCode("ABCDEFG", 4)));
+  EXPECT_TRUE(r.Contains(StringPrefixCode("ABCDZZZ", 4)))
+      << "k-prefix sharers are (false-positive) candidates";
+}
+
+struct StringFixture {
+  std::vector<std::string> strings;
+  std::unique_ptr<device::Device> dev;
+  bwd::BwdColumn codes;
+
+  StringFixture(uint64_t n, uint32_t device_bits, uint64_t seed) {
+    Xoshiro256 rng(seed);
+    const char* stems[] = {"PROMO", "STANDARD", "ECONOMY", "PRO", "PR",
+                           "SMALL", "PROMOTION"};
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string s = stems[rng.Below(7)];
+      const uint64_t tail = rng.Below(4);
+      for (uint64_t t = 0; t < tail; ++t) {
+        s += static_cast<char>('A' + rng.Below(26));
+      }
+      strings.push_back(std::move(s));
+    }
+    device::DeviceSpec spec;
+    spec.memory_capacity = 64 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    cs::Column col = BuildPrefixCodeColumn(strings, 4);
+    codes = std::move(bwd::BwdColumn::Decompose(col, device_bits, dev.get()))
+                .value();
+  }
+
+  cs::OidVec Oracle(std::string_view prefix) const {
+    cs::OidVec out;
+    for (uint64_t i = 0; i < strings.size(); ++i) {
+      const std::string& s = strings[i];
+      if (s.size() >= prefix.size() &&
+          std::equal(prefix.begin(), prefix.end(), s.begin())) {
+        out.push_back(static_cast<cs::oid_t>(i));
+      }
+    }
+    return out;
+  }
+};
+
+class StringSelectSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StringSelectSweep, RefinedLikeMatchesOracle) {
+  StringFixture f(5000, 64, 42);
+  const std::string prefix = GetParam();
+  StringApproxSelection approx =
+      StringPrefixSelectApproximate(f.codes, prefix, 4, f.dev.get());
+  // Superset invariant.
+  const cs::OidVec oracle = f.Oracle(prefix);
+  std::set<cs::oid_t> cand_set(approx.inner.cands.ids.begin(),
+                               approx.inner.cands.ids.end());
+  for (cs::oid_t id : oracle) {
+    ASSERT_TRUE(cand_set.count(id)) << "missing match for '" << prefix << "'";
+  }
+  // Refinement equals LIKE 'prefix%'.
+  const cs::OidVec refined =
+      StringPrefixSelectRefine(approx, f.strings, prefix);
+  EXPECT_EQ(refined, oracle) << prefix;
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, StringSelectSweep,
+                         ::testing::Values("PROMO", "PR", "P", "PROMOTION",
+                                           "STANDARD", "ZZZ", "", "SMALLA"));
+
+TEST(StringSelectTest, ShortPatternOnResidentCodesIsExact) {
+  StringFixture f(2000, 64, 7);
+  StringApproxSelection approx =
+      StringPrefixSelectApproximate(f.codes, "PRO", 4, f.dev.get());
+  EXPECT_TRUE(approx.exact)
+      << "pattern within the coded prefix on a residual-free code column "
+         "needs no host string comparison";
+  EXPECT_EQ(StringPrefixSelectRefine(approx, f.strings, "PRO"),
+            f.Oracle("PRO"));
+}
+
+TEST(StringSelectTest, LongPatternNeedsRefinement) {
+  StringFixture f(2000, 64, 8);
+  StringApproxSelection approx =
+      StringPrefixSelectApproximate(f.codes, "PROMOTION", 4, f.dev.get());
+  EXPECT_FALSE(approx.exact);
+  // Candidates include PROMO* false positives; refinement removes them.
+  EXPECT_GE(approx.inner.cands.size(),
+            StringPrefixSelectRefine(approx, f.strings, "PROMOTION").size());
+}
+
+TEST(StringSelectTest, DecomposedCodesStillRefineExactly) {
+  // The prefix-code column itself carries residual bits: candidate ranges
+  // widen but refinement remains exact.
+  StringFixture f(3000, 64 - 24, 9);  // 24 residual bits on int64 codes
+  for (const char* prefix : {"PROMO", "PR", "STANDARD"}) {
+    StringApproxSelection approx =
+        StringPrefixSelectApproximate(f.codes, prefix, 4, f.dev.get());
+    EXPECT_FALSE(approx.exact);
+    EXPECT_EQ(StringPrefixSelectRefine(approx, f.strings, prefix),
+              f.Oracle(prefix))
+        << prefix;
+  }
+}
+
+}  // namespace
+}  // namespace wastenot::core

@@ -1,0 +1,125 @@
+#include "core/theta_join.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+struct ThetaFixture {
+  std::unique_ptr<device::Device> dev;
+  cs::Column left_base, right_base;
+  bwd::BwdColumn left, right;
+
+  ThetaFixture(uint64_t nl, uint64_t nr, uint32_t bits_l, uint32_t bits_r,
+               uint64_t seed) {
+    device::DeviceSpec spec;
+    spec.memory_capacity = 64 << 20;
+    dev = std::make_unique<device::Device>(spec, 4);
+    Xoshiro256 rng(seed);
+    std::vector<int32_t> l(nl), r(nr);
+    for (auto& v : l) v = static_cast<int32_t>(rng.Below(1 << 10));
+    for (auto& v : r) v = static_cast<int32_t>(rng.Below(1 << 10));
+    left_base = cs::Column::FromI32(l);
+    left_base.ComputeStats();
+    right_base = cs::Column::FromI32(r);
+    right_base.ComputeStats();
+    left = std::move(bwd::BwdColumn::Decompose(left_base, bits_l, dev.get()))
+               .value();
+    right =
+        std::move(bwd::BwdColumn::Decompose(right_base, bits_r, dev.get()))
+            .value();
+  }
+};
+
+using Pair = std::pair<cs::oid_t, cs::oid_t>;
+
+std::set<Pair> ToSet(const JoinedPairs& pairs) {
+  std::set<Pair> out;
+  for (uint64_t i = 0; i < pairs.size(); ++i) {
+    out.emplace(pairs.left_ids[i], pairs.right_ids[i]);
+  }
+  return out;
+}
+
+struct ThetaCase {
+  ThetaOp op;
+  int64_t band;
+  uint32_t bits_l;
+  uint32_t bits_r;
+};
+
+class ThetaSweep : public ::testing::TestWithParam<ThetaCase> {};
+
+TEST_P(ThetaSweep, SupersetAndRefineExact) {
+  const ThetaCase& c = GetParam();
+  ThetaFixture f(300, 200, c.bits_l, c.bits_r, c.bits_l * 100 + c.bits_r);
+
+  PairCandidates cands =
+      ThetaJoinApproximate(f.left, f.right, c.op, c.band, f.dev.get());
+  JoinedPairs exact = ThetaJoinExact(f.left_base, f.right_base, c.op, c.band);
+
+  // Superset invariant: every exact pair is among the candidates.
+  std::set<Pair> cand_set;
+  for (uint64_t i = 0; i < cands.size(); ++i) {
+    cand_set.emplace(cands.left_ids[i], cands.right_ids[i]);
+  }
+  for (uint64_t i = 0; i < exact.size(); ++i) {
+    ASSERT_TRUE(cand_set.count({exact.left_ids[i], exact.right_ids[i]}))
+        << "missing exact pair";
+  }
+
+  // Refinement equals the oracle.
+  JoinedPairs refined =
+      ThetaJoinRefine(f.left, f.right, c.op, c.band, cands);
+  EXPECT_EQ(ToSet(refined), ToSet(exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndBits, ThetaSweep,
+    ::testing::Values(ThetaCase{ThetaOp::kLess, 0, 32, 32},
+                      ThetaCase{ThetaOp::kLess, 0, 26, 26},
+                      ThetaCase{ThetaOp::kLessEqual, 0, 26, 28},
+                      ThetaCase{ThetaOp::kBandWithin, 16, 26, 26},
+                      ThetaCase{ThetaOp::kBandWithin, 0, 28, 28},
+                      ThetaCase{ThetaOp::kBandWithin, 100, 24, 24}));
+
+TEST(ThetaJoinTest, CertainPairsAreExactMatches) {
+  ThetaFixture f(100, 100, 26, 26, 9);
+  PairCandidates cands = ThetaJoinApproximate(f.left, f.right, ThetaOp::kLess,
+                                              0, f.dev.get());
+  for (uint64_t i = 0; i < cands.size(); ++i) {
+    if (cands.certain[i]) {
+      ASSERT_LT(f.left_base.Get(cands.left_ids[i]),
+                f.right_base.Get(cands.right_ids[i]));
+    }
+  }
+  EXPECT_EQ(static_cast<uint64_t>(
+                std::count(cands.certain.begin(), cands.certain.end(), 1)),
+            cands.num_certain);
+}
+
+TEST(ThetaJoinTest, EmptyInputs) {
+  ThetaFixture f(0, 50, 32, 32, 10);
+  PairCandidates cands = ThetaJoinApproximate(f.left, f.right, ThetaOp::kLess,
+                                              0, f.dev.get());
+  EXPECT_EQ(cands.size(), 0u);
+}
+
+TEST(ThetaJoinTest, FullyResidentHasNoFalsePositives) {
+  ThetaFixture f(150, 150, 32, 32, 11);
+  PairCandidates cands = ThetaJoinApproximate(
+      f.left, f.right, ThetaOp::kBandWithin, 5, f.dev.get());
+  JoinedPairs exact =
+      ThetaJoinExact(f.left_base, f.right_base, ThetaOp::kBandWithin, 5);
+  EXPECT_EQ(cands.size(), exact.size());
+  EXPECT_EQ(cands.num_certain, cands.size());
+}
+
+}  // namespace
+}  // namespace wastenot::core

@@ -1,0 +1,110 @@
+#include "core/translucent_join.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+TEST(TranslucentJoinTest, PaperFig5Example) {
+  // A (approximation output, shuffled): ids {0,80,16,48,32} with some
+  // extras; B (refined subset in the same permutation).
+  const cs::OidVec a = {13, 0, 11, 9, 3, 1, 5, 7};
+  const cs::OidVec b = {9, 3, 1, 5, 7};
+  auto positions = TranslucentJoinPositions(a, b);
+  ASSERT_TRUE(positions.ok());
+  EXPECT_EQ(*positions, (cs::OidVec{3, 4, 5, 6, 7}));
+}
+
+TEST(TranslucentJoinTest, EmptySubset) {
+  const cs::OidVec a = {5, 2, 9};
+  auto positions = TranslucentJoinPositions(a, {});
+  ASSERT_TRUE(positions.ok());
+  EXPECT_TRUE(positions->empty());
+}
+
+TEST(TranslucentJoinTest, IdenticalLists) {
+  const cs::OidVec a = {7, 3, 1};
+  auto positions = TranslucentJoinPositions(a, a);
+  ASSERT_TRUE(positions.ok());
+  EXPECT_EQ(*positions, (cs::OidVec{0, 1, 2}));
+}
+
+TEST(TranslucentJoinTest, ViolatedSubsetContractFails) {
+  const cs::OidVec a = {1, 2, 3};
+  const cs::OidVec b = {2, 9};  // 9 not in a
+  auto positions = TranslucentJoinPositions(a, b);
+  EXPECT_FALSE(positions.ok());
+  EXPECT_TRUE(positions.status().IsPreconditionFailed());
+}
+
+TEST(TranslucentJoinTest, ViolatedPermutationContractFails) {
+  const cs::OidVec a = {1, 2, 3};
+  const cs::OidVec b = {3, 1};  // subset but order flipped
+  auto positions = TranslucentJoinPositions(a, b);
+  EXPECT_FALSE(positions.ok()) << "order violation must be detected";
+}
+
+TEST(TranslucentJoinTest, SortedAndDenseDetection) {
+  EXPECT_TRUE(SortedAndDense(cs::OidVec{}));
+  EXPECT_TRUE(SortedAndDense(cs::OidVec{5}));
+  EXPECT_TRUE(SortedAndDense(cs::OidVec{5, 6, 7}));
+  EXPECT_FALSE(SortedAndDense(cs::OidVec{5, 7}));
+  EXPECT_FALSE(SortedAndDense(cs::OidVec{7, 6}));
+}
+
+TEST(TranslucentJoinTest, InvisibleFastPath) {
+  const cs::OidVec a = {100, 101, 102, 103, 104};
+  const cs::OidVec b = {101, 104};
+  auto positions = TranslucentJoinPositionsAuto(a, b);
+  ASSERT_TRUE(positions.ok());
+  EXPECT_EQ(*positions, (cs::OidVec{1, 4}));
+}
+
+TEST(TranslucentJoinTest, InvisibleFastPathRejectsOutOfRange) {
+  const cs::OidVec a = {100, 101, 102};
+  auto low = TranslucentJoinPositionsAuto(a, cs::OidVec{99});
+  EXPECT_FALSE(low.ok());
+  auto high = TranslucentJoinPositionsAuto(a, cs::OidVec{103});
+  EXPECT_FALSE(high.ok());
+}
+
+/// Property (paper §IV-A): for any permuted superset A and any
+/// same-permutation subset B, the join recovers exactly B's positions.
+class TranslucentJoinProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TranslucentJoinProperty, RecoversSubsetPositions) {
+  const uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  const uint64_t n = 200 + rng.Below(2000);
+  // A: a random permutation of unique ids.
+  std::vector<cs::oid_t> a(n);
+  for (uint64_t i = 0; i < n; ++i) a[i] = static_cast<cs::oid_t>(i * 3 + 1);
+  Shuffle(a, seed * 31 + 7);
+  // B: every element kept with probability ~1/3, preserving A's order.
+  cs::OidVec b;
+  cs::OidVec expect_positions;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (rng.Below(3) == 0) {
+      b.push_back(a[i]);
+      expect_positions.push_back(static_cast<cs::oid_t>(i));
+    }
+  }
+  auto positions = TranslucentJoinPositions(a, b);
+  ASSERT_TRUE(positions.ok());
+  EXPECT_EQ(*positions, expect_positions);
+
+  // The Auto variant must agree (A here is generally not dense).
+  auto auto_positions = TranslucentJoinPositionsAuto(a, b);
+  ASSERT_TRUE(auto_positions.ok());
+  EXPECT_EQ(*auto_positions, expect_positions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TranslucentJoinProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace wastenot::core

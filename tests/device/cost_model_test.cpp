@@ -1,0 +1,72 @@
+#include "device/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::device {
+namespace {
+
+TEST(CostModelTest, KernelTimeGrowsWithBytes) {
+  const DeviceSpec spec;
+  const double t1 = KernelSeconds(spec, 1 << 20, 0, 0);
+  const double t2 = KernelSeconds(spec, 1 << 24, 0, 0);
+  EXPECT_GT(t2, t1);
+  EXPECT_GT(t1, spec.launch_overhead);
+}
+
+TEST(CostModelTest, LaunchOverheadFloorsTinyKernels) {
+  const DeviceSpec spec;
+  EXPECT_GE(KernelSeconds(spec, 0, 0, 0), spec.launch_overhead);
+}
+
+TEST(CostModelTest, ComputeBoundKernels) {
+  DeviceSpec spec;
+  // Enormous op count with tiny data: compute time dominates.
+  const double t =
+      KernelSeconds(spec, 64, 0, static_cast<uint64_t>(1e12));
+  EXPECT_GT(t, 0.5);  // ~1e12 ops / 1.5e12 ops/s
+}
+
+TEST(CostModelTest, HashConflictsDecreaseWithMoreGroups) {
+  const DeviceSpec spec;
+  const uint64_t bytes = 100 << 20;
+  const double t10 = HashKernelSeconds(spec, bytes, bytes, 0, 10);
+  const double t100 = HashKernelSeconds(spec, bytes, bytes, 0, 100);
+  const double t100000 = HashKernelSeconds(spec, bytes, bytes, 0, 100000);
+  EXPECT_GT(t10, t100);
+  EXPECT_GT(t100, t100000);
+  // Conflict-free limit approaches the streaming cost.
+  const double stream = KernelSeconds(spec, bytes, bytes, 0);
+  EXPECT_NEAR(t100000, stream, stream * 0.01);
+}
+
+TEST(CostModelTest, FullySerializedWarpIsWarpTimesSlower) {
+  DeviceSpec spec;
+  spec.launch_overhead = 0;
+  const uint64_t bytes = 1 << 20;
+  const double stream = KernelSeconds(spec, bytes, 0, 0);
+  const double serialized = HashKernelSeconds(spec, bytes, 0, 0, 1);
+  EXPECT_NEAR(serialized / stream, spec.warp_width, 0.01);
+}
+
+TEST(CostModelTest, TransferMatchesPaperBandwidth) {
+  const DeviceSpec spec;
+  // Paper §VI-A: 3.95 GB/s measured; 1.8 GB of spatial data ~ 0.45 s
+  // (the Fig 9 'Stream (Hypothetical)' bar).
+  const double t = TransferSeconds(spec, static_cast<uint64_t>(1.8e9));
+  EXPECT_NEAR(t, 0.456, 0.01);
+}
+
+TEST(CostModelTest, ZeroTransferIsFree) {
+  const DeviceSpec spec;
+  EXPECT_EQ(TransferSeconds(spec, 0), 0.0);
+}
+
+TEST(CostModelTest, Gtx680DefaultsMatchPaperHardware) {
+  const DeviceSpec spec = DeviceSpec::Gtx680();
+  EXPECT_EQ(spec.memory_capacity, 2ull << 30);  // 2 GB cards
+  EXPECT_DOUBLE_EQ(spec.pcie_bandwidth, 3.95e9);
+  EXPECT_EQ(spec.num_devices, 2u);  // two cards in the paper's server
+}
+
+}  // namespace
+}  // namespace wastenot::device

@@ -1,0 +1,96 @@
+#include "device/device.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wastenot::device {
+namespace {
+
+DeviceSpec SmallSpec() {
+  DeviceSpec spec;
+  spec.memory_capacity = 1 << 20;
+  return spec;
+}
+
+TEST(DeviceTest, UploadDownloadRoundTrip) {
+  Device dev(SmallSpec(), 2);
+  std::vector<int32_t> host(100);
+  std::iota(host.begin(), host.end(), 0);
+  auto buf = dev.Upload(host.data(), host.size() * 4);
+  ASSERT_TRUE(buf.ok());
+  std::vector<int32_t> back(100);
+  dev.Download(*buf, back.data(), back.size() * 4);
+  EXPECT_EQ(host, back);
+  EXPECT_GT(dev.clock().bus_seconds(), 0.0);
+}
+
+TEST(DeviceTest, UploadChargesPciTime) {
+  Device dev(SmallSpec(), 2);
+  std::vector<uint8_t> data(1 << 16);
+  const double before = dev.clock().bus_seconds();
+  ASSERT_TRUE(dev.Upload(data.data(), data.size()).ok());
+  const double delta = dev.clock().bus_seconds() - before;
+  EXPECT_NEAR(delta,
+              TransferSeconds(dev.spec(), data.size()), 1e-9);
+}
+
+TEST(DeviceTest, LaunchExecutesGridAndCharges) {
+  Device dev(SmallSpec(), 4);
+  std::vector<std::atomic<uint8_t>> touched(10000);
+  KernelSignature sig;
+  sig.op = "touch";
+  dev.Launch(sig, {.elements = 10000, .bytes_read = 10000 * 4},
+             [&](uint64_t b, uint64_t e) {
+               for (uint64_t i = b; i < e; ++i) touched[i].fetch_add(1);
+             });
+  for (auto& t : touched) ASSERT_EQ(t.load(), 1);
+  // JIT compile + kernel time charged to the device clock.
+  EXPECT_GE(dev.clock().device_seconds(), dev.spec().jit_compile_seconds);
+}
+
+TEST(DeviceTest, SecondLaunchSkipsCompile) {
+  Device dev(SmallSpec(), 2);
+  KernelSignature sig;
+  sig.op = "noop";
+  const LaunchCost cost{.elements = 1, .bytes_read = 64};
+  dev.Launch(sig, cost, [](uint64_t, uint64_t) {});
+  const double after_first = dev.clock().device_seconds();
+  dev.Launch(sig, cost, [](uint64_t, uint64_t) {});
+  const double second_delta = dev.clock().device_seconds() - after_first;
+  EXPECT_LT(second_delta, dev.spec().jit_compile_seconds / 2);
+  EXPECT_EQ(dev.kernel_cache().compiled_count(), 1u);
+}
+
+TEST(DeviceTest, ChargeTransferAccumulates) {
+  Device dev(SmallSpec(), 1);
+  dev.ChargeTransfer(1 << 20);
+  dev.ChargeTransfer(1 << 20);
+  EXPECT_NEAR(dev.clock().bus_seconds(),
+              2 * TransferSeconds(dev.spec(), 1 << 20), 1e-9);
+}
+
+TEST(DeviceTest, UploadFailsWhenArenaFull) {
+  Device dev(SmallSpec(), 1);
+  std::vector<uint8_t> big((1 << 20) + 1);
+  auto buf = dev.Upload(big.data(), big.size());
+  EXPECT_FALSE(buf.ok());
+  EXPECT_TRUE(buf.status().IsDeviceOutOfMemory());
+}
+
+TEST(SimClockTest, PhasesIndependent) {
+  SimClock clock;
+  clock.Add(Phase::kDeviceCompute, 1.0);
+  clock.Add(Phase::kBusTransfer, 2.0);
+  clock.Add(Phase::kHostCompute, 3.0);
+  EXPECT_DOUBLE_EQ(clock.device_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(clock.bus_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(clock.host_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(clock.total_seconds(), 6.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace wastenot::device

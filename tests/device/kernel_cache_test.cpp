@@ -1,0 +1,64 @@
+#include "device/kernel_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::device {
+namespace {
+
+KernelSignature Sig(const std::string& op, uint32_t packed = 20) {
+  KernelSignature sig;
+  sig.op = op;
+  sig.value_bits = 27;
+  sig.packed_bits = packed;
+  sig.prefix_base = 0;
+  sig.extra = "range/full";
+  return sig;
+}
+
+TEST(KernelCacheTest, CompilesOncePerSignature) {
+  KernelCache cache;
+  EXPECT_DOUBLE_EQ(cache.EnsureCompiled(Sig("uselect"), 0.04), 0.04);
+  EXPECT_DOUBLE_EQ(cache.EnsureCompiled(Sig("uselect"), 0.04), 0.0);
+  EXPECT_EQ(cache.compiled_count(), 1u);
+  EXPECT_EQ(cache.hit_count(), 1u);
+}
+
+TEST(KernelCacheTest, DistinctSignaturesCompileSeparately) {
+  KernelCache cache;
+  cache.EnsureCompiled(Sig("uselect", 20), 0.04);
+  cache.EnsureCompiled(Sig("uselect", 24), 0.04);  // different decomposition
+  cache.EnsureCompiled(Sig("group", 20), 0.04);
+  EXPECT_EQ(cache.compiled_count(), 3u);
+}
+
+TEST(KernelCacheTest, SourceRetained) {
+  KernelCache cache;
+  cache.EnsureCompiled(Sig("uselect"), 0.04);
+  const std::string src = cache.SourceOf(Sig("uselect"));
+  EXPECT_NE(src.find("__kernel void uselect"), std::string::npos);
+  EXPECT_EQ(cache.SourceOf(Sig("never_compiled")), "");
+}
+
+TEST(KernelCacheTest, GeneratedSourceReflectsParameters) {
+  KernelSignature sig = Sig("uselect", 13);
+  sig.prefix_base = 4096;
+  const std::string src = GenerateKernelSource(sig);
+  // The decomposition (packed width) and compression (base) specialize the
+  // code, as §V-C describes.
+  EXPECT_NE(src.find("* 13UL"), std::string::npos);
+  EXPECT_NE(src.find("4096"), std::string::npos);
+  EXPECT_NE(src.find(std::to_string((1ull << 13) - 1)), std::string::npos);
+}
+
+TEST(KernelCacheTest, CacheKeyIncludesAllParameters) {
+  KernelSignature a = Sig("op", 10);
+  KernelSignature b = Sig("op", 10);
+  b.prefix_base = 1;
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+  b = Sig("op", 10);
+  b.extra = "other";
+  EXPECT_NE(a.CacheKey(), b.CacheKey());
+}
+
+}  // namespace
+}  // namespace wastenot::device

@@ -1,0 +1,99 @@
+#include "device/residency_cache.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wastenot::device {
+namespace {
+
+Device MakeDevice(uint64_t capacity) {
+  DeviceSpec spec;
+  spec.memory_capacity = capacity;
+  return Device(spec, 1);
+}
+
+TEST(ResidencyCacheTest, HitAfterMiss) {
+  Device dev = MakeDevice(1 << 20);
+  ResidencyCache cache(&dev);
+  std::vector<uint8_t> data(1024, 7);
+  auto first = cache.Pin("a", data.data(), data.size());
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->hit);
+  EXPECT_EQ(first->bytes_transferred, 1024u);
+  auto second = cache.Pin("a", data.data(), data.size());
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->hit);
+  EXPECT_EQ(second->bytes_transferred, 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResidencyCacheTest, EvictsLeastRecentlyUsed) {
+  Device dev = MakeDevice(3000);
+  ResidencyCache cache(&dev);
+  std::vector<uint8_t> data(1024);
+  ASSERT_TRUE(cache.Pin("a", data.data(), 1024).ok());
+  ASSERT_TRUE(cache.Pin("b", data.data(), 1024).ok());
+  ASSERT_TRUE(cache.Pin("a", data.data(), 1024).ok());  // a is now MRU
+  ASSERT_TRUE(cache.Pin("c", data.data(), 1024).ok());  // evicts b
+  EXPECT_EQ(cache.evictions(), 1u);
+  auto again_a = cache.Pin("a", data.data(), 1024);
+  ASSERT_TRUE(again_a.ok());
+  EXPECT_TRUE(again_a->hit);
+  auto again_b = cache.Pin("b", data.data(), 1024);
+  ASSERT_TRUE(again_b.ok());
+  EXPECT_FALSE(again_b->hit) << "b was the LRU victim";
+}
+
+// The Fig 9 worst case: the working set exceeds device memory, so under
+// LRU every pass over the inputs re-transfers everything — "multiple runs
+// of the same query cannot benefit from previously loaded data because it
+// has just been evicted" (paper §VI-C3).
+TEST(ResidencyCacheTest, WorkingSetLargerThanMemoryThrashes) {
+  Device dev = MakeDevice(4096);
+  ResidencyCache cache(&dev);
+  std::vector<uint8_t> data(2048);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const char* key : {"lon", "lat", "time"}) {  // 3 x 2 KB > 4 KB
+      auto access = cache.Pin(key, data.data(), data.size());
+      ASSERT_TRUE(access.ok());
+      EXPECT_FALSE(access->hit) << "pass " << pass << " key " << key;
+    }
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 9u);
+}
+
+TEST(ResidencyCacheTest, RejectsBufferLargerThanDevice) {
+  Device dev = MakeDevice(1024);
+  ResidencyCache cache(&dev);
+  std::vector<uint8_t> data(2048);
+  auto access = cache.Pin("big", data.data(), data.size());
+  EXPECT_FALSE(access.ok());
+  EXPECT_TRUE(access.status().IsDeviceOutOfMemory());
+}
+
+TEST(ResidencyCacheTest, ClearReleasesEverything) {
+  Device dev = MakeDevice(4096);
+  ResidencyCache cache(&dev);
+  std::vector<uint8_t> data(1024);
+  ASSERT_TRUE(cache.Pin("a", data.data(), 1024).ok());
+  EXPECT_GT(dev.arena().used(), 0u);
+  cache.Clear();
+  EXPECT_EQ(dev.arena().used(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
+TEST(ResidencyCacheTest, RespectsForeignAllocations) {
+  Device dev = MakeDevice(2048);
+  auto pinned = dev.Allocate(1536);  // non-cache allocation
+  ASSERT_TRUE(pinned.ok());
+  ResidencyCache cache(&dev);
+  std::vector<uint8_t> data(1024);
+  auto access = cache.Pin("a", data.data(), data.size());
+  EXPECT_FALSE(access.ok()) << "cannot evict what it does not own";
+}
+
+}  // namespace
+}  // namespace wastenot::device

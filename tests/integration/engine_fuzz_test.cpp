@@ -1,0 +1,166 @@
+// Randomized cross-engine equivalence: generate random schemas,
+// decompositions and QuerySpecs; require ExecuteAr == ExecuteClassic and
+// sound approximate bounds on every draw. This is the repository's
+// broadest property test — any unsoundness in relaxation, refinement,
+// alignment or bound propagation shows up here first.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/ar_engine.h"
+#include "core/classic_engine.h"
+#include "util/random.h"
+
+namespace wastenot {
+namespace {
+
+using core::Aggregate;
+using core::AggFunc;
+using core::QuerySpec;
+using core::Term;
+
+struct FuzzCase {
+  cs::Database db;
+  std::unique_ptr<device::Device> dev;
+  std::unique_ptr<bwd::BwdTable> fact;
+  QuerySpec query;
+};
+
+/// Builds a random fact table, decomposition and query from `seed`.
+FuzzCase MakeCase(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  FuzzCase c;
+
+  const uint64_t n = 2000 + rng.Below(20000);
+  const int64_t domain_a = 1 << (6 + rng.Below(14));   // selection column
+  const int64_t domain_g = 2 + rng.Below(40);          // group column
+  const int64_t domain_v = 1 << (4 + rng.Below(12));   // value column
+  const int64_t base_shift =
+      static_cast<int64_t>(rng.Below(3)) * -500;       // maybe negative
+
+  cs::Table t("f");
+  std::vector<int32_t> a(n), b(n), g(n), v(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int32_t>(rng.Below(domain_a) + base_shift);
+    b[i] = static_cast<int32_t>(rng.Below(domain_a));
+    g[i] = static_cast<int32_t>(rng.Below(domain_g));
+    v[i] = static_cast<int32_t>(rng.Below(domain_v));
+  }
+  auto add = [&t](const char* name, std::vector<int32_t>& vals) {
+    cs::Column col = cs::Column::FromI32(vals);
+    col.ComputeStats();
+    (void)t.AddColumn(name, std::move(col));
+  };
+  add("a", a);
+  add("b", b);
+  add("g", g);
+  add("v", v);
+  c.db.AddTable(std::move(t));
+
+  device::DeviceSpec spec;
+  spec.memory_capacity = 256 << 20;
+  c.dev = std::make_unique<device::Device>(spec, 2);
+
+  auto bits = [&rng]() -> uint32_t {
+    return 32 - static_cast<uint32_t>(rng.Below(16));  // 16..32 device bits
+  };
+  c.fact = std::make_unique<bwd::BwdTable>(
+      std::move(bwd::BwdTable::Decompose(
+                    c.db.table("f"),
+                    {{"a", bits(), bwd::Compression::kBitPacked},
+                     {"b", bits(), bwd::Compression::kBitPacked},
+                     {"g", bits(), bwd::Compression::kBitPacked},
+                     {"v", bits(), bwd::Compression::kBitPacked}},
+                    c.dev.get()))
+          .value());
+
+  // Random query: 1-2 predicates, optional grouping, 1-3 aggregates.
+  c.query.table = "f";
+  const int64_t lo = static_cast<int64_t>(rng.Below(domain_a)) + base_shift;
+  const int64_t width = static_cast<int64_t>(rng.Below(domain_a));
+  c.query.predicates.push_back({"a", cs::RangePred{lo, lo + width}});
+  if (rng.Below(2) == 0) {
+    c.query.predicates.push_back(
+        {"b", cs::RangePred::Lt(static_cast<int64_t>(rng.Below(domain_a)))});
+  }
+  if (rng.Below(2) == 0) c.query.group_by = {"g"};
+
+  c.query.aggregates.push_back(Aggregate::CountStar("n"));
+  if (rng.Below(2) == 0) {
+    c.query.aggregates.push_back(Aggregate::SumOf("v", "sum_v"));
+  }
+  if (rng.Below(2) == 0) {
+    Aggregate prod;
+    prod.func = AggFunc::kSum;
+    prod.terms = {Term::Col("v"),
+                  Term::OneMinus("g", static_cast<int64_t>(domain_g))};
+    prod.label = "sum_prod";
+    c.query.aggregates.push_back(prod);
+  }
+  if (c.query.group_by.empty() && rng.Below(3) == 0) {
+    Aggregate mn;
+    mn.func = rng.Below(2) == 0 ? AggFunc::kMin : AggFunc::kMax;
+    mn.terms = {Term::Col("v")};
+    mn.label = "extremum";
+    c.query.aggregates.push_back(mn);
+  }
+  return c;
+}
+
+class EngineFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineFuzz, EnginesAgreeAndBoundsAreSound) {
+  FuzzCase c = MakeCase(GetParam() * 7919 + 13);
+
+  auto classic = core::ExecuteClassic(c.query, c.db);
+  ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+  auto ar = core::ExecuteAr(c.query, *c.fact, nullptr, c.dev.get());
+  ASSERT_TRUE(ar.ok()) << ar.status().ToString();
+
+  EXPECT_EQ(ar->result, *classic) << "seed " << GetParam();
+
+  // Bounds soundness: the exact row count is inside the phase-A interval.
+  EXPECT_LE(ar->approx.row_count.lo,
+            static_cast<int64_t>(classic->selected_rows));
+  EXPECT_GE(ar->approx.row_count.hi,
+            static_cast<int64_t>(classic->selected_rows));
+  EXPECT_GE(ar->num_candidates, ar->num_refined);
+
+  // Ungrouped queries: every aggregate's exact value is inside its bounds
+  // (min/max and avg included — their reported intervals are global).
+  if (c.query.group_by.empty() && classic->num_groups() == 1 &&
+      ar->approx.num_groups() == 1) {
+    for (uint64_t agg = 0; agg < c.query.aggregates.size(); ++agg) {
+      if (c.query.aggregates[agg].func == AggFunc::kAvg) continue;
+      if ((c.query.aggregates[agg].func == AggFunc::kMin ||
+           c.query.aggregates[agg].func == AggFunc::kMax) &&
+          classic->selected_rows == 0) {
+        continue;  // extremum of an empty set is reported as 0
+      }
+      EXPECT_TRUE(ar->approx.agg_bounds[0][agg].Contains(
+          classic->agg_values[0][agg]))
+          << "seed " << GetParam() << " agg " << agg << ": "
+          << classic->agg_values[0][agg] << " not in "
+          << ar->approx.agg_bounds[0][agg].ToString();
+    }
+  }
+
+  // Both optimizer settings agree.
+  core::ArOptions no_push;
+  no_push.pushdown = false;
+  auto ar2 = core::ExecuteAr(c.query, *c.fact, nullptr, c.dev.get(), no_push);
+  ASSERT_TRUE(ar2.ok());
+  EXPECT_EQ(ar2->result, *classic);
+
+  core::ArOptions no_skip;
+  no_skip.skip_exact_refinement = false;
+  auto ar3 = core::ExecuteAr(c.query, *c.fact, nullptr, c.dev.get(), no_skip);
+  ASSERT_TRUE(ar3.ok());
+  EXPECT_EQ(ar3->result, *classic);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range<uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace wastenot

@@ -1,0 +1,68 @@
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::bits {
+namespace {
+
+TEST(BitsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(1), 1u);
+  EXPECT_EQ(LowMask(8), 0xFFu);
+  EXPECT_EQ(LowMask(32), 0xFFFFFFFFu);
+  EXPECT_EQ(LowMask(63), 0x7FFFFFFFFFFFFFFFu);
+  EXPECT_EQ(LowMask(64), ~uint64_t{0});
+}
+
+TEST(BitsTest, BitWidth) {
+  EXPECT_EQ(BitWidth(0), 0u);
+  EXPECT_EQ(BitWidth(1), 1u);
+  EXPECT_EQ(BitWidth(2), 2u);
+  EXPECT_EQ(BitWidth(255), 8u);
+  EXPECT_EQ(BitWidth(256), 9u);
+  EXPECT_EQ(BitWidth(100'000'000), 27u);
+}
+
+TEST(BitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 8), 0u);
+  EXPECT_EQ(CeilDiv(1, 8), 1u);
+  EXPECT_EQ(CeilDiv(8, 8), 1u);
+  EXPECT_EQ(CeilDiv(9, 8), 2u);
+}
+
+TEST(BitsTest, ApproximationResidualReconstruct) {
+  const uint64_t v = 747979;  // the paper's Fig 2 example value
+  for (uint32_t res = 0; res <= 32; ++res) {
+    const uint64_t a = Approximation(v, res);
+    const uint64_t r = Residual(v, res);
+    EXPECT_EQ(Reconstruct(a, r, res), v) << "res=" << res;
+    EXPECT_EQ(a & LowMask(res), 0u) << "approximation keeps low bits zero";
+    EXPECT_LE(r, ApproximationError(res));
+  }
+}
+
+TEST(BitsTest, PaperFig2Example) {
+  // 747979 split 13 major / 7 minor bits (of its 20 significant bits).
+  const uint64_t v = 747979;
+  const uint32_t res = 7;
+  EXPECT_EQ(Approximation(v, res), v & ~uint64_t{0x7F});
+  EXPECT_EQ(Residual(v, res), v & 0x7F);
+  EXPECT_EQ(ApproximationError(res), 127u);
+}
+
+TEST(BitsTest, RoundUpPow2) {
+  EXPECT_EQ(RoundUpPow2(0, 64), 0u);
+  EXPECT_EQ(RoundUpPow2(1, 64), 64u);
+  EXPECT_EQ(RoundUpPow2(64, 64), 64u);
+  EXPECT_EQ(RoundUpPow2(65, 64), 128u);
+}
+
+TEST(BitsTest, IsPow2) {
+  EXPECT_FALSE(IsPow2(0));
+  EXPECT_TRUE(IsPow2(1));
+  EXPECT_TRUE(IsPow2(4096));
+  EXPECT_FALSE(IsPow2(4097));
+}
+
+}  // namespace
+}  // namespace wastenot::bits

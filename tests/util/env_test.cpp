@@ -1,0 +1,74 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace wastenot {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetVar(const char* name, const char* value) {
+    setenv(name, value, 1);
+    names_.push_back(name);
+  }
+  void TearDown() override {
+    for (const char* n : names_) unsetenv(n);
+  }
+  std::vector<const char*> names_;
+};
+
+TEST_F(EnvTest, Int64Fallback) {
+  EXPECT_EQ(EnvInt64("WN_TEST_UNSET_VAR", 17), 17);
+}
+
+TEST_F(EnvTest, Int64Plain) {
+  SetVar("WN_TEST_INT", "12345");
+  EXPECT_EQ(EnvInt64("WN_TEST_INT", 0), 12345);
+}
+
+TEST_F(EnvTest, Int64Suffixes) {
+  SetVar("WN_TEST_K", "10k");
+  SetVar("WN_TEST_M", "2m");
+  SetVar("WN_TEST_G", "1g");
+  SetVar("WN_TEST_MI", "2Mi");
+  SetVar("WN_TEST_GI", "1Gi");
+  EXPECT_EQ(EnvInt64("WN_TEST_K", 0), 10'000);
+  EXPECT_EQ(EnvInt64("WN_TEST_M", 0), 2'000'000);
+  EXPECT_EQ(EnvInt64("WN_TEST_G", 0), 1'000'000'000);
+  EXPECT_EQ(EnvInt64("WN_TEST_MI", 0), 2ll * 1024 * 1024);
+  EXPECT_EQ(EnvInt64("WN_TEST_GI", 0), 1ll << 30);
+}
+
+TEST_F(EnvTest, Int64Garbage) {
+  SetVar("WN_TEST_BAD", "abc");
+  EXPECT_EQ(EnvInt64("WN_TEST_BAD", 9), 9);
+}
+
+TEST_F(EnvTest, DoubleVar) {
+  SetVar("WN_TEST_D", "0.25");
+  EXPECT_DOUBLE_EQ(EnvDouble("WN_TEST_D", 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(EnvDouble("WN_TEST_D_UNSET", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, StringVar) {
+  SetVar("WN_TEST_S", "hello");
+  EXPECT_EQ(EnvString("WN_TEST_S", "x"), "hello");
+  EXPECT_EQ(EnvString("WN_TEST_S_UNSET", "x"), "x");
+}
+
+TEST_F(EnvTest, BoolVar) {
+  SetVar("WN_TEST_B1", "true");
+  SetVar("WN_TEST_B2", "0");
+  SetVar("WN_TEST_B3", "ON");
+  SetVar("WN_TEST_B4", "garbage");
+  EXPECT_TRUE(EnvBool("WN_TEST_B1", false));
+  EXPECT_FALSE(EnvBool("WN_TEST_B2", true));
+  EXPECT_TRUE(EnvBool("WN_TEST_B3", false));
+  EXPECT_TRUE(EnvBool("WN_TEST_B4", true));  // falls back
+  EXPECT_FALSE(EnvBool("WN_TEST_B_UNSET", false));
+}
+
+}  // namespace
+}  // namespace wastenot

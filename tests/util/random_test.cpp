@@ -1,0 +1,80 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace wastenot {
+namespace {
+
+TEST(RandomTest, SplitMixDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, XoshiroDeterministicAndSeedSensitive) {
+  Xoshiro256 a(1), b(1), c(2);
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    differs |= va != c.Next();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomTest, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    EXPECT_LT(rng.Below(1), 1u);
+  }
+}
+
+TEST(RandomTest, BelowCoversRange) {
+  Xoshiro256 rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  std::vector<int> v(1000);
+  std::iota(v.begin(), v.end(), 0);
+  Shuffle(v, 123);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sorted[i], i);
+  // And it actually moved things.
+  std::vector<int> identity(1000);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_NE(v, identity);
+}
+
+TEST(RandomTest, ShuffleDeterministic) {
+  std::vector<int> a(100), b(100);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Shuffle(a, 5);
+  Shuffle(b, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RandomTest, Mix64Stateless) {
+  EXPECT_EQ(Mix64(1234), Mix64(1234));
+  EXPECT_NE(Mix64(1234), Mix64(1235));
+}
+
+}  // namespace
+}  // namespace wastenot

@@ -1,0 +1,94 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, Predicates) {
+  EXPECT_TRUE(Status::DeviceOutOfMemory("x").IsDeviceOutOfMemory());
+  EXPECT_TRUE(Status::Unsupported("x").IsUnsupported());
+  EXPECT_TRUE(Status::PreconditionFailed("x").IsPreconditionFailed());
+  EXPECT_FALSE(Status::OK().IsDeviceOutOfMemory());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeviceOutOfMemory),
+               "DeviceOutOfMemory");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kPreconditionFailed),
+               "PreconditionFailed");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("gone");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> taken = std::move(v).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  WN_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(UseHalf(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+Status Chain(bool fail) {
+  WN_RETURN_IF_ERROR(fail ? Status::IoError("io") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusOrTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chain(false).ok());
+  EXPECT_EQ(Chain(true).code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace wastenot

@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wastenot {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ParallelForTest, CoversExactlyOnce) {
+  ThreadPool pool(8);
+  const uint64_t n = 100000;
+  std::vector<std::atomic<uint8_t>> touched(n);
+  ParallelFor(pool, n, [&](uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) touched[i].fetch_add(1);
+  });
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  ParallelFor(pool, 0, [&](uint64_t, uint64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, SingleElement) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(pool, 1, [&](uint64_t b, uint64_t e) {
+    sum.fetch_add(e - b);
+  });
+  EXPECT_EQ(sum.load(), 1u);
+}
+
+TEST(ParallelForTest, ChunksArePartition) {
+  ThreadPool pool(7);
+  const uint64_t n = 12345;
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  ParallelFor(pool, n, [&](uint64_t b, uint64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(b, e);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  uint64_t expect_begin = 0;
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_GT(e, b);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+TEST(ParallelForTest, ConcurrentCallsDoNotInterfere) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> total{0};
+  std::thread t1([&] {
+    ParallelFor(pool, 50000,
+                [&](uint64_t b, uint64_t e) { total.fetch_add(e - b); });
+  });
+  std::thread t2([&] {
+    ParallelFor(pool, 70000,
+                [&](uint64_t b, uint64_t e) { total.fetch_add(e - b); });
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(total.load(), 120000u);
+}
+
+}  // namespace
+}  // namespace wastenot

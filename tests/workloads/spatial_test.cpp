@@ -1,0 +1,84 @@
+#include "workloads/spatial.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classic_engine.h"
+
+namespace wastenot::workloads {
+namespace {
+
+TEST(SpatialTest, SchemaMatchesTableI) {
+  cs::Table trips = GenerateTrips(10000, 1);
+  EXPECT_EQ(trips.name(), "trips");
+  for (const char* col : {"tripid", "lon", "lat", "time"}) {
+    EXPECT_TRUE(trips.HasColumn(col)) << col;
+  }
+  EXPECT_EQ(trips.num_rows(), 10000u);
+}
+
+TEST(SpatialTest, CoordinatesInPaperBoundingBox) {
+  cs::Table trips = GenerateTrips(20000, 2);
+  const cs::Column& lon = trips.column("lon");
+  const cs::Column& lat = trips.column("lat");
+  EXPECT_GE(lon.min_value(), kLonMin);
+  EXPECT_LE(lon.max_value(), kLonMax);
+  EXPECT_GE(lat.min_value(), kLatMin);
+  EXPECT_LE(lat.max_value(), kLatMax);
+}
+
+TEST(SpatialTest, TripsAreCorrelatedWalks) {
+  cs::Table trips = GenerateTrips(5000, 3);
+  const cs::Column& tripid = trips.column("tripid");
+  const cs::Column& lon = trips.column("lon");
+  // Consecutive fixes of one trip stay close (a walk, not noise).
+  uint64_t same_trip_pairs = 0, close_pairs = 0;
+  for (uint64_t i = 1; i < trips.num_rows(); ++i) {
+    if (tripid.Get(i) == tripid.Get(i - 1)) {
+      ++same_trip_pairs;
+      close_pairs += std::abs(lon.Get(i) - lon.Get(i - 1)) < 200;
+    }
+  }
+  ASSERT_GT(same_trip_pairs, 0u);
+  EXPECT_GT(close_pairs, same_trip_pairs * 9 / 10);
+}
+
+TEST(SpatialTest, TableIQueryHasMatchesAtTinySelectivity) {
+  cs::Database db;
+  db.AddTable(GenerateTrips(200000, 4));
+  core::QuerySpec q = SpatialRangeQuery();
+  auto result = core::ExecuteClassic(q, db);
+  ASSERT_TRUE(result.ok());
+  const int64_t count = result->agg_values[0][0];
+  EXPECT_GT(count, 0) << "the hotspot guarantees matches";
+  EXPECT_LT(count, static_cast<int64_t>(200000 / 50))
+      << "the Table I box is city-scale selective";
+}
+
+TEST(SpatialTest, QueryUsesTableIBounds) {
+  core::QuerySpec q = SpatialRangeQuery();
+  ASSERT_EQ(q.predicates.size(), 2u);
+  EXPECT_EQ(q.predicates[0].range.lo, 268288);
+  EXPECT_EQ(q.predicates[0].range.hi, 270228);
+  EXPECT_EQ(q.predicates[1].range.lo, 5042220);
+  EXPECT_EQ(q.predicates[1].range.hi, 5044850);
+}
+
+TEST(SpatialTest, ParameterizedQueryBox) {
+  core::QuerySpec q = SpatialRangeQueryAt(4.9, 52.37, 0.02, 0.02);
+  EXPECT_EQ(q.predicates[0].range.lo, 489000);
+  EXPECT_EQ(q.predicates[0].range.hi, 491000);
+}
+
+TEST(SpatialTest, TimeMonotoneWithinTrip) {
+  cs::Table trips = GenerateTrips(3000, 5);
+  const cs::Column& tripid = trips.column("tripid");
+  const cs::Column& time = trips.column("time");
+  for (uint64_t i = 1; i < trips.num_rows(); ++i) {
+    if (tripid.Get(i) == tripid.Get(i - 1)) {
+      ASSERT_GT(time.Get(i), time.Get(i - 1));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wastenot::workloads

@@ -1,0 +1,171 @@
+#include "workloads/tpch.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/classic_engine.h"
+#include "util/bits.h"
+
+namespace wastenot::workloads {
+namespace {
+
+TEST(TpchDateTest, EpochAndKnownDates) {
+  EXPECT_EQ(DateToDays(1992, 1, 1), 0);
+  EXPECT_EQ(DateToDays(1992, 1, 2), 1);
+  EXPECT_EQ(DateToDays(1992, 2, 1), 31);
+  EXPECT_EQ(DateToDays(1993, 1, 1), 366);  // 1992 is a leap year
+  EXPECT_EQ(DateToDays(1998, 12, 1), 2526);
+  EXPECT_EQ(DateToDays(1995, 6, 17), 1263);
+}
+
+class TpchDataTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new cs::Database();
+    num_parts_ = GenerateTpch(0.01, 42, db_);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static cs::Database* db_;
+  static uint64_t num_parts_;
+};
+
+cs::Database* TpchDataTest::db_ = nullptr;
+uint64_t TpchDataTest::num_parts_ = 0;
+
+TEST_F(TpchDataTest, TablesAndColumns) {
+  ASSERT_TRUE(db_->HasTable("lineitem"));
+  ASSERT_TRUE(db_->HasTable("part"));
+  const cs::Table& l = db_->table("lineitem");
+  for (const char* col :
+       {"l_partkey", "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+        "l_shipdate", "l_returnflag", "l_linestatus"}) {
+    EXPECT_TRUE(l.HasColumn(col)) << col;
+  }
+  EXPECT_EQ(l.num_rows(), 60000u);
+  EXPECT_EQ(db_->table("part").num_rows(), num_parts_);
+}
+
+TEST_F(TpchDataTest, DistributionsMatchPaperBitWidths) {
+  const cs::Table& l = db_->table("lineitem");
+  // Paper §VI-D1: l_quantity 50 values / 6 bits, l_discount 10..11 values /
+  // 4 bits, l_shipdate 2526 values / 12 bits.
+  EXPECT_EQ(l.column("l_quantity").min_value(), 1);
+  EXPECT_EQ(l.column("l_quantity").max_value(), 50);
+  EXPECT_EQ(l.column("l_discount").min_value(), 0);
+  EXPECT_EQ(l.column("l_discount").max_value(), 10);
+  EXPECT_EQ(l.column("l_tax").max_value(), 8);
+  const int64_t ship_span = l.column("l_shipdate").max_value() -
+                            l.column("l_shipdate").min_value();
+  EXPECT_LE(bits::BitWidth(static_cast<uint64_t>(ship_span)), 12u);
+  EXPECT_GE(ship_span, 2000);  // nearly the full 2526-day range
+}
+
+TEST_F(TpchDataTest, ReturnFlagLineStatusSemantics) {
+  const cs::Table& l = db_->table("lineitem");
+  const cs::Column& ship = l.column("l_shipdate");
+  const cs::Column& status = l.column("l_linestatus");
+  const cs::Column& flag = l.column("l_returnflag");
+  const int64_t cutoff = DateToDays(1995, 6, 17);
+  std::set<int64_t> flags;
+  for (uint64_t i = 0; i < l.num_rows(); ++i) {
+    ASSERT_EQ(status.Get(i), ship.Get(i) > cutoff ? 1 : 0) << i;
+    flags.insert(flag.Get(i));
+    // N (=1) rows are received after the cutoff, so shipped no earlier
+    // than 30 days before it.
+    if (flag.Get(i) == 1) {
+      ASSERT_GT(ship.Get(i), cutoff - 31);
+    }
+  }
+  EXPECT_EQ(flags.size(), 3u);  // A, N, R all occur
+}
+
+TEST_F(TpchDataTest, ExtendedPriceFormula) {
+  const cs::Table& l = db_->table("lineitem");
+  const cs::Column& qty = l.column("l_quantity");
+  const cs::Column& price = l.column("l_extendedprice");
+  const cs::Column& pk = l.column("l_partkey");
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const int64_t k = pk.Get(i);
+    const int64_t retail = 90000 + (k / 10) % 20001 + 100 * (k % 1000);
+    ASSERT_EQ(price.Get(i), qty.Get(i) * retail) << i;
+  }
+}
+
+TEST_F(TpchDataTest, PartTypeDictionary) {
+  const cs::Table& p = db_->table("part");
+  const cs::Dictionary* dict = p.dictionary("p_type");
+  ASSERT_NE(dict, nullptr);
+  EXPECT_EQ(dict->size(), 150);  // 6 x 5 x 5 syllable combinations
+  const cs::RangePred promo = dict->PrefixRange("PROMO");
+  EXPECT_FALSE(promo.Empty());
+  EXPECT_EQ(promo.hi - promo.lo + 1, 25);  // 5 x 5 PROMO types
+}
+
+TEST_F(TpchDataTest, Q1ClassicSanity) {
+  auto result = core::ExecuteClassic(TpchQ1(), *db_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Q1 selects ~98% of lineitem and groups into the A/N/R x O/F
+  // combinations that occur (4 in TPC-H: AF, NF, NO, RF).
+  EXPECT_GE(result->num_groups(), 4u);
+  EXPECT_LE(result->num_groups(), 6u);
+  EXPECT_GT(result->selected_rows, db_->table("lineitem").num_rows() * 95 / 100);
+  // sum_qty is positive everywhere; avg in [1, 50].
+  for (uint64_t g = 0; g < result->num_groups(); ++g) {
+    EXPECT_GT(result->agg_values[g][0], 0);
+    const int64_t avg_qty = result->agg_values[g][4] / result->group_counts[g];
+    EXPECT_GE(avg_qty, 1);
+    EXPECT_LE(avg_qty, 50);
+  }
+}
+
+TEST_F(TpchDataTest, Q6ClassicSelectivity) {
+  auto result = core::ExecuteClassic(TpchQ6(), *db_);
+  ASSERT_TRUE(result.ok());
+  // Spec selectivity ~2%: 1 of 7 years x 3/11 discounts x 23/50 quantities.
+  const double sel = static_cast<double>(result->selected_rows) /
+                     static_cast<double>(db_->table("lineitem").num_rows());
+  EXPECT_GT(sel, 0.005);
+  EXPECT_LT(sel, 0.04);
+  EXPECT_GT(result->agg_values[0][0], 0);
+}
+
+TEST_F(TpchDataTest, Q14PromoShare) {
+  core::QuerySpec q14 = TpchQ14();
+  ASSERT_TRUE(ResolvePromoFilter(*db_, &q14).ok());
+  auto result = core::ExecuteClassic(q14, *db_);
+  ASSERT_TRUE(result.ok());
+  const int64_t promo = result->agg_values[0][0];
+  const int64_t total = result->agg_values[0][1];
+  ASSERT_GT(total, 0);
+  const double pct = PromoRevenuePercent(promo, total);
+  // PROMO is 25 of 150 types (~16.7%).
+  EXPECT_GT(pct, 10.0);
+  EXPECT_LT(pct, 25.0);
+}
+
+TEST(TpchScaleTest, FractionalScaleFactors) {
+  cs::Database db;
+  GenerateTpch(0.001, 1, &db);
+  EXPECT_EQ(db.table("lineitem").num_rows(), 6000u);
+  EXPECT_EQ(db.table("part").num_rows(), 200u);
+}
+
+TEST(TpchConfigTest, SpaceConstrainedDecomposesShipdate) {
+  auto all = TpchAllResident();
+  auto constrained = TpchSpaceConstrained();
+  ASSERT_EQ(all.size(), constrained.size());
+  for (uint64_t i = 0; i < all.size(); ++i) {
+    if (all[i].column == "l_shipdate") {
+      EXPECT_EQ(constrained[i].device_bits, 24u);
+    } else {
+      EXPECT_EQ(constrained[i].device_bits, all[i].device_bits);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wastenot::workloads

@@ -1,0 +1,55 @@
+#include "workloads/uniform.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace wastenot::workloads {
+namespace {
+
+TEST(UniformTest, UniqueShuffledCoversRange) {
+  cs::Column col = UniqueShuffledInts(10000, 1);
+  std::set<int64_t> seen;
+  for (uint64_t i = 0; i < col.size(); ++i) seen.insert(col.Get(i));
+  EXPECT_EQ(seen.size(), 10000u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9999);
+  EXPECT_TRUE(col.has_stats());
+  EXPECT_EQ(col.max_value(), 9999);
+  EXPECT_FALSE(col.sorted()) << "must be shuffled";
+}
+
+TEST(UniformTest, DeterministicPerSeed) {
+  cs::Column a = UniqueShuffledInts(1000, 7);
+  cs::Column b = UniqueShuffledInts(1000, 7);
+  cs::Column c = UniqueShuffledInts(1000, 8);
+  bool same_ab = true, same_ac = true;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    same_ab &= a.Get(i) == b.Get(i);
+    same_ac &= a.Get(i) == c.Get(i);
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(UniformTest, ThresholdSelectivity) {
+  cs::Column col = UniqueShuffledInts(100000, 2);
+  const int64_t t = ThresholdForSelectivity(100000, 0.1);
+  uint64_t hits = 0;
+  for (uint64_t i = 0; i < col.size(); ++i) hits += col.Get(i) < t;
+  // Values are a permutation of 0..n-1, so selectivity is exact.
+  EXPECT_EQ(hits, 10000u);
+}
+
+TEST(UniformTest, GroupKeysCardinality) {
+  cs::Column col = UniformGroupKeys(50000, 100, 3);
+  std::set<int64_t> seen;
+  for (uint64_t i = 0; i < col.size(); ++i) seen.insert(col.Get(i));
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_GE(col.min_value(), 0);
+  EXPECT_LT(col.max_value(), 100);
+}
+
+}  // namespace
+}  // namespace wastenot::workloads
