@@ -74,4 +74,7 @@ int Run() {
 }  // namespace
 }  // namespace wastenot
 
-int main() { return wastenot::Run(); }
+int main(int argc, char** argv) {
+  wastenot::bench::ParseArgs(argc, argv);
+  return wastenot::Run();
+}

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -34,6 +36,39 @@ inline double TpchSf() {
 }
 inline double BenchSeconds() {
   return EnvDouble("WN_BENCH_SECONDS", 1.0);
+}
+
+/// Parses `--rows N`, overriding every WN_SCALE_* knob so CI smoke runs
+/// don't pay full benchmark cost. TPC-H scale factor is derived from the
+/// requested lineitem row count (SF 1 ~ 6M rows).
+inline void ParseArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strcmp(argv[i], "--rows") == 0) {
+      if (i + 1 < argc) value = argv[++i];
+    } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      value = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "unknown argument %s (supported: --rows N)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+    char* end = nullptr;
+    const long long rows = value != nullptr ? std::strtoll(value, &end, 10) : 0;
+    if (value == nullptr || end == value || *end != '\0' || rows <= 0) {
+      std::fprintf(stderr, "--rows expects a positive integer, got %s\n",
+                   value != nullptr ? value : "(nothing)");
+      std::exit(2);
+    }
+    const std::string rows_str = std::to_string(rows);
+    setenv("WN_SCALE_MICRO", rows_str.c_str(), 1);
+    setenv("WN_SCALE_SPATIAL", rows_str.c_str(), 1);
+    const double sf = static_cast<double>(rows) / 6'000'000.0;
+    char sf_str[32];
+    std::snprintf(sf_str, sizeof(sf_str), "%.9g", sf);
+    setenv("WN_SCALE_TPCH", sf_str, 1);
+    setenv("WN_SCALE_TPCH_FIG11", sf_str, 1);
+  }
 }
 
 /// Prints the figure header with provenance.

@@ -51,6 +51,24 @@ INSTANTIATE_TEST_SUITE_P(AllWidths, PackedWidthTest,
                                            13u, 16u, 24u, 27u, 31u, 32u, 33u,
                                            48u, 63u, 64u));
 
+// Widths above 64 are a contract violation: the constructor asserts.
+// (Asserts stay live — the build intentionally does not define NDEBUG.)
+// "threadsafe" style re-execs instead of plain fork(): other tests in this
+// binary start the persistent ThreadPool workers, and forking a
+// multithreaded process can deadlock the death-test child.
+TEST(PackedVectorDeathTest, WidthAbove64Asserts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH({ PackedVector pv(65, 8); (void)pv; }, "width <= 64");
+  EXPECT_DEATH({ PackedVector pv(100, 1); (void)pv; }, "width <= 64");
+}
+
+TEST(PackedVectorDeathTest, OutOfRangeAccessAsserts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  PackedVector pv(8, 4);
+  EXPECT_DEATH(pv.Get(4), "i < count_");
+  EXPECT_DEATH(pv.Set(7, 1), "i < count_");
+}
+
 TEST(PackedVectorTest, WidthZeroReadsZero) {
   PackedVector pv(0, 10);
   pv.Set(3, 999);  // ignored

@@ -1,0 +1,88 @@
+// Status propagation through the Decompose failure paths: every fallible
+// step (device arena exhaustion, argument validation, column lookup) must
+// surface as the right StatusCode at the BwdColumn/BwdTable API boundary,
+// never as a crash or a silently-empty result.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bwd/bwd_column.h"
+#include "bwd/bwd_table.h"
+#include "device/device.h"
+
+namespace wastenot {
+namespace {
+
+cs::Column SmallColumn() {
+  std::vector<int32_t> vals = {1, 2, 3, 4, 5, 6, 7, 8};
+  cs::Column col = cs::Column::FromI32(vals);
+  col.ComputeStats();
+  return col;
+}
+
+TEST(StatusPropagationTest, DecomposeZeroCapacityDeviceIsDeviceOom) {
+  device::DeviceSpec spec;
+  spec.memory_capacity = 0;
+  device::Device dev(spec, 1);
+  auto col = bwd::BwdColumn::Decompose(SmallColumn(), 16, &dev);
+  ASSERT_FALSE(col.ok());
+  EXPECT_EQ(col.status().code(), StatusCode::kDeviceOutOfMemory);
+  EXPECT_TRUE(col.status().IsDeviceOutOfMemory());
+  EXPECT_FALSE(col.status().message().empty());
+}
+
+TEST(StatusPropagationTest, TableDecomposePropagatesDeviceOom) {
+  device::DeviceSpec spec;
+  spec.memory_capacity = 0;
+  device::Device dev(spec, 1);
+  cs::Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", SmallColumn()).ok());
+  auto bwd_table = bwd::BwdTable::Decompose(
+      t, {{"a", 16, bwd::Compression::kBitPacked}}, &dev);
+  ASSERT_FALSE(bwd_table.ok());
+  EXPECT_EQ(bwd_table.status().code(), StatusCode::kDeviceOutOfMemory);
+}
+
+TEST(StatusPropagationTest, DecomposeNullDeviceIsInvalidArgument) {
+  auto col = bwd::BwdColumn::Decompose(SmallColumn(), 16, nullptr);
+  ASSERT_FALSE(col.ok());
+  EXPECT_EQ(col.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusPropagationTest, DecomposeZeroDeviceBitsIsInvalidArgument) {
+  device::Device dev(device::DeviceSpec::Gtx680(), 1);
+  auto col = bwd::BwdColumn::Decompose(SmallColumn(), 0, &dev);
+  ASSERT_FALSE(col.ok());
+  EXPECT_EQ(col.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(col.status().IsInvalidArgument());
+}
+
+// Widths past the physical type are not an error: Plan clamps them to a
+// fully-resident decomposition with an empty residual.
+TEST(StatusPropagationTest, DecomposeClampsWidthPastTypeBits) {
+  device::Device dev(device::DeviceSpec::Gtx680(), 1);
+  std::vector<int32_t> vals = {5, 6, 7, 1000, -3};
+  cs::Column col = cs::Column::FromI32(vals);
+  col.ComputeStats();
+  auto out = bwd::BwdColumn::Decompose(col, 40, &dev);  // > 32-bit type
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->spec().residual_bits, 0u);
+  for (uint64_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(out->Reconstruct(i), col.Get(i)) << "row " << i;
+  }
+}
+
+TEST(StatusPropagationTest, TableDecomposeMissingColumnPropagates) {
+  device::Device dev(device::DeviceSpec::Gtx680(), 1);
+  cs::Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", SmallColumn()).ok());
+  auto bwd_table = bwd::BwdTable::Decompose(
+      t, {{"nope", 16, bwd::Compression::kBitPacked}}, &dev);
+  ASSERT_FALSE(bwd_table.ok());
+  EXPECT_FALSE(bwd_table.status().ok());
+  EXPECT_FALSE(bwd_table.status().message().empty());
+}
+
+}  // namespace
+}  // namespace wastenot

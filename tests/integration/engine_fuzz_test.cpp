@@ -5,6 +5,8 @@
 // alignment or bound propagation shows up here first.
 
 #include <memory>
+#include <string>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -20,6 +22,16 @@ using core::AggFunc;
 using core::QuerySpec;
 using core::Term;
 
+/// Where the decomposed bits live. `kResident` keeps every bit of every
+/// column on the device (refinement never needs the residual); with
+/// `kDistributed` only the major bits are device-side, so every query
+/// exercises the host residual join in refinement.
+enum class Placement { kResident, kDistributed };
+
+const char* PlacementName(Placement p) {
+  return p == Placement::kResident ? "Resident" : "Distributed";
+}
+
 struct FuzzCase {
   cs::Database db;
   std::unique_ptr<device::Device> dev;
@@ -28,7 +40,7 @@ struct FuzzCase {
 };
 
 /// Builds a random fact table, decomposition and query from `seed`.
-FuzzCase MakeCase(uint64_t seed) {
+FuzzCase MakeCase(uint64_t seed, Placement placement) {
   Xoshiro256 rng(seed);
   FuzzCase c;
 
@@ -62,8 +74,9 @@ FuzzCase MakeCase(uint64_t seed) {
   spec.memory_capacity = 256 << 20;
   c.dev = std::make_unique<device::Device>(spec, 2);
 
-  auto bits = [&rng]() -> uint32_t {
-    return 32 - static_cast<uint32_t>(rng.Below(16));  // 16..32 device bits
+  auto bits = [&rng, placement]() -> uint32_t {
+    if (placement == Placement::kResident) return 32;  // no residuals
+    return 8 + static_cast<uint32_t>(rng.Below(17));   // 8..24 device bits
   };
   c.fact = std::make_unique<bwd::BwdTable>(
       std::move(bwd::BwdTable::Decompose(
@@ -108,17 +121,29 @@ FuzzCase MakeCase(uint64_t seed) {
   return c;
 }
 
-class EngineFuzz : public ::testing::TestWithParam<uint64_t> {};
+class EngineFuzz
+    : public ::testing::TestWithParam<std::tuple<uint64_t, Placement>> {};
 
 TEST_P(EngineFuzz, EnginesAgreeAndBoundsAreSound) {
-  FuzzCase c = MakeCase(GetParam() * 7919 + 13);
+  const auto [seed, placement] = GetParam();
+  FuzzCase c = MakeCase(seed * 7919 + 13, placement);
 
   auto classic = core::ExecuteClassic(c.query, c.db);
   ASSERT_TRUE(classic.ok()) << classic.status().ToString();
   auto ar = core::ExecuteAr(c.query, *c.fact, nullptr, c.dev.get());
   ASSERT_TRUE(ar.ok()) << ar.status().ToString();
 
-  EXPECT_EQ(ar->result, *classic) << "seed " << GetParam();
+  EXPECT_EQ(ar->result, *classic)
+      << "seed " << seed << " placement " << PlacementName(placement);
+
+  // Placement sanity: resident decompositions keep nothing host-side;
+  // distributed ones always leave residual bits behind, so refinement has
+  // to join against the host.
+  if (placement == Placement::kResident) {
+    EXPECT_EQ(c.fact->residual_bytes(), 0u);
+  } else {
+    EXPECT_GT(c.fact->residual_bytes(), 0u);
+  }
 
   // Bounds soundness: the exact row count is inside the phase-A interval.
   EXPECT_LE(ar->approx.row_count.lo,
@@ -140,7 +165,8 @@ TEST_P(EngineFuzz, EnginesAgreeAndBoundsAreSound) {
       }
       EXPECT_TRUE(ar->approx.agg_bounds[0][agg].Contains(
           classic->agg_values[0][agg]))
-          << "seed " << GetParam() << " agg " << agg << ": "
+          << "seed " << seed << " placement " << PlacementName(placement)
+          << " agg " << agg << ": "
           << classic->agg_values[0][agg] << " not in "
           << ar->approx.agg_bounds[0][agg].ToString();
     }
@@ -160,7 +186,15 @@ TEST_P(EngineFuzz, EnginesAgreeAndBoundsAreSound) {
   EXPECT_EQ(ar3->result, *classic);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range<uint64_t>(1, 33));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EngineFuzz,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 17),
+                       ::testing::Values(Placement::kResident,
+                                         Placement::kDistributed)),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, Placement>>& info) {
+      return PlacementName(std::get<1>(info.param)) + std::string("Seed") +
+             std::to_string(std::get<0>(info.param));
+    });
 
 }  // namespace
 }  // namespace wastenot
