@@ -38,20 +38,111 @@ inline double BenchSeconds() {
   return EnvDouble("WN_BENCH_SECONDS", 1.0);
 }
 
-/// Parses `--rows N`, overriding every WN_SCALE_* knob so CI smoke runs
-/// don't pay full benchmark cost. TPC-H scale factor is derived from the
-/// requested lineitem row count (SF 1 ~ 6M rows).
+/// Machine-readable benchmark record (one per series point), accumulated by
+/// PrintSeries/PrintBars and flushed as a JSON array at exit when the bench
+/// was started with `--json <path>`. This is the format the perf trajectory
+/// is tracked in: CI runs every bench at smoke scale and uploads the
+/// resulting BENCH_*.json artifacts.
+struct JsonRecord {
+  std::string series;
+  double x = 0;
+  double value = 0;
+  std::string unit;
+};
+
+/// --json state: destination path (empty = disabled), bench name (derived
+/// from the binary name), accumulated records.
+struct JsonSink {
+  std::string path;
+  std::string bench;
+  std::vector<JsonRecord> records;
+};
+inline JsonSink& Json() {
+  static JsonSink sink;
+  return sink;
+}
+
+inline void JsonAppend(const std::string& series, double x, double value,
+                       const char* unit) {
+  if (Json().path.empty()) return;
+  Json().records.push_back(JsonRecord{series, x, value, unit});
+}
+
+/// Minimal JSON string escaping (series labels are plain ASCII, but keep
+/// quotes/backslashes from corrupting the output).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline void WriteJsonAtExit() {
+  const JsonSink& sink = Json();
+  if (sink.path.empty()) return;
+  FILE* f = std::fopen(sink.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open --json path %s\n", sink.path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < sink.records.size(); ++i) {
+    const JsonRecord& r = sink.records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"series\": \"%s\", \"x\": %.9g, "
+                 "\"value\": %.9g, \"unit\": \"%s\"}%s\n",
+                 JsonEscape(sink.bench).c_str(), JsonEscape(r.series).c_str(),
+                 r.x, r.value, JsonEscape(r.unit).c_str(),
+                 i + 1 < sink.records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+/// Parses `--rows N` (overriding every WN_SCALE_* knob so CI smoke runs
+/// don't pay full benchmark cost; TPC-H scale factor is derived from the
+/// requested lineitem row count, SF 1 ~ 6M rows) and `--json <path>`
+/// (write the bench's series as JSON records at exit).
 inline void ParseArgs(int argc, char** argv) {
+  {
+    // Bench name for JSON records: the binary's basename, minus the
+    // build-system "bench_" prefix.
+    std::string name = argv[0];
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+    Json().bench = name;
+  }
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
+    bool is_json = false;
     if (std::strcmp(argv[i], "--rows") == 0) {
       if (i + 1 < argc) value = argv[++i];
     } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
       value = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      is_json = true;
+      if (i + 1 < argc) value = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      is_json = true;
+      value = argv[i] + 7;
     } else {
-      std::fprintf(stderr, "unknown argument %s (supported: --rows N)\n",
+      std::fprintf(stderr,
+                   "unknown argument %s (supported: --rows N, --json PATH)\n",
                    argv[i]);
       std::exit(2);
+    }
+    if (is_json) {
+      if (value == nullptr || *value == '\0') {
+        std::fprintf(stderr, "--json expects a path\n");
+        std::exit(2);
+      }
+      Json().path = value;
+      std::atexit(WriteJsonAtExit);
+      continue;
     }
     char* end = nullptr;
     const long long rows = value != nullptr ? std::strtoll(value, &end, 10) : 0;
@@ -110,6 +201,13 @@ inline void PrintSeries(const std::string& x_label,
     for (double v : row.values) std::printf(",%.6f", v);
     std::printf("\n");
   }
+  // json records (flushed at exit when --json was given)
+  for (const auto& row : rows) {
+    for (size_t s = 0; s < series_labels.size() && s < row.values.size();
+         ++s) {
+      JsonAppend(series_labels[s], row.x, row.values[s], unit);
+    }
+  }
 }
 
 /// Prints a Fig 9/10-style bar group with device breakdowns (seconds).
@@ -118,11 +216,17 @@ inline void PrintBars(
         bars) {
   std::printf("%-28s %12s %12s %12s %12s\n", "configuration", "total (s)",
               "GPU (s)", "CPU (s)", "PCI (s)");
+  double bar_index = 0;
   for (const auto& [name, b] : bars) {
     std::printf("%-28s %12.4f %12.4f %12.4f %12.4f\n", name.c_str(),
                 b.total(), b.device_seconds, b.host_seconds, b.bus_seconds);
     std::printf("# csv,%s,%.6f,%.6f,%.6f,%.6f\n", name.c_str(), b.total(),
                 b.device_seconds, b.host_seconds, b.bus_seconds);
+    JsonAppend(name + "/total", bar_index, b.total(), "s");
+    JsonAppend(name + "/gpu", bar_index, b.device_seconds, "s");
+    JsonAppend(name + "/cpu", bar_index, b.host_seconds, "s");
+    JsonAppend(name + "/pci", bar_index, b.bus_seconds, "s");
+    bar_index += 1;
   }
 }
 

@@ -1,0 +1,280 @@
+// micro_packed — packed-codec and selection-kernel microbenchmarks.
+//
+// Measures (single-threaded, pure kernel time, no device charging):
+//   1. unpack throughput: scalar element-at-a-time PackedGet vs. the
+//      word-at-a-time block decoder, widths 1..64;
+//   2. selection-scan throughput: the pre-PR scalar select loop (decode +
+//      per-element branch + push_back, replicated below) vs. the two-pass
+//      count-then-fill block kernel, widths 1..64 at 10 % selectivity;
+//   3. the same selection pair across selectivities at representative
+//      widths (9, 16, 22 bits).
+//
+// Run with --json BENCH_micro_packed.json to emit the perf-trajectory
+// records; --rows N shrinks the input (CI smoke uses 2000).
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bwd/packed_codec.h"
+#include "bwd/packed_vector.h"
+#include "core/select.h"
+#include "util/random.h"
+
+namespace wastenot {
+namespace {
+
+using core::RelaxedPred;
+
+/// Uniform random digits packed at `width` bits (via the bulk encoder).
+bwd::PackedVector MakePacked(uint32_t width, uint64_t n, uint64_t seed) {
+  bwd::PackedVector pv(width, n);
+  Xoshiro256 rng(seed);
+  const uint64_t mask = bits::LowMask(width);
+  std::vector<uint64_t> values(std::min<uint64_t>(n, 1 << 16));
+  for (uint64_t base = 0; base < n; base += values.size()) {
+    const uint64_t len = std::min<uint64_t>(values.size(), n - base);
+    for (uint64_t i = 0; i < len; ++i) values[i] = rng.Next() & mask;
+    bwd::PackRange(pv.mutable_words(), width, base, len, values.data());
+  }
+  return pv;
+}
+
+/// A digit-domain predicate selecting ~`selectivity` of uniform digits,
+/// with the boundary digits uncertain (as a real relaxed range has).
+RelaxedPred MakePred(uint32_t width, double selectivity) {
+  RelaxedPred p;
+  const uint64_t max_digit = bits::LowMask(width);
+  const double hi = std::floor(std::ldexp(selectivity, static_cast<int>(width)));
+  p.lo_digit = 0;
+  p.hi_digit = std::min(max_digit, static_cast<uint64_t>(std::max(hi, 1.0)));
+  if (p.hi_digit >= 2) {
+    p.certain_lo = 1;
+    p.certain_hi = p.hi_digit - 1;
+  }  // else: empty certainty range (certain_lo=1 > certain_hi=0 default)
+  return p;
+}
+
+/// Synthetic spec: digits are approximations with a 4-bit residual.
+bwd::DecompositionSpec MakeSpec(uint32_t width) {
+  bwd::DecompositionSpec spec;
+  spec.type_bits = 64;
+  spec.residual_bits = width <= 60 ? 4 : 0;
+  spec.value_bits = width + spec.residual_bits;
+  spec.prefix_base = 0;
+  return spec;
+}
+
+/// Selection output shape shared by both kernels (the per-chunk shape of
+/// core/select.cpp's ChunkOut).
+struct SelOut {
+  cs::OidVec ids;
+  std::vector<int64_t> lower;
+  std::vector<uint8_t> certain;
+  uint64_t num_certain = 0;
+  void Clear() {
+    ids.clear();
+    lower.clear();
+    certain.clear();
+    num_certain = 0;
+  }
+};
+
+// ------------------------------------------------------------------------
+// Scalar baselines: frozen replicas of the pre-block-decode hot loops.
+// ------------------------------------------------------------------------
+
+/// Unpack benches decode through a cache-resident window: writing a full
+/// n-element output vector is DRAM-write-bound and hides the decoder cost
+/// equally for both paths.
+constexpr uint64_t kUnpackWindow = 4096;
+
+void ScalarUnpack(const bwd::PackedView& view, uint64_t* out) {
+  const uint64_t n = view.size();
+  for (uint64_t base = 0; base < n; base += kUnpackWindow) {
+    const uint64_t len = std::min(kUnpackWindow, n - base);
+    for (uint64_t i = 0; i < len; ++i) out[i] = view.Get(base + i);
+  }
+}
+
+void ScalarSelect(const bwd::PackedView& view,
+                  const bwd::DecompositionSpec& spec, const RelaxedPred& pred,
+                  SelOut* out) {
+  for (uint64_t i = 0; i < view.size(); ++i) {
+    const uint64_t digit = view.Get(i);
+    if (pred.Matches(digit)) {
+      out->ids.push_back(static_cast<cs::oid_t>(i));
+      out->lower.push_back(spec.LowerBound(digit));
+      const bool certain = pred.Certain(digit);
+      out->certain.push_back(certain ? 1 : 0);
+      out->num_certain += certain;
+    }
+  }
+}
+
+// ------------------------------------------------------------------------
+// Block kernels (same algorithm as core/select.cpp's chunk kernel).
+// ------------------------------------------------------------------------
+
+void BlockUnpack(const bwd::PackedView& view, uint64_t* out) {
+  const uint64_t n = view.size();
+  for (uint64_t base = 0; base < n; base += kUnpackWindow) {
+    bwd::UnpackRange(view, base, std::min(kUnpackWindow, n - base), out);
+  }
+}
+
+void BlockSelect(const bwd::PackedView& view,
+                 const bwd::DecompositionSpec& spec, const RelaxedPred& pred,
+                 SelOut* out) {
+  const uint64_t n = view.size();
+  const uint64_t num_blocks = bits::CeilDiv(n, bwd::kPackedBlockElems);
+  const bool has_certain = pred.certain_lo <= pred.certain_hi;
+  const uint64_t certain_span = pred.certain_hi - pred.certain_lo;
+  std::vector<uint64_t> match(num_blocks);
+  uint64_t digits[bwd::kPackedBlockElems];
+
+  // Pass 1: count via fused per-block decode-and-compare masks.
+  const uint64_t match_span = pred.hi_digit - pred.lo_digit;
+  uint64_t total = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    const uint64_t e0 = b * bwd::kPackedBlockElems;
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - e0, bwd::kPackedBlockElems));
+    const uint64_t m =
+        lanes == bwd::kPackedBlockElems
+            ? bwd::MatchBlock(view.words(), view.width(), b, pred.lo_digit,
+                              match_span)
+            : bwd::MatchBlockPartial(view.words(), view.width(), b, lanes,
+                                     pred.lo_digit, match_span);
+    match[b] = m;
+    total += static_cast<uint64_t>(std::popcount(m));
+  }
+
+  // Pass 2: exact-size, fill matched blocks by bitmask iteration
+  // (certainty only evaluated for matching lanes).
+  out->ids.resize(total);
+  out->lower.resize(total);
+  out->certain.resize(total);
+  uint64_t num_certain = 0;
+  uint64_t pos = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint64_t m = match[b];
+    if (m == 0) continue;
+    const uint64_t e0 = b * bwd::kPackedBlockElems;
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - e0, bwd::kPackedBlockElems));
+    bwd::UnpackRange(view, e0, lanes, digits);
+    while (m != 0) {
+      const uint32_t j = static_cast<uint32_t>(std::countr_zero(m));
+      m &= m - 1;
+      const uint64_t digit = digits[j];
+      const uint8_t cert = static_cast<uint8_t>(
+          has_certain && digit - pred.certain_lo <= certain_span);
+      out->ids[pos] = static_cast<cs::oid_t>(e0 + j);
+      out->lower[pos] = spec.LowerBound(digit);
+      out->certain[pos] = cert;
+      num_certain += cert;
+      ++pos;
+    }
+  }
+  out->num_certain = num_certain;
+}
+
+double MelemPerSec(uint64_t n, double seconds) {
+  return seconds > 0 ? static_cast<double>(n) / seconds / 1e6 : 0;
+}
+
+}  // namespace
+}  // namespace wastenot
+
+int main(int argc, char** argv) {
+  using namespace wastenot;
+  bench::ParseArgs(argc, argv);
+  const uint64_t n = bench::MicroRows() / 2;  // two packed copies live at once
+
+  bench::Header("micro_packed",
+                "block-decode packed codec vs scalar element-at-a-time",
+                "rows=" + std::to_string(n) +
+                    ", single-threaded kernel time, median of 3");
+
+  // ---- 1) unpack throughput across widths --------------------------------
+  {
+    std::vector<bench::SeriesRow> rows, speedups;
+    std::vector<uint64_t> out(kUnpackWindow);
+    for (uint32_t width = 1; width <= 64; ++width) {
+      const bwd::PackedVector pv = MakePacked(width, n, width * 31 + 7);
+      const bwd::PackedView view = pv.view();
+      const double scalar =
+          bench::TimeSeconds([&] { ScalarUnpack(view, out.data()); });
+      const double block =
+          bench::TimeSeconds([&] { BlockUnpack(view, out.data()); });
+      rows.push_back({static_cast<double>(width),
+                      {MelemPerSec(n, scalar), MelemPerSec(n, block)}});
+      speedups.push_back(
+          {static_cast<double>(width), {block > 0 ? scalar / block : 0}});
+    }
+    std::printf("\n-- unpack throughput --\n");
+    bench::PrintSeries("width_bits", {"unpack_scalar", "unpack_block"}, rows,
+                       "Melem/s");
+    bench::PrintSeries("width_bits", {"unpack_speedup"}, speedups, "x");
+  }
+
+  // ---- 2) selection throughput across widths (10 % selectivity) ----------
+  {
+    std::vector<bench::SeriesRow> rows, speedups;
+    SelOut out;
+    for (uint32_t width = 1; width <= 64; ++width) {
+      const bwd::PackedVector pv = MakePacked(width, n, width * 131 + 3);
+      const bwd::PackedView view = pv.view();
+      const bwd::DecompositionSpec spec = MakeSpec(width);
+      const RelaxedPred pred = MakePred(width, 0.10);
+      const double scalar = bench::TimeSeconds([&] {
+        out.Clear();
+        ScalarSelect(view, spec, pred, &out);
+      });
+      const double block = bench::TimeSeconds([&] {
+        out.Clear();
+        BlockSelect(view, spec, pred, &out);
+      });
+      rows.push_back({static_cast<double>(width),
+                      {MelemPerSec(n, scalar), MelemPerSec(n, block)}});
+      speedups.push_back(
+          {static_cast<double>(width), {block > 0 ? scalar / block : 0}});
+    }
+    std::printf("\n-- selection throughput (10%% selectivity) --\n");
+    bench::PrintSeries("width_bits", {"select_scalar", "select_block"}, rows,
+                       "Melem/s");
+    bench::PrintSeries("width_bits", {"select_speedup"}, speedups, "x");
+  }
+
+  // ---- 3) selection throughput across selectivities ----------------------
+  for (uint32_t width : {9u, 16u, 22u}) {
+    std::vector<bench::SeriesRow> rows;
+    SelOut out;
+    const bwd::PackedVector pv = MakePacked(width, n, width * 977 + 11);
+    const bwd::PackedView view = pv.view();
+    const bwd::DecompositionSpec spec = MakeSpec(width);
+    for (double sel : {0.001, 0.01, 0.1, 0.5, 0.9}) {
+      const RelaxedPred pred = MakePred(width, sel);
+      const double scalar = bench::TimeSeconds([&] {
+        out.Clear();
+        ScalarSelect(view, spec, pred, &out);
+      });
+      const double block = bench::TimeSeconds([&] {
+        out.Clear();
+        BlockSelect(view, spec, pred, &out);
+      });
+      rows.push_back({sel, {MelemPerSec(n, scalar), MelemPerSec(n, block)}});
+    }
+    std::printf("\n-- selection vs selectivity (width %u) --\n", width);
+    const std::string w = std::to_string(width);
+    bench::PrintSeries("selectivity",
+                       {"select_scalar_w" + w, "select_block_w" + w}, rows,
+                       "Melem/s");
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "bwd/packed_codec.h"
 #include "util/thread_pool.h"
 
 namespace wastenot::bwd {
@@ -57,15 +58,24 @@ StatusOr<BwdColumn> BwdColumn::Decompose(const cs::Column& column,
     const uint64_t chunk_elems = 1u << 16;  // multiple of 64
     const uint64_t chunks = bits::CeilDiv(n, chunk_elems);
     ParallelFor(chunks, [&](uint64_t cb, uint64_t ce) {
+      // Digitize a block at a time into scratch, then bulk-encode both
+      // digit streams whole-word via PackRange (no read-modify-write on
+      // full blocks; chunk boundaries are word boundaries for every width).
+      uint64_t approx_digits[kPackedBlockElems];
+      uint64_t res_digits[kPackedBlockElems];
       for (uint64_t c = cb; c < ce; ++c) {
         const uint64_t begin = c * chunk_elems;
         const uint64_t end = std::min(n, begin + chunk_elems);
-        for (uint64_t i = begin; i < end; ++i) {
-          const int64_t v = col->Get(i);
-          internal::PackedSet(approx_words, approx_width, i,
-                              spec.ApproxDigit(v));
-          internal::PackedSet(res_words, spec.residual_bits, i,
-                              spec.ResidualDigit(v));
+        for (uint64_t b0 = begin; b0 < end; b0 += kPackedBlockElems) {
+          const uint32_t lanes =
+              static_cast<uint32_t>(std::min(end - b0, kPackedBlockElems));
+          for (uint32_t j = 0; j < lanes; ++j) {
+            const int64_t v = col->Get(b0 + j);
+            approx_digits[j] = spec.ApproxDigit(v);
+            res_digits[j] = spec.ResidualDigit(v);
+          }
+          PackRange(approx_words, approx_width, b0, lanes, approx_digits);
+          PackRange(res_words, spec.residual_bits, b0, lanes, res_digits);
         }
       }
     });
@@ -82,8 +92,17 @@ cs::Column BwdColumn::ReconstructAll() const {
   cs::Column out(cs::ValueType::kInt64, count_);
   auto dst = out.MutableI64();
   const PackedView approx = approximation();
-  for (uint64_t i = 0; i < count_; ++i) {
-    dst[i] = spec_.Reassemble(approx.Get(i), residual_.Get(i));
+  const PackedView res = residual_.view();
+  uint64_t approx_digits[kPackedBlockElems];
+  uint64_t res_digits[kPackedBlockElems];
+  for (uint64_t b0 = 0; b0 < count_; b0 += kPackedBlockElems) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(count_ - b0, kPackedBlockElems));
+    UnpackRange(approx, b0, lanes, approx_digits);
+    UnpackRange(res, b0, lanes, res_digits);
+    for (uint32_t j = 0; j < lanes; ++j) {
+      dst[b0 + j] = spec_.Reassemble(approx_digits[j], res_digits[j]);
+    }
   }
   return out;
 }

@@ -1,0 +1,292 @@
+#include "bwd/packed_codec.h"
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+namespace wastenot::bwd {
+
+namespace {
+
+/// Width-specialized kernels. `W` being a template parameter turns every
+/// shift distance and mask into a compile-time constant, so the inner loops
+/// unroll and vectorize; the straddle branch of the scalar path disappears
+/// entirely.
+template <uint32_t W>
+struct Codec {
+  static constexpr uint64_t kMask = bits::LowMask(W);
+
+  /// Branch-free two-word read of element `j` relative to `in`. The
+  /// `<< 1 <<` split realizes `in[word + 1] << (64 - shift)` without the
+  /// undefined 64-bit shift at shift == 0 (the high word contributes
+  /// nothing there, and the expression yields 0). Rotate-free: only plain
+  /// shifts, an OR and a constant mask.
+  static uint64_t Read2(const uint64_t* in, uint64_t j) {
+    const uint64_t bitpos = j * W;
+    const uint64_t word = bitpos >> 6;
+    const uint32_t shift = static_cast<uint32_t>(bitpos & 63);
+    return ((in[word] >> shift) | (in[word + 1] << 1 << (63 - shift))) & kMask;
+  }
+
+  /// Read of element `J` relative to `in` with every shift distance and
+  /// word index a compile-time constant; non-straddling elements compile
+  /// to a single load + shift + mask.
+  template <uint64_t J>
+  static uint64_t ReadAt(const uint64_t* in) {
+    constexpr uint64_t kBitpos = J * W;
+    constexpr uint64_t kWord = kBitpos >> 6;
+    constexpr uint32_t kShift = static_cast<uint32_t>(kBitpos & 63);
+    if constexpr (kShift + W <= 64) {
+      return (in[kWord] >> kShift) & kMask;
+    } else {
+      return ((in[kWord] >> kShift) | (in[kWord + 1] << (64 - kShift))) &
+             kMask;
+    }
+  }
+
+  static void UnpackBlock(const uint64_t* in, uint64_t* out) {
+    if constexpr (W == 0) {
+      for (uint32_t j = 0; j < 64; ++j) out[j] = 0;
+    } else if constexpr (W == 64) {
+      std::memcpy(out, in, 64 * sizeof(uint64_t));
+    } else {
+      // Force-unrolled via pack expansion: 64 independent straight-line
+      // reads, all offsets immediate. (A plain loop keeps the shifts in
+      // registers at -O2 and runs no faster than scalar PackedGet.)
+      [&]<size_t... J>(std::index_sequence<J...>) {
+        ((out[J] = ReadAt<J>(in)), ...);
+      }(std::make_index_sequence<64>{});
+    }
+  }
+
+  static uint64_t MatchBlock(const uint64_t* in, uint64_t lo, uint64_t span) {
+    if constexpr (W == 0) {
+      return (uint64_t{0} - lo) <= span ? ~uint64_t{0} : 0;
+    } else {
+      // Fused decode + compare, force-unrolled: 64 independent flag bits
+      // OR-folded with constant lane shifts (the compiler is free to
+      // tree-reduce the fold).
+      return [&]<size_t... J>(std::index_sequence<J...>) {
+        return ((static_cast<uint64_t>(ReadAt<J>(in) - lo <= span) << J) |
+                ...);
+      }(std::make_index_sequence<64>{});
+    }
+  }
+
+  static uint64_t MatchPartial(const uint64_t* in, uint32_t n, uint64_t lo,
+                               uint64_t span) {
+    const uint64_t lanes = bits::LowMask(n);
+    if constexpr (W == 0) {
+      return (uint64_t{0} - lo) <= span ? lanes : 0;
+    } else {
+      uint64_t m = 0;
+      for (uint64_t j = 0; j < n; ++j) {
+        m |= static_cast<uint64_t>(Read2(in, j) - lo <= span) << j;
+      }
+      return m & lanes;
+    }
+  }
+
+  /// Tail variant: first `n` (< 64) elements of a block. Never reads past
+  /// the words those n elements plus the padding word occupy.
+  static void UnpackPartial(const uint64_t* in, uint64_t* out, uint32_t n) {
+    if constexpr (W == 0) {
+      for (uint32_t j = 0; j < n; ++j) out[j] = 0;
+    } else {
+      for (uint64_t j = 0; j < n; ++j) out[j] = Read2(in, j);
+    }
+  }
+
+  static void PackBlock(const uint64_t* values, uint64_t* out) {
+    if constexpr (W == 0) {
+      return;
+    } else if constexpr (W == 64) {
+      std::memcpy(out, values, 64 * sizeof(uint64_t));
+    } else if constexpr (64 % W == 0) {
+      constexpr uint32_t kPerWord = 64 / W;
+      for (uint32_t w = 0; w < W; ++w) {
+        uint64_t acc = 0;
+        for (uint32_t k = 0; k < kPerWord; ++k) {
+          acc |= (values[w * kPerWord + k] & kMask) << (k * W);
+        }
+        out[w] = acc;
+      }
+    } else {
+      // Accumulate into one register, spilling a finished word at a time;
+      // a block is exactly W words, so the final spill drains the carry.
+      uint64_t acc = 0;
+      uint32_t used = 0;
+      uint32_t word = 0;
+      for (uint32_t j = 0; j < 64; ++j) {
+        const uint64_t v = values[j] & kMask;
+        acc |= v << used;
+        used += W;
+        if (used >= 64) {
+          out[word++] = acc;
+          used -= 64;
+          acc = v >> (W - used);  // W - used in [1, W]; W < 64 here
+        }
+      }
+    }
+  }
+
+  template <typename Id>
+  static void Gather(const uint64_t* words, const Id* ids, uint64_t n,
+                     uint64_t* out) {
+    if constexpr (W == 0) {
+      for (uint64_t i = 0; i < n; ++i) out[i] = 0;
+    } else {
+      for (uint64_t i = 0; i < n; ++i) {
+        out[i] = Read2(words, static_cast<uint64_t>(ids[i]));
+      }
+    }
+  }
+
+  static void Gather32(const uint64_t* words, const uint32_t* ids, uint64_t n,
+                       uint64_t* out) {
+    Gather(words, ids, n, out);
+  }
+  static void Gather64(const uint64_t* words, const uint64_t* ids, uint64_t n,
+                       uint64_t* out) {
+    Gather(words, ids, n, out);
+  }
+};
+
+using UnpackBlockFn = void (*)(const uint64_t*, uint64_t*);
+using UnpackPartialFn = void (*)(const uint64_t*, uint64_t*, uint32_t);
+using MatchBlockFn = uint64_t (*)(const uint64_t*, uint64_t, uint64_t);
+using MatchPartialFn = uint64_t (*)(const uint64_t*, uint32_t, uint64_t,
+                                    uint64_t);
+using PackBlockFn = void (*)(const uint64_t*, uint64_t*);
+using Gather32Fn = void (*)(const uint64_t*, const uint32_t*, uint64_t,
+                            uint64_t*);
+using Gather64Fn = void (*)(const uint64_t*, const uint64_t*, uint64_t,
+                            uint64_t*);
+
+template <size_t... Ws>
+constexpr std::array<UnpackBlockFn, 65> MakeUnpackBlockTable(
+    std::index_sequence<Ws...>) {
+  return {{&Codec<Ws>::UnpackBlock...}};
+}
+template <size_t... Ws>
+constexpr std::array<UnpackPartialFn, 65> MakeUnpackPartialTable(
+    std::index_sequence<Ws...>) {
+  return {{&Codec<Ws>::UnpackPartial...}};
+}
+template <size_t... Ws>
+constexpr std::array<PackBlockFn, 65> MakePackBlockTable(
+    std::index_sequence<Ws...>) {
+  return {{&Codec<Ws>::PackBlock...}};
+}
+template <size_t... Ws>
+constexpr std::array<MatchBlockFn, 65> MakeMatchBlockTable(
+    std::index_sequence<Ws...>) {
+  return {{&Codec<Ws>::MatchBlock...}};
+}
+template <size_t... Ws>
+constexpr std::array<MatchPartialFn, 65> MakeMatchPartialTable(
+    std::index_sequence<Ws...>) {
+  return {{&Codec<Ws>::MatchPartial...}};
+}
+template <size_t... Ws>
+constexpr std::array<Gather32Fn, 65> MakeGather32Table(
+    std::index_sequence<Ws...>) {
+  return {{&Codec<Ws>::Gather32...}};
+}
+template <size_t... Ws>
+constexpr std::array<Gather64Fn, 65> MakeGather64Table(
+    std::index_sequence<Ws...>) {
+  return {{&Codec<Ws>::Gather64...}};
+}
+
+constexpr auto kWidths = std::make_index_sequence<65>{};
+constexpr auto kUnpackBlock = MakeUnpackBlockTable(kWidths);
+constexpr auto kUnpackPartial = MakeUnpackPartialTable(kWidths);
+constexpr auto kPackBlock = MakePackBlockTable(kWidths);
+constexpr auto kMatchBlock = MakeMatchBlockTable(kWidths);
+constexpr auto kMatchPartial = MakeMatchPartialTable(kWidths);
+constexpr auto kGather32 = MakeGather32Table(kWidths);
+constexpr auto kGather64 = MakeGather64Table(kWidths);
+
+}  // namespace
+
+void UnpackBlock(const uint64_t* words, uint32_t width, uint64_t block,
+                 uint64_t* out) {
+  assert(width <= 64);
+  kUnpackBlock[width](words + block * width, out);
+}
+
+void UnpackRange(const uint64_t* words, uint32_t width, uint64_t begin,
+                 uint64_t count, uint64_t* out) {
+  assert(width <= 64);
+  if (count == 0) return;
+  if (width == 0) {
+    for (uint64_t i = 0; i < count; ++i) out[i] = 0;
+    return;
+  }
+  uint64_t i = begin;
+  const uint64_t end = begin + count;
+  // Unaligned head up to the next block boundary (< 64 scalar reads).
+  while (i < end && (i & 63) != 0) {
+    *out++ = internal::PackedGet(words, width, i++);
+  }
+  // Whole blocks, word-at-a-time.
+  const UnpackBlockFn block_fn = kUnpackBlock[width];
+  while (end - i >= kPackedBlockElems) {
+    block_fn(words + (i >> 6) * width, out);
+    i += kPackedBlockElems;
+    out += kPackedBlockElems;
+  }
+  // Partial tail block.
+  if (i < end) {
+    kUnpackPartial[width](words + (i >> 6) * width, out,
+                          static_cast<uint32_t>(end - i));
+  }
+}
+
+void PackRange(uint64_t* words, uint32_t width, uint64_t begin, uint64_t count,
+               const uint64_t* values) {
+  assert(width <= 64);
+  if (width == 0 || count == 0) return;
+  uint64_t i = begin;
+  const uint64_t end = begin + count;
+  while (i < end && (i & 63) != 0) {
+    internal::PackedSet(words, width, i++, *values++);
+  }
+  const PackBlockFn block_fn = kPackBlock[width];
+  while (end - i >= kPackedBlockElems) {
+    block_fn(values, words + (i >> 6) * width);
+    i += kPackedBlockElems;
+    values += kPackedBlockElems;
+  }
+  while (i < end) {
+    internal::PackedSet(words, width, i++, *values++);
+  }
+}
+
+uint64_t MatchBlock(const uint64_t* words, uint32_t width, uint64_t block,
+                    uint64_t lo, uint64_t span) {
+  assert(width <= 64);
+  return kMatchBlock[width](words + block * width, lo, span);
+}
+
+uint64_t MatchBlockPartial(const uint64_t* words, uint32_t width,
+                           uint64_t block, uint32_t n, uint64_t lo,
+                           uint64_t span) {
+  assert(width <= 64);
+  return kMatchPartial[width](words + block * width, n, lo, span);
+}
+
+void GatherPacked(const uint64_t* words, uint32_t width, const uint32_t* ids,
+                  uint64_t count, uint64_t* out) {
+  assert(width <= 64);
+  kGather32[width](words, ids, count, out);
+}
+
+void GatherPacked(const uint64_t* words, uint32_t width, const uint64_t* ids,
+                  uint64_t count, uint64_t* out) {
+  assert(width <= 64);
+  kGather64[width](words, ids, count, out);
+}
+
+}  // namespace wastenot::bwd

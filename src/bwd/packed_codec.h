@@ -1,0 +1,91 @@
+// Bulk codec over the bit-packed representation (the block-decode layer
+// under every packed scan).
+//
+// The element-at-a-time `internal::PackedGet` pays two shifts, a straddle
+// branch and a mask per value. This layer decodes 64-element *blocks*
+// word-at-a-time instead: because 64 * width bits is always a whole number
+// of words, every element index that is a multiple of 64 starts on a word
+// boundary for every width (the same invariant `PackedSet` relies on for
+// parallel encoding), so block `b` of a `width`-bit vector occupies exactly
+// the `width` words starting at `words[b * width]`. Each width gets its own
+// compiled kernel (dispatched once per call, not per element): byte- and
+// word-dividing widths unpack by shifting a single register down, arbitrary
+// widths use a branch-free rotate-free two-word combine.
+//
+// Padding contract: all routines here may read one word past the last data
+// word they decode. `PackedVector` always allocates that padding word
+// (`internal::PackedWordCount`), and `BwdColumn` uploads it with the data;
+// callers handing in raw words must do the same.
+
+#ifndef WASTENOT_BWD_PACKED_CODEC_H_
+#define WASTENOT_BWD_PACKED_CODEC_H_
+
+#include <cstdint>
+
+#include "bwd/packed_vector.h"
+
+namespace wastenot::bwd {
+
+/// Elements per codec block. A block always starts on a word boundary and
+/// spans exactly `width` words.
+inline constexpr uint64_t kPackedBlockElems = 64;
+
+/// Decodes the 64 elements of block `block` (elements [64*block, 64*block
+/// + 64)) into `out[0..63]`. All 64 elements must exist.
+void UnpackBlock(const uint64_t* words, uint32_t width, uint64_t block,
+                 uint64_t* out);
+
+/// Decodes elements [begin, begin + count) into `out[0..count)`. Handles
+/// unaligned starts and non-multiple-of-64 tails; interior full blocks go
+/// through the word-at-a-time block kernels.
+void UnpackRange(const uint64_t* words, uint32_t width, uint64_t begin,
+                 uint64_t count, uint64_t* out);
+
+inline void UnpackRange(const PackedView& view, uint64_t begin, uint64_t count,
+                        uint64_t* out) {
+  UnpackRange(view.words(), view.width(), begin, count, out);
+}
+
+/// Encodes `values[0..count)` into elements [begin, begin + count).
+/// Full aligned blocks are written whole-word (no read-modify-write);
+/// unaligned heads and partial tails fall back to scalar `PackedSet`, so
+/// elements outside the range keep their bits. Parallel encoders must chunk
+/// at multiples of 64 elements, same as with `PackedSet`.
+void PackRange(uint64_t* words, uint32_t width, uint64_t begin, uint64_t count,
+               const uint64_t* values);
+
+/// Fused decode-and-compare over one 64-element block: bit j of the result
+/// is set iff element 64*block + j lies in [lo, lo + span] (unsigned-wrap
+/// containment; span = hi - lo of an inclusive range with lo <= hi). The
+/// block is never materialized — each lane's flag is computed straight off
+/// the packed words with compile-time shifts (pass 1 of the two-pass
+/// selection kernels).
+uint64_t MatchBlock(const uint64_t* words, uint32_t width, uint64_t block,
+                    uint64_t lo, uint64_t span);
+
+/// MatchBlock over only the first `n` (<= 64) elements of `block` (the
+/// non-multiple-of-64 tail); lanes >= n are zero.
+uint64_t MatchBlockPartial(const uint64_t* words, uint32_t width,
+                           uint64_t block, uint32_t n, uint64_t lo,
+                           uint64_t span);
+
+/// Gathers `out[i] = packed[ids[i]]` for i in [0, count) through the
+/// width-specialized branch-free decoder (random-access counterpart of
+/// UnpackRange; the residual "invisible join" access path).
+void GatherPacked(const uint64_t* words, uint32_t width, const uint32_t* ids,
+                  uint64_t count, uint64_t* out);
+void GatherPacked(const uint64_t* words, uint32_t width, const uint64_t* ids,
+                  uint64_t count, uint64_t* out);
+
+inline void GatherPacked(const PackedView& view, const uint32_t* ids,
+                         uint64_t count, uint64_t* out) {
+  GatherPacked(view.words(), view.width(), ids, count, out);
+}
+inline void GatherPacked(const PackedView& view, const uint64_t* ids,
+                         uint64_t count, uint64_t* out) {
+  GatherPacked(view.words(), view.width(), ids, count, out);
+}
+
+}  // namespace wastenot::bwd
+
+#endif  // WASTENOT_BWD_PACKED_CODEC_H_

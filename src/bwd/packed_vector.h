@@ -7,6 +7,17 @@
 // living elsewhere (e.g. in a DeviceBuffer). Widths 0..64 are supported;
 // width 0 is a valid degenerate vector of all-zero values occupying no
 // space (it arises when every bit of a column is residual, or none is).
+//
+// Two layout guarantees every consumer may rely on:
+//   1. Block alignment: 64 * width bits is a whole number of words, so any
+//      element index that is a multiple of 64 starts on a word boundary
+//      for every width. Parallel encoders chunk at multiples of 64, and
+//      the bulk codec (packed_codec.h) decodes 64-element blocks
+//      word-at-a-time off this invariant.
+//   2. Padding word: allocations always include one word past the last
+//      data word (PackedWordCount), so two-word reads at the final
+//      element stay in bounds. BwdColumn uploads the padding word with
+//      the data; anyone materializing packed words elsewhere must too.
 
 #ifndef WASTENOT_BWD_PACKED_VECTOR_H_
 #define WASTENOT_BWD_PACKED_VECTOR_H_

@@ -7,13 +7,19 @@ namespace wastenot::cs {
 
 Column Column::FromI32(const std::vector<int32_t>& values) {
   Column col(ValueType::kInt32, values.size());
-  std::memcpy(col.buf_.data(), values.data(), values.size() * sizeof(int32_t));
+  if (!values.empty()) {
+    std::memcpy(col.buf_.data(), values.data(),
+                values.size() * sizeof(int32_t));
+  }
   return col;
 }
 
 Column Column::FromI64(const std::vector<int64_t>& values) {
   Column col(ValueType::kInt64, values.size());
-  std::memcpy(col.buf_.data(), values.data(), values.size() * sizeof(int64_t));
+  if (!values.empty()) {
+    std::memcpy(col.buf_.data(), values.data(),
+                values.size() * sizeof(int64_t));
+  }
   return col;
 }
 

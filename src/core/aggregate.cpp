@@ -5,6 +5,7 @@
 #include <mutex>
 #include <unordered_set>
 
+#include "bwd/packed_codec.h"
 #include "core/translucent_join.h"
 #include "util/bits.h"
 
@@ -105,14 +106,19 @@ ExtremumCandidates ExtremumApproximate(const bwd::BwdColumn& target,
   int64_t threshold = is_max ? std::numeric_limits<int64_t>::min()
                              : std::numeric_limits<int64_t>::max();
   bool any_certain = false;
-  for (uint64_t i = 0; i < n; ++i) {
-    if (!certain.empty() && !certain[i]) continue;
-    any_certain = true;
-    const uint64_t digit = view.Get(cands.ids[i]);
-    if (is_max) {
-      threshold = std::max(threshold, spec.LowerBound(digit));
-    } else {
-      threshold = std::min(threshold, spec.UpperBound(digit));
+  uint64_t digits[bwd::kPackedBlockElems];
+  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+    bwd::GatherPacked(view, cands.ids.data() + b0, lanes, digits);
+    for (uint32_t j = 0; j < lanes; ++j) {
+      if (!certain.empty() && !certain[b0 + j]) continue;
+      any_certain = true;
+      if (is_max) {
+        threshold = std::max(threshold, spec.LowerBound(digits[j]));
+      } else {
+        threshold = std::min(threshold, spec.UpperBound(digits[j]));
+      }
     }
   }
   // Without a certain candidate the threshold cannot prune anything.
@@ -121,17 +127,21 @@ ExtremumCandidates ExtremumApproximate(const bwd::BwdColumn& target,
   // Pass 2: survivors = candidates whose interval can beat the threshold.
   int64_t best_lo = std::numeric_limits<int64_t>::max();
   int64_t best_hi = std::numeric_limits<int64_t>::min();
-  for (uint64_t i = 0; i < n; ++i) {
-    const uint64_t digit = view.Get(cands.ids[i]);
-    const int64_t lo = spec.LowerBound(digit);
-    const int64_t hi = spec.UpperBound(digit);
-    const bool survives = !any_certain || (is_max ? hi >= threshold
-                                                  : lo <= threshold);
-    if (survives) {
-      out.survivors.ids.push_back(cands.ids[i]);
-      out.positions.push_back(static_cast<cs::oid_t>(i));
-      best_lo = std::min(best_lo, lo);
-      best_hi = std::max(best_hi, hi);
+  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+    bwd::GatherPacked(view, cands.ids.data() + b0, lanes, digits);
+    for (uint32_t j = 0; j < lanes; ++j) {
+      const int64_t lo = spec.LowerBound(digits[j]);
+      const int64_t hi = spec.UpperBound(digits[j]);
+      const bool survives = !any_certain || (is_max ? hi >= threshold
+                                                    : lo <= threshold);
+      if (survives) {
+        out.survivors.ids.push_back(cands.ids[b0 + j]);
+        out.positions.push_back(static_cast<cs::oid_t>(b0 + j));
+        best_lo = std::min(best_lo, lo);
+        best_hi = std::max(best_hi, hi);
+      }
     }
   }
   out.survivors.sorted = cands.sorted;
@@ -151,7 +161,7 @@ ExtremumCandidates ExtremumApproximate(const bwd::BwdColumn& target,
   sig.packed_bits = spec.approximation_bits();
   sig.prefix_base = spec.prefix_base;
   const uint64_t digit_bytes =
-      std::max<uint64_t>(bits::CeilDiv(spec.approximation_bits(), 8), 1);
+      device::PackedReadBytes(spec.approximation_bits(), 1, /*gather=*/true);
   dev->ChargeKernel(sig,
                     {.elements = n,
                      .bytes_read = 2 * n * (digit_bytes + sizeof(cs::oid_t)),

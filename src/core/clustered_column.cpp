@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bwd/packed_codec.h"
 #include "util/bits.h"
 
 namespace wastenot::core {
@@ -113,20 +114,44 @@ cs::OidVec ClusteredBwdColumn::SelectRefine(const ClusteredSelection& sel,
                                             const cs::RangePred& pred) const {
   cs::OidVec out;
   out.reserve(sel.size());
+  const uint64_t* offsets = offsets_device_.as<uint64_t>();
+  const bwd::PackedView res = residual_.view();
+
+  // Residual-checked emission over positions [begin, end): all positions
+  // of a cluster share its digit, so walk whole digit runs — one offsets
+  // lookup per cluster instead of a binary search per position — and
+  // block-decode each run's residuals through the bulk codec.
+  auto emit_checked = [&](uint64_t begin, uint64_t end) {
+    if (begin >= end) return;
+    uint64_t digit = static_cast<uint64_t>(
+        std::upper_bound(offsets, offsets + num_digits_ + 1, begin) - offsets -
+        1);
+    uint64_t res_digits[bwd::kPackedBlockElems];
+    for (uint64_t pos = begin; pos < end;) {
+      while (offsets[digit + 1] <= pos) ++digit;  // skip emptied clusters
+      const uint64_t run_end = std::min(end, offsets[digit + 1]);
+      for (uint64_t b0 = pos; b0 < run_end; b0 += bwd::kPackedBlockElems) {
+        const uint32_t lanes = static_cast<uint32_t>(
+            std::min(run_end - b0, bwd::kPackedBlockElems));
+        bwd::UnpackRange(res, b0, lanes, res_digits);
+        for (uint32_t j = 0; j < lanes; ++j) {
+          if (pred.Contains(spec_.Reassemble(digit, res_digits[j]))) {
+            out.push_back(row_map_[b0 + j]);
+          }
+        }
+      }
+      pos = run_end;
+    }
+  };
+
   // Leading boundary cluster: residual check required.
-  for (uint64_t pos = sel.begin; pos < sel.certain_begin; ++pos) {
-    if (pred.Contains(ReconstructAt(pos))) out.push_back(row_map_[pos]);
-  }
+  emit_checked(sel.begin, sel.certain_begin);
   // Interior clusters: certain — copy ids straight out of the row map
   // (sequential, the locality the clustering buys).
-  for (uint64_t pos = sel.certain_begin; pos < sel.certain_end; ++pos) {
-    out.push_back(row_map_[pos]);
-  }
+  out.insert(out.end(), row_map_.begin() + sel.certain_begin,
+             row_map_.begin() + sel.certain_end);
   // Trailing boundary cluster.
-  for (uint64_t pos = std::max(sel.certain_end, sel.begin); pos < sel.end;
-       ++pos) {
-    if (pred.Contains(ReconstructAt(pos))) out.push_back(row_map_[pos]);
-  }
+  emit_checked(std::max(sel.certain_end, sel.begin), sel.end);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <bit>
 #include <limits>
 
+#include "bwd/packed_codec.h"
 #include "core/translucent_join.h"
 #include "util/bits.h"
 #include "util/random.h"
@@ -73,12 +74,15 @@ void ChargeGroupKernel(const bwd::DecompositionSpec& spec, uint64_t n,
   sig.prefix_base = spec.prefix_base;
   sig.extra = std::string(candidates ? "cand" : "full") +
               (chained ? "/derive" : "/new");
-  const uint64_t digit_bytes =
-      std::max<uint64_t>(bits::CeilDiv(spec.approximation_bits(), 8), 1);
+  // Candidate scans gather digits randomly (whole-byte granularity);
+  // full scans stream the packed payload.
+  const uint64_t digit_bytes = device::PackedReadBytes(
+      spec.approximation_bits(), n, /*gather=*/candidates);
   dev->ChargeKernel(
       sig,
       {.elements = n,
-       .bytes_read = n * (digit_bytes + (candidates ? sizeof(cs::oid_t) : 0) +
+       .bytes_read = digit_bytes +
+                     n * ((candidates ? sizeof(cs::oid_t) : 0) +
                           (chained ? sizeof(uint32_t) : 0)),
        .bytes_written = n * sizeof(uint32_t),
        .ops = 3 * n,
@@ -96,11 +100,20 @@ ApproxGrouping GroupApproximate(const bwd::BwdColumn& column,
   ApproxGrouping out;
   out.group_ids.resize(n);
   DigitGroupTable table(1024);
-  for (uint64_t i = 0; i < n; ++i) {
-    const uint64_t row = cands != nullptr ? cands->ids[i] : i;
-    bool fresh = false;
-    out.group_ids[i] = table.IdOf(view.Get(row), &out.num_groups, &fresh);
-    if (fresh) out.first_positions.push_back(i);
+  uint64_t digits[bwd::kPackedBlockElems];
+  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+    if (cands != nullptr) {
+      bwd::GatherPacked(view, cands->ids.data() + b0, lanes, digits);
+    } else {
+      bwd::UnpackRange(view, b0, lanes, digits);
+    }
+    for (uint32_t j = 0; j < lanes; ++j) {
+      bool fresh = false;
+      out.group_ids[b0 + j] = table.IdOf(digits[j], &out.num_groups, &fresh);
+      if (fresh) out.first_positions.push_back(b0 + j);
+    }
   }
   ChargeGroupKernel(column.spec(), n, out.num_groups, cands != nullptr,
                     /*chained=*/false, dev);
@@ -117,15 +130,25 @@ ApproxGrouping GroupApproximateSub(const bwd::BwdColumn& column,
   ApproxGrouping out;
   out.group_ids.resize(n);
   DigitGroupTable table(prior.num_groups * 4 + 16);
-  for (uint64_t i = 0; i < n; ++i) {
-    const uint64_t row = cands != nullptr ? cands->ids[i] : i;
-    // Combine (prior group, digit); the mix decorrelates the halves.
-    const uint64_t key =
-        Mix64(static_cast<uint64_t>(prior.group_ids[i]) * 0x9e3779b97f4a7c15ULL ^
-              view.Get(row));
-    bool fresh = false;
-    out.group_ids[i] = table.IdOf(key, &out.num_groups, &fresh);
-    if (fresh) out.first_positions.push_back(i);
+  uint64_t digits[bwd::kPackedBlockElems];
+  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+    if (cands != nullptr) {
+      bwd::GatherPacked(view, cands->ids.data() + b0, lanes, digits);
+    } else {
+      bwd::UnpackRange(view, b0, lanes, digits);
+    }
+    for (uint32_t j = 0; j < lanes; ++j) {
+      // Combine (prior group, digit); the mix decorrelates the halves.
+      const uint64_t key =
+          Mix64(static_cast<uint64_t>(prior.group_ids[b0 + j]) *
+                    0x9e3779b97f4a7c15ULL ^
+                digits[j]);
+      bool fresh = false;
+      out.group_ids[b0 + j] = table.IdOf(key, &out.num_groups, &fresh);
+      if (fresh) out.first_positions.push_back(b0 + j);
+    }
   }
   ChargeGroupKernel(column.spec(), n, out.num_groups, cands != nullptr,
                     /*chained=*/true, dev);
@@ -168,18 +191,30 @@ StatusOr<RefinedGrouping> GroupRefine(
   }
 
   // Step 2: subgrouping — split each pre-group by the residual digits of
-  // every decomposed grouping column.
+  // every decomposed grouping column, block-gathered per column (the same
+  // invisible-join access as refinement).
   DigitGroupTable table(pre.num_groups * 4 + 16);
-  for (uint64_t i = 0; i < n; ++i) {
-    const cs::oid_t id = refined_ids[i];
-    uint64_t key = pre.group_ids[positions[i]];
+  uint64_t keys[bwd::kPackedBlockElems];
+  uint64_t res_digits[bwd::kPackedBlockElems];
+  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+    for (uint32_t j = 0; j < lanes; ++j) {
+      keys[j] = pre.group_ids[positions[b0 + j]];
+    }
     for (const bwd::BwdColumn* col : columns) {
       if (col->spec().fully_resident()) continue;
-      key = Mix64(key * 0x9e3779b97f4a7c15ULL ^ col->residual().Get(id));
+      bwd::GatherPacked(col->residual().view(), refined_ids.data() + b0, lanes,
+                        res_digits);
+      for (uint32_t j = 0; j < lanes; ++j) {
+        keys[j] = Mix64(keys[j] * 0x9e3779b97f4a7c15ULL ^ res_digits[j]);
+      }
     }
-    bool fresh = false;
-    out.group_ids[i] = table.IdOf(key, &out.num_groups, &fresh);
-    if (fresh) out.first_ids.push_back(id);
+    for (uint32_t j = 0; j < lanes; ++j) {
+      bool fresh = false;
+      out.group_ids[b0 + j] = table.IdOf(keys[j], &out.num_groups, &fresh);
+      if (fresh) out.first_ids.push_back(refined_ids[b0 + j]);
+    }
   }
   return out;
 }

@@ -1,5 +1,8 @@
 #include "core/project.h"
 
+#include <algorithm>
+
+#include "bwd/packed_codec.h"
 #include "util/bits.h"
 
 namespace wastenot::core {
@@ -32,38 +35,60 @@ ApproxValues ProjectApproximate(const bwd::BwdColumn& column,
   int64_t* lower = out.lower.data();
   const cs::oid_t* ids = cands.ids.data();
 
-  dev->Launch(ProjectSignature(spec, "gather"),
-              {.elements = n,
-               .bytes_read =
-                   n * (sizeof(cs::oid_t) +
-                        std::max<uint64_t>(
-                            bits::CeilDiv(spec.approximation_bits(), 8), 1)),
-               .bytes_written = n * sizeof(int64_t),
-               .ops = n},
-              [&](uint64_t begin, uint64_t end) {
-                for (uint64_t i = begin; i < end; ++i) {
-                  lower[i] = spec.LowerBound(view.Get(ids[i]));
-                }
-              });
+  dev->Launch(
+      ProjectSignature(spec, "gather"),
+      {.elements = n,
+       .bytes_read = n * sizeof(cs::oid_t) +
+                     device::PackedReadBytes(spec.approximation_bits(), n,
+                                             /*gather=*/true),
+       .bytes_written = n * sizeof(int64_t),
+       .ops = n},
+      [&](uint64_t begin, uint64_t end) {
+        uint64_t digits[bwd::kPackedBlockElems];
+        for (uint64_t b0 = begin; b0 < end; b0 += bwd::kPackedBlockElems) {
+          const uint32_t lanes = static_cast<uint32_t>(
+              std::min(end - b0, bwd::kPackedBlockElems));
+          bwd::GatherPacked(view, ids + b0, lanes, digits);
+          for (uint32_t j = 0; j < lanes; ++j) {
+            lower[b0 + j] = spec.LowerBound(digits[j]);
+          }
+        }
+      });
   return out;
 }
 
 std::vector<int64_t> ProjectRefine(const bwd::BwdColumn& column,
                                    const cs::OidVec& ids,
                                    const ApproxValues* approx_aligned) {
-  std::vector<int64_t> out(ids.size());
-  const bwd::PackedVector& residual = column.residual();
+  const uint64_t n = ids.size();
+  std::vector<int64_t> out(n);
+  const bwd::PackedView residual = column.residual().view();
+  uint64_t res_digits[bwd::kPackedBlockElems];
   if (approx_aligned != nullptr) {
     // Translucent/invisible join of the approximation output with the
-    // residual: the aligned lower bounds plus residual digits reassemble
-    // the exact values.
-    for (uint64_t i = 0; i < ids.size(); ++i) {
-      out[i] = approx_aligned->lower[i] +
-               static_cast<int64_t>(residual.Get(ids[i]));
+    // residual: the aligned lower bounds plus block-gathered residual
+    // digits reassemble the exact values.
+    for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+      const uint32_t lanes =
+          static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+      bwd::GatherPacked(residual, ids.data() + b0, lanes, res_digits);
+      for (uint32_t j = 0; j < lanes; ++j) {
+        out[b0 + j] = approx_aligned->lower[b0 + j] +
+                      static_cast<int64_t>(res_digits[j]);
+      }
     }
   } else {
-    for (uint64_t i = 0; i < ids.size(); ++i) {
-      out[i] = column.Reconstruct(ids[i]);
+    const bwd::PackedView approx = column.approximation();
+    const bwd::DecompositionSpec& spec = column.spec();
+    uint64_t approx_digits[bwd::kPackedBlockElems];
+    for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+      const uint32_t lanes =
+          static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+      bwd::GatherPacked(approx, ids.data() + b0, lanes, approx_digits);
+      bwd::GatherPacked(residual, ids.data() + b0, lanes, res_digits);
+      for (uint32_t j = 0; j < lanes; ++j) {
+        out[b0 + j] = spec.Reassemble(approx_digits[j], res_digits[j]);
+      }
     }
   }
   return out;
@@ -91,25 +116,35 @@ StatusOr<ApproxValues> FkJoinApproximate(const bwd::BwdColumn& fk,
   const cs::oid_t* ids = cands.ids.data();
 
   device::KernelSignature sig = ProjectSignature(attr_spec, "fkjoin");
-  dev->Launch(sig,
-              {.elements = n,
-               .bytes_read =
-                   n * (sizeof(cs::oid_t) +
-                        std::max<uint64_t>(
-                            bits::CeilDiv(fk_spec.approximation_bits(), 8), 1) +
-                        std::max<uint64_t>(
-                            bits::CeilDiv(attr_spec.approximation_bits(), 8),
-                            1)),
-               .bytes_written = n * sizeof(int64_t),
-               .ops = 2 * n},
-              [&](uint64_t begin, uint64_t end) {
-                for (uint64_t i = begin; i < end; ++i) {
-                  // fk is fully resident: the gathered value is exact.
-                  const uint64_t dim_oid = static_cast<uint64_t>(
-                      fk_spec.Reassemble(fk_view.Get(ids[i]), 0));
-                  lower[i] = attr_spec.LowerBound(attr_view.Get(dim_oid));
-                }
-              });
+  dev->Launch(
+      sig,
+      {.elements = n,
+       .bytes_read = n * sizeof(cs::oid_t) +
+                     device::PackedReadBytes(fk_spec.approximation_bits(), n,
+                                             /*gather=*/true) +
+                     device::PackedReadBytes(attr_spec.approximation_bits(), n,
+                                             /*gather=*/true),
+       .bytes_written = n * sizeof(int64_t),
+       .ops = 2 * n},
+      [&](uint64_t begin, uint64_t end) {
+        uint64_t dim_oids[bwd::kPackedBlockElems];
+        uint64_t attr_digits[bwd::kPackedBlockElems];
+        for (uint64_t b0 = begin; b0 < end; b0 += bwd::kPackedBlockElems) {
+          const uint32_t lanes = static_cast<uint32_t>(
+              std::min(end - b0, bwd::kPackedBlockElems));
+          // fk is fully resident: the gathered digit is the exact dim oid
+          // (after prefix decompression); chain into a second gather.
+          bwd::GatherPacked(fk_view, ids + b0, lanes, dim_oids);
+          for (uint32_t j = 0; j < lanes; ++j) {
+            dim_oids[j] =
+                static_cast<uint64_t>(fk_spec.Reassemble(dim_oids[j], 0));
+          }
+          bwd::GatherPacked(attr_view, dim_oids, lanes, attr_digits);
+          for (uint32_t j = 0; j < lanes; ++j) {
+            lower[b0 + j] = attr_spec.LowerBound(attr_digits[j]);
+          }
+        }
+      });
   return out;
 }
 
@@ -119,11 +154,27 @@ StatusOr<std::vector<int64_t>> FkJoinRefine(const bwd::BwdColumn& fk,
   if (!fk.spec().fully_resident()) {
     return Status::Unsupported("FK join requires a fully resident fk column");
   }
-  std::vector<int64_t> out(ids.size());
-  for (uint64_t i = 0; i < ids.size(); ++i) {
-    const uint64_t dim_oid =
-        static_cast<uint64_t>(fk.Reconstruct(ids[i]));
-    out[i] = dim_attribute.Reconstruct(dim_oid);
+  const uint64_t n = ids.size();
+  std::vector<int64_t> out(n);
+  const bwd::PackedView fk_view = fk.approximation();
+  const bwd::PackedView attr_view = dim_attribute.approximation();
+  const bwd::PackedView attr_res = dim_attribute.residual().view();
+  uint64_t dim_oids[bwd::kPackedBlockElems];
+  uint64_t attr_digits[bwd::kPackedBlockElems];
+  uint64_t res_digits[bwd::kPackedBlockElems];
+  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+    bwd::GatherPacked(fk_view, ids.data() + b0, lanes, dim_oids);
+    for (uint32_t j = 0; j < lanes; ++j) {
+      dim_oids[j] = static_cast<uint64_t>(fk.spec().Reassemble(dim_oids[j], 0));
+    }
+    bwd::GatherPacked(attr_view, dim_oids, lanes, attr_digits);
+    bwd::GatherPacked(attr_res, dim_oids, lanes, res_digits);
+    for (uint32_t j = 0; j < lanes; ++j) {
+      out[b0 + j] =
+          dim_attribute.spec().Reassemble(attr_digits[j], res_digits[j]);
+    }
   }
   return out;
 }

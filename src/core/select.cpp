@@ -1,7 +1,10 @@
 #include "core/select.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
+#include "bwd/packed_codec.h"
 #include "util/bits.h"
 
 namespace wastenot::core {
@@ -111,6 +114,158 @@ device::KernelSignature SelectSignature(const DecompositionSpec& spec,
   return sig;
 }
 
+/// Packs `n` 0/1 flag bytes into a bitmask, eight at a time: for 0/1
+/// bytes, chunk * 0x0102040810204080 gathers byte j's bit into bit 56+j
+/// with no carries (all partial-product bit positions are distinct).
+inline uint64_t PackFlagBytes(const uint8_t* flags, uint32_t n) {
+  uint64_t m = 0;
+  uint32_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, flags + k, sizeof(chunk));
+    m |= ((chunk * 0x0102040810204080ULL) >> 56) << k;
+  }
+  for (; k < n; ++k) {
+    m |= static_cast<uint64_t>(flags[k] & 1) << k;
+  }
+  return m;
+}
+
+/// Bitmask of lanes whose digit lies in [lo, hi] — branch-free via
+/// unsigned-wrap containment (requires lo <= hi, which RelaxPredicate
+/// guarantees whenever the predicate is not `none`). Flags are produced
+/// as independent bytes (no loop-carried OR chain) and bit-packed by
+/// multiplication.
+inline uint64_t DigitRangeMask(const uint64_t* digits, uint32_t n, uint64_t lo,
+                               uint64_t hi) {
+  const uint64_t span = hi - lo;
+  uint8_t flags[64];
+  for (uint32_t j = 0; j < n; ++j) {
+    flags[j] = static_cast<uint8_t>(digits[j] - lo <= span);
+  }
+  return PackFlagBytes(flags, n);
+}
+
+/// Block-decoded two-pass selection over elements [begin, end) of `view`.
+/// `begin` must be a multiple of 64 (the chunk grid guarantees it).
+void SelectChunkFull(const bwd::PackedView& view, const DecompositionSpec& spec,
+                     const RelaxedPred& relaxed, uint64_t begin, uint64_t end,
+                     ChunkOut* out) {
+  const uint64_t* words = view.words();
+  const uint32_t width = view.width();
+  const uint64_t n = end - begin;
+  const uint64_t num_blocks = bits::CeilDiv(n, bwd::kPackedBlockElems);
+  const bool has_certain = relaxed.certain_lo <= relaxed.certain_hi;
+  const uint64_t certain_span = relaxed.certain_hi - relaxed.certain_lo;
+
+  // Pass 1 (count): fused decode-and-compare straight off the packed
+  // words into per-block match bitmasks — the digits are never
+  // materialized. Certainty is deferred to pass 2: it only matters for
+  // matching lanes, which are typically a small fraction.
+  const uint64_t match_span = relaxed.hi_digit - relaxed.lo_digit;
+  std::vector<uint64_t> match(num_blocks);
+  uint64_t num_match = 0;
+  uint64_t digits[bwd::kPackedBlockElems];
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    const uint64_t e0 = begin + b * bwd::kPackedBlockElems;
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(end - e0, bwd::kPackedBlockElems));
+    const uint64_t block = e0 / bwd::kPackedBlockElems;
+    const uint64_t m =
+        lanes == bwd::kPackedBlockElems
+            ? bwd::MatchBlock(words, width, block, relaxed.lo_digit,
+                              match_span)
+            : bwd::MatchBlockPartial(words, width, block, lanes,
+                                     relaxed.lo_digit, match_span);
+    match[b] = m;
+    num_match += static_cast<uint64_t>(std::popcount(m));
+  }
+
+  // Pass 2 (fill): exact-size the chunk output, then revisit only blocks
+  // that matched — the packed payload is still cache-hot — and emit by
+  // bitmask iteration. No per-element branches, no reallocation.
+  out->ids.resize(num_match);
+  out->lower.resize(num_match);
+  out->certain.resize(num_match);
+  uint64_t num_certain = 0;
+  uint64_t pos = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint64_t m = match[b];
+    if (m == 0) continue;
+    const uint64_t e0 = begin + b * bwd::kPackedBlockElems;
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(end - e0, bwd::kPackedBlockElems));
+    bwd::UnpackRange(words, width, e0, lanes, digits);
+    while (m != 0) {
+      const uint32_t j = static_cast<uint32_t>(std::countr_zero(m));
+      m &= m - 1;
+      const uint64_t digit = digits[j];
+      const uint8_t cert = static_cast<uint8_t>(
+          has_certain && digit - relaxed.certain_lo <= certain_span);
+      out->ids[pos] = static_cast<cs::oid_t>(e0 + j);
+      out->lower[pos] = spec.LowerBound(digit);
+      out->certain[pos] = cert;
+      num_certain += cert;
+      ++pos;
+    }
+  }
+  out->num_certain = num_certain;
+}
+
+/// Block two-pass selection over the gathered digits of candidates
+/// [begin, end) of `in`. The gather lands in a chunk-local scratch so pass
+/// 2 rereads sequentially instead of re-gathering randomly.
+void SelectChunkCandidates(const bwd::PackedView& view,
+                           const DecompositionSpec& spec,
+                           const RelaxedPred& relaxed, const Candidates& in,
+                           uint64_t begin, uint64_t end, ChunkOut* out) {
+  const uint64_t n = end - begin;
+  const uint64_t num_blocks = bits::CeilDiv(n, bwd::kPackedBlockElems);
+  const bool has_certain = relaxed.certain_lo <= relaxed.certain_hi;
+  const uint64_t certain_span = relaxed.certain_hi - relaxed.certain_lo;
+  const cs::oid_t* ids = in.ids.data() + begin;
+
+  std::vector<uint64_t> digits(n);
+  bwd::GatherPacked(view, ids, n, digits.data());
+
+  std::vector<uint64_t> match(num_blocks);
+  uint64_t num_match = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    const uint64_t j0 = b * bwd::kPackedBlockElems;
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - j0, bwd::kPackedBlockElems));
+    const uint64_t m = DigitRangeMask(digits.data() + j0, lanes,
+                                      relaxed.lo_digit, relaxed.hi_digit);
+    match[b] = m;
+    num_match += static_cast<uint64_t>(std::popcount(m));
+  }
+
+  out->ids.resize(num_match);
+  out->lower.resize(num_match);
+  out->certain.resize(num_match);
+  out->positions.resize(num_match);
+  uint64_t num_certain = 0;
+  uint64_t pos = 0;
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    uint64_t m = match[b];
+    const uint64_t j0 = b * bwd::kPackedBlockElems;
+    while (m != 0) {
+      const uint32_t j = static_cast<uint32_t>(std::countr_zero(m));
+      m &= m - 1;
+      const uint64_t digit = digits[j0 + j];
+      const uint8_t cert = static_cast<uint8_t>(
+          has_certain && digit - relaxed.certain_lo <= certain_span);
+      out->ids[pos] = ids[j0 + j];
+      out->positions[pos] = static_cast<cs::oid_t>(begin + j0 + j);
+      out->lower[pos] = spec.LowerBound(digit);
+      out->certain[pos] = cert;
+      num_certain += cert;
+      ++pos;
+    }
+  }
+  out->num_certain = num_certain;
+}
+
 }  // namespace
 
 ApproxSelection SelectApproximate(const bwd::BwdColumn& column,
@@ -138,17 +293,7 @@ ApproxSelection SelectApproximate(const bwd::BwdColumn& column,
     for (uint64_t c = cb; c < ce; ++c) {
       const uint64_t begin = c * chunk_elems;
       const uint64_t end = std::min(n, begin + chunk_elems);
-      ChunkOut& out = chunks[c];
-      for (uint64_t i = begin; i < end; ++i) {
-        const uint64_t digit = view.Get(i);
-        if (relaxed.Matches(digit)) {
-          out.ids.push_back(static_cast<cs::oid_t>(i));
-          out.lower.push_back(spec.LowerBound(digit));
-          const bool certain = relaxed.Certain(digit);
-          out.certain.push_back(certain ? 1 : 0);
-          out.num_certain += certain;
-        }
-      }
+      SelectChunkFull(view, spec, relaxed, begin, end, &chunks[c]);
     }
   });
 
@@ -158,11 +303,13 @@ ApproxSelection SelectApproximate(const bwd::BwdColumn& column,
   const uint64_t out_bytes =
       result.cands.size() *
       (sizeof(cs::oid_t) + bits::CeilDiv(spec.approximation_bits(), 8) + 1);
-  dev->ChargeKernel(SelectSignature(spec, "range/full"),
-                    {.elements = n,
-                     .bytes_read = view.byte_size(),
-                     .bytes_written = out_bytes,
-                     .ops = 2 * n});
+  dev->ChargeKernel(
+      SelectSignature(spec, "range/full"),
+      {.elements = n,
+       .bytes_read = device::PackedReadBytes(spec.approximation_bits(), n,
+                                             /*gather=*/false),
+       .bytes_written = out_bytes,
+       .ops = 2 * n});
   return result;
 }
 
@@ -190,19 +337,7 @@ ApproxSelection SelectApproximateOn(const bwd::BwdColumn& column,
     for (uint64_t c = cb; c < ce; ++c) {
       const uint64_t begin = c * chunk_elems;
       const uint64_t end = std::min(n, begin + chunk_elems);
-      ChunkOut& out = chunks[c];
-      for (uint64_t i = begin; i < end; ++i) {
-        const cs::oid_t id = in.ids[i];
-        const uint64_t digit = view.Get(id);
-        if (relaxed.Matches(digit)) {
-          out.ids.push_back(id);
-          out.positions.push_back(static_cast<cs::oid_t>(i));
-          out.lower.push_back(spec.LowerBound(digit));
-          const bool certain = relaxed.Certain(digit);
-          out.certain.push_back(certain ? 1 : 0);
-          out.num_certain += certain;
-        }
-      }
+      SelectChunkCandidates(view, spec, relaxed, in, begin, end, &chunks[c]);
     }
   });
 
@@ -210,7 +345,7 @@ ApproxSelection SelectApproximateOn(const bwd::BwdColumn& column,
   result.cands.sorted = in.sorted;  // gather preserves the input permutation
 
   const uint64_t gathered_bytes =
-      n * std::max<uint64_t>(bits::CeilDiv(spec.approximation_bits(), 8), 1) +
+      device::PackedReadBytes(spec.approximation_bits(), n, /*gather=*/true) +
       n * sizeof(cs::oid_t);
   const uint64_t out_bytes =
       result.cands.size() *
@@ -234,34 +369,60 @@ RefinedSelection SelectRefine(const Candidates& cands,
     out.exact_values.resize(conjuncts.size());
     for (auto& v : out.exact_values) v.reserve(n);
   }
-  std::vector<int64_t> row_values(conjuncts.size());
 
-  // Algorithm 2, fused over every conjunct: reconstruct by bitwise
-  // concatenation (lower-bound value + residual digit) and re-check the
-  // precise predicates. The residual access is an invisible join (the
-  // persistent residual is dense); the candidate order is preserved.
-  for (uint64_t i = 0; i < n; ++i) {
-    const cs::oid_t id = cands.ids[i];
-    bool pass = true;
-    for (uint64_t c = 0; c < conjuncts.size(); ++c) {
+  // Algorithm 2, fused over every conjunct and blocked over the candidate
+  // list: per 64-candidate block, gather each conjunct's residual digits
+  // in one width-specialized call (the invisible join — the persistent
+  // residual is dense), reconstruct by bitwise concatenation, and AND the
+  // branch-free precise-predicate masks. Lanes die block-wide, so later
+  // conjuncts skip blocks that already failed; survivors are emitted by
+  // bitmask iteration, preserving candidate order.
+  const uint64_t num_conjuncts = conjuncts.size();
+  std::vector<int64_t> exact(num_conjuncts * bwd::kPackedBlockElems);
+  uint64_t res_digits[bwd::kPackedBlockElems];
+  uint64_t approx_digits[bwd::kPackedBlockElems];
+
+  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+    const uint32_t lanes =
+        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+    const cs::oid_t* ids = cands.ids.data() + b0;
+    uint64_t pass = bits::LowMask(lanes);
+    for (uint64_t c = 0; c < num_conjuncts && pass != 0; ++c) {
       const PredicateRefinement& conj = conjuncts[c];
-      const int64_t lower = conj.approx != nullptr
-                                ? conj.approx->lower[i]
-                                : conj.column->ApproxLowerBound(id);
-      const int64_t exact =
-          lower + static_cast<int64_t>(conj.column->residual().Get(id));
-      row_values[c] = exact;
-      if (!conj.pred.Contains(exact)) {
-        pass = false;
-        break;
+      bwd::GatherPacked(conj.column->residual().view(), ids, lanes,
+                        res_digits);
+      int64_t* ex = exact.data() + c * bwd::kPackedBlockElems;
+      if (conj.approx != nullptr) {
+        const int64_t* lower = conj.approx->lower.data() + b0;
+        for (uint32_t j = 0; j < lanes; ++j) {
+          ex[j] = lower[j] + static_cast<int64_t>(res_digits[j]);
+        }
+      } else {
+        bwd::GatherPacked(conj.column->approximation(), ids, lanes,
+                          approx_digits);
+        const DecompositionSpec& spec = conj.column->spec();
+        for (uint32_t j = 0; j < lanes; ++j) {
+          ex[j] = spec.LowerBound(approx_digits[j]) +
+                  static_cast<int64_t>(res_digits[j]);
+        }
       }
+      const int64_t lo = conj.pred.lo;
+      const int64_t hi = conj.pred.hi;
+      uint64_t ok = 0;
+      for (uint32_t j = 0; j < lanes; ++j) {
+        ok |= static_cast<uint64_t>((ex[j] >= lo) & (ex[j] <= hi)) << j;
+      }
+      pass &= ok;
     }
-    if (pass) {
-      out.ids.push_back(id);
-      out.positions.push_back(static_cast<cs::oid_t>(i));
+    while (pass != 0) {
+      const uint32_t j = static_cast<uint32_t>(std::countr_zero(pass));
+      pass &= pass - 1;
+      out.ids.push_back(ids[j]);
+      out.positions.push_back(static_cast<cs::oid_t>(b0 + j));
       if (keep_values) {
-        for (uint64_t c = 0; c < conjuncts.size(); ++c) {
-          out.exact_values[c].push_back(row_values[c]);
+        for (uint64_t c = 0; c < num_conjuncts; ++c) {
+          out.exact_values[c].push_back(
+              exact[c * bwd::kPackedBlockElems + j]);
         }
       }
     }

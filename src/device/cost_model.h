@@ -68,6 +68,22 @@ struct DeviceSpec {
   static DeviceSpec Gtx680();
 };
 
+/// Device-memory bytes read to fetch `count` packed digits of `width_bits`
+/// bits each. A sequential scan streams exactly the packed payload; a
+/// random-access gather (`gather` = true) touches at least one whole byte
+/// per element, so sub-byte widths are clamped up. Every kernel that
+/// charges for packed-digit reads must come through here so the sub-byte
+/// accounting stays consistent across operators.
+constexpr uint64_t PackedReadBytes(uint32_t width_bits, uint64_t count,
+                                   bool gather) {
+  if (gather) {
+    const uint64_t bytes_per_elem =
+        width_bits == 0 ? 1 : (width_bits + 7) / 8;
+    return count * bytes_per_elem;
+  }
+  return (count * width_bits + 7) / 8;
+}
+
 /// Simulated cost of a streaming kernel over `bytes_read` + `bytes_written`
 /// device-memory traffic and `ops` arithmetic operations.
 double KernelSeconds(const DeviceSpec& spec, uint64_t bytes_read,

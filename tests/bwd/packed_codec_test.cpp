@@ -1,0 +1,180 @@
+// Bulk codec vs. the scalar Get/Set reference: the block kernels must be
+// bit-identical to element-at-a-time access for every width, including
+// word-straddling widths, unaligned starts and non-multiple-of-64 tails.
+
+#include "bwd/packed_codec.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::bwd {
+namespace {
+
+/// A packed vector of `n` random `width`-bit values, filled via scalar Set,
+/// plus the plain expected values.
+struct Reference {
+  PackedVector pv;
+  std::vector<uint64_t> values;
+
+  Reference(uint32_t width, uint64_t n, uint64_t seed)
+      : pv(width, n), values(n) {
+    Xoshiro256 rng(seed);
+    const uint64_t mask = bits::LowMask(width);
+    for (uint64_t i = 0; i < n; ++i) {
+      values[i] = rng.Next() & mask;
+      pv.Set(i, values[i]);
+    }
+  }
+};
+
+TEST(PackedCodecTest, UnpackBlockMatchesScalarGetAllWidths) {
+  const uint64_t n = 192;  // three whole blocks
+  for (uint32_t width = 0; width <= 64; ++width) {
+    Reference ref(width, n, width * 7919 + 1);
+    uint64_t out[kPackedBlockElems];
+    for (uint64_t block = 0; block < n / kPackedBlockElems; ++block) {
+      UnpackBlock(ref.pv.words(), width, block, out);
+      for (uint64_t j = 0; j < kPackedBlockElems; ++j) {
+        ASSERT_EQ(out[j], ref.values[block * kPackedBlockElems + j])
+            << "width=" << width << " block=" << block << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(PackedCodecTest, UnpackRangeExhaustiveWidthsTailsAndOffsets) {
+  // 257 = 4 whole blocks + a 1-element tail; every width straddles words
+  // somewhere in this range (unless it divides 64).
+  const uint64_t n = 257;
+  for (uint32_t width = 0; width <= 64; ++width) {
+    Reference ref(width, n, width * 131 + 5);
+    // Offset starts exercise the scalar head (unaligned), the block body
+    // and the partial tail in all combinations.
+    const uint64_t begins[] = {0, 1, 63, 64, 65, 100, 128, 255, 256, 257};
+    for (uint64_t begin : begins) {
+      const uint64_t count = n - begin;
+      std::vector<uint64_t> out(count + 1, 0xdeadbeefULL);
+      UnpackRange(ref.pv.words(), width, begin, count, out.data());
+      for (uint64_t i = 0; i < count; ++i) {
+        ASSERT_EQ(out[i], ref.values[begin + i])
+            << "width=" << width << " begin=" << begin << " i=" << i;
+      }
+      // No overwrite past the requested count.
+      EXPECT_EQ(out[count], 0xdeadbeefULL) << "width=" << width;
+    }
+    // Short interior ranges (head-only, tail-only, head+tail same block).
+    for (uint64_t begin : {uint64_t{3}, uint64_t{66}, uint64_t{127}}) {
+      for (uint64_t count : {uint64_t{1}, uint64_t{7}, uint64_t{61}}) {
+        std::vector<uint64_t> out(count);
+        UnpackRange(ref.pv.view(), begin, count, out.data());
+        for (uint64_t i = 0; i < count; ++i) {
+          ASSERT_EQ(out[i], ref.values[begin + i])
+              << "width=" << width << " begin=" << begin << " count=" << count;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedCodecTest, PackRangeRoundTripsAgainstScalarGet) {
+  const uint64_t n = 257;
+  for (uint32_t width = 0; width <= 64; ++width) {
+    Xoshiro256 rng(width * 31 + 17);
+    const uint64_t mask = bits::LowMask(width);
+    std::vector<uint64_t> values(n);
+    for (auto& v : values) v = rng.Next() & mask;
+
+    PackedVector pv(width, n);
+    PackRange(pv.mutable_words(), width, 0, n, values.data());
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(pv.Get(i), values[i]) << "width=" << width << " i=" << i;
+    }
+  }
+}
+
+TEST(PackedCodecTest, PackRangeAtOffsetLeavesNeighborsIntact) {
+  const uint64_t n = 300;
+  for (uint32_t width = 1; width <= 64; ++width) {
+    Reference ref(width, n, width * 53 + 29);
+    Xoshiro256 rng(width * 97 + 41);
+    const uint64_t mask = bits::LowMask(width);
+
+    // Overwrite an interior window (unaligned head, whole blocks, partial
+    // tail); everything outside must keep its original bits.
+    const uint64_t begin = 37;
+    const uint64_t count = 200;  // spans blocks 0..3
+    std::vector<uint64_t> fresh(count);
+    for (auto& v : fresh) v = rng.Next() & mask;
+    PackRange(ref.pv.mutable_words(), width, begin, count, fresh.data());
+
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t expect = (i >= begin && i < begin + count)
+                                  ? fresh[i - begin]
+                                  : ref.values[i];
+      ASSERT_EQ(ref.pv.Get(i), expect) << "width=" << width << " i=" << i;
+    }
+  }
+}
+
+TEST(PackedCodecTest, PackRangeUnpackRangeComposeToIdentity) {
+  const uint64_t n = 1000;
+  for (uint32_t width = 0; width <= 64; ++width) {
+    Xoshiro256 rng(width * 211 + 3);
+    const uint64_t mask = bits::LowMask(width);
+    std::vector<uint64_t> values(n);
+    for (auto& v : values) v = rng.Next() & mask;
+
+    PackedVector pv(width, n);
+    PackRange(pv.mutable_words(), width, 0, n, values.data());
+    std::vector<uint64_t> back(n);
+    UnpackRange(pv.view(), 0, n, back.data());
+    ASSERT_EQ(back, values) << "width=" << width;
+  }
+}
+
+TEST(PackedCodecTest, GatherMatchesScalarGet) {
+  const uint64_t n = 500;
+  const uint64_t num_ids = 137;
+  for (uint32_t width = 0; width <= 64; ++width) {
+    Reference ref(width, n, width * 61 + 13);
+    Xoshiro256 rng(width * 71 + 23);
+    std::vector<uint32_t> ids32(num_ids);
+    std::vector<uint64_t> ids64(num_ids);
+    for (uint64_t i = 0; i < num_ids; ++i) {
+      ids32[i] = static_cast<uint32_t>(rng.Below(n));  // duplicates allowed
+      ids64[i] = ids32[i];
+    }
+    // The last data element exercises the padding-word overread guard.
+    ids32[0] = static_cast<uint32_t>(n - 1);
+    ids64[0] = n - 1;
+
+    std::vector<uint64_t> out32(num_ids), out64(num_ids);
+    GatherPacked(ref.pv.view(), ids32.data(), num_ids, out32.data());
+    GatherPacked(ref.pv.view(), ids64.data(), num_ids, out64.data());
+    for (uint64_t i = 0; i < num_ids; ++i) {
+      ASSERT_EQ(out32[i], ref.values[ids32[i]])
+          << "width=" << width << " i=" << i;
+      ASSERT_EQ(out64[i], out32[i]) << "width=" << width << " i=" << i;
+    }
+  }
+}
+
+TEST(PackedCodecTest, ZeroCountAndZeroWidthAreNoOps) {
+  PackedVector pv(13, 64);
+  uint64_t sentinel = 0x1234;
+  UnpackRange(pv.words(), 13, 10, 0, &sentinel);
+  EXPECT_EQ(sentinel, 0x1234u);
+  PackRange(pv.mutable_words(), 13, 10, 0, &sentinel);
+
+  // Width 0 decodes all-zero values regardless of input.
+  uint64_t out[5] = {9, 9, 9, 9, 9};
+  PackedVector zero(0, 100);
+  UnpackRange(zero.view(), 17, 5, out);
+  for (uint64_t v : out) EXPECT_EQ(v, 0u);
+}
+
+}  // namespace
+}  // namespace wastenot::bwd

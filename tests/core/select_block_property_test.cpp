@@ -1,0 +1,237 @@
+// Property tests pinning the block-decoded selection kernels to a scalar
+// reference: across random decompositions, data distributions and
+// predicates, the two-pass count-then-fill kernels must be *bit-identical*
+// to the straightforward element-at-a-time implementation — same candidate
+// ids in the same order, same lower bounds, same certainty flags, same
+// num_certain, same kept_positions.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/select.h"
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+/// Scalar reference for SelectApproximate (the pre-block-decode loop).
+ApproxSelection ReferenceSelect(const bwd::BwdColumn& column,
+                                const cs::RangePred& pred) {
+  const bwd::DecompositionSpec& spec = column.spec();
+  const RelaxedPred relaxed = RelaxPredicate(spec, pred);
+  ApproxSelection out;
+  out.values.error = spec.error();
+  if (relaxed.none) return out;
+  const bwd::PackedView view = column.approximation();
+  for (uint64_t i = 0; i < view.size(); ++i) {
+    const uint64_t digit = view.Get(i);
+    if (relaxed.Matches(digit)) {
+      out.cands.ids.push_back(static_cast<cs::oid_t>(i));
+      out.values.lower.push_back(spec.LowerBound(digit));
+      const bool certain = relaxed.Certain(digit);
+      out.certain.push_back(certain ? 1 : 0);
+      out.num_certain += certain;
+    }
+  }
+  out.cands.sorted = true;
+  return out;
+}
+
+/// Scalar reference for SelectApproximateOn.
+ApproxSelection ReferenceSelectOn(const bwd::BwdColumn& column,
+                                  const cs::RangePred& pred,
+                                  const Candidates& in) {
+  const bwd::DecompositionSpec& spec = column.spec();
+  const RelaxedPred relaxed = RelaxPredicate(spec, pred);
+  ApproxSelection out;
+  out.values.error = spec.error();
+  if (relaxed.none) return out;
+  const bwd::PackedView view = column.approximation();
+  for (uint64_t i = 0; i < in.size(); ++i) {
+    const cs::oid_t id = in.ids[i];
+    const uint64_t digit = view.Get(id);
+    if (relaxed.Matches(digit)) {
+      out.cands.ids.push_back(id);
+      out.kept_positions.push_back(static_cast<cs::oid_t>(i));
+      out.values.lower.push_back(spec.LowerBound(digit));
+      const bool certain = relaxed.Certain(digit);
+      out.certain.push_back(certain ? 1 : 0);
+      out.num_certain += certain;
+    }
+  }
+  out.cands.sorted = in.sorted;
+  return out;
+}
+
+/// Scalar reference for SelectRefine (the pre-block fused loop, with its
+/// early conjunct exit).
+RefinedSelection ReferenceRefine(const Candidates& cands,
+                                 std::span<const PredicateRefinement> conjuncts,
+                                 bool keep_values) {
+  RefinedSelection out;
+  if (keep_values) out.exact_values.resize(conjuncts.size());
+  std::vector<int64_t> row_values(conjuncts.size());
+  for (uint64_t i = 0; i < cands.size(); ++i) {
+    const cs::oid_t id = cands.ids[i];
+    bool pass = true;
+    for (uint64_t c = 0; c < conjuncts.size(); ++c) {
+      const PredicateRefinement& conj = conjuncts[c];
+      const int64_t lower = conj.approx != nullptr
+                                ? conj.approx->lower[i]
+                                : conj.column->ApproxLowerBound(id);
+      const int64_t exact =
+          lower + static_cast<int64_t>(conj.column->residual().Get(id));
+      row_values[c] = exact;
+      if (!conj.pred.Contains(exact)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      out.ids.push_back(id);
+      out.positions.push_back(static_cast<cs::oid_t>(i));
+      if (keep_values) {
+        for (uint64_t c = 0; c < conjuncts.size(); ++c) {
+          out.exact_values[c].push_back(row_values[c]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void ExpectIdentical(const ApproxSelection& got, const ApproxSelection& want) {
+  ASSERT_EQ(got.cands.ids, want.cands.ids);
+  ASSERT_EQ(got.values.lower, want.values.lower);
+  ASSERT_EQ(got.values.error, want.values.error);
+  ASSERT_EQ(got.certain, want.certain);
+  ASSERT_EQ(got.num_certain, want.num_certain);
+  ASSERT_EQ(got.kept_positions, want.kept_positions);
+  ASSERT_EQ(got.cands.sorted, want.cands.sorted);
+}
+
+struct RandomColumn {
+  std::unique_ptr<device::Device> dev;
+  bwd::BwdColumn col;
+  int64_t lo, hi;
+
+  RandomColumn(uint64_t n, int64_t lo_in, int64_t hi_in, uint32_t device_bits,
+               uint64_t seed)
+      : lo(lo_in), hi(hi_in) {
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    Xoshiro256 rng(seed);
+    std::vector<int64_t> v(n);
+    for (auto& x : v) {
+      x = lo + static_cast<int64_t>(
+                   rng.Below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+    cs::Column base = cs::Column::FromI64(v);
+    base.ComputeStats();
+    auto decomposed = bwd::BwdColumn::Decompose(base, device_bits, dev.get());
+    EXPECT_TRUE(decomposed.ok()) << decomposed.status().ToString();
+    col = std::move(decomposed).value();
+  }
+};
+
+TEST(SelectBlockPropertyTest, FullScanBitIdenticalToScalarReference) {
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random domain (negatives included), random size (tails of every
+    // remainder mod 64), random split.
+    const int64_t lo =
+        static_cast<int64_t>(rng.Below(2000)) - 1000;
+    const int64_t hi = lo + 1 + static_cast<int64_t>(rng.Below(1u << 18));
+    const uint64_t n = 1 + rng.Below(3000);
+    const uint32_t device_bits = 1 + static_cast<uint32_t>(rng.Below(40));
+    RandomColumn rc(n, lo, hi, device_bits, trial * 7 + 1);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    for (int p = 0; p < 8; ++p) {
+      // Random predicates, biased to overlap the domain; includes empty
+      // and out-of-domain ranges.
+      const int64_t a = lo - 50 + static_cast<int64_t>(
+                                      rng.Below(static_cast<uint64_t>(
+                                          hi - lo + 100)));
+      const int64_t b = a + static_cast<int64_t>(rng.Below(1u << 16)) - 100;
+      const cs::RangePred pred{a, b};
+      ApproxSelection got = SelectApproximate(rc.col, pred, rc.dev.get());
+      ApproxSelection want = ReferenceSelect(rc.col, pred);
+      ExpectIdentical(got, want);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(SelectBlockPropertyTest, CandidateScanBitIdenticalToScalarReference) {
+  Xoshiro256 rng(1234);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int64_t lo = -500;
+    const int64_t hi = lo + 1 + static_cast<int64_t>(rng.Below(1u << 16));
+    const uint64_t n = 100 + rng.Below(2500);
+    const uint32_t device_bits = 1 + static_cast<uint32_t>(rng.Below(40));
+    RandomColumn rc(n, lo, hi, device_bits, trial * 13 + 3);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Random candidate list: arbitrary permutation-ish subset with
+    // duplicates allowed (the gather contract).
+    Candidates in;
+    const uint64_t m = rng.Below(2 * n);
+    for (uint64_t i = 0; i < m; ++i) {
+      in.ids.push_back(static_cast<cs::oid_t>(rng.Below(n)));
+    }
+    in.sorted = false;
+
+    for (int p = 0; p < 6; ++p) {
+      const int64_t a = lo + static_cast<int64_t>(
+                                 rng.Below(static_cast<uint64_t>(hi - lo)));
+      const int64_t b = a + static_cast<int64_t>(rng.Below(1u << 14));
+      const cs::RangePred pred{a, b};
+      ApproxSelection got =
+          SelectApproximateOn(rc.col, pred, in, rc.dev.get());
+      ApproxSelection want = ReferenceSelectOn(rc.col, pred, in);
+      ExpectIdentical(got, want);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(SelectBlockPropertyTest, RefineBitIdenticalToScalarReference) {
+  Xoshiro256 rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    const uint64_t n = 200 + rng.Below(2000);
+    const uint32_t bits_a = 4 + static_cast<uint32_t>(rng.Below(28));
+    const uint32_t bits_b = 4 + static_cast<uint32_t>(rng.Below(28));
+    RandomColumn a(n, -1000, 250000, bits_a, trial * 3 + 11);
+    RandomColumn b(n, 0, 1u << 20, bits_b, trial * 5 + 7);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Candidates straight from an approximate selection on column a, with
+    // its aligned approximations feeding the first conjunct.
+    const cs::RangePred pred_a{-200, 120000};
+    const cs::RangePred pred_b{1000, 900000};
+    ApproxSelection sel = SelectApproximate(a.col, pred_a, a.dev.get());
+
+    PredicateRefinement conjuncts[2];
+    conjuncts[0].column = &a.col;
+    conjuncts[0].pred = pred_a;
+    conjuncts[0].approx = &sel.values;
+    conjuncts[1].column = &b.col;
+    conjuncts[1].pred = pred_b;
+    conjuncts[1].approx = nullptr;  // falls back to ApproxLowerBound-by-id
+
+    const bool keep_values = trial % 2 == 0;
+    RefinedSelection got = SelectRefine(sel.cands, conjuncts, keep_values);
+    RefinedSelection want =
+        ReferenceRefine(sel.cands, conjuncts, keep_values);
+    ASSERT_EQ(got.ids, want.ids);
+    ASSERT_EQ(got.positions, want.positions);
+    ASSERT_EQ(got.exact_values, want.exact_values);
+  }
+}
+
+}  // namespace
+}  // namespace wastenot::core
