@@ -7,7 +7,10 @@
 //      per-element branch + push_back, replicated below) vs. the two-pass
 //      count-then-fill block kernel, widths 1..64 at 10 % selectivity;
 //   3. the same selection pair across selectivities at representative
-//      widths (9, 16, 22 bits).
+//      widths (9, 16, 22 bits);
+//   4. the morsel-parallel block selection scan (the same two-pass kernel
+//      fanned out over 64-aligned morsels via util::ParallelForBlocks) at
+//      threads 1..8, width 16, 10 % selectivity.
 //
 // Run with --json BENCH_micro_packed.json to emit the perf-trajectory
 // records; --rows N shrinks the input (CI smoke uses 2000).
@@ -17,6 +20,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "bench/harness.h"
@@ -24,6 +28,7 @@
 #include "bwd/packed_vector.h"
 #include "core/select.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace wastenot {
 namespace {
@@ -127,10 +132,14 @@ void BlockUnpack(const bwd::PackedView& view, uint64_t* out) {
   }
 }
 
-void BlockSelect(const bwd::PackedView& view,
-                 const bwd::DecompositionSpec& spec, const RelaxedPred& pred,
-                 SelOut* out) {
-  const uint64_t n = view.size();
+/// BlockSelect over elements [begin, end) — `begin` must be a multiple of
+/// 64. This is the per-morsel body of the parallel scan below; the
+/// single-threaded bench calls it with the whole range.
+void BlockSelectRange(const bwd::PackedView& view,
+                      const bwd::DecompositionSpec& spec,
+                      const RelaxedPred& pred, uint64_t begin, uint64_t end,
+                      SelOut* out) {
+  const uint64_t n = end - begin;
   const uint64_t num_blocks = bits::CeilDiv(n, bwd::kPackedBlockElems);
   const bool has_certain = pred.certain_lo <= pred.certain_hi;
   const uint64_t certain_span = pred.certain_hi - pred.certain_lo;
@@ -141,14 +150,15 @@ void BlockSelect(const bwd::PackedView& view,
   const uint64_t match_span = pred.hi_digit - pred.lo_digit;
   uint64_t total = 0;
   for (uint64_t b = 0; b < num_blocks; ++b) {
-    const uint64_t e0 = b * bwd::kPackedBlockElems;
+    const uint64_t e0 = begin + b * bwd::kPackedBlockElems;
     const uint32_t lanes =
-        static_cast<uint32_t>(std::min(n - e0, bwd::kPackedBlockElems));
+        static_cast<uint32_t>(std::min(end - e0, bwd::kPackedBlockElems));
+    const uint64_t block = e0 / bwd::kPackedBlockElems;
     const uint64_t m =
         lanes == bwd::kPackedBlockElems
-            ? bwd::MatchBlock(view.words(), view.width(), b, pred.lo_digit,
-                              match_span)
-            : bwd::MatchBlockPartial(view.words(), view.width(), b, lanes,
+            ? bwd::MatchBlock(view.words(), view.width(), block,
+                              pred.lo_digit, match_span)
+            : bwd::MatchBlockPartial(view.words(), view.width(), block, lanes,
                                      pred.lo_digit, match_span);
     match[b] = m;
     total += static_cast<uint64_t>(std::popcount(m));
@@ -164,9 +174,9 @@ void BlockSelect(const bwd::PackedView& view,
   for (uint64_t b = 0; b < num_blocks; ++b) {
     uint64_t m = match[b];
     if (m == 0) continue;
-    const uint64_t e0 = b * bwd::kPackedBlockElems;
+    const uint64_t e0 = begin + b * bwd::kPackedBlockElems;
     const uint32_t lanes =
-        static_cast<uint32_t>(std::min(n - e0, bwd::kPackedBlockElems));
+        static_cast<uint32_t>(std::min(end - e0, bwd::kPackedBlockElems));
     bwd::UnpackRange(view, e0, lanes, digits);
     while (m != 0) {
       const uint32_t j = static_cast<uint32_t>(std::countr_zero(m));
@@ -182,6 +192,30 @@ void BlockSelect(const bwd::PackedView& view,
     }
   }
   out->num_certain = num_certain;
+}
+
+void BlockSelect(const bwd::PackedView& view,
+                 const bwd::DecompositionSpec& spec, const RelaxedPred& pred,
+                 SelOut* out) {
+  BlockSelectRange(view, spec, pred, 0, view.size(), out);
+}
+
+/// Morsel-parallel block selection: the same two-pass kernel per morsel,
+/// fragments concatenated in morsel order (bit-identical output order).
+/// Returns the total match count.
+uint64_t ParallelBlockSelect(const bwd::PackedView& view,
+                             const bwd::DecompositionSpec& spec,
+                             const RelaxedPred& pred, const MorselContext& ctx,
+                             std::vector<SelOut>* fragments) {
+  const uint64_t n = view.size();
+  const uint64_t morsel = AlignMorsel(MorselElems(view.width()));
+  fragments->assign(bits::CeilDiv(n, morsel), SelOut{});
+  ParallelForBlocks(ctx, n, morsel, [&](uint64_t b, uint64_t e, unsigned) {
+    BlockSelectRange(view, spec, pred, b, e, &(*fragments)[b / morsel]);
+  });
+  uint64_t total = 0;
+  for (const SelOut& f : *fragments) total += f.ids.size();
+  return total;
 }
 
 double MelemPerSec(uint64_t n, double seconds) {
@@ -275,6 +309,36 @@ int main(int argc, char** argv) {
     bench::PrintSeries("selectivity",
                        {"select_scalar_w" + w, "select_block_w" + w}, rows,
                        "Melem/s");
+  }
+
+  // ---- 4) morsel-parallel selection scan, threads 1..8 -------------------
+  {
+    const uint32_t width = 16;
+    const bwd::PackedVector pv = MakePacked(width, n, 4242);
+    const bwd::PackedView view = pv.view();
+    const bwd::DecompositionSpec spec = MakeSpec(width);
+    const RelaxedPred pred = MakePred(width, 0.10);
+    std::vector<bench::SeriesRow> rows, speedups;
+    std::vector<SelOut> fragments;
+    double t1_seconds = 0;
+    for (unsigned t : {1u, 2u, 4u, 8u}) {
+      const std::unique_ptr<ThreadPool> pool =
+          t > 1 ? std::make_unique<ThreadPool>(t) : nullptr;
+      MorselContext ctx;
+      ctx.pool = pool.get();
+      const double seconds = bench::TimeSeconds([&] {
+        (void)ParallelBlockSelect(view, spec, pred, ctx, &fragments);
+      });
+      if (t == 1) t1_seconds = seconds;
+      rows.push_back({static_cast<double>(t), {MelemPerSec(n, seconds)}});
+      speedups.push_back({static_cast<double>(t),
+                          {seconds > 0 ? t1_seconds / seconds : 0}});
+    }
+    std::printf("\n-- morsel-parallel selection scan (width 16, 10%%) --\n");
+    bench::PrintSeries("threads", {"select_block_parallel_w16"}, rows,
+                       "Melem/s");
+    bench::PrintSeries("threads", {"select_block_parallel_w16_speedup"},
+                       speedups, "x");
   }
   return 0;
 }

@@ -1,0 +1,222 @@
+// micro_parallel — morsel-parallel Phase-R (refinement) scaling.
+//
+// Measures the host refinement operators across thread counts 1..8 on one
+// dataset shape: uniform rows, a 10 % selectivity range predicate, half
+// the value bits device-resident (so refinement has real residual work):
+//   1. fused selection refinement (SelectRefine, Algorithm 2);
+//   2. grouping refinement (GroupRefine: translucent join + subgroup);
+//   3. grouped sum refinement (GroupedSumRefine);
+//   4. end-to-end ExecuteAr: host wall seconds and host CPU seconds
+//      (their ratio is the measured Phase-R parallel speedup).
+//
+// Each series reports throughput (Melem/s over the candidate count) per
+// thread count plus the speedup relative to num_threads=1. Run with
+// --json BENCH_micro_parallel.json for the perf-trajectory records;
+// --rows N sets the row count (the headline number uses 8M rows; CI smoke
+// uses 2000).
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bwd/bwd_table.h"
+#include "core/aggregate.h"
+#include "core/ar_engine.h"
+#include "core/group.h"
+#include "core/select.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace wastenot {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+/// One pool per measured thread count, built once (spawn cost excluded
+/// from the timed region, as a long-running server would amortize it).
+struct Pools {
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  Pools() {
+    for (unsigned t : kThreadCounts) {
+      pools.push_back(t > 1 ? std::make_unique<ThreadPool>(t) : nullptr);
+    }
+  }
+  MorselContext Ctx(size_t idx) const {
+    MorselContext ctx;
+    ctx.pool = pools[idx].get();
+    return ctx;
+  }
+};
+
+double MelemPerSec(uint64_t n, double seconds) {
+  return seconds > 0 ? static_cast<double>(n) / seconds / 1e6 : 0;
+}
+
+/// Prints + records one scaling series (throughput and speedup vs t=1).
+void Report(const char* name, uint64_t elems,
+            const std::vector<double>& seconds) {
+  std::vector<bench::SeriesRow> tput, speedup;
+  for (size_t i = 0; i < seconds.size(); ++i) {
+    tput.push_back({static_cast<double>(kThreadCounts[i]),
+                    {MelemPerSec(elems, seconds[i])}});
+    speedup.push_back({static_cast<double>(kThreadCounts[i]),
+                       {seconds[i] > 0 ? seconds[0] / seconds[i] : 0}});
+  }
+  std::printf("\n-- %s --\n", name);
+  bench::PrintSeries("threads", {std::string(name)}, tput, "Melem/s");
+  bench::PrintSeries("threads", {std::string(name) + "_speedup"}, speedup,
+                     "x");
+}
+
+}  // namespace
+}  // namespace wastenot
+
+int main(int argc, char** argv) {
+  using namespace wastenot;
+  bench::ParseArgs(argc, argv);
+  const uint64_t n = bench::MicroRows();
+  const Pools pools;
+
+  bench::Header("micro_parallel",
+                "morsel-parallel Phase-R refinement scaling, threads 1..8",
+                "rows=" + std::to_string(n) +
+                    ", 10% selectivity, half the bits resident, median of 3");
+
+  // ---- dataset: 24-bit values, 12 device bits (12 residual bits) ---------
+  Xoshiro256 rng(42);
+  std::vector<int64_t> values(n), groups(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    values[i] = static_cast<int64_t>(rng.Next() & ((1u << 24) - 1));
+    groups[i] = static_cast<int64_t>(rng.Next() & 4095);
+  }
+  cs::Table table("fact");
+  {
+    cs::Column vcol = cs::Column::FromI64(values);
+    vcol.ComputeStats();
+    (void)table.AddColumn("v", std::move(vcol));
+    cs::Column gcol = cs::Column::FromI64(groups);
+    gcol.ComputeStats();
+    (void)table.AddColumn("g", std::move(gcol));
+  }
+  device::Device dev(device::DeviceSpec::Gtx680());
+  auto fact = bwd::BwdTable::Decompose(
+      table,
+      {{"v", 12, bwd::Compression::kBitPacked},
+       {"g", 6, bwd::Compression::kBitPacked}},
+      &dev);
+  if (!fact.ok()) {
+    std::fprintf(stderr, "decompose failed: %s\n",
+                 fact.status().ToString().c_str());
+    return 1;
+  }
+  const bwd::BwdColumn& vcol = fact->column("v");
+  const bwd::BwdColumn& gcol = fact->column("g");
+
+  // ---- candidates: 10 % selectivity approximate selection ----------------
+  const cs::RangePred pred{0, (1 << 24) / 10};
+  core::ApproxSelection sel = core::SelectApproximate(vcol, pred, &dev);
+  const uint64_t num_cands = sel.cands.size();
+  std::printf("candidates: %llu (%.2f%% of %llu rows)\n",
+              static_cast<unsigned long long>(num_cands),
+              100.0 * static_cast<double>(num_cands) /
+                  static_cast<double>(std::max<uint64_t>(n, 1)),
+              static_cast<unsigned long long>(n));
+
+  core::PredicateRefinement conj;
+  conj.column = &vcol;
+  conj.pred = pred;
+  conj.approx = &sel.values;
+
+  // ---- 1) fused selection refinement (Algorithm 2) -----------------------
+  {
+    std::vector<double> seconds;
+    for (size_t i = 0; i < std::size(kThreadCounts); ++i) {
+      const MorselContext ctx = pools.Ctx(i);
+      seconds.push_back(bench::TimeSeconds([&] {
+        core::RefinedSelection r = core::SelectRefine(
+            sel.cands, std::span(&conj, 1), /*keep_values=*/false, ctx);
+        if (r.ids.size() > num_cands) std::abort();  // keep it live
+      }));
+    }
+    Report("select_refine", num_cands, seconds);
+  }
+
+  // ---- 2) grouping refinement (translucent join + subgroup) --------------
+  const core::RefinedSelection refined =
+      core::SelectRefine(sel.cands, std::span(&conj, 1));
+  const core::ApproxGrouping pre =
+      core::GroupApproximate(gcol, &sel.cands, &dev);
+  {
+    const bwd::BwdColumn* cols[] = {&gcol};
+    std::vector<double> seconds;
+    for (size_t i = 0; i < std::size(kThreadCounts); ++i) {
+      const MorselContext ctx = pools.Ctx(i);
+      seconds.push_back(bench::TimeSeconds([&] {
+        auto g = core::GroupRefine(cols, pre, sel.cands, refined.ids, ctx);
+        if (!g.ok()) std::abort();
+      }));
+    }
+    Report("group_refine", refined.ids.size(), seconds);
+  }
+
+  // ---- 3) grouped sum refinement -----------------------------------------
+  {
+    const uint64_t nref = refined.ids.size();
+    std::vector<int64_t> exact(nref);
+    std::vector<uint32_t> gids(nref);
+    for (uint64_t i = 0; i < nref; ++i) {
+      exact[i] = values[refined.ids[i]];
+      gids[i] = static_cast<uint32_t>(groups[refined.ids[i]]);
+    }
+    std::vector<double> seconds;
+    for (size_t i = 0; i < std::size(kThreadCounts); ++i) {
+      const MorselContext ctx = pools.Ctx(i);
+      seconds.push_back(bench::TimeSeconds([&] {
+        std::vector<int64_t> sums =
+            core::GroupedSumRefine(exact, gids, 4096, ctx);
+        if (sums.size() != 4096) std::abort();
+      }));
+    }
+    Report("grouped_sum_refine", nref, seconds);
+  }
+
+  // ---- 4) end-to-end A&R: host wall vs host CPU seconds ------------------
+  {
+    core::QuerySpec q;
+    q.table = "fact";
+    q.predicates = {{"v", pred}};
+    q.group_by = {"g"};
+    q.aggregates = {core::Aggregate::CountStar("cnt"),
+                    core::Aggregate::SumOf("v", "sum_v")};
+    std::vector<bench::SeriesRow> wall_rows, cpu_rows, speedup_rows;
+    double wall_t1 = 0;
+    for (unsigned t : kThreadCounts) {
+      core::ArOptions opts;
+      opts.num_threads = t;
+      // Median-of-3 on the host wall time (the breakdown pair travels
+      // together so cpu stays consistent with the reported wall).
+      std::vector<std::pair<double, double>> reps;
+      for (int r = 0; r < 3; ++r) {
+        auto exec = core::ExecuteAr(q, *fact, nullptr, &dev, opts);
+        if (!exec.ok()) std::abort();
+        reps.emplace_back(exec->breakdown.host_seconds,
+                          exec->breakdown.host_cpu_seconds);
+      }
+      std::sort(reps.begin(), reps.end());
+      const double wall = reps[1].first;
+      const double cpu = reps[1].second;
+      if (t == 1) wall_t1 = wall;
+      wall_rows.push_back({static_cast<double>(t), {wall * 1e3}});
+      cpu_rows.push_back({static_cast<double>(t), {cpu * 1e3}});
+      speedup_rows.push_back(
+          {static_cast<double>(t), {wall > 0 ? wall_t1 / wall : 0}});
+    }
+    std::printf("\n-- end-to-end ExecuteAr host time --\n");
+    bench::PrintSeries("threads", {"ar_host_wall"}, wall_rows, "ms");
+    bench::PrintSeries("threads", {"ar_host_cpu"}, cpu_rows, "ms");
+    bench::PrintSeries("threads", {"ar_host_speedup"}, speedup_rows, "x");
+  }
+  return 0;
+}

@@ -69,20 +69,55 @@ std::vector<ValueBounds> GroupedSumApproximate(
   return out;
 }
 
-int64_t SumRefine(const std::vector<int64_t>& exact_values) {
+int64_t SumRefine(const std::vector<int64_t>& exact_values,
+                  const MorselContext& ctx) {
+  const uint64_t morsel =
+      ctx.morsel_elems != 0 ? ctx.morsel_elems : MorselElems(64);
+  std::vector<int64_t> partials(ctx.workers(), 0);
+  ParallelForBlocks(ctx, exact_values.size(), morsel,
+                    [&](uint64_t b, uint64_t e, unsigned w) {
+                      int64_t s = 0;
+                      for (uint64_t i = b; i < e; ++i) s += exact_values[i];
+                      partials[w] += s;
+                    });
   int64_t sum = 0;
-  for (int64_t v : exact_values) sum += v;
+  for (int64_t v : partials) sum += v;
   return sum;
+}
+
+std::vector<int64_t> ParallelGroupedAccumulate(
+    const MorselContext& ctx, uint64_t n, uint64_t num_groups,
+    uint64_t bits_per_elem,
+    const std::function<void(uint64_t, uint64_t, std::vector<int64_t>&)>&
+        body) {
+  // Per-worker partial group vectors, merged at the barrier: no atomics in
+  // the hot loop, and integer addition makes the merge order irrelevant.
+  const unsigned workers = ctx.workers();
+  std::vector<std::vector<int64_t>> partials(workers);
+  for (auto& p : partials) p.assign(num_groups, 0);
+  const uint64_t morsel =
+      ctx.morsel_elems != 0 ? ctx.morsel_elems : MorselElems(bits_per_elem);
+  ParallelForBlocks(ctx, n, morsel, [&](uint64_t b, uint64_t e, unsigned w) {
+    body(b, e, partials[w]);
+  });
+  std::vector<int64_t> out = std::move(partials[0]);
+  for (unsigned w = 1; w < workers; ++w) {
+    for (uint64_t g = 0; g < num_groups; ++g) out[g] += partials[w][g];
+  }
+  return out;
 }
 
 std::vector<int64_t> GroupedSumRefine(const std::vector<int64_t>& exact_values,
                                       const std::vector<uint32_t>& group_ids,
-                                      uint64_t num_groups) {
-  std::vector<int64_t> out(num_groups, 0);
-  for (uint64_t i = 0; i < exact_values.size(); ++i) {
-    out[group_ids[i]] += exact_values[i];
-  }
-  return out;
+                                      uint64_t num_groups,
+                                      const MorselContext& ctx) {
+  return ParallelGroupedAccumulate(
+      ctx, exact_values.size(), num_groups, 64 + 32,
+      [&](uint64_t b, uint64_t e, std::vector<int64_t>& p) {
+        for (uint64_t i = b; i < e; ++i) {
+          p[group_ids[i]] += exact_values[i];
+        }
+      });
 }
 
 namespace {
@@ -173,20 +208,35 @@ ExtremumCandidates ExtremumApproximate(const bwd::BwdColumn& target,
 
 StatusOr<std::optional<int64_t>> ExtremumRefine(
     const bwd::BwdColumn& target, const ExtremumCandidates& approx,
-    const cs::OidVec& refined_ids, bool is_max) {
+    const cs::OidVec& refined_ids, bool is_max, const MorselContext& ctx) {
   // Neither input is generally a subset of the other (a refined row may
   // have been pruned by the threshold; a survivor may be a selection false
   // positive), so this is a plain set intersection; reduction order is
-  // irrelevant for an extremum.
+  // irrelevant for an extremum, so per-worker bests merged at the barrier
+  // give the same answer as the serial scan.
   std::unordered_set<cs::oid_t> survivor_set(approx.survivors.ids.begin(),
                                              approx.survivors.ids.end());
+  std::vector<std::optional<int64_t>> bests(ctx.workers());
+  const uint64_t morsel = ctx.morsel_elems != 0
+                              ? ctx.morsel_elems
+                              : MorselElems(target.spec().value_bits + 32);
+  ParallelForBlocks(
+      ctx, refined_ids.size(), morsel,
+      [&](uint64_t b, uint64_t e, unsigned w) {
+        std::optional<int64_t>& best = bests[w];
+        for (uint64_t i = b; i < e; ++i) {
+          const cs::oid_t id = refined_ids[i];
+          if (survivor_set.count(id) == 0) continue;
+          const int64_t exact = target.Reconstruct(id);
+          if (!best.has_value() || (is_max ? exact > *best : exact < *best)) {
+            best = exact;
+          }
+        }
+      });
   std::optional<int64_t> best;
-  for (cs::oid_t id : refined_ids) {
-    if (survivor_set.count(id) == 0) continue;
-    const int64_t exact = target.Reconstruct(id);
-    if (!best.has_value() || (is_max ? exact > *best : exact < *best)) {
-      best = exact;
-    }
+  for (const std::optional<int64_t>& b : bests) {
+    if (!b.has_value()) continue;
+    if (!best.has_value() || (is_max ? *b > *best : *b < *best)) best = b;
   }
   return best;
 }
@@ -209,14 +259,16 @@ ExtremumCandidates MaxApproximate(const bwd::BwdColumn& target,
 
 StatusOr<std::optional<int64_t>> MinRefine(const bwd::BwdColumn& target,
                                            const ExtremumCandidates& approx,
-                                           const cs::OidVec& refined_ids) {
-  return ExtremumRefine(target, approx, refined_ids, /*is_max=*/false);
+                                           const cs::OidVec& refined_ids,
+                                           const MorselContext& ctx) {
+  return ExtremumRefine(target, approx, refined_ids, /*is_max=*/false, ctx);
 }
 
 StatusOr<std::optional<int64_t>> MaxRefine(const bwd::BwdColumn& target,
                                            const ExtremumCandidates& approx,
-                                           const cs::OidVec& refined_ids) {
-  return ExtremumRefine(target, approx, refined_ids, /*is_max=*/true);
+                                           const cs::OidVec& refined_ids,
+                                           const MorselContext& ctx) {
+  return ExtremumRefine(target, approx, refined_ids, /*is_max=*/true, ctx);
 }
 
 ValueBounds AvgBounds(const ValueBounds& sum, const ValueBounds& count) {

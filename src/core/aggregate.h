@@ -24,29 +24,56 @@
 #include "core/candidates.h"
 #include "device/device.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace wastenot::core {
 
 /// ----- count ------------------------------------------------------------
 
-/// Bounds of a count given candidates and their certainty flags.
+/// Bounds of a count given candidates and their certainty flags. Pure
+/// function; thread-safe.
 ValueBounds CountApproximate(const Candidates& cands, uint64_t num_certain);
 
 /// ----- sum --------------------------------------------------------------
 
-/// Interval sum of per-row bounds (device reduction).
+/// Interval sum of per-row bounds (device reduction). Not thread-safe with
+/// respect to `dev` (clock charging); result is order-independent.
 ValueBounds SumApproximate(const BoundedValues& values, device::Device* dev);
 
-/// Grouped interval sums; values aligned with group_ids.
+/// Grouped interval sums; values aligned with group_ids. Same device
+/// caveat as SumApproximate.
 std::vector<ValueBounds> GroupedSumApproximate(
     const BoundedValues& values, const std::vector<uint32_t>& group_ids,
     uint64_t num_groups, device::Device* dev);
 
-/// Exact sum over exact values (CPU refinement).
-int64_t SumRefine(const std::vector<int64_t>& exact_values);
+/// Exact sum over exact values (CPU refinement). Morsel-parallel over
+/// `ctx` with per-worker partials merged at the barrier; int64 addition is
+/// associative, so the result is identical for any pool size.
+int64_t SumRefine(const std::vector<int64_t>& exact_values,
+                  const MorselContext& ctx = {});
+
+/// The shared per-worker grouped-accumulation shape of Phase R: runs
+/// body(begin, end, partial) over [0, n) in block-aligned morsels, where
+/// `partial` is the calling worker's private num_groups-sized vector, and
+/// returns the element-wise sum of all partials (merged in worker order —
+/// int64 addition makes the result identical for any pool size).
+/// `bits_per_elem` sizes the default morsel (ctx.morsel_elems overrides).
+/// Thread-safe as long as `body` only reads shared state.
+std::vector<int64_t> ParallelGroupedAccumulate(
+    const MorselContext& ctx, uint64_t n, uint64_t num_groups,
+    uint64_t bits_per_elem,
+    const std::function<void(uint64_t, uint64_t, std::vector<int64_t>&)>&
+        body);
+
+/// Exact per-group sums (CPU refinement); `exact_values` aligned with
+/// `group_ids`, every group id < num_groups. Morsel-parallel over `ctx`:
+/// each worker accumulates into a private num_groups-sized partial vector,
+/// merged in worker order at the barrier — bit-identical to the serial
+/// pass for any pool size.
 std::vector<int64_t> GroupedSumRefine(const std::vector<int64_t>& exact_values,
                                       const std::vector<uint32_t>& group_ids,
-                                      uint64_t num_groups);
+                                      uint64_t num_groups,
+                                      const MorselContext& ctx = {});
 
 /// ----- min / max ---------------------------------------------------------
 
@@ -61,11 +88,12 @@ struct ExtremumCandidates {
 /// Approximate minimum of `target` over a candidate set with certainty
 /// flags (the propagated selection error bounds of Fig 6). `certain` is
 /// aligned with `cands`; an empty span means every candidate is certain.
+/// Survivors keep candidate order. Not thread-safe with respect to `dev`.
 ExtremumCandidates MinApproximate(const bwd::BwdColumn& target,
                                   const Candidates& cands,
                                   std::span<const uint8_t> certain,
                                   device::Device* dev);
-/// Approximate maximum (mirror image).
+/// Approximate maximum (mirror image of MinApproximate, same contracts).
 ExtremumCandidates MaxApproximate(const bwd::BwdColumn& target,
                                   const Candidates& cands,
                                   std::span<const uint8_t> certain,
@@ -73,18 +101,23 @@ ExtremumCandidates MaxApproximate(const bwd::BwdColumn& target,
 
 /// Refines an extremum: keeps the survivors that are in `refined_ids`
 /// (translucent join), reconstructs exact values, reduces.
-/// Returns nullopt when the refined set is empty.
+/// Returns nullopt when the refined set is empty. Morsel-parallel over
+/// `ctx` with per-worker bests merged at the barrier; min/max reduction is
+/// order-independent, so the result is identical for any pool size.
 StatusOr<std::optional<int64_t>> MinRefine(const bwd::BwdColumn& target,
                                            const ExtremumCandidates& approx,
-                                           const cs::OidVec& refined_ids);
+                                           const cs::OidVec& refined_ids,
+                                           const MorselContext& ctx = {});
 StatusOr<std::optional<int64_t>> MaxRefine(const bwd::BwdColumn& target,
                                            const ExtremumCandidates& approx,
-                                           const cs::OidVec& refined_ids);
+                                           const cs::OidVec& refined_ids,
+                                           const MorselContext& ctx = {});
 
 /// ----- avg ---------------------------------------------------------------
 
 /// Bounds of an average from sum bounds and count bounds (count_lo may be
 /// 0; the result is then the widest sound interval for a non-empty input).
+/// Pure function; thread-safe.
 ValueBounds AvgBounds(const ValueBounds& sum, const ValueBounds& count);
 
 }  // namespace wastenot::core

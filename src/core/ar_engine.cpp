@@ -1,7 +1,10 @@
 #include "core/ar_engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <numeric>
 #include <optional>
 #include <sstream>
@@ -128,6 +131,25 @@ struct AffineView {
     return sign >= 0 ? b.Shift(offset) : b.Negate().Shift(offset);
   }
 };
+
+/// Pool selection for ArOptions::num_threads: nullptr = run Phase R
+/// serially inline (num_threads == 1, or the hardware has one core);
+/// 0 = the process-wide default pool; N > 1 = a shared pool of exactly N
+/// workers, created once and reused across executions (the thread-scaling
+/// benches re-run queries per size, so respawning per call would dominate).
+ThreadPool* PhaseRPool(unsigned num_threads) {
+  if (num_threads == 1) return nullptr;
+  if (num_threads == 0) {
+    ThreadPool& def = ThreadPool::Default();
+    return def.num_threads() > 1 ? &def : nullptr;
+  }
+  static std::mutex mu;
+  static std::map<unsigned, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& pool = pools[num_threads];
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
+  return pool.get();
+}
 
 }  // namespace
 
@@ -520,6 +542,24 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
   plan.Phase("refinement subplan (host)");
   WallTimer host_timer;
 
+  // Morsel-parallel execution context for every refinement operator: the
+  // pool options.num_threads selects, plus the accounting that turns
+  // "wall seconds" and "summed worker seconds" into the host_seconds /
+  // host_cpu_seconds split of the breakdown.
+  std::atomic<uint64_t> refine_worker_nanos{0};
+  std::atomic<uint64_t> refine_loop_wall_nanos{0};
+  MorselContext rctx;
+  rctx.pool = PhaseRPool(options.num_threads);
+  rctx.worker_nanos = &refine_worker_nanos;
+  rctx.loop_wall_nanos = &refine_loop_wall_nanos;
+  rctx.morsel_elems = options.morsel_elems;
+  // The engine's own inline loops honor the override too (the operators
+  // check ctx.morsel_elems themselves).
+  auto morsel = [&](uint64_t bits_per_elem) {
+    return rctx.morsel_elems != 0 ? rctx.morsel_elems
+                                  : MorselElems(bits_per_elem);
+  };
+
   // --- fused selection refinement (Algorithm 2) ----------------------------
   RefinedSelection refined;
   if (!select_needs_refine && options.skip_exact_refinement) {
@@ -535,7 +575,7 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
           &fact.column(query.predicates[p].column), query.predicates[p].range,
           pred_values[p].has_value() ? &*pred_values[p] : nullptr});
     }
-    refined = SelectRefine(cands, conjuncts);
+    refined = SelectRefine(cands, conjuncts, /*keep_values=*/false, rctx);
   }
   exec.num_refined = refined.ids.size();
 
@@ -554,7 +594,7 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
     } else {
       plan.Refine("group", "translucent join + residual subgroup");
       WN_ASSIGN_OR_RETURN(final_groups, GroupRefine(group_cols, pre, cands,
-                                                    refined.ids));
+                                                    refined.ids, rctx));
     }
   } else {
     final_groups.group_ids.assign(refined.ids.size(), 0);
@@ -568,25 +608,38 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
     const CaseFilter& filter = indicator_filters.at(key);
     std::vector<uint8_t> flags(refined.ids.size());
     if (ind.exact) {
-      for (uint64_t i = 0; i < refined.ids.size(); ++i) {
-        flags[i] = static_cast<uint8_t>(ind.bounds.lo[refined.positions[i]]);
-      }
+      ParallelForBlocks(rctx, refined.ids.size(), morsel(64),
+                        [&](uint64_t b, uint64_t e, unsigned) {
+                          for (uint64_t i = b; i < e; ++i) {
+                            flags[i] = static_cast<uint8_t>(
+                                ind.bounds.lo[refined.positions[i]]);
+                          }
+                        });
     } else {
       // Ambiguous rows need the dimension residual: ship the fk values of
-      // the refined rows over the bus, then reconstruct host-side.
+      // the refined rows over the bus, then reconstruct host-side. Flag
+      // writes are disjoint per morsel; the ambiguous count is a 1-group
+      // accumulation.
       const bwd::BwdColumn& attr = dim->column(filter.dim_column);
-      uint64_t ambiguous = 0;
-      for (uint64_t i = 0; i < refined.ids.size(); ++i) {
-        const uint64_t pos = refined.positions[i];
-        if (ind.bounds.lo[pos] == ind.bounds.hi[pos]) {
-          flags[i] = static_cast<uint8_t>(ind.bounds.lo[pos]);
-        } else {
-          ++ambiguous;
-          const uint64_t dim_oid = static_cast<uint64_t>(
-              fk_col->Reconstruct(refined.ids[i]) - query.join->fk_base);
-          flags[i] = filter.range.Contains(attr.Reconstruct(dim_oid)) ? 1 : 0;
-        }
-      }
+      const std::vector<int64_t> amb_count = ParallelGroupedAccumulate(
+          rctx, refined.ids.size(), 1, 128,
+          [&](uint64_t b, uint64_t e, std::vector<int64_t>& p) {
+            int64_t amb = 0;
+            for (uint64_t i = b; i < e; ++i) {
+              const uint64_t pos = refined.positions[i];
+              if (ind.bounds.lo[pos] == ind.bounds.hi[pos]) {
+                flags[i] = static_cast<uint8_t>(ind.bounds.lo[pos]);
+              } else {
+                ++amb;
+                const uint64_t dim_oid = static_cast<uint64_t>(
+                    fk_col->Reconstruct(refined.ids[i]) - query.join->fk_base);
+                flags[i] =
+                    filter.range.Contains(attr.Reconstruct(dim_oid)) ? 1 : 0;
+              }
+            }
+            p[0] += amb;
+          });
+      const uint64_t ambiguous = static_cast<uint64_t>(amb_count[0]);
       dev->ChargeTransfer(ambiguous * (sizeof(cs::oid_t) + 1));
       plan.Refine("semijoin", filter.dim_column + " (" +
                                   std::to_string(ambiguous) +
@@ -619,17 +672,19 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
     switch (agg.func) {
       case AggFunc::kCount: {
         plan.Refine("count", agg.label);
-        std::vector<int64_t> counts(num_groups, 0);
         const std::vector<uint8_t>* flags =
             agg.filter.has_value()
                 ? &exact_indicators.at(indicator_key(*agg.filter))
                 : nullptr;
-        for (uint64_t i = 0; i < refined.ids.size(); ++i) {
-          if (flags == nullptr || (*flags)[i]) {
-            ++counts[final_groups.group_ids[i]];
-          }
-        }
-        agg_columns.push_back(std::move(counts));
+        agg_columns.push_back(ParallelGroupedAccumulate(
+            rctx, refined.ids.size(), num_groups, 40,
+            [&](uint64_t b, uint64_t e, std::vector<int64_t>& p) {
+              for (uint64_t i = b; i < e; ++i) {
+                if (flags == nullptr || (*flags)[i]) {
+                  ++p[final_groups.group_ids[i]];
+                }
+              }
+            }));
         break;
       }
       case AggFunc::kMin:
@@ -641,8 +696,8 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
         plan.Refine(agg.func == AggFunc::kMin ? "min" : "max", t.column);
         WN_ASSIGN_OR_RETURN(
             std::optional<int64_t> extremum,
-            want_max ? MaxRefine(col, *state.extremum, refined.ids)
-                     : MinRefine(col, *state.extremum, refined.ids));
+            want_max ? MaxRefine(col, *state.extremum, refined.ids, rctx)
+                     : MinRefine(col, *state.extremum, refined.ids, rctx));
         std::vector<int64_t> out(num_groups,
                                  extremum ? affine.Apply(*extremum) : 0);
         agg_columns.push_back(std::move(out));
@@ -676,16 +731,27 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
           };
           // Host work proportional to the false positives only: walk the
           // candidate positions not present in the (ascending) refined
-          // position list and subtract their contributions.
+          // position list and subtract their contributions. Each morsel
+          // re-seeds its cursor with one binary search, accumulating into
+          // per-worker deltas merged at the barrier.
           std::vector<int64_t> sums = state.exact_candidate_sums;
-          uint64_t next_refined = 0;
-          for (uint64_t p = 0; p < cands.size(); ++p) {
-            if (next_refined < refined.positions.size() &&
-                refined.positions[next_refined] == p) {
-              ++next_refined;
-              continue;
-            }
-            sums[pre.group_ids[p]] -= expr_at(p);
+          {
+            const cs::oid_t* rpos = refined.positions.data();
+            const uint64_t nref = refined.positions.size();
+            const std::vector<int64_t> deltas = ParallelGroupedAccumulate(
+                rctx, cands.size(), sums.size(), 96,
+                [&](uint64_t b, uint64_t e, std::vector<int64_t>& d) {
+                  uint64_t next = static_cast<uint64_t>(
+                      std::lower_bound(rpos, rpos + nref, b) - rpos);
+                  for (uint64_t p = b; p < e; ++p) {
+                    if (next < nref && rpos[next] == p) {
+                      ++next;
+                      continue;
+                    }
+                    d[pre.group_ids[p]] -= expr_at(p);
+                  }
+                });
+            for (uint64_t g = 0; g < sums.size(); ++g) sums[g] += deltas[g];
           }
           // Map surviving pre-groups onto the final (compacted) groups.
           std::vector<int64_t> out(num_groups, 0);
@@ -703,40 +769,48 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
         }
 
         // Destructive distributivity (§IV-G): products are recomputed from
-        // exact operand values host-side.
+        // exact operand values host-side. Morsel-parallel with disjoint
+        // per-row writes; the per-row arithmetic order is unchanged, so
+        // the values are bit-identical to the serial pass.
         plan.Refine("sum", agg.label);
         std::vector<int64_t> values(refined.ids.size(), 1);
-        for (uint64_t t = 0; t < agg.terms.size(); ++t) {
-          const Term& term = agg.terms[t];
-          for (uint64_t i = 0; i < refined.ids.size(); ++i) {
-            const cs::oid_t id = refined.ids[i];
-            int64_t exact;
-            if (term.from_dimension) {
-              const uint64_t dim_oid = static_cast<uint64_t>(
-                  fk_col->Reconstruct(id) - query.join->fk_base);
-              exact = dim->column(term.column).Reconstruct(dim_oid);
-            } else {
-              // Invisible join of the shipped approximation output with the
-              // host residual (Algorithm 2's reconstruction step).
-              const bwd::BwdColumn& col = fact.column(term.column);
-              exact = state.term_values[t].lower[refined.positions[i]] +
-                      static_cast<int64_t>(col.residual().Get(id));
-            }
-            values[i] *= (term.sign >= 0 ? term.offset + exact
-                                         : term.offset - exact);
-          }
-        }
-        if (agg.constant != 1) {
-          for (auto& v : values) v *= agg.constant;
-        }
-        if (agg.filter.has_value()) {
-          const auto& flags = exact_indicators.at(indicator_key(*agg.filter));
-          for (uint64_t i = 0; i < values.size(); ++i) {
-            if (!flags[i]) values[i] = 0;
-          }
-        }
+        const std::vector<uint8_t>* filter_flags =
+            agg.filter.has_value()
+                ? &exact_indicators.at(indicator_key(*agg.filter))
+                : nullptr;
+        ParallelForBlocks(
+            rctx, refined.ids.size(), morsel(256),
+            [&](uint64_t mb, uint64_t me, unsigned) {
+              for (uint64_t t = 0; t < agg.terms.size(); ++t) {
+                const Term& term = agg.terms[t];
+                for (uint64_t i = mb; i < me; ++i) {
+                  const cs::oid_t id = refined.ids[i];
+                  int64_t exact;
+                  if (term.from_dimension) {
+                    const uint64_t dim_oid = static_cast<uint64_t>(
+                        fk_col->Reconstruct(id) - query.join->fk_base);
+                    exact = dim->column(term.column).Reconstruct(dim_oid);
+                  } else {
+                    // Invisible join of the shipped approximation output
+                    // with the host residual (Algorithm 2's reconstruction
+                    // step).
+                    const bwd::BwdColumn& col = fact.column(term.column);
+                    exact = state.term_values[t].lower[refined.positions[i]] +
+                            static_cast<int64_t>(col.residual().Get(id));
+                  }
+                  values[i] *= (term.sign >= 0 ? term.offset + exact
+                                               : term.offset - exact);
+                }
+              }
+              for (uint64_t i = mb; i < me; ++i) {
+                if (agg.constant != 1) values[i] *= agg.constant;
+                if (filter_flags != nullptr && !(*filter_flags)[i]) {
+                  values[i] = 0;
+                }
+              }
+            });
         agg_columns.push_back(GroupedSumRefine(values, final_groups.group_ids,
-                                               num_groups));
+                                               num_groups, rctx));
         break;
       }
     }
@@ -774,6 +848,14 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
   exec.result.SortByKeys();
 
   exec.breakdown.host_seconds = host_timer.Seconds();
+  // CPU seconds consumed = serial wall (host wall minus the parallel
+  // loops' wall) + the summed busy time of every worker inside the loops.
+  // With num_threads == 1 the two accumulators agree and this collapses to
+  // host_seconds.
+  const double loop_wall = refine_loop_wall_nanos.load() * 1e-9;
+  const double loop_busy = refine_worker_nanos.load() * 1e-9;
+  exec.breakdown.host_cpu_seconds =
+      std::max(0.0, exec.breakdown.host_seconds - loop_wall) + loop_busy;
   const auto clock1 = dev->clock().snapshot();
   exec.breakdown.device_seconds = clock1.device - clock0.device;
   exec.breakdown.bus_seconds = clock1.bus - clock0.bus;

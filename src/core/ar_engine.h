@@ -37,7 +37,16 @@ namespace wastenot::core {
 struct ExecutionBreakdown {
   double device_seconds = 0;  ///< simulated co-processor time
   double bus_seconds = 0;     ///< simulated PCI-E time
-  double host_seconds = 0;    ///< measured CPU (refinement) time
+  double host_seconds = 0;    ///< measured CPU (refinement) wall time
+  /// Measured CPU seconds *consumed* by refinement: wall time of the
+  /// serial sections plus the summed busy time of every worker inside the
+  /// morsel-parallel sections. With num_threads == 1 this equals
+  /// host_seconds; under a pool it approaches host_seconds × threads when
+  /// refinement scales, so host_cpu_seconds / host_seconds is the measured
+  /// parallel speedup of Phase R.
+  double host_cpu_seconds = 0;
+  /// Wall-clock total (host_seconds, not host_cpu_seconds — the bars of
+  /// Figs 9-10 stack wall times).
   double total() const { return device_seconds + bus_seconds + host_seconds; }
 };
 
@@ -49,6 +58,17 @@ struct ArOptions {
   /// Skip refinement stages whose inputs are provably exact (the
   /// all-device-resident fast path). Off = always refine (ablation).
   bool skip_exact_refinement = true;
+  /// Host threads for the morsel-parallel refinement phase (Phase R).
+  /// 0 = hardware concurrency (the process-wide default pool, overridable
+  /// with WN_THREADS); 1 = fully serial — the pre-morsel behavior, kept
+  /// for ablation; N > 1 = a shared pool of exactly N workers. Phase R
+  /// results are bit-identical across all settings; only timing moves.
+  unsigned num_threads = 0;
+  /// Morsel size override for Phase R (elements, rounded up to a multiple
+  /// of 64). 0 = per-operator defaults (~256 KiB of packed payload).
+  /// Tests shrink this so small inputs straddle many morsels and the
+  /// parallel merge paths actually run; leave at 0 in production.
+  uint64_t morsel_elems = 0;
 };
 
 /// Everything one A&R execution produces.
@@ -64,6 +84,13 @@ struct ArExecution {
 /// Executes `query` with the A&R engine. `dim` may be null when the query
 /// has no join. All referenced columns must have been decomposed into the
 /// respective BwdTable.
+///
+/// The result (rows, groups, bounds, canonical order) is deterministic for
+/// a given query and data, independent of options.num_threads and of the
+/// device's worker count. Not thread-safe with respect to `dev` (the
+/// simulated clock and arena mutate); concurrent calls on distinct devices
+/// are safe — with options.num_threads == 0 they share the default host
+/// pool, which is itself safe under concurrent ParallelFor* loops.
 StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
                                 const bwd::BwdTable& fact,
                                 const bwd::BwdTable* dim,

@@ -111,18 +111,20 @@ ClusteredBwdColumn::ClusteredSelection ClusteredBwdColumn::SelectApproximate(
 }
 
 cs::OidVec ClusteredBwdColumn::SelectRefine(const ClusteredSelection& sel,
-                                            const cs::RangePred& pred) const {
-  cs::OidVec out;
-  out.reserve(sel.size());
+                                            const cs::RangePred& pred,
+                                            const MorselContext& ctx) const {
   const uint64_t* offsets = offsets_device_.as<uint64_t>();
   const bwd::PackedView res = residual_.view();
+  const uint64_t morsel =
+      AlignMorsel(ctx.morsel_elems != 0
+                      ? ctx.morsel_elems
+                      : MorselElems(spec_.residual_bits + 32));
 
   // Residual-checked emission over positions [begin, end): all positions
   // of a cluster share its digit, so walk whole digit runs — one offsets
   // lookup per cluster instead of a binary search per position — and
   // block-decode each run's residuals through the bulk codec.
-  auto emit_checked = [&](uint64_t begin, uint64_t end) {
-    if (begin >= end) return;
+  auto emit_checked = [&](uint64_t begin, uint64_t end, cs::OidVec* frag) {
     uint64_t digit = static_cast<uint64_t>(
         std::upper_bound(offsets, offsets + num_digits_ + 1, begin) - offsets -
         1);
@@ -136,7 +138,7 @@ cs::OidVec ClusteredBwdColumn::SelectRefine(const ClusteredSelection& sel,
         bwd::UnpackRange(res, b0, lanes, res_digits);
         for (uint32_t j = 0; j < lanes; ++j) {
           if (pred.Contains(spec_.Reassemble(digit, res_digits[j]))) {
-            out.push_back(row_map_[b0 + j]);
+            frag->push_back(row_map_[b0 + j]);
           }
         }
       }
@@ -144,14 +146,54 @@ cs::OidVec ClusteredBwdColumn::SelectRefine(const ClusteredSelection& sel,
     }
   };
 
-  // Leading boundary cluster: residual check required.
-  emit_checked(sel.begin, sel.certain_begin);
-  // Interior clusters: certain — copy ids straight out of the row map
-  // (sequential, the locality the clustering buys).
-  out.insert(out.end(), row_map_.begin() + sel.certain_begin,
-             row_map_.begin() + sel.certain_end);
-  // Trailing boundary cluster.
-  emit_checked(std::max(sel.certain_end, sel.begin), sel.end);
+  // A checked region, morselized: each morsel walks its sub-range into a
+  // private fragment; concatenation in morsel order preserves clustered
+  // position order, so the output is bit-identical to a serial walk.
+  auto checked_region = [&](uint64_t begin,
+                            uint64_t end) -> std::vector<cs::OidVec> {
+    const uint64_t len = end > begin ? end - begin : 0;
+    std::vector<cs::OidVec> fragments(bits::CeilDiv(len, morsel));
+    ParallelForBlocks(ctx, len, morsel,
+                      [&](uint64_t b, uint64_t e, unsigned) {
+                        emit_checked(begin + b, begin + e,
+                                     &fragments[b / morsel]);
+                      });
+    return fragments;
+  };
+
+  // Leading and trailing boundary clusters: residual check required.
+  const std::vector<cs::OidVec> lead =
+      checked_region(sel.begin, sel.certain_begin);
+  const std::vector<cs::OidVec> trail =
+      checked_region(std::max(sel.certain_end, sel.begin), sel.end);
+
+  uint64_t lead_total = 0, trail_total = 0;
+  for (const auto& f : lead) lead_total += f.size();
+  for (const auto& f : trail) trail_total += f.size();
+  const uint64_t mid_len = sel.certain_end > sel.certain_begin
+                               ? sel.certain_end - sel.certain_begin
+                               : 0;
+
+  // Assemble with exact output sizing: [lead fragments | certain interior
+  // row-map copy | trail fragments], the interior copied in parallel
+  // morsels (sequential access — the locality the clustering buys).
+  cs::OidVec out(lead_total + mid_len + trail_total);
+  uint64_t cursor = 0;
+  for (const auto& f : lead) {
+    std::copy(f.begin(), f.end(), out.begin() + cursor);
+    cursor += f.size();
+  }
+  ParallelForBlocks(ctx, mid_len, morsel,
+                    [&](uint64_t b, uint64_t e, unsigned) {
+                      std::copy(row_map_.begin() + sel.certain_begin + b,
+                                row_map_.begin() + sel.certain_begin + e,
+                                out.begin() + lead_total + b);
+                    });
+  cursor += mid_len;
+  for (const auto& f : trail) {
+    std::copy(f.begin(), f.end(), out.begin() + cursor);
+    cursor += f.size();
+  }
   return out;
 }
 

@@ -32,6 +32,7 @@
 #include "core/candidates.h"
 #include "device/device.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace wastenot::core {
 
@@ -82,9 +83,13 @@ class ClusteredBwdColumn {
                                        device::Device* dev) const;
 
   /// Refinement: exact original-id result of the predicate. Touches the
-  /// residuals of the boundary clusters only.
+  /// residuals of the boundary clusters only. Output is in clustered
+  /// position order. Morsel-parallel over `ctx` (boundary clusters walked
+  /// per-morsel into fragments, the certain interior copied in parallel);
+  /// bit-identical for any pool size, including the serial default.
   cs::OidVec SelectRefine(const ClusteredSelection& sel,
-                          const cs::RangePred& pred) const;
+                          const cs::RangePred& pred,
+                          const MorselContext& ctx = {}) const;
 
  private:
   bwd::DecompositionSpec spec_;

@@ -155,9 +155,22 @@ ApproxGrouping GroupApproximateSub(const bwd::BwdColumn& column,
   return out;
 }
 
+namespace {
+
+/// One morsel's partial grouping: rows mapped to *local* dense ids plus
+/// the distinct keys in local first-seen order (what the merge consumes).
+struct GroupFragment {
+  std::vector<uint32_t> local_ids;         ///< local group id per morsel row
+  std::vector<uint64_t> fresh_keys;        ///< local first-seen order
+  std::vector<cs::oid_t> fresh_first_ids;  ///< first member per fresh key
+};
+
+}  // namespace
+
 StatusOr<RefinedGrouping> GroupRefine(
     std::span<const bwd::BwdColumn* const> columns, const ApproxGrouping& pre,
-    const Candidates& cands, const cs::OidVec& refined_ids) {
+    const Candidates& cands, const cs::OidVec& refined_ids,
+    const MorselContext& ctx) {
   // Step 1: translucent join — align the pre-grouping (aligned with the
   // candidate list) with the refined subset.
   WN_ASSIGN_OR_RETURN(
@@ -169,53 +182,117 @@ StatusOr<RefinedGrouping> GroupRefine(
   RefinedGrouping out;
   const uint64_t n = refined_ids.size();
   out.group_ids.resize(n);
+  if (n == 0) return out;
 
   bool any_residual = false;
+  uint64_t residual_bits = 0;
   for (const bwd::BwdColumn* col : columns) {
-    any_residual = any_residual || !col->spec().fully_resident();
+    if (!col->spec().fully_resident()) {
+      any_residual = true;
+      residual_bits += col->spec().residual_bits;
+    }
   }
 
-  if (!any_residual) {
-    // No residuals: pre-groups are exact; compact away emptied groups.
-    std::vector<uint32_t> remap(pre.num_groups,
-                                std::numeric_limits<uint32_t>::max());
-    for (uint64_t i = 0; i < n; ++i) {
-      const uint32_t g = pre.group_ids[positions[i]];
-      if (remap[g] == std::numeric_limits<uint32_t>::max()) {
-        remap[g] = static_cast<uint32_t>(out.num_groups++);
-        out.first_ids.push_back(refined_ids[i]);
+  // Step 2 (morselized): each morsel computes its rows' group keys — the
+  // pre-group id alone when every grouping column is fully resident (the
+  // pre-groups are then exact and only emptied groups get compacted away),
+  // otherwise the pre-group id mixed with the residual digits of every
+  // decomposed column (the subgrouping; the same invisible-join gather as
+  // refinement) — and assigns dense *local* ids from a per-morsel table.
+  const uint64_t morsel = AlignMorsel(
+      ctx.morsel_elems != 0 ? ctx.morsel_elems
+                            : MorselElems(32 + residual_bits + 64));
+  const uint64_t num_morsels = bits::CeilDiv(n, morsel);
+  std::vector<GroupFragment> fragments(num_morsels);
+  // Per-worker dense-remap scratch for the fully-resident fast path:
+  // initialized once per worker (not per morsel) and invalidated between
+  // morsels by a generation mark, so the whole loop stays
+  // O(workers * num_groups + n) — the serial case matches the pre-morsel
+  // compaction exactly.
+  struct RemapScratch {
+    std::vector<uint32_t> gen;  ///< morsel index + 1 that last wrote a slot
+    std::vector<uint32_t> id;   ///< that morsel's local id for the slot
+  };
+  std::vector<RemapScratch> scratch(ctx.workers());
+  ParallelForBlocks(ctx, n, morsel, [&](uint64_t mb, uint64_t me, unsigned w) {
+    GroupFragment& frag = fragments[mb / morsel];
+    frag.local_ids.resize(me - mb);
+    if (!any_residual) {
+      // Fast path: keys are the (already dense) pre-group ids, so the
+      // per-worker remap array replaces the hash table — one O(1) index
+      // per row.
+      RemapScratch& s = scratch[w];
+      if (s.gen.size() != pre.num_groups) {
+        s.gen.assign(pre.num_groups, 0);
+        s.id.resize(pre.num_groups);
       }
-      out.group_ids[i] = remap[g];
+      const uint32_t mark = static_cast<uint32_t>(mb / morsel) + 1;
+      for (uint64_t i = mb; i < me; ++i) {
+        const uint32_t g = pre.group_ids[positions[i]];
+        if (s.gen[g] != mark) {
+          s.gen[g] = mark;
+          s.id[g] = static_cast<uint32_t>(frag.fresh_keys.size());
+          frag.fresh_keys.push_back(g);
+          frag.fresh_first_ids.push_back(refined_ids[i]);
+        }
+        frag.local_ids[i - mb] = s.id[g];
+      }
+      return;
     }
-    return out;
-  }
-
-  // Step 2: subgrouping — split each pre-group by the residual digits of
-  // every decomposed grouping column, block-gathered per column (the same
-  // invisible-join access as refinement).
-  DigitGroupTable table(pre.num_groups * 4 + 16);
-  uint64_t keys[bwd::kPackedBlockElems];
-  uint64_t res_digits[bwd::kPackedBlockElems];
-  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
-    const uint32_t lanes =
-        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
-    for (uint32_t j = 0; j < lanes; ++j) {
-      keys[j] = pre.group_ids[positions[b0 + j]];
-    }
-    for (const bwd::BwdColumn* col : columns) {
-      if (col->spec().fully_resident()) continue;
-      bwd::GatherPacked(col->residual().view(), refined_ids.data() + b0, lanes,
-                        res_digits);
+    DigitGroupTable table(256);
+    uint64_t num_local = 0;
+    uint64_t keys[bwd::kPackedBlockElems];
+    uint64_t res_digits[bwd::kPackedBlockElems];
+    for (uint64_t b0 = mb; b0 < me; b0 += bwd::kPackedBlockElems) {
+      const uint32_t lanes =
+          static_cast<uint32_t>(std::min(me - b0, bwd::kPackedBlockElems));
       for (uint32_t j = 0; j < lanes; ++j) {
-        keys[j] = Mix64(keys[j] * 0x9e3779b97f4a7c15ULL ^ res_digits[j]);
+        keys[j] = pre.group_ids[positions[b0 + j]];
+      }
+      for (const bwd::BwdColumn* col : columns) {
+        if (col->spec().fully_resident()) continue;
+        bwd::GatherPacked(col->residual().view(), refined_ids.data() + b0,
+                          lanes, res_digits);
+        for (uint32_t j = 0; j < lanes; ++j) {
+          keys[j] = Mix64(keys[j] * 0x9e3779b97f4a7c15ULL ^ res_digits[j]);
+        }
+      }
+      for (uint32_t j = 0; j < lanes; ++j) {
+        bool fresh = false;
+        frag.local_ids[b0 - mb + j] = table.IdOf(keys[j], &num_local, &fresh);
+        if (fresh) {
+          frag.fresh_keys.push_back(keys[j]);
+          frag.fresh_first_ids.push_back(refined_ids[b0 + j]);
+        }
       }
     }
-    for (uint32_t j = 0; j < lanes; ++j) {
+  });
+
+  // Merge the partial tables by key: walking morsels in order and each
+  // morsel's fresh keys in local first-seen order visits keys in exactly
+  // the global first-occurrence order a single serial pass would, so the
+  // dense ids (and first_ids) come out bit-identical to the serial result.
+  DigitGroupTable global_table(pre.num_groups * 4 + 16);
+  std::vector<std::vector<uint32_t>> remap(num_morsels);
+  for (uint64_t m = 0; m < num_morsels; ++m) {
+    const GroupFragment& frag = fragments[m];
+    remap[m].resize(frag.fresh_keys.size());
+    for (uint64_t k = 0; k < frag.fresh_keys.size(); ++k) {
       bool fresh = false;
-      out.group_ids[b0 + j] = table.IdOf(keys[j], &out.num_groups, &fresh);
-      if (fresh) out.first_ids.push_back(refined_ids[b0 + j]);
+      remap[m][k] =
+          global_table.IdOf(frag.fresh_keys[k], &out.num_groups, &fresh);
+      if (fresh) out.first_ids.push_back(frag.fresh_first_ids[k]);
     }
   }
+
+  // Rewrite each morsel's local ids through its remap (disjoint ranges).
+  ParallelForBlocks(ctx, n, morsel, [&](uint64_t mb, uint64_t me, unsigned) {
+    const GroupFragment& frag = fragments[mb / morsel];
+    const std::vector<uint32_t>& r = remap[mb / morsel];
+    for (uint64_t i = mb; i < me; ++i) {
+      out.group_ids[i] = r[frag.local_ids[i - mb]];
+    }
+  });
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "core/candidates.h"
 #include "device/device.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace wastenot::core {
 
@@ -36,13 +37,16 @@ struct ApproxGrouping {
 };
 
 /// Pre-groups all rows of `column` (cands == nullptr) or the candidate
-/// subset, by approximation digit, on the device.
+/// subset, by approximation digit, on the device. Group ids are dense and
+/// assigned in first-occurrence (input) order, so the output is
+/// deterministic for a given input. Not thread-safe with respect to `dev`.
 ApproxGrouping GroupApproximate(const bwd::BwdColumn& column,
                                 const Candidates* cands,
                                 device::Device* dev);
 
 /// Subdivides `prior` by `column`'s approximation digits (multi-attribute
-/// grouping). Input alignment must match `prior.group_ids`.
+/// grouping). Input alignment must match `prior.group_ids`. Same
+/// determinism and device caveats as GroupApproximate.
 ApproxGrouping GroupApproximateSub(const bwd::BwdColumn& column,
                                    const Candidates* cands,
                                    const ApproxGrouping& prior,
@@ -60,9 +64,16 @@ struct RefinedGrouping {
 /// residual digits of every decomposed grouping column. `refined_ids` must
 /// be a subset of `cands.ids` in the same permutation; `columns` are the
 /// grouping columns that fed the pre-grouping, in order.
+///
+/// Morsel-parallel over `ctx`: each morsel builds a partial group table,
+/// and the tables are merged by group key in morsel order, so final group
+/// ids keep the global first-occurrence order and the output — group_ids,
+/// num_groups, first_ids — is bit-identical for any pool size (including
+/// the serial default). Thread-safe: shared inputs are read-only.
 StatusOr<RefinedGrouping> GroupRefine(
     std::span<const bwd::BwdColumn* const> columns, const ApproxGrouping& pre,
-    const Candidates& cands, const cs::OidVec& refined_ids);
+    const Candidates& cands, const cs::OidVec& refined_ids,
+    const MorselContext& ctx = {});
 
 }  // namespace wastenot::core
 

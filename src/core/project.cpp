@@ -59,37 +59,47 @@ ApproxValues ProjectApproximate(const bwd::BwdColumn& column,
 
 std::vector<int64_t> ProjectRefine(const bwd::BwdColumn& column,
                                    const cs::OidVec& ids,
-                                   const ApproxValues* approx_aligned) {
+                                   const ApproxValues* approx_aligned,
+                                   const MorselContext& ctx) {
   const uint64_t n = ids.size();
   std::vector<int64_t> out(n);
   const bwd::PackedView residual = column.residual().view();
-  uint64_t res_digits[bwd::kPackedBlockElems];
+  const uint64_t morsel = ctx.morsel_elems != 0
+                              ? ctx.morsel_elems
+                              : MorselElems(column.spec().value_bits + 64);
   if (approx_aligned != nullptr) {
     // Translucent/invisible join of the approximation output with the
     // residual: the aligned lower bounds plus block-gathered residual
-    // digits reassemble the exact values.
-    for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
-      const uint32_t lanes =
-          static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
-      bwd::GatherPacked(residual, ids.data() + b0, lanes, res_digits);
-      for (uint32_t j = 0; j < lanes; ++j) {
-        out[b0 + j] = approx_aligned->lower[b0 + j] +
-                      static_cast<int64_t>(res_digits[j]);
+    // digits reassemble the exact values. Each morsel writes a disjoint,
+    // positionally-aligned output range.
+    ParallelForBlocks(ctx, n, morsel, [&](uint64_t mb, uint64_t me, unsigned) {
+      uint64_t res_digits[bwd::kPackedBlockElems];
+      for (uint64_t b0 = mb; b0 < me; b0 += bwd::kPackedBlockElems) {
+        const uint32_t lanes =
+            static_cast<uint32_t>(std::min(me - b0, bwd::kPackedBlockElems));
+        bwd::GatherPacked(residual, ids.data() + b0, lanes, res_digits);
+        for (uint32_t j = 0; j < lanes; ++j) {
+          out[b0 + j] = approx_aligned->lower[b0 + j] +
+                        static_cast<int64_t>(res_digits[j]);
+        }
       }
-    }
+    });
   } else {
     const bwd::PackedView approx = column.approximation();
     const bwd::DecompositionSpec& spec = column.spec();
-    uint64_t approx_digits[bwd::kPackedBlockElems];
-    for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
-      const uint32_t lanes =
-          static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
-      bwd::GatherPacked(approx, ids.data() + b0, lanes, approx_digits);
-      bwd::GatherPacked(residual, ids.data() + b0, lanes, res_digits);
-      for (uint32_t j = 0; j < lanes; ++j) {
-        out[b0 + j] = spec.Reassemble(approx_digits[j], res_digits[j]);
+    ParallelForBlocks(ctx, n, morsel, [&](uint64_t mb, uint64_t me, unsigned) {
+      uint64_t res_digits[bwd::kPackedBlockElems];
+      uint64_t approx_digits[bwd::kPackedBlockElems];
+      for (uint64_t b0 = mb; b0 < me; b0 += bwd::kPackedBlockElems) {
+        const uint32_t lanes =
+            static_cast<uint32_t>(std::min(me - b0, bwd::kPackedBlockElems));
+        bwd::GatherPacked(approx, ids.data() + b0, lanes, approx_digits);
+        bwd::GatherPacked(residual, ids.data() + b0, lanes, res_digits);
+        for (uint32_t j = 0; j < lanes; ++j) {
+          out[b0 + j] = spec.Reassemble(approx_digits[j], res_digits[j]);
+        }
       }
-    }
+    });
   }
   return out;
 }
@@ -150,7 +160,8 @@ StatusOr<ApproxValues> FkJoinApproximate(const bwd::BwdColumn& fk,
 
 StatusOr<std::vector<int64_t>> FkJoinRefine(const bwd::BwdColumn& fk,
                                             const bwd::BwdColumn& dim_attribute,
-                                            const cs::OidVec& ids) {
+                                            const cs::OidVec& ids,
+                                            const MorselContext& ctx) {
   if (!fk.spec().fully_resident()) {
     return Status::Unsupported("FK join requires a fully resident fk column");
   }
@@ -159,23 +170,31 @@ StatusOr<std::vector<int64_t>> FkJoinRefine(const bwd::BwdColumn& fk,
   const bwd::PackedView fk_view = fk.approximation();
   const bwd::PackedView attr_view = dim_attribute.approximation();
   const bwd::PackedView attr_res = dim_attribute.residual().view();
-  uint64_t dim_oids[bwd::kPackedBlockElems];
-  uint64_t attr_digits[bwd::kPackedBlockElems];
-  uint64_t res_digits[bwd::kPackedBlockElems];
-  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
-    const uint32_t lanes =
-        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
-    bwd::GatherPacked(fk_view, ids.data() + b0, lanes, dim_oids);
-    for (uint32_t j = 0; j < lanes; ++j) {
-      dim_oids[j] = static_cast<uint64_t>(fk.spec().Reassemble(dim_oids[j], 0));
+  const uint64_t morsel =
+      ctx.morsel_elems != 0
+          ? ctx.morsel_elems
+          : MorselElems(fk.spec().approximation_bits() +
+                        dim_attribute.spec().value_bits + 64);
+  ParallelForBlocks(ctx, n, morsel, [&](uint64_t mb, uint64_t me, unsigned) {
+    uint64_t dim_oids[bwd::kPackedBlockElems];
+    uint64_t attr_digits[bwd::kPackedBlockElems];
+    uint64_t res_digits[bwd::kPackedBlockElems];
+    for (uint64_t b0 = mb; b0 < me; b0 += bwd::kPackedBlockElems) {
+      const uint32_t lanes =
+          static_cast<uint32_t>(std::min(me - b0, bwd::kPackedBlockElems));
+      bwd::GatherPacked(fk_view, ids.data() + b0, lanes, dim_oids);
+      for (uint32_t j = 0; j < lanes; ++j) {
+        dim_oids[j] =
+            static_cast<uint64_t>(fk.spec().Reassemble(dim_oids[j], 0));
+      }
+      bwd::GatherPacked(attr_view, dim_oids, lanes, attr_digits);
+      bwd::GatherPacked(attr_res, dim_oids, lanes, res_digits);
+      for (uint32_t j = 0; j < lanes; ++j) {
+        out[b0 + j] =
+            dim_attribute.spec().Reassemble(attr_digits[j], res_digits[j]);
+      }
     }
-    bwd::GatherPacked(attr_view, dim_oids, lanes, attr_digits);
-    bwd::GatherPacked(attr_res, dim_oids, lanes, res_digits);
-    for (uint32_t j = 0; j < lanes; ++j) {
-      out[b0 + j] =
-          dim_attribute.spec().Reassemble(attr_digits[j], res_digits[j]);
-    }
-  }
+  });
   return out;
 }
 

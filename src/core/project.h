@@ -23,6 +23,7 @@
 #include "columnstore/column.h"
 #include "core/candidates.h"
 #include "device/device.h"
+#include "util/thread_pool.h"
 
 namespace wastenot::core {
 
@@ -34,10 +35,14 @@ ApproxValues ProjectApproximate(const bwd::BwdColumn& column,
 
 /// Refinement: exact values at `ids`, reconstructed from the (cached)
 /// approximation and the residual. `approx_aligned`, when given, must be
-/// aligned with `ids` and saves re-reading the approximation.
+/// aligned with `ids` and saves re-reading the approximation. Output is
+/// positionally aligned with `ids`; morsel-parallel over `ctx` with
+/// disjoint output ranges per morsel, so the result is bit-identical for
+/// any pool size (including the serial default).
 std::vector<int64_t> ProjectRefine(const bwd::BwdColumn& column,
                                    const cs::OidVec& ids,
-                                   const ApproxValues* approx_aligned = nullptr);
+                                   const ApproxValues* approx_aligned = nullptr,
+                                   const MorselContext& ctx = {});
 
 /// FK-join approximation: gathers `dim_attribute` approximations for the
 /// fact candidates through the fully-resident fk column:
@@ -50,10 +55,13 @@ StatusOr<ApproxValues> FkJoinApproximate(const bwd::BwdColumn& fk,
                                          const Candidates& cands,
                                          device::Device* dev);
 
-/// FK-join refinement: exact dimension-attribute values for fact `ids`.
+/// FK-join refinement: exact dimension-attribute values for fact `ids`,
+/// positionally aligned with `ids`. Morsel-parallel over `ctx` (disjoint
+/// output ranges); bit-identical for any pool size.
 StatusOr<std::vector<int64_t>> FkJoinRefine(const bwd::BwdColumn& fk,
                                             const bwd::BwdColumn& dim_attribute,
-                                            const cs::OidVec& ids);
+                                            const cs::OidVec& ids,
+                                            const MorselContext& ctx = {});
 
 }  // namespace wastenot::core
 

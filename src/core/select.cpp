@@ -358,33 +358,38 @@ ApproxSelection SelectApproximateOn(const bwd::BwdColumn& column,
   return result;
 }
 
-RefinedSelection SelectRefine(const Candidates& cands,
-                              std::span<const PredicateRefinement> conjuncts,
-                              bool keep_values) {
-  RefinedSelection out;
-  const uint64_t n = cands.size();
-  out.ids.reserve(n);
-  out.positions.reserve(n);
-  if (keep_values) {
-    out.exact_values.resize(conjuncts.size());
-    for (auto& v : out.exact_values) v.reserve(n);
-  }
+namespace {
 
-  // Algorithm 2, fused over every conjunct and blocked over the candidate
-  // list: per 64-candidate block, gather each conjunct's residual digits
-  // in one width-specialized call (the invisible join — the persistent
-  // residual is dense), reconstruct by bitwise concatenation, and AND the
-  // branch-free precise-predicate masks. Lanes die block-wide, so later
-  // conjuncts skip blocks that already failed; survivors are emitted by
-  // bitmask iteration, preserving candidate order.
+/// One morsel's worth of refined output (the fragment shape the prefix-sum
+/// merge concatenates).
+struct RefineFragment {
+  cs::OidVec ids;
+  cs::OidVec positions;
+  std::vector<std::vector<int64_t>> exact_values;
+};
+
+/// Algorithm 2, fused over every conjunct and blocked over candidates
+/// [begin, end) — `begin` is a multiple of 64 (the morsel grid guarantees
+/// it), so the inner 64-candidate blocks coincide with the serial path's.
+/// Per block, gather each conjunct's residual digits in one
+/// width-specialized call (the invisible join — the persistent residual is
+/// dense), reconstruct by bitwise concatenation, and AND the branch-free
+/// precise-predicate masks. Lanes die block-wide, so later conjuncts skip
+/// blocks that already failed; survivors are emitted by bitmask iteration,
+/// preserving candidate order.
+void RefineMorsel(const Candidates& cands,
+                  std::span<const PredicateRefinement> conjuncts,
+                  bool keep_values, uint64_t begin, uint64_t end,
+                  RefineFragment* out) {
   const uint64_t num_conjuncts = conjuncts.size();
+  if (keep_values) out->exact_values.resize(num_conjuncts);
   std::vector<int64_t> exact(num_conjuncts * bwd::kPackedBlockElems);
   uint64_t res_digits[bwd::kPackedBlockElems];
   uint64_t approx_digits[bwd::kPackedBlockElems];
 
-  for (uint64_t b0 = 0; b0 < n; b0 += bwd::kPackedBlockElems) {
+  for (uint64_t b0 = begin; b0 < end; b0 += bwd::kPackedBlockElems) {
     const uint32_t lanes =
-        static_cast<uint32_t>(std::min(n - b0, bwd::kPackedBlockElems));
+        static_cast<uint32_t>(std::min(end - b0, bwd::kPackedBlockElems));
     const cs::oid_t* ids = cands.ids.data() + b0;
     uint64_t pass = bits::LowMask(lanes);
     for (uint64_t c = 0; c < num_conjuncts && pass != 0; ++c) {
@@ -417,16 +422,69 @@ RefinedSelection SelectRefine(const Candidates& cands,
     while (pass != 0) {
       const uint32_t j = static_cast<uint32_t>(std::countr_zero(pass));
       pass &= pass - 1;
-      out.ids.push_back(ids[j]);
-      out.positions.push_back(static_cast<cs::oid_t>(b0 + j));
+      out->ids.push_back(ids[j]);
+      out->positions.push_back(static_cast<cs::oid_t>(b0 + j));
       if (keep_values) {
         for (uint64_t c = 0; c < num_conjuncts; ++c) {
-          out.exact_values[c].push_back(
+          out->exact_values[c].push_back(
               exact[c * bwd::kPackedBlockElems + j]);
         }
       }
     }
   }
+}
+
+}  // namespace
+
+RefinedSelection SelectRefine(const Candidates& cands,
+                              std::span<const PredicateRefinement> conjuncts,
+                              bool keep_values, const MorselContext& ctx) {
+  RefinedSelection out;
+  const uint64_t n = cands.size();
+  const uint64_t num_conjuncts = conjuncts.size();
+  if (keep_values) out.exact_values.resize(num_conjuncts);
+  if (n == 0) return out;
+
+  // Morsel size: ~256 KiB of gathered payload. Per candidate the fused
+  // loop touches each conjunct's residual digit plus either the shipped
+  // 64-bit lower bound or the approximation digit.
+  uint64_t bits_per_cand = 8 * sizeof(cs::oid_t);
+  for (const PredicateRefinement& conj : conjuncts) {
+    bits_per_cand += conj.column->spec().residual_bits + 64;
+  }
+  const uint64_t morsel = AlignMorsel(
+      ctx.morsel_elems != 0 ? ctx.morsel_elems : MorselElems(bits_per_cand));
+  const uint64_t num_morsels = bits::CeilDiv(n, morsel);
+
+  // Pass 1: refine each morsel independently into its own fragment — the
+  // same count-then-fill shape as the selection scan, lifted to morsel
+  // granularity.
+  std::vector<RefineFragment> fragments(num_morsels);
+  ParallelForBlocks(ctx, n, morsel, [&](uint64_t b, uint64_t e, unsigned) {
+    RefineMorsel(cands, conjuncts, keep_values, b, e, &fragments[b / morsel]);
+  });
+
+  // Prefix-sum the fragment sizes into exact output offsets, then fill in
+  // parallel: concatenation in morsel order preserves candidate order, so
+  // the result is bit-identical to the serial pass.
+  std::vector<uint64_t> offsets(num_morsels + 1, 0);
+  for (uint64_t m = 0; m < num_morsels; ++m) {
+    offsets[m + 1] = offsets[m] + fragments[m].ids.size();
+  }
+  const uint64_t total = offsets[num_morsels];
+  out.ids.resize(total);
+  out.positions.resize(total);
+  for (auto& v : out.exact_values) v.resize(total);
+  ParallelForItems(ctx, num_morsels, [&](uint64_t m, unsigned) {
+    const RefineFragment& f = fragments[m];
+    std::copy(f.ids.begin(), f.ids.end(), out.ids.begin() + offsets[m]);
+    std::copy(f.positions.begin(), f.positions.end(),
+              out.positions.begin() + offsets[m]);
+    for (uint64_t c = 0; c < f.exact_values.size(); ++c) {
+      std::copy(f.exact_values[c].begin(), f.exact_values[c].end(),
+                out.exact_values[c].begin() + offsets[m]);
+    }
+  });
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include "columnstore/types.h"
 #include "core/candidates.h"
 #include "device/device.h"
+#include "util/thread_pool.h"
 
 namespace wastenot::core {
 
@@ -35,9 +36,11 @@ struct RelaxedPred {
   uint64_t certain_hi = 0;     ///< certain matches (empty when lo > hi)
   bool none = false;           ///< predicate selects nothing
 
+  /// True when `digit` may contain a matching value (candidate test).
   bool Matches(uint64_t digit) const {
     return !none && digit >= lo_digit && digit <= hi_digit;
   }
+  /// True when every value in `digit`'s interval matches (certainty test).
   bool Certain(uint64_t digit) const {
     return digit >= certain_lo && digit <= certain_hi;
   }
@@ -45,7 +48,7 @@ struct RelaxedPred {
 
 /// Relaxes an exact value predicate into digit space (f(x) of §IV-B).
 /// Guarantees the superset property: any value satisfying `pred` has a
-/// digit within the relaxed range.
+/// digit within the relaxed range. Pure function; thread-safe.
 RelaxedPred RelaxPredicate(const bwd::DecompositionSpec& spec,
                            const cs::RangePred& pred);
 
@@ -61,13 +64,19 @@ struct ApproxSelection {
   cs::OidVec kept_positions;
 };
 
-/// Full-column approximate selection on the device.
+/// Full-column approximate selection on the device. Output candidate ids
+/// are ascending (`cands.sorted`), bit-identically reproducible run to
+/// run. Not thread-safe with respect to `dev` (device charging mutates the
+/// simulated clock); distinct calls on distinct devices may run
+/// concurrently.
 ApproxSelection SelectApproximate(const bwd::BwdColumn& column,
                                   const cs::RangePred& pred,
                                   device::Device* dev);
 
 /// Chained approximate selection restricted to `in` (device gather +
-/// filter). Produces kept_positions into `in`.
+/// filter). Produces kept_positions into `in`; the output preserves the
+/// permutation of `in` (survivors appear in input order). Same device
+/// thread-safety caveat as SelectApproximate.
 ApproxSelection SelectApproximateOn(const bwd::BwdColumn& column,
                                     const cs::RangePred& pred,
                                     const Candidates& in,
@@ -94,9 +103,16 @@ struct RefinedSelection {
 
 /// Algorithm 2, fused over all conjuncts: one pass over the candidates,
 /// reconstructing exact values and re-evaluating every precise predicate.
+///
+/// Morsel-parallel over `ctx` (block-aligned morsels, per-morsel counts →
+/// prefix-sum offsets → parallel fill): the output — ids, positions and
+/// exact_values — preserves candidate order and is bit-identical whether
+/// run serially (default ctx) or on any pool size. Thread-safe: reads are
+/// shared-only, writes go to disjoint output ranges.
 RefinedSelection SelectRefine(const Candidates& cands,
                               std::span<const PredicateRefinement> conjuncts,
-                              bool keep_values = false);
+                              bool keep_values = false,
+                              const MorselContext& ctx = {});
 
 }  // namespace wastenot::core
 

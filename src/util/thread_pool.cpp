@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <latch>
 
 #include "util/env.h"
@@ -97,6 +98,76 @@ void ParallelFor(ThreadPool& pool, uint64_t n,
 void ParallelFor(uint64_t n,
                  const std::function<void(uint64_t, uint64_t)>& body) {
   ParallelFor(ThreadPool::Default(), n, body);
+}
+
+namespace {
+
+/// Monotonic nanoseconds for the MorselContext accounting.
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+uint64_t MorselElems(uint64_t bits_per_elem) {
+  constexpr uint64_t kTargetPayloadBits = 256 * 1024 * 8;  // ~256 KiB
+  return AlignMorsel(kTargetPayloadBits /
+                     std::max<uint64_t>(bits_per_elem, 1));
+}
+
+void ParallelForItems(const MorselContext& ctx, uint64_t num_items,
+                      const std::function<void(uint64_t, unsigned)>& body) {
+  if (num_items == 0) return;
+  const uint64_t t0 = NowNanos();
+  const unsigned workers = ctx.workers();
+  if (workers == 1 || num_items == 1) {
+    for (uint64_t i = 0; i < num_items; ++i) body(i, 0);
+    const uint64_t spent = NowNanos() - t0;
+    if (ctx.worker_nanos != nullptr) ctx.worker_nanos->fetch_add(spent);
+    if (ctx.loop_wall_nanos != nullptr) ctx.loop_wall_nanos->fetch_add(spent);
+    return;
+  }
+  // Dynamic self-scheduling: one task per worker, items claimed from a
+  // shared cursor. Late finishers keep claiming what early finishers left,
+  // so skew in per-item cost cannot idle the pool (the morsel-driven
+  // scheduling of HyPer, minus NUMA placement).
+  const unsigned tasks =
+      static_cast<unsigned>(std::min<uint64_t>(workers, num_items));
+  std::atomic<uint64_t> next{0};
+  std::atomic<uint64_t> busy_nanos{0};
+  std::latch done(static_cast<ptrdiff_t>(tasks));
+  for (unsigned t = 0; t < tasks; ++t) {
+    ctx.pool->Submit([&body, &next, &busy_nanos, &done, num_items, t] {
+      const uint64_t start = NowNanos();
+      for (uint64_t i = next.fetch_add(1); i < num_items;
+           i = next.fetch_add(1)) {
+        body(i, t);
+      }
+      busy_nanos.fetch_add(NowNanos() - start);
+      done.count_down();
+    });
+  }
+  done.wait();
+  if (ctx.worker_nanos != nullptr) ctx.worker_nanos->fetch_add(busy_nanos);
+  if (ctx.loop_wall_nanos != nullptr) {
+    ctx.loop_wall_nanos->fetch_add(NowNanos() - t0);
+  }
+}
+
+void ParallelForBlocks(const MorselContext& ctx, uint64_t n,
+                       uint64_t morsel_elems,
+                       const std::function<void(uint64_t, uint64_t, unsigned)>&
+                           body) {
+  if (n == 0) return;
+  const uint64_t morsel = AlignMorsel(morsel_elems);
+  const uint64_t num_morsels = (n + morsel - 1) / morsel;
+  ParallelForItems(ctx, num_morsels, [&body, n, morsel](uint64_t m, unsigned w) {
+    const uint64_t begin = m * morsel;
+    body(begin, std::min(n, begin + morsel), w);
+  });
 }
 
 }  // namespace wastenot

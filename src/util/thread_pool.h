@@ -1,9 +1,11 @@
-// A fixed-size thread pool plus a ParallelFor convenience used by the
-// simulated-GPU kernel launcher and by the multi-threaded CPU baseline.
+// A fixed-size thread pool plus the data-parallel loop helpers used by the
+// simulated-GPU kernel launcher (ParallelFor) and by the morsel-parallel
+// host refinement phase (ParallelForBlocks / ParallelForItems).
 //
 // The pool is deliberately simple: tasks are std::function, submitted in
 // batches, joined with a latch. Kernel launches are coarse (one task per
-// worker, grid-stride inside), so per-task overhead is irrelevant.
+// worker, grid-stride inside) and refinement morsels are large (~256 KiB of
+// payload each), so per-task overhead is irrelevant.
 
 #ifndef WASTENOT_UTIL_THREAD_POOL_H_
 #define WASTENOT_UTIL_THREAD_POOL_H_
@@ -30,12 +32,23 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Never blocks.
+  /// Enqueues a task. Thread-safe, including from inside a worker task
+  /// (tasks may submit follow-up tasks). The queue is unbounded, so Submit
+  /// never blocks waiting for capacity; it may briefly contend on the pool
+  /// mutex with other submitters and with workers picking up tasks, but it
+  /// never waits for any task to *run*.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have run to completion.
+  /// Blocks until the pool is idle: every task submitted so far — plus any
+  /// task those tasks transitively submit before finishing — has run to
+  /// completion. Tasks submitted by other threads *after* Wait() observes
+  /// an idle pool are not waited for. Do not call Wait() from inside a
+  /// worker task (the pool would need the caller's thread to drain).
+  /// Concurrent loops should prefer the per-call joins of ParallelFor /
+  /// ParallelForItems, which only wait for their own work.
   void Wait();
 
+  /// Number of worker threads (fixed at construction). Thread-safe.
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Process-wide default pool, sized to the hardware (or WN_THREADS).
@@ -56,12 +69,94 @@ class ThreadPool {
 /// Runs body(begin, end) over [0, n) split into roughly even contiguous
 /// chunks, one per worker, on `pool`. Blocks until all chunks are done.
 /// With n == 0 this is a no-op; with a single worker it runs inline.
+/// Chunks partition [0, n) exactly; concurrent ParallelFor calls on one
+/// pool are safe and only join their own chunks.
 void ParallelFor(ThreadPool& pool, uint64_t n,
                  const std::function<void(uint64_t, uint64_t)>& body);
 
 /// ParallelFor on the default pool.
 void ParallelFor(uint64_t n,
                  const std::function<void(uint64_t, uint64_t)>& body);
+
+/// ----- morsel-driven parallelism (the Phase-R host side) -----------------
+
+/// Morsel sizes are always rounded up to a multiple of this, so that a
+/// morsel boundary is always a packed-codec block boundary (64 * width bits
+/// is a whole number of words for every width — see bwd/packed_codec.h).
+/// Workers on adjacent morsels then never touch the same packed word.
+inline constexpr uint64_t kMorselAlignElems = 64;
+
+/// Execution context for the morsel-parallel helpers, threaded through the
+/// refinement operators. Default-constructed it means "run serially inline"
+/// — every operator taking a MorselContext must produce bit-identical
+/// output with and without a pool.
+struct MorselContext {
+  /// Pool to fan morsels out on; nullptr = run serially on the caller's
+  /// thread (today's single-threaded behavior, used for ablation).
+  ThreadPool* pool = nullptr;
+
+  /// When non-null, ParallelForItems/ParallelForBlocks add the *summed*
+  /// per-worker busy time of each loop here (nanoseconds). Under a pool
+  /// this exceeds the loop's wall time; serially the two are equal.
+  std::atomic<uint64_t>* worker_nanos = nullptr;
+
+  /// When non-null, the helpers add each loop's *wall* time here
+  /// (nanoseconds). host_cpu_seconds = host wall − Σ loop wall + Σ worker.
+  std::atomic<uint64_t>* loop_wall_nanos = nullptr;
+
+  /// Morsel size override for ParallelForBlocks callers that honor it
+  /// (the refinement operators). 0 = let each operator pick its default
+  /// (~256 KiB of packed payload). Tests shrink this to force inputs that
+  /// straddle many morsels. Rounded up to a multiple of kMorselAlignElems.
+  uint64_t morsel_elems = 0;
+
+  /// Number of workers loops may use (>= the worker index any body sees).
+  unsigned workers() const {
+    return pool != nullptr ? std::max(1u, pool->num_threads()) : 1;
+  }
+
+  /// True when loops actually fan out (a pool with more than one worker).
+  bool parallel() const { return workers() > 1; }
+};
+
+/// Rounds a requested morsel size up to a multiple of kMorselAlignElems
+/// (minimum one block). ParallelForBlocks applies this internally; callers
+/// that index per-morsel state by `begin / morsel` must apply it too.
+inline uint64_t AlignMorsel(uint64_t morsel_elems) {
+  const uint64_t m = morsel_elems > 0 ? morsel_elems : 1;
+  return (m + kMorselAlignElems - 1) / kMorselAlignElems * kMorselAlignElems;
+}
+
+/// Morsel size (in elements) targeting ~256 KiB of packed payload for
+/// elements `bits_per_elem` wide, rounded up to a multiple of
+/// kMorselAlignElems. Large enough that per-morsel scheduling overhead
+/// vanishes, small enough that n / morsel ≫ workers for imbalance-free
+/// dynamic scheduling.
+uint64_t MorselElems(uint64_t bits_per_elem);
+
+/// Runs body(item, worker) for every item in [0, num_items), dynamically
+/// self-scheduled: workers claim the next unclaimed item from a shared
+/// atomic cursor, so late finishers steal what early finishers left (the
+/// work-stealing-friendly chunking of morsel-driven execution). Blocks
+/// until every item completed. Item order across workers is arbitrary;
+/// `worker` is in [0, ctx.workers()) and is stable within one worker's
+/// items, so bodies may accumulate into per-worker slots without locks.
+/// With no pool (or one worker, or one item) the items run in order,
+/// inline on the calling thread, with worker == 0.
+void ParallelForItems(const MorselContext& ctx, uint64_t num_items,
+                      const std::function<void(uint64_t, unsigned)>& body);
+
+/// Runs body(begin, end, worker) over [0, n) split into contiguous morsels
+/// of `morsel_elems` elements (rounded up to a multiple of
+/// kMorselAlignElems; the final morsel may be shorter). Morsels partition
+/// [0, n) exactly and are claimed dynamically (see ParallelForItems).
+/// Because every interior boundary is a multiple of 64, bodies may use the
+/// packed-codec block kernels and whole-word PackRange writes without any
+/// cross-morsel races. Pass ctx.morsel_elems (when set) or an operator
+/// default for `morsel_elems`.
+void ParallelForBlocks(const MorselContext& ctx, uint64_t n,
+                       uint64_t morsel_elems,
+                       const std::function<void(uint64_t, uint64_t, unsigned)>& body);
 
 }  // namespace wastenot
 

@@ -1,0 +1,348 @@
+// Property tests pinning the morsel-parallel Phase-R operators to the
+// serial path: for every refinement operator, running on a multi-worker
+// pool with morsel sizes small enough that inputs straddle many morsels
+// must be *bit-identical* to the num_threads=1 result — same ids in the
+// same order, same group ids in the same dense numbering, same sums —
+// across widths, selectivities, and sizes (including n < one morsel and
+// n not a multiple of 64).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "core/ar_engine.h"
+#include "core/clustered_column.h"
+#include "core/group.h"
+#include "core/project.h"
+#include "core/select.h"
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+/// Parallel context with a deliberately tiny morsel so even small test
+/// inputs straddle many morsels (the interesting merge paths).
+MorselContext SmallMorselCtx(ThreadPool* pool, uint64_t morsel = 64) {
+  MorselContext ctx;
+  ctx.pool = pool;
+  ctx.morsel_elems = morsel;
+  return ctx;
+}
+
+struct RandomColumn {
+  std::unique_ptr<device::Device> dev;
+  bwd::BwdColumn col;
+
+  RandomColumn(uint64_t n, int64_t lo, int64_t hi, uint32_t device_bits,
+               uint64_t seed) {
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    Xoshiro256 rng(seed);
+    std::vector<int64_t> v(n);
+    for (auto& x : v) {
+      x = lo + static_cast<int64_t>(
+                   rng.Below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+    cs::Column base = cs::Column::FromI64(v);
+    base.ComputeStats();
+    auto decomposed = bwd::BwdColumn::Decompose(base, device_bits, dev.get());
+    EXPECT_TRUE(decomposed.ok()) << decomposed.status().ToString();
+    col = std::move(decomposed).value();
+  }
+};
+
+TEST(ParallelRefineTest, SelectRefineBitIdenticalAcrossPoolAndMorselSizes) {
+  ThreadPool pool2(2), pool4(4);
+  Xoshiro256 rng(99);
+  // Sizes chosen to hit: below one block, exactly blocks, straddling
+  // morsels, and a non-multiple-of-64 tail beyond several morsels.
+  for (uint64_t n : {1ull, 37ull, 64ull, 65ull, 640ull, 1000ull, 5003ull}) {
+    const uint32_t bits_a = 4 + static_cast<uint32_t>(rng.Below(24));
+    const uint32_t bits_b = 4 + static_cast<uint32_t>(rng.Below(24));
+    RandomColumn a(n, -500, 200000, bits_a, n * 31 + 7);
+    RandomColumn b(n, 0, 1 << 19, bits_b, n * 57 + 11);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    for (double sel : {0.01, 0.1, 0.9}) {
+      const cs::RangePred pred_a{
+          -500, -500 + static_cast<int64_t>(200500 * sel)};
+      const cs::RangePred pred_b{100, 1 << 18};
+      ApproxSelection s = SelectApproximate(a.col, pred_a, a.dev.get());
+
+      PredicateRefinement conjuncts[2];
+      conjuncts[0].column = &a.col;
+      conjuncts[0].pred = pred_a;
+      conjuncts[0].approx = &s.values;
+      conjuncts[1].column = &b.col;
+      conjuncts[1].pred = pred_b;
+      conjuncts[1].approx = nullptr;
+
+      const RefinedSelection serial =
+          SelectRefine(s.cands, conjuncts, /*keep_values=*/true);
+      for (ThreadPool* pool : {&pool2, &pool4}) {
+        for (uint64_t morsel : {64ull, 192ull}) {
+          const RefinedSelection par =
+              SelectRefine(s.cands, conjuncts, /*keep_values=*/true,
+                           SmallMorselCtx(pool, morsel));
+          ASSERT_EQ(par.ids, serial.ids);
+          ASSERT_EQ(par.positions, serial.positions);
+          ASSERT_EQ(par.exact_values, serial.exact_values);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelRefineTest, GroupRefineBitIdenticalWithAndWithoutResiduals) {
+  ThreadPool pool(4);
+  Xoshiro256 rng(4242);
+  for (uint64_t n : {50ull, 64ull, 129ull, 2000ull, 4095ull}) {
+    // g1 decomposed with a residual (subgrouping path); g2 fully resident
+    // on a second trial flavor (exact pre-group compaction path).
+    for (uint32_t g1_bits : {3u, 32u}) {
+      RandomColumn g1(n, 0, 4000, g1_bits, n * 3 + g1_bits);
+      RandomColumn filt(n, 0, 100000, 8, n * 5 + 1);
+      if (::testing::Test::HasFatalFailure()) return;
+
+      const cs::RangePred pred{1000, 60000};
+      ApproxSelection s = SelectApproximate(filt.col, pred, filt.dev.get());
+      PredicateRefinement conj;
+      conj.column = &filt.col;
+      conj.pred = pred;
+      conj.approx = &s.values;
+      const RefinedSelection refined =
+          SelectRefine(s.cands, std::span(&conj, 1));
+
+      const ApproxGrouping pre =
+          GroupApproximate(g1.col, &s.cands, g1.dev.get());
+      const bwd::BwdColumn* cols[] = {&g1.col};
+
+      auto serial = GroupRefine(cols, pre, s.cands, refined.ids);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+      for (uint64_t morsel : {64ull, 256ull}) {
+        auto par = GroupRefine(cols, pre, s.cands, refined.ids,
+                               SmallMorselCtx(&pool, morsel));
+        ASSERT_TRUE(par.ok()) << par.status().ToString();
+        ASSERT_EQ(par->group_ids, serial->group_ids)
+            << "n=" << n << " g1_bits=" << g1_bits << " morsel=" << morsel;
+        ASSERT_EQ(par->num_groups, serial->num_groups);
+        ASSERT_EQ(par->first_ids, serial->first_ids);
+      }
+    }
+  }
+}
+
+TEST(ParallelRefineTest, SumAndGroupedSumRefineMatchSerial) {
+  ThreadPool pool(4);
+  Xoshiro256 rng(7);
+  for (uint64_t n : {0ull, 1ull, 63ull, 64ull, 1000ull, 9999ull}) {
+    const uint64_t num_groups = 1 + rng.Below(17);
+    std::vector<int64_t> values(n);
+    std::vector<uint32_t> gids(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      values[i] = static_cast<int64_t>(rng.Below(1 << 20)) - (1 << 19);
+      gids[i] = static_cast<uint32_t>(rng.Below(num_groups));
+    }
+    const int64_t serial_sum = SumRefine(values);
+    const std::vector<int64_t> serial_grouped =
+        GroupedSumRefine(values, gids, num_groups);
+    for (uint64_t morsel : {64ull, 320ull}) {
+      const MorselContext ctx = SmallMorselCtx(&pool, morsel);
+      EXPECT_EQ(SumRefine(values, ctx), serial_sum);
+      EXPECT_EQ(GroupedSumRefine(values, gids, num_groups, ctx),
+                serial_grouped);
+    }
+  }
+}
+
+TEST(ParallelRefineTest, ProjectAndFkJoinRefineMatchSerial) {
+  ThreadPool pool(3);
+  Xoshiro256 rng(31);
+  for (uint64_t n : {30ull, 64ull, 777ull, 4096ull}) {
+    RandomColumn val(n, -10000, 90000, 9, n + 1);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    // Candidate ids: random subset with duplicates, arbitrary order.
+    cs::OidVec ids;
+    const uint64_t m = 1 + rng.Below(2 * n);
+    for (uint64_t i = 0; i < m; ++i) {
+      ids.push_back(static_cast<cs::oid_t>(rng.Below(n)));
+    }
+
+    const std::vector<int64_t> serial = ProjectRefine(val.col, ids);
+    for (uint64_t morsel : {64ull, 128ull}) {
+      EXPECT_EQ(ProjectRefine(val.col, ids, nullptr,
+                              SmallMorselCtx(&pool, morsel)),
+                serial);
+    }
+
+    // With aligned approximations (the shipped phase-A output).
+    Candidates cands;
+    cands.ids = ids;
+    ApproxValues approx = ProjectApproximate(val.col, cands, val.dev.get());
+    const std::vector<int64_t> serial_aligned =
+        ProjectRefine(val.col, ids, &approx);
+    EXPECT_EQ(serial_aligned, serial);  // both reconstruct exactly
+    EXPECT_EQ(ProjectRefine(val.col, ids, &approx, SmallMorselCtx(&pool)),
+              serial_aligned);
+  }
+
+  // FK join: fk fully resident into a small dimension attribute.
+  const uint64_t dim_rows = 100, fact_rows = 3000;
+  RandomColumn attr(dim_rows, 0, 5000, 6, 12);
+  std::unique_ptr<device::Device>& dev = attr.dev;
+  std::vector<int64_t> fk_vals(fact_rows);
+  for (uint64_t i = 0; i < fact_rows; ++i) {
+    fk_vals[i] = static_cast<int64_t>(rng.Below(dim_rows));
+  }
+  cs::Column fk_base = cs::Column::FromI64(fk_vals);
+  fk_base.ComputeStats();
+  auto fk = bwd::BwdColumn::Decompose(fk_base, 64, dev.get());
+  ASSERT_TRUE(fk.ok()) << fk.status().ToString();
+  cs::OidVec fact_ids;
+  for (uint64_t i = 0; i < fact_rows; i += 2) {
+    fact_ids.push_back(static_cast<cs::oid_t>(i));
+  }
+  auto serial = FkJoinRefine(*fk, attr.col, fact_ids);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto par = FkJoinRefine(*fk, attr.col, fact_ids, SmallMorselCtx(&pool));
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+  EXPECT_EQ(*par, *serial);
+}
+
+TEST(ParallelRefineTest, ExtremumRefineMatchesSerial) {
+  ThreadPool pool(4);
+  for (uint64_t n : {10ull, 65ull, 3000ull}) {
+    RandomColumn val(n, -5000, 5000, 7, n * 13 + 5);
+    if (::testing::Test::HasFatalFailure()) return;
+
+    Candidates cands;
+    cands.ids.resize(n);
+    for (uint64_t i = 0; i < n; ++i) cands.ids[i] = static_cast<cs::oid_t>(i);
+    const ExtremumCandidates mins =
+        MinApproximate(val.col, cands, {}, val.dev.get());
+    const ExtremumCandidates maxs =
+        MaxApproximate(val.col, cands, {}, val.dev.get());
+    cs::OidVec refined;
+    for (uint64_t i = 0; i < n; i += 3) {
+      refined.push_back(static_cast<cs::oid_t>(i));
+    }
+    auto min_serial = MinRefine(val.col, mins, refined);
+    auto max_serial = MaxRefine(val.col, maxs, refined);
+    ASSERT_TRUE(min_serial.ok() && max_serial.ok());
+    auto min_par = MinRefine(val.col, mins, refined, SmallMorselCtx(&pool));
+    auto max_par = MaxRefine(val.col, maxs, refined, SmallMorselCtx(&pool));
+    ASSERT_TRUE(min_par.ok() && max_par.ok());
+    EXPECT_EQ(*min_par, *min_serial);
+    EXPECT_EQ(*max_par, *max_serial);
+  }
+}
+
+TEST(ParallelRefineTest, ClusteredSelectRefineMatchesSerial) {
+  ThreadPool pool(4);
+  Xoshiro256 rng(555);
+  for (uint64_t n : {80ull, 1000ull, 10000ull}) {
+    std::vector<int64_t> v(n);
+    for (auto& x : v) x = static_cast<int64_t>(rng.Below(1 << 16));
+    cs::Column base = cs::Column::FromI64(v);
+    base.ComputeStats();
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    device::Device dev(spec, 2);
+    auto clustered = ClusteredBwdColumn::Cluster(base, 8, &dev);
+    ASSERT_TRUE(clustered.ok()) << clustered.status().ToString();
+
+    for (int p = 0; p < 6; ++p) {
+      const int64_t lo = static_cast<int64_t>(rng.Below(1 << 16));
+      const int64_t hi = lo + static_cast<int64_t>(rng.Below(1 << 14));
+      const cs::RangePred pred{lo, hi};
+      const auto sel = clustered->SelectApproximate(pred, &dev);
+      const cs::OidVec serial = clustered->SelectRefine(sel, pred);
+      for (uint64_t morsel : {64ull, 256ull}) {
+        EXPECT_EQ(clustered->SelectRefine(sel, pred,
+                                          SmallMorselCtx(&pool, morsel)),
+                  serial)
+            << "n=" << n << " pred=[" << lo << "," << hi << "]";
+      }
+    }
+  }
+}
+
+/// Whole-engine determinism: the same query on the same data must produce
+/// identical results, bounds, and counts for num_threads = 1 (the serial
+/// ablation baseline) and a multi-worker pool.
+TEST(ParallelRefineTest, ExecuteArIdenticalAcrossNumThreads) {
+  const uint64_t n = 40000;
+  Xoshiro256 rng(2024);
+  cs::Table fact_t("fact");
+  std::vector<int32_t> a(n), g(n), v(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int32_t>(rng.Below(1 << 14));
+    g[i] = static_cast<int32_t>(rng.Below(9));
+    v[i] = static_cast<int32_t>(rng.Below(1000));
+  }
+  auto add = [&fact_t](const char* name, std::vector<int32_t>& vals) {
+    cs::Column col = cs::Column::FromI32(vals);
+    col.ComputeStats();
+    (void)fact_t.AddColumn(name, std::move(col));
+  };
+  add("a", a);
+  add("g", g);
+  add("v", v);
+
+  device::DeviceSpec spec;
+  spec.memory_capacity = 256 << 20;
+
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", {1000, 9000}}};
+  q.group_by = {"g"};
+  q.aggregates = {Aggregate::CountStar("cnt"), Aggregate::SumOf("v", "sum_v")};
+
+  // Two decomposition flavors so both aggregate refinement paths run: with
+  // residuals on g/v the engine recomputes products host-side (destructive
+  // distributivity); with g/v fully resident it takes the delta path
+  // (subtracting false positives from fused candidate sums).
+  struct Flavor {
+    uint32_t g_bits, v_bits;
+  };
+  for (const Flavor f : {Flavor{2, 6}, Flavor{32, 32}}) {
+    std::optional<ArExecution> baseline;
+    for (unsigned num_threads : {1u, 3u, 5u}) {
+      // Fresh device per run: the simulated clock is stateful.
+      device::Device dev(spec, 2);
+      auto fact = bwd::BwdTable::Decompose(
+          fact_t,
+          {{"a", 8, bwd::Compression::kBitPacked},
+           {"g", f.g_bits, bwd::Compression::kBitPacked},
+           {"v", f.v_bits, bwd::Compression::kBitPacked}},
+          &dev);
+      ASSERT_TRUE(fact.ok()) << fact.status().ToString();
+      ArOptions opts;
+      opts.num_threads = num_threads;
+      // Tiny morsels: the engine's own inline Phase-R loops (count
+      // partials, delta walk, destructive recompute) must straddle many
+      // morsels so their parallel merges actually execute.
+      opts.morsel_elems = 256;
+      auto exec = ExecuteAr(q, *fact, nullptr, &dev, opts);
+      ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+      EXPECT_GE(exec->breakdown.host_cpu_seconds, 0.0);
+      if (!baseline.has_value()) {
+        baseline = std::move(*exec);
+        continue;
+      }
+      EXPECT_EQ(exec->result, baseline->result) << "threads=" << num_threads;
+      EXPECT_EQ(exec->num_candidates, baseline->num_candidates);
+      EXPECT_EQ(exec->num_refined, baseline->num_refined);
+      EXPECT_EQ(exec->approx.row_count.lo, baseline->approx.row_count.lo);
+      EXPECT_EQ(exec->approx.row_count.hi, baseline->approx.row_count.hi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wastenot::core

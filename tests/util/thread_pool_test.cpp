@@ -71,6 +71,44 @@ TEST(ParallelForTest, ChunksArePartition) {
   EXPECT_EQ(expect_begin, n);
 }
 
+// Regression for the Submit() contract ("never blocks waiting for
+// capacity; safe from worker tasks"): a worker task submits follow-up
+// tasks while the main thread is inside Wait(). Wait() must return only
+// after the transitively-submitted chain has drained — the parent task
+// increments in_flight for the child before it finishes, so the pool is
+// never observed idle mid-chain.
+TEST(ThreadPoolTest, SubmitFromWorkerConcurrentWithWait) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  constexpr int kChain = 500;
+  std::function<void(int)> chained = [&](int remaining) {
+    ran.fetch_add(1);
+    if (remaining > 0) {
+      pool.Submit([&chained, remaining] { chained(remaining - 1); });
+    }
+  };
+  pool.Submit([&chained] { chained(kChain - 1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), kChain);
+}
+
+// Submit storm from several worker tasks racing one Wait(): every task
+// runs exactly once and nothing deadlocks.
+TEST(ThreadPoolTest, SubmitStormFromWorkersWhileWaiting) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&pool, &ran] {
+      ran.fetch_add(1);
+      for (int j = 0; j < 25; ++j) {
+        pool.Submit([&ran] { ran.fetch_add(1); });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 16 + 16 * 25);
+}
+
 TEST(ParallelForTest, ConcurrentCallsDoNotInterfere) {
   ThreadPool pool(8);
   std::atomic<uint64_t> total{0};
@@ -85,6 +123,109 @@ TEST(ParallelForTest, ConcurrentCallsDoNotInterfere) {
   t1.join();
   t2.join();
   EXPECT_EQ(total.load(), 120000u);
+}
+
+// ----- morsel helpers ----------------------------------------------------
+
+TEST(MorselTest, MorselElemsIsBlockAlignedAndPositive) {
+  for (uint64_t bits : {0ull, 1ull, 9ull, 64ull, 100ull, 1ull << 40}) {
+    const uint64_t m = MorselElems(bits);
+    EXPECT_GE(m, kMorselAlignElems) << "bits=" << bits;
+    EXPECT_EQ(m % kMorselAlignElems, 0u) << "bits=" << bits;
+  }
+  // ~256 KiB of payload: 8-bit elements -> 256K of them.
+  EXPECT_EQ(MorselElems(8), 256 * 1024u);
+}
+
+TEST(MorselTest, AlignMorselRoundsUpToBlocks) {
+  EXPECT_EQ(AlignMorsel(0), 64u);
+  EXPECT_EQ(AlignMorsel(1), 64u);
+  EXPECT_EQ(AlignMorsel(64), 64u);
+  EXPECT_EQ(AlignMorsel(65), 128u);
+  EXPECT_EQ(AlignMorsel(1000), 1024u);
+}
+
+TEST(MorselTest, ParallelForBlocksPartitionsWithAlignedBoundaries) {
+  ThreadPool pool(5);
+  for (uint64_t n : {0ull, 1ull, 63ull, 64ull, 65ull, 1000ull, 12345ull}) {
+    MorselContext ctx;
+    ctx.pool = &pool;
+    std::mutex mu;
+    std::vector<std::pair<uint64_t, uint64_t>> ranges;
+    ParallelForBlocks(ctx, n, 100,  // rounds to 128
+                      [&](uint64_t b, uint64_t e, unsigned) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        ranges.emplace_back(b, e);
+                      });
+    std::sort(ranges.begin(), ranges.end());
+    uint64_t expect_begin = 0;
+    for (const auto& [b, e] : ranges) {
+      EXPECT_EQ(b, expect_begin);
+      EXPECT_GT(e, b);
+      EXPECT_EQ(b % 64, 0u) << "morsel boundaries must be block-aligned";
+      if (e != n) EXPECT_EQ(e % 64, 0u);
+      expect_begin = e;
+    }
+    EXPECT_EQ(expect_begin, n);
+  }
+}
+
+TEST(MorselTest, ParallelForItemsRunsEachItemOnceWorkerInRange) {
+  ThreadPool pool(4);
+  MorselContext ctx;
+  ctx.pool = &pool;
+  const uint64_t n = 1000;
+  std::vector<std::atomic<uint32_t>> hits(n);
+  std::atomic<bool> worker_ok{true};
+  ParallelForItems(ctx, n, [&](uint64_t i, unsigned w) {
+    hits[i].fetch_add(1);
+    if (w >= ctx.workers()) worker_ok = false;
+  });
+  for (uint64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1u) << i;
+  EXPECT_TRUE(worker_ok.load());
+}
+
+TEST(MorselTest, SerialContextRunsInlineInOrder) {
+  MorselContext ctx;  // no pool: serial
+  EXPECT_EQ(ctx.workers(), 1u);
+  EXPECT_FALSE(ctx.parallel());
+  std::vector<uint64_t> order;
+  ParallelForItems(ctx, 5, [&](uint64_t i, unsigned w) {
+    EXPECT_EQ(w, 0u);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(MorselTest, AccountingAccumulatesWorkerAndWallTime) {
+  ThreadPool pool(3);
+  std::atomic<uint64_t> worker_nanos{0};
+  std::atomic<uint64_t> wall_nanos{0};
+  MorselContext ctx;
+  ctx.pool = &pool;
+  ctx.worker_nanos = &worker_nanos;
+  ctx.loop_wall_nanos = &wall_nanos;
+  std::atomic<uint64_t> sum{0};
+  ParallelForBlocks(ctx, 1 << 16, 64, [&](uint64_t b, uint64_t e, unsigned) {
+    uint64_t s = 0;
+    for (uint64_t i = b; i < e; ++i) s += i;
+    sum.fetch_add(s);
+  });
+  EXPECT_GT(worker_nanos.load(), 0u);
+  EXPECT_GT(wall_nanos.load(), 0u);
+  const uint64_t n = 1 << 16;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(MorselTest, MorselElemsOverrideForcesManyMorsels) {
+  ThreadPool pool(2);
+  MorselContext ctx;
+  ctx.pool = &pool;
+  ctx.morsel_elems = 64;
+  std::atomic<uint64_t> morsels{0};
+  ParallelForBlocks(ctx, 640, ctx.morsel_elems,
+                    [&](uint64_t, uint64_t, unsigned) { morsels.fetch_add(1); });
+  EXPECT_EQ(morsels.load(), 10u);
 }
 
 }  // namespace
