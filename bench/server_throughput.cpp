@@ -1,0 +1,141 @@
+// QueryServer throughput: concurrent query serving on ONE shared simulated
+// device (DESIGN.md §3.3). Sweeps the session-worker count with matching
+// closed-loop client streams over a selectivity-varied TPC-H Q6 workload
+// and reports wall queries/s plus p50/p99 latency — then a mixed-engine
+// run (A&R + classic + streaming round-robin) to exercise all three
+// dispatch paths behind one admission queue.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bwd/bwd_table.h"
+#include "server/query_server.h"
+#include "workloads/tpch.h"
+
+namespace wastenot {
+namespace {
+
+core::QuerySpec StreamQuery(uint64_t i) {
+  return workloads::TpchQ6YearVariant(i);
+}
+
+/// Runs `streams` closed-loop clients against `server` for `seconds`.
+/// Returns wall queries/s over the measurement window.
+double DriveStreams(server::QueryServer* server, unsigned streams,
+                    double seconds, bool mixed_engines) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::vector<std::thread> clients;
+  // Timer starts before the spawn loop so work done while later clients
+  // are still being spawned is inside the measured window.
+  WallTimer timer;
+  for (unsigned s = 0; s < streams; ++s) {
+    clients.emplace_back([&, s] {
+      static constexpr server::EngineKind kMix[] = {
+          server::EngineKind::kAr, server::EngineKind::kClassic,
+          server::EngineKind::kStreaming};
+      uint64_t i = s;
+      while (!stop.load(std::memory_order_relaxed)) {
+        server::QueryRequest req;
+        req.query = StreamQuery(i);
+        req.engine = mixed_engines ? kMix[i % 3] : server::EngineKind::kAr;
+        ++i;
+        auto future = server->Submit(std::move(req));
+        const server::QueryResponse resp = future.get();
+        if (!resp.status.ok()) {
+          // A silent break would deflate the measured rate; make the
+          // dead stream visible.
+          std::fprintf(stderr, "client stream %u aborted: %s\n", s,
+                       resp.status.ToString().c_str());
+          break;
+        }
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (timer.Seconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const double elapsed = timer.Seconds();
+  const uint64_t done = completed.load(std::memory_order_relaxed);
+  stop.store(true);
+  for (auto& c : clients) c.join();
+  return static_cast<double>(done) / elapsed;
+}
+
+int Run() {
+  const double sf = EnvDouble("WN_SCALE_TPCH_FIG11", 0.25);
+  const double secs = bench::BenchSeconds();
+  bench::Header("Server throughput",
+                "concurrent query serving on one shared device",
+                "SF=" + std::to_string(sf) + ", " + std::to_string(secs) +
+                    "s per point (WN_SCALE_TPCH_FIG11, WN_BENCH_SECONDS)");
+
+  cs::Database db;
+  workloads::GenerateTpch(sf, 77, &db);
+  auto dev = std::make_unique<device::Device>(device::DeviceSpec::Gtx680());
+  auto fact = bwd::BwdTable::Decompose(db.table("lineitem"),
+                                       workloads::TpchAllResident(),
+                                       dev.get());
+  auto dim = bwd::BwdTable::Decompose(db.table("part"),
+                                      workloads::TpchPartResident(),
+                                      dev.get());
+  if (!fact.ok() || !dim.ok()) return 1;
+  const server::QueryServer::Backend backend{&db, &*fact, &*dim, dev.get()};
+
+  std::printf("%-24s %12s %12s %12s\n", "configuration", "queries/s",
+              "p50 (ms)", "p99 (ms)");
+  auto report = [](const std::string& name, double qps,
+                   const server::ServerStats& stats) {
+    std::printf("%-24s %12.1f %12.2f %12.2f\n", name.c_str(), qps,
+                stats.p50_latency_seconds * 1e3,
+                stats.p99_latency_seconds * 1e3);
+    std::printf("# csv,%s,%.3f,%.4f,%.4f\n", name.c_str(), qps,
+                stats.p50_latency_seconds * 1e3,
+                stats.p99_latency_seconds * 1e3);
+  };
+
+  // A&R-only sweep: workers == client streams, all on one device.
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    server::ServerOptions opts;
+    opts.num_workers = workers;
+    opts.queue_capacity = 4 * workers;
+    server::QueryServer server(backend, opts);
+    const double qps = DriveStreams(&server, workers, secs,
+                                    /*mixed_engines=*/false);
+    const server::ServerStats stats = server.stats();
+    server.Shutdown();
+    report("A&R x" + std::to_string(workers), qps, stats);
+    bench::JsonAppend("ar_qps", workers, qps, "q/s");
+    bench::JsonAppend("ar_p50", workers, stats.p50_latency_seconds * 1e3,
+                      "ms");
+    bench::JsonAppend("ar_p99", workers, stats.p99_latency_seconds * 1e3,
+                      "ms");
+  }
+
+  // Mixed engines behind one queue: every dispatch path concurrently.
+  {
+    server::ServerOptions opts;
+    opts.num_workers = 4;
+    opts.queue_capacity = 16;
+    server::QueryServer server(backend, opts);
+    const double qps = DriveStreams(&server, 4, secs, /*mixed_engines=*/true);
+    const server::ServerStats stats = server.stats();
+    server.Shutdown();
+    report("mixed x4", qps, stats);
+    bench::JsonAppend("mixed_qps", 4, qps, "q/s");
+    bench::JsonAppend("mixed_p99", 4, stats.p99_latency_seconds * 1e3, "ms");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wastenot
+
+int main(int argc, char** argv) {
+  wastenot::bench::ParseArgs(argc, argv);
+  return wastenot::Run();
+}

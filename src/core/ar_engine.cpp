@@ -214,7 +214,11 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
 
   ArExecution exec;
   PlanWriter plan;
-  const auto clock0 = dev->clock().snapshot();
+  // Per-query clock attribution: every simulated charge this thread makes
+  // below lands in this scope as well as the global clock, so concurrent
+  // executions on one shared device each get their own breakdown
+  // (snapshot deltas would charge them each other's kernels).
+  device::SimClock::QueryScope query_clock(&dev->clock());
   const uint64_t num_preds = query.predicates.size();
 
   // ======================== Phase A: approximate ===========================
@@ -856,9 +860,8 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
   const double loop_busy = refine_worker_nanos.load() * 1e-9;
   exec.breakdown.host_cpu_seconds =
       std::max(0.0, exec.breakdown.host_seconds - loop_wall) + loop_busy;
-  const auto clock1 = dev->clock().snapshot();
-  exec.breakdown.device_seconds = clock1.device - clock0.device;
-  exec.breakdown.bus_seconds = clock1.bus - clock0.bus;
+  exec.breakdown.device_seconds = query_clock.device_seconds();
+  exec.breakdown.bus_seconds = query_clock.bus_seconds();
   exec.plan_text = plan.Render();
   return exec;
 }

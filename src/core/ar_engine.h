@@ -87,10 +87,17 @@ struct ArExecution {
 ///
 /// The result (rows, groups, bounds, canonical order) is deterministic for
 /// a given query and data, independent of options.num_threads and of the
-/// device's worker count. Not thread-safe with respect to `dev` (the
-/// simulated clock and arena mutate); concurrent calls on distinct devices
-/// are safe — with options.num_threads == 0 they share the default host
-/// pool, which is itself safe under concurrent ParallelFor* loops.
+/// device's worker count.
+///
+/// Thread-safe with respect to `dev`: every shared device structure the
+/// execution touches (arena, kernel cache, clock, worker pool) is itself
+/// thread-safe, and per-query time attribution goes through a
+/// SimClock::QueryScope on the calling thread, so N concurrent calls on
+/// one shared device return bit-identical results to serial execution
+/// with breakdowns that sum to the global clock delta (DESIGN.md §3.3;
+/// pinned by tests/core/concurrent_ar_test.cpp). With
+/// options.num_threads == 0 concurrent calls share the default host pool,
+/// which is safe under concurrent ParallelFor* loops.
 StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
                                 const bwd::BwdTable& fact,
                                 const bwd::BwdTable* dim,

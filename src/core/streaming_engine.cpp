@@ -40,11 +40,19 @@ StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
     return Status::NotFound("table '" + query.table + "' not found");
   }
   const cs::Table& fact = db.table(query.table);
-  const cs::Table* dim =
-      query.join.has_value() ? &db.table(query.join->dim_table) : nullptr;
+  const cs::Table* dim = nullptr;
+  if (query.join.has_value()) {
+    if (!db.HasTable(query.join->dim_table)) {
+      return Status::NotFound("dimension table '" + query.join->dim_table +
+                              "' not found");
+    }
+    dim = &db.table(query.join->dim_table);
+  }
 
   StreamingExecution exec;
-  const auto clock0 = dev->clock().snapshot();
+  // Per-query clock attribution (see ar_engine.cpp): concurrent streams on
+  // a shared device must not see each other's charges in their breakdowns.
+  device::SimClock::QueryScope query_clock(&dev->clock());
 
   // --- ship inputs to the device (LRU-cached) -----------------------------
   const InputSet inputs = CollectInputs(query);
@@ -130,9 +138,8 @@ StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
                       (query.group_by.size() + query.aggregates.size()) *
                       sizeof(int64_t));
 
-  const auto clock1 = dev->clock().snapshot();
-  exec.breakdown.device_seconds = clock1.device - clock0.device;
-  exec.breakdown.bus_seconds = clock1.bus - clock0.bus;
+  exec.breakdown.device_seconds = query_clock.device_seconds();
+  exec.breakdown.bus_seconds = query_clock.bus_seconds();
   return exec;
 }
 

@@ -35,7 +35,9 @@ struct StreamingExecution {
 /// (uploading on miss), kernels are charged at raw column width, the
 /// result is exact. The cache persists across calls — repeated queries on
 /// a device-resident hot set become transfer-free, oversized hot sets
-/// thrash.
+/// thrash. Thread-safe: concurrent streams may share one device and one
+/// cache (the cache serializes pins internally; clock attribution is
+/// per query via SimClock::QueryScope).
 StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
                                               const cs::Database& db,
                                               device::Device* dev,

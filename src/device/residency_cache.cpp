@@ -5,13 +5,31 @@ namespace wastenot::device {
 StatusOr<ResidencyCache::Access> ResidencyCache::Pin(const std::string& key,
                                                      const void* host_data,
                                                      uint64_t bytes) {
+  // One lock spans lookup, eviction and upload: racing streams pinning the
+  // same key serialize, so the second sees the first's entry and hits
+  // instead of uploading a duplicate. Holding the lock across the upload
+  // also serializes concurrent misses (and stalls hits behind them) —
+  // accepted deliberately: a real device has one DMA engine per direction,
+  // so concurrent host→device transfers serialize on the bus anyway, and
+  // the simulated upload is memcpy-speed. If hit latency under large
+  // concurrent uploads ever matters, per-entry upload states (placeholder
+  // + shared_future) can narrow the critical section.
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
-    ++hits_;
+    if (it->second.buffer->size() == bytes) {
+      ++hits_;
+      lru_.erase(it->second.lru_pos);
+      lru_.push_front(key);
+      it->second.lru_pos = lru_.begin();
+      return Access{true, 0, it->second.buffer};
+    }
+    // Stale entry: the host data under this key changed size, so the
+    // cached buffer is the wrong shape. Invalidate and fall through to the
+    // miss path to re-upload at the new size.
     lru_.erase(it->second.lru_pos);
-    lru_.push_front(key);
-    it->second.lru_pos = lru_.begin();
-    return Access{true, 0, &it->second.buffer};
+    resident_bytes_ -= it->second.buffer->size();
+    entries_.erase(it);
   }
 
   ++misses_;
@@ -19,31 +37,48 @@ StatusOr<ResidencyCache::Access> ResidencyCache::Pin(const std::string& key,
     return Status::DeviceOutOfMemory("buffer '" + key +
                                      "' exceeds device capacity outright");
   }
-  // Evict least-recently-used entries until the upload fits.
-  while (device_->arena().available() < bytes) {
-    if (lru_.empty()) {
-      return Status::DeviceOutOfMemory(
-          "cannot make room for '" + key +
-          "': arena holds non-cache allocations");
+  // Evict least-recently-used entries until the upload fits, then retry
+  // the upload if it still fails: the arena is shared with users outside
+  // this cache's mutex (direct allocations, another cache on the same
+  // device), so headroom observed by the availability check can be gone by
+  // allocation time. An evicted buffer still pinned by another stream
+  // keeps its arena reservation, so the loop keeps evicting (and may
+  // report DeviceOutOfMemory) until enough unreferenced bytes free up.
+  DeviceBuffer buffer;
+  for (;;) {
+    while (device_->arena().available() < bytes) {
+      if (lru_.empty()) {
+        return Status::DeviceOutOfMemory(
+            "cannot make room for '" + key +
+            "': remaining arena bytes are held by non-cache allocations "
+            "or by evicted entries still referenced by other streams");
+      }
+      const std::string victim = lru_.back();
+      lru_.pop_back();
+      auto vit = entries_.find(victim);
+      resident_bytes_ -= vit->second.buffer->size();
+      entries_.erase(vit);  // last reference releases the reservation
+      ++evictions_;
     }
-    const std::string victim = lru_.back();
-    lru_.pop_back();
-    auto vit = entries_.find(victim);
-    resident_bytes_ -= vit->second.buffer.size();
-    entries_.erase(vit);  // DeviceBuffer destructor returns the reservation
-    ++evictions_;
+    StatusOr<DeviceBuffer> uploaded = device_->Upload(host_data, bytes);
+    if (uploaded.ok()) {
+      buffer = std::move(uploaded).value();
+      break;
+    }
+    if (!uploaded.status().IsDeviceOutOfMemory() || lru_.empty()) {
+      return uploaded.status();
+    }
   }
-
-  WN_ASSIGN_OR_RETURN(DeviceBuffer buffer, device_->Upload(host_data, bytes));
   lru_.push_front(key);
-  Entry entry{std::move(buffer), lru_.begin()};
+  Entry entry{std::make_shared<DeviceBuffer>(std::move(buffer)), lru_.begin()};
   auto [pos, inserted] = entries_.emplace(key, std::move(entry));
   (void)inserted;
-  resident_bytes_ += bytes;
-  return Access{false, bytes, &pos->second.buffer};
+  resident_bytes_ += pos->second.buffer->size();
+  return Access{false, bytes, pos->second.buffer};
 }
 
 void ResidencyCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
   resident_bytes_ = 0;

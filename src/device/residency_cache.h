@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "device/device.h"
@@ -19,17 +21,27 @@
 namespace wastenot::device {
 
 /// LRU-managed set of named device buffers backed by a Device's arena.
+///
+/// Thread-safe: concurrent Pin/Clear calls from multiple query streams
+/// serialize on an internal mutex (DESIGN.md §3.3), so a key is uploaded
+/// at most once however many streams race to pin it, and the hit/miss/
+/// eviction counters stay consistent. Returned buffers are shared_ptrs:
+/// an entry another stream evicts (or Clear drops) stays alive — and keeps
+/// its arena reservation — until the last holder releases it.
 class ResidencyCache {
  public:
   explicit ResidencyCache(Device* device) : device_(device) {}
 
   /// Ensures a device copy of `host_data` named `key` exists, uploading it
-  /// (and evicting LRU entries if needed) on a miss. Returns whether the
-  /// call was a hit and how many bytes were transferred.
+  /// (and evicting LRU entries if needed) on a miss. A key match whose
+  /// cached buffer size differs from `bytes` is stale (the host data was
+  /// re-encoded or grew): it is invalidated and re-uploaded, counting as a
+  /// miss. Returns whether the call was a hit and how many bytes were
+  /// transferred.
   struct Access {
     bool hit = false;
     uint64_t bytes_transferred = 0;
-    const DeviceBuffer* buffer = nullptr;
+    std::shared_ptr<const DeviceBuffer> buffer;
   };
   StatusOr<Access> Pin(const std::string& key, const void* host_data,
                        uint64_t bytes);
@@ -37,18 +49,27 @@ class ResidencyCache {
   /// Drops every cached buffer.
   void Clear();
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
-  uint64_t resident_bytes() const { return resident_bytes_; }
+  uint64_t hits() const { return Stat(hits_); }
+  uint64_t misses() const { return Stat(misses_); }
+  uint64_t evictions() const { return Stat(evictions_); }
+  /// Bytes of buffers currently owned by the cache (outstanding shared_ptr
+  /// references to evicted buffers are not counted, though they still hold
+  /// their arena reservation until released).
+  uint64_t resident_bytes() const { return Stat(resident_bytes_); }
 
  private:
   struct Entry {
-    DeviceBuffer buffer;
+    std::shared_ptr<DeviceBuffer> buffer;
     std::list<std::string>::iterator lru_pos;
   };
 
+  uint64_t Stat(const uint64_t& counter) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counter;
+  }
+
   Device* device_;
+  mutable std::mutex mu_;  ///< guards everything below
   std::map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
   uint64_t hits_ = 0;

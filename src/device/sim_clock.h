@@ -1,6 +1,14 @@
 // SimClock: thread-safe accumulator of simulated time, split by phase.
 // Every device kernel and bus transfer charges it; benchmarks read it to
 // print the GPU/CPU/PCI breakdowns of Figs 9 and 10.
+//
+// Concurrent query serving (DESIGN.md §3.3) needs *per-query* attribution
+// on top of the global totals: when N interleaved queries share one
+// device, "snapshot the clock before and after" charges every concurrent
+// query's kernels to whoever happened to be measuring. QueryScope is the
+// fix — a scoped accounting channel that captures exactly the charges made
+// by its own thread while it is alive, while the global counters keep
+// accumulating everything.
 
 #ifndef WASTENOT_DEVICE_SIM_CLOCK_H_
 #define WASTENOT_DEVICE_SIM_CLOCK_H_
@@ -17,16 +25,25 @@ enum class Phase : uint8_t { kDeviceCompute = 0, kBusTransfer = 1, kHostCompute 
 class SimClock {
  public:
   void Add(Phase phase, double seconds) {
-    // Accumulate in nanoseconds to use fetch_add on integers.
-    counters_[static_cast<int>(phase)].fetch_add(
-        static_cast<uint64_t>(seconds * 1e9), std::memory_order_relaxed);
+    // Accumulate in nanoseconds to use fetch_add on integers. QueryScopes
+    // receive the *same* integer quantum, so per-query attributions sum
+    // exactly (in nanoseconds) to the global delta they were charged under.
+    const uint64_t nanos = static_cast<uint64_t>(seconds * 1e9);
+    counters_[static_cast<int>(phase)].fetch_add(nanos,
+                                                 std::memory_order_relaxed);
+    for (QueryScope* s = tls_top(); s != nullptr; s = s->parent_) {
+      if (s->clock_ == this) s->nanos_[static_cast<int>(phase)] += nanos;
+    }
   }
 
   double Seconds(Phase phase) const {
-    return static_cast<double>(
-               counters_[static_cast<int>(phase)].load(
-                   std::memory_order_relaxed)) *
-           1e-9;
+    return static_cast<double>(Nanos(phase)) * 1e-9;
+  }
+
+  /// Raw accumulated nanoseconds of one phase (exact-integer bookkeeping;
+  /// concurrency tests pin per-query sums against this).
+  uint64_t Nanos(Phase phase) const {
+    return counters_[static_cast<int>(phase)].load(std::memory_order_relaxed);
   }
 
   double device_seconds() const { return Seconds(Phase::kDeviceCompute); }
@@ -51,7 +68,50 @@ class SimClock {
     return Breakdown{device_seconds(), bus_seconds(), host_seconds()};
   }
 
+  /// Per-query accounting channel: while alive, captures every charge the
+  /// *constructing thread* makes against `clock` (the global counters are
+  /// unaffected — they still see everything). RAII-scoped and stackable:
+  /// nested scopes on the same clock each receive the charge, so a serving
+  /// layer can wrap an engine that opens its own scope. Charges made by
+  /// other threads — including concurrent queries on the same device — are
+  /// never attributed here, which is exactly what makes interleaved
+  /// executions' breakdowns independent. Must be destroyed on the
+  /// constructing thread, in LIFO order with any other live scopes there.
+  class QueryScope {
+   public:
+    explicit QueryScope(SimClock* clock)
+        : clock_(clock), parent_(tls_top()) {
+      tls_top() = this;
+    }
+    ~QueryScope() { tls_top() = parent_; }
+
+    QueryScope(const QueryScope&) = delete;
+    QueryScope& operator=(const QueryScope&) = delete;
+
+    /// Nanoseconds this scope's thread charged `clock` in `phase`.
+    uint64_t Nanos(Phase phase) const {
+      return nanos_[static_cast<int>(phase)];
+    }
+    double Seconds(Phase phase) const {
+      return static_cast<double>(Nanos(phase)) * 1e-9;
+    }
+    double device_seconds() const { return Seconds(Phase::kDeviceCompute); }
+    double bus_seconds() const { return Seconds(Phase::kBusTransfer); }
+
+   private:
+    friend class SimClock;
+    SimClock* clock_;
+    QueryScope* parent_;  ///< next-outer scope on this thread (any clock)
+    uint64_t nanos_[3] = {0, 0, 0};
+  };
+
  private:
+  /// Top of the constructing thread's scope stack (across all clocks).
+  static QueryScope*& tls_top() {
+    static thread_local QueryScope* top = nullptr;
+    return top;
+  }
+
   std::atomic<uint64_t> counters_[3] = {0, 0, 0};
 };
 

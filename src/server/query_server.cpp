@@ -1,0 +1,255 @@
+#include "server/query_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/classic_engine.h"
+#include "core/streaming_engine.h"
+
+namespace wastenot::server {
+
+QueryServer::QueryServer(Backend backend, ServerOptions options)
+    : backend_(backend),
+      options_(options),
+      streaming_cache_(backend.device) {
+  workers_.reserve(options_.num_workers);
+  for (unsigned w = 0; w < options_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+bool QueryServer::Enqueue(QueryRequest&& request, bool blocking,
+                          std::future<QueryResponse>* out) {
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<QueryResponse> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Submitter accounting: Shutdown blocks until every submitter already
+    // inside this critical path has left, so a destructor racing a
+    // Submit blocked on the full queue never frees members under it.
+    ++active_submitters_;
+    if (blocking) {
+      space_cv_.wait(lock, [this] {
+        return queue_.size() < options_.queue_capacity || shutdown_;
+      });
+    }
+    if (shutdown_ || queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;  // refused admission, full queue or shut down
+      LeaveSubmitter();
+      if (!blocking) return false;
+      // Submit after/through Shutdown: resolve rather than block forever.
+      lock.unlock();
+      QueryResponse response;
+      response.status = Status::Internal("query server is shut down");
+      pending.promise.set_value(std::move(response));
+      *out = std::move(future);
+      return true;
+    }
+    pending.id = next_id_++;
+    pending.admitted.Restart();
+    queue_.push_back(std::move(pending));
+    ++stats_.admitted;
+    stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth,
+                                                queue_.size());
+    LeaveSubmitter();
+    // Notify under the lock: once a submitter has left the critical path,
+    // a racing Shutdown may let destruction proceed, so no member may be
+    // touched after the lock is released.
+    work_cv_.notify_one();
+  }
+  *out = std::move(future);
+  return true;
+}
+
+void QueryServer::LeaveSubmitter() {
+  --active_submitters_;
+  if (shutdown_ && active_submitters_ == 0) submitters_cv_.notify_all();
+}
+
+std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
+  std::future<QueryResponse> future;
+  Enqueue(std::move(request), /*blocking=*/true, &future);
+  return future;
+}
+
+bool QueryServer::TrySubmit(QueryRequest request,
+                            std::future<QueryResponse>* out) {
+  return Enqueue(std::move(request), /*blocking=*/false, out);
+}
+
+void QueryServer::WorkerLoop(unsigned worker) {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+      if (shutdown_) return;  // Shutdown cancels whatever is still queued
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_workers_;
+    }
+    space_cv_.notify_one();
+
+    const double queue_seconds = pending.admitted.Seconds();
+    QueryResponse response = Execute(pending.request, worker);
+    response.id = pending.id;
+    response.queue_seconds = queue_seconds;
+    response.latency_seconds = pending.admitted.Seconds();
+    RecordCompletion(&response);
+    pending.promise.set_value(std::move(response));
+
+    // The worker counts as busy until after the promise resolves, so a
+    // Drain() returning on the idle signal never races an unready future.
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_workers_;
+      idle = queue_.empty() && busy_workers_ == 0;
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+QueryResponse QueryServer::Execute(const QueryRequest& request,
+                                   unsigned worker) {
+  QueryResponse response;
+  response.worker = worker;
+  switch (request.engine) {
+    case EngineKind::kAr: {
+      if (backend_.fact == nullptr || backend_.device == nullptr) {
+        response.status =
+            Status::InvalidArgument("server has no A&R backend (fact/device)");
+        return response;
+      }
+      auto exec = core::ExecuteAr(request.query, *backend_.fact, backend_.dim,
+                                  backend_.device, options_.ar_options);
+      response.status = exec.status();
+      if (exec.ok()) {
+        response.result = std::move(exec->result);
+        response.breakdown = exec->breakdown;
+      }
+      return response;
+    }
+    case EngineKind::kClassic: {
+      if (backend_.db == nullptr) {
+        response.status =
+            Status::InvalidArgument("server has no classic backend (db)");
+        return response;
+      }
+      WallTimer timer;
+      auto result = core::ExecuteClassic(request.query, *backend_.db);
+      response.status = result.status();
+      if (result.ok()) {
+        response.result = std::move(*result);
+        response.breakdown.host_seconds = timer.Seconds();
+        response.breakdown.host_cpu_seconds = response.breakdown.host_seconds;
+      }
+      return response;
+    }
+    case EngineKind::kStreaming: {
+      if (backend_.db == nullptr || backend_.device == nullptr) {
+        response.status = Status::InvalidArgument(
+            "server has no streaming backend (db/device)");
+        return response;
+      }
+      auto exec = core::ExecuteStreaming(request.query, *backend_.db,
+                                         backend_.device, &streaming_cache_);
+      response.status = exec.status();
+      if (exec.ok()) {
+        response.result = std::move(exec->result);
+        response.breakdown = exec->breakdown;
+      }
+      return response;
+    }
+  }
+  response.status = Status::Internal("unknown engine kind");
+  return response;
+}
+
+void QueryServer::RecordCompletion(QueryResponse* response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  response->sequence = next_sequence_++;
+  if (response->status.ok()) {
+    ++stats_.completed;
+  } else {
+    ++stats_.failed;
+  }
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(response->latency_seconds);
+  } else {
+    latencies_[latency_next_ % kLatencyWindow] = response->latency_seconds;
+  }
+  ++latency_next_;
+}
+
+void QueryServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] {
+    return (queue_.empty() && busy_workers_ == 0) || shutdown_;
+  });
+}
+
+void QueryServer::Shutdown() {
+  // Serializes concurrent Shutdown callers (e.g. an explicit Shutdown
+  // racing the destructor): the second blocks here until the first has
+  // joined every worker, so no caller returns while members are in use.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  std::deque<Pending> cancelled;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;  // a prior holder of shutdown_mu_ finished it
+    shutdown_ = true;
+    cancelled.swap(queue_);
+    stats_.cancelled += cancelled.size();
+    // Wake submitters blocked on queue space and wait for every submitter
+    // currently inside Enqueue's critical path to leave, so members are
+    // not destroyed under a Submit that raced this shutdown.
+    space_cv_.notify_all();
+    submitters_cv_.wait(lock, [this] { return active_submitters_ == 0; });
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (auto& pending : cancelled) {
+    QueryResponse response;
+    response.id = pending.id;
+    response.status = Status::Internal("query server shut down before serving");
+    pending.promise.set_value(std::move(response));
+  }
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+ServerStats QueryServer::stats() const {
+  std::vector<double> latencies;
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+    out.queue_depth = queue_.size();
+    latencies = latencies_;
+  }
+  const double elapsed = uptime_.Seconds();
+  out.qps = elapsed > 0 ? static_cast<double>(out.completed) / elapsed : 0;
+  std::sort(latencies.begin(), latencies.end());
+  auto percentile = [&latencies](double fraction) {
+    if (latencies.empty()) return 0.0;
+    return latencies[std::min(
+        latencies.size() - 1,
+        static_cast<size_t>(fraction *
+                            static_cast<double>(latencies.size())))];
+  };
+  out.p50_latency_seconds = percentile(0.50);
+  out.p99_latency_seconds = percentile(0.99);
+  return out;
+}
+
+uint64_t QueryServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace wastenot::server

@@ -1,0 +1,189 @@
+// QueryServer: the concurrent serving layer over one shared simulated
+// device (DESIGN.md §3.3).
+//
+// The paper's throughput argument (§VI-E, Fig 11: "A Gap in the Memory
+// Wall") is about *concurrent streams* — CPU query streams and A&R streams
+// running at once and adding up. This layer makes that regime executable:
+// a fixed pool of session workers pulls QueryRequests from a bounded
+// admission queue and dispatches them to the A&R, classic or streaming
+// engine, all against one Device whose shared structures (arena, kernel
+// cache, clock, residency cache) are individually thread-safe and whose
+// time attribution is per query (SimClock::QueryScope). Each request
+// resolves a future with its result + ExecutionBreakdown; the server
+// aggregates qps, latency percentiles and queue depth.
+
+#ifndef WASTENOT_SERVER_QUERY_SERVER_H_
+#define WASTENOT_SERVER_QUERY_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bwd/bwd_table.h"
+#include "columnstore/database.h"
+#include "core/ar_engine.h"
+#include "core/query.h"
+#include "device/device.h"
+#include "device/residency_cache.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace wastenot::server {
+
+/// Which engine a request is served by.
+enum class EngineKind : uint8_t { kAr, kClassic, kStreaming };
+
+/// One query admitted to the server.
+struct QueryRequest {
+  core::QuerySpec query;
+  EngineKind engine = EngineKind::kAr;
+};
+
+/// What a request's future resolves to.
+struct QueryResponse {
+  /// Admission order, monotonic per server starting at 1; 0 marks a
+  /// request refused before admission (Submit during/after Shutdown).
+  uint64_t id = 0;
+  Status status;    ///< engine status; result/breakdown valid only if ok
+  core::QueryResult result;
+  core::ExecutionBreakdown breakdown;
+  double queue_seconds = 0;    ///< admission → dequeue
+  double latency_seconds = 0;  ///< admission → completion
+  uint64_t sequence = 0;       ///< completion order (monotonic per server)
+  unsigned worker = 0;         ///< which session worker served it
+};
+
+/// Server construction knobs.
+struct ServerOptions {
+  /// Session workers. Each runs one query at a time against the shared
+  /// device. 0 is allowed (nothing drains the queue — admission-control
+  /// tests use it) but a real server wants >= 1.
+  unsigned num_workers = 4;
+  /// Bounded admission queue: Submit blocks when full, TrySubmit rejects.
+  uint64_t queue_capacity = 64;
+  /// Applied to every kAr request. Streams are independent queries, so the
+  /// default keeps Phase R serial per stream (one stream = one thread,
+  /// paper §VI-E); raise num_threads for intra-query parallelism instead.
+  core::ArOptions ar_options = [] {
+    core::ArOptions o;
+    o.num_threads = 1;
+    return o;
+  }();
+};
+
+/// Aggregate serving statistics (since construction).
+struct ServerStats {
+  uint64_t admitted = 0;   ///< accepted into the queue
+  uint64_t rejected = 0;   ///< refused admissions (queue full or shut down)
+  uint64_t completed = 0;  ///< finished with OK status
+  uint64_t failed = 0;     ///< finished with error status
+  uint64_t cancelled = 0;  ///< still queued at Shutdown
+  uint64_t queue_depth = 0;
+  uint64_t max_queue_depth = 0;
+  double qps = 0;  ///< completed / seconds since construction
+  /// Percentiles over the most recent completions (a bounded window, so a
+  /// long-lived server neither grows without bound nor averages away the
+  /// current latency regime).
+  double p50_latency_seconds = 0;
+  double p99_latency_seconds = 0;
+};
+
+/// A fixed pool of session workers serving queries from a bounded queue
+/// against one shared device. All public methods are thread-safe.
+class QueryServer {
+ public:
+  /// Data each engine executes against. `db` backs kClassic/kStreaming,
+  /// `fact`/`dim` back kAr (dim may be null for join-free workloads);
+  /// `device` is shared by every worker. All pointers must outlive the
+  /// server; a backend a request needs but which is null fails that
+  /// request with InvalidArgument rather than the server.
+  struct Backend {
+    const cs::Database* db = nullptr;
+    const bwd::BwdTable* fact = nullptr;
+    const bwd::BwdTable* dim = nullptr;
+    device::Device* device = nullptr;
+  };
+
+  QueryServer(Backend backend, ServerOptions options = {});
+  /// Implies Shutdown(). Shutdown drains submitters already blocked inside
+  /// Submit, but — as with any object — a thread must not *enter* a method
+  /// concurrently with destruction.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Admits `request`, blocking while the queue is full. The future
+  /// resolves when a worker completes the query (or with an Internal
+  /// status if the server shuts down first).
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Non-blocking admission: returns false (and leaves `out` untouched)
+  /// when the queue is full or the server is shutting down.
+  bool TrySubmit(QueryRequest request, std::future<QueryResponse>* out);
+
+  /// Blocks until every admitted request has completed — or until the
+  /// server shuts down, in which case it returns without waiting for
+  /// in-flight work (Shutdown itself joins the workers; queued requests
+  /// are cancelled, so "every admitted request completed" is moot).
+  void Drain();
+
+  /// Stops admission, cancels queued-but-unstarted requests (their futures
+  /// resolve with an Internal status), joins the workers. Idempotent.
+  void Shutdown();
+
+  ServerStats stats() const;
+  uint64_t queue_depth() const;
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    uint64_t id = 0;
+    WallTimer admitted;  ///< started at admission
+  };
+
+  bool Enqueue(QueryRequest&& request, bool blocking,
+               std::future<QueryResponse>* out);
+  /// Decrements active_submitters_ (mu_ held) and, during shutdown,
+  /// signals the drain wait in Shutdown().
+  void LeaveSubmitter();
+  void WorkerLoop(unsigned worker);
+  QueryResponse Execute(const QueryRequest& request, unsigned worker);
+  void RecordCompletion(QueryResponse* response);
+
+  const Backend backend_;
+  const ServerOptions options_;
+  device::ResidencyCache streaming_cache_;  ///< shared by kStreaming requests
+  WallTimer uptime_;
+
+  /// Latency samples kept for the stats() percentiles.
+  static constexpr size_t kLatencyWindow = 4096;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< queue non-empty or shutdown
+  std::condition_variable space_cv_;  ///< queue has room
+  std::condition_variable idle_cv_;   ///< queue empty and workers idle
+  std::condition_variable submitters_cv_;  ///< Enqueue critical path drained
+  std::deque<Pending> queue_;
+  uint64_t next_id_ = 1;        ///< 0 is reserved for never-admitted
+  uint64_t next_sequence_ = 1;
+  unsigned busy_workers_ = 0;
+  unsigned active_submitters_ = 0;  ///< threads inside Enqueue's lock scope
+  bool shutdown_ = false;
+  ServerStats stats_;
+  std::vector<double> latencies_;  ///< ring of the most recent latencies (s)
+  size_t latency_next_ = 0;        ///< ring cursor once the window is full
+
+  std::mutex shutdown_mu_;  ///< serializes Shutdown end-to-end (see .cpp)
+
+  std::vector<std::thread> workers_;  ///< constructed last, joined first
+};
+
+}  // namespace wastenot::server
+
+#endif  // WASTENOT_SERVER_QUERY_SERVER_H_

@@ -219,6 +219,14 @@ core::QuerySpec TpchQ6() {
   return q;
 }
 
+core::QuerySpec TpchQ6YearVariant(uint64_t variant) {
+  core::QuerySpec q = TpchQ6();
+  const int year = 1993 + static_cast<int>(variant % 5);
+  q.predicates[0].range = cs::RangePred::Between(
+      DateToDays(year, 1, 1), DateToDays(year + 1, 1, 1) - 1);
+  return q;
+}
+
 core::QuerySpec TpchQ14() {
   core::QuerySpec q;
   q.name = "TPC-H Q14";

@@ -48,6 +48,11 @@ core::QuerySpec TpchQ1();
 core::QuerySpec TpchQ6();
 core::QuerySpec TpchQ14();
 
+/// Q6 with the shipdate year rotated by `variant` (1993..1997) — the
+/// selectivity-varied per-iteration query of the throughput experiments
+/// (§VI-E), so concurrent streams do not trivially share branch patterns.
+core::QuerySpec TpchQ6YearVariant(uint64_t variant);
+
 /// Decomposition configurations of §VI-D1.
 /// Everything bit-packed and fully device-resident (the "A & R" bars).
 std::vector<bwd::DecomposeRequest> TpchAllResident();

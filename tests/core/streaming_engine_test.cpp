@@ -100,5 +100,17 @@ TEST(StreamingEngineTest, MissingTableSurfacesError) {
   EXPECT_EQ(exec.status().code(), StatusCode::kNotFound);
 }
 
+// Regression: the fact table was validated but the join's dimension table
+// was dereferenced unchecked, so a query naming a missing dimension hit
+// the database.h assert instead of returning NotFound.
+TEST(StreamingEngineTest, MissingDimensionTableSurfacesError) {
+  StreamingFixture f(100, 1 << 20);
+  QuerySpec q = f.Query(50);
+  q.join = JoinSpec{"a", "no_such_dim", 0};
+  auto exec = ExecuteStreaming(q, f.db, f.dev.get(), f.cache.get());
+  EXPECT_EQ(exec.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(exec.status().message().find("no_such_dim"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wastenot::core

@@ -1,5 +1,8 @@
 #include "device/residency_cache.h"
 
+#include <atomic>
+#include <cstring>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -83,6 +86,157 @@ TEST(ResidencyCacheTest, ClearReleasesEverything) {
   cache.Clear();
   EXPECT_EQ(dev.arena().used(), 0u);
   EXPECT_EQ(cache.resident_bytes(), 0u);
+}
+
+// Regression: a key match used to be treated as a hit regardless of size,
+// so re-pinning a key whose host data grew returned the stale, undersized
+// device buffer. A size mismatch must invalidate and re-upload.
+TEST(ResidencyCacheTest, RepinAfterSizeChangeInvalidatesAndReuploads) {
+  Device dev = MakeDevice(1 << 20);
+  ResidencyCache cache(&dev);
+  std::vector<uint8_t> small(1024, 7);
+  auto first = cache.Pin("a", small.data(), small.size());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->buffer->size(), 1024u);
+  first->buffer.reset();  // release so the stale reservation can free
+
+  std::vector<uint8_t> grown(2048, 9);
+  auto second = cache.Pin("a", grown.data(), grown.size());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->hit) << "stale entry must not be served";
+  EXPECT_EQ(second->bytes_transferred, 2048u);
+  ASSERT_EQ(second->buffer->size(), 2048u);
+  EXPECT_EQ(std::memcmp(second->buffer->data(), grown.data(), grown.size()),
+            0);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.resident_bytes(), 2048u)
+      << "bookkeeping must drop the stale entry's bytes";
+  EXPECT_EQ(dev.arena().used(), 2048u);
+
+  auto third = cache.Pin("a", grown.data(), grown.size());
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->hit);
+}
+
+// Shrinking is a size mismatch too (re-encoded host data).
+TEST(ResidencyCacheTest, RepinAfterShrinkInvalidates) {
+  Device dev = MakeDevice(1 << 20);
+  ResidencyCache cache(&dev);
+  std::vector<uint8_t> data(2048, 1);
+  ASSERT_TRUE(cache.Pin("a", data.data(), 2048).ok());
+  auto shrunk = cache.Pin("a", data.data(), 512);
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_FALSE(shrunk->hit);
+  EXPECT_EQ(shrunk->buffer->size(), 512u);
+  EXPECT_EQ(cache.resident_bytes(), 512u);
+}
+
+// An evicted buffer still held by a reader stays alive (and keeps its
+// arena reservation) until the holder releases it.
+TEST(ResidencyCacheTest, EvictedBufferSurvivesWhileHeld) {
+  // Capacity fits a + filler, and pinning b must evict both: a (held by a
+  // reader, so its reservation cannot free) and the filler (unheld, whose
+  // release is what actually makes room for b).
+  Device dev = MakeDevice(4608);
+  ResidencyCache cache(&dev);
+  std::vector<uint8_t> data(2048, 5);
+  auto held = cache.Pin("a", data.data(), data.size());
+  ASSERT_TRUE(held.ok());
+  std::shared_ptr<const DeviceBuffer> buffer = std::move(held->buffer);
+  std::vector<uint8_t> filler(1024, 3);
+  ASSERT_TRUE(cache.Pin("filler", filler.data(), filler.size()).ok());
+
+  std::vector<uint8_t> other(2048, 6);
+  ASSERT_TRUE(cache.Pin("b", other.data(), other.size()).ok());
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(std::memcmp(buffer->data(), data.data(), data.size()), 0)
+      << "held buffer must outlive its eviction";
+  EXPECT_EQ(dev.arena().used(), 4096u)
+      << "held 2048 (evicted, not yet freed) + resident b 2048";
+  EXPECT_EQ(cache.resident_bytes(), 2048u) << "only b is cache-owned";
+  buffer.reset();
+  EXPECT_EQ(dev.arena().used(), 2048u);
+}
+
+// Concurrency: many streams pinning a shared key set that fits on the
+// device must upload each key exactly once — every other access is a hit,
+// and the counters add up. A double-upload (two threads racing the same
+// miss) would show as misses > kKeys.
+TEST(ResidencyCacheTest, ParallelPinStormUploadsEachKeyOnce) {
+  Device dev = MakeDevice(1 << 20);
+  ResidencyCache cache(&dev);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 16;
+  constexpr int kPinsPerThread = 200;
+  std::vector<std::vector<uint8_t>> host(kKeys);
+  for (int k = 0; k < kKeys; ++k) host[k].assign(1024, static_cast<uint8_t>(k));
+
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPinsPerThread; ++i) {
+        const int k = (t + i) % kKeys;
+        auto access = cache.Pin("key" + std::to_string(k), host[k].data(),
+                                host[k].size());
+        if (!access.ok() ||
+            std::memcmp(access->buffer->data(), host[k].data(), 1024) != 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(cache.misses(), static_cast<uint64_t>(kKeys))
+      << "each key uploaded exactly once";
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads) * kPinsPerThread);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), static_cast<uint64_t>(kKeys) * 1024);
+  EXPECT_EQ(dev.arena().used(), static_cast<uint64_t>(kKeys) * 1024);
+}
+
+// Concurrency under pressure: the working set exceeds device memory, so
+// streams force each other's evictions. Every pin must still succeed with
+// correct bytes, and the counters must balance.
+TEST(ResidencyCacheTest, ParallelPinStormWithEvictions) {
+  Device dev = MakeDevice(4 * 1024 + 512);  // fits 4 of 8 keys
+  ResidencyCache cache(&dev);
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 8;
+  constexpr int kPinsPerThread = 100;
+  std::vector<std::vector<uint8_t>> host(kKeys);
+  for (int k = 0; k < kKeys; ++k) host[k].assign(1024, static_cast<uint8_t>(k));
+
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPinsPerThread; ++i) {
+        const int k = (3 * t + i) % kKeys;
+        auto access = cache.Pin("key" + std::to_string(k), host[k].data(),
+                                host[k].size());
+        // Releasing access->buffer at scope exit frees the reservation, so
+        // a racing evictor can always make room eventually; OOM would mean
+        // accounting leaked.
+        if (!access.ok() ||
+            std::memcmp(access->buffer->data(), host[k].data(), 1024) != 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads) * kPinsPerThread);
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LE(cache.resident_bytes(), dev.arena().capacity());
+  EXPECT_LE(dev.arena().used(), dev.arena().capacity());
 }
 
 TEST(ResidencyCacheTest, RespectsForeignAllocations) {

@@ -1,0 +1,106 @@
+#include "device/sim_clock.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace wastenot::device {
+namespace {
+
+TEST(SimClockTest, AccumulatesPerPhase) {
+  SimClock clock;
+  clock.Add(Phase::kDeviceCompute, 1.0);
+  clock.Add(Phase::kBusTransfer, 0.5);
+  clock.Add(Phase::kDeviceCompute, 0.25);
+  EXPECT_DOUBLE_EQ(clock.device_seconds(), 1.25);
+  EXPECT_DOUBLE_EQ(clock.bus_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(clock.host_seconds(), 0.0);
+  clock.Reset();
+  EXPECT_EQ(clock.Nanos(Phase::kDeviceCompute), 0u);
+}
+
+TEST(SimClockQueryScopeTest, CapturesOnlyChargesInsideScope) {
+  SimClock clock;
+  clock.Add(Phase::kDeviceCompute, 1.0);  // before: not attributed
+  {
+    SimClock::QueryScope scope(&clock);
+    clock.Add(Phase::kDeviceCompute, 0.25);
+    clock.Add(Phase::kBusTransfer, 0.125);
+    EXPECT_DOUBLE_EQ(scope.device_seconds(), 0.25);
+    EXPECT_DOUBLE_EQ(scope.bus_seconds(), 0.125);
+  }
+  clock.Add(Phase::kDeviceCompute, 1.0);  // after: not attributed
+  // The global clock saw everything regardless.
+  EXPECT_DOUBLE_EQ(clock.device_seconds(), 2.25);
+  EXPECT_DOUBLE_EQ(clock.bus_seconds(), 0.125);
+}
+
+TEST(SimClockQueryScopeTest, NestedScopesBothCapture) {
+  SimClock clock;
+  SimClock::QueryScope outer(&clock);
+  clock.Add(Phase::kDeviceCompute, 1.0);
+  {
+    SimClock::QueryScope inner(&clock);
+    clock.Add(Phase::kDeviceCompute, 0.5);
+    EXPECT_DOUBLE_EQ(inner.device_seconds(), 0.5);
+  }
+  EXPECT_DOUBLE_EQ(outer.device_seconds(), 1.5);
+}
+
+TEST(SimClockQueryScopeTest, ScopeOnOtherClockDoesNotCapture) {
+  SimClock a, b;
+  SimClock::QueryScope scope_b(&b);
+  SimClock::QueryScope scope_a(&a);
+  a.Add(Phase::kDeviceCompute, 1.0);
+  EXPECT_DOUBLE_EQ(scope_a.device_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(scope_b.device_seconds(), 0.0);
+  b.Add(Phase::kBusTransfer, 0.5);
+  EXPECT_DOUBLE_EQ(scope_b.bus_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(scope_a.bus_seconds(), 0.0);
+}
+
+TEST(SimClockQueryScopeTest, OtherThreadsChargesAreNotAttributed) {
+  SimClock clock;
+  SimClock::QueryScope scope(&clock);
+  clock.Add(Phase::kDeviceCompute, 1.0);
+  std::thread other([&] { clock.Add(Phase::kDeviceCompute, 4.0); });
+  other.join();
+  EXPECT_DOUBLE_EQ(scope.device_seconds(), 1.0)
+      << "a scope is a per-thread channel";
+  EXPECT_DOUBLE_EQ(clock.device_seconds(), 5.0);
+}
+
+// The invariant the concurrent serving layer relies on: with one scope per
+// query (each on its own thread), the per-query nanosecond attributions
+// sum *exactly* to the global clock delta — no charge is lost or double
+// counted under interleaving.
+TEST(SimClockQueryScopeTest, ConcurrentScopesPartitionTheGlobalDelta) {
+  SimClock clock;
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 1000;
+  std::vector<uint64_t> device_nanos(kThreads), bus_nanos(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SimClock::QueryScope scope(&clock);
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        clock.Add(Phase::kDeviceCompute, 1e-6 * (t + 1));
+        clock.Add(Phase::kBusTransfer, 3e-7 * (i % 5));
+      }
+      device_nanos[t] = scope.Nanos(Phase::kDeviceCompute);
+      bus_nanos[t] = scope.Nanos(Phase::kBusTransfer);
+    });
+  }
+  for (auto& th : threads) th.join();
+  uint64_t device_sum = 0, bus_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    device_sum += device_nanos[t];
+    bus_sum += bus_nanos[t];
+  }
+  EXPECT_EQ(device_sum, clock.Nanos(Phase::kDeviceCompute));
+  EXPECT_EQ(bus_sum, clock.Nanos(Phase::kBusTransfer));
+}
+
+}  // namespace
+}  // namespace wastenot::device

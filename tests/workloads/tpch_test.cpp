@@ -10,6 +10,22 @@
 namespace wastenot::workloads {
 namespace {
 
+TEST(TpchQueryTest, Q6YearVariantRotatesShipdateYear) {
+  const core::QuerySpec base = TpchQ6();
+  for (uint64_t v = 0; v < 7; ++v) {
+    const core::QuerySpec q = TpchQ6YearVariant(v);
+    const int year = 1993 + static_cast<int>(v % 5);
+    EXPECT_EQ(q.predicates[0].range.lo, DateToDays(year, 1, 1)) << v;
+    EXPECT_EQ(q.predicates[0].range.hi, DateToDays(year + 1, 1, 1) - 1) << v;
+    // Only the shipdate range rotates; the rest of Q6 is untouched.
+    ASSERT_EQ(q.predicates.size(), base.predicates.size());
+    for (uint64_t p = 1; p < base.predicates.size(); ++p) {
+      EXPECT_EQ(q.predicates[p].column, base.predicates[p].column);
+    }
+    EXPECT_EQ(q.aggregates.size(), base.aggregates.size());
+  }
+}
+
 TEST(TpchDateTest, EpochAndKnownDates) {
   EXPECT_EQ(DateToDays(1992, 1, 1), 0);
   EXPECT_EQ(DateToDays(1992, 1, 2), 1);
