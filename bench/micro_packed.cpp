@@ -1,11 +1,14 @@
 // micro_packed — packed-codec and selection-kernel microbenchmarks.
 //
 // Measures (single-threaded, pure kernel time, no device charging):
-//   1. unpack throughput: scalar element-at-a-time PackedGet vs. the
-//      word-at-a-time block decoder, widths 1..64;
+//   1. unpack throughput: scalar element-at-a-time PackedGet vs. the block
+//      decoder under the scalar tier and under the best SIMD tier the CPU
+//      supports (SetPackedCodecScalarOnly toggles the dispatch), widths
+//      1..64;
 //   2. selection-scan throughput: the pre-PR scalar select loop (decode +
 //      per-element branch + push_back, replicated below) vs. the two-pass
-//      count-then-fill block kernel, widths 1..64 at 10 % selectivity;
+//      count-then-fill block kernel, scalar tier and SIMD tier, widths
+//      1..64 at 10 % selectivity;
 //   3. the same selection pair across selectivities at representative
 //      widths (9, 16, 22 bits);
 //   4. the morsel-parallel block selection scan (the same two-pass kernel
@@ -164,32 +167,34 @@ void BlockSelectRange(const bwd::PackedView& view,
     total += static_cast<uint64_t>(std::popcount(m));
   }
 
-  // Pass 2: exact-size, fill matched blocks by bitmask iteration
-  // (certainty only evaluated for matching lanes).
+  // Pass 2: exact-size, fill matched blocks by mask expansion/compression
+  // plus a dense loop over the survivors (certainty only evaluated for
+  // matching lanes) — the same fill as core/select.cpp.
   out->ids.resize(total);
   out->lower.resize(total);
   out->certain.resize(total);
   uint64_t num_certain = 0;
   uint64_t pos = 0;
+  uint64_t cdigits[bwd::kPackedBlockElems];
   for (uint64_t b = 0; b < num_blocks; ++b) {
-    uint64_t m = match[b];
+    const uint64_t m = match[b];
     if (m == 0) continue;
     const uint64_t e0 = begin + b * bwd::kPackedBlockElems;
     const uint32_t lanes =
         static_cast<uint32_t>(std::min(end - e0, bwd::kPackedBlockElems));
     bwd::UnpackRange(view, e0, lanes, digits);
-    while (m != 0) {
-      const uint32_t j = static_cast<uint32_t>(std::countr_zero(m));
-      m &= m - 1;
-      const uint64_t digit = digits[j];
+    const uint32_t cnt =
+        bwd::ExpandMask(m, static_cast<uint32_t>(e0), out->ids.data() + pos);
+    bwd::CompressLanes(m, digits, cdigits);
+    for (uint32_t k = 0; k < cnt; ++k) {
+      const uint64_t digit = cdigits[k];
       const uint8_t cert = static_cast<uint8_t>(
           has_certain && digit - pred.certain_lo <= certain_span);
-      out->ids[pos] = static_cast<cs::oid_t>(e0 + j);
-      out->lower[pos] = spec.LowerBound(digit);
-      out->certain[pos] = cert;
+      out->lower[pos + k] = spec.LowerBound(digit);
+      out->certain[pos + k] = cert;
       num_certain += cert;
-      ++pos;
     }
+    pos += cnt;
   }
   out->num_certain = num_certain;
 }
@@ -233,9 +238,12 @@ int main(int argc, char** argv) {
   bench::Header("micro_packed",
                 "block-decode packed codec vs scalar element-at-a-time",
                 "rows=" + std::to_string(n) +
-                    ", single-threaded kernel time, median of 3");
+                    ", single-threaded kernel time, median of 3, isa=" +
+                    bwd::PackedCodecIsa());
 
   // ---- 1) unpack throughput across widths --------------------------------
+  // unpack_block runs the active (best SIMD) tier, unpack_block_scalar the
+  // forced-scalar tier; unpack_simd_speedup is their ratio.
   {
     std::vector<bench::SeriesRow> rows, speedups;
     std::vector<uint64_t> out(kUnpackWindow);
@@ -244,17 +252,25 @@ int main(int argc, char** argv) {
       const bwd::PackedView view = pv.view();
       const double scalar =
           bench::TimeSeconds([&] { ScalarUnpack(view, out.data()); });
+      bwd::SetPackedCodecScalarOnly(true);
+      const double block_scalar =
+          bench::TimeSeconds([&] { BlockUnpack(view, out.data()); });
+      bwd::SetPackedCodecScalarOnly(false);
       const double block =
           bench::TimeSeconds([&] { BlockUnpack(view, out.data()); });
       rows.push_back({static_cast<double>(width),
-                      {MelemPerSec(n, scalar), MelemPerSec(n, block)}});
-      speedups.push_back(
-          {static_cast<double>(width), {block > 0 ? scalar / block : 0}});
+                      {MelemPerSec(n, scalar), MelemPerSec(n, block_scalar),
+                       MelemPerSec(n, block)}});
+      speedups.push_back({static_cast<double>(width),
+                          {block > 0 ? scalar / block : 0,
+                           block > 0 ? block_scalar / block : 0}});
     }
     std::printf("\n-- unpack throughput --\n");
-    bench::PrintSeries("width_bits", {"unpack_scalar", "unpack_block"}, rows,
-                       "Melem/s");
-    bench::PrintSeries("width_bits", {"unpack_speedup"}, speedups, "x");
+    bench::PrintSeries("width_bits",
+                       {"unpack_scalar", "unpack_block_scalar", "unpack_block"},
+                       rows, "Melem/s");
+    bench::PrintSeries("width_bits", {"unpack_speedup", "unpack_simd_speedup"},
+                       speedups, "x");
   }
 
   // ---- 2) selection throughput across widths (10 % selectivity) ----------
@@ -270,19 +286,29 @@ int main(int argc, char** argv) {
         out.Clear();
         ScalarSelect(view, spec, pred, &out);
       });
+      bwd::SetPackedCodecScalarOnly(true);
+      const double block_scalar = bench::TimeSeconds([&] {
+        out.Clear();
+        BlockSelect(view, spec, pred, &out);
+      });
+      bwd::SetPackedCodecScalarOnly(false);
       const double block = bench::TimeSeconds([&] {
         out.Clear();
         BlockSelect(view, spec, pred, &out);
       });
       rows.push_back({static_cast<double>(width),
-                      {MelemPerSec(n, scalar), MelemPerSec(n, block)}});
-      speedups.push_back(
-          {static_cast<double>(width), {block > 0 ? scalar / block : 0}});
+                      {MelemPerSec(n, scalar), MelemPerSec(n, block_scalar),
+                       MelemPerSec(n, block)}});
+      speedups.push_back({static_cast<double>(width),
+                          {block > 0 ? scalar / block : 0,
+                           block > 0 ? block_scalar / block : 0}});
     }
     std::printf("\n-- selection throughput (10%% selectivity) --\n");
-    bench::PrintSeries("width_bits", {"select_scalar", "select_block"}, rows,
-                       "Melem/s");
-    bench::PrintSeries("width_bits", {"select_speedup"}, speedups, "x");
+    bench::PrintSeries(
+        "width_bits", {"select_scalar", "select_block_scalar", "select_block"},
+        rows, "Melem/s");
+    bench::PrintSeries("width_bits", {"select_speedup", "select_simd_speedup"},
+                       speedups, "x");
   }
 
   // ---- 3) selection throughput across selectivities ----------------------

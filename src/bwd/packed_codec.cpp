@@ -1,31 +1,42 @@
 #include "bwd/packed_codec.h"
 
 #include <array>
+#include <atomic>
+#include <bit>
 #include <cstring>
 #include <utility>
+
+#include "bwd/packed_codec_kernels.h"
+#include "util/env.h"
 
 namespace wastenot::bwd {
 
 namespace {
 
-/// Width-specialized kernels. `W` being a template parameter turns every
-/// shift distance and mask into a compile-time constant, so the inner loops
-/// unroll and vectorize; the straddle branch of the scalar path disappears
-/// entirely.
+/// Width-specialized scalar kernels. `W` being a template parameter turns
+/// every shift distance and mask into a compile-time constant, so the inner
+/// loops unroll and vectorize; the straddle branch of the generic path
+/// disappears entirely. This tier is the correctness reference the SIMD
+/// tiers are property-tested against, and the only tier that exists on
+/// non-x86 or forced-scalar builds.
 template <uint32_t W>
 struct Codec {
   static constexpr uint64_t kMask = bits::LowMask(W);
 
-  /// Branch-free two-word read of element `j` relative to `in`. The
-  /// `<< 1 <<` split realizes `in[word + 1] << (64 - shift)` without the
-  /// undefined 64-bit shift at shift == 0 (the high word contributes
-  /// nothing there, and the expression yields 0). Rotate-free: only plain
-  /// shifts, an OR and a constant mask.
+  /// Two-word read of element `j` relative to `in`. The second word is
+  /// touched only when the element actually straddles a word boundary
+  /// (shift + W > 64 implies shift >= 1, so both shift distances are
+  /// defined), which keeps every tail path legal on buffers sized exactly
+  /// CeilDiv(count * W, 64) words — no slack word required.
   static uint64_t Read2(const uint64_t* in, uint64_t j) {
     const uint64_t bitpos = j * W;
     const uint64_t word = bitpos >> 6;
     const uint32_t shift = static_cast<uint32_t>(bitpos & 63);
-    return ((in[word] >> shift) | (in[word + 1] << 1 << (63 - shift))) & kMask;
+    uint64_t v = in[word] >> shift;
+    if (shift + W > 64) {
+      v |= in[word + 1] << (64 - shift);
+    }
+    return v & kMask;
   }
 
   /// Read of element `J` relative to `in` with every shift distance and
@@ -87,8 +98,8 @@ struct Codec {
     }
   }
 
-  /// Tail variant: first `n` (< 64) elements of a block. Never reads past
-  /// the words those n elements plus the padding word occupy.
+  /// Tail variant: first `n` (< 64) elements of a block. Reads only the
+  /// words those n elements occupy.
   static void UnpackPartial(const uint64_t* in, uint64_t* out, uint32_t n) {
     if constexpr (W == 0) {
       for (uint32_t j = 0; j < n; ++j) out[j] = 0;
@@ -152,24 +163,15 @@ struct Codec {
   }
 };
 
-using UnpackBlockFn = void (*)(const uint64_t*, uint64_t*);
-using UnpackPartialFn = void (*)(const uint64_t*, uint64_t*, uint32_t);
-using MatchBlockFn = uint64_t (*)(const uint64_t*, uint64_t, uint64_t);
-using MatchPartialFn = uint64_t (*)(const uint64_t*, uint32_t, uint64_t,
-                                    uint64_t);
 using PackBlockFn = void (*)(const uint64_t*, uint64_t*);
-using Gather32Fn = void (*)(const uint64_t*, const uint32_t*, uint64_t,
-                            uint64_t*);
-using Gather64Fn = void (*)(const uint64_t*, const uint64_t*, uint64_t,
-                            uint64_t*);
 
 template <size_t... Ws>
-constexpr std::array<UnpackBlockFn, 65> MakeUnpackBlockTable(
+constexpr std::array<internal::UnpackBlockFn, 65> MakeUnpackBlockTable(
     std::index_sequence<Ws...>) {
   return {{&Codec<Ws>::UnpackBlock...}};
 }
 template <size_t... Ws>
-constexpr std::array<UnpackPartialFn, 65> MakeUnpackPartialTable(
+constexpr std::array<internal::UnpackPartialFn, 65> MakeUnpackPartialTable(
     std::index_sequence<Ws...>) {
   return {{&Codec<Ws>::UnpackPartial...}};
 }
@@ -179,41 +181,119 @@ constexpr std::array<PackBlockFn, 65> MakePackBlockTable(
   return {{&Codec<Ws>::PackBlock...}};
 }
 template <size_t... Ws>
-constexpr std::array<MatchBlockFn, 65> MakeMatchBlockTable(
+constexpr std::array<internal::MatchBlockFn, 65> MakeMatchBlockTable(
     std::index_sequence<Ws...>) {
   return {{&Codec<Ws>::MatchBlock...}};
 }
 template <size_t... Ws>
-constexpr std::array<MatchPartialFn, 65> MakeMatchPartialTable(
+constexpr std::array<internal::MatchPartialFn, 65> MakeMatchPartialTable(
     std::index_sequence<Ws...>) {
   return {{&Codec<Ws>::MatchPartial...}};
 }
 template <size_t... Ws>
-constexpr std::array<Gather32Fn, 65> MakeGather32Table(
+constexpr std::array<internal::Gather32Fn, 65> MakeGather32Table(
     std::index_sequence<Ws...>) {
   return {{&Codec<Ws>::Gather32...}};
 }
 template <size_t... Ws>
-constexpr std::array<Gather64Fn, 65> MakeGather64Table(
+constexpr std::array<internal::Gather64Fn, 65> MakeGather64Table(
     std::index_sequence<Ws...>) {
   return {{&Codec<Ws>::Gather64...}};
 }
 
 constexpr auto kWidths = std::make_index_sequence<65>{};
-constexpr auto kUnpackBlock = MakeUnpackBlockTable(kWidths);
-constexpr auto kUnpackPartial = MakeUnpackPartialTable(kWidths);
 constexpr auto kPackBlock = MakePackBlockTable(kWidths);
-constexpr auto kMatchBlock = MakeMatchBlockTable(kWidths);
-constexpr auto kMatchPartial = MakeMatchPartialTable(kWidths);
-constexpr auto kGather32 = MakeGather32Table(kWidths);
-constexpr auto kGather64 = MakeGather64Table(kWidths);
+
+uint32_t ExpandMaskScalar(uint64_t mask, uint32_t base, uint32_t* out) {
+  uint32_t n = 0;
+  while (mask != 0) {
+    out[n++] = base + static_cast<uint32_t>(std::countr_zero(mask));
+    mask &= mask - 1;
+  }
+  return n;
+}
+
+uint32_t Compress32Scalar(uint64_t mask, const uint32_t* src, uint32_t* out) {
+  uint32_t n = 0;
+  while (mask != 0) {
+    out[n++] = src[std::countr_zero(mask)];
+    mask &= mask - 1;
+  }
+  return n;
+}
+
+uint32_t Compress64Scalar(uint64_t mask, const uint64_t* src, uint64_t* out) {
+  uint32_t n = 0;
+  while (mask != 0) {
+    out[n++] = src[std::countr_zero(mask)];
+    mask &= mask - 1;
+  }
+  return n;
+}
+
+/// The active tier, resolved lazily on first use (so the environment knob
+/// is read after main() starts) and swappable by SetPackedCodecScalarOnly.
+std::atomic<const internal::CodecKernels*> g_kernels{nullptr};
+
+const internal::CodecKernels& Active() {
+  const internal::CodecKernels* k = g_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    k = &internal::ResolveKernels(EnvBool("WASTENOT_FORCE_SCALAR", false));
+    g_kernels.store(k, std::memory_order_release);
+  }
+  return *k;
+}
 
 }  // namespace
+
+namespace internal {
+
+const CodecKernels& ScalarKernels() {
+  static constexpr CodecKernels kScalar = {
+      "scalar",
+      MakeUnpackBlockTable(kWidths),
+      MakeUnpackPartialTable(kWidths),
+      MakeMatchBlockTable(kWidths),
+      MakeMatchPartialTable(kWidths),
+      MakeGather32Table(kWidths),
+      MakeGather64Table(kWidths),
+      &ExpandMaskScalar,
+      &Compress32Scalar,
+      &Compress64Scalar,
+  };
+  return kScalar;
+}
+
+#if !defined(WASTENOT_HAVE_AVX2)
+const CodecKernels* Avx2Kernels() { return nullptr; }
+#endif
+#if !defined(WASTENOT_HAVE_AVX512)
+const CodecKernels* Avx512Kernels() { return nullptr; }
+#endif
+
+const CodecKernels& ResolveKernels(bool force_scalar) {
+  if (!force_scalar) {
+    if (const CodecKernels* k = Avx512Kernels()) return *k;
+    if (const CodecKernels* k = Avx2Kernels()) return *k;
+  }
+  return ScalarKernels();
+}
+
+}  // namespace internal
+
+const char* PackedCodecIsa() { return Active().name; }
+
+void SetPackedCodecScalarOnly(bool scalar_only) {
+  g_kernels.store(scalar_only
+                      ? &internal::ScalarKernels()
+                      : &internal::ResolveKernels(/*force_scalar=*/false),
+                  std::memory_order_release);
+}
 
 void UnpackBlock(const uint64_t* words, uint32_t width, uint64_t block,
                  uint64_t* out) {
   assert(width <= 64);
-  kUnpackBlock[width](words + block * width, out);
+  Active().unpack_block[width](words + block * width, out);
 }
 
 void UnpackRange(const uint64_t* words, uint32_t width, uint64_t begin,
@@ -224,14 +304,15 @@ void UnpackRange(const uint64_t* words, uint32_t width, uint64_t begin,
     for (uint64_t i = 0; i < count; ++i) out[i] = 0;
     return;
   }
+  const internal::CodecKernels& k = Active();
   uint64_t i = begin;
   const uint64_t end = begin + count;
   // Unaligned head up to the next block boundary (< 64 scalar reads).
   while (i < end && (i & 63) != 0) {
     *out++ = internal::PackedGet(words, width, i++);
   }
-  // Whole blocks, word-at-a-time.
-  const UnpackBlockFn block_fn = kUnpackBlock[width];
+  // Whole blocks.
+  const internal::UnpackBlockFn block_fn = k.unpack_block[width];
   while (end - i >= kPackedBlockElems) {
     block_fn(words + (i >> 6) * width, out);
     i += kPackedBlockElems;
@@ -239,8 +320,8 @@ void UnpackRange(const uint64_t* words, uint32_t width, uint64_t begin,
   }
   // Partial tail block.
   if (i < end) {
-    kUnpackPartial[width](words + (i >> 6) * width, out,
-                          static_cast<uint32_t>(end - i));
+    k.unpack_partial[width](words + (i >> 6) * width, out,
+                            static_cast<uint32_t>(end - i));
   }
 }
 
@@ -267,26 +348,38 @@ void PackRange(uint64_t* words, uint32_t width, uint64_t begin, uint64_t count,
 uint64_t MatchBlock(const uint64_t* words, uint32_t width, uint64_t block,
                     uint64_t lo, uint64_t span) {
   assert(width <= 64);
-  return kMatchBlock[width](words + block * width, lo, span);
+  return Active().match_block[width](words + block * width, lo, span);
 }
 
 uint64_t MatchBlockPartial(const uint64_t* words, uint32_t width,
                            uint64_t block, uint32_t n, uint64_t lo,
                            uint64_t span) {
   assert(width <= 64);
-  return kMatchPartial[width](words + block * width, n, lo, span);
+  return Active().match_partial[width](words + block * width, n, lo, span);
 }
 
 void GatherPacked(const uint64_t* words, uint32_t width, const uint32_t* ids,
                   uint64_t count, uint64_t* out) {
   assert(width <= 64);
-  kGather32[width](words, ids, count, out);
+  Active().gather32[width](words, ids, count, out);
 }
 
 void GatherPacked(const uint64_t* words, uint32_t width, const uint64_t* ids,
                   uint64_t count, uint64_t* out) {
   assert(width <= 64);
-  kGather64[width](words, ids, count, out);
+  Active().gather64[width](words, ids, count, out);
+}
+
+uint32_t ExpandMask(uint64_t mask, uint32_t base, uint32_t* out) {
+  return Active().expand_mask(mask, base, out);
+}
+
+uint32_t CompressLanes(uint64_t mask, const uint32_t* src, uint32_t* out) {
+  return Active().compress32(mask, src, out);
+}
+
+uint32_t CompressLanes(uint64_t mask, const uint64_t* src, uint64_t* out) {
+  return Active().compress64(mask, src, out);
 }
 
 }  // namespace wastenot::bwd

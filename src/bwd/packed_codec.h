@@ -3,19 +3,24 @@
 //
 // The element-at-a-time `internal::PackedGet` pays two shifts, a straddle
 // branch and a mask per value. This layer decodes 64-element *blocks*
-// word-at-a-time instead: because 64 * width bits is always a whole number
-// of words, every element index that is a multiple of 64 starts on a word
-// boundary for every width (the same invariant `PackedSet` relies on for
-// parallel encoding), so block `b` of a `width`-bit vector occupies exactly
-// the `width` words starting at `words[b * width]`. Each width gets its own
-// compiled kernel (dispatched once per call, not per element): byte- and
-// word-dividing widths unpack by shifting a single register down, arbitrary
-// widths use a branch-free rotate-free two-word combine.
+// instead: because 64 * width bits is always a whole number of words, every
+// element index that is a multiple of 64 starts on a word boundary for
+// every width (the same invariant `PackedSet` relies on for parallel
+// encoding), so block `b` of a `width`-bit vector occupies exactly the
+// `width` words starting at `words[b * width]`.
 //
-// Padding contract: all routines here may read one word past the last data
-// word they decode. `PackedVector` always allocates that padding word
-// (`internal::PackedWordCount`), and `BwdColumn` uploads it with the data;
-// callers handing in raw words must do the same.
+// Every entry point dispatches once per call (not per element) through a
+// per-width kernel table for the best ISA tier the running CPU supports:
+// AVX-512, AVX2, or the force-unrolled scalar reference (see
+// packed_codec_kernels.h and DESIGN.md "Kernel dispatch"). All tiers are
+// bit-identical; setting the WASTENOT_FORCE_SCALAR environment variable
+// (or building with -DWASTENOT_FORCE_SCALAR=ON) pins the scalar tier.
+//
+// Buffer contract: no routine reads or writes past the words its elements
+// occupy — a buffer of exactly CeilDiv(count * width, 64) words is a legal
+// input, with no slack word. (`PackedVector` still allocates one trailing
+// padding word so whole-word device uploads round up safely, but the codec
+// no longer relies on it.)
 
 #ifndef WASTENOT_BWD_PACKED_CODEC_H_
 #define WASTENOT_BWD_PACKED_CODEC_H_
@@ -30,6 +35,17 @@ namespace wastenot::bwd {
 /// spans exactly `width` words.
 inline constexpr uint64_t kPackedBlockElems = 64;
 
+/// Name of the active codec tier: "scalar", "avx2" or "avx512". Resolved
+/// on first use from CPUID and the WASTENOT_FORCE_SCALAR environment
+/// variable.
+const char* PackedCodecIsa();
+
+/// Pins the codec to the scalar tier (true) or re-resolves the best
+/// available tier regardless of the environment knob (false). A test and
+/// bench hook — lets one process compare tiers; not intended for
+/// concurrent use with in-flight codec calls.
+void SetPackedCodecScalarOnly(bool scalar_only);
+
 /// Decodes the 64 elements of block `block` (elements [64*block, 64*block
 /// + 64)) into `out[0..63]`. All 64 elements must exist.
 void UnpackBlock(const uint64_t* words, uint32_t width, uint64_t block,
@@ -37,7 +53,7 @@ void UnpackBlock(const uint64_t* words, uint32_t width, uint64_t block,
 
 /// Decodes elements [begin, begin + count) into `out[0..count)`. Handles
 /// unaligned starts and non-multiple-of-64 tails; interior full blocks go
-/// through the word-at-a-time block kernels.
+/// through the block kernels.
 void UnpackRange(const uint64_t* words, uint32_t width, uint64_t begin,
                  uint64_t count, uint64_t* out);
 
@@ -58,8 +74,7 @@ void PackRange(uint64_t* words, uint32_t width, uint64_t begin, uint64_t count,
 /// is set iff element 64*block + j lies in [lo, lo + span] (unsigned-wrap
 /// containment; span = hi - lo of an inclusive range with lo <= hi). The
 /// block is never materialized — each lane's flag is computed straight off
-/// the packed words with compile-time shifts (pass 1 of the two-pass
-/// selection kernels).
+/// the packed words (pass 1 of the two-pass selection kernels).
 uint64_t MatchBlock(const uint64_t* words, uint32_t width, uint64_t block,
                     uint64_t lo, uint64_t span);
 
@@ -85,6 +100,23 @@ inline void GatherPacked(const PackedView& view, const uint64_t* ids,
                          uint64_t count, uint64_t* out) {
   GatherPacked(view.words(), view.width(), ids, count, out);
 }
+
+// Mask-driven selection fills (pass 2 of the two-pass selection kernels):
+// turn a 64-lane match bitmask into dense outputs without the per-hit
+// countr_zero loop. SIMD tiers implement these with compress-store /
+// permute; the contract is exact on both sides so callers may hand in
+// buffers with no slack:
+//  - `src` is read only at set-bit lanes (a tail block's missing lanes are
+//    never touched as long as their mask bits are clear);
+//  - `out` is written only at [0, popcount(mask)).
+// Both return popcount(mask).
+
+/// out[k] = base + (bit position of the k-th set bit of mask), ascending.
+uint32_t ExpandMask(uint64_t mask, uint32_t base, uint32_t* out);
+
+/// out[k] = src[bit position of the k-th set bit of mask], ascending.
+uint32_t CompressLanes(uint64_t mask, const uint32_t* src, uint32_t* out);
+uint32_t CompressLanes(uint64_t mask, const uint64_t* src, uint64_t* out);
 
 }  // namespace wastenot::bwd
 

@@ -1,0 +1,448 @@
+// AVX2 tier of the packed codec (see packed_codec_kernels.h for the table
+// contract and DESIGN.md "Kernel dispatch" for the architecture).
+//
+// Decode scheme (widths 2..57): each group of four elements is decoded
+// from two 16-byte loads whose base offsets are clamped inside the block's
+// 8*W bytes, an in-lane pshufb aligning each element's 8-byte window into
+// its 64-bit lane, a per-lane variable right shift and one mask — about
+// seven instructions per four elements, every shuffle control and shift a
+// compile-time constant. Widths outside the scheme (0, 1, 58..64) keep the
+// scalar entries, which the table copy provides.
+//
+// Exact-allocation contract: all loads are provably inside the block
+// (static asserts below), gathers touch the word one past an element only
+// when the element actually straddles (masked gathers fault-suppress the
+// rest), and the selection fills use maskload/maskstore so no lane outside
+// the mask/popcount is ever touched. This keeps every kernel legal — and
+// ASan-clean where instrumented — on buffers with no slack word.
+//
+// This TU is compiled with -mavx2 (CMake adds it only when the compiler
+// supports the flag and WASTENOT_FORCE_SCALAR is off); runtime CPUID
+// gating happens in Avx2Kernels().
+
+#include "bwd/packed_codec.h"
+#include "bwd/packed_codec_kernels.h"
+
+#if defined(WASTENOT_HAVE_AVX2)
+#ifndef __AVX2__
+#error "packed_codec_avx2.cpp must be compiled with -mavx2"
+#endif
+
+#include <immintrin.h>
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+namespace wastenot::bwd::internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Byte-window layout for the pair loads.
+
+/// Base byte of the 16-byte load covering elements {j, j+1} (j even),
+/// clamped in-block. Requires W >= 2 so the block has at least 16 bytes.
+template <uint32_t W>
+constexpr uint32_t PairBase(uint32_t j) {
+  const uint32_t natural = (j * W) / 8;
+  const uint32_t clamp = 8 * W - 16;
+  return natural < clamp ? natural : clamp;
+}
+
+/// Every element's 8-byte window must sit within the 16-byte load of its
+/// pair (pshufb indices 0..15) and every load within the block.
+template <uint32_t W>
+constexpr bool PairsValid() {
+  for (uint32_t j = 0; j < 64; ++j) {
+    const uint32_t base = PairBase<W>(j & ~1u);
+    const uint32_t start = ByteWindow<W>::StartByte(j);
+    if (start < base) return false;
+    if (start - base > 8) return false;
+    if (base + 16 > 8 * W) return false;
+  }
+  return true;
+}
+
+/// pshufb control aligning the four elements j0..j0+3 into 64-bit lanes.
+/// Lanes 0,1 shuffle within the low 128 half (loaded at PairBase(j0)),
+/// lanes 2,3 within the high half (loaded at PairBase(j0+2)); in-lane
+/// indices are 0..15 by PairsValid().
+template <uint32_t W, uint32_t G>
+constexpr std::array<uint8_t, 32> MakeShuffle4() {
+  std::array<uint8_t, 32> s{};
+  for (uint32_t lane = 0; lane < 4; ++lane) {
+    const uint32_t j = 4 * G + lane;
+    const uint32_t base = PairBase<W>(j & ~1u);
+    const uint32_t off = ByteWindow<W>::StartByte(j) - base;
+    for (uint32_t t = 0; t < 8; ++t) {
+      s[lane * 8 + t] = static_cast<uint8_t>(off + t);
+    }
+  }
+  return s;
+}
+
+template <uint32_t W, uint32_t G>
+struct Group4 {
+  static_assert(W >= 2 && W <= 57);
+  static_assert(ByteWindow<W>::Valid());
+  static_assert(PairsValid<W>());
+  static constexpr uint32_t kJ0 = 4 * G;
+  static constexpr uint32_t kLo = PairBase<W>(kJ0);
+  static constexpr uint32_t kHi = PairBase<W>(kJ0 + 2);
+  static constexpr std::array<uint8_t, 32> kShuffle = MakeShuffle4<W, G>();
+};
+
+/// Zero-extended elements j0..j0+3 of the block at `bytes`, one per
+/// 64-bit lane.
+template <uint32_t W, uint32_t G>
+inline __m256i DecodeGroup4(const uint8_t* bytes) {
+  using Gr = Group4<W, G>;
+  const __m128i lo = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(bytes + Gr::kLo));
+  const __m128i hi = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(bytes + Gr::kHi));
+  __m256i v = _mm256_set_m128i(hi, lo);
+  v = _mm256_shuffle_epi8(
+      v, _mm256_loadu_si256(
+             reinterpret_cast<const __m256i*>(Gr::kShuffle.data())));
+  v = _mm256_srlv_epi64(
+      v, _mm256_setr_epi64x(ByteWindow<W>::Shift(Gr::kJ0),
+                            ByteWindow<W>::Shift(Gr::kJ0 + 1),
+                            ByteWindow<W>::Shift(Gr::kJ0 + 2),
+                            ByteWindow<W>::Shift(Gr::kJ0 + 3)));
+  return _mm256_and_si256(
+      v, _mm256_set1_epi64x(static_cast<long long>(bits::LowMask(W))));
+}
+
+// ---------------------------------------------------------------------------
+// Block kernels.
+
+template <uint32_t W>
+void UnpackBlockAvx2(const uint64_t* in, uint64_t* out) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(in);
+  [&]<size_t... G>(std::index_sequence<G...>) {
+    ((_mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4 * G),
+                          DecodeGroup4<W, G>(bytes))),
+     ...);
+  }(std::make_index_sequence<16>{});
+}
+
+template <uint32_t W>
+uint64_t MatchBlockAvx2(const uint64_t* in, uint64_t lo, uint64_t span) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(in);
+  // Unsigned (v - lo) <= span via the sign-flip trick: x <=u y iff
+  // (x ^ SIGN) <=s (y ^ SIGN); AVX2 only has signed 64-bit compares.
+  constexpr long long kSign = static_cast<long long>(0x8000000000000000ULL);
+  const __m256i vlo = _mm256_set1_epi64x(static_cast<long long>(lo));
+  const __m256i vsign = _mm256_set1_epi64x(kSign);
+  const __m256i vspan =
+      _mm256_set1_epi64x(static_cast<long long>(span) ^ kSign);
+  uint64_t m = 0;
+  [&]<size_t... G>(std::index_sequence<G...>) {
+    ((m |= static_cast<uint64_t>(
+          ~_mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(
+              _mm256_xor_si256(
+                  _mm256_sub_epi64(DecodeGroup4<W, G>(bytes), vlo), vsign),
+              vspan))) &
+          0xF)
+          << (4 * G)),
+     ...);
+  }(std::make_index_sequence<16>{});
+  return m;
+}
+
+// Byte-aligned widths (8/16/32/64) need no shuffle or shift at all: each
+// group of four elements is a contiguous run of packed lanes, so a plain
+// zero-extending load (vpmovzx) — or a straight copy at width 64 — beats
+// the generic two-load pshufb path. Every load is exactly the group's
+// bytes, so exact-allocation safety is trivial.
+template <uint32_t W>
+inline __m256i LoadGroup4Aligned(const uint8_t* bytes, uint32_t g) {
+  static_assert(W == 8 || W == 16 || W == 32 || W == 64);
+  if constexpr (W == 8) {
+    uint32_t chunk;  // 4-byte load: a wider one would overrun group 15
+    std::memcpy(&chunk, bytes + 4 * g, sizeof(chunk));
+    return _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(chunk)));
+  } else if constexpr (W == 16) {
+    return _mm256_cvtepu16_epi64(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bytes + 8 * g)));
+  } else if constexpr (W == 32) {
+    return _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 16 * g)));
+  } else {
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bytes + 32 * g));
+  }
+}
+
+template <uint32_t W>
+void UnpackBlockAlignedAvx2(const uint64_t* in, uint64_t* out) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(in);
+  for (uint32_t g = 0; g < 16; ++g) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4 * g),
+                        LoadGroup4Aligned<W>(bytes, g));
+  }
+}
+
+template <uint32_t W>
+uint64_t MatchBlockAlignedAvx2(const uint64_t* in, uint64_t lo,
+                               uint64_t span) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(in);
+  constexpr long long kSign = static_cast<long long>(0x8000000000000000ULL);
+  const __m256i vlo = _mm256_set1_epi64x(static_cast<long long>(lo));
+  const __m256i vsign = _mm256_set1_epi64x(kSign);
+  const __m256i vspan =
+      _mm256_set1_epi64x(static_cast<long long>(span) ^ kSign);
+  uint64_t m = 0;
+  for (uint32_t g = 0; g < 16; ++g) {
+    const __m256i v = LoadGroup4Aligned<W>(bytes, g);
+    m |= static_cast<uint64_t>(
+             ~_mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(
+                 _mm256_xor_si256(_mm256_sub_epi64(v, vlo), vsign), vspan))) &
+             0xF)
+         << (4 * g);
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Gather (all widths 1..64): four ids per iteration via i64gather. The
+// high word of a straddling element comes from a *masked* gather — lanes
+// that do not straddle never issue the word+1 load, so the final element
+// of an exactly-sized buffer is safe in hardware.
+
+template <uint32_t W, typename Id>
+inline void GatherAvx2(const uint64_t* words, const Id* ids, uint64_t n,
+                       uint64_t* out) {
+  static_assert(W >= 1 && W <= 64);
+  const __m256i v_w = _mm256_set1_epi64x(W);
+  const __m256i v_mask =
+      _mm256_set1_epi64x(static_cast<long long>(bits::LowMask(W)));
+  const __m256i v_63 = _mm256_set1_epi64x(63);
+  const __m256i v_64 = _mm256_set1_epi64x(64);
+  const __m256i v_one = _mm256_set1_epi64x(1);
+  // Straddle iff shift > 64 - W (both sides in [0, 63]: signed-safe).
+  const __m256i v_nostrad = _mm256_set1_epi64x(64 - static_cast<int>(W));
+  const long long* base = reinterpret_cast<const long long*>(words);
+
+  uint64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i id;
+    if constexpr (sizeof(Id) == 4) {
+      id = _mm256_cvtepu32_epi64(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i)));
+    } else {
+      id = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    }
+    // bitpos = id * W, full 64-bit product from 32x32 partial products.
+    __m256i bitpos = _mm256_mul_epu32(id, v_w);
+    if constexpr (sizeof(Id) == 8) {
+      const __m256i hi32 = _mm256_mul_epu32(_mm256_srli_epi64(id, 32), v_w);
+      bitpos = _mm256_add_epi64(bitpos, _mm256_slli_epi64(hi32, 32));
+    }
+    const __m256i word = _mm256_srli_epi64(bitpos, 6);
+    const __m256i shift = _mm256_and_si256(bitpos, v_63);
+    const __m256i lo = _mm256_i64gather_epi64(base, word, 8);
+    const __m256i strad = _mm256_cmpgt_epi64(shift, v_nostrad);
+    const __m256i hi = _mm256_mask_i64gather_epi64(
+        _mm256_setzero_si256(), base, _mm256_add_epi64(word, v_one), strad,
+        8);
+    // sllv with count 64 (shift == 0 lanes) yields 0, and those lanes'
+    // hi is 0 anyway.
+    __m256i v = _mm256_or_si256(
+        _mm256_srlv_epi64(lo, shift),
+        _mm256_sllv_epi64(hi, _mm256_sub_epi64(v_64, shift)));
+    v = _mm256_and_si256(v, v_mask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+  }
+  if (i < n) {
+    if constexpr (sizeof(Id) == 4) {
+      ScalarKernels().gather32[W](words, ids + i, n - i, out + i);
+    } else {
+      ScalarKernels().gather64[W](words, ids + i, n - i, out + i);
+    }
+  }
+}
+
+template <uint32_t W>
+void Gather32Avx2(const uint64_t* words, const uint32_t* ids, uint64_t n,
+                  uint64_t* out) {
+  GatherAvx2<W>(words, ids, n, out);
+}
+template <uint32_t W>
+void Gather64Avx2(const uint64_t* words, const uint64_t* ids, uint64_t n,
+                  uint64_t* out) {
+  GatherAvx2<W>(words, ids, n, out);
+}
+
+// ---------------------------------------------------------------------------
+// Selection fills: byte-at-a-time LUT expand/compress. maskload reads only
+// set lanes, maskstore writes only the first popcount lanes — both sides
+// honor the exact-allocation contract.
+
+/// Per byte value, the bit positions of its set bits (ascending, zero
+/// padded).
+constexpr std::array<std::array<uint8_t, 8>, 256> MakeByteLut() {
+  std::array<std::array<uint8_t, 8>, 256> lut{};
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t n = 0;
+    for (uint32_t j = 0; j < 8; ++j) {
+      if (b & (1u << j)) lut[b][n++] = static_cast<uint8_t>(j);
+    }
+  }
+  return lut;
+}
+constexpr auto kByteLut = MakeByteLut();
+
+/// Per nibble value, permutevar8x32 indices packing the set 64-bit lanes'
+/// u32 pairs to the front.
+constexpr std::array<std::array<int, 8>, 16> MakeNibbleLut() {
+  std::array<std::array<int, 8>, 16> lut{};
+  for (int nib = 0; nib < 16; ++nib) {
+    int n = 0;
+    for (int p = 0; p < 4; ++p) {
+      if (nib & (1 << p)) {
+        lut[nib][2 * n] = 2 * p;
+        lut[nib][2 * n + 1] = 2 * p + 1;
+        ++n;
+      }
+    }
+  }
+  return lut;
+}
+constexpr auto kNibbleLut = MakeNibbleLut();
+
+/// 8x u32 lane mask with lanes whose bit is set in `byte` all-ones.
+inline __m256i LaneMask8(uint32_t byte) {
+  const __m256i bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  const __m256i v = _mm256_set1_epi32(static_cast<int>(byte));
+  return _mm256_cmpeq_epi32(_mm256_and_si256(v, bits), bits);
+}
+
+/// 4x u64 lane mask from a nibble.
+inline __m256i LaneMask4(uint32_t nib) {
+  const __m256i bits = _mm256_setr_epi64x(1, 2, 4, 8);
+  const __m256i v = _mm256_set1_epi64x(static_cast<int>(nib));
+  return _mm256_cmpeq_epi64(_mm256_and_si256(v, bits), bits);
+}
+
+/// 8x u32 mask covering lanes [0, cnt).
+inline __m256i FrontMask8(int cnt) {
+  const __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  return _mm256_cmpgt_epi32(_mm256_set1_epi32(cnt), iota);
+}
+
+/// 4x u64 mask covering lanes [0, cnt).
+inline __m256i FrontMask4(int cnt) {
+  const __m256i iota = _mm256_setr_epi64x(0, 1, 2, 3);
+  return _mm256_cmpgt_epi64(_mm256_set1_epi64x(cnt), iota);
+}
+
+uint32_t ExpandMaskAvx2(uint64_t mask, uint32_t base, uint32_t* out) {
+  uint32_t n = 0;
+  for (uint32_t g = 0; mask != 0; ++g, mask >>= 8) {
+    const uint32_t byte = static_cast<uint32_t>(mask & 0xFF);
+    if (byte == 0) continue;
+    const __m256i idx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(kByteLut[byte].data())));
+    const __m256i v = _mm256_add_epi32(
+        idx, _mm256_set1_epi32(static_cast<int>(base + 8 * g)));
+    const int cnt = std::popcount(byte);
+    _mm256_maskstore_epi32(reinterpret_cast<int*>(out + n), FrontMask8(cnt),
+                           v);
+    n += static_cast<uint32_t>(cnt);
+  }
+  return n;
+}
+
+uint32_t Compress32Avx2(uint64_t mask, const uint32_t* src, uint32_t* out) {
+  uint32_t n = 0;
+  for (uint32_t g = 0; mask != 0; ++g, mask >>= 8) {
+    const uint32_t byte = static_cast<uint32_t>(mask & 0xFF);
+    if (byte == 0) continue;
+    const __m256i v = _mm256_maskload_epi32(
+        reinterpret_cast<const int*>(src + 8 * g), LaneMask8(byte));
+    const __m256i idx = _mm256_cvtepu8_epi32(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(kByteLut[byte].data())));
+    const __m256i packed = _mm256_permutevar8x32_epi32(v, idx);
+    const int cnt = std::popcount(byte);
+    _mm256_maskstore_epi32(reinterpret_cast<int*>(out + n), FrontMask8(cnt),
+                           packed);
+    n += static_cast<uint32_t>(cnt);
+  }
+  return n;
+}
+
+uint32_t Compress64Avx2(uint64_t mask, const uint64_t* src, uint64_t* out) {
+  uint32_t n = 0;
+  for (uint32_t g = 0; mask != 0; ++g, mask >>= 4) {
+    const uint32_t nib = static_cast<uint32_t>(mask & 0xF);
+    if (nib == 0) continue;
+    const __m256i v = _mm256_maskload_epi64(
+        reinterpret_cast<const long long*>(src + 4 * g), LaneMask4(nib));
+    // Treat the 4x u64 as 8x u32 and pull the set lanes' pairs forward.
+    const __m256i packed = _mm256_permutevar8x32_epi32(
+        v, _mm256_loadu_si256(
+               reinterpret_cast<const __m256i*>(kNibbleLut[nib].data())));
+    const int cnt = std::popcount(nib);
+    _mm256_maskstore_epi64(reinterpret_cast<long long*>(out + n),
+                           FrontMask4(cnt), packed);
+    n += static_cast<uint32_t>(cnt);
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Table assembly.
+
+const CodecKernels& Avx2Table() {
+  static const CodecKernels kTable = [] {
+    CodecKernels t = ScalarKernels();
+    t.name = "avx2";
+    // Byte-window decode covers widths 2..57; 0, 1 and 58..63 keep scalar
+    // (58..63 straddle past an 8-byte window) and 64 gets the aligned copy
+    // below.
+    [&]<size_t... I>(std::index_sequence<I...>) {
+      ((t.unpack_block[I + 2] = &UnpackBlockAvx2<I + 2>,
+        t.match_block[I + 2] = &MatchBlockAvx2<I + 2>),
+       ...);
+    }(std::make_index_sequence<56>{});
+    // Byte-aligned widths take the zero-extend fast path (width 64's copy
+    // included — the generic scheme does not reach it at all).
+    t.unpack_block[8] = &UnpackBlockAlignedAvx2<8>;
+    t.unpack_block[16] = &UnpackBlockAlignedAvx2<16>;
+    t.unpack_block[32] = &UnpackBlockAlignedAvx2<32>;
+    t.unpack_block[64] = &UnpackBlockAlignedAvx2<64>;
+    t.match_block[8] = &MatchBlockAlignedAvx2<8>;
+    t.match_block[16] = &MatchBlockAlignedAvx2<16>;
+    t.match_block[32] = &MatchBlockAlignedAvx2<32>;
+    t.match_block[64] = &MatchBlockAlignedAvx2<64>;
+    // MatchBlockPartial / UnpackPartial stay scalar: they run once per
+    // range on < 64 elements and a vector tail pass cannot beat that.
+    [&]<size_t... I>(std::index_sequence<I...>) {
+      ((t.gather32[I + 1] = &Gather32Avx2<I + 1>,
+        t.gather64[I + 1] = &Gather64Avx2<I + 1>),
+       ...);
+    }(std::make_index_sequence<64>{});
+    t.expand_mask = &ExpandMaskAvx2;
+    t.compress32 = &Compress32Avx2;
+    t.compress64 = &Compress64Avx2;
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+const CodecKernels* Avx2Kernels() {
+  if (!(__builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi") &&
+        __builtin_cpu_supports("bmi2") && __builtin_cpu_supports("popcnt"))) {
+    return nullptr;
+  }
+  return &Avx2Table();
+}
+
+}  // namespace wastenot::bwd::internal
+
+#endif  // WASTENOT_HAVE_AVX2

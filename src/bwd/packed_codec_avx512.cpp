@@ -1,0 +1,373 @@
+// AVX-512 tier of the packed codec (see packed_codec_kernels.h for the
+// table contract and DESIGN.md "Kernel dispatch" for the architecture).
+//
+// Decode scheme (widths 1..57): each group of eight elements is decoded
+// from one 64-byte load clamped inside the block's 8*W bytes (for W < 8
+// the whole block fits one register, fetched once with a fault-suppressing
+// masked byte load), a cross-lane vpermb (AVX512-VBMI) aligning each
+// element's 8-byte window into its 64-bit lane, a variable right shift and
+// one mask — about five instructions per eight elements. Widths 58..64
+// keep the scalar entries.
+//
+// Exact-allocation contract: clamped loads are provably in-block (static
+// asserts below), masked loads and gathers fault-suppress disabled lanes,
+// and the selection fills only ever store through compressstoreu (exactly
+// popcount lanes). Masked 512-bit ops are not ASan-instrumented, which is
+// fine: the guarantee is hardware-level fault suppression, and the scalar
+// tier covers the instrumented-bounds testing.
+//
+// This TU is compiled with -mavx512{f,bw,dq,vl,vbmi} (CMake adds the flags
+// only when the compiler supports them and WASTENOT_FORCE_SCALAR is off);
+// runtime CPUID gating happens in Avx512Kernels().
+
+#include "bwd/packed_codec.h"
+#include "bwd/packed_codec_kernels.h"
+
+#if defined(WASTENOT_HAVE_AVX512)
+#ifndef __AVX512F__
+#error "packed_codec_avx512.cpp must be compiled with -mavx512f (and friends)"
+#endif
+
+#include <immintrin.h>
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <utility>
+
+namespace wastenot::bwd::internal {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Byte-window layout for the group loads.
+
+/// Base byte of the 64-byte load covering elements 8g..8g+7, clamped
+/// in-block (0 when the whole block fits one register).
+template <uint32_t W>
+constexpr uint32_t GroupBase(uint32_t g) {
+  if (8 * W <= 64) return 0;
+  const uint32_t natural = g * W;  // 8 elements * W bits = W bytes
+  const uint32_t clamp = 8 * W - 64;
+  return natural < clamp ? natural : clamp;
+}
+
+/// Every element's 8-byte window must sit within its group's 64-byte load
+/// (vpermb indices 0..63) and every full load within the block.
+template <uint32_t W>
+constexpr bool GroupsValid() {
+  for (uint32_t g = 0; g < 8; ++g) {
+    const uint32_t base = GroupBase<W>(g);
+    if (8 * W > 64 && base + 64 > 8 * W) return false;
+    for (uint32_t lane = 0; lane < 8; ++lane) {
+      const uint32_t start = ByteWindow<W>::StartByte(8 * g + lane);
+      if (start < base) return false;
+      if (start - base + 8 > 64) return false;
+    }
+  }
+  return true;
+}
+
+/// vpermb control aligning the eight elements 8G..8G+7 into 64-bit lanes.
+template <uint32_t W, uint32_t G>
+constexpr std::array<uint8_t, 64> MakePerm8() {
+  std::array<uint8_t, 64> p{};
+  for (uint32_t lane = 0; lane < 8; ++lane) {
+    const uint32_t off =
+        ByteWindow<W>::StartByte(8 * G + lane) - GroupBase<W>(G);
+    for (uint32_t t = 0; t < 8; ++t) {
+      p[lane * 8 + t] = static_cast<uint8_t>(off + t);
+    }
+  }
+  return p;
+}
+
+/// Aligns group G's eight elements out of `data` (the group's 64-byte
+/// window) into zero-extended 64-bit lanes.
+template <uint32_t W, uint32_t G>
+inline __m512i PermShiftMask(__m512i data) {
+  static_assert(W >= 1 && W <= 57);
+  static_assert(ByteWindow<W>::Valid());
+  static_assert(GroupsValid<W>());
+  static constexpr std::array<uint8_t, 64> kPerm = MakePerm8<W, G>();
+  constexpr uint32_t kJ0 = 8 * G;
+  __m512i v = _mm512_permutexvar_epi8(
+      _mm512_loadu_si512(kPerm.data()), data);
+  v = _mm512_srlv_epi64(
+      v, _mm512_setr_epi64(ByteWindow<W>::Shift(kJ0),
+                           ByteWindow<W>::Shift(kJ0 + 1),
+                           ByteWindow<W>::Shift(kJ0 + 2),
+                           ByteWindow<W>::Shift(kJ0 + 3),
+                           ByteWindow<W>::Shift(kJ0 + 4),
+                           ByteWindow<W>::Shift(kJ0 + 5),
+                           ByteWindow<W>::Shift(kJ0 + 6),
+                           ByteWindow<W>::Shift(kJ0 + 7)));
+  return _mm512_and_si512(
+      v, _mm512_set1_epi64(static_cast<long long>(bits::LowMask(W))));
+}
+
+/// Whole block (8*W <= 64 bytes) in one register, missing bytes zeroed by
+/// a fault-suppressing masked load.
+template <uint32_t W>
+inline __m512i LoadWholeBlock(const uint8_t* bytes) {
+  constexpr __mmask64 kMask =
+      8 * W == 64 ? ~__mmask64{0} : ((__mmask64{1} << (8 * W)) - 1);
+  return _mm512_maskz_loadu_epi8(kMask, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Block kernels.
+
+template <uint32_t W>
+void UnpackBlockAvx512(const uint64_t* in, uint64_t* out) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(in);
+  if constexpr (8 * W <= 64) {
+    const __m512i whole = LoadWholeBlock<W>(bytes);
+    [&]<size_t... G>(std::index_sequence<G...>) {
+      ((_mm512_storeu_si512(out + 8 * G, PermShiftMask<W, G>(whole))), ...);
+    }(std::make_index_sequence<8>{});
+  } else {
+    [&]<size_t... G>(std::index_sequence<G...>) {
+      ((_mm512_storeu_si512(
+           out + 8 * G,
+           PermShiftMask<W, G>(
+               _mm512_loadu_si512(bytes + GroupBase<W>(G))))),
+       ...);
+    }(std::make_index_sequence<8>{});
+  }
+}
+
+template <uint32_t W>
+uint64_t MatchBlockAvx512(const uint64_t* in, uint64_t lo, uint64_t span) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(in);
+  const __m512i vlo = _mm512_set1_epi64(static_cast<long long>(lo));
+  const __m512i vspan = _mm512_set1_epi64(static_cast<long long>(span));
+  uint64_t m = 0;
+  const auto lane8 = [&](auto group, __m512i data) {
+    constexpr uint32_t G = decltype(group)::value;
+    const __mmask8 k = _mm512_cmple_epu64_mask(
+        _mm512_sub_epi64(PermShiftMask<W, G>(data), vlo), vspan);
+    m |= static_cast<uint64_t>(k) << (8 * G);
+  };
+  if constexpr (8 * W <= 64) {
+    const __m512i whole = LoadWholeBlock<W>(bytes);
+    [&]<size_t... G>(std::index_sequence<G...>) {
+      ((lane8(std::integral_constant<uint32_t, G>{}, whole)), ...);
+    }(std::make_index_sequence<8>{});
+  } else {
+    [&]<size_t... G>(std::index_sequence<G...>) {
+      ((lane8(std::integral_constant<uint32_t, G>{},
+              _mm512_loadu_si512(bytes + GroupBase<W>(G)))),
+       ...);
+    }(std::make_index_sequence<8>{});
+  }
+  return m;
+}
+
+// Byte-aligned widths (8/16/32/64) need no permute or shift at all: each
+// group of eight elements is a contiguous run of packed lanes, so a plain
+// zero-extending load (vpmovzx) — or a straight copy at width 64 — beats
+// the generic vpermb path. Every load is exactly the group's bytes, so
+// exact-allocation safety is trivial.
+template <uint32_t W>
+inline __m512i LoadGroup8Aligned(const uint8_t* bytes, uint32_t g) {
+  static_assert(W == 8 || W == 16 || W == 32 || W == 64);
+  if constexpr (W == 8) {
+    return _mm512_cvtepu8_epi64(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bytes + 8 * g)));
+  } else if constexpr (W == 16) {
+    return _mm512_cvtepu16_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 16 * g)));
+  } else if constexpr (W == 32) {
+    return _mm512_cvtepu32_epi64(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bytes + 32 * g)));
+  } else {
+    return _mm512_loadu_si512(bytes + 64 * g);
+  }
+}
+
+template <uint32_t W>
+void UnpackBlockAlignedAvx512(const uint64_t* in, uint64_t* out) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(in);
+  for (uint32_t g = 0; g < 8; ++g) {
+    _mm512_storeu_si512(out + 8 * g, LoadGroup8Aligned<W>(bytes, g));
+  }
+}
+
+template <uint32_t W>
+uint64_t MatchBlockAlignedAvx512(const uint64_t* in, uint64_t lo,
+                                 uint64_t span) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(in);
+  const __m512i vlo = _mm512_set1_epi64(static_cast<long long>(lo));
+  const __m512i vspan = _mm512_set1_epi64(static_cast<long long>(span));
+  uint64_t m = 0;
+  for (uint32_t g = 0; g < 8; ++g) {
+    const __mmask8 k = _mm512_cmple_epu64_mask(
+        _mm512_sub_epi64(LoadGroup8Aligned<W>(bytes, g), vlo), vspan);
+    m |= static_cast<uint64_t>(k) << (8 * g);
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Gather (all widths 1..64): eight ids per iteration. The high word of a
+// straddling element comes from a masked gather, so non-straddling lanes
+// (in particular the final element of an exactly-sized buffer) never
+// touch word + 1.
+
+template <uint32_t W, typename Id>
+inline void GatherAvx512(const uint64_t* words, const Id* ids, uint64_t n,
+                         uint64_t* out) {
+  static_assert(W >= 1 && W <= 64);
+  const __m512i v_w = _mm512_set1_epi64(W);
+  const __m512i v_mask =
+      _mm512_set1_epi64(static_cast<long long>(bits::LowMask(W)));
+  const __m512i v_63 = _mm512_set1_epi64(63);
+  const __m512i v_64 = _mm512_set1_epi64(64);
+  const __m512i v_one = _mm512_set1_epi64(1);
+  const __m512i v_nostrad = _mm512_set1_epi64(64 - static_cast<int>(W));
+
+  uint64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i id;
+    if constexpr (sizeof(Id) == 4) {
+      id = _mm512_cvtepu32_epi64(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i)));
+    } else {
+      id = _mm512_loadu_si512(ids + i);
+    }
+    const __m512i bitpos = _mm512_mullo_epi64(id, v_w);
+    const __m512i word = _mm512_srli_epi64(bitpos, 6);
+    const __m512i shift = _mm512_and_si512(bitpos, v_63);
+    const __m512i lo = _mm512_i64gather_epi64(word, words, 8);
+    const __mmask8 strad = _mm512_cmpgt_epi64_mask(shift, v_nostrad);
+    const __m512i hi = _mm512_mask_i64gather_epi64(
+        _mm512_setzero_si512(), strad, _mm512_add_epi64(word, v_one), words,
+        8);
+    __m512i v = _mm512_or_si512(
+        _mm512_srlv_epi64(lo, shift),
+        _mm512_sllv_epi64(hi, _mm512_sub_epi64(v_64, shift)));
+    v = _mm512_and_si512(v, v_mask);
+    _mm512_storeu_si512(out + i, v);
+  }
+  if (i < n) {
+    if constexpr (sizeof(Id) == 4) {
+      ScalarKernels().gather32[W](words, ids + i, n - i, out + i);
+    } else {
+      ScalarKernels().gather64[W](words, ids + i, n - i, out + i);
+    }
+  }
+}
+
+template <uint32_t W>
+void Gather32Avx512(const uint64_t* words, const uint32_t* ids, uint64_t n,
+                    uint64_t* out) {
+  GatherAvx512<W>(words, ids, n, out);
+}
+template <uint32_t W>
+void Gather64Avx512(const uint64_t* words, const uint64_t* ids, uint64_t n,
+                    uint64_t* out) {
+  GatherAvx512<W>(words, ids, n, out);
+}
+
+// ---------------------------------------------------------------------------
+// Selection fills: native compress. maskz loads fault-suppress disabled
+// lanes; compressstoreu writes exactly popcount lanes.
+
+uint32_t ExpandMaskAvx512(uint64_t mask, uint32_t base, uint32_t* out) {
+  const __m512i iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                         11, 12, 13, 14, 15);
+  uint32_t n = 0;
+  for (uint32_t g = 0; mask != 0; ++g, mask >>= 16) {
+    const uint32_t bits16 = static_cast<uint32_t>(mask & 0xFFFF);
+    if (bits16 == 0) continue;
+    const __m512i v = _mm512_add_epi32(
+        iota, _mm512_set1_epi32(static_cast<int>(base + 16 * g)));
+    _mm512_mask_compressstoreu_epi32(out + n,
+                                     static_cast<__mmask16>(bits16), v);
+    n += static_cast<uint32_t>(std::popcount(bits16));
+  }
+  return n;
+}
+
+uint32_t Compress32Avx512(uint64_t mask, const uint32_t* src, uint32_t* out) {
+  uint32_t n = 0;
+  for (uint32_t g = 0; mask != 0; ++g, mask >>= 16) {
+    const uint32_t bits16 = static_cast<uint32_t>(mask & 0xFFFF);
+    if (bits16 == 0) continue;
+    const __m512i v = _mm512_maskz_loadu_epi32(
+        static_cast<__mmask16>(bits16), src + 16 * g);
+    _mm512_mask_compressstoreu_epi32(out + n,
+                                     static_cast<__mmask16>(bits16), v);
+    n += static_cast<uint32_t>(std::popcount(bits16));
+  }
+  return n;
+}
+
+uint32_t Compress64Avx512(uint64_t mask, const uint64_t* src, uint64_t* out) {
+  uint32_t n = 0;
+  for (uint32_t g = 0; mask != 0; ++g, mask >>= 8) {
+    const uint32_t bits8 = static_cast<uint32_t>(mask & 0xFF);
+    if (bits8 == 0) continue;
+    const __m512i v =
+        _mm512_maskz_loadu_epi64(static_cast<__mmask8>(bits8), src + 8 * g);
+    _mm512_mask_compressstoreu_epi64(out + n, static_cast<__mmask8>(bits8),
+                                     v);
+    n += static_cast<uint32_t>(std::popcount(bits8));
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Table assembly.
+
+const CodecKernels& Avx512Table() {
+  static const CodecKernels kTable = [] {
+    CodecKernels t = ScalarKernels();
+    t.name = "avx512";
+    // vpermb decode covers widths 1..57; 58..63 keep scalar (they straddle
+    // past an 8-byte window) and 64 gets the aligned copy below.
+    [&]<size_t... I>(std::index_sequence<I...>) {
+      ((t.unpack_block[I + 1] = &UnpackBlockAvx512<I + 1>,
+        t.match_block[I + 1] = &MatchBlockAvx512<I + 1>),
+       ...);
+    }(std::make_index_sequence<57>{});
+    // Byte-aligned widths take the zero-extend fast path (width 64's copy
+    // included — the generic scheme does not reach it at all).
+    t.unpack_block[8] = &UnpackBlockAlignedAvx512<8>;
+    t.unpack_block[16] = &UnpackBlockAlignedAvx512<16>;
+    t.unpack_block[32] = &UnpackBlockAlignedAvx512<32>;
+    t.unpack_block[64] = &UnpackBlockAlignedAvx512<64>;
+    t.match_block[8] = &MatchBlockAlignedAvx512<8>;
+    t.match_block[16] = &MatchBlockAlignedAvx512<16>;
+    t.match_block[32] = &MatchBlockAlignedAvx512<32>;
+    t.match_block[64] = &MatchBlockAlignedAvx512<64>;
+    // MatchBlockPartial / UnpackPartial stay scalar (tail-only work).
+    [&]<size_t... I>(std::index_sequence<I...>) {
+      ((t.gather32[I + 1] = &Gather32Avx512<I + 1>,
+        t.gather64[I + 1] = &Gather64Avx512<I + 1>),
+       ...);
+    }(std::make_index_sequence<64>{});
+    t.expand_mask = &ExpandMaskAvx512;
+    t.compress32 = &Compress32Avx512;
+    t.compress64 = &Compress64Avx512;
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace
+
+const CodecKernels* Avx512Kernels() {
+  if (!(__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512vbmi"))) {
+    return nullptr;
+  }
+  return &Avx512Table();
+}
+
+}  // namespace wastenot::bwd::internal
+
+#endif  // WASTENOT_HAVE_AVX512

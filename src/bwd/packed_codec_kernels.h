@@ -1,0 +1,106 @@
+// Internal kernel-table layer of the packed codec (public API:
+// packed_codec.h; architecture: DESIGN.md "Kernel dispatch").
+//
+// Each ISA tier (scalar, AVX2, AVX-512) provides one CodecKernels table:
+// width-indexed function pointers for the block kernels plus the
+// mask-driven selection-fill primitives. packed_codec.cpp resolves the
+// highest tier the running CPU supports once (overridable with the
+// WASTENOT_FORCE_SCALAR environment variable or SetPackedCodecScalarOnly)
+// and routes every public call through the active table.
+//
+// Exact-allocation contract (every tier, every entry): a kernel may read
+// only the words its elements occupy — never one past the last data word.
+// Buffers of exactly CeilDiv(count * width, 64) words are legal inputs;
+// SIMD tiers honor this with in-block clamped load windows and masked
+// (fault-suppressing) loads, never with trailing padding.
+//
+// This header is internal: only packed_codec*.cpp, the bit-identity fuzz
+// tests and micro_packed include it.
+
+#ifndef WASTENOT_BWD_PACKED_CODEC_KERNELS_H_
+#define WASTENOT_BWD_PACKED_CODEC_KERNELS_H_
+
+#include <array>
+#include <cstdint>
+
+namespace wastenot::bwd::internal {
+
+using UnpackBlockFn = void (*)(const uint64_t*, uint64_t*);
+using UnpackPartialFn = void (*)(const uint64_t*, uint64_t*, uint32_t);
+using MatchBlockFn = uint64_t (*)(const uint64_t*, uint64_t, uint64_t);
+using MatchPartialFn = uint64_t (*)(const uint64_t*, uint32_t, uint64_t,
+                                    uint64_t);
+using Gather32Fn = void (*)(const uint64_t*, const uint32_t*, uint64_t,
+                            uint64_t*);
+using Gather64Fn = void (*)(const uint64_t*, const uint64_t*, uint64_t,
+                            uint64_t*);
+using ExpandMaskFn = uint32_t (*)(uint64_t, uint32_t, uint32_t*);
+using Compress32Fn = uint32_t (*)(uint64_t, const uint32_t*, uint32_t*);
+using Compress64Fn = uint32_t (*)(uint64_t, const uint64_t*, uint64_t*);
+
+/// One ISA tier's complete kernel set. Width-indexed tables have 65
+/// entries (widths 0..64); tiers copy the scalar table and override only
+/// the widths their vector scheme covers, so every entry is always
+/// callable and bit-identical to the scalar reference.
+struct CodecKernels {
+  const char* name;  ///< "scalar", "avx2", "avx512"
+  std::array<UnpackBlockFn, 65> unpack_block;
+  std::array<UnpackPartialFn, 65> unpack_partial;
+  std::array<MatchBlockFn, 65> match_block;
+  std::array<MatchPartialFn, 65> match_partial;
+  std::array<Gather32Fn, 65> gather32;
+  std::array<Gather64Fn, 65> gather64;
+  ExpandMaskFn expand_mask;
+  Compress32Fn compress32;
+  Compress64Fn compress64;
+};
+
+/// The always-available force-unrolled scalar tier (the correctness
+/// reference every other tier is property-tested against).
+const CodecKernels& ScalarKernels();
+
+/// Vector tiers: null when the binary was built without the tier
+/// (non-x86, compiler too old, or -DWASTENOT_FORCE_SCALAR=ON) or the
+/// running CPU lacks the ISA. When non-null, every entry is safe to call
+/// on this machine.
+const CodecKernels* Avx2Kernels();
+const CodecKernels* Avx512Kernels();
+
+/// Pure dispatch decision (no caching): the highest available tier, or
+/// the scalar tier when `force_scalar`.
+const CodecKernels& ResolveKernels(bool force_scalar);
+
+/// Byte-window layout shared by the SIMD decoders. Element j of a
+/// 64-element block (W bits each, packed little-endian in 8*W bytes) is
+/// decoded from an unaligned 8-byte load: `(load64(bytes + StartByte(j))
+/// >> Shift(j)) & LowMask(W)`. The start byte is clamped so the window
+/// never extends past the block's last byte — for clamped elements the
+/// shift grows instead, and Shift(j) + W <= 64 still holds for every
+/// j when W <= 57 (statically checked in the SIMD TUs), so no kernel
+/// reads beyond the words its block occupies.
+template <uint32_t W>
+struct ByteWindow {
+  static constexpr uint32_t kBlockBytes = 8 * W;
+
+  static constexpr uint32_t StartByte(uint32_t j) {
+    const uint32_t natural = (j * W) / 8;
+    const uint32_t clamp = kBlockBytes - 8;
+    return natural < clamp ? natural : clamp;
+  }
+  static constexpr uint32_t Shift(uint32_t j) {
+    return j * W - 8 * StartByte(j);
+  }
+  /// True iff every element's window stays within 8 bytes — the SIMD
+  /// decoders require this (holds for all W <= 57).
+  static constexpr bool Valid() {
+    for (uint32_t j = 0; j < 64; ++j) {
+      if (Shift(j) + W > 64) return false;
+      if (StartByte(j) + 8 > kBlockBytes) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace wastenot::bwd::internal
+
+#endif  // WASTENOT_BWD_PACKED_CODEC_KERNELS_H_

@@ -1,6 +1,7 @@
 #include "core/clustered_column.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "bwd/packed_codec.h"
 #include "util/bits.h"
@@ -136,11 +137,19 @@ cs::OidVec ClusteredBwdColumn::SelectRefine(const ClusteredSelection& sel,
         const uint32_t lanes = static_cast<uint32_t>(
             std::min(run_end - b0, bwd::kPackedBlockElems));
         bwd::UnpackRange(res, b0, lanes, res_digits);
+        // Branch-free per-lane flags, then one mask-compressed append of
+        // the surviving row-map entries (SIMD compress-store under the
+        // hood) instead of a branchy per-lane push_back.
+        uint64_t ok = 0;
         for (uint32_t j = 0; j < lanes; ++j) {
-          if (pred.Contains(spec_.Reassemble(digit, res_digits[j]))) {
-            frag->push_back(row_map_[b0 + j]);
-          }
+          ok |= static_cast<uint64_t>(
+                    pred.Contains(spec_.Reassemble(digit, res_digits[j])))
+                << j;
         }
+        if (ok == 0) continue;
+        const size_t old = frag->size();
+        frag->resize(old + static_cast<uint32_t>(std::popcount(ok)));
+        bwd::CompressLanes(ok, row_map_.data() + b0, frag->data() + old);
       }
       pos = run_end;
     }

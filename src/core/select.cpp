@@ -183,31 +183,34 @@ void SelectChunkFull(const bwd::PackedView& view, const DecompositionSpec& spec,
 
   // Pass 2 (fill): exact-size the chunk output, then revisit only blocks
   // that matched — the packed payload is still cache-hot — and emit by
-  // bitmask iteration. No per-element branches, no reallocation.
+  // mask expansion/compression (SIMD compress-store under the hood), then
+  // a dense branch-free loop over the survivors. No per-element branches,
+  // no reallocation.
   out->ids.resize(num_match);
   out->lower.resize(num_match);
   out->certain.resize(num_match);
   uint64_t num_certain = 0;
   uint64_t pos = 0;
+  uint64_t cdigits[bwd::kPackedBlockElems];
   for (uint64_t b = 0; b < num_blocks; ++b) {
-    uint64_t m = match[b];
+    const uint64_t m = match[b];
     if (m == 0) continue;
     const uint64_t e0 = begin + b * bwd::kPackedBlockElems;
     const uint32_t lanes =
         static_cast<uint32_t>(std::min(end - e0, bwd::kPackedBlockElems));
     bwd::UnpackRange(words, width, e0, lanes, digits);
-    while (m != 0) {
-      const uint32_t j = static_cast<uint32_t>(std::countr_zero(m));
-      m &= m - 1;
-      const uint64_t digit = digits[j];
+    const uint32_t cnt =
+        bwd::ExpandMask(m, static_cast<uint32_t>(e0), out->ids.data() + pos);
+    bwd::CompressLanes(m, digits, cdigits);
+    for (uint32_t k = 0; k < cnt; ++k) {
+      const uint64_t digit = cdigits[k];
       const uint8_t cert = static_cast<uint8_t>(
           has_certain && digit - relaxed.certain_lo <= certain_span);
-      out->ids[pos] = static_cast<cs::oid_t>(e0 + j);
-      out->lower[pos] = spec.LowerBound(digit);
-      out->certain[pos] = cert;
+      out->lower[pos + k] = spec.LowerBound(digit);
+      out->certain[pos + k] = cert;
       num_certain += cert;
-      ++pos;
     }
+    pos += cnt;
   }
   out->num_certain = num_certain;
 }
@@ -246,22 +249,24 @@ void SelectChunkCandidates(const bwd::PackedView& view,
   out->positions.resize(num_match);
   uint64_t num_certain = 0;
   uint64_t pos = 0;
+  uint64_t cdigits[bwd::kPackedBlockElems];
   for (uint64_t b = 0; b < num_blocks; ++b) {
-    uint64_t m = match[b];
+    const uint64_t m = match[b];
+    if (m == 0) continue;
     const uint64_t j0 = b * bwd::kPackedBlockElems;
-    while (m != 0) {
-      const uint32_t j = static_cast<uint32_t>(std::countr_zero(m));
-      m &= m - 1;
-      const uint64_t digit = digits[j0 + j];
+    const uint32_t cnt = bwd::CompressLanes(m, ids + j0, out->ids.data() + pos);
+    bwd::ExpandMask(m, static_cast<uint32_t>(begin + j0),
+                    out->positions.data() + pos);
+    bwd::CompressLanes(m, digits.data() + j0, cdigits);
+    for (uint32_t k = 0; k < cnt; ++k) {
+      const uint64_t digit = cdigits[k];
       const uint8_t cert = static_cast<uint8_t>(
           has_certain && digit - relaxed.certain_lo <= certain_span);
-      out->ids[pos] = ids[j0 + j];
-      out->positions[pos] = static_cast<cs::oid_t>(begin + j0 + j);
-      out->lower[pos] = spec.LowerBound(digit);
-      out->certain[pos] = cert;
+      out->lower[pos + k] = spec.LowerBound(digit);
+      out->certain[pos + k] = cert;
       num_certain += cert;
-      ++pos;
     }
+    pos += cnt;
   }
   out->num_certain = num_certain;
 }
@@ -419,16 +424,24 @@ void RefineMorsel(const Candidates& cands,
       }
       pass &= ok;
     }
-    while (pass != 0) {
-      const uint32_t j = static_cast<uint32_t>(std::countr_zero(pass));
-      pass &= pass - 1;
-      out->ids.push_back(ids[j]);
-      out->positions.push_back(static_cast<cs::oid_t>(b0 + j));
-      if (keep_values) {
-        for (uint64_t c = 0; c < num_conjuncts; ++c) {
-          out->exact_values[c].push_back(
-              exact[c * bwd::kPackedBlockElems + j]);
-        }
+    if (pass == 0) continue;
+    const uint32_t cnt = static_cast<uint32_t>(std::popcount(pass));
+    const size_t old = out->ids.size();
+    out->ids.resize(old + cnt);
+    out->positions.resize(old + cnt);
+    bwd::CompressLanes(pass, ids, out->ids.data() + old);
+    bwd::ExpandMask(pass, static_cast<uint32_t>(b0),
+                    out->positions.data() + old);
+    if (keep_values) {
+      for (uint64_t c = 0; c < num_conjuncts; ++c) {
+        auto& vals = out->exact_values[c];
+        vals.resize(old + cnt);
+        // int64 payload compressed through the u64 overload (same bits).
+        bwd::CompressLanes(
+            pass,
+            reinterpret_cast<const uint64_t*>(exact.data() +
+                                              c * bwd::kPackedBlockElems),
+            reinterpret_cast<uint64_t*>(vals.data() + old));
       }
     }
   }

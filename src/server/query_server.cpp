@@ -1,6 +1,7 @@
 #include "server/query_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "core/classic_engine.h"
@@ -177,10 +178,12 @@ void QueryServer::RecordCompletion(QueryResponse* response) {
   } else {
     ++stats_.failed;
   }
-  if (latencies_.size() < kLatencyWindow) {
-    latencies_.push_back(response->latency_seconds);
+  const size_t window = std::max<uint64_t>(1, options_.latency_window);
+  const LatencySample sample{response->latency_seconds, uptime_.Seconds()};
+  if (latencies_.size() < window) {
+    latencies_.push_back(sample);
   } else {
-    latencies_[latency_next_ % kLatencyWindow] = response->latency_seconds;
+    latencies_[latency_next_ % window] = sample;
   }
   ++latency_next_;
 }
@@ -223,27 +226,54 @@ void QueryServer::Shutdown() {
   workers_.clear();
 }
 
+double LatencyPercentile(std::vector<double> samples, double fraction) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t n = samples.size();
+  size_t rank = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(n)));
+  rank = std::clamp<size_t>(rank, 1, n);
+  return samples[rank - 1];
+}
+
 ServerStats QueryServer::stats() const {
-  std::vector<double> latencies;
+  std::vector<LatencySample> window;
   ServerStats out;
   {
     std::lock_guard<std::mutex> lock(mu_);
     out = stats_;
     out.queue_depth = queue_.size();
-    latencies = latencies_;
+    window = latencies_;
   }
-  const double elapsed = uptime_.Seconds();
-  out.qps = elapsed > 0 ? static_cast<double>(out.completed) / elapsed : 0;
-  std::sort(latencies.begin(), latencies.end());
-  auto percentile = [&latencies](double fraction) {
-    if (latencies.empty()) return 0.0;
-    return latencies[std::min(
-        latencies.size() - 1,
-        static_cast<size_t>(fraction *
-                            static_cast<double>(latencies.size())))];
-  };
-  out.p50_latency_seconds = percentile(0.50);
-  out.p99_latency_seconds = percentile(0.99);
+
+  // Windowed qps (see the ServerStats::qps contract): rate across the
+  // completion timestamps in the window, independent of how long ago they
+  // happened — idle time after the window does not decay it. The fallback
+  // (under two samples, or all completions at one timestamp) is lifetime
+  // completions over uptime.
+  out.qps = 0;
+  if (window.size() >= 2) {
+    double first = window[0].completed_at;
+    double last = window[0].completed_at;
+    for (const LatencySample& s : window) {
+      first = std::min(first, s.completed_at);
+      last = std::max(last, s.completed_at);
+    }
+    if (last > first) {
+      out.qps = static_cast<double>(window.size() - 1) / (last - first);
+    }
+  }
+  if (out.qps == 0) {
+    const double elapsed = uptime_.Seconds();
+    const uint64_t served = out.completed + out.failed;
+    out.qps = elapsed > 0 ? static_cast<double>(served) / elapsed : 0;
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(window.size());
+  for (const LatencySample& s : window) latencies.push_back(s.latency_seconds);
+  out.p50_latency_seconds = LatencyPercentile(latencies, 0.50);
+  out.p99_latency_seconds = LatencyPercentile(std::move(latencies), 0.99);
   return out;
 }
 

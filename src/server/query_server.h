@@ -73,7 +73,19 @@ struct ServerOptions {
     o.num_threads = 1;
     return o;
   }();
+  /// Completions kept for the stats() latency percentiles and windowed
+  /// qps (clamped to >= 1). Small values make window-wraparound cheap to
+  /// exercise in tests; the default bounds a long-lived server's memory
+  /// while still averaging over enough samples to be stable.
+  uint64_t latency_window = 4096;
 };
+
+/// Nearest-rank percentile: the smallest sample such that at least
+/// `fraction` of the samples are <= it — rank ceil(fraction * N), i.e.
+/// sorted[ceil(fraction * N) - 1] (clamped to the sample range). With 100
+/// samples p99 is the 99th smallest (index 98), not the maximum; an empty
+/// sample set yields 0.
+double LatencyPercentile(std::vector<double> samples, double fraction);
 
 /// Aggregate serving statistics (since construction).
 struct ServerStats {
@@ -84,10 +96,17 @@ struct ServerStats {
   uint64_t cancelled = 0;  ///< still queued at Shutdown
   uint64_t queue_depth = 0;
   uint64_t max_queue_depth = 0;
-  double qps = 0;  ///< completed / seconds since construction
-  /// Percentiles over the most recent completions (a bounded window, so a
-  /// long-lived server neither grows without bound nor averages away the
-  /// current latency regime).
+  /// Serving rate over the same bounded completion window as the latency
+  /// percentiles: (window size - 1) / (timestamp span of the window),
+  /// counting completions of either status. Measures the rate *while
+  /// serving*, so it does not decay while the server sits idle — two
+  /// stats() calls with no traffic in between report the same qps. With
+  /// fewer than two windowed completions (or a zero span) it falls back to
+  /// lifetime completions / uptime.
+  double qps = 0;
+  /// Nearest-rank percentiles (see LatencyPercentile) over the most recent
+  /// completions (a bounded window, so a long-lived server neither grows
+  /// without bound nor averages away the current latency regime).
   double p50_latency_seconds = 0;
   double p99_latency_seconds = 0;
 };
@@ -156,13 +175,16 @@ class QueryServer {
   QueryResponse Execute(const QueryRequest& request, unsigned worker);
   void RecordCompletion(QueryResponse* response);
 
+  /// One completed request in the bounded stats window.
+  struct LatencySample {
+    double latency_seconds = 0;
+    double completed_at = 0;  ///< uptime at completion (for windowed qps)
+  };
+
   const Backend backend_;
   const ServerOptions options_;
   device::ResidencyCache streaming_cache_;  ///< shared by kStreaming requests
   WallTimer uptime_;
-
-  /// Latency samples kept for the stats() percentiles.
-  static constexpr size_t kLatencyWindow = 4096;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   ///< queue non-empty or shutdown
@@ -176,8 +198,9 @@ class QueryServer {
   unsigned active_submitters_ = 0;  ///< threads inside Enqueue's lock scope
   bool shutdown_ = false;
   ServerStats stats_;
-  std::vector<double> latencies_;  ///< ring of the most recent latencies (s)
-  size_t latency_next_ = 0;        ///< ring cursor once the window is full
+  /// Ring of the most recent completions (options_.latency_window entries).
+  std::vector<LatencySample> latencies_;
+  size_t latency_next_ = 0;  ///< ring cursor once the window is full
 
   std::mutex shutdown_mu_;  ///< serializes Shutdown end-to-end (see .cpp)
 

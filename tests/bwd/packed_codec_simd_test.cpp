@@ -1,0 +1,273 @@
+// SIMD == scalar bit-identity fuzz over the codec kernel tiers.
+//
+// Every ISA tier compiled into this binary (and supported by the running
+// CPU) must agree bit-for-bit with the scalar reference for every kernel,
+// width 0..64, block offset, non-multiple-of-64 tail and selection-fill
+// mask — on buffers with *no slack word*, so any one-past-the-end read
+// trips ASan where loads are instrumented and validates the masked-load
+// fault-suppression contract where they are not. The public API is also
+// pinned under both dispatch modes via SetPackedCodecScalarOnly.
+
+#include "bwd/packed_codec.h"
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bwd/packed_codec_kernels.h"
+#include "util/random.h"
+
+namespace wastenot::bwd {
+namespace {
+
+using internal::CodecKernels;
+
+std::vector<const CodecKernels*> AvailableTiers() {
+  std::vector<const CodecKernels*> tiers = {&internal::ScalarKernels()};
+  if (const CodecKernels* k = internal::Avx2Kernels()) tiers.push_back(k);
+  if (const CodecKernels* k = internal::Avx512Kernels()) tiers.push_back(k);
+  return tiers;
+}
+
+/// `n` random `width`-bit values packed into a buffer of *exactly*
+/// CeilDiv(n * width, 64) words — no slack word, so any kernel overread
+/// is an out-of-bounds heap access.
+struct ExactPacked {
+  std::vector<uint64_t> words;
+  std::vector<uint64_t> values;
+
+  ExactPacked(uint32_t width, uint64_t n, uint64_t seed)
+      : words(bits::CeilDiv(n * width, 64)), values(n) {
+    Xoshiro256 rng(seed);
+    const uint64_t mask = bits::LowMask(width);
+    for (uint64_t i = 0; i < n; ++i) {
+      values[i] = rng.Next() & mask;
+      if (width > 0) {
+        internal::PackedSet(words.data(), width, i, values[i]);
+      }
+    }
+  }
+};
+
+TEST(PackedCodecSimdTest, ScalarTierIsAlwaysFirst) {
+  const auto tiers = AvailableTiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_STREQ(tiers[0]->name, "scalar");
+  for (const CodecKernels* t : tiers) {
+    SCOPED_TRACE(t->name);
+    for (uint32_t w = 0; w <= 64; ++w) {
+      ASSERT_NE(t->unpack_block[w], nullptr);
+      ASSERT_NE(t->match_block[w], nullptr);
+      ASSERT_NE(t->gather32[w], nullptr);
+      ASSERT_NE(t->gather64[w], nullptr);
+    }
+  }
+}
+
+TEST(PackedCodecSimdTest, UnpackBlockBitIdenticalOnExactBuffers) {
+  for (const CodecKernels* tier : AvailableTiers()) {
+    SCOPED_TRACE(tier->name);
+    for (uint32_t width = 0; width <= 64; ++width) {
+      const uint64_t n = 4 * kPackedBlockElems;  // last block ends the buffer
+      ExactPacked ref(width, n, width * 7919 + 11);
+      uint64_t out[kPackedBlockElems];
+      for (uint64_t b = 0; b < n / kPackedBlockElems; ++b) {
+        std::memset(out, 0xAA, sizeof(out));
+        tier->unpack_block[width](ref.words.data() + b * width, out);
+        for (uint64_t j = 0; j < kPackedBlockElems; ++j) {
+          ASSERT_EQ(out[j], ref.values[b * kPackedBlockElems + j])
+              << "width=" << width << " block=" << b << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedCodecSimdTest, MatchBlockBitIdenticalIncludingWraparound) {
+  for (const CodecKernels* tier : AvailableTiers()) {
+    SCOPED_TRACE(tier->name);
+    for (uint32_t width = 0; width <= 64; ++width) {
+      const uint64_t n = 3 * kPackedBlockElems;
+      ExactPacked ref(width, n, width * 131 + 7);
+      Xoshiro256 rng(width * 977 + 3);
+      const uint64_t mask = bits::LowMask(width);
+      for (int iter = 0; iter < 8; ++iter) {
+        uint64_t lo, span;
+        switch (iter) {
+          case 0: lo = 0; span = mask; break;            // everything
+          case 1: lo = 0; span = 0; break;               // only zero
+          case 2: lo = mask; span = 5; break;            // wraps the domain
+          case 3: lo = rng.Next(); span = rng.Next(); break;  // arbitrary
+          default:
+            lo = rng.Next() & mask;
+            span = rng.Next() & (mask >> 1);
+            break;
+        }
+        for (uint64_t b = 0; b < n / kPackedBlockElems; ++b) {
+          uint64_t expect = 0;
+          for (uint64_t j = 0; j < kPackedBlockElems; ++j) {
+            expect |= static_cast<uint64_t>(
+                          ref.values[b * kPackedBlockElems + j] - lo <= span)
+                      << j;
+          }
+          ASSERT_EQ(tier->match_block[width](ref.words.data() + b * width, lo,
+                                             span),
+                    expect)
+              << "width=" << width << " block=" << b << " lo=" << lo
+              << " span=" << span;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedCodecSimdTest, MatchPartialBitIdenticalOnExactTails) {
+  for (const CodecKernels* tier : AvailableTiers()) {
+    SCOPED_TRACE(tier->name);
+    for (uint32_t width = 0; width <= 64; ++width) {
+      // Tail lengths that end mid-word for most widths.
+      for (uint32_t tail : {1u, 7u, 17u, 33u, 63u}) {
+        const uint64_t n = kPackedBlockElems + tail;
+        ExactPacked ref(width, n, width * 271 + tail);
+        const uint64_t mask = bits::LowMask(width);
+        const uint64_t lo = mask / 3;
+        const uint64_t span = mask / 2;
+        uint64_t expect = 0;
+        for (uint32_t j = 0; j < tail; ++j) {
+          expect |= static_cast<uint64_t>(
+                        ref.values[kPackedBlockElems + j] - lo <= span)
+                    << j;
+        }
+        ASSERT_EQ(tier->match_partial[width](ref.words.data() + width, tail,
+                                             lo, span),
+                  expect)
+            << "width=" << width << " tail=" << tail;
+      }
+    }
+  }
+}
+
+TEST(PackedCodecSimdTest, GatherBitIdenticalIncludingFinalElement) {
+  for (const CodecKernels* tier : AvailableTiers()) {
+    SCOPED_TRACE(tier->name);
+    for (uint32_t width = 0; width <= 64; ++width) {
+      // 301: a partial tail; the final element's word is the buffer's last.
+      const uint64_t n = 301;
+      ExactPacked ref(width, n, width * 613 + 1);
+      Xoshiro256 rng(width * 31 + 5);
+      // 69 ids: vector iterations plus a sub-vector-width scalar remainder.
+      const uint64_t num_ids = 69;
+      std::vector<uint32_t> ids32(num_ids);
+      std::vector<uint64_t> ids64(num_ids);
+      for (uint64_t i = 0; i < num_ids; ++i) {
+        ids32[i] = static_cast<uint32_t>(rng.Below(n));
+        ids64[i] = ids32[i];
+      }
+      ids32[0] = static_cast<uint32_t>(n - 1);  // exact-buffer edge
+      ids64[0] = n - 1;
+      ids32[num_ids - 1] = static_cast<uint32_t>(n - 1);  // edge in the tail
+      ids64[num_ids - 1] = n - 1;
+
+      std::vector<uint64_t> out32(num_ids), out64(num_ids);
+      tier->gather32[width](ref.words.data(), ids32.data(), num_ids,
+                            out32.data());
+      tier->gather64[width](ref.words.data(), ids64.data(), num_ids,
+                            out64.data());
+      for (uint64_t i = 0; i < num_ids; ++i) {
+        ASSERT_EQ(out32[i], ref.values[ids32[i]])
+            << "width=" << width << " i=" << i;
+        ASSERT_EQ(out64[i], out32[i]) << "width=" << width << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(PackedCodecSimdTest, SelectionFillsBitIdenticalOnExactBuffers) {
+  Xoshiro256 rng(20260808);
+  std::vector<uint64_t> masks = {0,
+                                 ~uint64_t{0},
+                                 uint64_t{1},
+                                 uint64_t{1} << 63,
+                                 0x8000000000000001ULL,
+                                 0x00FF00FF00FF00FFULL};
+  for (int i = 0; i < 24; ++i) {
+    masks.push_back(rng.Next() & rng.Next() & rng.Next());  // sparse
+    masks.push_back(rng.Next() | rng.Next());               // dense
+  }
+  for (const CodecKernels* tier : AvailableTiers()) {
+    SCOPED_TRACE(tier->name);
+    for (const uint64_t mask : masks) {
+      SCOPED_TRACE(mask);
+      const uint32_t cnt = static_cast<uint32_t>(std::popcount(mask));
+      // src sized to the highest set lane + 1 — lanes past it must never
+      // be read; out sized to exactly popcount — never overwritten.
+      const uint32_t src_n =
+          mask == 0 ? 0 : 64 - static_cast<uint32_t>(std::countl_zero(mask));
+      std::vector<uint32_t> src32(src_n);
+      std::vector<uint64_t> src64(src_n);
+      for (uint32_t j = 0; j < src_n; ++j) {
+        src32[j] = static_cast<uint32_t>(rng.Next());
+        src64[j] = rng.Next();
+      }
+      const uint32_t base = static_cast<uint32_t>(rng.Next() & 0xFFFFFF);
+
+      std::vector<uint32_t> expanded(cnt), packed32(cnt);
+      std::vector<uint64_t> packed64(cnt);
+      EXPECT_EQ(tier->expand_mask(mask, base, expanded.data()), cnt);
+      EXPECT_EQ(tier->compress32(mask, src32.data(), packed32.data()), cnt);
+      EXPECT_EQ(tier->compress64(mask, src64.data(), packed64.data()), cnt);
+
+      uint64_t m = mask;
+      for (uint32_t k = 0; k < cnt; ++k) {
+        const uint32_t j = static_cast<uint32_t>(std::countr_zero(m));
+        m &= m - 1;
+        ASSERT_EQ(expanded[k], base + j) << "k=" << k;
+        ASSERT_EQ(packed32[k], src32[j]) << "k=" << k;
+        ASSERT_EQ(packed64[k], src64[j]) << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(PackedCodecSimdTest, PublicApiBitIdenticalUnderBothDispatchModes) {
+  EXPECT_STREQ(internal::ResolveKernels(/*force_scalar=*/true).name,
+               "scalar");
+  const std::string best = internal::ResolveKernels(false).name;
+
+  for (uint32_t width : {0u, 1u, 7u, 9u, 16u, 22u, 33u, 57u, 58u, 63u, 64u}) {
+    const uint64_t n = 300;
+    ExactPacked ref(width, n, width * 19 + 77);
+    std::vector<uint32_t> ids = {0, 63, 64, 65, 199, 299, 299};
+
+    SetPackedCodecScalarOnly(true);
+    ASSERT_STREQ(PackedCodecIsa(), "scalar");
+    std::vector<uint64_t> scalar_range(n - 65), scalar_gather(ids.size());
+    UnpackRange(ref.words.data(), width, 65, n - 65, scalar_range.data());
+    GatherPacked(ref.words.data(), width, ids.data(), ids.size(),
+                 scalar_gather.data());
+    const uint64_t scalar_match =
+        MatchBlockPartial(ref.words.data(), width, n / 64, n % 64,
+                          bits::LowMask(width) / 4, bits::LowMask(width) / 2);
+
+    SetPackedCodecScalarOnly(false);
+    ASSERT_STREQ(PackedCodecIsa(), best.c_str());
+    std::vector<uint64_t> simd_range(n - 65), simd_gather(ids.size());
+    UnpackRange(ref.words.data(), width, 65, n - 65, simd_range.data());
+    GatherPacked(ref.words.data(), width, ids.data(), ids.size(),
+                 simd_gather.data());
+    const uint64_t simd_match =
+        MatchBlockPartial(ref.words.data(), width, n / 64, n % 64,
+                          bits::LowMask(width) / 4, bits::LowMask(width) / 2);
+
+    EXPECT_EQ(simd_range, scalar_range) << "width=" << width;
+    EXPECT_EQ(simd_gather, scalar_gather) << "width=" << width;
+    EXPECT_EQ(simd_match, scalar_match) << "width=" << width;
+  }
+  SetPackedCodecScalarOnly(false);  // leave the process in its default mode
+}
+
+}  // namespace
+}  // namespace wastenot::bwd

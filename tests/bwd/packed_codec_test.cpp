@@ -162,6 +162,72 @@ TEST(PackedCodecTest, GatherMatchesScalarGet) {
   }
 }
 
+// Regression: Codec<W>::Read2 used to read in[word + 1] unconditionally,
+// which walked one word past the end of an exactly-sized buffer on every
+// tail path (UnpackRange's partial tail, MatchBlockPartial, and a gather
+// of the final element). These tests allocate exactly
+// CeilDiv(n * width, 64) words — no slack — so under ASan the old codec
+// faults here; the fixed codec must be value-identical *and* in-bounds.
+TEST(PackedCodecTest, ExactSizedBufferTailPathsNoOverread) {
+  for (uint32_t width = 1; width <= 64; ++width) {
+    // 2 whole blocks + a 17-element tail: for most widths the last element
+    // ends mid-word, the case whose unconditional two-word read overran.
+    const uint64_t n = 2 * kPackedBlockElems + 17;
+    std::vector<uint64_t> words(bits::CeilDiv(n * width, 64));
+    std::vector<uint64_t> values(n);
+    Xoshiro256 rng(width * 41 + 3);
+    const uint64_t mask = bits::LowMask(width);
+    for (uint64_t i = 0; i < n; ++i) {
+      values[i] = rng.Next() & mask;
+      internal::PackedSet(words.data(), width, i, values[i]);
+    }
+
+    // UnpackRange: partial-tail path.
+    std::vector<uint64_t> out(n);
+    UnpackRange(words.data(), width, 0, n, out.data());
+    ASSERT_EQ(out, values) << "width=" << width;
+
+    // MatchBlockPartial on the tail block (span = full domain: all match).
+    const uint64_t tail_block = n / kPackedBlockElems;
+    const uint32_t tail_n = static_cast<uint32_t>(n % kPackedBlockElems);
+    EXPECT_EQ(MatchBlockPartial(words.data(), width, tail_block, tail_n,
+                                /*lo=*/0, /*span=*/mask),
+              bits::LowMask(tail_n))
+        << "width=" << width;
+
+    // Gather of the final element.
+    const uint32_t last32 = static_cast<uint32_t>(n - 1);
+    const uint64_t last64 = n - 1;
+    uint64_t g32 = 0, g64 = 0;
+    GatherPacked(words.data(), width, &last32, 1, &g32);
+    GatherPacked(words.data(), width, &last64, 1, &g64);
+    EXPECT_EQ(g32, values[n - 1]) << "width=" << width;
+    EXPECT_EQ(g64, values[n - 1]) << "width=" << width;
+  }
+}
+
+TEST(PackedCodecTest, ExactSizedSingleElementBuffer) {
+  // The degenerate tail: one element, one (or a few) words, no slack.
+  for (uint32_t width = 1; width <= 64; ++width) {
+    std::vector<uint64_t> words(bits::CeilDiv(width, 64));
+    const uint64_t value = bits::LowMask(width) & 0xA5A5A5A5A5A5A5A5ULL;
+    internal::PackedSet(words.data(), width, 0, value);
+
+    uint64_t out = 0;
+    UnpackRange(words.data(), width, 0, 1, &out);
+    EXPECT_EQ(out, value) << "width=" << width;
+
+    const uint32_t id = 0;
+    uint64_t g = 0;
+    GatherPacked(words.data(), width, &id, 1, &g);
+    EXPECT_EQ(g, value) << "width=" << width;
+
+    EXPECT_EQ(MatchBlockPartial(words.data(), width, 0, 1, value, 0),
+              uint64_t{1})
+        << "width=" << width;
+  }
+}
+
 TEST(PackedCodecTest, ZeroCountAndZeroWidthAreNoOps) {
   PackedVector pv(13, 64);
   uint64_t sentinel = 0x1234;

@@ -1,6 +1,7 @@
 #include "server/query_server.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <thread>
@@ -345,6 +346,95 @@ TEST(QueryServerTest, ShutdownIsIdempotentAndDestructorSafe) {
   EXPECT_EQ(late.status.code(), StatusCode::kInternal);
   EXPECT_EQ(late.id, 0u);
   EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(QueryServerTest, LatencyPercentileUsesNearestRank) {
+  // Empty sample set.
+  EXPECT_EQ(LatencyPercentile({}, 0.99), 0.0);
+  // Single sample: every percentile is that sample.
+  EXPECT_EQ(LatencyPercentile({3.5}, 0.01), 3.5);
+  EXPECT_EQ(LatencyPercentile({3.5}, 0.99), 3.5);
+
+  // 1..100 (shuffled): rank ceil(f * 100), so p99 is the 99th smallest —
+  // index 98, value 99 — NOT the maximum (the old fraction*size indexing
+  // returned 100 here).
+  std::vector<double> samples(100);
+  for (int i = 0; i < 100; ++i) samples[i] = static_cast<double>(i + 1);
+  Xoshiro256 rng(99);
+  for (int i = 99; i > 0; --i) {
+    std::swap(samples[i], samples[rng.Below(static_cast<uint64_t>(i + 1))]);
+  }
+  EXPECT_EQ(LatencyPercentile(samples, 0.99), 99.0);
+  EXPECT_EQ(LatencyPercentile(samples, 0.50), 50.0);
+  EXPECT_EQ(LatencyPercentile(samples, 1.0), 100.0);
+  EXPECT_EQ(LatencyPercentile(samples, 0.01), 1.0);
+  // Rank clamps to >= 1 even for fraction 0.
+  EXPECT_EQ(LatencyPercentile(samples, 0.0), 1.0);
+
+  // Nearest rank on a small set: p50 of 4 samples is the 2nd smallest.
+  EXPECT_EQ(LatencyPercentile({4.0, 1.0, 3.0, 2.0}, 0.50), 2.0);
+  EXPECT_EQ(LatencyPercentile({4.0, 1.0, 3.0, 2.0}, 0.75), 3.0);
+}
+
+TEST(QueryServerTest, StatsOnIdleServerAreZero) {
+  ServerFixture f;
+  QueryServer server(f.backend());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.qps, 0.0);
+  EXPECT_EQ(stats.p50_latency_seconds, 0.0);
+  EXPECT_EQ(stats.p99_latency_seconds, 0.0);
+}
+
+TEST(QueryServerTest, PercentilesOverPartialAndWrappedWindows) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.latency_window = 4;
+  QueryServer server(f.backend(), opts);
+
+  // Partially-filled window (2 of 4 slots).
+  for (uint64_t i = 0; i < 2; ++i) server.Submit(f.Request(i)).get();
+  ServerStats partial = server.stats();
+  EXPECT_EQ(partial.completed, 2u);
+  EXPECT_GT(partial.p50_latency_seconds, 0.0);
+  EXPECT_LE(partial.p50_latency_seconds, partial.p99_latency_seconds);
+
+  // Wrap the 4-entry ring several times over.
+  for (uint64_t i = 0; i < 10; ++i) server.Submit(f.Request(i)).get();
+  ServerStats wrapped = server.stats();
+  EXPECT_EQ(wrapped.completed, 12u);
+  EXPECT_GT(wrapped.p50_latency_seconds, 0.0);
+  EXPECT_LE(wrapped.p50_latency_seconds, wrapped.p99_latency_seconds);
+}
+
+TEST(QueryServerTest, SingleEntryWindowPinsBothPercentilesToLastLatency) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.latency_window = 1;
+  QueryServer server(f.backend(), opts);
+  for (uint64_t i = 0; i < 3; ++i) server.Submit(f.Request(i)).get();
+  const ServerStats stats = server.stats();
+  EXPECT_GT(stats.p50_latency_seconds, 0.0);
+  EXPECT_EQ(stats.p50_latency_seconds, stats.p99_latency_seconds);
+}
+
+TEST(QueryServerTest, QpsDoesNotDecayWhileIdle) {
+  ServerFixture f;
+  ServerOptions opts;
+  opts.num_workers = 2;
+  QueryServer server(f.backend(), opts);
+  for (uint64_t i = 0; i < 6; ++i) server.Submit(f.Request(i)).get();
+
+  const ServerStats before = server.stats();
+  EXPECT_GT(before.qps, 0.0);
+  // Windowed qps is a pure function of the recorded completion
+  // timestamps, so an idle wait between two stats() calls must not change
+  // it (the old completed/uptime definition decayed here).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const ServerStats after = server.stats();
+  EXPECT_EQ(after.qps, before.qps);
 }
 
 }  // namespace
