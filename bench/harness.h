@@ -48,6 +48,7 @@ struct JsonRecord {
   double x = 0;
   double value = 0;
   std::string unit;
+  uint32_t shards = 1;  ///< device shards the point was measured over
 };
 
 /// --json state: destination path (empty = disabled), bench name (derived
@@ -63,9 +64,9 @@ inline JsonSink& Json() {
 }
 
 inline void JsonAppend(const std::string& series, double x, double value,
-                       const char* unit) {
+                       const char* unit, uint32_t shards = 1) {
   if (Json().path.empty()) return;
-  Json().records.push_back(JsonRecord{series, x, value, unit});
+  Json().records.push_back(JsonRecord{series, x, value, unit, shards});
 }
 
 /// Minimal JSON string escaping (series labels are plain ASCII, but keep
@@ -93,9 +94,9 @@ inline void WriteJsonAtExit() {
     const JsonRecord& r = sink.records[i];
     std::fprintf(f,
                  "  {\"bench\": \"%s\", \"series\": \"%s\", \"x\": %.9g, "
-                 "\"value\": %.9g, \"unit\": \"%s\"}%s\n",
+                 "\"value\": %.9g, \"unit\": \"%s\", \"shards\": %u}%s\n",
                  JsonEscape(sink.bench).c_str(), JsonEscape(r.series).c_str(),
-                 r.x, r.value, JsonEscape(r.unit).c_str(),
+                 r.x, r.value, JsonEscape(r.unit).c_str(), r.shards,
                  i + 1 < sink.records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

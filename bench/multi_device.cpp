@@ -1,0 +1,214 @@
+// Multi-device sharded execution: Phase-A scaling and data-local pruning.
+//
+// Sweeps the shard count 1..8 over two query shapes — the Fig 8b selection
+// microbenchmark (unique shuffled ints, 20% qualifying) and the Fig 11
+// TPC-H Q6 shape — executing each through ExecuteArSharded on a DeviceGroup
+// of that many simulated devices. The approximate phase is embarrassingly
+// parallel across shards, so its simulated time (max over the parallel
+// devices) should scale near-linearly: phaseA(1)/phaseA(S) ~ S. The bench
+// prints that scaling series plus the merged end-to-end wall time, and a
+// data-local pruning demonstration: partitioning the micro table *on the
+// predicate column* lets a selective query prune to a handful of shards.
+//
+// JSON records carry the shard count in their "shards" field so the perf
+// trajectory can separate single-device and sharded points.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bwd/partition.h"
+#include "columnstore/table.h"
+#include "core/sharded_engine.h"
+#include "device/device_group.h"
+#include "workloads/tpch.h"
+#include "workloads/uniform.h"
+
+namespace wastenot {
+namespace {
+
+/// The Fig 8b shape as a QuerySpec: count + sum over a 20%-selective range
+/// predicate on unique shuffled ints.
+core::QuerySpec MicroSelection(uint64_t n) {
+  core::QuerySpec q;
+  q.table = "micro";
+  q.name = "fig8b selection";
+  q.predicates.push_back(core::Predicate{
+      "v", cs::RangePred::Lt(workloads::ThresholdForSelectivity(n, 0.20))});
+  q.aggregates.push_back(core::Aggregate::CountStar("qualifying"));
+  q.aggregates.push_back(core::Aggregate::SumOf("v", "sum_v"));
+  return q;
+}
+
+struct ShardPoint {
+  uint32_t shards = 0;
+  double approx_ms = 0;  ///< simulated Phase A+bus, max over parallel devices
+  double wall_ms = 0;    ///< measured end-to-end fan-out time
+};
+
+/// Runs `query` sharded S ways (radix on `key`, so every shard holds ~1/S
+/// of the rows regardless of the predicate) and returns the steady-state
+/// timing point (one warm-up run absorbs per-device JIT compilation).
+StatusOr<ShardPoint> MeasureSharded(const core::QuerySpec& query,
+                                    const cs::Table& base,
+                                    const std::vector<bwd::DecomposeRequest>& reqs,
+                                    const std::string& key, uint32_t shards) {
+  device::DeviceGroupOptions gopts;
+  gopts.num_devices = shards;
+  device::DeviceGroup group(gopts);
+
+  bwd::PartitionSpec pspec;
+  pspec.kind = bwd::PartitionKind::kRadix;
+  pspec.key_column = key;
+  pspec.num_shards = shards;
+  WN_ASSIGN_OR_RETURN(bwd::ShardedBwdTable fact,
+                      bwd::DecomposeSharded(base, reqs, pspec, &group));
+
+  core::ShardedArOptions opts;
+  opts.ar.num_threads = 0;  // fan shards out over the shared default pool
+  WN_RETURN_IF_ERROR(
+      core::ExecuteArSharded(query, fact, nullptr, &group, opts).status());
+
+  ShardPoint point;
+  point.shards = shards;
+  WallTimer timer;
+  WN_ASSIGN_OR_RETURN(
+      core::ShardedArExecution exec,
+      core::ExecuteArSharded(query, fact, nullptr, &group, opts));
+  point.wall_ms = timer.Seconds() * 1e3;
+  point.approx_ms =
+      (exec.merged.breakdown.device_seconds + exec.merged.breakdown.bus_seconds) *
+      1e3;
+  return point;
+}
+
+void PrintScaling(const std::string& label,
+                  const std::vector<ShardPoint>& points) {
+  std::printf("\n%s\n", label.c_str());
+  std::printf("%-10s %16s %16s %12s\n", "shards", "phase A+bus (ms)",
+              "wall (ms)", "scaling");
+  const double base = points.empty() ? 0 : points.front().approx_ms;
+  for (const ShardPoint& p : points) {
+    const double scaling = p.approx_ms > 0 ? base / p.approx_ms : 0;
+    std::printf("%-10u %16.3f %16.3f %11.2fx\n", p.shards, p.approx_ms,
+                p.wall_ms, scaling);
+    std::printf("# csv,%s,%u,%.6f,%.6f,%.3f\n", label.c_str(), p.shards,
+                p.approx_ms, p.wall_ms, scaling);
+    bench::JsonAppend(label + "/approx", p.shards, p.approx_ms, "ms",
+                      p.shards);
+    bench::JsonAppend(label + "/wall", p.shards, p.wall_ms, "ms", p.shards);
+    bench::JsonAppend(label + "/scaling", p.shards, scaling, "x", p.shards);
+  }
+}
+
+int Run() {
+  const uint64_t n = bench::MicroRows();
+  const double sf = EnvDouble("WN_SCALE_TPCH_FIG11", 0.25);
+  bench::Header("Multi-device", "Sharded A&R: Phase-A scaling 1..8 devices",
+                "rows=" + std::to_string(n) + ", TPC-H SF=" +
+                    std::to_string(sf) +
+                    " (WN_SCALE_MICRO, WN_SCALE_TPCH_FIG11)");
+
+  const std::vector<uint32_t> shard_counts = {1, 2, 3, 4, 6, 8};
+
+  // Fig 8b shape: selection + aggregation over unique shuffled ints,
+  // radix-sharded on the value column so shards stay balanced.
+  cs::Table micro("micro");
+  if (!micro.AddColumn("v", workloads::UniqueShuffledInts(n, 42)).ok()) {
+    return 1;
+  }
+  const core::QuerySpec selection = MicroSelection(n);
+  const std::vector<bwd::DecomposeRequest> micro_reqs = {
+      bwd::DecomposeRequest{"v", 24}};
+  std::vector<ShardPoint> micro_points;
+  for (uint32_t shards : shard_counts) {
+    auto point = MeasureSharded(selection, micro, micro_reqs, "v", shards);
+    if (!point.ok()) {
+      std::fprintf(stderr, "micro %u shards: %s\n", shards,
+                   point.status().ToString().c_str());
+      return 1;
+    }
+    micro_points.push_back(*point);
+  }
+  PrintScaling("fig8b_selection", micro_points);
+
+  // Fig 11 / Q6 shape on TPC-H lineitem, radix-sharded on the part key
+  // (uniform, and no Q6 predicate touches it, so all shards stay live and
+  // balanced).
+  cs::Database db;
+  workloads::GenerateTpch(sf, 77, &db);
+  const core::QuerySpec q6 = workloads::TpchQ6();
+  std::vector<ShardPoint> q6_points;
+  for (uint32_t shards : shard_counts) {
+    auto point = MeasureSharded(q6, db.table("lineitem"),
+                                workloads::TpchAllResident(), "l_partkey",
+                                shards);
+    if (!point.ok()) {
+      std::fprintf(stderr, "q6 %u shards: %s\n", shards,
+                   point.status().ToString().c_str());
+      return 1;
+    }
+    q6_points.push_back(*point);
+  }
+  PrintScaling("tpch_q6", q6_points);
+
+  // Data-local pruning: partition the micro table *on the predicate
+  // column* with range shards — a 20%-selective prefix predicate then
+  // provably touches only the low stripes, and the server-facing
+  // TargetShards rule prunes the rest before any work is dispatched.
+  {
+    const uint32_t shards = 8;
+    device::DeviceGroupOptions gopts;
+    gopts.num_devices = shards;
+    device::DeviceGroup group(gopts);
+    bwd::PartitionSpec pspec;
+    pspec.kind = bwd::PartitionKind::kRange;
+    pspec.key_column = "v";
+    pspec.num_shards = shards;
+    auto fact = bwd::DecomposeSharded(micro, micro_reqs, pspec, &group);
+    if (!fact.ok()) return 1;
+    core::ShardedArOptions opts;
+    opts.ar.num_threads = 0;
+    auto run = [&](bool prune) -> double {
+      opts.data_local_pruning = prune;
+      (void)core::ExecuteArSharded(selection, *fact, nullptr, &group, opts);
+      auto exec = core::ExecuteArSharded(selection, *fact, nullptr, &group,
+                                         opts);
+      if (!exec.ok()) return -1;
+      std::printf("pruning %-3s: %zu of %u shards executed, "
+                  "phase A+bus %.3f ms\n",
+                  prune ? "on" : "off", exec->executed_shards.size(), shards,
+                  (exec->merged.breakdown.device_seconds +
+                   exec->merged.breakdown.bus_seconds) *
+                      1e3);
+      bench::JsonAppend(prune ? "pruning_on/executed_shards"
+                              : "pruning_off/executed_shards",
+                        shards, static_cast<double>(exec->executed_shards.size()),
+                        "shards", shards);
+      return static_cast<double>(exec->executed_shards.size());
+    };
+    std::printf("\ndata-local pruning (range shards on predicate column):\n");
+    if (run(false) < 0 || run(true) < 0) return 1;
+  }
+
+  // Acceptance shape check: the approximate phase runs on S independent
+  // simulated devices, so its attributed time (max over shards) should
+  // shrink near-linearly with S.
+  if (micro_points.size() >= 4 && micro_points[3].approx_ms > 0) {
+    const double scaling_at_4 =
+        micro_points[0].approx_ms / micro_points[3].approx_ms;
+    std::printf("\nshape check: Phase-A scaling at 4 shards = %.2fx "
+                "(target >= 3x)\n",
+                scaling_at_4);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wastenot
+
+int main(int argc, char** argv) {
+  wastenot::bench::ParseArgs(argc, argv);
+  return wastenot::Run();
+}

@@ -128,6 +128,24 @@ int Run() {
     report("mixed x4", qps, stats);
     bench::JsonAppend("mixed_qps", 4, qps, "q/s");
     bench::JsonAppend("mixed_p99", 4, stats.p99_latency_seconds * 1e3, "ms");
+
+    // Per-engine breakout of the mixed run (ServerStats::engines).
+    static constexpr const char* kEngineNames[] = {"ar", "classic",
+                                                   "streaming"};
+    for (size_t e = 0; e < 3; ++e) {
+      const server::EngineStats& es = stats.engines[e];
+      std::printf("  mixed/%-10s submitted=%llu completed=%llu failed=%llu\n",
+                  kEngineNames[e],
+                  static_cast<unsigned long long>(es.submitted),
+                  static_cast<unsigned long long>(es.completed),
+                  static_cast<unsigned long long>(es.failed));
+      std::printf("# csv,mixed_%s,%llu,%llu,%llu\n", kEngineNames[e],
+                  static_cast<unsigned long long>(es.submitted),
+                  static_cast<unsigned long long>(es.completed),
+                  static_cast<unsigned long long>(es.failed));
+      bench::JsonAppend(std::string("mixed_completed/") + kEngineNames[e], 4,
+                        static_cast<double>(es.completed), "queries");
+    }
   }
   return 0;
 }

@@ -1,0 +1,224 @@
+#include "bwd/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace wastenot::bwd {
+
+namespace {
+
+/// Min/max of `col` without mutating its descriptor: uses builder-set
+/// stats when present, scans otherwise.
+std::pair<int64_t, int64_t> ColumnBounds(const cs::Column& col) {
+  if (col.has_stats()) return {col.min_value(), col.max_value()};
+  if (col.empty()) return {0, 0};
+  int64_t mn = col.Get(0), mx = mn;
+  for (uint64_t i = 1; i < col.size(); ++i) {
+    const int64_t v = col.Get(i);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  return {mn, mx};
+}
+
+/// Width of one range-partition stripe: ceil(span / S) over the rebased
+/// domain, computed in 128 bits so a full-int64 domain cannot overflow.
+uint64_t StripeWidth(int64_t key_min, int64_t key_max, uint32_t num_shards) {
+  const unsigned __int128 span =
+      static_cast<unsigned __int128>(static_cast<uint64_t>(key_max) -
+                                     static_cast<uint64_t>(key_min)) +
+      1;
+  const unsigned __int128 w = (span + num_shards - 1) / num_shards;
+  return static_cast<uint64_t>(std::max<unsigned __int128>(w, 1));
+}
+
+uint32_t RouteRow(const PartitionSpec& spec, int64_t key, int64_t key_min,
+                  uint64_t stripe_width) {
+  const uint64_t rebased =
+      static_cast<uint64_t>(key) - static_cast<uint64_t>(key_min);
+  if (spec.kind == PartitionKind::kRadix) {
+    return static_cast<uint32_t>(rebased % spec.num_shards);
+  }
+  return static_cast<uint32_t>(
+      std::min<uint64_t>(rebased / stripe_width, spec.num_shards - 1));
+}
+
+}  // namespace
+
+const char* PartitionKindToString(PartitionKind kind) {
+  switch (kind) {
+    case PartitionKind::kRange:
+      return "range";
+    case PartitionKind::kRadix:
+      return "radix";
+  }
+  return "?";
+}
+
+StatusOr<TablePartition> PartitionTable(const cs::Table& base,
+                                        const PartitionSpec& spec) {
+  if (spec.num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (!base.HasColumn(spec.key_column)) {
+    return Status::NotFound("table '" + base.name() + "' has no column '" +
+                            spec.key_column + "' to partition on");
+  }
+  const uint32_t num_shards = spec.num_shards;
+  const cs::Column& key = base.column(spec.key_column);
+  const auto [key_min, key_max] = ColumnBounds(key);
+  const uint64_t stripe = StripeWidth(key_min, key_max, num_shards);
+
+  TablePartition out;
+  out.spec = spec;
+  out.key_min = key_min;
+  out.key_max = key_max;
+  out.num_rows = base.num_rows();
+
+  // Route every row once.
+  out.global_rows.resize(num_shards);
+  for (uint64_t i = 0; i < base.num_rows(); ++i) {
+    const uint32_t s = RouteRow(spec, key.Get(i), key_min, stripe);
+    out.global_rows[s].push_back(static_cast<cs::oid_t>(i));
+  }
+
+  // Shard key hulls (invariant 3). Range stripes are exact intervals; radix
+  // scatters keys, so every non-prunable shard hull is the full domain.
+  out.key_ranges.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (spec.kind == PartitionKind::kRange) {
+      const unsigned __int128 lo128 =
+          static_cast<unsigned __int128>(stripe) * s;
+      const unsigned __int128 hi128 = lo128 + stripe - 1;
+      const unsigned __int128 span =
+          static_cast<uint64_t>(key_max) - static_cast<uint64_t>(key_min);
+      if (lo128 > span) {
+        // Stripe past the domain: structurally empty shard.
+        out.key_ranges.push_back(cs::RangePred{1, 0});
+      } else {
+        const int64_t lo = key_min + static_cast<int64_t>(
+                                         static_cast<uint64_t>(lo128));
+        const int64_t hi =
+            hi128 > span ? key_max
+                         : key_min + static_cast<int64_t>(
+                                         static_cast<uint64_t>(hi128));
+        out.key_ranges.push_back(cs::RangePred{lo, hi});
+      }
+    } else {
+      out.key_ranges.push_back(cs::RangePred{key_min, key_max});
+    }
+  }
+
+  // Materialize shard tables. Every shard column inherits the parent
+  // column's min/max (invariant 2: identical DecompositionSpec per shard).
+  const std::vector<std::string> columns = base.column_names();
+  out.shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const cs::OidVec& rows = out.global_rows[s];
+    cs::Table shard(base.name());
+    for (const std::string& name : columns) {
+      const cs::Column& src = base.column(name);
+      cs::Column dst(src.type(), rows.size());
+      for (uint64_t i = 0; i < rows.size(); ++i) dst.Set(i, src.Get(rows[i]));
+      const auto [mn, mx] = ColumnBounds(src);
+      dst.SetStats(mn, mx);
+      WN_RETURN_IF_ERROR(shard.AddColumn(name, std::move(dst)));
+      if (const cs::Dictionary* dict = base.dictionary(name)) {
+        shard.AttachDictionary(name, *dict);
+      }
+    }
+    out.shards.push_back(std::move(shard));
+  }
+  return out;
+}
+
+StatusOr<ShardedBwdTable> DecomposeSharded(
+    const cs::Table& base, const std::vector<DecomposeRequest>& reqs,
+    const PartitionSpec& pspec, device::DeviceGroup* group) {
+  if (group == nullptr || group->size() == 0) {
+    return Status::InvalidArgument("DecomposeSharded requires a DeviceGroup");
+  }
+  WN_ASSIGN_OR_RETURN(TablePartition partition, PartitionTable(base, pspec));
+  ShardedBwdTable out;
+  out.partition = std::move(partition);
+  out.shards.reserve(out.partition.num_shards());
+  for (uint32_t s = 0; s < out.partition.num_shards(); ++s) {
+    device::Device* dev = &group->device(s % group->size());
+    // Decompose against the *owned* shard table: the BwdTable keeps a
+    // dictionary-passthrough pointer into it.
+    WN_ASSIGN_OR_RETURN(
+        BwdTable shard,
+        BwdTable::Decompose(out.partition.shards[s], reqs, dev));
+    out.shards.push_back(std::move(shard));
+  }
+  return out;
+}
+
+std::vector<uint32_t> TargetShards(const TablePartition& partition,
+                                   const cs::RangePred& key_range) {
+  std::vector<uint32_t> targets;
+  const uint32_t n = partition.num_shards();
+  if (key_range.Empty()) {
+    // A contradictory key predicate selects nothing; any one shard's empty
+    // run reproduces the single-device zero skeleton.
+    targets.push_back(0);
+    return targets;
+  }
+  if (partition.spec.kind == PartitionKind::kRadix &&
+      key_range.lo == key_range.hi) {
+    // Point predicate on a radix key routes to exactly one shard (when the
+    // point lies inside the keyed domain at all).
+    const int64_t v = key_range.lo;
+    if (v >= partition.key_min && v <= partition.key_max) {
+      const uint64_t rebased =
+          static_cast<uint64_t>(v) - static_cast<uint64_t>(partition.key_min);
+      targets.push_back(static_cast<uint32_t>(rebased % n));
+    }
+  } else {
+    for (uint32_t s = 0; s < n; ++s) {
+      const cs::RangePred& hull = partition.key_ranges[s];
+      if (hull.Empty()) continue;
+      if (key_range.hi >= hull.lo && key_range.lo <= hull.hi) {
+        targets.push_back(s);
+      }
+    }
+  }
+  // Never prune everything: shard 0 stands in so ungrouped merges still
+  // produce the one-group zero skeleton a single-device run emits.
+  if (targets.empty()) targets.push_back(0);
+  return targets;
+}
+
+StatusOr<std::vector<BwdTable>> ReplicatePerDevice(
+    const cs::Table& base, const std::vector<DecomposeRequest>& reqs,
+    device::DeviceGroup* group) {
+  if (group == nullptr || group->size() == 0) {
+    return Status::InvalidArgument("ReplicatePerDevice requires a DeviceGroup");
+  }
+  std::vector<BwdTable> replicas;
+  replicas.reserve(group->size());
+  for (uint32_t d = 0; d < group->size(); ++d) {
+    WN_ASSIGN_OR_RETURN(BwdTable replica,
+                        BwdTable::Decompose(base, reqs, &group->device(d)));
+    replicas.push_back(std::move(replica));
+  }
+  return replicas;
+}
+
+std::vector<cs::Database> BuildShardDatabases(
+    const TablePartition& partition,
+    const std::vector<const cs::Table*>& extra_tables) {
+  std::vector<cs::Database> dbs;
+  dbs.reserve(partition.num_shards());
+  for (uint32_t s = 0; s < partition.num_shards(); ++s) {
+    cs::Database db;
+    db.AddTable(partition.shards[s].Clone());
+    for (const cs::Table* extra : extra_tables) {
+      if (extra != nullptr) db.AddTable(extra->Clone());
+    }
+    dbs.push_back(std::move(db));
+  }
+  return dbs;
+}
+
+}  // namespace wastenot::bwd

@@ -1,0 +1,138 @@
+// Horizontal partitioning of relations for multi-device sharded execution.
+//
+// A table is split into S shards on one key column — equal-width *range*
+// partitioning (shard hulls are disjoint key intervals, enabling data-local
+// shard pruning for range predicates) or *radix* partitioning (rebased key
+// modulo S: balanced under skewed-but-diverse keys, point-prunable).
+//
+// Invariants every partitioning upholds (property-tested):
+//   1. Round trip: concatenating the shards' rows in (shard, local-row)
+//      order, routed through `global_rows`, reproduces the base table
+//      exactly — every global row appears in exactly one shard.
+//   2. Spec identity: every shard column is stamped with the *parent*
+//      column's min/max stats, so BwdColumn::Decompose plans the identical
+//      DecompositionSpec (prefix base, packed widths, error bound) on every
+//      shard. Approximate digits are therefore shard-invariant, which is
+//      what makes sharded Phase-A bounds and merges exact mirrors of the
+//      single-device ones.
+//   3. Hull soundness: every key of shard s lies in `key_ranges[s]`, so a
+//      predicate range that misses the hull proves the shard contributes
+//      zero result rows (the data-local pruning rule).
+//
+// The global→shard row-id mapping (`global_rows`) is positional and
+// immutable, so it survives projection and fkjoin: those operators permute
+// *candidate lists* of local row ids, and a local id can be mapped back to
+// its global id at any point downstream.
+
+#ifndef WASTENOT_BWD_PARTITION_H_
+#define WASTENOT_BWD_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bwd/bwd_table.h"
+#include "columnstore/database.h"
+#include "columnstore/table.h"
+#include "columnstore/types.h"
+#include "device/device_group.h"
+#include "util/status.h"
+
+namespace wastenot::bwd {
+
+/// How rows are routed to shards.
+enum class PartitionKind : uint8_t {
+  kRange,  ///< equal-width key intervals over [min, max]
+  kRadix,  ///< rebased key modulo num_shards (low bits when S = 2^k)
+};
+
+const char* PartitionKindToString(PartitionKind kind);
+
+/// A horizontal-partitioning request.
+struct PartitionSpec {
+  PartitionKind kind = PartitionKind::kRange;
+  std::string key_column;
+  uint32_t num_shards = 2;
+};
+
+/// A base table split into per-shard cs::Tables plus the row-id mapping.
+struct TablePartition {
+  PartitionSpec spec;
+  std::vector<cs::Table> shards;         ///< shard tables (all columns)
+  std::vector<cs::OidVec> global_rows;   ///< [shard][local row] -> global row
+  std::vector<cs::RangePred> key_ranges; ///< per-shard key hull (invariant 3)
+  int64_t key_min = 0;                   ///< key domain the router used
+  int64_t key_max = 0;
+  uint64_t num_rows = 0;                 ///< base-table rows (= sum of shards)
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards.size()); }
+};
+
+/// Partitions `base` by `spec`. Shard columns inherit the parent column's
+/// stats (invariant 2) and dictionaries are replicated per shard. Empty
+/// shards (skew, or num_rows < num_shards) are legal and stay in place so
+/// shard index == device index routing is stable.
+StatusOr<TablePartition> PartitionTable(const cs::Table& base,
+                                        const PartitionSpec& spec);
+
+/// A partitioned relation decomposed shard-by-shard onto a DeviceGroup:
+/// shard i lives on group device i % group->size(). Owns the partitioned
+/// cs::Tables too — each BwdTable's dictionary passthrough points into its
+/// shard table, so the two move together.
+struct ShardedBwdTable {
+  TablePartition partition;
+  std::vector<BwdTable> shards;
+
+  uint32_t num_shards() const { return partition.num_shards(); }
+  uint64_t num_rows() const { return partition.num_rows; }
+  const PartitionSpec& spec() const { return partition.spec; }
+  const std::vector<cs::OidVec>& global_rows() const {
+    return partition.global_rows;
+  }
+  const std::vector<cs::RangePred>& key_ranges() const {
+    return partition.key_ranges;
+  }
+};
+
+/// Partitions `base` by `pspec`, then decomposes every shard with the same
+/// per-column requests onto `group` (shard i -> device i % group size).
+/// Because of stat inheritance, all shards share one DecompositionSpec per
+/// column and their merged results are bit-identical to an unpartitioned
+/// decomposition's.
+StatusOr<ShardedBwdTable> DecomposeSharded(
+    const cs::Table& base, const std::vector<DecomposeRequest>& reqs,
+    const PartitionSpec& pspec, device::DeviceGroup* group);
+
+/// Shards whose key hull intersects `key_range` — the data-local pruning
+/// rule: a shard whose hull misses the predicate range on the partition key
+/// provably contributes zero result rows (range kind; radix prunes point
+/// predicates only). Never returns an empty set: shard 0 is kept as the
+/// degenerate representative so ungrouped merges still see one shard's
+/// zero-row skeleton.
+std::vector<uint32_t> TargetShards(const TablePartition& partition,
+                                   const cs::RangePred& key_range);
+inline std::vector<uint32_t> TargetShards(const ShardedBwdTable& table,
+                                          const cs::RangePred& key_range) {
+  return TargetShards(table.partition, key_range);
+}
+
+/// Decomposes `base` once per group device (the paper's Fig 11 dimension
+/// replication: every device holds a full dimension copy so fkjoins stay
+/// shard-local). Entry i is the replica on group device i; `base` must
+/// outlive the replicas (dictionary passthrough).
+StatusOr<std::vector<BwdTable>> ReplicatePerDevice(
+    const cs::Table& base, const std::vector<DecomposeRequest>& reqs,
+    device::DeviceGroup* group);
+
+/// Builds one cs::Database per shard, each holding that shard's fact table
+/// (named after the base table so QuerySpec::table resolves unchanged) plus
+/// a full replica of every table in `extra_tables` (dimension tables — the
+/// paper's Fig 11 replication strategy). For the streaming engine's sharded
+/// path.
+std::vector<cs::Database> BuildShardDatabases(
+    const TablePartition& partition,
+    const std::vector<const cs::Table*>& extra_tables);
+
+}  // namespace wastenot::bwd
+
+#endif  // WASTENOT_BWD_PARTITION_H_

@@ -23,6 +23,16 @@ Column Column::FromI64(const std::vector<int64_t>& values) {
   return col;
 }
 
+Column Column::Clone() const {
+  Column copy(type_, count_);
+  if (buf_.size() > 0) std::memcpy(copy.buf_.data(), buf_.data(), buf_.size());
+  copy.has_stats_ = has_stats_;
+  copy.sorted_ = sorted_;
+  copy.min_ = min_;
+  copy.max_ = max_;
+  return copy;
+}
+
 void Column::ComputeStats() {
   if (count_ == 0) {
     has_stats_ = true;

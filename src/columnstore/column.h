@@ -86,6 +86,17 @@ class Column {
   /// Scans for min/max and records them in the descriptor. O(n).
   void ComputeStats();
 
+  /// Records externally-known min/max bounds in the descriptor without
+  /// scanning. The bounds must contain every value but need not be tight:
+  /// horizontal partitioning stamps each shard column with the *parent*
+  /// column's stats so every shard plans the identical DecompositionSpec
+  /// (prefix base and packed widths derive from these bounds).
+  void SetStats(int64_t min, int64_t max) {
+    min_ = min;
+    max_ = max;
+    has_stats_ = true;
+  }
+
   /// Descriptor properties (valid after ComputeStats() or builder-set).
   bool has_stats() const { return has_stats_; }
   int64_t min_value() const { return min_; }
@@ -93,6 +104,10 @@ class Column {
 
   bool sorted() const { return sorted_; }
   void set_sorted(bool s) { sorted_ = s; }
+
+  /// Deep copy, descriptor included. Column is move-only (its storage is);
+  /// shard-database assembly replicates dimension columns explicitly.
+  Column Clone() const;
 
  private:
   ValueType type_ = ValueType::kInt64;

@@ -52,6 +52,17 @@ std::vector<std::string> Table::column_names() const {
   return names;
 }
 
+Table Table::Clone(const std::string& new_name) const {
+  Table copy(new_name.empty() ? name_ : new_name);
+  copy.rows_ = rows_;
+  copy.has_rows_ = has_rows_;
+  for (const auto& [name, col] : columns_) {
+    copy.columns_.emplace(name, col.Clone());
+  }
+  copy.dictionaries_ = dictionaries_;
+  return copy;
+}
+
 uint64_t Table::byte_size() const {
   uint64_t total = 0;
   for (const auto& [_, col] : columns_) total += col.byte_size();

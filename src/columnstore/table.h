@@ -40,6 +40,10 @@ class Table {
   /// Total tail bytes across all columns.
   uint64_t byte_size() const;
 
+  /// Deep copy (columns cloned, dictionaries copied), optionally renamed.
+  /// Shard-database assembly replicates dimension tables with this.
+  Table Clone(const std::string& new_name = "") const;
+
  private:
   std::string name_;
   uint64_t rows_ = 0;

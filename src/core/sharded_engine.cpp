@@ -1,0 +1,417 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace wastenot::core {
+
+namespace {
+
+/// Shard fan-out pool selection, mirroring the Phase-R convention:
+/// 1 = serial, 0 = the shared default pool, N = a shared pool of N.
+ThreadPool* FanPool(unsigned num_threads) {
+  if (num_threads == 1) return nullptr;
+  if (num_threads == 0) {
+    ThreadPool& def = ThreadPool::Default();
+    return def.num_threads() > 1 ? &def : nullptr;
+  }
+  static std::mutex mu;
+  static std::map<unsigned, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& pool = pools[num_threads];
+  if (pool == nullptr) pool = std::make_unique<ThreadPool>(num_threads);
+  return pool.get();
+}
+
+bool IsExtremum(AggFunc f) {
+  return f == AggFunc::kMin || f == AggFunc::kMax;
+}
+
+/// Merges per-shard exact results into the single-device result. Both
+/// engines materialize groups by *exact* key tuple; every additive
+/// aggregate (count, sum, avg-as-sum) is an int64 sum (modular addition is
+/// commutative and associative, so shard boundaries cannot change it);
+/// min/max merges the per-group extrema of shards whose group selected
+/// rows (the engines report 0 for an extremum over an empty set, which the
+/// `seen` gate reproduces); the merged table is re-sorted into canonical
+/// key order. Bit-identity with the unpartitioned run is property-tested.
+QueryResult MergeExactResults(const QuerySpec& query,
+                              const std::vector<const QueryResult*>& parts) {
+  QueryResult out;
+  for (const auto& name : query.group_by) out.key_names.push_back(name);
+  for (const auto& agg : query.aggregates) out.agg_labels.push_back(agg.label);
+  const bool grouped = !query.group_by.empty();
+  const uint64_t num_aggs = query.aggregates.size();
+
+  for (const QueryResult* part : parts) {
+    out.selected_rows += part->selected_rows;
+  }
+
+  // Per merged group: running aggregate values, the count, and whether an
+  // extremum has been seeded yet (only shards whose group holds rows may
+  // contribute — an empty group's reported extremum is the 0 placeholder).
+  struct GroupAcc {
+    std::vector<int64_t> aggs;
+    std::vector<bool> extremum_seen;
+    int64_t count = 0;
+  };
+  auto fold = [&](GroupAcc& acc, const QueryResult& part, uint64_t g) {
+    if (acc.aggs.empty()) {
+      acc.aggs.assign(num_aggs, 0);
+      acc.extremum_seen.assign(num_aggs, false);
+    }
+    acc.count += part.group_counts[g];
+    for (uint64_t a = 0; a < num_aggs; ++a) {
+      const AggFunc func = query.aggregates[a].func;
+      const int64_t v = part.agg_values[g][a];
+      if (!IsExtremum(func)) {
+        acc.aggs[a] += v;
+      } else if (part.group_counts[g] > 0) {
+        if (!acc.extremum_seen[a]) {
+          acc.aggs[a] = v;
+          acc.extremum_seen[a] = true;
+        } else {
+          acc.aggs[a] =
+              func == AggFunc::kMin ? std::min(acc.aggs[a], v)
+                                    : std::max(acc.aggs[a], v);
+        }
+      }
+    }
+  };
+
+  if (!grouped) {
+    // Ungrouped executions always materialize exactly one (possibly
+    // all-zero) group; so does the merge.
+    GroupAcc acc;
+    acc.aggs.assign(num_aggs, 0);
+    acc.extremum_seen.assign(num_aggs, false);
+    for (const QueryResult* part : parts) fold(acc, *part, 0);
+    out.group_keys.resize(1);
+    out.agg_values.assign(1, std::move(acc.aggs));
+    out.group_counts.assign(1, acc.count);
+    return out;
+  }
+
+  // Grouped: union by exact key tuple (std::map iterates keys in the same
+  // lexicographic order SortByKeys produces).
+  std::map<std::vector<int64_t>, GroupAcc> groups;
+  for (const QueryResult* part : parts) {
+    for (uint64_t g = 0; g < part->num_groups(); ++g) {
+      fold(groups[part->group_keys[g]], *part, g);
+    }
+  }
+  for (auto& [keys, acc] : groups) {
+    out.group_keys.push_back(keys);
+    out.agg_values.push_back(std::move(acc.aggs));
+    out.group_counts.push_back(acc.count);
+  }
+  out.SortByKeys();
+  return out;
+}
+
+/// Interval sum.
+ValueBounds AddBounds(const ValueBounds& a, const ValueBounds& b) {
+  return ValueBounds{a.lo + b.lo, a.hi + b.hi};
+}
+/// Interval hull (smallest interval containing both).
+ValueBounds HullBounds(const ValueBounds& a, const ValueBounds& b) {
+  return ValueBounds{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+/// Merges per-shard approximate answers into sound group-level bounds.
+/// Counts and sums add as intervals; averages take the hull over shards
+/// that may contribute rows (the global average is a convex combination of
+/// shard averages); extrema combine per-shard global-extremum intervals
+/// with certainty-aware upper ends. Pre-groups match across shards by
+/// their key-bound tuples — identical DecompositionSpecs make those a
+/// bijection of the approximation digits.
+ApproximateAnswer MergeApproxAnswers(
+    const QuerySpec& query, const std::vector<const ApproximateAnswer*>& parts) {
+  ApproximateAnswer out;
+  const bool grouped = !query.group_by.empty();
+  const uint64_t num_aggs = query.aggregates.size();
+
+  for (const ApproximateAnswer* part : parts) {
+    out.row_count = AddBounds(out.row_count, part->row_count);
+  }
+
+  // Global extremum bounds across shards. A shard that may hold rows
+  // (count upper bound > 0) contributes its interval's lower end; only a
+  // shard that *certainly* holds a row can cap the upper end (for min —
+  // symmetric for max).
+  std::vector<ValueBounds> extremum(num_aggs, ValueBounds{0, 0});
+  for (uint64_t a = 0; a < num_aggs; ++a) {
+    if (!IsExtremum(query.aggregates[a].func)) continue;
+    const bool is_min = query.aggregates[a].func == AggFunc::kMin;
+    bool any = false, any_certain = false;
+    int64_t lo = 0, hi_certain = 0, hi_fallback = 0;
+    for (const ApproximateAnswer* part : parts) {
+      if (part->row_count.hi <= 0 || part->num_groups() == 0) continue;
+      const ValueBounds& b = part->agg_bounds[0][a];
+      if (!any) {
+        lo = is_min ? b.lo : b.hi;
+        hi_fallback = is_min ? b.hi : b.lo;
+        any = true;
+      } else if (is_min) {
+        lo = std::min(lo, b.lo);
+        hi_fallback = std::max(hi_fallback, b.hi);
+      } else {
+        lo = std::max(lo, b.hi);
+        hi_fallback = std::min(hi_fallback, b.lo);
+      }
+      if (part->row_count.lo > 0) {
+        const int64_t cap = is_min ? b.hi : b.lo;
+        if (!any_certain) {
+          hi_certain = cap;
+          any_certain = true;
+        } else {
+          hi_certain = is_min ? std::min(hi_certain, cap)
+                              : std::max(hi_certain, cap);
+        }
+      }
+    }
+    if (any) {
+      const int64_t cap = any_certain ? hi_certain : hi_fallback;
+      extremum[a] = is_min ? ValueBounds{lo, cap} : ValueBounds{cap, lo};
+    }
+  }
+
+  auto merge_agg = [&](uint64_t a, std::optional<ValueBounds>& acc,
+                       const ValueBounds& b) {
+    const AggFunc func = query.aggregates[a].func;
+    if (IsExtremum(func)) {
+      acc = extremum[a];
+    } else if (func == AggFunc::kAvg) {
+      acc = acc.has_value() ? HullBounds(*acc, b) : b;
+    } else {
+      acc = acc.has_value() ? AddBounds(*acc, b) : b;
+    }
+  };
+
+  if (!grouped) {
+    out.key_bounds.resize(1);
+    out.agg_bounds.resize(1);
+    std::vector<std::optional<ValueBounds>> acc(num_aggs);
+    for (const ApproximateAnswer* part : parts) {
+      if (part->num_groups() == 0) continue;
+      for (uint64_t a = 0; a < num_aggs; ++a) {
+        // An avg over a provably empty shard cannot move the global average.
+        if (query.aggregates[a].func == AggFunc::kAvg &&
+            part->row_count.hi <= 0 && acc[a].has_value()) {
+          continue;
+        }
+        merge_agg(a, acc[a], part->agg_bounds[0][a]);
+      }
+    }
+    for (uint64_t a = 0; a < num_aggs; ++a) {
+      out.agg_bounds[0].push_back(acc[a].value_or(ValueBounds{0, 0}));
+    }
+    return out;
+  }
+
+  // Grouped: pre-groups with identical key-bound tuples are the same
+  // approximate group (shard-invariant digits), so they merge; distinct
+  // tuples stay separate rows of the approximate answer.
+  struct PreGroup {
+    std::vector<ValueBounds> keys;
+    std::vector<std::optional<ValueBounds>> aggs;
+  };
+  std::map<std::vector<int64_t>, PreGroup> pre_groups;
+  for (const ApproximateAnswer* part : parts) {
+    for (uint64_t g = 0; g < part->num_groups(); ++g) {
+      std::vector<int64_t> sig;
+      sig.reserve(part->key_bounds[g].size() * 2);
+      for (const ValueBounds& kb : part->key_bounds[g]) {
+        sig.push_back(kb.lo);
+        sig.push_back(kb.hi);
+      }
+      PreGroup& pg = pre_groups[sig];
+      if (pg.aggs.empty()) {
+        pg.keys = part->key_bounds[g];
+        pg.aggs.resize(num_aggs);
+      }
+      for (uint64_t a = 0; a < num_aggs; ++a) {
+        merge_agg(a, pg.aggs[a], part->agg_bounds[g][a]);
+      }
+    }
+  }
+  for (auto& [sig, pg] : pre_groups) {
+    out.key_bounds.push_back(std::move(pg.keys));
+    std::vector<ValueBounds> aggs;
+    for (auto& b : pg.aggs) aggs.push_back(b.value_or(ValueBounds{0, 0}));
+    out.agg_bounds.push_back(std::move(aggs));
+  }
+  return out;
+}
+
+}  // namespace
+
+cs::RangePred PartitionKeyRange(const QuerySpec& query,
+                                const std::string& key_column) {
+  cs::RangePred range = cs::RangePred::All();
+  for (const Predicate& pred : query.predicates) {
+    if (pred.column != key_column) continue;
+    range.lo = std::max(range.lo, pred.range.lo);
+    range.hi = std::min(range.hi, pred.range.hi);
+  }
+  return range;
+}
+
+StatusOr<ShardedArExecution> ExecuteArSharded(
+    const QuerySpec& query, const bwd::ShardedBwdTable& fact,
+    const std::vector<bwd::BwdTable>* dim_replicas, device::DeviceGroup* group,
+    const ShardedArOptions& options) {
+  if (group == nullptr || group->size() == 0) {
+    return Status::InvalidArgument("ExecuteArSharded requires a DeviceGroup");
+  }
+  if (fact.num_shards() == 0) {
+    return Status::InvalidArgument("sharded table has no shards");
+  }
+  if (query.join.has_value() &&
+      (dim_replicas == nullptr || dim_replicas->size() < group->size())) {
+    return Status::InvalidArgument(
+        "join query needs one dimension replica per group device");
+  }
+
+  WallTimer wall;
+  std::vector<uint32_t> targets;
+  if (options.data_local_pruning) {
+    targets = bwd::TargetShards(
+        fact, PartitionKeyRange(query, fact.spec().key_column));
+  } else {
+    for (uint32_t s = 0; s < fact.num_shards(); ++s) targets.push_back(s);
+  }
+
+  // Fan shards out over the host pool. Each worker runs one shard's full
+  // A&R execution with a serial Phase R: the shard's device kernels join
+  // on that device's *own* pool (a cross-pool wait, always safe), while a
+  // nested host-pool wait from inside a host-pool worker could deadlock a
+  // saturated pool — so intra-shard host parallelism is disabled whenever
+  // the fan-out itself is parallel.
+  MorselContext fan;
+  fan.pool = FanPool(options.ar.num_threads);
+  ArOptions shard_options = options.ar;
+  if (fan.pool != nullptr) shard_options.num_threads = 1;
+
+  const uint64_t n = targets.size();
+  std::vector<std::optional<ArExecution>> runs(n);
+  std::vector<Status> statuses(n, Status::OK());
+  ParallelForItems(fan, n, [&](uint64_t i, unsigned) {
+    const uint32_t s = targets[i];
+    device::Device* dev = &group->device(s % group->size());
+    const bwd::BwdTable* dim =
+        dim_replicas != nullptr ? &(*dim_replicas)[s % group->size()] : nullptr;
+    StatusOr<ArExecution> run =
+        ExecuteAr(query, fact.shards[s], dim, dev, shard_options);
+    if (run.ok()) {
+      runs[i] = std::move(run).value();
+    } else {
+      statuses[i] = run.status();
+    }
+  });
+  for (const Status& st : statuses) WN_RETURN_IF_ERROR(st);
+
+  ShardedArExecution out;
+  out.executed_shards = targets;
+  std::vector<const QueryResult*> results;
+  std::vector<const ApproximateAnswer*> approxes;
+  for (uint64_t i = 0; i < n; ++i) {
+    const ArExecution& run = *runs[i];
+    results.push_back(&run.result);
+    approxes.push_back(&run.approx);
+    out.shard_breakdowns.push_back(run.breakdown);
+    out.merged.num_candidates += run.num_candidates;
+    out.merged.num_refined += run.num_refined;
+    out.merged.breakdown.device_seconds = std::max(
+        out.merged.breakdown.device_seconds, run.breakdown.device_seconds);
+    out.merged.breakdown.bus_seconds =
+        std::max(out.merged.breakdown.bus_seconds, run.breakdown.bus_seconds);
+    out.merged.breakdown.host_cpu_seconds += run.breakdown.host_cpu_seconds;
+  }
+  out.merged.result = MergeExactResults(query, results);
+  out.merged.approx = MergeApproxAnswers(query, approxes);
+  out.merged.plan_text =
+      "sharded A&R: " + std::to_string(n) + " of " +
+      std::to_string(fact.num_shards()) + " shard(s) on " +
+      std::to_string(group->size()) + " device(s), " +
+      bwd::PartitionKindToString(fact.spec().kind) + "(" +
+      fact.spec().key_column + ")\n" + runs[0]->plan_text;
+  out.merged.breakdown.host_seconds = wall.Seconds();
+  return out;
+}
+
+StatusOr<ShardedStreamingExecution> ExecuteStreamingSharded(
+    const QuerySpec& query, const std::vector<cs::Database>& shard_dbs,
+    device::DeviceGroup* group, const bwd::TablePartition* partition,
+    unsigned fan_out_threads) {
+  if (group == nullptr || group->size() == 0) {
+    return Status::InvalidArgument(
+        "ExecuteStreamingSharded requires a DeviceGroup");
+  }
+  if (shard_dbs.empty()) {
+    return Status::InvalidArgument("sharded execution has no shard databases");
+  }
+  if (partition != nullptr && partition->num_shards() != shard_dbs.size()) {
+    return Status::InvalidArgument(
+        "partition does not describe the shard databases");
+  }
+
+  std::vector<uint32_t> targets;
+  if (partition != nullptr) {
+    targets = bwd::TargetShards(
+        *partition, PartitionKeyRange(query, partition->spec.key_column));
+  } else {
+    for (uint32_t s = 0; s < shard_dbs.size(); ++s) targets.push_back(s);
+  }
+
+  MorselContext fan;
+  fan.pool = FanPool(fan_out_threads);
+
+  const uint64_t n = targets.size();
+  std::vector<std::optional<StreamingExecution>> runs(n);
+  std::vector<Status> statuses(n, Status::OK());
+  ParallelForItems(fan, n, [&](uint64_t i, unsigned) {
+    const uint32_t s = targets[i];
+    const uint32_t d = s % group->size();
+    StatusOr<StreamingExecution> run = ExecuteStreaming(
+        query, shard_dbs[s], &group->device(d), &group->cache(d));
+    if (run.ok()) {
+      runs[i] = std::move(run).value();
+    } else {
+      statuses[i] = run.status();
+    }
+  });
+  for (const Status& st : statuses) WN_RETURN_IF_ERROR(st);
+
+  ShardedStreamingExecution out;
+  out.executed_shards = targets;
+  WallTimer wall;  // merge-only wall; per-shard host time dominates below
+  std::vector<const QueryResult*> results;
+  double host_seconds = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const StreamingExecution& run = *runs[i];
+    results.push_back(&run.result);
+    out.merged.bytes_transferred += run.bytes_transferred;
+    out.merged.cache_hits += run.cache_hits;
+    out.merged.cache_misses += run.cache_misses;
+    out.merged.breakdown.device_seconds = std::max(
+        out.merged.breakdown.device_seconds, run.breakdown.device_seconds);
+    out.merged.breakdown.bus_seconds =
+        std::max(out.merged.breakdown.bus_seconds, run.breakdown.bus_seconds);
+    host_seconds = std::max(host_seconds, run.breakdown.host_seconds);
+    out.merged.breakdown.host_cpu_seconds += run.breakdown.host_cpu_seconds;
+  }
+  out.merged.result = MergeExactResults(query, results);
+  out.merged.breakdown.host_seconds = host_seconds + wall.Seconds();
+  return out;
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,109 @@
+// Sharded A&R / streaming execution over a DeviceGroup.
+//
+// The paper's Phase-A/Phase-R split fans out naturally over horizontal
+// partitions: approximate scans are embarrassingly parallel across shards,
+// and refinement is shard-local (a shard's candidates reference only its
+// own residuals). ExecuteArSharded dispatches one full per-shard A&R
+// execution per target shard over the shared host pool — each shard's
+// device kernels run on that device's own worker pool, its Phase R runs
+// serially on the dispatching worker — and merges the per-shard results.
+//
+// Merge discipline (DESIGN.md §6): per-shard exact results merge by exact
+// group-key tuple. Count/sum/avg-sum aggregates are integer additions
+// (commutative and associative, so shard order cannot matter); min/max
+// combine the per-shard extrema of shards that selected rows; group counts
+// and selected_rows add; the merged table is re-sorted into the canonical
+// key order. Because every shard plans the identical DecompositionSpec
+// (partition invariant 2), each per-shard execution is itself bit-identical
+// to running on that slice single-device, and the merge is bit-identical to
+// the unpartitioned run — property-tested across the engine-fuzz sweep.
+//
+// Approximate answers merge soundly (interval addition for counts/sums,
+// hulls for avgs and extrema), so the sharded Phase-A answer keeps the
+// strict-error-bound contract even though its intervals need not equal the
+// single-device ones.
+//
+// Data-local scheduling: predicates on the partition key prune shards whose
+// key hull cannot intersect them (partition invariant 3) — exactness is
+// unaffected because a pruned shard provably contributes zero refined rows.
+
+#ifndef WASTENOT_CORE_SHARDED_ENGINE_H_
+#define WASTENOT_CORE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bwd/partition.h"
+#include "columnstore/database.h"
+#include "core/ar_engine.h"
+#include "core/streaming_engine.h"
+#include "device/device_group.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// Options for a sharded A&R execution.
+struct ShardedArOptions {
+  /// Per-shard engine options. num_threads here is reinterpreted as the
+  /// *shard fan-out* width (0 = the shared default pool, 1 = serial shard
+  /// loop); inside each shard Phase R runs serially whenever the fan-out
+  /// is parallel, so pool workers never wait on their own pool.
+  ArOptions ar;
+  /// Prune shards whose key hull misses the query's partition-key
+  /// predicate (exactness-preserving; see TargetShards).
+  bool data_local_pruning = true;
+};
+
+/// A merged sharded execution plus its per-shard attribution.
+struct ShardedArExecution {
+  /// Merged exact result, sound merged approximate answer, and the
+  /// group-level breakdown: device/bus seconds are the *max* over shards
+  /// (parallel devices overlap), host_seconds is the measured fan-out
+  /// wall time, host_cpu_seconds sums the per-shard refinement work.
+  ArExecution merged;
+  /// Shards actually executed, ascending (after data-local pruning).
+  std::vector<uint32_t> executed_shards;
+  /// Per-shard breakdowns, aligned with executed_shards.
+  std::vector<ExecutionBreakdown> shard_breakdowns;
+};
+
+/// Executes `query` shard-parallel over `fact`'s shards on `group`.
+/// `dim_replicas` (may be null for join-free queries) holds one dimension
+/// replica per group device, as built by bwd::ReplicatePerDevice; shard s
+/// joins against the replica on its own device (s % group size).
+///
+/// The merged QueryResult is bit-identical to single-device ExecuteAr on
+/// the unpartitioned table, for any shard count, partition kind, pruning
+/// setting and fan-out width.
+StatusOr<ShardedArExecution> ExecuteArSharded(
+    const QuerySpec& query, const bwd::ShardedBwdTable& fact,
+    const std::vector<bwd::BwdTable>* dim_replicas, device::DeviceGroup* group,
+    const ShardedArOptions& options = {});
+
+/// A merged sharded streaming execution.
+struct ShardedStreamingExecution {
+  /// Merged exact result; transfer bytes and cache hit/miss counters sum
+  /// across shards, device/bus seconds are the max over shards.
+  StreamingExecution merged;
+  std::vector<uint32_t> executed_shards;
+};
+
+/// Streaming analogue: shard s executes against shard_dbs[s] on group
+/// device s % size, pinning inputs into that device's residency cache
+/// (group->cache). `partition` (may be null) enables data-local pruning;
+/// it must describe the same sharding shard_dbs was built from.
+/// `fan_out_threads` follows the ShardedArOptions convention.
+StatusOr<ShardedStreamingExecution> ExecuteStreamingSharded(
+    const QuerySpec& query, const std::vector<cs::Database>& shard_dbs,
+    device::DeviceGroup* group, const bwd::TablePartition* partition = nullptr,
+    unsigned fan_out_threads = 0);
+
+/// The conjunction of `query`'s predicates on `key_column` as one range
+/// (full-domain when the query has none) — what data-local pruning feeds
+/// to bwd::TargetShards. Exposed for the server's shard-aware dispatch.
+cs::RangePred PartitionKeyRange(const QuerySpec& query,
+                                const std::string& key_column);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_SHARDED_ENGINE_H_

@@ -41,4 +41,25 @@ double TransferSeconds(const DeviceSpec& spec, uint64_t bytes) {
   return spec.pcie_latency + static_cast<double>(bytes) / spec.pcie_bandwidth;
 }
 
+LinkSpec MemberLink(const DeviceSpec& base, uint32_t num_devices,
+                    bool shared_switch) {
+  LinkSpec link{base.pcie_bandwidth, base.pcie_latency};
+  if (shared_switch && num_devices > 1) {
+    link.bandwidth = base.pcie_bandwidth / static_cast<double>(num_devices);
+    link.latency = base.pcie_latency * 2.0;  // one extra switch hop
+  }
+  return link;
+}
+
+DeviceSpec WithLink(DeviceSpec spec, const LinkSpec& link) {
+  spec.pcie_bandwidth = link.bandwidth;
+  spec.pcie_latency = link.latency;
+  return spec;
+}
+
+double LinkTransferSeconds(const LinkSpec& link, uint64_t bytes) {
+  if (bytes == 0) return 0.0;
+  return link.latency + static_cast<double>(bytes) / link.bandwidth;
+}
+
 }  // namespace wastenot::device

@@ -68,6 +68,31 @@ struct DeviceSpec {
   static DeviceSpec Gtx680();
 };
 
+/// Host<->device bus budget of one DeviceGroup member's link. A group
+/// either gives every member a dedicated link (each carrying the base
+/// spec's full budget — the paper's 2x GTX 680 server has one PCI-E slot
+/// per card) or hangs all members off a shared switch whose aggregate
+/// bandwidth is split across them, with one extra hop of latency.
+struct LinkSpec {
+  double bandwidth = 3.95e9;  ///< bytes/second this link sustains
+  double latency = 15e-6;     ///< fixed per-transfer setup time, seconds
+};
+
+/// Derives member-device link budgets from a base spec: dedicated links
+/// replicate the base bus budget; a shared switch divides the bandwidth
+/// evenly over `num_devices` members and adds a hop of latency.
+LinkSpec MemberLink(const DeviceSpec& base, uint32_t num_devices,
+                    bool shared_switch);
+
+/// Returns `spec` with its bus budget replaced by `link`. Every transfer
+/// charge flows through spec.pcie_*, so stamping a member's spec with its
+/// link realizes per-link accounting with no call-site changes.
+DeviceSpec WithLink(DeviceSpec spec, const LinkSpec& link);
+
+/// Simulated cost of moving `bytes` over one link (same formula as
+/// TransferSeconds, parameterized by the link budget).
+double LinkTransferSeconds(const LinkSpec& link, uint64_t bytes);
+
 /// Device-memory bytes read to fetch `count` packed digits of `width_bits`
 /// bits each. A sequential scan streams exactly the packed payload; a
 /// random-access gather (`gather` = true) touches at least one whole byte

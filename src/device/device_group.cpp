@@ -1,0 +1,44 @@
+#include "device/device_group.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace wastenot::device {
+
+DeviceGroup::DeviceGroup(DeviceGroupOptions options)
+    : options_(std::move(options)) {
+  const uint32_t n = std::max<uint32_t>(options_.num_devices, 1);
+  unsigned per_device_threads = options_.worker_threads;
+  if (per_device_threads == 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    per_device_threads = std::max(1u, hw / n);
+  }
+  links_.reserve(n);
+  devices_.reserve(n);
+  caches_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    links_.push_back(MemberLink(options_.base, n, options_.shared_switch));
+    devices_.push_back(std::make_unique<Device>(
+        WithLink(options_.base, links_.back()), per_device_threads));
+    caches_.push_back(std::make_unique<ResidencyCache>(devices_.back().get()));
+  }
+}
+
+DeviceGroup::ClockAggregate DeviceGroup::AggregateClocks() const {
+  ClockAggregate agg;
+  for (const auto& dev : devices_) {
+    const double d = dev->clock().device_seconds();
+    const double b = dev->clock().bus_seconds();
+    agg.max_device_seconds = std::max(agg.max_device_seconds, d);
+    agg.max_bus_seconds = std::max(agg.max_bus_seconds, b);
+    agg.sum_device_seconds += d;
+    agg.sum_bus_seconds += b;
+  }
+  return agg;
+}
+
+void DeviceGroup::ResetClocks() {
+  for (auto& dev : devices_) dev->clock().Reset();
+}
+
+}  // namespace wastenot::device

@@ -1,0 +1,97 @@
+// DeviceGroup: N simulated co-processors behind per-device bus links.
+//
+// Each member is a full, independent `Device` — its own DeviceArena,
+// SimClock, KernelCache, and worker pool — so shards execute with zero
+// cross-device contention in either the real (host-thread) or simulated
+// (cost-model) dimension. The group also owns one ResidencyCache per
+// member for the streaming engine's sharded path.
+//
+// Link budgets: every member's DeviceSpec is stamped with a LinkSpec
+// derived from the base spec (dedicated links by default; a shared-switch
+// policy splits the aggregate bus bandwidth across members). Because all
+// transfer charges flow through the member spec's pcie_* fields, per-link
+// accounting needs no changes in Upload/Download/ChargeTransfer.
+//
+// Worker-thread sizing: member pools default to hardware_concurrency / N
+// (at least 1) so an N-shard fan-out oversubscribes the host no more than
+// a single device would. Pass worker_threads explicitly to override.
+
+#ifndef WASTENOT_DEVICE_DEVICE_GROUP_H_
+#define WASTENOT_DEVICE_DEVICE_GROUP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "device/cost_model.h"
+#include "device/device.h"
+#include "device/residency_cache.h"
+#include "device/sim_clock.h"
+
+namespace wastenot::device {
+
+/// Configuration for a DeviceGroup.
+struct DeviceGroupOptions {
+  /// Number of member devices (>= 1; 0 is clamped to 1).
+  uint32_t num_devices = 2;
+
+  /// Spec every member derives from (memory capacity, kernel model, and
+  /// the *base* bus budget the link policy divides or replicates).
+  DeviceSpec base = DeviceSpec::Gtx680();
+
+  /// false: one dedicated link per member, each with the base bus budget.
+  /// true: members share a switch — per-link bandwidth is base / N and
+  /// latency doubles (see MemberLink in cost_model.h).
+  bool shared_switch = false;
+
+  /// Worker threads per member device pool. 0 = hardware concurrency / N
+  /// (at least 1), so the whole group saturates but does not oversubscribe
+  /// the host.
+  unsigned worker_threads = 0;
+};
+
+/// A fixed-size group of independent simulated devices plus one residency
+/// cache per member. Thread-safe to *use* concurrently (each member Device
+/// and ResidencyCache is itself thread-safe); construction and destruction
+/// are single-threaded.
+class DeviceGroup {
+ public:
+  explicit DeviceGroup(DeviceGroupOptions options = {});
+
+  DeviceGroup(const DeviceGroup&) = delete;
+  DeviceGroup& operator=(const DeviceGroup&) = delete;
+
+  uint32_t size() const { return static_cast<uint32_t>(devices_.size()); }
+  const DeviceGroupOptions& options() const { return options_; }
+
+  Device& device(uint32_t i) { return *devices_[i]; }
+  const Device& device(uint32_t i) const { return *devices_[i]; }
+  ResidencyCache& cache(uint32_t i) { return *caches_[i]; }
+
+  /// The bus budget member `i` was built with.
+  const LinkSpec& link(uint32_t i) const { return links_[i]; }
+
+  /// Aggregate simulated-time view across all members. Parallel devices
+  /// overlap, so the group-level elapsed time of a fan-out is the *max*
+  /// member clock, while `sum` preserves total work for utilization math.
+  struct ClockAggregate {
+    double max_device_seconds = 0;
+    double max_bus_seconds = 0;
+    double sum_device_seconds = 0;
+    double sum_bus_seconds = 0;
+  };
+  ClockAggregate AggregateClocks() const;
+
+  /// Resets every member clock (benchmark epochs).
+  void ResetClocks();
+
+ private:
+  DeviceGroupOptions options_;
+  std::vector<LinkSpec> links_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<std::unique_ptr<ResidencyCache>> caches_;
+};
+
+}  // namespace wastenot::device
+
+#endif  // WASTENOT_DEVICE_DEVICE_GROUP_H_

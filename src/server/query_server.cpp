@@ -9,10 +9,31 @@
 
 namespace wastenot::server {
 
+namespace {
+
+/// How many shards the backend serves (0 = single-device).
+uint32_t BackendNumShards(const QueryServer::Backend& backend) {
+  if (backend.group == nullptr) return 0;
+  if (backend.sharded_fact != nullptr) return backend.sharded_fact->num_shards();
+  if (backend.shard_dbs != nullptr) {
+    return static_cast<uint32_t>(backend.shard_dbs->size());
+  }
+  return 0;
+}
+
+std::vector<uint32_t> AllShards(uint32_t n) {
+  std::vector<uint32_t> all(n);
+  for (uint32_t s = 0; s < n; ++s) all[s] = s;
+  return all;
+}
+
+}  // namespace
+
 QueryServer::QueryServer(Backend backend, ServerOptions options)
     : backend_(backend),
       options_(options),
       streaming_cache_(backend.device) {
+  stats_.shards.resize(BackendNumShards(backend_));
   workers_.reserve(options_.num_workers);
   for (unsigned w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
@@ -21,10 +42,41 @@ QueryServer::QueryServer(Backend backend, ServerOptions options)
 
 QueryServer::~QueryServer() { Shutdown(); }
 
+std::vector<uint32_t> QueryServer::TargetShardsFor(
+    const QueryRequest& request) const {
+  const uint32_t n = BackendNumShards(backend_);
+  if (n == 0) return {};
+  switch (request.engine) {
+    case EngineKind::kAr:
+      if (backend_.sharded_fact == nullptr) return {};
+      if (!options_.sharded_ar_options.data_local_pruning) {
+        return AllShards(n);
+      }
+      return bwd::TargetShards(
+          *backend_.sharded_fact,
+          core::PartitionKeyRange(request.query,
+                                  backend_.sharded_fact->spec().key_column));
+    case EngineKind::kStreaming:
+      if (backend_.shard_dbs == nullptr) return {};
+      if (backend_.sharded_fact != nullptr &&
+          backend_.sharded_fact->num_shards() == n) {
+        return bwd::TargetShards(
+            backend_.sharded_fact->partition,
+            core::PartitionKeyRange(request.query,
+                                    backend_.sharded_fact->spec().key_column));
+      }
+      return AllShards(n);
+    case EngineKind::kClassic:
+      return {};  // host-only: no shard placement
+  }
+  return {};
+}
+
 bool QueryServer::Enqueue(QueryRequest&& request, bool blocking,
                           std::future<QueryResponse>* out) {
   Pending pending;
   pending.request = std::move(request);
+  pending.target_shards = TargetShardsFor(pending.request);
   std::future<QueryResponse> future = pending.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -51,6 +103,13 @@ bool QueryServer::Enqueue(QueryRequest&& request, bool blocking,
     }
     pending.id = next_id_++;
     pending.admitted.Restart();
+    ++stats_.engines[static_cast<size_t>(pending.request.engine)].submitted;
+    for (uint32_t s : pending.target_shards) {
+      if (s < stats_.shards.size()) {
+        ++stats_.shards[s].submitted;
+        ++stats_.shards[s].queue_depth;
+      }
+    }
     queue_.push_back(std::move(pending));
     ++stats_.admitted;
     stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth,
@@ -91,6 +150,9 @@ void QueryServer::WorkerLoop(unsigned worker) {
       pending = std::move(queue_.front());
       queue_.pop_front();
       ++busy_workers_;
+      for (uint32_t s : pending.target_shards) {
+        if (s < stats_.shards.size()) --stats_.shards[s].queue_depth;
+      }
     }
     space_cv_.notify_one();
 
@@ -99,7 +161,7 @@ void QueryServer::WorkerLoop(unsigned worker) {
     response.id = pending.id;
     response.queue_seconds = queue_seconds;
     response.latency_seconds = pending.admitted.Seconds();
-    RecordCompletion(&response);
+    RecordCompletion(pending.request.engine, pending.target_shards, &response);
     pending.promise.set_value(std::move(response));
 
     // The worker counts as busy until after the promise resolves, so a
@@ -120,6 +182,17 @@ QueryResponse QueryServer::Execute(const QueryRequest& request,
   response.worker = worker;
   switch (request.engine) {
     case EngineKind::kAr: {
+      if (backend_.sharded_fact != nullptr && backend_.group != nullptr) {
+        auto exec = core::ExecuteArSharded(
+            request.query, *backend_.sharded_fact, backend_.dim_replicas,
+            backend_.group, options_.sharded_ar_options);
+        response.status = exec.status();
+        if (exec.ok()) {
+          response.result = std::move(exec->merged.result);
+          response.breakdown = exec->merged.breakdown;
+        }
+        return response;
+      }
       if (backend_.fact == nullptr || backend_.device == nullptr) {
         response.status =
             Status::InvalidArgument("server has no A&R backend (fact/device)");
@@ -151,6 +224,22 @@ QueryResponse QueryServer::Execute(const QueryRequest& request,
       return response;
     }
     case EngineKind::kStreaming: {
+      if (backend_.shard_dbs != nullptr && backend_.group != nullptr) {
+        const bwd::TablePartition* partition =
+            (backend_.sharded_fact != nullptr &&
+             backend_.sharded_fact->num_shards() == backend_.shard_dbs->size())
+                ? &backend_.sharded_fact->partition
+                : nullptr;
+        auto exec = core::ExecuteStreamingSharded(
+            request.query, *backend_.shard_dbs, backend_.group, partition,
+            /*fan_out_threads=*/1);
+        response.status = exec.status();
+        if (exec.ok()) {
+          response.result = std::move(exec->merged.result);
+          response.breakdown = exec->merged.breakdown;
+        }
+        return response;
+      }
       if (backend_.db == nullptr || backend_.device == nullptr) {
         response.status = Status::InvalidArgument(
             "server has no streaming backend (db/device)");
@@ -170,13 +259,21 @@ QueryResponse QueryServer::Execute(const QueryRequest& request,
   return response;
 }
 
-void QueryServer::RecordCompletion(QueryResponse* response) {
+void QueryServer::RecordCompletion(EngineKind engine,
+                                   const std::vector<uint32_t>& target_shards,
+                                   QueryResponse* response) {
   std::lock_guard<std::mutex> lock(mu_);
   response->sequence = next_sequence_++;
+  EngineStats& engine_stats = stats_.engines[static_cast<size_t>(engine)];
   if (response->status.ok()) {
     ++stats_.completed;
+    ++engine_stats.completed;
   } else {
     ++stats_.failed;
+    ++engine_stats.failed;
+  }
+  for (uint32_t s : target_shards) {
+    if (s < stats_.shards.size()) ++stats_.shards[s].completed;
   }
   const size_t window = std::max<uint64_t>(1, options_.latency_window);
   const LatencySample sample{response->latency_seconds, uptime_.Seconds()};
@@ -207,6 +304,11 @@ void QueryServer::Shutdown() {
     shutdown_ = true;
     cancelled.swap(queue_);
     stats_.cancelled += cancelled.size();
+    for (const Pending& pending : cancelled) {
+      for (uint32_t s : pending.target_shards) {
+        if (s < stats_.shards.size()) --stats_.shards[s].queue_depth;
+      }
+    }
     // Wake submitters blocked on queue space and wait for every submitter
     // currently inside Enqueue's critical path to leave, so members are
     // not destroyed under a Submit that raced this shutdown.
@@ -267,6 +369,13 @@ ServerStats QueryServer::stats() const {
     const double elapsed = uptime_.Seconds();
     const uint64_t served = out.completed + out.failed;
     out.qps = elapsed > 0 ? static_cast<double>(served) / elapsed : 0;
+  }
+
+  const double elapsed_for_shards = uptime_.Seconds();
+  for (ShardStats& shard : out.shards) {
+    shard.qps = elapsed_for_shards > 0
+                    ? static_cast<double>(shard.completed) / elapsed_for_shards
+                    : 0;
   }
 
   std::vector<double> latencies;

@@ -15,6 +15,7 @@
 #ifndef WASTENOT_SERVER_QUERY_SERVER_H_
 #define WASTENOT_SERVER_QUERY_SERVER_H_
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -24,10 +25,13 @@
 #include <vector>
 
 #include "bwd/bwd_table.h"
+#include "bwd/partition.h"
 #include "columnstore/database.h"
 #include "core/ar_engine.h"
 #include "core/query.h"
+#include "core/sharded_engine.h"
 #include "device/device.h"
+#include "device/device_group.h"
 #include "device/residency_cache.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -78,6 +82,15 @@ struct ServerOptions {
   /// exercise in tests; the default bounds a long-lived server's memory
   /// while still averaging over enough samples to be stable.
   uint64_t latency_window = 4096;
+  /// Applied to every kAr request served by a *sharded* backend. The
+  /// default keeps the shard loop serial per session worker (ar.num_threads
+  /// = 1 — streams are the concurrency, paper §VI-E) with data-local
+  /// pruning on; raise ar.num_threads for intra-query shard fan-out.
+  core::ShardedArOptions sharded_ar_options = [] {
+    core::ShardedArOptions o;
+    o.ar.num_threads = 1;
+    return o;
+  }();
 };
 
 /// Nearest-rank percentile: the smallest sample such that at least
@@ -86,6 +99,27 @@ struct ServerOptions {
 /// samples p99 is the 99th smallest (index 98), not the maximum; an empty
 /// sample set yields 0.
 double LatencyPercentile(std::vector<double> samples, double fraction);
+
+/// Per-engine slice of the serving counters (ServerStats::engines).
+struct EngineStats {
+  uint64_t submitted = 0;  ///< admitted requests naming this engine
+  uint64_t completed = 0;  ///< finished with OK status
+  uint64_t failed = 0;     ///< finished with error status
+};
+
+/// Per-shard slice of the serving counters (ServerStats::shards). Only
+/// populated when the server has a sharded backend; a request charges every
+/// shard its partition-key range targets (so sums across shards can exceed
+/// the request count — fan-out is the point).
+struct ShardStats {
+  uint64_t submitted = 0;    ///< admitted requests targeting this shard
+  uint64_t completed = 0;    ///< completions (either status) touching it
+  uint64_t queue_depth = 0;  ///< queued-but-undispatched requests targeting it
+  /// Lifetime completions touching this shard / server uptime. A lifetime
+  /// rate (not windowed like the global qps): per-shard windows would need
+  /// per-shard completion rings for little test value.
+  double qps = 0;
+};
 
 /// Aggregate serving statistics (since construction).
 struct ServerStats {
@@ -96,6 +130,10 @@ struct ServerStats {
   uint64_t cancelled = 0;  ///< still queued at Shutdown
   uint64_t queue_depth = 0;
   uint64_t max_queue_depth = 0;
+  /// Indexed by EngineKind (kAr, kClassic, kStreaming).
+  std::array<EngineStats, 3> engines{};
+  /// One entry per backend shard; empty for single-device backends.
+  std::vector<ShardStats> shards;
   /// Serving rate over the same bounded completion window as the latency
   /// percentiles: (window size - 1) / (timestamp span of the window),
   /// counting completions of either status. Measures the rate *while
@@ -125,6 +163,19 @@ class QueryServer {
     const bwd::BwdTable* fact = nullptr;
     const bwd::BwdTable* dim = nullptr;
     device::Device* device = nullptr;
+
+    /// Sharded backend (DESIGN.md §6). When `sharded_fact` and `group` are
+    /// both set, kAr requests dispatch shard-parallel via ExecuteArSharded
+    /// with data-local placement; when `shard_dbs` and `group` are set,
+    /// kStreaming requests dispatch via ExecuteStreamingSharded. Single-
+    /// device pointers above remain the fallback for whichever engines the
+    /// sharded fields don't cover. `dim_replicas` holds one dimension
+    /// replica per group device (bwd::ReplicatePerDevice); may be null for
+    /// join-free workloads.
+    const bwd::ShardedBwdTable* sharded_fact = nullptr;
+    const std::vector<bwd::BwdTable>* dim_replicas = nullptr;
+    const std::vector<cs::Database>* shard_dbs = nullptr;
+    device::DeviceGroup* group = nullptr;
   };
 
   QueryServer(Backend backend, ServerOptions options = {});
@@ -164,16 +215,24 @@ class QueryServer {
     std::promise<QueryResponse> promise;
     uint64_t id = 0;
     WallTimer admitted;  ///< started at admission
+    /// Shards this request targets (per-shard admission accounting and
+    /// queue depth). Empty for engines the sharded backend doesn't serve.
+    std::vector<uint32_t> target_shards;
   };
 
   bool Enqueue(QueryRequest&& request, bool blocking,
                std::future<QueryResponse>* out);
+  /// Shards `request` would execute on — data-local placement resolved at
+  /// admission time (empty when the backend isn't sharded for its engine).
+  std::vector<uint32_t> TargetShardsFor(const QueryRequest& request) const;
   /// Decrements active_submitters_ (mu_ held) and, during shutdown,
   /// signals the drain wait in Shutdown().
   void LeaveSubmitter();
   void WorkerLoop(unsigned worker);
   QueryResponse Execute(const QueryRequest& request, unsigned worker);
-  void RecordCompletion(QueryResponse* response);
+  void RecordCompletion(EngineKind engine,
+                        const std::vector<uint32_t>& target_shards,
+                        QueryResponse* response);
 
   /// One completed request in the bounded stats window.
   struct LatencySample {

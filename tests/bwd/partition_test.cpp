@@ -1,0 +1,284 @@
+// Property tests for horizontal partitioning (partition.h invariants):
+// round trip, spec identity across shards, hull soundness — plus the edge
+// shapes the merge discipline leans on (empty shards, skew, n < shards)
+// and the data-local TargetShards pruning rule.
+
+#include "bwd/partition.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace wastenot::bwd {
+namespace {
+
+cs::Table MakeTable(const std::vector<int32_t>& keys,
+                    const std::vector<int32_t>& vals) {
+  cs::Table t("f");
+  cs::Column k = cs::Column::FromI32(keys);
+  k.ComputeStats();
+  cs::Column v = cs::Column::FromI32(vals);
+  v.ComputeStats();
+  (void)t.AddColumn("k", std::move(k));
+  (void)t.AddColumn("v", std::move(v));
+  return t;
+}
+
+/// Checks partition invariants 1-3 against the base table.
+void VerifyInvariants(const cs::Table& base, const TablePartition& p) {
+  ASSERT_EQ(p.shards.size(), p.spec.num_shards);
+  ASSERT_EQ(p.global_rows.size(), p.spec.num_shards);
+  ASSERT_EQ(p.key_ranges.size(), p.spec.num_shards);
+  EXPECT_EQ(p.num_rows, base.num_rows());
+
+  // Invariant 1 (round trip): every global row in exactly one shard, and
+  // shard values reproduce the base values through global_rows.
+  std::vector<int> seen(base.num_rows(), 0);
+  uint64_t total = 0;
+  for (uint32_t s = 0; s < p.num_shards(); ++s) {
+    const cs::OidVec& rows = p.global_rows[s];
+    ASSERT_EQ(p.shards[s].num_rows(), rows.size());
+    total += rows.size();
+    for (uint64_t i = 0; i < rows.size(); ++i) {
+      ASSERT_LT(rows[i], base.num_rows());
+      ++seen[rows[i]];
+      for (const std::string& name : base.column_names()) {
+        ASSERT_EQ(p.shards[s].column(name).Get(i),
+                  base.column(name).Get(rows[i]))
+            << "shard " << s << " row " << i << " column " << name;
+      }
+    }
+  }
+  EXPECT_EQ(total, base.num_rows());
+  for (uint64_t g = 0; g < base.num_rows(); ++g) {
+    EXPECT_EQ(seen[g], 1) << "global row " << g;
+  }
+
+  // Invariant 2 (spec identity): shard columns carry the parent stats.
+  for (uint32_t s = 0; s < p.num_shards(); ++s) {
+    for (const std::string& name : base.column_names()) {
+      const cs::Column& col = p.shards[s].column(name);
+      ASSERT_TRUE(col.has_stats());
+      EXPECT_EQ(col.min_value(), base.column(name).min_value());
+      EXPECT_EQ(col.max_value(), base.column(name).max_value());
+    }
+  }
+
+  // Invariant 3 (hull soundness): every shard key lies in its hull, and a
+  // structurally empty hull implies an empty shard.
+  const cs::Column& key = base.column(p.spec.key_column);
+  for (uint32_t s = 0; s < p.num_shards(); ++s) {
+    const cs::RangePred& hull = p.key_ranges[s];
+    if (hull.Empty()) {
+      EXPECT_TRUE(p.global_rows[s].empty());
+      continue;
+    }
+    for (cs::oid_t g : p.global_rows[s]) {
+      EXPECT_GE(key.Get(g), hull.lo);
+      EXPECT_LE(key.Get(g), hull.hi);
+    }
+  }
+}
+
+std::vector<int32_t> RandomInts(uint64_t n, int64_t lo, int64_t hi,
+                                uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<int32_t> out(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out[i] = static_cast<int32_t>(
+        lo + static_cast<int64_t>(rng.Below(static_cast<uint64_t>(hi - lo + 1))));
+  }
+  return out;
+}
+
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<PartitionKind, uint32_t>> {};
+
+TEST_P(PartitionProperty, RoundTripUniformKeys) {
+  const auto [kind, shards] = GetParam();
+  const uint64_t n = 997;  // prime, so no shard count divides it evenly
+  cs::Table base = MakeTable(RandomInts(n, -250, 750, 7),
+                             RandomInts(n, 0, 1000, 8));
+  auto p = PartitionTable(base, PartitionSpec{kind, "k", shards});
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  VerifyInvariants(base, *p);
+}
+
+TEST_P(PartitionProperty, SkewedKeysLeaveEmptyShardsInPlace) {
+  const auto [kind, shards] = GetParam();
+  // Every key identical: one shard takes all rows, the rest stay empty
+  // (and keep their position, so shard->device routing is stable).
+  std::vector<int32_t> keys(500, 42);
+  cs::Table base = MakeTable(keys, RandomInts(500, 0, 9, 3));
+  auto p = PartitionTable(base, PartitionSpec{kind, "k", shards});
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  VerifyInvariants(base, *p);
+  uint32_t non_empty = 0;
+  for (const auto& rows : p->global_rows) non_empty += !rows.empty();
+  EXPECT_EQ(non_empty, 1u);
+}
+
+TEST_P(PartitionProperty, FewerRowsThanShards) {
+  const auto [kind, shards] = GetParam();
+  cs::Table base = MakeTable({5, -3, 11}, {1, 2, 3});
+  auto p = PartitionTable(base, PartitionSpec{kind, "k", shards});
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  VerifyInvariants(base, *p);
+}
+
+TEST_P(PartitionProperty, EmptyTable) {
+  const auto [kind, shards] = GetParam();
+  cs::Table base = MakeTable({}, {});
+  auto p = PartitionTable(base, PartitionSpec{kind, "k", shards});
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  VerifyInvariants(base, *p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndCounts, PartitionProperty,
+    ::testing::Combine(::testing::Values(PartitionKind::kRange,
+                                         PartitionKind::kRadix),
+                       ::testing::Values(1u, 2u, 3u, 8u)),
+    [](const ::testing::TestParamInfo<std::tuple<PartitionKind, uint32_t>>&
+           info) {
+      return std::string(PartitionKindToString(std::get<0>(info.param))) +
+             "x" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PartitionTest, RejectsZeroShards) {
+  cs::Table base = MakeTable({1, 2}, {3, 4});
+  auto p = PartitionTable(base, PartitionSpec{PartitionKind::kRange, "k", 0});
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionTest, RejectsUnknownKeyColumn) {
+  cs::Table base = MakeTable({1, 2}, {3, 4});
+  auto p = PartitionTable(base, PartitionSpec{PartitionKind::kRange, "zz", 2});
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PartitionTest, RangeHullsAreDisjointIntervals) {
+  std::vector<int32_t> keys(100);
+  for (int i = 0; i < 100; ++i) keys[i] = i;  // domain exactly [0, 99]
+  cs::Table base = MakeTable(keys, keys);
+  auto p = PartitionTable(base, PartitionSpec{PartitionKind::kRange, "k", 4});
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->key_ranges.size(), 4u);
+  EXPECT_EQ(p->key_ranges[0].lo, 0);
+  EXPECT_EQ(p->key_ranges[3].hi, 99);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(p->key_ranges[s].hi + 1, p->key_ranges[s + 1].lo);
+  }
+}
+
+TEST(PartitionTest, TargetShardsRangePruning) {
+  std::vector<int32_t> keys(100);
+  for (int i = 0; i < 100; ++i) keys[i] = i;
+  cs::Table base = MakeTable(keys, keys);
+  auto p = PartitionTable(base, PartitionSpec{PartitionKind::kRange, "k", 4});
+  ASSERT_TRUE(p.ok());
+  // Hulls are [0,24] [25,49] [50,74] [75,99].
+  EXPECT_EQ(TargetShards(*p, cs::RangePred{30, 40}),
+            (std::vector<uint32_t>{1}));
+  EXPECT_EQ(TargetShards(*p, cs::RangePred{20, 60}),
+            (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(TargetShards(*p, cs::RangePred{90, 500}),
+            (std::vector<uint32_t>{3}));
+  // Fully outside the domain, and contradictory: shard 0 stands in so the
+  // merge still sees one (empty) shard run.
+  EXPECT_EQ(TargetShards(*p, cs::RangePred{200, 300}),
+            (std::vector<uint32_t>{0}));
+  EXPECT_EQ(TargetShards(*p, cs::RangePred{10, 5}),
+            (std::vector<uint32_t>{0}));
+}
+
+TEST(PartitionTest, TargetShardsRadixPointPredicate) {
+  std::vector<int32_t> keys(100);
+  for (int i = 0; i < 100; ++i) keys[i] = i;
+  cs::Table base = MakeTable(keys, keys);
+  auto p = PartitionTable(base, PartitionSpec{PartitionKind::kRadix, "k", 4});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(TargetShards(*p, cs::RangePred{42, 42}),
+            (std::vector<uint32_t>{2}));
+  // Point outside the keyed domain: nothing can match; shard 0 stands in.
+  EXPECT_EQ(TargetShards(*p, cs::RangePred{1000, 1000}),
+            (std::vector<uint32_t>{0}));
+  // Non-point radix predicates cannot prune (keys scatter mod S).
+  EXPECT_EQ(TargetShards(*p, cs::RangePred{10, 12}),
+            (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(PartitionTest, DecomposeShardedPlansIdenticalSpecs) {
+  const uint64_t n = 600;
+  cs::Table base = MakeTable(RandomInts(n, -100, 923, 11),
+                             RandomInts(n, 0, 4095, 12));
+  device::DeviceGroupOptions gopts;
+  gopts.num_devices = 3;
+  gopts.base.memory_capacity = 64 << 20;
+  gopts.worker_threads = 1;
+  device::DeviceGroup group(gopts);
+
+  const std::vector<DecomposeRequest> reqs = {
+      {"k", 16, Compression::kBitPacked}, {"v", 12, Compression::kBitPacked}};
+  auto sharded = DecomposeSharded(
+      base, reqs, PartitionSpec{PartitionKind::kRadix, "k", 5}, &group);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  ASSERT_EQ(sharded->num_shards(), 5u);
+
+  // Reference: the unpartitioned decomposition's spec per column.
+  auto whole = BwdTable::Decompose(base, reqs, &group.device(0));
+  ASSERT_TRUE(whole.ok());
+  for (const char* name : {"k", "v"}) {
+    const DecompositionSpec& want = whole->column(name).spec();
+    for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+      const DecompositionSpec& got = sharded->shards[s].column(name).spec();
+      EXPECT_EQ(got.prefix_base, want.prefix_base) << name << " shard " << s;
+      EXPECT_EQ(got.value_bits, want.value_bits) << name << " shard " << s;
+      EXPECT_EQ(got.residual_bits, want.residual_bits)
+          << name << " shard " << s;
+    }
+  }
+
+  // Round trip through the decomposed shards: ReconstructAll per shard,
+  // scattered through global_rows, equals the base column.
+  for (const char* name : {"k", "v"}) {
+    std::vector<int64_t> rebuilt(n);
+    for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+      const cs::Column all = sharded->shards[s].column(name).ReconstructAll();
+      const cs::OidVec& rows = sharded->global_rows()[s];
+      ASSERT_EQ(all.size(), rows.size());
+      for (uint64_t i = 0; i < rows.size(); ++i) rebuilt[rows[i]] = all.Get(i);
+    }
+    for (uint64_t g = 0; g < n; ++g) {
+      ASSERT_EQ(rebuilt[g], base.column(name).Get(g)) << name << " row " << g;
+    }
+  }
+}
+
+TEST(PartitionTest, BuildShardDatabasesReplicatesExtras) {
+  cs::Table base = MakeTable({1, 2, 3, 4}, {5, 6, 7, 8});
+  auto p = PartitionTable(base, PartitionSpec{PartitionKind::kRange, "k", 2});
+  ASSERT_TRUE(p.ok());
+  cs::Table dim("d");
+  cs::Column c = cs::Column::FromI32({9, 10});
+  c.ComputeStats();
+  (void)dim.AddColumn("x", std::move(c));
+  const std::vector<cs::Database> dbs = BuildShardDatabases(*p, {&dim});
+  ASSERT_EQ(dbs.size(), 2u);
+  uint64_t fact_rows = 0;
+  for (const cs::Database& db : dbs) {
+    ASSERT_TRUE(db.HasTable("f"));
+    ASSERT_TRUE(db.HasTable("d"));
+    EXPECT_EQ(db.table("d").num_rows(), 2u);
+    fact_rows += db.table("f").num_rows();
+  }
+  EXPECT_EQ(fact_rows, base.num_rows());
+}
+
+}  // namespace
+}  // namespace wastenot::bwd

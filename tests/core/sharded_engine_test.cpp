@@ -1,0 +1,254 @@
+// Directed sharded-execution tests: merge discipline (grouped unions,
+// empty shards, ungrouped extrema), data-local pruning, PartitionKeyRange,
+// dimension replicas for shard-local joins, and the sharded streaming path.
+// The broad bit-identity sweep lives in tests/integration.
+
+#include "core/sharded_engine.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/classic_engine.h"
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+struct Fixture {
+  cs::Database db;
+  std::unique_ptr<device::DeviceGroup> group;
+  std::unique_ptr<bwd::ShardedBwdTable> fact;
+
+  Fixture(uint64_t n, uint32_t shards, bwd::PartitionKind kind,
+          uint32_t device_bits = 16) {
+    Xoshiro256 rng(99);
+    cs::Table t("f");
+    std::vector<int32_t> k(n), g(n), v(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      k[i] = static_cast<int32_t>(rng.Below(1000));
+      g[i] = static_cast<int32_t>(rng.Below(7));
+      v[i] = static_cast<int32_t>(rng.Below(500));
+    }
+    auto add = [&t](const char* name, std::vector<int32_t>& vals) {
+      cs::Column col = cs::Column::FromI32(vals);
+      col.ComputeStats();
+      (void)t.AddColumn(name, std::move(col));
+    };
+    add("k", k);
+    add("g", g);
+    add("v", v);
+    db.AddTable(std::move(t));
+
+    device::DeviceGroupOptions gopts;
+    gopts.num_devices = shards;
+    gopts.base.memory_capacity = 64 << 20;
+    gopts.worker_threads = 1;
+    group = std::make_unique<device::DeviceGroup>(gopts);
+
+    fact = std::make_unique<bwd::ShardedBwdTable>(
+        std::move(bwd::DecomposeSharded(
+                      db.table("f"),
+                      {{"k", device_bits, bwd::Compression::kBitPacked},
+                       {"g", device_bits, bwd::Compression::kBitPacked},
+                       {"v", device_bits, bwd::Compression::kBitPacked}},
+                      bwd::PartitionSpec{kind, "k", shards}, group.get()))
+            .value());
+  }
+};
+
+TEST(PartitionKeyRangeTest, IntersectsKeyPredicates) {
+  QuerySpec q;
+  q.predicates.push_back({"k", cs::RangePred{10, 80}});
+  q.predicates.push_back({"v", cs::RangePred{0, 5}});  // other column
+  q.predicates.push_back({"k", cs::RangePred::Ge(30)});
+  const cs::RangePred r = PartitionKeyRange(q, "k");
+  EXPECT_EQ(r.lo, 30);
+  EXPECT_EQ(r.hi, 80);
+  // No predicate on the key: full domain.
+  const cs::RangePred all = PartitionKeyRange(q, "zz");
+  EXPECT_EQ(all.lo, cs::RangePred::All().lo);
+  EXPECT_EQ(all.hi, cs::RangePred::All().hi);
+}
+
+TEST(ShardedArTest, GroupedUnionAcrossShards) {
+  Fixture f(4000, 3, bwd::PartitionKind::kRange);
+  QuerySpec q;
+  q.table = "f";
+  q.predicates.push_back({"v", cs::RangePred::Lt(250)});
+  q.group_by = {"g"};
+  q.aggregates = {Aggregate::CountStar("n"), Aggregate::SumOf("v", "sum_v")};
+
+  auto classic = ExecuteClassic(q, f.db);
+  ASSERT_TRUE(classic.ok());
+  auto sharded = ExecuteArSharded(q, *f.fact, nullptr, f.group.get());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->merged.result, *classic);
+  // No predicate touches the partition key: every shard executes.
+  EXPECT_EQ(sharded->executed_shards.size(), 3u);
+}
+
+TEST(ShardedArTest, UngroupedExtremumWithEmptyShards) {
+  Fixture f(3000, 4, bwd::PartitionKind::kRange);
+  // Keys 0..999 range-sharded 4 ways; predicate selects only the first
+  // stripe, so three shard runs see zero rows. Their placeholder extremum
+  // (0) must not leak into the merged min/max.
+  QuerySpec q;
+  q.table = "f";
+  q.predicates.push_back({"k", cs::RangePred::Lt(200)});
+  Aggregate mn, mx;
+  mn.func = AggFunc::kMin;
+  mn.terms = {Term::Col("v")};
+  mn.label = "min_v";
+  mx.func = AggFunc::kMax;
+  mx.terms = {Term::Col("v")};
+  mx.label = "max_v";
+  q.aggregates = {Aggregate::CountStar("n"), mn, mx};
+
+  auto classic = ExecuteClassic(q, f.db);
+  ASSERT_TRUE(classic.ok());
+
+  ShardedArOptions no_prune;
+  no_prune.data_local_pruning = false;  // force the empty shard runs
+  auto sharded =
+      ExecuteArSharded(q, *f.fact, nullptr, f.group.get(), no_prune);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->merged.result, *classic);
+  EXPECT_EQ(sharded->executed_shards.size(), 4u);
+}
+
+TEST(ShardedArTest, DataLocalPruningExecutesSubset) {
+  Fixture f(3000, 4, bwd::PartitionKind::kRange);
+  QuerySpec q;
+  q.table = "f";
+  q.predicates.push_back({"k", cs::RangePred::Lt(200)});
+  q.aggregates = {Aggregate::CountStar("n"), Aggregate::SumOf("v", "sum_v")};
+
+  auto classic = ExecuteClassic(q, f.db);
+  ASSERT_TRUE(classic.ok());
+  auto pruned = ExecuteArSharded(q, *f.fact, nullptr, f.group.get());
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->merged.result, *classic);
+  EXPECT_LT(pruned->executed_shards.size(), 4u);
+
+  // A contradictory key predicate still yields the single-device zero
+  // skeleton (one group, zero count) via the stand-in shard.
+  QuerySpec none = q;
+  none.predicates.push_back({"k", cs::RangePred{500, 100}});
+  auto zero = ExecuteArSharded(none, *f.fact, nullptr, f.group.get());
+  ASSERT_TRUE(zero.ok());
+  auto zero_classic = ExecuteClassic(none, f.db);
+  ASSERT_TRUE(zero_classic.ok());
+  EXPECT_EQ(zero->merged.result, *zero_classic);
+  EXPECT_EQ(zero->executed_shards.size(), 1u);
+}
+
+TEST(ShardedArTest, JoinUsesPerDeviceDimReplicas) {
+  // Join keys must be fully device-resident (device_bits counts from the
+  // top of the physical int32, so anything < 32 leaves the narrow "g"
+  // column entirely residual).
+  Fixture f(2500, 3, bwd::PartitionKind::kRadix, /*device_bits=*/32);
+  // Dimension table: 16 rows keyed by fact "g" (g in 0..6, fk_base 0).
+  cs::Table dim("d");
+  std::vector<int32_t> w(16);
+  for (int i = 0; i < 16; ++i) w[i] = 3 * i + 1;
+  cs::Column wc = cs::Column::FromI32(w);
+  wc.ComputeStats();
+  (void)dim.AddColumn("w", std::move(wc));
+  f.db.AddTable(dim.Clone());
+
+  auto replicas = bwd::ReplicatePerDevice(
+      dim, {{"w", 32, bwd::Compression::kBitPacked}}, f.group.get());
+  ASSERT_TRUE(replicas.ok()) << replicas.status().ToString();
+  ASSERT_EQ(replicas->size(), f.group->size());
+
+  QuerySpec q;
+  q.table = "f";
+  q.predicates.push_back({"v", cs::RangePred::Lt(300)});
+  q.join = JoinSpec{"g", "d", /*fk_base=*/0};
+  Aggregate s;
+  s.func = AggFunc::kSum;
+  Term dim_term = Term::Col("w");
+  dim_term.from_dimension = true;
+  s.terms = {Term::Col("v"), dim_term};
+  s.label = "vw";
+  q.aggregates = {Aggregate::CountStar("n"), s};
+
+  auto classic = ExecuteClassic(q, f.db);
+  ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+  auto sharded =
+      ExecuteArSharded(q, *f.fact, &*replicas, f.group.get());
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->merged.result, *classic);
+
+  // Missing replicas on a join query is an argument error, not a crash.
+  auto missing = ExecuteArSharded(q, *f.fact, nullptr, f.group.get());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardedArTest, BreakdownAggregatesAcrossShards) {
+  Fixture f(3000, 3, bwd::PartitionKind::kRadix);
+  QuerySpec q;
+  q.table = "f";
+  q.predicates.push_back({"v", cs::RangePred::Lt(400)});
+  q.aggregates = {Aggregate::CountStar("n")};
+  auto sharded = ExecuteArSharded(q, *f.fact, nullptr, f.group.get());
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded->shard_breakdowns.size(),
+            sharded->executed_shards.size());
+  double max_dev = 0;
+  for (const ExecutionBreakdown& b : sharded->shard_breakdowns) {
+    max_dev = std::max(max_dev, b.device_seconds);
+  }
+  EXPECT_DOUBLE_EQ(sharded->merged.breakdown.device_seconds, max_dev);
+  EXPECT_GT(sharded->merged.breakdown.device_seconds, 0.0);
+  EXPECT_NE(sharded->merged.plan_text.find("sharded A&R"), std::string::npos);
+}
+
+TEST(ShardedStreamingTest, MatchesClassicAndPrunes) {
+  Fixture f(3000, 4, bwd::PartitionKind::kRange);
+  const std::vector<cs::Database> shard_dbs =
+      bwd::BuildShardDatabases(f.fact->partition, {});
+  ASSERT_EQ(shard_dbs.size(), 4u);
+
+  QuerySpec q;
+  q.table = "f";
+  q.predicates.push_back({"k", cs::RangePred::Lt(200)});
+  q.group_by = {"g"};
+  q.aggregates = {Aggregate::CountStar("n"), Aggregate::SumOf("v", "sum_v")};
+
+  auto classic = ExecuteClassic(q, f.db);
+  ASSERT_TRUE(classic.ok());
+
+  auto all = ExecuteStreamingSharded(q, shard_dbs, f.group.get());
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->merged.result, *classic);
+  EXPECT_EQ(all->executed_shards.size(), 4u);
+  EXPECT_GT(all->merged.bytes_transferred, 0u);
+
+  auto pruned = ExecuteStreamingSharded(q, shard_dbs, f.group.get(),
+                                        &f.fact->partition);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->merged.result, *classic);
+  EXPECT_LT(pruned->executed_shards.size(), 4u);
+
+  // Parallel fan-out: same bits.
+  auto fanned = ExecuteStreamingSharded(q, shard_dbs, f.group.get(),
+                                        &f.fact->partition,
+                                        /*fan_out_threads=*/0);
+  ASSERT_TRUE(fanned.ok());
+  EXPECT_EQ(fanned->merged.result, *classic);
+}
+
+TEST(ShardedArTest, RejectsMissingGroup) {
+  Fixture f(1200, 2, bwd::PartitionKind::kRange);
+  QuerySpec q;
+  q.table = "f";
+  q.aggregates = {Aggregate::CountStar("n")};
+  auto exec = ExecuteArSharded(q, *f.fact, nullptr, nullptr);
+  EXPECT_EQ(exec.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wastenot::core

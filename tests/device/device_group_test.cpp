@@ -1,0 +1,117 @@
+// DeviceGroup: member independence (clocks, arenas, caches), per-link bus
+// budgets (dedicated vs shared-switch), and the aggregate clock view.
+
+#include "device/device_group.h"
+
+#include <gtest/gtest.h>
+
+namespace wastenot::device {
+namespace {
+
+DeviceGroupOptions SmallGroup(uint32_t n, bool shared_switch = false) {
+  DeviceGroupOptions o;
+  o.num_devices = n;
+  o.base.memory_capacity = 16 << 20;
+  o.shared_switch = shared_switch;
+  o.worker_threads = 1;
+  return o;
+}
+
+TEST(DeviceGroupTest, ClampsZeroDevicesToOne) {
+  DeviceGroup group(SmallGroup(0));
+  EXPECT_EQ(group.size(), 1u);
+}
+
+TEST(DeviceGroupTest, DedicatedLinksReplicateBaseBudget) {
+  DeviceGroupOptions o = SmallGroup(3, /*shared_switch=*/false);
+  DeviceGroup group(o);
+  ASSERT_EQ(group.size(), 3u);
+  for (uint32_t i = 0; i < group.size(); ++i) {
+    EXPECT_DOUBLE_EQ(group.link(i).bandwidth, o.base.pcie_bandwidth);
+    EXPECT_DOUBLE_EQ(group.link(i).latency, o.base.pcie_latency);
+    EXPECT_DOUBLE_EQ(group.device(i).spec().pcie_bandwidth,
+                     o.base.pcie_bandwidth);
+  }
+}
+
+TEST(DeviceGroupTest, SharedSwitchSplitsBandwidthAndAddsAHop) {
+  DeviceGroupOptions o = SmallGroup(4, /*shared_switch=*/true);
+  DeviceGroup group(o);
+  for (uint32_t i = 0; i < group.size(); ++i) {
+    EXPECT_DOUBLE_EQ(group.link(i).bandwidth, o.base.pcie_bandwidth / 4);
+    EXPECT_DOUBLE_EQ(group.link(i).latency, o.base.pcie_latency * 2);
+    // The stamped member spec is what transfer charges actually read.
+    EXPECT_DOUBLE_EQ(group.device(i).spec().pcie_bandwidth,
+                     o.base.pcie_bandwidth / 4);
+    EXPECT_DOUBLE_EQ(group.device(i).spec().pcie_latency,
+                     o.base.pcie_latency * 2);
+  }
+}
+
+TEST(DeviceGroupTest, SharedSwitchChargesSlowerTransfers) {
+  DeviceGroup dedicated(SmallGroup(2, false));
+  DeviceGroup shared(SmallGroup(2, true));
+  const uint64_t bytes = 1 << 20;
+  dedicated.device(0).ChargeTransfer(bytes);
+  shared.device(0).ChargeTransfer(bytes);
+  EXPECT_GT(shared.device(0).clock().snapshot().bus,
+            dedicated.device(0).clock().snapshot().bus);
+  // Consistent with the link-level formula, up to the clock's integer
+  // nanosecond accounting quantum.
+  EXPECT_NEAR(shared.device(0).clock().snapshot().bus,
+              LinkTransferSeconds(shared.link(0), bytes), 1e-9);
+}
+
+TEST(DeviceGroupTest, MemberClocksAreIndependent) {
+  DeviceGroup group(SmallGroup(3));
+  group.device(1).ChargeTransfer(1 << 20);
+  EXPECT_EQ(group.device(0).clock().snapshot().bus, 0.0);
+  EXPECT_GT(group.device(1).clock().snapshot().bus, 0.0);
+  EXPECT_EQ(group.device(2).clock().snapshot().bus, 0.0);
+
+  const auto agg = group.AggregateClocks();
+  EXPECT_DOUBLE_EQ(agg.max_bus_seconds, group.device(1).clock().snapshot().bus);
+  EXPECT_DOUBLE_EQ(agg.sum_bus_seconds, agg.max_bus_seconds);
+
+  group.ResetClocks();
+  EXPECT_EQ(group.device(1).clock().snapshot().bus, 0.0);
+  EXPECT_EQ(group.AggregateClocks().sum_bus_seconds, 0.0);
+}
+
+TEST(DeviceGroupTest, AggregateSumsAcrossMembers) {
+  DeviceGroup group(SmallGroup(2));
+  group.device(0).ChargeTransfer(1 << 20);
+  group.device(1).ChargeTransfer(1 << 20);
+  const auto agg = group.AggregateClocks();
+  EXPECT_DOUBLE_EQ(agg.sum_bus_seconds, 2 * agg.max_bus_seconds);
+}
+
+TEST(DeviceGroupTest, PerMemberResidencyCaches) {
+  DeviceGroup group(SmallGroup(2));
+  // Distinct cache objects bound to distinct devices.
+  EXPECT_NE(&group.cache(0), &group.cache(1));
+}
+
+TEST(CostModelLinkTest, LinkTransferSecondsMatchesFormula) {
+  LinkSpec link{2.0e9, 1e-5};
+  EXPECT_DOUBLE_EQ(LinkTransferSeconds(link, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LinkTransferSeconds(link, 2'000'000'000ull), 1e-5 + 1.0);
+}
+
+TEST(CostModelLinkTest, MemberLinkPolicies) {
+  DeviceSpec base;
+  base.pcie_bandwidth = 4e9;
+  base.pcie_latency = 2e-5;
+  const LinkSpec dedicated = MemberLink(base, 4, false);
+  EXPECT_DOUBLE_EQ(dedicated.bandwidth, 4e9);
+  EXPECT_DOUBLE_EQ(dedicated.latency, 2e-5);
+  const LinkSpec shared = MemberLink(base, 4, true);
+  EXPECT_DOUBLE_EQ(shared.bandwidth, 1e9);
+  EXPECT_DOUBLE_EQ(shared.latency, 4e-5);
+  // A single member behind a "switch" still gets the whole budget.
+  const LinkSpec solo = MemberLink(base, 1, true);
+  EXPECT_DOUBLE_EQ(solo.bandwidth, 4e9);
+}
+
+}  // namespace
+}  // namespace wastenot::device

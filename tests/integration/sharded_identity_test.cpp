@@ -1,0 +1,193 @@
+// Sharded-vs-single-device bit identity: for fuzzed schemas, placements
+// and query shapes, ExecuteArSharded's merged result must equal both the
+// classic engine's and single-device ExecuteAr's output exactly — for
+// every shard count, partition kind, pruning setting and fan-out width
+// (the ISSUE's acceptance property for multi-device execution).
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "bwd/partition.h"
+#include "core/ar_engine.h"
+#include "core/classic_engine.h"
+#include "core/sharded_engine.h"
+#include "device/device_group.h"
+#include "util/random.h"
+
+namespace wastenot {
+namespace {
+
+using core::Aggregate;
+using core::AggFunc;
+using core::QuerySpec;
+using core::Term;
+
+enum class Placement { kResident, kDistributed };
+
+const char* PlacementName(Placement p) {
+  return p == Placement::kResident ? "Resident" : "Distributed";
+}
+
+struct ShardedCase {
+  cs::Database db;
+  std::unique_ptr<device::DeviceGroup> group;
+  std::unique_ptr<bwd::ShardedBwdTable> fact;
+  std::unique_ptr<bwd::BwdTable> whole;  ///< single-device reference
+  QuerySpec query;
+};
+
+/// Random fact table, decomposition, partitioning and query — the same
+/// shape family as engine_fuzz_test, plus a random partition spec.
+ShardedCase MakeCase(uint64_t seed, Placement placement, uint32_t shards) {
+  Xoshiro256 rng(seed);
+  ShardedCase c;
+
+  const uint64_t n = 1000 + rng.Below(8000);
+  const int64_t domain_a = 1 << (6 + rng.Below(12));
+  const int64_t domain_g = 2 + rng.Below(40);
+  const int64_t domain_v = 1 << (4 + rng.Below(10));
+  const int64_t base_shift = static_cast<int64_t>(rng.Below(3)) * -500;
+
+  cs::Table t("f");
+  std::vector<int32_t> a(n), g(n), v(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int32_t>(rng.Below(domain_a) + base_shift);
+    g[i] = static_cast<int32_t>(rng.Below(domain_g));
+    v[i] = static_cast<int32_t>(rng.Below(domain_v));
+  }
+  auto add = [&t](const char* name, std::vector<int32_t>& vals) {
+    cs::Column col = cs::Column::FromI32(vals);
+    col.ComputeStats();
+    (void)t.AddColumn(name, std::move(col));
+  };
+  add("a", a);
+  add("g", g);
+  add("v", v);
+  c.db.AddTable(std::move(t));
+
+  device::DeviceGroupOptions gopts;
+  gopts.num_devices = shards;
+  gopts.base.memory_capacity = 256 << 20;
+  gopts.worker_threads = 1;
+  c.group = std::make_unique<device::DeviceGroup>(gopts);
+
+  auto bits = [&rng, placement]() -> uint32_t {
+    if (placement == Placement::kResident) return 32;
+    return 8 + static_cast<uint32_t>(rng.Below(17));
+  };
+  const std::vector<bwd::DecomposeRequest> reqs = {
+      {"a", bits(), bwd::Compression::kBitPacked},
+      {"g", bits(), bwd::Compression::kBitPacked},
+      {"v", bits(), bwd::Compression::kBitPacked}};
+
+  bwd::PartitionSpec pspec;
+  pspec.kind = rng.Below(2) == 0 ? bwd::PartitionKind::kRange
+                                 : bwd::PartitionKind::kRadix;
+  // Partition on the selection column half the time (exercises data-local
+  // pruning), otherwise on the value column (all shards stay live).
+  pspec.key_column = rng.Below(2) == 0 ? "a" : "v";
+  pspec.num_shards = shards;
+  c.fact = std::make_unique<bwd::ShardedBwdTable>(
+      std::move(bwd::DecomposeSharded(c.db.table("f"), reqs, pspec,
+                                      c.group.get()))
+          .value());
+  c.whole = std::make_unique<bwd::BwdTable>(
+      std::move(bwd::BwdTable::Decompose(c.db.table("f"), reqs,
+                                         &c.group->device(0)))
+          .value());
+
+  c.query.table = "f";
+  const int64_t lo = static_cast<int64_t>(rng.Below(domain_a)) + base_shift;
+  const int64_t width = static_cast<int64_t>(rng.Below(domain_a));
+  c.query.predicates.push_back({"a", cs::RangePred{lo, lo + width}});
+  if (rng.Below(2) == 0) c.query.group_by = {"g"};
+  c.query.aggregates.push_back(Aggregate::CountStar("n"));
+  if (rng.Below(2) == 0) {
+    c.query.aggregates.push_back(Aggregate::SumOf("v", "sum_v"));
+  }
+  if (rng.Below(2) == 0) {
+    Aggregate prod;
+    prod.func = AggFunc::kSum;
+    prod.terms = {Term::Col("v"),
+                  Term::OneMinus("g", static_cast<int64_t>(domain_g))};
+    prod.label = "sum_prod";
+    c.query.aggregates.push_back(prod);
+  }
+  if (c.query.group_by.empty() && rng.Below(3) == 0) {
+    Aggregate mn;
+    mn.func = rng.Below(2) == 0 ? AggFunc::kMin : AggFunc::kMax;
+    mn.terms = {Term::Col("v")};
+    mn.label = "extremum";
+    c.query.aggregates.push_back(mn);
+  }
+  return c;
+}
+
+class ShardedIdentity
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, Placement, uint32_t>> {};
+
+TEST_P(ShardedIdentity, MergedResultIsBitIdentical) {
+  const auto [seed, placement, shards] = GetParam();
+  ShardedCase c = MakeCase(seed * 7919 + 13, placement, shards);
+  const std::string tag = "seed " + std::to_string(seed) + " " +
+                          PlacementName(placement) + " shards " +
+                          std::to_string(shards);
+
+  auto classic = core::ExecuteClassic(c.query, c.db);
+  ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+  auto single =
+      core::ExecuteAr(c.query, *c.whole, nullptr, &c.group->device(0));
+  ASSERT_TRUE(single.ok()) << single.status().ToString();
+
+  auto sharded = core::ExecuteArSharded(c.query, *c.fact, nullptr,
+                                        c.group.get());
+  ASSERT_TRUE(sharded.ok()) << tag << ": " << sharded.status().ToString();
+
+  EXPECT_EQ(sharded->merged.result, single->result) << tag;
+  EXPECT_EQ(sharded->merged.result, *classic) << tag;
+  EXPECT_EQ(sharded->executed_shards.size(),
+            sharded->shard_breakdowns.size());
+  EXPECT_LE(sharded->executed_shards.size(), shards);
+
+  // Merged approximate bounds stay sound.
+  EXPECT_LE(sharded->merged.approx.row_count.lo,
+            static_cast<int64_t>(classic->selected_rows));
+  EXPECT_GE(sharded->merged.approx.row_count.hi,
+            static_cast<int64_t>(classic->selected_rows));
+
+  // Pruning off and parallel fan-out: same bits.
+  core::ShardedArOptions no_prune;
+  no_prune.data_local_pruning = false;
+  auto all_shards = core::ExecuteArSharded(c.query, *c.fact, nullptr,
+                                           c.group.get(), no_prune);
+  ASSERT_TRUE(all_shards.ok()) << tag;
+  EXPECT_EQ(all_shards->merged.result, *classic) << tag;
+  EXPECT_EQ(all_shards->executed_shards.size(), shards) << tag;
+
+  core::ShardedArOptions parallel;
+  parallel.ar.num_threads = 0;  // shared default pool fan-out
+  auto fanned = core::ExecuteArSharded(c.query, *c.fact, nullptr,
+                                       c.group.get(), parallel);
+  ASSERT_TRUE(fanned.ok()) << tag;
+  EXPECT_EQ(fanned->merged.result, *classic) << tag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ShardedIdentity,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 17),
+                       ::testing::Values(Placement::kResident,
+                                         Placement::kDistributed),
+                       ::testing::Values(1u, 2u, 3u, 8u)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<uint64_t, Placement, uint32_t>>& info) {
+      return PlacementName(std::get<1>(info.param)) + std::string("Seed") +
+             std::to_string(std::get<0>(info.param)) + "Shards" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace wastenot

@@ -1,0 +1,236 @@
+// QueryServer sharded dispatch and serving statistics: per-engine
+// submitted/completed counts, sharded-backend routing through
+// ExecuteArSharded / ExecuteStreamingSharded, and per-shard admission
+// accounting (queue depth, qps).
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/classic_engine.h"
+#include "server/query_server.h"
+#include "util/random.h"
+
+namespace wastenot::server {
+namespace {
+
+/// A fact table range-sharded on "k" over a 3-device group, plus the
+/// matching shard databases for the streaming path.
+struct ShardedFixture {
+  cs::Database db;
+  std::unique_ptr<device::DeviceGroup> group;
+  std::unique_ptr<bwd::ShardedBwdTable> fact;
+  std::vector<cs::Database> shard_dbs;
+
+  explicit ShardedFixture(uint64_t n = 5000, uint32_t shards = 3) {
+    Xoshiro256 rng(21);
+    cs::Table t("fact");
+    std::vector<int32_t> k(n), g(n), v(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      k[i] = static_cast<int32_t>(rng.Below(900));
+      g[i] = static_cast<int32_t>(rng.Below(5));
+      v[i] = static_cast<int32_t>(rng.Below(500));
+    }
+    auto add = [&t](const char* name, std::vector<int32_t>& vals) {
+      cs::Column col = cs::Column::FromI32(vals);
+      col.ComputeStats();
+      (void)t.AddColumn(name, std::move(col));
+    };
+    add("k", k);
+    add("g", g);
+    add("v", v);
+    db.AddTable(std::move(t));
+
+    device::DeviceGroupOptions gopts;
+    gopts.num_devices = shards;
+    gopts.base.memory_capacity = 64 << 20;
+    gopts.worker_threads = 1;
+    group = std::make_unique<device::DeviceGroup>(gopts);
+    fact = std::make_unique<bwd::ShardedBwdTable>(
+        std::move(bwd::DecomposeSharded(
+                      db.table("fact"),
+                      {{"k", 10, bwd::Compression::kBitPacked},
+                       {"g", 3, bwd::Compression::kBitPacked},
+                       {"v", 9, bwd::Compression::kBitPacked}},
+                      bwd::PartitionSpec{bwd::PartitionKind::kRange, "k",
+                                         shards},
+                      group.get()))
+            .value());
+    shard_dbs = bwd::BuildShardDatabases(fact->partition, {});
+  }
+
+  QueryServer::Backend backend() {
+    QueryServer::Backend b;
+    b.db = &db;  // classic fallback
+    b.sharded_fact = &*fact;
+    b.shard_dbs = &shard_dbs;
+    b.group = group.get();
+    return b;
+  }
+
+  core::QuerySpec Query(int64_t key_hi) const {
+    core::QuerySpec q;
+    q.table = "fact";
+    q.predicates = {{"k", cs::RangePred::Lt(key_hi)}};
+    q.group_by = {"g"};
+    q.aggregates = {core::Aggregate::SumOf("v", "sum_v"),
+                    core::Aggregate::CountStar("n")};
+    return q;
+  }
+};
+
+TEST(ShardedServerTest, AllEnginesServeIdenticalResults) {
+  ShardedFixture f;
+  ServerOptions opts;
+  opts.num_workers = 2;
+  QueryServer server(f.backend(), opts);
+
+  auto reference = core::ExecuteClassic(f.Query(450), f.db);
+  ASSERT_TRUE(reference.ok());
+
+  for (EngineKind engine : {EngineKind::kAr, EngineKind::kClassic,
+                            EngineKind::kStreaming}) {
+    QueryRequest req;
+    req.query = f.Query(450);
+    req.engine = engine;
+    QueryResponse resp = server.Submit(std::move(req)).get();
+    ASSERT_TRUE(resp.status.ok())
+        << static_cast<int>(engine) << ": " << resp.status.ToString();
+    EXPECT_EQ(resp.result, *reference) << static_cast<int>(engine);
+  }
+  server.Shutdown();
+}
+
+TEST(ShardedServerTest, PerEngineCounts) {
+  ShardedFixture f;
+  ServerOptions opts;
+  opts.num_workers = 2;
+  QueryServer server(f.backend(), opts);
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest req;
+    req.query = f.Query(300 + 50 * i);
+    req.engine = EngineKind::kAr;
+    futures.push_back(server.Submit(std::move(req)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    QueryRequest req;
+    req.query = f.Query(600);
+    req.engine = EngineKind::kClassic;
+    futures.push_back(server.Submit(std::move(req)));
+  }
+  {
+    QueryRequest req;
+    req.query = f.Query(700);
+    req.engine = EngineKind::kStreaming;
+    futures.push_back(server.Submit(std::move(req)));
+  }
+  for (auto& fu : futures) ASSERT_TRUE(fu.get().status.ok());
+  server.Drain();
+
+  const ServerStats stats = server.stats();
+  const auto& ar = stats.engines[static_cast<size_t>(EngineKind::kAr)];
+  const auto& classic =
+      stats.engines[static_cast<size_t>(EngineKind::kClassic)];
+  const auto& streaming =
+      stats.engines[static_cast<size_t>(EngineKind::kStreaming)];
+  EXPECT_EQ(ar.submitted, 4u);
+  EXPECT_EQ(ar.completed, 4u);
+  EXPECT_EQ(ar.failed, 0u);
+  EXPECT_EQ(classic.submitted, 2u);
+  EXPECT_EQ(classic.completed, 2u);
+  EXPECT_EQ(streaming.submitted, 1u);
+  EXPECT_EQ(streaming.completed, 1u);
+  EXPECT_EQ(ar.completed + classic.completed + streaming.completed,
+            stats.completed);
+  server.Shutdown();
+}
+
+TEST(ShardedServerTest, FailedRequestsCountPerEngine) {
+  ShardedFixture f;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  QueryServer server(f.backend(), opts);
+  QueryRequest req;
+  req.query = f.Query(450);
+  req.query.table = "no_such_table";
+  req.engine = EngineKind::kClassic;
+  QueryResponse resp = server.Submit(std::move(req)).get();
+  EXPECT_FALSE(resp.status.ok());
+  const ServerStats stats = server.stats();
+  const auto& classic =
+      stats.engines[static_cast<size_t>(EngineKind::kClassic)];
+  EXPECT_EQ(classic.submitted, 1u);
+  EXPECT_EQ(classic.failed, 1u);
+  EXPECT_EQ(classic.completed, 0u);
+  server.Shutdown();
+}
+
+TEST(ShardedServerTest, PerShardAccountingFollowsPlacement) {
+  ShardedFixture f;  // 3 shards, key hulls [0,299] [300,599] [600,899]
+  ServerOptions opts;
+  opts.num_workers = 1;
+  QueryServer server(f.backend(), opts);
+
+  // k < 200 targets only shard 0; k < 650 targets all three.
+  ASSERT_TRUE(server.Submit({f.Query(200), EngineKind::kAr}).get().status.ok());
+  ASSERT_TRUE(server.Submit({f.Query(650), EngineKind::kAr}).get().status.ok());
+  // Classic requests carry no shard placement.
+  ASSERT_TRUE(
+      server.Submit({f.Query(650), EngineKind::kClassic}).get().status.ok());
+  server.Drain();
+
+  const ServerStats stats = server.stats();
+  ASSERT_EQ(stats.shards.size(), 3u);
+  EXPECT_EQ(stats.shards[0].submitted, 2u);
+  EXPECT_EQ(stats.shards[1].submitted, 1u);
+  EXPECT_EQ(stats.shards[2].submitted, 1u);
+  for (const ShardStats& s : stats.shards) {
+    EXPECT_EQ(s.completed, s.submitted);
+    EXPECT_EQ(s.queue_depth, 0u);
+    EXPECT_GT(s.qps, 0.0);
+  }
+  server.Shutdown();
+}
+
+TEST(ShardedServerTest, SingleDeviceBackendHasNoShardStats) {
+  ShardedFixture f;
+  QueryServer::Backend single;
+  single.db = &f.db;
+  ServerOptions opts;
+  opts.num_workers = 1;
+  QueryServer server(single, opts);
+  ASSERT_TRUE(
+      server.Submit({f.Query(450), EngineKind::kClassic}).get().status.ok());
+  EXPECT_TRUE(server.stats().shards.empty());
+  server.Shutdown();
+}
+
+TEST(ShardedServerTest, CancelledRequestsReleaseShardQueueDepth) {
+  ShardedFixture f;
+  ServerOptions opts;
+  opts.num_workers = 0;  // nothing drains the queue
+  opts.queue_capacity = 8;
+  QueryServer server(f.backend(), opts);
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.Submit({f.Query(200), EngineKind::kAr}));
+  }
+  {
+    const ServerStats stats = server.stats();
+    ASSERT_EQ(stats.shards.size(), 3u);
+    EXPECT_EQ(stats.shards[0].queue_depth, 3u);
+    EXPECT_EQ(stats.shards[1].queue_depth, 0u);
+  }
+  server.Shutdown();  // cancels all three
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 3u);
+  EXPECT_EQ(stats.shards[0].queue_depth, 0u);
+  for (auto& fu : futures) EXPECT_FALSE(fu.get().status.ok());
+}
+
+}  // namespace
+}  // namespace wastenot::server
