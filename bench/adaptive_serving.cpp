@@ -1,0 +1,205 @@
+// Adaptive serving: the AdaptiveScheduler against every fixed-engine
+// baseline on a mixed workload (DESIGN.md §7). Half the stream is the
+// selective Q6 family (A&R's regime), half is the unselective Q1 scan
+// (classic/streaming's regime) — no single fixed engine fits both, so the
+// policy's per-query choice is the thing being measured. A second section
+// measures progressive serving: p50 time-to-first-answer (the Phase-A
+// approximate result) against the p50 of the exact answer it refines into.
+
+#include <algorithm>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bwd/bwd_table.h"
+#include "server/scheduler.h"
+#include "workloads/tpch.h"
+
+namespace wastenot {
+namespace {
+
+/// Alternates the selective Q6 year-variants with the Q1 full scan.
+core::QuerySpec MixedQuery(uint64_t i) {
+  return (i % 2 == 0) ? workloads::TpchQ6YearVariant(i / 2)
+                      : workloads::TpchQ1();
+}
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+/// Submits `count` mixed queries through a fixed-engine server, closed-loop
+/// with the admission queue as the in-flight bound. Returns wall seconds.
+double RunFixed(const server::QueryServer::Backend& backend,
+                server::EngineKind engine, uint64_t count) {
+  server::ServerOptions opts;
+  opts.num_workers = 4;
+  opts.queue_capacity = 16;
+  server::QueryServer srv(backend, opts);
+  WallTimer timer;
+  std::vector<std::future<server::QueryResponse>> futures;
+  futures.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    server::QueryRequest req;
+    req.query = MixedQuery(i);
+    req.engine = engine;
+    futures.push_back(srv.Submit(std::move(req)));
+  }
+  for (auto& f : futures) {
+    const server::QueryResponse r = f.get();
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "fixed run failed: %s\n",
+                   r.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const double elapsed = timer.Seconds();
+  srv.Shutdown();
+  return elapsed;
+}
+
+/// The same batch through the adaptive scheduler. Returns wall seconds and
+/// reports the decision mix it made.
+double RunAdaptive(const server::QueryServer::Backend& backend,
+                   uint64_t count) {
+  server::SchedulerOptions opts;
+  opts.server.num_workers = 4;
+  opts.server.queue_capacity = 16;
+  // One tenant submits the whole batch: give it headroom so the
+  // tenant-share degrade rule (a fairness mechanism) stays out of this
+  // engine-policy measurement.
+  opts.capacity = 4 * count;
+  server::AdaptiveScheduler scheduler(backend, opts);
+  WallTimer timer;
+  std::vector<server::ProgressiveFutures> futures;
+  futures.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    futures.push_back(scheduler.Submit("bench", MixedQuery(i)));
+  }
+  for (auto& f : futures) {
+    const server::QueryResponse r = f.refined.get();
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "adaptive run failed: %s\n",
+                   r.status.ToString().c_str());
+      std::exit(1);
+    }
+    f.approximate.get();
+  }
+  const double elapsed = timer.Seconds();
+  const server::SchedulerStats stats = scheduler.stats();
+  scheduler.Shutdown();
+  std::printf("  adaptive decision mix: ar=%llu classic=%llu streaming=%llu "
+              "(degraded=%llu)\n",
+              static_cast<unsigned long long>(stats.dispatched[0]),
+              static_cast<unsigned long long>(stats.dispatched[1]),
+              static_cast<unsigned long long>(stats.dispatched[2]),
+              static_cast<unsigned long long>(stats.degraded));
+  for (size_t e = 0; e < 3; ++e) {
+    static constexpr const char* kNames[] = {"ar", "classic", "streaming"};
+    bench::JsonAppend(std::string("adaptive_mix/") + kNames[e], 0,
+                      static_cast<double>(stats.dispatched[e]), "queries");
+  }
+  return elapsed;
+}
+
+int Run() {
+  const double sf =
+      EnvDouble("WN_SCALE_TPCH_ADAPTIVE", EnvDouble("WN_SCALE_TPCH_FIG11", 0.25));
+  const uint64_t count =
+      static_cast<uint64_t>(EnvInt64("WN_ADAPTIVE_QUERIES", 64));
+  bench::Header("Adaptive serving",
+                "engine policy vs fixed baselines on a mixed workload",
+                "SF=" + std::to_string(sf) + ", " + std::to_string(count) +
+                    " queries (WN_SCALE_TPCH_ADAPTIVE, WN_ADAPTIVE_QUERIES)");
+
+  cs::Database db;
+  workloads::GenerateTpch(sf, 77, &db);
+  auto dev = std::make_unique<device::Device>(device::DeviceSpec::Gtx680());
+  auto fact = bwd::BwdTable::Decompose(db.table("lineitem"),
+                                       workloads::TpchAllResident(),
+                                       dev.get());
+  auto dim = bwd::BwdTable::Decompose(db.table("part"),
+                                      workloads::TpchPartResident(),
+                                      dev.get());
+  if (!fact.ok() || !dim.ok()) return 1;
+  const server::QueryServer::Backend backend{&db, &*fact, &*dim, dev.get()};
+
+  // --- adaptive vs fixed ---------------------------------------------------
+  std::printf("%-18s %14s %14s\n", "configuration", "batch (s)", "queries/s");
+  auto report = [count](const char* name, double seconds) {
+    std::printf("%-18s %14.3f %14.1f\n", name, seconds,
+                static_cast<double>(count) / seconds);
+    std::printf("# csv,%s,%.4f,%.1f\n", name, seconds,
+                static_cast<double>(count) / seconds);
+    bench::JsonAppend(name, 0, static_cast<double>(count) / seconds, "q/s");
+  };
+  report("fixed_ar", RunFixed(backend, server::EngineKind::kAr, count));
+  report("fixed_classic",
+         RunFixed(backend, server::EngineKind::kClassic, count));
+  report("fixed_streaming",
+         RunFixed(backend, server::EngineKind::kStreaming, count));
+  report("adaptive", RunAdaptive(backend, count));
+
+  // --- progressive: time-to-first-answer -----------------------------------
+  // Progressive serving pays off where Phase R dominates: the unselective
+  // Q1 scan through the A&R engine refines ~98 % of the table on the host
+  // after the approximate answer lands at the Phase-A boundary. The fully
+  // resident decomposition above has nothing to refine, so this section
+  // re-decomposes lineitem with six residual bits per column. Sequential
+  // submissions (one in flight) so latency is execution, not queue wait.
+  {
+    std::vector<bwd::DecomposeRequest> residual = workloads::TpchAllResident();
+    for (auto& r : residual) r.device_bits = 26;
+    auto res_fact =
+        bwd::BwdTable::Decompose(db.table("lineitem"), residual, dev.get());
+    if (!res_fact.ok()) return 1;
+    const server::QueryServer::Backend res_backend{&db, &*res_fact, &*dim,
+                                                   dev.get()};
+    server::ServerOptions opts;
+    opts.num_workers = 1;
+    opts.queue_capacity = 1;
+    server::QueryServer srv(res_backend, opts);
+    const uint64_t n = std::max<uint64_t>(count / 4, 8);
+    std::vector<double> first_ms;
+    std::vector<double> exact_ms;
+    for (uint64_t i = 0; i < n; ++i) {
+      server::QueryRequest req;
+      req.query = workloads::TpchQ1();
+      req.engine = server::EngineKind::kAr;
+      server::ProgressiveFutures f = srv.SubmitProgressive(std::move(req));
+      const server::QueryResponse exact = f.refined.get();
+      const server::ApproximateResponse approx = f.approximate.get();
+      if (!exact.status.ok() || !approx.status.ok()) {
+        std::fprintf(stderr, "progressive run failed\n");
+        std::exit(1);
+      }
+      first_ms.push_back(approx.latency_seconds * 1e3);
+      exact_ms.push_back(exact.latency_seconds * 1e3);
+    }
+    srv.Shutdown();
+    const double p50_first = Percentile(first_ms, 0.5);
+    const double p50_exact = Percentile(exact_ms, 0.5);
+    std::printf("progressive p50 time-to-first-answer %10.3f ms\n",
+                p50_first);
+    std::printf("progressive p50 exact answer         %10.3f ms  (ratio %.2f)\n",
+                p50_exact, p50_first / p50_exact);
+    std::printf("# csv,progressive_ttfa_p50,%.4f\n", p50_first);
+    std::printf("# csv,progressive_exact_p50,%.4f\n", p50_exact);
+    bench::JsonAppend("progressive_ttfa_p50", 0, p50_first, "ms");
+    bench::JsonAppend("progressive_exact_p50", 0, p50_exact, "ms");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wastenot
+
+int main(int argc, char** argv) {
+  wastenot::bench::ParseArgs(argc, argv);
+  return wastenot::Run();
+}

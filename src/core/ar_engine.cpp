@@ -515,6 +515,11 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
     }
   }
 
+  // The progressive-serving hook fires here: Phase A is complete, the
+  // approximate answer (with its strict error bounds) exists, and no
+  // refinement work has started.
+  if (options.on_approximate) options.on_approximate(exec.approx);
+
   // --- phase boundary: what refinement consumes crosses the bus -----------
   {
     uint64_t bytes = cands.size() * sizeof(cs::oid_t);  // candidate ids

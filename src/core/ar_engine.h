@@ -24,6 +24,7 @@
 #ifndef WASTENOT_CORE_AR_ENGINE_H_
 #define WASTENOT_CORE_AR_ENGINE_H_
 
+#include <functional>
 #include <string>
 
 #include "bwd/bwd_table.h"
@@ -69,6 +70,15 @@ struct ArOptions {
   /// Tests shrink this so small inputs straddle many morsels and the
   /// parallel merge paths actually run; leave at 0 in production.
   uint64_t morsel_elems = 0;
+  /// Progressive serving hook (paper §III advantage 4: the approximate
+  /// answer is available before any refinement work). When set, invoked
+  /// exactly once at the Phase-A/Phase-R boundary — on the executing
+  /// thread, before any refinement starts — with the same ApproximateAnswer
+  /// the execution later returns in ArExecution::approx. Must not throw and
+  /// must not call back into the engine. Not invoked when validation fails
+  /// before Phase A completes. Leaving it empty changes nothing: results
+  /// are bit-identical with and without the hook.
+  std::function<void(const ApproximateAnswer&)> on_approximate;
 };
 
 /// Everything one A&R execution produces.

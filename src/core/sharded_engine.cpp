@@ -300,8 +300,29 @@ StatusOr<ShardedArExecution> ExecuteArSharded(
   fan.pool = FanPool(options.ar.num_threads);
   ArOptions shard_options = options.ar;
   if (fan.pool != nullptr) shard_options.num_threads = 1;
+  // The per-shard hook slot belongs to the fan-in below; a caller-set one
+  // would fire once per shard with unmerged per-shard answers.
+  shard_options.on_approximate = nullptr;
 
   const uint64_t n = targets.size();
+
+  // Progressive fan-in: each shard's Phase-A hook deposits its approximate
+  // answer; the worker that deposits the last one merges and fires the
+  // user's hook — before the slowest shard's refinement (including its own)
+  // has finished. Slots are per-shard (no aliasing); the countdown guards
+  // the merge.
+  struct ApproxFanIn {
+    std::mutex mu;
+    std::vector<std::optional<ApproximateAnswer>> parts;
+    uint64_t remaining = 0;
+  };
+  std::shared_ptr<ApproxFanIn> fan_in;
+  if (options.on_approximate) {
+    fan_in = std::make_shared<ApproxFanIn>();
+    fan_in->parts.resize(n);
+    fan_in->remaining = n;
+  }
+
   std::vector<std::optional<ArExecution>> runs(n);
   std::vector<Status> statuses(n, Status::OK());
   ParallelForItems(fan, n, [&](uint64_t i, unsigned) {
@@ -309,8 +330,24 @@ StatusOr<ShardedArExecution> ExecuteArSharded(
     device::Device* dev = &group->device(s % group->size());
     const bwd::BwdTable* dim =
         dim_replicas != nullptr ? &(*dim_replicas)[s % group->size()] : nullptr;
+    ArOptions opts = shard_options;
+    if (fan_in != nullptr) {
+      opts.on_approximate = [&, i](const ApproximateAnswer& answer) {
+        bool last = false;
+        {
+          std::lock_guard<std::mutex> lock(fan_in->mu);
+          fan_in->parts[i] = answer;
+          last = (--fan_in->remaining == 0);
+        }
+        if (!last) return;
+        std::vector<const ApproximateAnswer*> parts;
+        parts.reserve(n);
+        for (const auto& part : fan_in->parts) parts.push_back(&*part);
+        options.on_approximate(MergeApproxAnswers(query, parts));
+      };
+    }
     StatusOr<ArExecution> run =
-        ExecuteAr(query, fact.shards[s], dim, dev, shard_options);
+        ExecuteAr(query, fact.shards[s], dim, dev, opts);
     if (run.ok()) {
       runs[i] = std::move(run).value();
     } else {

@@ -31,6 +31,7 @@
 #define WASTENOT_CORE_SHARDED_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "bwd/partition.h"
@@ -52,6 +53,16 @@ struct ShardedArOptions {
   /// Prune shards whose key hull misses the query's partition-key
   /// predicate (exactness-preserving; see TargetShards).
   bool data_local_pruning = true;
+  /// Progressive serving hook, the sharded analogue of
+  /// ArOptions::on_approximate: invoked exactly once with the *merged*
+  /// approximate answer as soon as the last target shard finishes Phase A —
+  /// typically while other shards (and this one) are still refining. Runs
+  /// on whichever fan-out worker completed last; must not throw. Not
+  /// invoked when any shard fails before its Phase A completes (the
+  /// execution then returns that shard's error). The per-shard
+  /// ArOptions::on_approximate slot is owned by this mechanism and must be
+  /// left empty.
+  std::function<void(const ApproximateAnswer&)> on_approximate;
 };
 
 /// A merged sharded execution plus its per-shard attribution.

@@ -1,6 +1,7 @@
 #include "device/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/env.h"
 
@@ -60,6 +61,81 @@ DeviceSpec WithLink(DeviceSpec spec, const LinkSpec& link) {
 double LinkTransferSeconds(const LinkSpec& link, uint64_t bytes) {
   if (bytes == 0) return 0.0;
   return link.latency + static_cast<double>(bytes) / link.bandwidth;
+}
+
+ServingEstimate EstimateServingCost(const DeviceSpec& spec,
+                                    const ServingWorkload& w) {
+  ServingEstimate est;
+  const double rows = static_cast<double>(w.rows);
+  const uint32_t value_bits = std::max<uint32_t>(w.value_bits, 1);
+  const uint32_t d = std::min(std::max<uint32_t>(w.device_bits, 1), value_bits);
+  const uint32_t preds = std::max<uint32_t>(w.num_predicates, 1);
+  const uint32_t aggs = std::max<uint32_t>(w.num_aggregates, 1);
+  const double sel = std::clamp(w.selectivity, 0.0, 1.0);
+  const double hit = std::clamp(w.cache_hit_rate, 0.0, 1.0);
+  // Column footprint on the host side: 4-byte values (every workload in the
+  // repo stores i32 columns), one column per predicate and aggregate term.
+  const uint64_t host_bytes =
+      w.rows * 4ull * (static_cast<uint64_t>(preds) + aggs);
+
+  // --- A&R -----------------------------------------------------------------
+  // A range predicate over 2^d digits misclassifies only rows whose digit
+  // sits on one of the two interval boundaries: a 2^(1-d) fraction of a
+  // uniform domain per predicate. Fully resident (d == value_bits) means no
+  // ambiguity at all.
+  const double fp_band =
+      d >= value_bits ? 0.0
+                      : std::min(1.0, static_cast<double>(preds) *
+                                          std::ldexp(1.0, 1 - static_cast<int>(d)));
+  const double cand = std::min(1.0, sel + fp_band) * rows;
+  est.expected_candidates = static_cast<uint64_t>(cand);
+  // Phase A: every predicate streams the packed column; every aggregate
+  // gathers its candidates' digits (byte-clamped, like PackedReadBytes).
+  const uint64_t scan_bytes =
+      static_cast<uint64_t>(preds) * PackedReadBytes(d, w.rows, false) +
+      static_cast<uint64_t>(aggs) *
+          PackedReadBytes(d, static_cast<uint64_t>(cand), true);
+  const double phase_a = KernelSeconds(
+      spec, scan_bytes, static_cast<uint64_t>(cand) * 5,
+      w.rows * (preds + aggs));
+  // Phase boundary: candidate ids + per-column approximate values.
+  const uint64_t boundary_bytes = static_cast<uint64_t>(
+      cand * (4.0 + static_cast<double>(aggs) * ((d + 7) / 8)));
+  const double bus = TransferSeconds(spec, boundary_bytes);
+  // Phase R: per-candidate reconstruction and re-test on the host.
+  const double phase_r =
+      cand * (preds + aggs) * w.host_refine_ns * 1e-9;
+  est.ar_seconds = phase_a + bus + phase_r;
+
+  // --- classic -------------------------------------------------------------
+  est.classic_seconds =
+      static_cast<double>(host_bytes) / std::max(w.host_bandwidth, 1.0);
+
+  // --- streaming -----------------------------------------------------------
+  // On-demand inputs: misses re-cross the bus; the kernel then runs over
+  // the full-width columns on the device.
+  const double stream_transfer = TransferSeconds(
+      spec, static_cast<uint64_t>(static_cast<double>(host_bytes) * (1.0 - hit)));
+  const double stream_kernel = KernelSeconds(
+      spec, host_bytes, static_cast<uint64_t>(sel * rows) * 8,
+      w.rows * (preds + aggs));
+  est.streaming_seconds = stream_transfer + stream_kernel;
+  return est;
+}
+
+uint32_t ChooseDeviceBits(const DeviceSpec& spec, ServingWorkload w) {
+  const uint32_t value_bits = std::max<uint32_t>(w.value_bits, 1);
+  uint32_t best_bits = 1;
+  double best_cost = 0;
+  for (uint32_t d = 1; d <= value_bits; ++d) {
+    w.device_bits = d;
+    const double cost = EstimateServingCost(spec, w).ar_seconds;
+    if (d == 1 || cost < best_cost) {
+      best_bits = d;
+      best_cost = cost;
+    }
+  }
+  return best_bits;
 }
 
 }  // namespace wastenot::device

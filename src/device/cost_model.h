@@ -125,6 +125,56 @@ double HashKernelSeconds(const DeviceSpec& spec, uint64_t bytes_read,
 /// Simulated cost of moving `bytes` across the PCI-E bus.
 double TransferSeconds(const DeviceSpec& spec, uint64_t bytes);
 
+// ---------------------------------------------------------------------------
+// Serving-time estimates (the scheduler's cost-model query API).
+//
+// The adaptive serving layer (src/server/scheduler.h) prices every engine
+// against the device spec *before* dispatch, from the little it can know at
+// admission time: the scanned row count, the column widths, a selectivity
+// estimate and the live residency-cache hit rate. These are deliberately
+// coarse closed forms of the same model the simulated device charges —
+// their job is to rank engines and widths, not to predict wall time.
+// ---------------------------------------------------------------------------
+
+/// One query's workload shape as the serving layer can estimate it.
+struct ServingWorkload {
+  uint64_t rows = 0;            ///< fact rows the query scans
+  uint32_t value_bits = 32;     ///< significant bits of the scanned domain
+  uint32_t device_bits = 16;    ///< device-resident approximation width
+  uint32_t num_predicates = 1;  ///< approximate selections chained
+  uint32_t num_aggregates = 1;  ///< value columns gathered per candidate
+  double selectivity = 0.1;     ///< expected selected fraction, [0, 1]
+  /// Residency-cache hit rate the streaming engine would see, [0, 1]
+  /// (live signal; 1 = inputs resident, 0 = every byte re-transferred).
+  double cache_hit_rate = 1.0;
+  /// Host memory scan bandwidth for the classic engine, bytes/second.
+  double host_bandwidth = 8e9;
+  /// Per-candidate Phase-R cost (reconstruct + re-test), nanoseconds.
+  double host_refine_ns = 4.0;
+};
+
+/// Estimated serving time per engine for one query (seconds).
+struct ServingEstimate {
+  double ar_seconds = 0;         ///< A&R: Phase A + candidate bus + Phase R
+  double classic_seconds = 0;    ///< host-only column scan
+  double streaming_seconds = 0;  ///< on-demand transfer (miss-weighted) + kernel
+  /// Expected candidate-set size behind ar_seconds: selected rows plus the
+  /// boundary-digit false-positive band, which shrinks as device_bits grow.
+  uint64_t expected_candidates = 0;
+};
+
+/// Prices each engine for `w` on `spec`. Pure and deterministic — the
+/// scheduler's policy tests pin its rankings.
+ServingEstimate EstimateServingCost(const DeviceSpec& spec,
+                                    const ServingWorkload& w);
+
+/// Cost-optimal approximation width for `w` on `spec`: argmin over widths
+/// 1..value_bits of the estimated A&R time (the Phase-A scan grows with the
+/// width while candidate shipping and refinement shrink — the paper's
+/// device-bits lever, Fig 8c). Ties break to the narrower width;
+/// deterministic. `w.device_bits` is ignored.
+uint32_t ChooseDeviceBits(const DeviceSpec& spec, ServingWorkload w);
+
 }  // namespace wastenot::device
 
 #endif  // WASTENOT_DEVICE_COST_MODEL_H_

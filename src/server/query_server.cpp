@@ -4,12 +4,50 @@
 #include <cmath>
 #include <utility>
 
+#include "core/aggregate.h"
 #include "core/classic_engine.h"
 #include "core/streaming_engine.h"
 
 namespace wastenot::server {
 
 namespace {
+
+/// The exact result as a (trivially sound) approximate answer: every
+/// interval is a point. Used to resolve the approximate future of a
+/// progressive request served by an engine with no Phase A. kAvg values
+/// store the group *sum* (see QueryResult), so their intervals come from
+/// AvgBounds over the exact sum and count — the same rounding the A&R
+/// Phase A applies, keeping progressive consumers engine-agnostic.
+core::ApproximateAnswer ExactAnswerBounds(const core::QuerySpec& query,
+                                          const core::QueryResult& result) {
+  core::ApproximateAnswer answer;
+  const uint64_t groups = result.num_groups();
+  answer.key_bounds.resize(groups);
+  answer.agg_bounds.resize(groups);
+  for (uint64_t g = 0; g < groups; ++g) {
+    answer.key_bounds[g].reserve(result.group_keys[g].size());
+    for (int64_t key : result.group_keys[g]) {
+      answer.key_bounds[g].push_back(core::ValueBounds::Exact(key));
+    }
+    answer.agg_bounds[g].reserve(result.agg_values[g].size());
+    for (size_t a = 0; a < result.agg_values[g].size(); ++a) {
+      const int64_t value = result.agg_values[g][a];
+      if (a < query.aggregates.size() &&
+          query.aggregates[a].func == core::AggFunc::kAvg) {
+        const int64_t count = g < result.group_counts.size()
+                                  ? result.group_counts[g]
+                                  : 0;
+        answer.agg_bounds[g].push_back(core::AvgBounds(
+            core::ValueBounds::Exact(value), core::ValueBounds::Exact(count)));
+      } else {
+        answer.agg_bounds[g].push_back(core::ValueBounds::Exact(value));
+      }
+    }
+  }
+  answer.row_count =
+      core::ValueBounds::Exact(static_cast<int64_t>(result.selected_rows));
+  return answer;
+}
 
 /// How many shards the backend serves (0 = single-device).
 uint32_t BackendNumShards(const QueryServer::Backend& backend) {
@@ -72,12 +110,24 @@ std::vector<uint32_t> QueryServer::TargetShardsFor(
   return {};
 }
 
-bool QueryServer::Enqueue(QueryRequest&& request, bool blocking,
-                          std::future<QueryResponse>* out) {
-  Pending pending;
-  pending.request = std::move(request);
+void QueryServer::ResolveRefused(Pending&& pending, Status status) {
+  QueryResponse response;
+  response.id = pending.id;
+  response.status = status;
+  if (pending.progressive != nullptr) {
+    ApproximateResponse approx;
+    approx.status = status;
+    approx.exact_fallback = true;
+    pending.progressive->Resolve(std::move(approx));
+  }
+  // on_complete fires before the refined promise resolves, so a scheduler
+  // waiting on the future observes its accounting already updated.
+  if (pending.request.on_complete) pending.request.on_complete(response);
+  pending.promise.set_value(std::move(response));
+}
+
+bool QueryServer::Enqueue(Pending&& pending, bool blocking) {
   pending.target_shards = TargetShardsFor(pending.request);
-  std::future<QueryResponse> future = pending.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
     // Submitter accounting: Shutdown blocks until every submitter already
@@ -95,13 +145,12 @@ bool QueryServer::Enqueue(QueryRequest&& request, bool blocking,
       if (!blocking) return false;
       // Submit after/through Shutdown: resolve rather than block forever.
       lock.unlock();
-      QueryResponse response;
-      response.status = Status::Internal("query server is shut down");
-      pending.promise.set_value(std::move(response));
-      *out = std::move(future);
-      return true;
+      ResolveRefused(std::move(pending),
+                     Status::Internal("query server is shut down"));
+      return false;
     }
     pending.id = next_id_++;
+    if (pending.progressive != nullptr) pending.progressive->id = pending.id;
     pending.admitted.Restart();
     ++stats_.engines[static_cast<size_t>(pending.request.engine)].submitted;
     for (uint32_t s : pending.target_shards) {
@@ -120,7 +169,6 @@ bool QueryServer::Enqueue(QueryRequest&& request, bool blocking,
     // touched after the lock is released.
     work_cv_.notify_one();
   }
-  *out = std::move(future);
   return true;
 }
 
@@ -130,14 +178,57 @@ void QueryServer::LeaveSubmitter() {
 }
 
 std::future<QueryResponse> QueryServer::Submit(QueryRequest request) {
-  std::future<QueryResponse> future;
-  Enqueue(std::move(request), /*blocking=*/true, &future);
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<QueryResponse> future = pending.promise.get_future();
+  Enqueue(std::move(pending), /*blocking=*/true);
   return future;
 }
 
 bool QueryServer::TrySubmit(QueryRequest request,
                             std::future<QueryResponse>* out) {
-  return Enqueue(std::move(request), /*blocking=*/false, out);
+  Pending pending;
+  pending.request = std::move(request);
+  std::future<QueryResponse> future = pending.promise.get_future();
+  if (!Enqueue(std::move(pending), /*blocking=*/false)) return false;
+  *out = std::move(future);
+  return true;
+}
+
+ProgressiveFutures QueryServer::SubmitProgressive(QueryRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.progressive = std::make_shared<ProgressiveState>();
+  ProgressiveFutures futures;
+  futures.approximate = pending.progressive->promise.get_future();
+  futures.refined = pending.promise.get_future();
+  Enqueue(std::move(pending), /*blocking=*/true);
+  return futures;
+}
+
+bool QueryServer::TrySubmitProgressive(QueryRequest request,
+                                       ProgressiveFutures* out) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.progressive = std::make_shared<ProgressiveState>();
+  ProgressiveFutures futures;
+  futures.approximate = pending.progressive->promise.get_future();
+  futures.refined = pending.promise.get_future();
+  if (!Enqueue(std::move(pending), /*blocking=*/false)) return false;
+  *out = std::move(futures);
+  return true;
+}
+
+bool QueryServer::SubmitAdopted(QueryRequest request,
+                                std::promise<QueryResponse> refined,
+                                std::shared_ptr<ProgressiveState> progressive) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.promise = std::move(refined);
+  pending.progressive = std::move(progressive);
+  // Blocking Enqueue only "fails" by resolving the promises with the
+  // shutdown refusal; the return value lets the scheduler stop dispatching.
+  return Enqueue(std::move(pending), /*blocking=*/true);
 }
 
 void QueryServer::WorkerLoop(unsigned worker) {
@@ -157,11 +248,30 @@ void QueryServer::WorkerLoop(unsigned worker) {
     space_cv_.notify_one();
 
     const double queue_seconds = pending.admitted.Seconds();
-    QueryResponse response = Execute(pending.request, worker);
+    QueryResponse response = Execute(pending, worker);
     response.id = pending.id;
     response.queue_seconds = queue_seconds;
     response.latency_seconds = pending.admitted.Seconds();
     RecordCompletion(pending.request.engine, pending.target_shards, &response);
+    // Progressive fallback: an engine with no Phase A (or an execution that
+    // failed before its hook fired) resolves the approximate future here,
+    // together with the refined one — exact point intervals on success,
+    // the error otherwise. The A&R hook runs on this same worker thread
+    // inside Execute, so "still unresolved" cannot race a late hook.
+    if (pending.progressive != nullptr && !pending.progressive->resolved) {
+      ApproximateResponse approx;
+      approx.status = response.status;
+      approx.exact_fallback = true;
+      approx.latency_seconds = response.latency_seconds;
+      if (response.status.ok()) {
+        approx.approx = ExactAnswerBounds(pending.request.query,
+                                          response.result);
+      }
+      pending.progressive->Resolve(std::move(approx));
+    }
+    // on_complete fires before the refined promise resolves, so a scheduler
+    // waiting on the future observes its accounting already updated.
+    if (pending.request.on_complete) pending.request.on_complete(response);
     pending.promise.set_value(std::move(response));
 
     // The worker counts as busy until after the promise resolves, so a
@@ -176,16 +286,33 @@ void QueryServer::WorkerLoop(unsigned worker) {
   }
 }
 
-QueryResponse QueryServer::Execute(const QueryRequest& request,
-                                   unsigned worker) {
+QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
+  const QueryRequest& request = pending.request;
   QueryResponse response;
   response.worker = worker;
+  // Progressive A&R: resolve the approximate future at the Phase-A/Phase-R
+  // boundary, on this worker thread, before any refinement runs. The
+  // WallTimer is read concurrently-safely (it only stores a start point).
+  std::function<void(const core::ApproximateAnswer&)> on_approximate;
+  if (pending.progressive != nullptr && request.engine == EngineKind::kAr) {
+    std::shared_ptr<ProgressiveState> progressive = pending.progressive;
+    const WallTimer* admitted = &pending.admitted;
+    on_approximate = [progressive,
+                      admitted](const core::ApproximateAnswer& answer) {
+      ApproximateResponse approx;
+      approx.approx = answer;
+      approx.latency_seconds = admitted->Seconds();
+      progressive->Resolve(std::move(approx));
+    };
+  }
   switch (request.engine) {
     case EngineKind::kAr: {
       if (backend_.sharded_fact != nullptr && backend_.group != nullptr) {
+        core::ShardedArOptions sharded_options = options_.sharded_ar_options;
+        sharded_options.on_approximate = std::move(on_approximate);
         auto exec = core::ExecuteArSharded(
             request.query, *backend_.sharded_fact, backend_.dim_replicas,
-            backend_.group, options_.sharded_ar_options);
+            backend_.group, sharded_options);
         response.status = exec.status();
         if (exec.ok()) {
           response.result = std::move(exec->merged.result);
@@ -198,8 +325,10 @@ QueryResponse QueryServer::Execute(const QueryRequest& request,
             Status::InvalidArgument("server has no A&R backend (fact/device)");
         return response;
       }
+      core::ArOptions ar_options = options_.ar_options;
+      ar_options.on_approximate = std::move(on_approximate);
       auto exec = core::ExecuteAr(request.query, *backend_.fact, backend_.dim,
-                                  backend_.device, options_.ar_options);
+                                  backend_.device, ar_options);
       response.status = exec.status();
       if (exec.ok()) {
         response.result = std::move(exec->result);
@@ -318,11 +447,12 @@ void QueryServer::Shutdown() {
   work_cv_.notify_all();
   space_cv_.notify_all();
   idle_cv_.notify_all();
+  // Cancelled requests resolve *both* futures of a progressive submission
+  // (approximate with the same status, exact_fallback set) and fire
+  // on_complete — no waiter is left hanging across a shutdown.
   for (auto& pending : cancelled) {
-    QueryResponse response;
-    response.id = pending.id;
-    response.status = Status::Internal("query server shut down before serving");
-    pending.promise.set_value(std::move(response));
+    ResolveRefused(std::move(pending),
+                   Status::Internal("query server shut down before serving"));
   }
   for (auto& worker : workers_) worker.join();
   workers_.clear();

@@ -16,12 +16,16 @@
 #define WASTENOT_SERVER_QUERY_SERVER_H_
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bwd/bwd_table.h"
@@ -41,10 +45,20 @@ namespace wastenot::server {
 /// Which engine a request is served by.
 enum class EngineKind : uint8_t { kAr, kClassic, kStreaming };
 
+struct QueryResponse;
+
 /// One query admitted to the server.
 struct QueryRequest {
   core::QuerySpec query;
   EngineKind engine = EngineKind::kAr;
+  /// Optional completion hook (the adaptive scheduler's per-tenant
+  /// accounting, src/server/scheduler.h): invoked exactly once, immediately
+  /// *before* the refined promise resolves — on the serving worker for
+  /// completions, on the Shutdown caller for cancelled queued requests, on
+  /// the submitter for a Submit refused during shutdown. Not invoked when
+  /// TrySubmit returns false (the request was never taken). Runs outside
+  /// the server lock; must not call back into the server.
+  std::function<void(const QueryResponse&)> on_complete;
 };
 
 /// What a request's future resolves to.
@@ -59,6 +73,46 @@ struct QueryResponse {
   double latency_seconds = 0;  ///< admission → completion
   uint64_t sequence = 0;       ///< completion order (monotonic per server)
   unsigned worker = 0;         ///< which session worker served it
+};
+
+/// Phase-A slice of a progressive submission: what the `approximate`
+/// future resolves to. For A&R requests this is the paper's first-class
+/// approximate answer — strict error intervals derived from the dropped-bit
+/// (residual) width — available before any refinement work has run.
+struct ApproximateResponse {
+  uint64_t id = 0;  ///< same admission id the refined response carries
+  Status status;    ///< `approx` valid only if ok
+  core::ApproximateAnswer approx;
+  /// True when the serving engine has no Phase A (classic/streaming): the
+  /// answer is the exact result as point intervals, resolved together with
+  /// the refined future instead of ahead of it. Also set on the error and
+  /// cancellation paths (where `approx` is empty).
+  bool exact_fallback = false;
+  double latency_seconds = 0;  ///< admission → this answer available
+};
+
+/// Producer-side state shared by every path that may resolve a progressive
+/// request's approximate future (Phase-A hook, exact fallback, error,
+/// shutdown cancellation): whichever gets there first wins, exactly once.
+struct ProgressiveState {
+  std::promise<ApproximateResponse> promise;
+  std::atomic<bool> resolved{false};
+  uint64_t id = 0;  ///< stamped at admission; 0 = never admitted
+
+  /// Idempotent resolve: the first caller publishes, later callers no-op.
+  void Resolve(ApproximateResponse&& response) {
+    if (resolved.exchange(true)) return;
+    response.id = id;
+    promise.set_value(std::move(response));
+  }
+};
+
+/// The future pair a progressive submission returns: the approximate
+/// answer first, the refined exact answer following. Both always resolve —
+/// on success, error and shutdown alike.
+struct ProgressiveFutures {
+  std::future<ApproximateResponse> approximate;
+  std::future<QueryResponse> refined;
 };
 
 /// Server construction knobs.
@@ -196,6 +250,31 @@ class QueryServer {
   /// when the queue is full or the server is shutting down.
   bool TrySubmit(QueryRequest request, std::future<QueryResponse>* out);
 
+  /// Progressive admission (paper §III advantage 4: the approximate answer
+  /// is a first-class result). Like Submit, but returns *two* futures: the
+  /// approximate answer — resolved at the Phase-A/Phase-R boundary for A&R
+  /// requests, with strict error intervals from the dropped-bit width —
+  /// and the refined exact answer. Engines without a Phase A (classic,
+  /// streaming) resolve the approximate future together with the refined
+  /// one, carrying the exact result as point intervals (exact_fallback).
+  /// Both futures always resolve, including on error and shutdown.
+  ProgressiveFutures SubmitProgressive(QueryRequest request);
+
+  /// Non-blocking progressive admission: returns false (and leaves `out`
+  /// untouched) when the queue is full or the server is shutting down.
+  bool TrySubmitProgressive(QueryRequest request, ProgressiveFutures* out);
+
+  /// Scheduler plumbing: blocking admission that adopts caller-created
+  /// promises — the refined promise, plus (optionally) progressive state
+  /// whose approximate promise the server resolves per SubmitProgressive's
+  /// contract. Returns false if the server refused the request (shutdown);
+  /// the promises are then already resolved with the refusal. Used by
+  /// AdaptiveScheduler (src/server/scheduler.h), which hands futures to its
+  /// clients *before* the request reaches the server queue.
+  bool SubmitAdopted(QueryRequest request,
+                     std::promise<QueryResponse> refined,
+                     std::shared_ptr<ProgressiveState> progressive);
+
   /// Blocks until every admitted request has completed — or until the
   /// server shuts down, in which case it returns without waiting for
   /// in-flight work (Shutdown itself joins the workers; queued requests
@@ -209,10 +288,19 @@ class QueryServer {
   ServerStats stats() const;
   uint64_t queue_depth() const;
 
+  /// Live residency-cache signal for the adaptive scheduler: the cache
+  /// kStreaming requests share on a single-device backend. (On a sharded
+  /// backend the per-device caches live in Backend::group.)
+  const device::ResidencyCache& streaming_cache() const {
+    return streaming_cache_;
+  }
+
  private:
   struct Pending {
     QueryRequest request;
     std::promise<QueryResponse> promise;
+    /// Non-null for progressive submissions: the approximate-answer side.
+    std::shared_ptr<ProgressiveState> progressive;
     uint64_t id = 0;
     WallTimer admitted;  ///< started at admission
     /// Shards this request targets (per-shard admission accounting and
@@ -220,8 +308,14 @@ class QueryServer {
     std::vector<uint32_t> target_shards;
   };
 
-  bool Enqueue(QueryRequest&& request, bool blocking,
-               std::future<QueryResponse>* out);
+  /// Admission core shared by every Submit flavor. `pending` carries the
+  /// request plus whichever promises the caller created; on refusal
+  /// (shutdown, or full queue when !blocking) every promise in it is
+  /// resolved with the refusal before returning false.
+  bool Enqueue(Pending&& pending, bool blocking);
+  /// Resolves all of `pending`'s promises with `status` (refusal and
+  /// cancellation paths), firing on_complete per its contract.
+  static void ResolveRefused(Pending&& pending, Status status);
   /// Shards `request` would execute on — data-local placement resolved at
   /// admission time (empty when the backend isn't sharded for its engine).
   std::vector<uint32_t> TargetShardsFor(const QueryRequest& request) const;
@@ -229,7 +323,7 @@ class QueryServer {
   /// signals the drain wait in Shutdown().
   void LeaveSubmitter();
   void WorkerLoop(unsigned worker);
-  QueryResponse Execute(const QueryRequest& request, unsigned worker);
+  QueryResponse Execute(const Pending& pending, unsigned worker);
   void RecordCompletion(EngineKind engine,
                         const std::vector<uint32_t>& target_shards,
                         QueryResponse* response);

@@ -1,0 +1,427 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wastenot::server {
+
+SchedulerDecision ChooseEngine(const device::DeviceSpec& spec,
+                               device::ServingWorkload workload,
+                               const ServingSignals& signals,
+                               const PolicyOptions& policy) {
+  workload.cache_hit_rate = signals.cache_hit_rate;
+  SchedulerDecision decision;
+  decision.device_bits = device::ChooseDeviceBits(spec, workload);
+  const device::ServingEstimate est =
+      device::EstimateServingCost(spec, workload);
+  // A busy device serves this query later and slower; the host does not.
+  const double penalty =
+      1.0 + policy.contention_penalty *
+                std::clamp(signals.device_contention, 0.0, 1.0);
+  decision.est_ar_seconds = est.ar_seconds * penalty;
+  decision.est_classic_seconds = est.classic_seconds;
+  decision.est_streaming_seconds = est.streaming_seconds * penalty;
+
+  decision.engine = EngineKind::kAr;
+  decision.reason = "ar cheapest";
+  double best = decision.est_ar_seconds;
+  if (decision.est_classic_seconds < best) {
+    decision.engine = EngineKind::kClassic;
+    decision.reason = "classic cheapest";
+    best = decision.est_classic_seconds;
+  }
+  if (decision.est_streaming_seconds < best) {
+    decision.engine = EngineKind::kStreaming;
+    decision.reason = "streaming cheapest";
+    best = decision.est_streaming_seconds;
+  }
+  // Queue pressure: shed device work whenever the host answer is within
+  // degrade_ratio of the best estimate — the queue drains on host time
+  // the device-bound engines would only lengthen.
+  if (signals.queue_fill >= policy.degrade_queue_fill &&
+      decision.engine != EngineKind::kClassic &&
+      decision.est_classic_seconds <= policy.degrade_ratio * best) {
+    decision.engine = EngineKind::kClassic;
+    decision.degraded = true;
+    decision.reason = "queue pressure: degraded to classic";
+  }
+  return decision;
+}
+
+AdaptiveScheduler::AdaptiveScheduler(QueryServer::Backend backend,
+                                     SchedulerOptions options)
+    : backend_(backend),
+      options_([&options] {
+        if (options.capacity == 0) {
+          options.capacity =
+              std::max<uint64_t>(1, options.server.queue_capacity);
+        }
+        return options;
+      }()),
+      server_(backend, options_.server) {
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+AdaptiveScheduler::~AdaptiveScheduler() { Shutdown(); }
+
+AdaptiveScheduler::Tenant& AdaptiveScheduler::TenantLocked(
+    const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, Tenant{}).first;
+    it->second.weight = std::max(options_.default_tenant_weight, 1e-6);
+    total_weight_ += it->second.weight;
+  }
+  return it->second;
+}
+
+uint64_t AdaptiveScheduler::BudgetLocked(const Tenant& tenant) const {
+  const double share =
+      total_weight_ > 0 ? tenant.weight / total_weight_ : 1.0;
+  return std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(options_.capacity) * share));
+}
+
+void AdaptiveScheduler::RegisterTenant(const std::string& tenant,
+                                       double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  weight = std::max(weight, 1e-6);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    Tenant t;
+    t.weight = weight;
+    total_weight_ += weight;
+    tenants_.emplace(tenant, std::move(t));
+  } else {
+    total_weight_ += weight - it->second.weight;
+    it->second.weight = weight;
+  }
+  // Every budget just moved; submitters blocked on the old shares rewait.
+  budget_cv_.notify_all();
+}
+
+void AdaptiveScheduler::ResolveCancelled(Entry&& entry, Status status) {
+  ApproximateResponse approx;
+  approx.status = status;
+  approx.exact_fallback = true;
+  entry.progressive->Resolve(std::move(approx));
+  QueryResponse response;
+  response.status = std::move(status);
+  entry.refined.set_value(std::move(response));
+}
+
+bool AdaptiveScheduler::EnqueueTenant(const std::string& name,
+                                      core::QuerySpec&& query, bool blocking,
+                                      ProgressiveFutures* out) {
+  Entry entry;
+  entry.query = std::move(query);
+  entry.progressive = std::make_shared<ProgressiveState>();
+  ProgressiveFutures futures;
+  futures.approximate = entry.progressive->promise.get_future();
+  futures.refined = entry.refined.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    Tenant& tenant = TenantLocked(name);
+    if (blocking) {
+      // Backpressure lands on this tenant's own submitter: it waits for
+      // its *own* budget, never for another tenant's traffic.
+      budget_cv_.wait(lock, [this, &tenant] {
+        return shutdown_ || tenant.in_flight() < BudgetLocked(tenant);
+      });
+    }
+    if (shutdown_) {
+      if (!blocking) return false;
+      // Submit after/through Shutdown: resolve rather than block forever.
+      lock.unlock();
+      ResolveCancelled(std::move(entry),
+                       Status::Internal("scheduler is shut down"));
+      *out = std::move(futures);
+      return true;
+    }
+    if (tenant.in_flight() >= BudgetLocked(tenant)) {  // !blocking only
+      ++tenant.stats.rejected;
+      return false;
+    }
+    // WFQ virtual finish tag: a tenant's entries finish 1/weight apart in
+    // virtual time, so a flood from one tenant interleaves with — never
+    // displaces — the others' occasional entries.
+    entry.vtag = std::max(virtual_time_, tenant.last_vtag) +
+                 1.0 / std::max(tenant.weight, 1e-9);
+    tenant.last_vtag = entry.vtag;
+    ++tenant.stats.submitted;
+    tenant.entries.push_back(std::move(entry));
+    dispatch_cv_.notify_one();
+  }
+  *out = std::move(futures);
+  return true;
+}
+
+ProgressiveFutures AdaptiveScheduler::Submit(const std::string& tenant,
+                                             core::QuerySpec query) {
+  ProgressiveFutures futures;
+  EnqueueTenant(tenant, std::move(query), /*blocking=*/true, &futures);
+  return futures;
+}
+
+bool AdaptiveScheduler::TrySubmit(const std::string& tenant,
+                                  core::QuerySpec query,
+                                  ProgressiveFutures* out) {
+  return EnqueueTenant(tenant, std::move(query), /*blocking=*/false, out);
+}
+
+device::ServingWorkload AdaptiveScheduler::EstimateWorkload(
+    const core::QuerySpec& query) const {
+  device::ServingWorkload w = options_.workload;
+  const bwd::BwdTable* fact = backend_.fact;
+  if (backend_.sharded_fact != nullptr &&
+      !backend_.sharded_fact->shards.empty()) {
+    // All shards share one DecompositionSpec per column (partition
+    // invariant 2), so shard 0 speaks for the table.
+    fact = &backend_.sharded_fact->shards.front();
+    w.rows = backend_.sharded_fact->num_rows();
+  } else if (fact != nullptr) {
+    w.rows = fact->num_rows();
+  }
+  w.num_predicates =
+      static_cast<uint32_t>(std::max<size_t>(1, query.predicates.size()));
+  w.num_aggregates =
+      static_cast<uint32_t>(std::max<size_t>(1, query.aggregates.size()));
+  if (fact == nullptr) return w;  // ServingWorkload defaults stand in
+
+  double selectivity = 1.0;
+  uint32_t value_bits = 0;
+  uint32_t device_bits = 64;
+  bool any = false;
+  for (const core::Predicate& pred : query.predicates) {
+    if (!fact->HasColumn(pred.column)) continue;
+    const bwd::DecompositionSpec& spec = fact->column(pred.column).spec();
+    any = true;
+    value_bits = std::max(value_bits, spec.value_bits);
+    device_bits = std::min(device_bits, spec.approximation_bits());
+    // Uniform-domain selectivity: intersect the predicate range with the
+    // column's rebased domain [prefix_base, prefix_base + 2^value_bits)
+    // first — half-open predicates (Lt/Gt) carry an INT64 sentinel on the
+    // unbounded side that would otherwise swamp the width.
+    const double domain =
+        std::ldexp(1.0, static_cast<int>(std::min<uint32_t>(
+                        std::max<uint32_t>(spec.value_bits, 1), 62)));
+    const double base = static_cast<double>(spec.prefix_base);
+    const double lo = std::max(static_cast<double>(pred.range.lo), base);
+    const double hi =
+        std::min(static_cast<double>(pred.range.hi), base + domain - 1.0);
+    const double width = std::clamp(hi - lo + 1.0, 0.0, domain);
+    selectivity *= width / domain;
+  }
+  if (any) {
+    w.value_bits = std::max<uint32_t>(value_bits, 1);
+    w.device_bits = std::max<uint32_t>(std::min(device_bits, value_bits), 1);
+    w.selectivity = selectivity;
+  }
+  return w;
+}
+
+namespace {
+
+const device::DeviceSpec& SpecOf(const QueryServer::Backend& backend) {
+  if (backend.device != nullptr) return backend.device->spec();
+  if (backend.group != nullptr && backend.group->size() > 0) {
+    return backend.group->device(0).spec();
+  }
+  static const device::DeviceSpec kDefault = device::DeviceSpec::Gtx680();
+  return kDefault;
+}
+
+}  // namespace
+
+ServingSignals AdaptiveScheduler::SampleSignals() {
+  ServingSignals signals;
+  const uint64_t capacity =
+      std::max<uint64_t>(1, options_.server.queue_capacity);
+  signals.queue_fill = std::min(
+      1.0, static_cast<double>(server_.queue_depth()) /
+               static_cast<double>(capacity));
+
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  if (backend_.group != nullptr) {
+    for (uint32_t i = 0; i < backend_.group->size(); ++i) {
+      hits += backend_.group->cache(i).hits();
+      misses += backend_.group->cache(i).misses();
+    }
+  } else {
+    hits = server_.streaming_cache().hits();
+    misses = server_.streaming_cache().misses();
+  }
+  signals.cache_hit_rate =
+      hits + misses == 0
+          ? 1.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+
+  // Contention: simulated busy-seconds accrued per wall-second per device
+  // since the previous sample, clamped to [0, 1]. The clocks aggregate
+  // per-query attribution across the group, so this reads as "how much of
+  // the device fleet the currently-running queries are consuming".
+  double busy = 0;
+  double num_devices = 1;
+  if (backend_.group != nullptr && backend_.group->size() > 0) {
+    const device::DeviceGroup::ClockAggregate agg =
+        backend_.group->AggregateClocks();
+    busy = agg.sum_device_seconds + agg.sum_bus_seconds;
+    num_devices = static_cast<double>(backend_.group->size());
+  } else if (backend_.device != nullptr) {
+    busy = backend_.device->clock().device_seconds() +
+           backend_.device->clock().bus_seconds();
+  }
+  {
+    std::lock_guard<std::mutex> lock(signals_mu_);
+    const double wall = signals_uptime_.Seconds();
+    const double wall_delta = wall - prev_wall_seconds_;
+    if (wall_delta > 1e-6) {
+      last_contention_ = std::clamp(
+          (busy - prev_busy_seconds_) / (num_devices * wall_delta), 0.0, 1.0);
+      prev_wall_seconds_ = wall;
+      prev_busy_seconds_ = busy;
+    }
+    signals.device_contention = last_contention_;
+  }
+  return signals;
+}
+
+SchedulerDecision AdaptiveScheduler::Decide(const core::QuerySpec& query) {
+  return ChooseEngine(SpecOf(backend_), EstimateWorkload(query),
+                      SampleSignals(), options_.policy);
+}
+
+void AdaptiveScheduler::DispatchLoop() {
+  for (;;) {
+    Entry entry;
+    std::string name;
+    bool tenant_degrade = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      dispatch_cv_.wait(lock, [this] {
+        if (shutdown_) return true;
+        for (const auto& [tenant_name, tenant] : tenants_) {
+          (void)tenant_name;
+          if (!tenant.entries.empty()) return true;
+        }
+        return false;
+      });
+      if (shutdown_) return;
+      // Weighted fair pick: the nonempty tenant whose head entry has the
+      // smallest virtual finish tag.
+      Tenant* best = nullptr;
+      for (auto& [tenant_name, tenant] : tenants_) {
+        if (tenant.entries.empty()) continue;
+        if (best == nullptr ||
+            tenant.entries.front().vtag < best->entries.front().vtag) {
+          best = &tenant;
+          name = tenant_name;
+        }
+      }
+      entry = std::move(best->entries.front());
+      best->entries.pop_front();
+      virtual_time_ = std::max(virtual_time_, entry.vtag);
+      ++best->outstanding;
+      // Tenant-budget pressure rule: a tenant consuming at least
+      // tenant_degrade_fill of its share is degraded to the classic
+      // engine — exact answers still flow, device time goes to the rest.
+      tenant_degrade =
+          static_cast<double>(best->in_flight()) >=
+          options_.policy.tenant_degrade_fill *
+              static_cast<double>(BudgetLocked(*best));
+    }
+
+    SchedulerDecision decision =
+        ChooseEngine(SpecOf(backend_), EstimateWorkload(entry.query),
+                     SampleSignals(), options_.policy);
+    if (tenant_degrade && decision.engine != EngineKind::kClassic) {
+      decision.engine = EngineKind::kClassic;
+      decision.degraded = true;
+      decision.reason = "tenant over budget share: degraded to classic";
+    }
+
+    QueryRequest request;
+    request.query = std::move(entry.query);
+    request.engine = decision.engine;
+    request.on_complete = [this, name](const QueryResponse&) {
+      std::lock_guard<std::mutex> lock(mu_);
+      Tenant& tenant = tenants_[name];
+      if (tenant.outstanding > 0) --tenant.outstanding;
+      ++tenant.stats.completed;
+      budget_cv_.notify_all();
+    };
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++dispatched_[static_cast<size_t>(decision.engine)];
+      Tenant& tenant = tenants_[name];
+      ++tenant.stats.dispatched;
+      if (decision.degraded) {
+        ++degraded_;
+        ++tenant.stats.degraded;
+      }
+    }
+    // Blocking hand-off: a full server queue stalls dispatch (and through
+    // WFQ, every tenant's drain rate) rather than dropping work. During
+    // shutdown the server resolves the promises with the refusal itself.
+    server_.SubmitAdopted(std::move(request), std::move(entry.refined),
+                          std::move(entry.progressive));
+  }
+}
+
+void AdaptiveScheduler::Shutdown() {
+  // Serializes concurrent Shutdown callers (e.g. an explicit Shutdown
+  // racing the destructor), like QueryServer::Shutdown.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  std::deque<std::pair<std::string, Entry>> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      for (auto& [tenant_name, tenant] : tenants_) {
+        while (!tenant.entries.empty()) {
+          cancelled.emplace_back(tenant_name,
+                                 std::move(tenant.entries.front()));
+          tenant.entries.pop_front();
+          ++tenant.stats.cancelled;
+        }
+      }
+      cancelled_ += cancelled.size();
+    }
+  }
+  dispatch_cv_.notify_all();
+  budget_cv_.notify_all();
+  // Scheduler-queued entries resolve both futures of their progressive
+  // pair — no waiter is left hanging across a shutdown.
+  for (auto& [tenant_name, entry] : cancelled) {
+    (void)tenant_name;
+    ResolveCancelled(std::move(entry),
+                     Status::Internal("scheduler shut down before dispatch"));
+  }
+  // Unblocks a dispatcher stalled in SubmitAdopted (the server resolves
+  // that entry's promises with the refusal) and cancels server-queued
+  // requests (their on_complete hooks fire back into this scheduler,
+  // which is why no lock is held here).
+  server_.Shutdown();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+SchedulerStats AdaptiveScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats out;
+  out.dispatched = dispatched_;
+  out.degraded = degraded_;
+  out.cancelled = cancelled_;
+  for (const auto& [tenant_name, tenant] : tenants_) {
+    TenantStats s = tenant.stats;
+    s.weight = tenant.weight;
+    s.queued = tenant.entries.size();
+    s.outstanding = tenant.outstanding;
+    s.budget = BudgetLocked(tenant);
+    out.rejected += s.rejected;
+    out.tenants.emplace(tenant_name, std::move(s));
+  }
+  return out;
+}
+
+}  // namespace wastenot::server

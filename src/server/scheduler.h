@@ -1,0 +1,253 @@
+// AdaptiveScheduler: policy layer over the QueryServer (DESIGN.md §7).
+//
+// The paper fixes the engine per experiment; a served system has to pick.
+// This layer chooses, per query, which engine serves it (A&R, classic or
+// streaming) and which approximation width the cost model would want, from
+// the device::CostModel serving estimates plus three live signals: queue
+// depth (admission pressure), the residency-cache hit rate (what streaming
+// would actually pay per byte) and device clock contention (how busy the
+// shared simulated device already is). The pure decision function
+// (ChooseEngine) is deterministic and pinned by tests/server/
+// scheduler_test.cpp; the class around it adds per-tenant weighted fair
+// queuing with backpressure:
+//
+//   * every tenant has a weight; dispatch order follows WFQ virtual
+//     finish tags, so a tenant flooding the scheduler cannot starve a
+//     light one (it only consumes its own share),
+//   * every tenant has an outstanding-work budget proportional to its
+//     weight; TrySubmit rejects past it, Submit blocks (backpressure
+//     propagates to the submitter, never to other tenants),
+//   * a tenant near its budget is degraded to the classic engine — it
+//     keeps getting exact answers, just without consuming device time
+//     the other tenants are entitled to.
+//
+// Submissions are progressive (ProgressiveFutures): the approximate
+// answer resolves at the Phase-A boundary when the A&R engine serves the
+// query, and with the exact answer (as point intervals) otherwise.
+
+#ifndef WASTENOT_SERVER_SCHEDULER_H_
+#define WASTENOT_SERVER_SCHEDULER_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/query.h"
+#include "device/cost_model.h"
+#include "server/query_server.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace wastenot::server {
+
+/// Live signals the policy folds into its engine choice.
+struct ServingSignals {
+  /// Admission-queue fill of the serving layer, [0, 1].
+  double queue_fill = 0;
+  /// Residency-cache hit rate the streaming engine would see, [0, 1].
+  double cache_hit_rate = 1.0;
+  /// Fraction of recent wall time the shared device(s) were busy, [0, 1]
+  /// (per-shard clock contention aggregated over the group).
+  double device_contention = 0;
+};
+
+/// Policy knobs. The defaults are what the policy tests pin.
+struct PolicyOptions {
+  /// Device-bound engine estimates are inflated by
+  /// (1 + contention_penalty * device_contention): a busy device serves
+  /// this query later and slower, the host does not.
+  double contention_penalty = 4.0;
+  /// Queue fill at or above which the policy prefers to shed device work:
+  /// it degrades to classic when classic is within degrade_ratio of the
+  /// best device-bound estimate.
+  double degrade_queue_fill = 0.75;
+  double degrade_ratio = 4.0;
+  /// Fraction of a tenant's outstanding budget at or above which its
+  /// dispatches degrade to classic (scheduler-level, not part of
+  /// ChooseEngine).
+  double tenant_degrade_fill = 0.5;
+};
+
+/// What the policy decided for one query, with the evidence.
+struct SchedulerDecision {
+  EngineKind engine = EngineKind::kAr;
+  /// Cost-optimal approximation width for this workload
+  /// (device::ChooseDeviceBits) — advisory, since the resident tables were
+  /// decomposed at load time; reported so operators can see when the
+  /// loaded width drifts from what the workload wants.
+  uint32_t device_bits = 0;
+  /// True when the engine was not the cheapest estimate but a pressure
+  /// rule (queue fill, tenant budget) forced classic.
+  bool degraded = false;
+  double est_ar_seconds = 0;         ///< contention-adjusted
+  double est_classic_seconds = 0;
+  double est_streaming_seconds = 0;  ///< contention-adjusted
+  const char* reason = "";           ///< static string naming the rule
+};
+
+/// The pure policy: prices every engine for `workload` on `spec` (the
+/// cache-hit signal feeding the streaming estimate, the contention signal
+/// inflating both device-bound estimates), then picks the cheapest —
+/// unless queue pressure triggers the degrade rule. Deterministic: ties
+/// break in engine order (A&R, classic, streaming). `workload.device_bits`
+/// should hold the width the resident tables actually use;
+/// `workload.cache_hit_rate` is overwritten from `signals`.
+SchedulerDecision ChooseEngine(const device::DeviceSpec& spec,
+                               device::ServingWorkload workload,
+                               const ServingSignals& signals,
+                               const PolicyOptions& policy = {});
+
+/// Scheduler construction knobs.
+struct SchedulerOptions {
+  ServerOptions server;  ///< inner QueryServer knobs
+  PolicyOptions policy;
+  /// Outstanding-work capacity the tenant budgets divide: tenant budget =
+  /// max(1, floor(capacity * weight / total weight)), counting queued +
+  /// dispatched-but-unfinished work. 0 = the server queue capacity.
+  uint64_t capacity = 0;
+  /// Weight given to tenants first seen by Submit/TrySubmit (tenants can
+  /// be registered explicitly with other weights).
+  double default_tenant_weight = 1.0;
+  /// Starting point for EstimateWorkload: rows, widths and selectivity are
+  /// overridden from the backend's tables and the query where derivable,
+  /// the rest (host_bandwidth, host_refine_ns — calibration knobs) pass
+  /// through to the cost model.
+  device::ServingWorkload workload;
+};
+
+/// Per-tenant slice of the scheduler counters.
+struct TenantStats {
+  double weight = 1.0;
+  uint64_t submitted = 0;   ///< accepted submissions
+  uint64_t rejected = 0;    ///< TrySubmit refusals at budget
+  uint64_t dispatched = 0;  ///< forwarded to the server
+  uint64_t degraded = 0;    ///< dispatches forced to classic
+  uint64_t completed = 0;   ///< refined responses delivered (either status)
+  uint64_t cancelled = 0;   ///< still queued here at Shutdown
+  uint64_t queued = 0;      ///< waiting in this tenant's scheduler queue
+  uint64_t outstanding = 0; ///< dispatched, refined answer not yet delivered
+  uint64_t budget = 0;      ///< current outstanding-work budget
+};
+
+/// Aggregate scheduler statistics (since construction).
+struct SchedulerStats {
+  /// Dispatches by chosen engine, indexed by EngineKind.
+  std::array<uint64_t, 3> dispatched{};
+  uint64_t degraded = 0;   ///< dispatches the pressure rules forced
+  uint64_t rejected = 0;   ///< TrySubmit refusals at tenant budget
+  uint64_t cancelled = 0;  ///< queued entries cancelled by Shutdown
+  std::map<std::string, TenantStats> tenants;
+};
+
+/// The adaptive serving layer: owns a QueryServer and forwards tenant
+/// submissions to it in weighted-fair order, choosing the engine per
+/// query. All public methods are thread-safe.
+class AdaptiveScheduler {
+ public:
+  AdaptiveScheduler(QueryServer::Backend backend, SchedulerOptions options = {});
+  /// Implies Shutdown().
+  ~AdaptiveScheduler();
+
+  AdaptiveScheduler(const AdaptiveScheduler&) = delete;
+  AdaptiveScheduler& operator=(const AdaptiveScheduler&) = delete;
+
+  /// Creates (or re-weights, while idle) a tenant. Tenants unknown at
+  /// Submit time are auto-registered with the default weight.
+  void RegisterTenant(const std::string& tenant, double weight);
+
+  /// Admits `query` on behalf of `tenant`, blocking while the tenant is
+  /// at its outstanding-work budget (backpressure). Both returned futures
+  /// always resolve — on success, error and shutdown alike.
+  ProgressiveFutures Submit(const std::string& tenant, core::QuerySpec query);
+
+  /// Non-blocking admission: returns false (leaving `out` untouched) when
+  /// the tenant is at its budget or the scheduler is shut down.
+  bool TrySubmit(const std::string& tenant, core::QuerySpec query,
+                 ProgressiveFutures* out);
+
+  /// The workload shape the policy would price for `query`, derived from
+  /// the backend's resident tables (rows, decomposed widths, predicate
+  /// selectivity). Exposed for tests and benchmarks.
+  device::ServingWorkload EstimateWorkload(const core::QuerySpec& query) const;
+
+  /// Samples the live signals (queue fill, cache hit rate, device
+  /// contention since the previous sample).
+  ServingSignals SampleSignals();
+
+  /// The decision the policy would make for `query` right now — the same
+  /// function dispatch applies, minus the tenant-budget degrade rule.
+  SchedulerDecision Decide(const core::QuerySpec& query);
+
+  /// Stops admission, cancels queued entries (both futures of each
+  /// resolve), shuts the server down, joins the dispatcher. Idempotent.
+  void Shutdown();
+
+  SchedulerStats stats() const;
+  QueryServer& server() { return server_; }
+
+ private:
+  /// One accepted submission waiting for dispatch.
+  struct Entry {
+    core::QuerySpec query;
+    std::promise<QueryResponse> refined;
+    std::shared_ptr<ProgressiveState> progressive;
+    double vtag = 0;  ///< WFQ virtual finish tag (stamped at admission)
+  };
+
+  struct Tenant {
+    double weight = 1.0;
+    double last_vtag = 0;
+    std::deque<Entry> entries;
+    uint64_t outstanding = 0;
+    TenantStats stats;
+
+    uint64_t in_flight() const { return entries.size() + outstanding; }
+  };
+
+  Tenant& TenantLocked(const std::string& name);
+  uint64_t BudgetLocked(const Tenant& tenant) const;
+  bool EnqueueTenant(const std::string& name, core::QuerySpec&& query,
+                     bool blocking, ProgressiveFutures* out);
+  void DispatchLoop();
+  /// Resolves both of `entry`'s futures with `status` (shutdown paths).
+  static void ResolveCancelled(Entry&& entry, Status status);
+
+  const QueryServer::Backend backend_;
+  SchedulerOptions options_;  ///< capacity resolved in the constructor
+  QueryServer server_;
+
+  mutable std::mutex mu_;
+  std::condition_variable dispatch_cv_;  ///< work queued or shutdown
+  std::condition_variable budget_cv_;    ///< tenant budget freed or shutdown
+  std::map<std::string, Tenant> tenants_;
+  double total_weight_ = 0;
+  double virtual_time_ = 0;  ///< WFQ global virtual time
+  bool shutdown_ = false;
+  std::array<uint64_t, 3> dispatched_{};
+  uint64_t degraded_ = 0;
+  uint64_t cancelled_ = 0;
+
+  /// Contention sampling state: busy-seconds and wall-seconds at the
+  /// previous SampleSignals call (guarded by signals_mu_, not mu_, so
+  /// sampling never contends with dispatch).
+  std::mutex signals_mu_;
+  WallTimer signals_uptime_;
+  double prev_busy_seconds_ = 0;
+  double prev_wall_seconds_ = 0;
+  double last_contention_ = 0;
+
+  std::mutex shutdown_mu_;  ///< serializes Shutdown end-to-end
+
+  std::thread dispatcher_;  ///< constructed last, joined first
+};
+
+}  // namespace wastenot::server
+
+#endif  // WASTENOT_SERVER_SCHEDULER_H_

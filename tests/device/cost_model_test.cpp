@@ -68,5 +68,97 @@ TEST(CostModelTest, Gtx680DefaultsMatchPaperHardware) {
   EXPECT_EQ(spec.num_devices, 2u);  // two cards in the paper's server
 }
 
+// --- serving estimates -----------------------------------------------------
+
+namespace {
+ServingWorkload ServeScan(double selectivity) {
+  ServingWorkload w;
+  w.rows = 100'000'000;
+  w.value_bits = 32;
+  w.device_bits = 16;
+  w.selectivity = selectivity;
+  return w;
+}
+}  // namespace
+
+TEST(ServingEstimateTest, SelectiveScansFavorAr) {
+  const DeviceSpec spec = DeviceSpec::Gtx680();
+  const ServingEstimate e = EstimateServingCost(spec, ServeScan(0.01));
+  // 1 % selectivity: the candidate set (selected rows + boundary band) is
+  // tiny, so Phase A at 16 bits beats both the 32-bit streaming scan and
+  // the host scan.
+  EXPECT_LT(e.ar_seconds, e.streaming_seconds);
+  EXPECT_LT(e.streaming_seconds, e.classic_seconds);
+  EXPECT_GT(e.expected_candidates, ServeScan(0.01).rows / 100);
+}
+
+TEST(ServingEstimateTest, PhaseRCostGrowsWithSelectivity) {
+  const DeviceSpec spec = DeviceSpec::Gtx680();
+  const ServingEstimate lo = EstimateServingCost(spec, ServeScan(0.01));
+  const ServingEstimate hi = EstimateServingCost(spec, ServeScan(0.5));
+  EXPECT_GT(hi.ar_seconds, lo.ar_seconds);
+  EXPECT_GT(hi.expected_candidates, lo.expected_candidates);
+  // Classic ignores selectivity: the host scans every row either way.
+  EXPECT_DOUBLE_EQ(hi.classic_seconds, lo.classic_seconds);
+}
+
+TEST(ServingEstimateTest, ColdCacheChargesStreamingTheBus) {
+  const DeviceSpec spec = DeviceSpec::Gtx680();
+  ServingWorkload warm = ServeScan(0.5);
+  warm.cache_hit_rate = 1.0;
+  ServingWorkload cold = warm;
+  cold.cache_hit_rate = 0.0;
+  const ServingEstimate w = EstimateServingCost(spec, warm);
+  const ServingEstimate c = EstimateServingCost(spec, cold);
+  // A fully resident streaming scan pays no transfer; a fully cold one
+  // re-ships every input byte over PCIe.
+  EXPECT_GT(c.streaming_seconds, w.streaming_seconds);
+  const uint64_t input_bytes =
+      warm.rows * ((warm.value_bits + 7) / 8) *
+      (warm.num_predicates + warm.num_aggregates);
+  EXPECT_GE(c.streaming_seconds - w.streaming_seconds,
+            0.9 * TransferSeconds(spec, input_bytes));
+}
+
+TEST(ServingEstimateTest, WiderApproximationShrinksTheCandidateBand) {
+  const DeviceSpec spec = DeviceSpec::Gtx680();
+  ServingWorkload narrow = ServeScan(0.01);
+  narrow.device_bits = 4;
+  ServingWorkload wide = ServeScan(0.01);
+  wide.device_bits = 24;
+  const ServingEstimate n = EstimateServingCost(spec, narrow);
+  const ServingEstimate w = EstimateServingCost(spec, wide);
+  // Fig 8c's lever: each extra approximation bit halves the boundary
+  // digit's false-positive band.
+  EXPECT_GT(n.expected_candidates, w.expected_candidates);
+}
+
+TEST(ServingEstimateTest, ChooseDeviceBitsIsTheArgmin) {
+  const DeviceSpec spec = DeviceSpec::Gtx680();
+  const ServingWorkload w = ServeScan(0.01);
+  const uint32_t best = ChooseDeviceBits(spec, w);
+  ASSERT_GE(best, 1u);
+  ASSERT_LE(best, w.value_bits);
+  ServingWorkload probe = w;
+  probe.device_bits = best;
+  const double best_seconds = EstimateServingCost(spec, probe).ar_seconds;
+  for (uint32_t bits = 1; bits <= w.value_bits; ++bits) {
+    probe.device_bits = bits;
+    const double t = EstimateServingCost(spec, probe).ar_seconds;
+    EXPECT_GE(t, best_seconds) << "bits=" << bits;
+    if (bits < best) {
+      // Ties break to the narrower width: everything below the argmin
+      // must be strictly worse.
+      EXPECT_GT(t, best_seconds) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(ServingEstimateTest, ChooseDeviceBitsPinnedForPaperScan) {
+  // The pinned width for the paper-scale regime the scheduler tests also
+  // use: 100 M rows, 32-bit domain, 1 % selectivity on a GTX 680.
+  EXPECT_EQ(ChooseDeviceBits(DeviceSpec::Gtx680(), ServeScan(0.01)), 12u);
+}
+
 }  // namespace
 }  // namespace wastenot::device

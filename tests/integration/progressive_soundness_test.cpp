@@ -1,0 +1,327 @@
+// Progressive-serving soundness: for fuzzed schemas, queries, engines and
+// shard counts, every progressive submission's approximate answer must
+// *contain* the refined exact answer (strict error bounds, paper §III
+// advantage 4), and the refined answer must be bit-identical to a
+// non-progressive run of the same query — the progressive path changes
+// when answers arrive, never what they are.
+//
+// Containment is checked per pre-group: digit intervals of distinct
+// pre-groups are disjoint, so every exact group's key tuple lies in
+// exactly one pre-group's key bounds; exact groups mapped to the same
+// pre-group accumulate (sums and counts add, extrema combine), and the
+// pre-group's interval must contain the accumulated value. Pre-groups no
+// exact group maps to carry only refinement-rejected candidates, so their
+// additive intervals must contain 0.
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bwd/partition.h"
+#include "core/bounds.h"
+#include "core/classic_engine.h"
+#include "core/sharded_engine.h"
+#include "device/device_group.h"
+#include "server/query_server.h"
+#include "util/random.h"
+
+namespace wastenot::server {
+namespace {
+
+using core::Aggregate;
+using core::AggFunc;
+using core::ApproximateAnswer;
+using core::QueryResult;
+using core::QuerySpec;
+using core::Term;
+using core::ValueBounds;
+
+const char* EngineName(EngineKind e) {
+  switch (e) {
+    case EngineKind::kAr: return "Ar";
+    case EngineKind::kClassic: return "Classic";
+    case EngineKind::kStreaming: return "Streaming";
+  }
+  return "?";
+}
+
+struct ProgressiveCase {
+  cs::Database db;
+  std::unique_ptr<device::DeviceGroup> group;
+  std::unique_ptr<bwd::ShardedBwdTable> fact;
+  std::vector<cs::Database> shard_dbs;
+  QuerySpec query;
+
+  QueryServer::Backend backend() {
+    QueryServer::Backend b;
+    b.db = &db;
+    b.sharded_fact = &*fact;
+    b.shard_dbs = &shard_dbs;
+    b.group = group.get();
+    return b;
+  }
+};
+
+/// Random fact table, decomposition, partitioning and query — the
+/// engine-fuzz shape family (including avg, the aggregate whose interval
+/// comes from the sum/count quotient bounds).
+ProgressiveCase MakeCase(uint64_t seed, uint32_t shards) {
+  Xoshiro256 rng(seed);
+  ProgressiveCase c;
+
+  const uint64_t n = 600 + rng.Below(4000);
+  const int64_t domain_a = 1 << (6 + rng.Below(10));
+  const int64_t domain_g = 2 + rng.Below(24);
+  const int64_t domain_v = 1 << (4 + rng.Below(9));
+  const int64_t base_shift = static_cast<int64_t>(rng.Below(3)) * -500;
+
+  cs::Table t("f");
+  std::vector<int32_t> a(n), g(n), v(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    a[i] = static_cast<int32_t>(rng.Below(domain_a) + base_shift);
+    g[i] = static_cast<int32_t>(rng.Below(domain_g));
+    v[i] = static_cast<int32_t>(rng.Below(domain_v));
+  }
+  auto add = [&t](const char* name, std::vector<int32_t>& vals) {
+    cs::Column col = cs::Column::FromI32(vals);
+    col.ComputeStats();
+    (void)t.AddColumn(name, std::move(col));
+  };
+  add("a", a);
+  add("g", g);
+  add("v", v);
+  c.db.AddTable(std::move(t));
+
+  device::DeviceGroupOptions gopts;
+  gopts.num_devices = shards;
+  gopts.base.memory_capacity = 256 << 20;
+  gopts.worker_threads = 1;
+  c.group = std::make_unique<device::DeviceGroup>(gopts);
+
+  // Mostly distributed placements (residuals exist, so the approximate
+  // answer has real width); occasionally fully resident (point bounds).
+  auto bits = [&rng]() -> uint32_t {
+    if (rng.Below(5) == 0) return 32;
+    return 6 + static_cast<uint32_t>(rng.Below(16));
+  };
+  const std::vector<bwd::DecomposeRequest> reqs = {
+      {"a", bits(), bwd::Compression::kBitPacked},
+      {"g", bits(), bwd::Compression::kBitPacked},
+      {"v", bits(), bwd::Compression::kBitPacked}};
+
+  bwd::PartitionSpec pspec;
+  pspec.kind = rng.Below(2) == 0 ? bwd::PartitionKind::kRange
+                                 : bwd::PartitionKind::kRadix;
+  pspec.key_column = rng.Below(2) == 0 ? "a" : "v";
+  pspec.num_shards = shards;
+  c.fact = std::make_unique<bwd::ShardedBwdTable>(
+      std::move(bwd::DecomposeSharded(c.db.table("f"), reqs, pspec,
+                                      c.group.get()))
+          .value());
+  c.shard_dbs = bwd::BuildShardDatabases(c.fact->partition, {});
+
+  c.query.table = "f";
+  const int64_t lo = static_cast<int64_t>(rng.Below(domain_a)) + base_shift;
+  const int64_t width = static_cast<int64_t>(rng.Below(domain_a));
+  c.query.predicates.push_back({"a", cs::RangePred{lo, lo + width}});
+  if (rng.Below(2) == 0) c.query.group_by = {"g"};
+  c.query.aggregates.push_back(Aggregate::CountStar("n"));
+  if (rng.Below(2) == 0) {
+    c.query.aggregates.push_back(Aggregate::SumOf("v", "sum_v"));
+  }
+  if (rng.Below(2) == 0) {
+    Aggregate avg;
+    avg.func = AggFunc::kAvg;
+    avg.terms = {Term::Col("v")};
+    avg.label = "avg_v";
+    c.query.aggregates.push_back(avg);
+  }
+  if (c.query.group_by.empty() && rng.Below(3) == 0) {
+    Aggregate mn;
+    mn.func = rng.Below(2) == 0 ? AggFunc::kMin : AggFunc::kMax;
+    mn.terms = {Term::Col("v")};
+    mn.label = "extremum";
+    c.query.aggregates.push_back(mn);
+  }
+  return c;
+}
+
+/// Accumulated exact values of the exact groups mapped to one pre-group.
+struct PreGroupAcc {
+  bool any = false;
+  int64_t count = 0;                ///< Σ group_counts
+  std::vector<int64_t> sums;        ///< per agg: Σ agg_values (count/sum/avg)
+  std::vector<int64_t> mins;        ///< per agg: min over groups
+  std::vector<int64_t> maxs;        ///< per agg: max over groups
+};
+
+/// The strict-bounds contract: `approx` contains `exact`, per pre-group.
+void CheckSoundness(const ApproximateAnswer& approx, const QueryResult& exact,
+                    const QuerySpec& query, const std::string& tag) {
+  EXPECT_LE(approx.row_count.lo, static_cast<int64_t>(exact.selected_rows))
+      << tag;
+  EXPECT_GE(approx.row_count.hi, static_cast<int64_t>(exact.selected_rows))
+      << tag;
+
+  const size_t num_aggs = query.aggregates.size();
+  std::vector<PreGroupAcc> acc(approx.num_groups());
+  for (PreGroupAcc& a : acc) {
+    a.sums.assign(num_aggs, 0);
+    a.mins.assign(num_aggs, 0);
+    a.maxs.assign(num_aggs, 0);
+  }
+
+  // Map every exact group to the unique pre-group containing its keys
+  // (digit intervals of distinct pre-groups are disjoint).
+  for (uint64_t ge = 0; ge < exact.num_groups(); ++ge) {
+    int64_t match = -1;
+    for (uint64_t ga = 0; ga < approx.num_groups(); ++ga) {
+      bool contains = true;
+      for (uint64_t k = 0; k < exact.group_keys[ge].size(); ++k) {
+        contains &= approx.key_bounds[ga][k].Contains(exact.group_keys[ge][k]);
+      }
+      if (!contains) continue;
+      EXPECT_EQ(match, -1)
+          << tag << ": exact group " << ge
+          << " contained by two pre-groups (digit intervals must be disjoint)";
+      match = static_cast<int64_t>(ga);
+    }
+    ASSERT_NE(match, -1)
+        << tag << ": exact group " << ge << " not covered by any pre-group";
+    PreGroupAcc& a = acc[static_cast<size_t>(match)];
+    for (size_t i = 0; i < num_aggs; ++i) {
+      const int64_t value = exact.agg_values[ge][i];
+      switch (query.aggregates[i].func) {
+        case AggFunc::kCount:
+        case AggFunc::kSum:
+        case AggFunc::kAvg:  // exact avg values store the group *sum*
+          a.sums[i] += value;
+          break;
+        case AggFunc::kMin:
+          a.mins[i] = a.any ? std::min(a.mins[i], value) : value;
+          break;
+        case AggFunc::kMax:
+          a.maxs[i] = a.any ? std::max(a.maxs[i], value) : value;
+          break;
+      }
+    }
+    a.count += ge < exact.group_counts.size() ? exact.group_counts[ge] : 0;
+    a.any = true;
+  }
+
+  for (uint64_t ga = 0; ga < approx.num_groups(); ++ga) {
+    const PreGroupAcc& a = acc[ga];
+    for (size_t i = 0; i < num_aggs; ++i) {
+      const ValueBounds& bounds = approx.agg_bounds[ga][i];
+      const std::string where =
+          tag + ": pre-group " + std::to_string(ga) + " agg " +
+          std::to_string(i) + " interval [" + std::to_string(bounds.lo) +
+          ", " + std::to_string(bounds.hi) + "]";
+      switch (query.aggregates[i].func) {
+        case AggFunc::kCount:
+        case AggFunc::kSum:
+          // Additive: the interval contains the accumulated exact value —
+          // 0 for pre-groups holding only refinement-rejected candidates.
+          EXPECT_TRUE(bounds.Contains(a.sums[i]))
+              << where << " misses " << a.sums[i];
+          break;
+        case AggFunc::kAvg:
+          // The avg interval bounds the quotient; exact integer rendering
+          // divides Σsum by Σcount, so both rounding directions must fit.
+          if (a.any && a.count > 0) {
+            EXPECT_TRUE(bounds.Contains(core::FloorDiv(a.sums[i], a.count)))
+                << where << " misses floor(" << a.sums[i] << "/" << a.count
+                << ")";
+            EXPECT_TRUE(
+                bounds.Contains(core::CeilDivSigned(a.sums[i], a.count)))
+                << where << " misses ceil(" << a.sums[i] << "/" << a.count
+                << ")";
+          }
+          break;
+        case AggFunc::kMin:
+          if (a.any) {
+            EXPECT_TRUE(bounds.Contains(a.mins[i]))
+                << where << " misses min " << a.mins[i];
+          }
+          break;
+        case AggFunc::kMax:
+          if (a.any) {
+            EXPECT_TRUE(bounds.Contains(a.maxs[i]))
+                << where << " misses max " << a.maxs[i];
+          }
+          break;
+      }
+    }
+  }
+}
+
+class ProgressiveSoundness
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, EngineKind, uint32_t>> {};
+
+TEST_P(ProgressiveSoundness, ApproximateContainsRefined) {
+  const auto [seed, engine, shards] = GetParam();
+  ProgressiveCase c = MakeCase(seed * 6151 + 29, shards);
+  const std::string tag = "seed " + std::to_string(seed) + " " +
+                          EngineName(engine) + " shards " +
+                          std::to_string(shards);
+
+  auto classic = core::ExecuteClassic(c.query, c.db);
+  ASSERT_TRUE(classic.ok()) << tag << ": " << classic.status().ToString();
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  QueryServer server(c.backend(), opts);
+
+  QueryRequest request;
+  request.query = c.query;
+  request.engine = engine;
+  ProgressiveFutures progressive = server.SubmitProgressive(request);
+  QueryResponse refined = progressive.refined.get();
+  ASSERT_TRUE(refined.status.ok()) << tag << ": "
+                                   << refined.status.ToString();
+
+  // The approximate future resolves no later than the refined one.
+  ASSERT_EQ(progressive.approximate.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << tag << ": approximate future unresolved after refined resolved";
+  ApproximateResponse approx = progressive.approximate.get();
+  ASSERT_TRUE(approx.status.ok()) << tag << ": " << approx.status.ToString();
+  EXPECT_EQ(approx.id, refined.id) << tag;
+  EXPECT_LE(approx.latency_seconds, refined.latency_seconds) << tag;
+  // Only the A&R engine has a Phase A; the others fall back to the exact
+  // answer as point intervals.
+  EXPECT_EQ(approx.exact_fallback, engine != EngineKind::kAr) << tag;
+
+  // Soundness: the approximate intervals contain the refined answer.
+  CheckSoundness(approx.approx, refined.result, c.query, tag);
+
+  // Identity: the refined answer is bit-identical to a non-progressive
+  // run of the same request, and to the classic reference.
+  QueryResponse plain = server.Submit(request).get();
+  ASSERT_TRUE(plain.status.ok()) << tag;
+  EXPECT_EQ(refined.result, plain.result) << tag;
+  EXPECT_EQ(refined.result, *classic) << tag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ProgressiveSoundness,
+    ::testing::Combine(::testing::Range<uint64_t>(1, 17),
+                       ::testing::Values(EngineKind::kAr, EngineKind::kClassic,
+                                         EngineKind::kStreaming),
+                       ::testing::Values(1u, 4u)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<uint64_t, EngineKind, uint32_t>>& info) {
+      return EngineName(std::get<1>(info.param)) + std::string("Seed") +
+             std::to_string(std::get<0>(info.param)) + "Shards" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace wastenot::server
