@@ -13,6 +13,9 @@
 #include "bwd/bwd_table.h"
 #include "core/ar_engine.h"
 #include "core/classic_engine.h"
+#include "core/plan_exec.h"
+#include "device/residency_cache.h"
+#include "server/scheduler.h"
 #include "workloads/tpch.h"
 
 namespace wastenot {
@@ -90,6 +93,106 @@ int RunQuery(const char* figure, core::QuerySpec query,
   return ok ? 0 : 1;
 }
 
+/// The multi-join extension: Q3/Q10 as physical plans through every
+/// engine's general executor. Each bar series is prefixed with the query
+/// name, so --json carries one series per query x engine.
+int RunMultiJoinPlan(const core::PhysicalPlan& plan, const cs::Database& db,
+                     const bwd::BwdTable& fact, const core::BwdTableMap& dims,
+                     device::Device* dev) {
+  bench::Header("Fig 10 (multi-join)", plan.name,
+                "lineitem x orders x customer physical plan, all engines");
+
+  // MonetDB baseline: single-threaded exact evaluation, pre-heated.
+  auto classic = core::ExecutePlanClassic(plan, db);
+  core::ExecutionBreakdown monetdb;
+  monetdb.host_seconds = bench::TimeSeconds(
+      [&] { classic = core::ExecutePlanClassic(plan, db); });
+  if (!classic.ok()) {
+    std::fprintf(stderr, "classic failed: %s\n",
+                 classic.status().ToString().c_str());
+    return 1;
+  }
+
+  (void)core::ExecutePlanAr(plan, fact, dims, dev);  // pre-heat
+  auto ar = core::ExecutePlanAr(plan, fact, dims, dev);
+  if (!ar.ok()) {
+    std::fprintf(stderr, "A&R failed: %s\n", ar.status().ToString().c_str());
+    return 1;
+  }
+
+  device::ResidencyCache cache(dev);
+  (void)core::ExecutePlanStreaming(plan, db, dev, &cache);  // warm hot set
+  auto streaming = core::ExecutePlanStreaming(plan, db, dev, &cache);
+  if (!streaming.ok()) {
+    std::fprintf(stderr, "streaming failed: %s\n",
+                 streaming.status().ToString().c_str());
+    return 1;
+  }
+
+  bench::PrintBars({
+      {plan.name + " / A & R", ar->breakdown},
+      {plan.name + " / MonetDB", monetdb},
+      {plan.name + " / Streaming", streaming->breakdown},
+  });
+
+  const bool ok =
+      ar->result == *classic && streaming->result == *classic;
+  std::printf("\nrows selected: %llu; groups: %llu; engines agree: %s\n",
+              static_cast<unsigned long long>(classic->selected_rows),
+              static_cast<unsigned long long>(classic->num_groups()),
+              ok ? "yes" : "NO — BUG");
+  return ok ? 0 : 1;
+}
+
+/// The same plans through the serving stack: the AdaptiveScheduler prices
+/// each plan with core::EstimatePlanCost, picks an engine, and serves it
+/// progressively (approximate first, refined exact second).
+int RunPlanServing(const std::vector<core::PhysicalPlan>& plans,
+                   const cs::Database& db, const bwd::BwdTable& fact,
+                   const core::BwdTableMap& dims, device::Device* dev) {
+  bench::Header("Fig 10 (serving)", "Q3/Q10 via AdaptiveScheduler",
+                "plan requests priced per-plan, served progressively");
+  server::QueryServer::Backend backend;
+  backend.db = &db;
+  backend.fact = &fact;
+  backend.device = dev;
+  backend.dim_tables = &dims;
+  server::SchedulerOptions opts;
+  opts.server.num_workers = 2;
+  server::AdaptiveScheduler scheduler(backend, opts);
+
+  int rc = 0;
+  for (const auto& plan : plans) {
+    auto reference = core::ExecutePlanClassic(plan, db);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "classic failed: %s\n",
+                   reference.status().ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    const server::SchedulerDecision d = scheduler.Decide(plan);
+    const double seconds = bench::TimeSeconds([&] {
+      server::ProgressiveFutures futures = scheduler.Submit("bench", plan);
+      (void)futures.approximate.get();
+      server::QueryResponse refined = futures.refined.get();
+      if (!refined.status.ok() || !(refined.result == *reference)) rc = 1;
+    });
+    const char* engine = d.engine == server::EngineKind::kAr ? "A&R"
+                         : d.engine == server::EngineKind::kClassic
+                             ? "classic"
+                             : "streaming";
+    std::printf("%-12s engine=%-9s (est A&R %.4fs, classic %.4fs, "
+                "streaming %.4fs; rule: %s)  served in %.4fs\n",
+                plan.name.c_str(), engine, d.est_ar_seconds,
+                d.est_classic_seconds, d.est_streaming_seconds, d.reason,
+                seconds);
+    bench::JsonAppend(plan.name + " / served", 0, seconds * 1e3, "ms");
+  }
+  std::printf("serving results %s\n", rc == 0 ? "verified" : "MISMATCH");
+  scheduler.Shutdown();
+  return rc;
+}
+
 int Run() {
   const double sf = bench::TpchSf();
   cs::Database db;
@@ -131,6 +234,29 @@ int Run() {
                                                  result->agg_values[0][1]));
     }
   }
+
+  // Multi-join plans (Q3, Q10): lineitem gains the resident l_orderkey FK,
+  // orders and customer are decomposed fully resident.
+  std::vector<bwd::DecomposeRequest> mj_reqs = workloads::TpchAllResident();
+  for (const auto& r : workloads::TpchMultiJoinResident()) {
+    mj_reqs.push_back(r);
+  }
+  auto fact_mj = bwd::BwdTable::Decompose(db.table("lineitem"), mj_reqs,
+                                          dev.get());
+  auto orders = bwd::BwdTable::Decompose(
+      db.table("orders"), workloads::TpchOrdersResident(), dev.get());
+  auto customer = bwd::BwdTable::Decompose(
+      db.table("customer"), workloads::TpchCustomerResident(), dev.get());
+  if (!fact_mj.ok() || !orders.ok() || !customer.ok()) {
+    std::fprintf(stderr, "multi-join decompose failed\n");
+    return 1;
+  }
+  const core::BwdTableMap dims = {{"orders", &*orders},
+                                  {"customer", &*customer}};
+  rc |= RunMultiJoinPlan(workloads::TpchQ3(), db, *fact_mj, dims, dev.get());
+  rc |= RunMultiJoinPlan(workloads::TpchQ10(), db, *fact_mj, dims, dev.get());
+  rc |= RunPlanServing({workloads::TpchQ3(), workloads::TpchQ10()}, db,
+                       *fact_mj, dims, dev.get());
   return rc;
 }
 

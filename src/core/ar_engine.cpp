@@ -153,11 +153,13 @@ ThreadPool* PhaseRPool(unsigned num_threads) {
 
 }  // namespace
 
-StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
-                                const bwd::BwdTable& fact,
-                                const bwd::BwdTable* dim,
-                                device::Device* dev,
-                                const ArOptions& options) {
+namespace detail {
+
+StatusOr<ArExecution> ExecuteArLegacy(const QuerySpec& query,
+                                      const bwd::BwdTable& fact,
+                                      const bwd::BwdTable* dim,
+                                      device::Device* dev,
+                                      const ArOptions& options) {
   // ---------- validation ---------------------------------------------------
   auto require_fact_column =
       [&](const std::string& name) -> const bwd::BwdColumn* {
@@ -870,5 +872,7 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
   exec.plan_text = plan.Render();
   return exec;
 }
+
+}  // namespace detail
 
 }  // namespace wastenot::core

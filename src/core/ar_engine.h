@@ -114,6 +114,21 @@ StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
                                 device::Device* dev,
                                 const ArOptions& options = {});
 
+namespace detail {
+
+/// The original single-join ExecuteAr body, unchanged. The public
+/// ExecuteAr (defined in plan_exec.cpp) lowers the spec into the plan
+/// algebra and dispatches lowered single-join plans straight back here,
+/// so results *and* error statuses stay bit-identical to the pre-plan
+/// engine; only genuinely multi-join plans take the general executors.
+StatusOr<ArExecution> ExecuteArLegacy(const QuerySpec& query,
+                                      const bwd::BwdTable& fact,
+                                      const bwd::BwdTable* dim,
+                                      device::Device* dev,
+                                      const ArOptions& options);
+
+}  // namespace detail
+
 }  // namespace wastenot::core
 
 #endif  // WASTENOT_CORE_AR_ENGINE_H_

@@ -44,9 +44,11 @@ StatusOr<std::vector<int64_t>> EvalTerm(const Term& term,
 
 }  // namespace
 
-StatusOr<QueryResult> ExecuteClassic(const QuerySpec& query,
-                                     const cs::Database& db,
-                                     const ClassicOptions& options) {
+namespace detail {
+
+StatusOr<QueryResult> ExecuteClassicLegacy(const QuerySpec& query,
+                                           const cs::Database& db,
+                                           const ClassicOptions& options) {
   if (!db.HasTable(query.table)) {
     return Status::NotFound("table '" + query.table + "' not found");
   }
@@ -58,6 +60,29 @@ StatusOr<QueryResult> ExecuteClassic(const QuerySpec& query,
                               "' not found");
     }
     dim = &db.table(query.join->dim_table);
+  }
+
+  // Columns the body below dereferences without checking (fk, group keys,
+  // aggregate-filter attributes) surface as a Status here rather than a
+  // failed map lookup deep inside the operators. Predicate and term
+  // columns keep their longstanding NotFound paths.
+  if (query.join.has_value() && !fact.HasColumn(query.join->fk_column)) {
+    return Status::InvalidArgument("unknown column '" + query.join->fk_column +
+                                   "' in table '" + query.table + "'");
+  }
+  for (const auto& g : query.group_by) {
+    if (!fact.HasColumn(g)) {
+      return Status::InvalidArgument("unknown column '" + g + "' in table '" +
+                                     query.table + "'");
+    }
+  }
+  for (const auto& agg : query.aggregates) {
+    if (agg.filter.has_value() && dim != nullptr &&
+        !dim->HasColumn(agg.filter->dim_column)) {
+      return Status::InvalidArgument(
+          "unknown column '" + agg.filter->dim_column + "' in table '" +
+          query.join->dim_table + "'");
+    }
   }
 
   // --- Selection chain (bulk uselect with candidate lists) ---------------
@@ -207,5 +232,7 @@ StatusOr<QueryResult> ExecuteClassic(const QuerySpec& query,
   result.SortByKeys();
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace wastenot::core

@@ -24,6 +24,18 @@ StatusOr<QueryResult> ExecuteClassic(const QuerySpec& query,
                                      const cs::Database& db,
                                      const ClassicOptions& options = {});
 
+namespace detail {
+
+/// The original single-join body. The public ExecuteClassic (defined in
+/// plan_exec.cpp) routes lowered single-join plans straight back here so
+/// results and error statuses stay bit-identical; multi-join plans take
+/// the general plan executor.
+StatusOr<QueryResult> ExecuteClassicLegacy(const QuerySpec& query,
+                                           const cs::Database& db,
+                                           const ClassicOptions& options);
+
+}  // namespace detail
+
 }  // namespace wastenot::core
 
 #endif  // WASTENOT_CORE_CLASSIC_ENGINE_H_

@@ -1,0 +1,319 @@
+#include "core/plan.h"
+
+#include <limits>
+#include <sstream>
+
+namespace wastenot::core {
+namespace {
+
+std::string RangeToString(const cs::RangePred& r) {
+  std::ostringstream os;
+  os << "[";
+  if (r.lo == std::numeric_limits<int64_t>::min()) {
+    os << "-inf";
+  } else {
+    os << r.lo;
+  }
+  os << ", ";
+  if (r.hi == std::numeric_limits<int64_t>::max()) {
+    os << "+inf";
+  } else {
+    os << r.hi;
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string RefToString(const ColumnRef& ref) {
+  return "h" + std::to_string(ref.hop) + "." + ref.column;
+}
+
+const char* ThetaOpToString(ThetaOp op) {
+  switch (op) {
+    case ThetaOp::kLess:
+      return "<";
+    case ThetaOp::kLessEqual:
+      return "<=";
+    case ThetaOp::kBandWithin:
+      return "band";
+  }
+  return "?";
+}
+
+Status UnknownColumn(const std::string& table, const std::string& column) {
+  return Status::InvalidArgument("unknown column '" + column + "' in table '" +
+                                 table + "'");
+}
+
+Status CheckColumn(const cs::Database& db, const std::string& table,
+                   const std::string& column) {
+  if (!db.table(table).HasColumn(column)) return UnknownColumn(table, column);
+  return Status::OK();
+}
+
+Status CheckTable(const cs::Database& db, const std::string& table) {
+  if (!db.HasTable(table)) {
+    return Status::InvalidArgument("unknown table '" + table + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t PhysicalPlan::num_hops() const {
+  uint32_t hops = 1;
+  for (const auto& op : ops) {
+    if (std::holds_alternative<FkJoinNode>(op)) ++hops;
+  }
+  return hops;
+}
+
+std::vector<std::string> HopTables(const PhysicalPlan& plan) {
+  std::vector<std::string> tables = {plan.scan.table};
+  for (const auto& op : plan.ops) {
+    if (const auto* join = std::get_if<FkJoinNode>(&op)) {
+      tables.push_back(join->dim_table);
+    }
+  }
+  return tables;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::ostringstream os;
+  os << "scan(" << scan.table << ")\n";
+  for (const auto& op : ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      os << "filter(h" << f->hop << "." << f->column << " in "
+         << RangeToString(f->range) << ")\n";
+    } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      os << "fkjoin(h" << j->fk_hop << "." << j->fk_column << " -> "
+         << j->dim_table << " base " << j->fk_base << ")\n";
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      os << "thetasemi(h" << t->left_hop << "." << t->left_column << " "
+         << ThetaOpToString(t->op) << " " << t->right_table << "."
+         << t->right_column;
+      if (t->op == ThetaOp::kBandWithin) os << " +-" << t->band;
+      os << ")\n";
+    } else if (const auto* p = std::get_if<ProjectNode>(&op)) {
+      os << "project(";
+      for (uint64_t i = 0; i < p->columns.size(); ++i) {
+        if (i) os << ", ";
+        os << RefToString(p->columns[i]);
+      }
+      os << ")\n";
+    }
+  }
+  os << "groupagg(keys=[";
+  for (uint64_t i = 0; i < group_agg.group_by.size(); ++i) {
+    if (i) os << ", ";
+    os << RefToString(group_agg.group_by[i]);
+  }
+  os << "], aggs=[";
+  for (uint64_t i = 0; i < group_agg.aggregates.size(); ++i) {
+    if (i) os << ", ";
+    os << group_agg.aggregates[i].label;
+  }
+  os << "])";
+  return os.str();
+}
+
+PhysicalPlan LowerToPlan(const QuerySpec& spec) {
+  PhysicalPlan plan;
+  plan.scan.table = spec.table;
+  plan.name = spec.name;
+  for (const auto& pred : spec.predicates) {
+    plan.ops.push_back(FilterNode{0, pred.column, pred.range});
+  }
+  if (spec.join) {
+    plan.ops.push_back(
+        FkJoinNode{0, spec.join->fk_column, spec.join->dim_table,
+                   spec.join->fk_base});
+  }
+  for (const auto& key : spec.group_by) {
+    plan.group_agg.group_by.push_back(ColumnRef{key, 0});
+  }
+  for (const auto& agg : spec.aggregates) {
+    PlanAggregate pa;
+    pa.func = agg.func;
+    pa.constant = agg.constant;
+    pa.label = agg.label;
+    pa.display_scale = agg.display_scale;
+    for (const auto& term : agg.terms) {
+      pa.terms.push_back(PlanTerm{
+          ColumnRef{term.column, term.from_dimension ? 1u : 0u}, term.offset,
+          term.sign});
+    }
+    if (agg.filter) {
+      pa.filter =
+          PlanFilter{ColumnRef{agg.filter->dim_column, 1}, agg.filter->range};
+    }
+    plan.group_agg.aggregates.push_back(std::move(pa));
+  }
+  return plan;
+}
+
+StatusOr<QuerySpec> PlanToSpec(const PhysicalPlan& plan) {
+  const Status general =
+      Status::Unsupported("plan does not lower to a single-join QuerySpec");
+  QuerySpec spec;
+  spec.table = plan.scan.table;
+  spec.name = plan.name;
+  bool joined = false;
+  for (const auto& op : plan.ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      // Filters after the join (or beyond hop 0) have no QuerySpec shape.
+      if (f->hop != 0 || joined) return general;
+      spec.predicates.push_back(Predicate{f->column, f->range});
+    } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      if (joined || j->fk_hop != 0) return general;
+      spec.join = JoinSpec{j->fk_column, j->dim_table, j->fk_base};
+      joined = true;
+    } else {
+      return general;  // ThetaJoinNode / ProjectNode
+    }
+  }
+  for (const auto& key : plan.group_agg.group_by) {
+    if (key.hop != 0) return general;
+    spec.group_by.push_back(key.column);
+  }
+  for (const auto& pa : plan.group_agg.aggregates) {
+    Aggregate agg;
+    agg.func = pa.func;
+    agg.constant = pa.constant;
+    agg.label = pa.label;
+    agg.display_scale = pa.display_scale;
+    for (const auto& term : pa.terms) {
+      if (term.col.hop > 1) return general;
+      agg.terms.push_back(Term{term.col.column, term.offset, term.sign,
+                               term.col.hop == 1});
+    }
+    if (pa.filter) {
+      if (pa.filter->col.hop != 1) return general;
+      agg.filter = CaseFilter{pa.filter->col.column, pa.filter->range};
+    }
+    spec.aggregates.push_back(std::move(agg));
+  }
+  return spec;
+}
+
+Status ValidateQuerySpec(const QuerySpec& spec, const cs::Database& db) {
+  WN_RETURN_IF_ERROR(CheckTable(db, spec.table));
+  for (const auto& pred : spec.predicates) {
+    WN_RETURN_IF_ERROR(CheckColumn(db, spec.table, pred.column));
+  }
+  for (const auto& key : spec.group_by) {
+    WN_RETURN_IF_ERROR(CheckColumn(db, spec.table, key));
+  }
+  if (spec.join) {
+    WN_RETURN_IF_ERROR(CheckColumn(db, spec.table, spec.join->fk_column));
+    WN_RETURN_IF_ERROR(CheckTable(db, spec.join->dim_table));
+  }
+  for (const auto& agg : spec.aggregates) {
+    // Term columns are left to the engines (NotFound with the term named).
+    if (agg.filter) {
+      if (!spec.join) {
+        return Status::InvalidArgument("aggregate filter requires a join");
+      }
+      WN_RETURN_IF_ERROR(
+          CheckColumn(db, spec.join->dim_table, agg.filter->dim_column));
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidatePlan(const PhysicalPlan& plan, const cs::Database& db) {
+  WN_RETURN_IF_ERROR(CheckTable(db, plan.scan.table));
+  std::vector<std::string> hops = {plan.scan.table};
+  auto check_ref = [&](const ColumnRef& ref) -> Status {
+    if (ref.hop >= hops.size()) {
+      return Status::InvalidArgument("column reference h" +
+                                     std::to_string(ref.hop) + "." +
+                                     ref.column + " names a hop the plan " +
+                                     "has not joined");
+    }
+    return CheckColumn(db, hops[ref.hop], ref.column);
+  };
+  for (const auto& op : plan.ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      WN_RETURN_IF_ERROR(check_ref(ColumnRef{f->column, f->hop}));
+    } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      WN_RETURN_IF_ERROR(check_ref(ColumnRef{j->fk_column, j->fk_hop}));
+      WN_RETURN_IF_ERROR(CheckTable(db, j->dim_table));
+      hops.push_back(j->dim_table);
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      WN_RETURN_IF_ERROR(check_ref(ColumnRef{t->left_column, t->left_hop}));
+      WN_RETURN_IF_ERROR(CheckTable(db, t->right_table));
+      WN_RETURN_IF_ERROR(CheckColumn(db, t->right_table, t->right_column));
+    } else if (const auto* p = std::get_if<ProjectNode>(&op)) {
+      for (const auto& ref : p->columns) WN_RETURN_IF_ERROR(check_ref(ref));
+    }
+  }
+  for (const auto& key : plan.group_agg.group_by) {
+    WN_RETURN_IF_ERROR(check_ref(key));
+  }
+  for (const auto& agg : plan.group_agg.aggregates) {
+    for (const auto& term : agg.terms) {
+      WN_RETURN_IF_ERROR(check_ref(term.col));
+    }
+    if (agg.filter) WN_RETURN_IF_ERROR(check_ref(agg.filter->col));
+  }
+  return Status::OK();
+}
+
+device::ServingEstimate EstimatePlanCost(const device::DeviceSpec& spec,
+                                         const PhysicalPlan& plan,
+                                         device::ServingWorkload w) {
+  // Base: the single-join closed form priced over the plan's hop-0 shape.
+  uint32_t hop0_filters = 0;
+  uint32_t extra_joins = 0;
+  uint32_t deep_passes = 0;  // dim filters + theta semi-join passes
+  bool joined = false;
+  for (const auto& op : plan.ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      if (f->hop == 0) {
+        ++hop0_filters;
+      } else {
+        ++deep_passes;
+      }
+    } else if (std::holds_alternative<FkJoinNode>(op)) {
+      if (joined) ++extra_joins;
+      joined = true;
+    } else if (std::holds_alternative<ThetaJoinNode>(op)) {
+      ++deep_passes;
+    }
+  }
+  w.num_predicates = hop0_filters > 0 ? hop0_filters : 1;
+  const uint32_t num_aggs =
+      static_cast<uint32_t>(plan.group_agg.aggregates.size());
+  w.num_aggregates = num_aggs > 0 ? num_aggs : 1;
+  device::ServingEstimate est = device::EstimateServingCost(spec, w);
+
+  // Node increments: each extra FkJoin gathers one oid per candidate and
+  // one packed digit per downstream touch; each dim filter / theta node is
+  // one gather-and-test pass over the candidates. A sum of node costs — on
+  // lowered single-join plans all increments are zero and the estimate
+  // equals EstimateServingCost exactly.
+  const uint64_t c = est.expected_candidates;
+  const double miss = 1.0 - w.cache_hit_rate;
+  const uint32_t passes = extra_joins + deep_passes;
+  for (uint32_t i = 0; i < passes; ++i) {
+    const uint64_t gather =
+        device::PackedReadBytes(w.device_bits, c, /*gather=*/true);
+    est.ar_seconds +=
+        device::KernelSeconds(spec, gather + c * sizeof(cs::oid_t), 0, c);
+    est.classic_seconds += static_cast<double>(c) *
+                           (sizeof(cs::oid_t) + sizeof(int32_t)) /
+                           w.host_bandwidth;
+    est.streaming_seconds +=
+        device::KernelSeconds(spec, c * 2 * sizeof(int32_t), 0, c) +
+        device::TransferSeconds(
+            spec, static_cast<uint64_t>(miss * static_cast<double>(c) *
+                                        sizeof(int32_t)));
+  }
+  // Extra joins also refine host-side: one reconstruct per candidate hop.
+  est.ar_seconds += static_cast<double>(c) * extra_joins * w.host_refine_ns *
+                    1e-9;
+  return est;
+}
+
+}  // namespace wastenot::core

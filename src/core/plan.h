@@ -1,0 +1,188 @@
+// Physical plans: composable batch operators over candidate sets.
+//
+// QuerySpec covers exactly the paper's evaluation shapes — one fact table,
+// at most one FK join. A PhysicalPlan generalizes that to an operator
+// *sequence*: a ScanNode opens the fact table, each FkJoinNode extends the
+// row with a dimension "hop", FilterNodes predicate any hop, ThetaJoinNodes
+// semi-join against a second table, and a final GroupAggNode groups and
+// aggregates over columns of any hop. Operators stay batch-oriented (the
+// paper's bulk-processing model, §II-B): every node consumes and produces
+// Candidates-style batches with per-row approximate bounds, so the same
+// plan runs under A&R (Phase-A approximate plan first, Phase-R refinement
+// after), classic, and streaming execution, single-device or sharded (see
+// plan_exec.h).
+//
+// Column references are (column, hop) pairs: hop 0 is the scanned fact
+// table, hop k (k >= 1) is the dimension introduced by the k-th FkJoinNode.
+// Because join keys are always fully device-resident (the A&R invariant),
+// dimension oids are *exact* during Phase A even across multi-hop chains —
+// approximation error never compounds through joins, only through values.
+//
+// `LowerToPlan` embeds every QuerySpec into this algebra; `PlanToSpec` is
+// its exact inverse on single-join shapes, which is how the engines keep
+// their legacy (bit-identically pinned) single-join paths while plans add
+// the multi-join generality.
+
+#ifndef WASTENOT_CORE_PLAN_H_
+#define WASTENOT_CORE_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "columnstore/database.h"
+#include "columnstore/types.h"
+#include "core/query.h"
+#include "core/theta_join.h"
+#include "device/cost_model.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// A column of one hop of the plan's row shape: hop 0 is the scanned fact
+/// table, hop k the dimension table introduced by the k-th FkJoinNode.
+struct ColumnRef {
+  std::string column;
+  uint32_t hop = 0;
+
+  static ColumnRef Fact(std::string column) {
+    return ColumnRef{std::move(column), 0};
+  }
+  static ColumnRef Dim(std::string column, uint32_t hop) {
+    return ColumnRef{std::move(column), hop};
+  }
+  bool operator==(const ColumnRef&) const = default;
+};
+
+/// Opens the fact table: the batch starts as all of its rows.
+struct ScanNode {
+  std::string table;
+};
+
+/// Keeps rows whose `column` value (at `hop`) lies in `range`. Under A&R
+/// the predicate is relaxed to digit space (hop 0) or evaluated on gathered
+/// digit bounds (hop >= 1), producing possible/certain flags.
+struct FilterNode {
+  uint32_t hop = 0;
+  std::string column;
+  cs::RangePred range;
+};
+
+/// Extends the row with a dimension hop: `fk_column` (a column of hop
+/// `fk_hop`) holds `fk_base`-offset dimension oids. FK columns must be
+/// fully device-resident, so the hop's oids are exact in both phases.
+struct FkJoinNode {
+  uint32_t fk_hop = 0;
+  std::string fk_column;
+  std::string dim_table;
+  int64_t fk_base = 0;
+};
+
+/// Semi-join filter: keeps rows whose `left_column` value (at `left_hop`)
+/// matches *some* row of `right_table.right_column` under `op` —
+/// EXISTS(SELECT 1 FROM right WHERE left <op> right). Phase A evaluates the
+/// relaxed condition against the right side's value hull; Phase R against
+/// the exact (sorted) right values.
+struct ThetaJoinNode {
+  uint32_t left_hop = 0;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+  ThetaOp op = ThetaOp::kLess;
+  int64_t band = 0;  ///< kBandWithin only
+};
+
+/// Declares the column manifest downstream nodes may touch (an optimizer
+/// marker; execution derives its own manifest and ignores extra entries).
+struct ProjectNode {
+  std::vector<ColumnRef> columns;
+};
+
+/// One multiplicative term of a plan aggregate: (offset + sign·col).
+struct PlanTerm {
+  ColumnRef col;
+  int64_t offset = 0;
+  int sign = +1;
+};
+
+/// CASE WHEN <col in range> THEN <expr> ELSE 0 gate of a plan aggregate.
+struct PlanFilter {
+  ColumnRef col;
+  cs::RangePred range;
+};
+
+/// One aggregate: func(constant · Π terms) [ FILTER (gate) ].
+struct PlanAggregate {
+  AggFunc func = AggFunc::kSum;
+  int64_t constant = 1;
+  std::vector<PlanTerm> terms;  ///< empty for count(*)
+  std::optional<PlanFilter> filter;
+  std::string label;
+  double display_scale = 1.0;
+};
+
+/// Terminal node: group by `group_by` (columns of any hop) and aggregate.
+struct GroupAggNode {
+  std::vector<ColumnRef> group_by;
+  std::vector<PlanAggregate> aggregates;
+};
+
+/// Pipeline operators between the scan and the terminal group/aggregate.
+using PlanOp = std::variant<FilterNode, FkJoinNode, ThetaJoinNode, ProjectNode>;
+
+/// A physical plan: scan -> ops (in order) -> group/aggregate.
+struct PhysicalPlan {
+  ScanNode scan;
+  std::vector<PlanOp> ops;
+  GroupAggNode group_agg;
+  std::string name;  ///< for reports ("TPC-H Q3", ...)
+
+  /// Number of hops the plan's row shape ends with (1 + #FkJoinNodes).
+  uint32_t num_hops() const;
+
+  /// One line per node, for plan_text / debugging.
+  std::string ToString() const;
+};
+
+/// Table name of each hop: [scan.table, join1.dim_table, ...].
+std::vector<std::string> HopTables(const PhysicalPlan& plan);
+
+/// Embeds a QuerySpec into the plan algebra: predicates become hop-0
+/// FilterNodes (spec order preserved — engine-side pushdown reorders, not
+/// the lowering), the optional join one FkJoinNode, group-by/aggregates the
+/// terminal GroupAggNode. Total: never fails, and `PlanToSpec` inverts it
+/// exactly (field for field), so executing a lowered plan is bit-identical
+/// to executing the spec.
+PhysicalPlan LowerToPlan(const QuerySpec& spec);
+
+/// Exact inverse of LowerToPlan on single-join plan shapes. Returns
+/// Unsupported for genuinely multi-join plans (second FkJoinNode, any
+/// ThetaJoinNode/ProjectNode, filters or group keys beyond hop 0, filters
+/// after the join) — those run the general plan executors instead.
+StatusOr<QuerySpec> PlanToSpec(const PhysicalPlan& plan);
+
+/// Checks every table/column reference of `spec` against `db` up front,
+/// returning InvalidArgument instead of letting an engine assert deep
+/// inside a column lookup. Aggregate *term* columns are left to the
+/// engines (they surface NotFound with the offending term named).
+Status ValidateQuerySpec(const QuerySpec& spec, const cs::Database& db);
+
+/// Checks `plan`'s structure (hop references in range and join-ordered)
+/// and every table/column reference against `db`; InvalidArgument on the
+/// first violation.
+Status ValidatePlan(const PhysicalPlan& plan, const cs::Database& db);
+
+/// Per-plan serving estimate: the single-join closed form priced over the
+/// plan's hop-0 shape, plus one cost increment per extra node (each extra
+/// FkJoin gathers oids + digits per candidate, each dim filter/theta node
+/// one gather-and-test pass). A sum of node costs — coarse by design, like
+/// EstimateServingCost, and equal to it on lowered single-join plans.
+device::ServingEstimate EstimatePlanCost(const device::DeviceSpec& spec,
+                                         const PhysicalPlan& plan,
+                                         device::ServingWorkload w);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_PLAN_H_

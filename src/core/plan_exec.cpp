@@ -1,0 +1,987 @@
+#include "core/plan_exec.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/select.h"
+#include "util/timer.h"
+
+namespace wastenot::core {
+
+namespace {
+
+// ---------- shared exact evaluation --------------------------------------
+//
+// One exact evaluator serves the classic general path, the streaming
+// general path and the A&R general refinement phase, so every mode agrees
+// on multi-join results by construction. Access to values goes through an
+// accessor (base columns for classic/streaming, residual reconstruction
+// for A&R), theta right sides through a sorted-values provider.
+
+using ExactGetFn = std::function<int64_t(uint32_t hop, const std::string& column,
+                                         uint64_t row)>;
+using RightValuesFn = std::function<std::vector<int64_t>(
+    const std::string& table, const std::string& column)>;
+
+/// Evaluates `plan` exactly over `initial` fact rows (all rows when null):
+/// walks the op sequence row at a time (filters reject, FK joins extend the
+/// hop-row tuple, theta nodes test EXISTS against the sorted right values),
+/// groups survivors by exact key tuple, and aggregates with the classic
+/// engine's semantics (count counts non-zero expression values, avg stores
+/// the sum, min/max report 0 for empty groups). Canonical key order.
+QueryResult EvalPlanExact(const PhysicalPlan& plan, uint64_t fact_rows,
+                          const ExactGetFn& get, const RightValuesFn& rights,
+                          const cs::OidVec* initial) {
+  std::vector<std::vector<int64_t>> theta_rights;
+  for (const PlanOp& op : plan.ops) {
+    if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      theta_rights.push_back(rights(t->right_table, t->right_column));
+    }
+  }
+
+  const uint32_t num_hops = plan.num_hops();
+  QueryResult result;
+  for (const ColumnRef& k : plan.group_agg.group_by) {
+    result.key_names.push_back(k.column);
+  }
+  for (const PlanAggregate& a : plan.group_agg.aggregates) {
+    result.agg_labels.push_back(a.label);
+  }
+
+  std::vector<uint64_t> flat_hops;  // [survivor * num_hops + hop]
+  std::vector<uint64_t> hop_rows(num_hops);
+  auto row_passes = [&](uint64_t id) -> bool {
+    hop_rows[0] = id;
+    uint32_t next_hop = 1;
+    uint64_t theta_idx = 0;
+    for (const PlanOp& op : plan.ops) {
+      if (const auto* f = std::get_if<FilterNode>(&op)) {
+        if (!f->range.Contains(get(f->hop, f->column, hop_rows[f->hop]))) {
+          return false;
+        }
+      } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+        hop_rows[next_hop++] = static_cast<uint64_t>(
+            get(j->fk_hop, j->fk_column, hop_rows[j->fk_hop]) - j->fk_base);
+      } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+        const std::vector<int64_t>& rv = theta_rights[theta_idx++];
+        if (rv.empty()) return false;
+        const int64_t v = get(t->left_hop, t->left_column, hop_rows[t->left_hop]);
+        switch (t->op) {
+          case ThetaOp::kLess:
+            if (!(v < rv.back())) return false;
+            break;
+          case ThetaOp::kLessEqual:
+            if (!(v <= rv.back())) return false;
+            break;
+          case ThetaOp::kBandWithin: {
+            auto it = std::lower_bound(rv.begin(), rv.end(), v - t->band);
+            if (it == rv.end() || *it > v + t->band) return false;
+            break;
+          }
+        }
+      }  // ProjectNode: manifest marker, nothing to evaluate.
+    }
+    return true;
+  };
+
+  uint64_t selected = 0;
+  auto consider = [&](uint64_t id) {
+    if (!row_passes(id)) return;
+    for (uint32_t h = 0; h < num_hops; ++h) flat_hops.push_back(hop_rows[h]);
+    ++selected;
+  };
+  if (initial != nullptr) {
+    for (const cs::oid_t id : *initial) consider(id);
+  } else {
+    for (uint64_t id = 0; id < fact_rows; ++id) consider(id);
+  }
+  result.selected_rows = selected;
+
+  // --- grouping by exact key tuple ---------------------------------------
+  const bool grouped = !plan.group_agg.group_by.empty();
+  std::vector<uint32_t> gids(selected, 0);
+  uint64_t num_groups = 1;
+  std::vector<std::vector<int64_t>> keys_of_group;
+  if (grouped) {
+    num_groups = 0;
+    std::map<std::vector<int64_t>, uint32_t> group_of;
+    std::vector<int64_t> key(plan.group_agg.group_by.size());
+    for (uint64_t i = 0; i < selected; ++i) {
+      for (uint64_t k = 0; k < key.size(); ++k) {
+        const ColumnRef& ref = plan.group_agg.group_by[k];
+        key[k] = get(ref.hop, ref.column, flat_hops[i * num_hops + ref.hop]);
+      }
+      auto [it, inserted] =
+          group_of.try_emplace(key, static_cast<uint32_t>(num_groups));
+      if (inserted) {
+        keys_of_group.push_back(key);
+        ++num_groups;
+      }
+      gids[i] = it->second;
+    }
+  }
+
+  result.group_counts.assign(num_groups, 0);
+  for (uint64_t i = 0; i < selected; ++i) result.group_counts[gids[i]] += 1;
+
+  // --- aggregates ---------------------------------------------------------
+  std::vector<std::vector<int64_t>> agg_columns;  // [agg][group]
+  for (const PlanAggregate& agg : plan.group_agg.aggregates) {
+    // Per-row expression value: constant * Π (offset ± col); empty = 1.
+    std::vector<int64_t> values(selected, 1);
+    for (const PlanTerm& term : agg.terms) {
+      for (uint64_t i = 0; i < selected; ++i) {
+        const int64_t v =
+            get(term.col.hop, term.col.column, flat_hops[i * num_hops + term.col.hop]);
+        values[i] *= term.sign >= 0 ? term.offset + v : term.offset - v;
+      }
+    }
+    if (agg.constant != 1) {
+      for (auto& v : values) v *= agg.constant;
+    }
+    if (agg.filter.has_value()) {
+      const ColumnRef& ref = agg.filter->col;
+      for (uint64_t i = 0; i < selected; ++i) {
+        if (!agg.filter->range.Contains(
+                get(ref.hop, ref.column, flat_hops[i * num_hops + ref.hop]))) {
+          values[i] = 0;
+        }
+      }
+    }
+
+    switch (agg.func) {
+      case AggFunc::kCount: {
+        std::vector<int64_t> counts(num_groups, 0);
+        if (agg.terms.empty() && !agg.filter.has_value()) {
+          for (uint64_t i = 0; i < selected; ++i) counts[gids[i]] += 1;
+        } else {
+          for (uint64_t i = 0; i < selected; ++i) {
+            counts[gids[i]] += values[i] != 0 ? 1 : 0;
+          }
+        }
+        agg_columns.push_back(std::move(counts));
+        break;
+      }
+      case AggFunc::kSum:
+      case AggFunc::kAvg: {
+        std::vector<int64_t> sums(num_groups, 0);
+        for (uint64_t i = 0; i < selected; ++i) sums[gids[i]] += values[i];
+        agg_columns.push_back(std::move(sums));
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        std::vector<int64_t> extrema(num_groups, 0);
+        std::vector<uint8_t> seen(num_groups, 0);
+        for (uint64_t i = 0; i < selected; ++i) {
+          const uint32_t g = gids[i];
+          if (!seen[g]) {
+            extrema[g] = values[i];
+            seen[g] = 1;
+          } else {
+            extrema[g] = agg.func == AggFunc::kMin
+                             ? std::min(extrema[g], values[i])
+                             : std::max(extrema[g], values[i]);
+          }
+        }
+        agg_columns.push_back(std::move(extrema));
+        break;
+      }
+    }
+  }
+
+  // --- materialize --------------------------------------------------------
+  result.group_keys =
+      grouped ? std::move(keys_of_group)
+              : std::vector<std::vector<int64_t>>(1);
+  result.agg_values.resize(num_groups);
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    for (const auto& col : agg_columns) result.agg_values[g].push_back(col[g]);
+  }
+  result.SortByKeys();
+  return result;
+}
+
+// ---------- general-path structural checks -------------------------------
+
+/// Hop references must name hops the plan has joined by that point (ops)
+/// or at all (group/aggregate stage) — the part of ValidatePlan that needs
+/// no catalog, shared by the A&R path (which has no cs::Database).
+Status CheckShape(const PhysicalPlan& plan) {
+  const uint32_t num_hops = plan.num_hops();
+  uint32_t have = 1;
+  auto bad = [](const std::string& col, uint32_t hop) {
+    return Status::InvalidArgument(
+        "column reference h" + std::to_string(hop) + "." + col +
+        " names a hop the plan has not joined");
+  };
+  for (const PlanOp& op : plan.ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      if (f->hop >= have) return bad(f->column, f->hop);
+    } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      if (j->fk_hop >= have) return bad(j->fk_column, j->fk_hop);
+      ++have;
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      if (t->left_hop >= have) return bad(t->left_column, t->left_hop);
+    } else if (const auto* p = std::get_if<ProjectNode>(&op)) {
+      for (const ColumnRef& c : p->columns) {
+        if (c.hop >= have) return bad(c.column, c.hop);
+      }
+    }
+  }
+  for (const ColumnRef& k : plan.group_agg.group_by) {
+    if (k.hop >= num_hops) return bad(k.column, k.hop);
+  }
+  for (const PlanAggregate& a : plan.group_agg.aggregates) {
+    for (const PlanTerm& t : a.terms) {
+      if (t.col.hop >= num_hops) return bad(t.col.column, t.col.hop);
+    }
+    if (a.filter.has_value() && a.filter->col.hop >= num_hops) {
+      return bad(a.filter->col.column, a.filter->col.hop);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------- classic general path -----------------------------------------
+
+StatusOr<QueryResult> ExecutePlanClassicGeneral(const PhysicalPlan& plan,
+                                                const cs::Database& db) {
+  WN_RETURN_IF_ERROR(ValidatePlan(plan, db));
+  std::vector<const cs::Table*> hop_tables;
+  for (const std::string& t : HopTables(plan)) hop_tables.push_back(&db.table(t));
+  const ExactGetFn get = [&](uint32_t hop, const std::string& column,
+                             uint64_t row) {
+    return hop_tables[hop]->column(column).Get(row);
+  };
+  const RightValuesFn rights = [&](const std::string& table,
+                                   const std::string& column) {
+    const cs::Column& col = db.table(table).column(column);
+    std::vector<int64_t> out(col.size());
+    for (uint64_t i = 0; i < col.size(); ++i) out[i] = col.Get(i);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  return EvalPlanExact(plan, hop_tables[0]->num_rows(), get, rights, nullptr);
+}
+
+// ---------- A&R general path ---------------------------------------------
+
+/// Resolves the plan's hop tables (hop 0 = fact) and theta right sides
+/// against the decomposed-table map, then checks every referenced column
+/// is decomposed (NotFound, the legacy engine's vocabulary), FK columns
+/// are fully device-resident (Unsupported — the A&R join invariant), and
+/// the aggregate functions are in the general path's repertoire.
+Status ResolveArPlan(const PhysicalPlan& plan, const bwd::BwdTable& fact,
+                     const BwdTableMap& dims,
+                     std::vector<const bwd::BwdTable*>* hops,
+                     std::map<std::string, const bwd::BwdTable*>* rights) {
+  hops->push_back(&fact);
+  for (const PlanOp& op : plan.ops) {
+    if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      auto it = dims.find(j->dim_table);
+      if (it == dims.end() || it->second == nullptr) {
+        return Status::InvalidArgument("plan joins table '" + j->dim_table +
+                                       "' but no decomposed table was given");
+      }
+      hops->push_back(it->second);
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      auto it = dims.find(t->right_table);
+      if (it == dims.end() || it->second == nullptr) {
+        return Status::InvalidArgument("plan references table '" +
+                                       t->right_table +
+                                       "' but no decomposed table was given");
+      }
+      (*rights)[t->right_table] = it->second;
+    }
+  }
+
+  auto check = [&](const bwd::BwdTable& table,
+                   const std::string& column) -> Status {
+    if (!table.HasColumn(column)) {
+      return Status::NotFound("column '" + column + "' is not decomposed in '" +
+                              table.name() + "'");
+    }
+    return Status::OK();
+  };
+  uint32_t hop = 1;
+  for (const PlanOp& op : plan.ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      WN_RETURN_IF_ERROR(check(*(*hops)[f->hop], f->column));
+    } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      WN_RETURN_IF_ERROR(check(*(*hops)[j->fk_hop], j->fk_column));
+      if (!(*hops)[j->fk_hop]->column(j->fk_column).spec().fully_resident()) {
+        return Status::Unsupported(
+            "join keys must be fully device-resident (never decomposed)");
+      }
+      ++hop;
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      WN_RETURN_IF_ERROR(check(*(*hops)[t->left_hop], t->left_column));
+      WN_RETURN_IF_ERROR(check(*rights->at(t->right_table), t->right_column));
+    }
+  }
+  for (const ColumnRef& k : plan.group_agg.group_by) {
+    WN_RETURN_IF_ERROR(check(*(*hops)[k.hop], k.column));
+  }
+  for (const PlanAggregate& a : plan.group_agg.aggregates) {
+    if (a.func == AggFunc::kMin || a.func == AggFunc::kMax) {
+      return Status::Unsupported(
+          "min/max aggregates are not supported in multi-join plans");
+    }
+    for (const PlanTerm& t : a.terms) {
+      WN_RETURN_IF_ERROR(check(*(*hops)[t.col.hop], t.col.column));
+    }
+    if (a.filter.has_value()) {
+      WN_RETURN_IF_ERROR(
+          check(*(*hops)[a.filter->col.hop], a.filter->col.column));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<ArExecution> ExecutePlanArGeneral(const PhysicalPlan& plan,
+                                           const bwd::BwdTable& fact,
+                                           const BwdTableMap& dims,
+                                           device::Device* dev,
+                                           const ArOptions& options) {
+  if (dev == nullptr) {
+    return Status::InvalidArgument("plan execution requires a device");
+  }
+  WN_RETURN_IF_ERROR(CheckShape(plan));
+  std::vector<const bwd::BwdTable*> hops;
+  std::map<std::string, const bwd::BwdTable*> right_tables;
+  WN_RETURN_IF_ERROR(ResolveArPlan(plan, fact, dims, &hops, &right_tables));
+
+  device::SimClock::QueryScope query_clock(&dev->clock());
+  const uint32_t num_hops = plan.num_hops();
+
+  // --- Phase A: the approximate plan over the op sequence -----------------
+  // Candidate state: fact oids, a conjoined certainty flag, and the exact
+  // dimension oid of every joined hop (exact because FK digits are fully
+  // resident — approximation error never flows through a join).
+  Candidates cands;
+  cands.ids.resize(fact.num_rows());
+  std::iota(cands.ids.begin(), cands.ids.end(), 0);
+  cands.sorted = true;
+  std::vector<uint8_t> certain(cands.size(), 1);
+  std::vector<std::vector<uint64_t>> hop_oids(1);  // [hop] (0 unused)
+
+  auto row_of = [&](uint32_t hop, uint64_t i) -> uint64_t {
+    return hop == 0 ? cands.ids[i] : hop_oids[hop][i];
+  };
+  // Drops rows with keep[i] == 0, conjoining op_certain into the flags.
+  auto compact = [&](const std::vector<uint8_t>& keep,
+                     const std::vector<uint8_t>& op_certain) {
+    cs::OidVec ids;
+    std::vector<uint8_t> cert;
+    cs::OidVec positions;
+    for (uint64_t i = 0; i < cands.size(); ++i) {
+      if (!keep[i]) continue;
+      ids.push_back(cands.ids[i]);
+      cert.push_back(certain[i] & op_certain[i]);
+      positions.push_back(static_cast<cs::oid_t>(i));
+    }
+    for (uint32_t h = 1; h < hop_oids.size(); ++h) {
+      std::vector<uint64_t> oids(positions.size());
+      for (uint64_t i = 0; i < positions.size(); ++i) {
+        oids[i] = hop_oids[h][positions[i]];
+      }
+      hop_oids[h] = std::move(oids);
+    }
+    cands.ids = std::move(ids);
+    certain = std::move(cert);
+  };
+
+  uint32_t built_hops = 1;
+  for (const PlanOp& op : plan.ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      const bwd::BwdColumn& col = hops[f->hop]->column(f->column);
+      if (f->hop == 0) {
+        // Relaxed device selection on the fact approximation; compact every
+        // aligned payload through kept_positions.
+        ApproxSelection s = SelectApproximateOn(col, f->range, cands, dev);
+        std::vector<uint8_t> cert(s.cands.size());
+        for (uint64_t i = 0; i < s.cands.size(); ++i) {
+          cert[i] = certain[s.kept_positions[i]] & s.certain[i];
+        }
+        for (uint32_t h = 1; h < hop_oids.size(); ++h) {
+          std::vector<uint64_t> oids(s.cands.size());
+          for (uint64_t i = 0; i < s.cands.size(); ++i) {
+            oids[i] = hop_oids[h][s.kept_positions[i]];
+          }
+          hop_oids[h] = std::move(oids);
+        }
+        cands = std::move(s.cands);
+        certain = std::move(cert);
+      } else {
+        // Dimension filter through gathered digits: possible rows survive,
+        // certainty requires the whole digit interval to match.
+        const RelaxedPred relaxed = RelaxPredicate(col.spec(), f->range);
+        const bwd::PackedView view = col.approximation();
+        const uint64_t n = cands.size();
+        std::vector<uint8_t> poss(n), cert(n);
+        device::KernelSignature sig;
+        sig.op = "semijoin_approximate";
+        sig.value_bits = col.spec().value_bits;
+        sig.packed_bits = col.spec().approximation_bits();
+        sig.prefix_base = col.spec().prefix_base;
+        const uint64_t attr_bytes =
+            std::max<uint64_t>((col.spec().approximation_bits() + 7) / 8, 1);
+        const uint32_t hop = f->hop;
+        dev->Launch(sig,
+                    {.elements = n,
+                     .bytes_read = n * (sizeof(cs::oid_t) + attr_bytes),
+                     .bytes_written = n * 2,
+                     .ops = 2 * n},
+                    [&](uint64_t begin, uint64_t end) {
+                      for (uint64_t i = begin; i < end; ++i) {
+                        const uint64_t digit = view.Get(hop_oids[hop][i]);
+                        poss[i] = relaxed.Matches(digit) ? 1 : 0;
+                        cert[i] = relaxed.Certain(digit) ? 1 : 0;
+                      }
+                    });
+        compact(poss, cert);
+      }
+    } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      // Exact dimension oids from the fully resident FK digits.
+      const bwd::BwdColumn& fk = hops[j->fk_hop]->column(j->fk_column);
+      const bwd::DecompositionSpec& fspec = fk.spec();
+      const bwd::PackedView view = fk.approximation();
+      const uint64_t n = cands.size();
+      std::vector<uint64_t> oids(n);
+      device::KernelSignature sig;
+      sig.op = "fkjoin_gather";
+      sig.value_bits = fspec.value_bits;
+      sig.packed_bits = fspec.approximation_bits();
+      sig.prefix_base = fspec.prefix_base;
+      const uint64_t fk_bytes =
+          std::max<uint64_t>((fspec.approximation_bits() + 7) / 8, 1);
+      const uint32_t fk_hop = j->fk_hop;
+      const int64_t fk_base = j->fk_base;
+      dev->Launch(sig,
+                  {.elements = n,
+                   .bytes_read = n * (sizeof(cs::oid_t) + fk_bytes),
+                   .bytes_written = n * sizeof(cs::oid_t),
+                   .ops = n},
+                  [&](uint64_t begin, uint64_t end) {
+                    for (uint64_t i = begin; i < end; ++i) {
+                      oids[i] = static_cast<uint64_t>(
+                          fspec.Reassemble(view.Get(row_of(fk_hop, i)), 0) -
+                          fk_base);
+                    }
+                  });
+      hop_oids.push_back(std::move(oids));
+      ++built_hops;
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      // EXISTS semi-join against the right side's value hull: the relaxed
+      // test uses the hull's outer bounds, certainty its inner bounds.
+      const bwd::BwdColumn& rc = right_tables.at(t->right_table)
+                                     ->column(t->right_column);
+      const bwd::DecompositionSpec& rspec = rc.spec();
+      const uint64_t n_r = rc.size();
+      const uint64_t n = cands.size();
+      if (n_r == 0) {
+        compact(std::vector<uint8_t>(n, 0), std::vector<uint8_t>(n, 0));
+        continue;
+      }
+      const bwd::PackedView rview = rc.approximation();
+      uint64_t min_digit = 0, max_digit = 0;
+      device::KernelSignature hull_sig;
+      hull_sig.op = "theta_hull";
+      hull_sig.value_bits = rspec.value_bits;
+      hull_sig.packed_bits = rspec.approximation_bits();
+      const uint64_t r_bytes =
+          std::max<uint64_t>((rspec.approximation_bits() + 7) / 8, 1);
+      dev->LaunchSerial(hull_sig,
+                        {.elements = n_r,
+                         .bytes_read = n_r * r_bytes,
+                         .bytes_written = 16,
+                         .ops = n_r},
+                        [&] {
+                          min_digit = max_digit = rview.Get(0);
+                          for (uint64_t i = 1; i < n_r; ++i) {
+                            const uint64_t d = rview.Get(i);
+                            min_digit = std::min(min_digit, d);
+                            max_digit = std::max(max_digit, d);
+                          }
+                        });
+      const ValueBounds rmin{rspec.LowerBound(min_digit),
+                             rspec.UpperBound(min_digit)};
+      const ValueBounds rmax{rspec.LowerBound(max_digit),
+                             rspec.UpperBound(max_digit)};
+
+      const bwd::BwdColumn& lc = hops[t->left_hop]->column(t->left_column);
+      const uint64_t l_bytes = std::max<uint64_t>(
+          (lc.spec().approximation_bits() + 7) / 8, 1);
+      std::vector<uint8_t> poss(n), cert(n);
+      device::KernelSignature sig;
+      sig.op = "thetasemi_approximate";
+      sig.value_bits = lc.spec().value_bits;
+      sig.packed_bits = lc.spec().approximation_bits();
+      const uint32_t lhop = t->left_hop;
+      const ThetaOp theta_op = t->op;
+      const int64_t band = t->band;
+      dev->Launch(sig,
+                  {.elements = n,
+                   .bytes_read = n * (sizeof(cs::oid_t) + l_bytes),
+                   .bytes_written = n * 2,
+                   .ops = 3 * n},
+                  [&](uint64_t begin, uint64_t end) {
+                    for (uint64_t i = begin; i < end; ++i) {
+                      const uint64_t row = row_of(lhop, i);
+                      const int64_t lo = lc.ApproxLowerBound(row);
+                      const int64_t hi = lc.ApproxUpperBound(row);
+                      switch (theta_op) {
+                        case ThetaOp::kLess:
+                          poss[i] = lo < rmax.hi ? 1 : 0;
+                          cert[i] = hi < rmax.lo ? 1 : 0;
+                          break;
+                        case ThetaOp::kLessEqual:
+                          poss[i] = lo <= rmax.hi ? 1 : 0;
+                          cert[i] = hi <= rmax.lo ? 1 : 0;
+                          break;
+                        case ThetaOp::kBandWithin:
+                          // Overlap with the banded hull keeps the row; the
+                          // hull may have holes, so never certain.
+                          poss[i] = (hi >= rmin.lo - band && lo <= rmax.hi + band)
+                                        ? 1
+                                        : 0;
+                          cert[i] = 0;
+                          break;
+                      }
+                    }
+                  });
+      compact(poss, cert);
+    }
+    // ProjectNode: manifest marker only.
+  }
+  (void)built_hops;
+
+  // --- pre-grouping on approximation digit tuples -------------------------
+  const auto& group_by = plan.group_agg.group_by;
+  const bool grouped = !group_by.empty();
+  const uint64_t n = cands.size();
+  std::vector<const bwd::BwdColumn*> key_cols;
+  bool keys_exact = true;
+  for (const ColumnRef& k : group_by) {
+    key_cols.push_back(&hops[k.hop]->column(k.column));
+    keys_exact = keys_exact && key_cols.back()->spec().fully_resident();
+  }
+
+  std::vector<uint32_t> gids(n, 0);
+  std::vector<uint64_t> first_pos;
+  uint64_t num_groups = 1;
+  std::vector<std::vector<uint64_t>> key_digits;  // [group][key]
+  if (grouped) {
+    // Digit-tuple grouping: gather every key's digits (device), then a
+    // hash-style assignment in first-occurrence order; charged with the
+    // exact distinct-target count once known (the Run-then-Charge pattern).
+    std::vector<std::vector<uint64_t>> digs(group_by.size(),
+                                            std::vector<uint64_t>(n));
+    uint64_t key_bytes = 0;
+    for (uint64_t k = 0; k < group_by.size(); ++k) {
+      const bwd::PackedView view = key_cols[k]->approximation();
+      const uint32_t hop = group_by[k].hop;
+      key_bytes += std::max<uint64_t>(
+          (key_cols[k]->spec().approximation_bits() + 7) / 8, 1);
+      dev->Run(n, [&](uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i) {
+          digs[k][i] = view.Get(row_of(hop, i));
+        }
+      });
+    }
+    std::map<std::vector<uint64_t>, uint32_t> gmap;
+    std::vector<uint64_t> tuple(group_by.size());
+    num_groups = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      for (uint64_t k = 0; k < tuple.size(); ++k) tuple[k] = digs[k][i];
+      auto [it, inserted] =
+          gmap.try_emplace(tuple, static_cast<uint32_t>(num_groups));
+      if (inserted) {
+        key_digits.push_back(tuple);
+        first_pos.push_back(i);
+        ++num_groups;
+      }
+      gids[i] = it->second;
+    }
+    device::KernelSignature sig;
+    sig.op = "group_approximate";
+    dev->ChargeKernel(sig, {.elements = n,
+                            .bytes_read = n * (sizeof(cs::oid_t) + key_bytes),
+                            .bytes_written = n * sizeof(uint32_t),
+                            .ops = 3 * n,
+                            .distinct_write_targets =
+                                std::max<uint64_t>(num_groups, 1)});
+  } else {
+    first_pos.push_back(0);
+  }
+
+  // --- approximate aggregation with certainty/membership gates ------------
+  uint64_t num_certain = 0;
+  for (const uint8_t c : certain) num_certain += c;
+  std::vector<int64_t> cnt_hi(num_groups, 0), cnt_lo(num_groups, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    cnt_hi[gids[i]] += 1;
+    if (certain[i]) cnt_lo[gids[i]] += 1;
+  }
+  if (!keys_exact) {
+    // Inexact key digits may split a digit group into several exact
+    // groups; only subset-sound lower ends survive.
+    std::fill(cnt_lo.begin(), cnt_lo.end(), 0);
+  }
+
+  ApproximateAnswer approx;
+  approx.row_count = {static_cast<int64_t>(num_certain),
+                      static_cast<int64_t>(n)};
+  approx.key_bounds.resize(num_groups);
+  approx.agg_bounds.resize(num_groups);
+  if (grouped) {
+    for (uint64_t g = 0; g < num_groups; ++g) {
+      for (uint64_t k = 0; k < group_by.size(); ++k) {
+        const bwd::DecompositionSpec& kspec = key_cols[k]->spec();
+        approx.key_bounds[g].push_back(
+            ValueBounds{kspec.LowerBound(key_digits[g][k]),
+                        kspec.UpperBound(key_digits[g][k])});
+      }
+    }
+  }
+
+  for (const PlanAggregate& agg : plan.group_agg.aggregates) {
+    // Per-row contribution interval to the group aggregate, computed in
+    // one device pass: term digit bounds -> affine -> interval product ->
+    // filter gate -> candidate-membership gate.
+    std::vector<const bwd::BwdColumn*> tcols;
+    uint64_t agg_bytes = sizeof(cs::oid_t);
+    for (const PlanTerm& t : agg.terms) {
+      tcols.push_back(&hops[t.col.hop]->column(t.col.column));
+      agg_bytes += std::max<uint64_t>(
+          (tcols.back()->spec().approximation_bits() + 7) / 8, 1);
+    }
+    const bwd::BwdColumn* fcol = nullptr;
+    std::optional<RelaxedPred> frelaxed;
+    if (agg.filter.has_value()) {
+      fcol = &hops[agg.filter->col.hop]->column(agg.filter->col.column);
+      frelaxed = RelaxPredicate(fcol->spec(), agg.filter->range);
+      agg_bytes +=
+          std::max<uint64_t>((fcol->spec().approximation_bits() + 7) / 8, 1);
+    }
+
+    std::vector<ValueBounds> contrib(n);   // gated sum contribution
+    std::vector<ValueBounds> value(n);     // ungated expression bounds
+    std::vector<uint8_t> gate_poss(n, 1), gate_cert(n, 1);
+    device::KernelSignature sig;
+    sig.op = "aggregate_approximate";
+    dev->Launch(
+        sig,
+        {.elements = n,
+         .bytes_read = n * agg_bytes,
+         .bytes_written = n * 2 * sizeof(int64_t),
+         .ops = n * (3 * std::max<uint64_t>(agg.terms.size(), 1) + 2)},
+        [&](uint64_t begin, uint64_t end) {
+          for (uint64_t i = begin; i < end; ++i) {
+            ValueBounds v = ValueBounds::Exact(1);
+            for (uint64_t t = 0; t < agg.terms.size(); ++t) {
+              const PlanTerm& term = agg.terms[t];
+              const uint64_t row = row_of(term.col.hop, i);
+              ValueBounds tb{tcols[t]->ApproxLowerBound(row),
+                             tcols[t]->ApproxUpperBound(row)};
+              tb = term.sign >= 0 ? tb.Shift(term.offset)
+                                  : tb.Negate().Shift(term.offset);
+              v = v * tb;
+            }
+            v = v.Scale(agg.constant);
+            value[i] = v;
+            if (fcol != nullptr) {
+              const uint64_t digit =
+                  fcol->approximation().Get(row_of(agg.filter->col.hop, i));
+              gate_poss[i] = frelaxed->Matches(digit) ? 1 : 0;
+              gate_cert[i] = frelaxed->Certain(digit) ? 1 : 0;
+            }
+            const ValueBounds gate{gate_poss[i] && gate_cert[i] ? 1 : 0,
+                                   gate_poss[i] ? 1 : 0};
+            const ValueBounds member{certain[i] ? 1 : 0, 1};
+            contrib[i] = v * gate * member;
+          }
+        });
+
+    for (uint64_t g = 0; g < num_groups; ++g) {
+      ValueBounds b{0, 0};
+      bool any = false;
+      switch (agg.func) {
+        case AggFunc::kCount: {
+          int64_t lo = 0, hi = 0;
+          for (uint64_t i = 0; i < n; ++i) {
+            if (gids[i] != g) continue;
+            const bool maybe_nonzero =
+                gate_poss[i] && !(value[i].lo == 0 && value[i].hi == 0);
+            const bool certainly_nonzero =
+                certain[i] && gate_cert[i] &&
+                (value[i].lo > 0 || value[i].hi < 0);
+            hi += maybe_nonzero ? 1 : 0;
+            lo += certainly_nonzero ? 1 : 0;
+          }
+          b = {keys_exact ? lo : 0, hi};
+          break;
+        }
+        case AggFunc::kSum: {
+          int64_t lo = 0, hi = 0;
+          for (uint64_t i = 0; i < n; ++i) {
+            if (gids[i] != g) continue;
+            lo += keys_exact ? contrib[i].lo : std::min<int64_t>(0, contrib[i].lo);
+            hi += keys_exact ? contrib[i].hi : std::max<int64_t>(0, contrib[i].hi);
+          }
+          b = {lo, hi};
+          break;
+        }
+        case AggFunc::kAvg: {
+          // The average is a convex combination of the (gated) member
+          // contributions, so their hull bounds it; a possibly empty group
+          // must admit the 0 the engines report for one.
+          for (uint64_t i = 0; i < n; ++i) {
+            if (gids[i] != g) continue;
+            b = any ? ValueBounds{std::min(b.lo, contrib[i].lo),
+                                  std::max(b.hi, contrib[i].hi)}
+                    : contrib[i];
+            any = true;
+          }
+          if (!any || cnt_lo[g] == 0) {
+            b = {std::min<int64_t>(b.lo, 0), std::max<int64_t>(b.hi, 0)};
+          }
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          break;  // rejected by ResolveArPlan
+      }
+      approx.agg_bounds[g].push_back(b);
+    }
+  }
+
+  // --- phase boundary ------------------------------------------------------
+  if (options.on_approximate) options.on_approximate(approx);
+  dev->ChargeTransfer(n * (sizeof(cs::oid_t) + 1) +
+                      (num_hops - 1) * n * sizeof(cs::oid_t));
+
+  // --- Phase R: exact host refinement over the candidates -----------------
+  WallTimer host_timer;
+  const ExactGetFn get = [&](uint32_t hop, const std::string& column,
+                             uint64_t row) {
+    return hops[hop]->column(column).Reconstruct(row);
+  };
+  const RightValuesFn rights_fn = [&](const std::string& table,
+                                      const std::string& column) {
+    const bwd::BwdColumn& c = right_tables.at(table)->column(column);
+    std::vector<int64_t> out(c.size());
+    for (uint64_t i = 0; i < out.size(); ++i) out[i] = c.Reconstruct(i);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  ArExecution exec;
+  exec.approx = std::move(approx);
+  exec.num_candidates = n;
+  exec.result = EvalPlanExact(plan, fact.num_rows(), get, rights_fn, &cands.ids);
+  exec.num_refined = exec.result.selected_rows;
+  exec.breakdown.host_seconds = host_timer.Seconds();
+  exec.breakdown.host_cpu_seconds = exec.breakdown.host_seconds;
+  exec.breakdown.device_seconds = query_clock.device_seconds();
+  exec.breakdown.bus_seconds = query_clock.bus_seconds();
+  exec.plan_text = plan.ToString();
+  return exec;
+}
+
+// ---------- streaming general path ---------------------------------------
+
+StatusOr<StreamingExecution> ExecutePlanStreamingGeneral(
+    const PhysicalPlan& plan, const cs::Database& db, device::Device* dev,
+    device::ResidencyCache* cache) {
+  WN_RETURN_IF_ERROR(ValidatePlan(plan, db));
+
+  StreamingExecution exec;
+  device::SimClock::QueryScope query_clock(&dev->clock());
+
+  // Pin every referenced column of every table (LRU-cached raw columns).
+  std::map<std::string, std::set<std::string>> inputs;
+  const std::vector<std::string> hop_tables = HopTables(plan);
+  auto add = [&](const ColumnRef& ref) {
+    inputs[hop_tables[ref.hop]].insert(ref.column);
+  };
+  for (const PlanOp& op : plan.ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      add(ColumnRef{f->column, f->hop});
+    } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      add(ColumnRef{j->fk_column, j->fk_hop});
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      add(ColumnRef{t->left_column, t->left_hop});
+      inputs[t->right_table].insert(t->right_column);
+    }
+  }
+  for (const ColumnRef& k : plan.group_agg.group_by) add(k);
+  for (const PlanAggregate& a : plan.group_agg.aggregates) {
+    for (const PlanTerm& t : a.terms) add(t.col);
+    if (a.filter.has_value()) add(a.filter->col);
+  }
+  for (const auto& [table, columns] : inputs) {
+    const cs::Table& t = db.table(table);
+    for (const std::string& column : columns) {
+      const cs::Column& col = t.column(column);
+      WN_ASSIGN_OR_RETURN(
+          device::ResidencyCache::Access access,
+          cache->Pin(table + "." + column,
+                     col.type() == cs::ValueType::kInt32
+                         ? static_cast<const void*>(col.I32().data())
+                         : static_cast<const void*>(col.I64().data()),
+                     col.byte_size()));
+      exec.bytes_transferred += access.bytes_transferred;
+      exec.cache_hits += access.hit ? 1 : 0;
+      exec.cache_misses += access.hit ? 0 : 1;
+    }
+  }
+
+  WN_ASSIGN_OR_RETURN(exec.result, ExecutePlanClassicGeneral(plan, db));
+
+  // Raw-width kernel charges, one per plan node.
+  const uint64_t n = db.table(plan.scan.table).num_rows();
+  const uint64_t selected = exec.result.selected_rows;
+  device::KernelSignature sig;
+  sig.extra = "streaming/raw";
+  bool first = true;
+  for (const PlanOp& op : plan.ops) {
+    const uint64_t in_rows = first ? n : selected;
+    if (std::holds_alternative<FilterNode>(op)) {
+      sig.op = "uselect_raw";
+      dev->ChargeKernel(sig, {.elements = in_rows,
+                              .bytes_read = in_rows * sizeof(int32_t) +
+                                            (first ? 0 : in_rows * 4),
+                              .bytes_written = selected * sizeof(cs::oid_t),
+                              .ops = in_rows});
+      first = false;
+    } else if (std::holds_alternative<FkJoinNode>(op)) {
+      sig.op = "fkjoin_raw";
+      dev->ChargeKernel(sig, {.elements = in_rows,
+                              .bytes_read = in_rows * 2 * sizeof(int32_t),
+                              .bytes_written = in_rows * sizeof(int32_t),
+                              .ops = in_rows});
+      first = false;
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      const uint64_t n_r = db.table(t->right_table).num_rows();
+      sig.op = "thetasemi_raw";
+      dev->ChargeKernel(sig,
+                        {.elements = in_rows,
+                         .bytes_read = (in_rows + n_r) * sizeof(int32_t),
+                         .bytes_written = selected * sizeof(cs::oid_t),
+                         .ops = in_rows});
+      first = false;
+    }
+  }
+  if (!plan.group_agg.group_by.empty()) {
+    sig.op = "group_raw";
+    dev->ChargeKernel(
+        sig,
+        {.elements = selected,
+         .bytes_read =
+             selected * (sizeof(int32_t) * plan.group_agg.group_by.size() + 4),
+         .bytes_written = selected * sizeof(uint32_t),
+         .ops = 3 * selected,
+         .distinct_write_targets =
+             std::max<uint64_t>(exec.result.num_groups(), 1)});
+  }
+  for (const PlanAggregate& agg : plan.group_agg.aggregates) {
+    sig.op = "aggregate_raw";
+    const uint64_t term_bytes =
+        std::max<uint64_t>(agg.terms.size(), 1) * sizeof(int32_t);
+    dev->ChargeKernel(
+        sig, {.elements = selected,
+              .bytes_read = selected * (term_bytes + sizeof(uint32_t)),
+              .bytes_written = selected * sizeof(int64_t),
+              .ops = 2 * selected,
+              .distinct_write_targets =
+                  std::max<uint64_t>(exec.result.num_groups(), 1)});
+  }
+  dev->ChargeTransfer(exec.result.num_groups() *
+                      (plan.group_agg.group_by.size() +
+                       plan.group_agg.aggregates.size()) *
+                      sizeof(int64_t));
+
+  exec.breakdown.device_seconds = query_clock.device_seconds();
+  exec.breakdown.bus_seconds = query_clock.bus_seconds();
+  return exec;
+}
+
+}  // namespace
+
+// ---------- plan executors (dispatch) ------------------------------------
+
+StatusOr<ArExecution> ExecutePlanAr(const PhysicalPlan& plan,
+                                    const bwd::BwdTable& fact,
+                                    const BwdTableMap& dims,
+                                    device::Device* dev,
+                                    const ArOptions& options) {
+  StatusOr<QuerySpec> spec = PlanToSpec(plan);
+  if (spec.ok()) {
+    const QuerySpec& query = spec.value();
+    const bwd::BwdTable* dim = nullptr;
+    if (query.join.has_value()) {
+      auto it = dims.find(query.join->dim_table);
+      if (it != dims.end()) dim = it->second;
+    }
+    return detail::ExecuteArLegacy(query, fact, dim, dev, options);
+  }
+  return ExecutePlanArGeneral(plan, fact, dims, dev, options);
+}
+
+StatusOr<QueryResult> ExecutePlanClassic(const PhysicalPlan& plan,
+                                         const cs::Database& db,
+                                         const ClassicOptions& options) {
+  StatusOr<QuerySpec> spec = PlanToSpec(plan);
+  if (spec.ok()) return detail::ExecuteClassicLegacy(spec.value(), db, options);
+  return ExecutePlanClassicGeneral(plan, db);
+}
+
+StatusOr<StreamingExecution> ExecutePlanStreaming(
+    const PhysicalPlan& plan, const cs::Database& db, device::Device* dev,
+    device::ResidencyCache* cache) {
+  StatusOr<QuerySpec> spec = PlanToSpec(plan);
+  if (spec.ok()) {
+    return detail::ExecuteStreamingLegacy(spec.value(), db, dev, cache);
+  }
+  return ExecutePlanStreamingGeneral(plan, db, dev, cache);
+}
+
+// ---------- public engine entry points -----------------------------------
+//
+// The engines' public entry points now lower through the plan layer; on
+// every QuerySpec the round trip LowerToPlan -> PlanToSpec is the identity,
+// so they dispatch straight onto the legacy bodies.
+
+StatusOr<ArExecution> ExecuteAr(const QuerySpec& query,
+                                const bwd::BwdTable& fact,
+                                const bwd::BwdTable* dim,
+                                device::Device* dev,
+                                const ArOptions& options) {
+  BwdTableMap dims;
+  if (query.join.has_value() && dim != nullptr) {
+    dims[query.join->dim_table] = dim;
+  }
+  return ExecutePlanAr(LowerToPlan(query), fact, dims, dev, options);
+}
+
+StatusOr<QueryResult> ExecuteClassic(const QuerySpec& query,
+                                     const cs::Database& db,
+                                     const ClassicOptions& options) {
+  return ExecutePlanClassic(LowerToPlan(query), db, options);
+}
+
+StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
+                                              const cs::Database& db,
+                                              device::Device* dev,
+                                              device::ResidencyCache* cache) {
+  return ExecutePlanStreaming(LowerToPlan(query), db, dev, cache);
+}
+
+}  // namespace wastenot::core

@@ -1,0 +1,74 @@
+// Plan executors: one PhysicalPlan, three execution modes.
+//
+// Each executor first tries PlanToSpec: a plan that lowers to a single-join
+// QuerySpec dispatches onto the legacy engine body (detail::Execute*Legacy),
+// which keeps results *and* error statuses bit-identical to the pre-plan
+// engines — the 16-seed identity fuzz in tests/core/plan_identity_test.cpp
+// pins exactly this. Genuinely multi-join plans (second FkJoinNode, theta
+// semi-joins, filters or group keys beyond hop 0) run the general executors
+// in this translation unit:
+//
+//   A&R general path: hop-0 approximate selections on the device, exact
+//   per-hop oid resolution through fully-resident FK digits (so error never
+//   compounds through joins), relaxed dimension filters and theta hull
+//   tests over gathered digits, digit-tuple pre-grouping, interval
+//   aggregation with certainty/membership gates — then one host refinement
+//   pass over the surviving candidates that recomputes everything exactly.
+//
+//   Classic general path: the same exact evaluation, over the base columns,
+//   starting from all fact rows.
+//
+//   Streaming general path: the classic result, with the raw-width pins,
+//   kernel charges and result download a streaming system would pay.
+//
+// The exact evaluation is ONE shared routine, so all three modes agree on
+// multi-join results by construction (and with the sharded merge, which
+// unions by exact key tuple).
+
+#ifndef WASTENOT_CORE_PLAN_EXEC_H_
+#define WASTENOT_CORE_PLAN_EXEC_H_
+
+#include <map>
+#include <string>
+
+#include "bwd/bwd_table.h"
+#include "columnstore/database.h"
+#include "core/ar_engine.h"
+#include "core/classic_engine.h"
+#include "core/plan.h"
+#include "core/streaming_engine.h"
+#include "device/residency_cache.h"
+#include "util/status.h"
+
+namespace wastenot::core {
+
+/// Decomposed side tables a plan executes against, by table name: every
+/// FkJoinNode dimension and every ThetaJoinNode right side. The scanned
+/// fact table is passed separately.
+using BwdTableMap = std::map<std::string, const bwd::BwdTable*>;
+
+/// Executes `plan` with the A&R engine (Phase-A approximate plan on the
+/// device first, Phase-R host refinement after). Single-join plans are
+/// bit-identical to ExecuteAr on the equivalent QuerySpec. In the general
+/// path min/max aggregates are Unsupported and ArOptions::num_threads has
+/// no effect (refinement runs serially); results remain deterministic.
+StatusOr<ArExecution> ExecutePlanAr(const PhysicalPlan& plan,
+                                    const bwd::BwdTable& fact,
+                                    const BwdTableMap& dims,
+                                    device::Device* dev,
+                                    const ArOptions& options = {});
+
+/// Executes `plan` with the classic CPU engine over base columns.
+StatusOr<QueryResult> ExecutePlanClassic(const PhysicalPlan& plan,
+                                         const cs::Database& db,
+                                         const ClassicOptions& options = {});
+
+/// Executes `plan` in streaming mode (exact result, raw-width charges,
+/// inputs pinned into `cache`).
+StatusOr<StreamingExecution> ExecutePlanStreaming(
+    const PhysicalPlan& plan, const cs::Database& db, device::Device* dev,
+    device::ResidencyCache* cache);
+
+}  // namespace wastenot::core
+
+#endif  // WASTENOT_CORE_PLAN_EXEC_H_

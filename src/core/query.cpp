@@ -27,19 +27,29 @@ void QueryResult::SortByKeys() {
 
 std::string QueryResult::ToString(const std::vector<Aggregate>& aggs) const {
   std::ostringstream os;
+  // Consistency check: rendering with the wrong aggregate specs would
+  // silently divide by the wrong display scales. Flag the mismatch and
+  // fall back to raw integer values for the unmatched columns.
+  if (aggs.size() != agg_labels.size()) {
+    os << "!! schema mismatch: result carries " << agg_labels.size()
+       << " aggregate label(s) but " << aggs.size()
+       << " spec(s) were given; unmatched columns render unscaled\n";
+  }
   for (const auto& k : key_names) os << k << "\t";
   for (const auto& a : agg_labels) os << a << "\t";
   os << "\n";
   for (uint64_t g = 0; g < group_keys.size(); ++g) {
     for (int64_t k : group_keys[g]) os << k << "\t";
     for (uint64_t a = 0; a < agg_values[g].size(); ++a) {
-      const Aggregate& spec = aggs[a];
       double v = static_cast<double>(agg_values[g][a]);
-      if (spec.func == AggFunc::kAvg && !group_counts.empty() &&
-          group_counts[g] > 0) {
-        v /= static_cast<double>(group_counts[g]);
+      if (a < aggs.size()) {
+        const Aggregate& spec = aggs[a];
+        if (spec.func == AggFunc::kAvg && !group_counts.empty() &&
+            group_counts[g] > 0) {
+          v /= static_cast<double>(group_counts[g]);
+        }
+        v /= spec.display_scale;
       }
-      v /= spec.display_scale;
       os << v << "\t";
     }
     os << "\n";

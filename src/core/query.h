@@ -124,11 +124,17 @@ struct QueryResult {
   void SortByKeys();
 
   /// Renders an aligned text table (display_scales applied to averages
-  /// and fixed-point sums).
+  /// and fixed-point sums). A result whose labels disagree with `aggs`
+  /// renders a loud "schema mismatch" banner instead of silently applying
+  /// the wrong scales.
   std::string ToString(const std::vector<Aggregate>& aggs) const;
 
+  /// Schema-aware equality: two results only compare equal when their
+  /// key_names and agg_labels agree too, so an engine-vs-engine comparison
+  /// of different shapes fails loudly instead of matching on values alone.
   bool operator==(const QueryResult& other) const {
-    return group_keys == other.group_keys && agg_values == other.agg_values &&
+    return key_names == other.key_names && agg_labels == other.agg_labels &&
+           group_keys == other.group_keys && agg_values == other.agg_values &&
            group_counts == other.group_counts;
   }
 };

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <variant>
 
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -35,6 +36,40 @@ bool IsExtremum(AggFunc f) {
   return f == AggFunc::kMin || f == AggFunc::kMax;
 }
 
+/// Everything the merge discipline needs to know about a query — derivable
+/// identically from a QuerySpec or a PhysicalPlan, so sharded plans merge
+/// with the same code as sharded specs.
+struct MergeShape {
+  std::vector<std::string> key_names;
+  std::vector<std::string> agg_labels;
+  std::vector<AggFunc> funcs;
+  bool grouped = false;
+};
+
+MergeShape ShapeOf(const QuerySpec& query) {
+  MergeShape shape;
+  for (const auto& name : query.group_by) shape.key_names.push_back(name);
+  for (const auto& agg : query.aggregates) {
+    shape.agg_labels.push_back(agg.label);
+    shape.funcs.push_back(agg.func);
+  }
+  shape.grouped = !query.group_by.empty();
+  return shape;
+}
+
+MergeShape ShapeOf(const PhysicalPlan& plan) {
+  MergeShape shape;
+  for (const auto& key : plan.group_agg.group_by) {
+    shape.key_names.push_back(key.column);
+  }
+  for (const auto& agg : plan.group_agg.aggregates) {
+    shape.agg_labels.push_back(agg.label);
+    shape.funcs.push_back(agg.func);
+  }
+  shape.grouped = !plan.group_agg.group_by.empty();
+  return shape;
+}
+
 /// Merges per-shard exact results into the single-device result. Both
 /// engines materialize groups by *exact* key tuple; every additive
 /// aggregate (count, sum, avg-as-sum) is an int64 sum (modular addition is
@@ -43,13 +78,13 @@ bool IsExtremum(AggFunc f) {
 /// rows (the engines report 0 for an extremum over an empty set, which the
 /// `seen` gate reproduces); the merged table is re-sorted into canonical
 /// key order. Bit-identity with the unpartitioned run is property-tested.
-QueryResult MergeExactResults(const QuerySpec& query,
+QueryResult MergeExactResults(const MergeShape& shape,
                               const std::vector<const QueryResult*>& parts) {
   QueryResult out;
-  for (const auto& name : query.group_by) out.key_names.push_back(name);
-  for (const auto& agg : query.aggregates) out.agg_labels.push_back(agg.label);
-  const bool grouped = !query.group_by.empty();
-  const uint64_t num_aggs = query.aggregates.size();
+  out.key_names = shape.key_names;
+  out.agg_labels = shape.agg_labels;
+  const bool grouped = shape.grouped;
+  const uint64_t num_aggs = shape.funcs.size();
 
   for (const QueryResult* part : parts) {
     out.selected_rows += part->selected_rows;
@@ -70,7 +105,7 @@ QueryResult MergeExactResults(const QuerySpec& query,
     }
     acc.count += part.group_counts[g];
     for (uint64_t a = 0; a < num_aggs; ++a) {
-      const AggFunc func = query.aggregates[a].func;
+      const AggFunc func = shape.funcs[a];
       const int64_t v = part.agg_values[g][a];
       if (!IsExtremum(func)) {
         acc.aggs[a] += v;
@@ -134,10 +169,11 @@ ValueBounds HullBounds(const ValueBounds& a, const ValueBounds& b) {
 /// their key-bound tuples — identical DecompositionSpecs make those a
 /// bijection of the approximation digits.
 ApproximateAnswer MergeApproxAnswers(
-    const QuerySpec& query, const std::vector<const ApproximateAnswer*>& parts) {
+    const MergeShape& shape,
+    const std::vector<const ApproximateAnswer*>& parts) {
   ApproximateAnswer out;
-  const bool grouped = !query.group_by.empty();
-  const uint64_t num_aggs = query.aggregates.size();
+  const bool grouped = shape.grouped;
+  const uint64_t num_aggs = shape.funcs.size();
 
   for (const ApproximateAnswer* part : parts) {
     out.row_count = AddBounds(out.row_count, part->row_count);
@@ -149,8 +185,8 @@ ApproximateAnswer MergeApproxAnswers(
   // symmetric for max).
   std::vector<ValueBounds> extremum(num_aggs, ValueBounds{0, 0});
   for (uint64_t a = 0; a < num_aggs; ++a) {
-    if (!IsExtremum(query.aggregates[a].func)) continue;
-    const bool is_min = query.aggregates[a].func == AggFunc::kMin;
+    if (!IsExtremum(shape.funcs[a])) continue;
+    const bool is_min = shape.funcs[a] == AggFunc::kMin;
     bool any = false, any_certain = false;
     int64_t lo = 0, hi_certain = 0, hi_fallback = 0;
     for (const ApproximateAnswer* part : parts) {
@@ -186,7 +222,7 @@ ApproximateAnswer MergeApproxAnswers(
 
   auto merge_agg = [&](uint64_t a, std::optional<ValueBounds>& acc,
                        const ValueBounds& b) {
-    const AggFunc func = query.aggregates[a].func;
+    const AggFunc func = shape.funcs[a];
     if (IsExtremum(func)) {
       acc = extremum[a];
     } else if (func == AggFunc::kAvg) {
@@ -204,7 +240,7 @@ ApproximateAnswer MergeApproxAnswers(
       if (part->num_groups() == 0) continue;
       for (uint64_t a = 0; a < num_aggs; ++a) {
         // An avg over a provably empty shard cannot move the global average.
-        if (query.aggregates[a].func == AggFunc::kAvg &&
+        if (shape.funcs[a] == AggFunc::kAvg &&
             part->row_count.hi <= 0 && acc[a].has_value()) {
           continue;
         }
@@ -265,6 +301,20 @@ cs::RangePred PartitionKeyRange(const QuerySpec& query,
   return range;
 }
 
+cs::RangePred PartitionKeyRange(const PhysicalPlan& plan,
+                                const std::string& key_column) {
+  // Only hop-0 filters constrain the scanned (partitioned) table; the
+  // conjunction is position-independent, so order in the op list is moot.
+  cs::RangePred range = cs::RangePred::All();
+  for (const PlanOp& op : plan.ops) {
+    const auto* f = std::get_if<FilterNode>(&op);
+    if (f == nullptr || f->hop != 0 || f->column != key_column) continue;
+    range.lo = std::max(range.lo, f->range.lo);
+    range.hi = std::min(range.hi, f->range.hi);
+  }
+  return range;
+}
+
 StatusOr<ShardedArExecution> ExecuteArSharded(
     const QuerySpec& query, const bwd::ShardedBwdTable& fact,
     const std::vector<bwd::BwdTable>* dim_replicas, device::DeviceGroup* group,
@@ -280,12 +330,37 @@ StatusOr<ShardedArExecution> ExecuteArSharded(
     return Status::InvalidArgument(
         "join query needs one dimension replica per group device");
   }
+  std::vector<BwdTableMap> dim_maps(group->size());
+  if (query.join.has_value()) {
+    for (uint32_t d = 0; d < group->size(); ++d) {
+      dim_maps[d][query.join->dim_table] = &(*dim_replicas)[d];
+    }
+  }
+  return ExecutePlanArSharded(LowerToPlan(query), fact, &dim_maps, group,
+                              options);
+}
+
+StatusOr<ShardedArExecution> ExecutePlanArSharded(
+    const PhysicalPlan& plan, const bwd::ShardedBwdTable& fact,
+    const std::vector<BwdTableMap>* dim_maps, device::DeviceGroup* group,
+    const ShardedArOptions& options) {
+  if (group == nullptr || group->size() == 0) {
+    return Status::InvalidArgument("ExecuteArSharded requires a DeviceGroup");
+  }
+  if (fact.num_shards() == 0) {
+    return Status::InvalidArgument("sharded table has no shards");
+  }
+  if (dim_maps != nullptr && dim_maps->size() < group->size()) {
+    return Status::InvalidArgument(
+        "plan execution needs one decomposed-table map per group device");
+  }
+  const MergeShape shape = ShapeOf(plan);
 
   WallTimer wall;
   std::vector<uint32_t> targets;
   if (options.data_local_pruning) {
     targets = bwd::TargetShards(
-        fact, PartitionKeyRange(query, fact.spec().key_column));
+        fact, PartitionKeyRange(plan, fact.spec().key_column));
   } else {
     for (uint32_t s = 0; s < fact.num_shards(); ++s) targets.push_back(s);
   }
@@ -325,11 +400,12 @@ StatusOr<ShardedArExecution> ExecuteArSharded(
 
   std::vector<std::optional<ArExecution>> runs(n);
   std::vector<Status> statuses(n, Status::OK());
+  static const BwdTableMap kNoDims;
   ParallelForItems(fan, n, [&](uint64_t i, unsigned) {
     const uint32_t s = targets[i];
     device::Device* dev = &group->device(s % group->size());
-    const bwd::BwdTable* dim =
-        dim_replicas != nullptr ? &(*dim_replicas)[s % group->size()] : nullptr;
+    const BwdTableMap& dims =
+        dim_maps != nullptr ? (*dim_maps)[s % group->size()] : kNoDims;
     ArOptions opts = shard_options;
     if (fan_in != nullptr) {
       opts.on_approximate = [&, i](const ApproximateAnswer& answer) {
@@ -343,11 +419,11 @@ StatusOr<ShardedArExecution> ExecuteArSharded(
         std::vector<const ApproximateAnswer*> parts;
         parts.reserve(n);
         for (const auto& part : fan_in->parts) parts.push_back(&*part);
-        options.on_approximate(MergeApproxAnswers(query, parts));
+        options.on_approximate(MergeApproxAnswers(shape, parts));
       };
     }
     StatusOr<ArExecution> run =
-        ExecuteAr(query, fact.shards[s], dim, dev, opts);
+        ExecutePlanAr(plan, fact.shards[s], dims, dev, opts);
     if (run.ok()) {
       runs[i] = std::move(run).value();
     } else {
@@ -373,8 +449,8 @@ StatusOr<ShardedArExecution> ExecuteArSharded(
         std::max(out.merged.breakdown.bus_seconds, run.breakdown.bus_seconds);
     out.merged.breakdown.host_cpu_seconds += run.breakdown.host_cpu_seconds;
   }
-  out.merged.result = MergeExactResults(query, results);
-  out.merged.approx = MergeApproxAnswers(query, approxes);
+  out.merged.result = MergeExactResults(shape, results);
+  out.merged.approx = MergeApproxAnswers(shape, approxes);
   out.merged.plan_text =
       "sharded A&R: " + std::to_string(n) + " of " +
       std::to_string(fact.num_shards()) + " shard(s) on " +
@@ -389,6 +465,14 @@ StatusOr<ShardedStreamingExecution> ExecuteStreamingSharded(
     const QuerySpec& query, const std::vector<cs::Database>& shard_dbs,
     device::DeviceGroup* group, const bwd::TablePartition* partition,
     unsigned fan_out_threads) {
+  return ExecutePlanStreamingSharded(LowerToPlan(query), shard_dbs, group,
+                                     partition, fan_out_threads);
+}
+
+StatusOr<ShardedStreamingExecution> ExecutePlanStreamingSharded(
+    const PhysicalPlan& plan, const std::vector<cs::Database>& shard_dbs,
+    device::DeviceGroup* group, const bwd::TablePartition* partition,
+    unsigned fan_out_threads) {
   if (group == nullptr || group->size() == 0) {
     return Status::InvalidArgument(
         "ExecuteStreamingSharded requires a DeviceGroup");
@@ -400,11 +484,12 @@ StatusOr<ShardedStreamingExecution> ExecuteStreamingSharded(
     return Status::InvalidArgument(
         "partition does not describe the shard databases");
   }
+  const MergeShape shape = ShapeOf(plan);
 
   std::vector<uint32_t> targets;
   if (partition != nullptr) {
     targets = bwd::TargetShards(
-        *partition, PartitionKeyRange(query, partition->spec.key_column));
+        *partition, PartitionKeyRange(plan, partition->spec.key_column));
   } else {
     for (uint32_t s = 0; s < shard_dbs.size(); ++s) targets.push_back(s);
   }
@@ -418,8 +503,8 @@ StatusOr<ShardedStreamingExecution> ExecuteStreamingSharded(
   ParallelForItems(fan, n, [&](uint64_t i, unsigned) {
     const uint32_t s = targets[i];
     const uint32_t d = s % group->size();
-    StatusOr<StreamingExecution> run = ExecuteStreaming(
-        query, shard_dbs[s], &group->device(d), &group->cache(d));
+    StatusOr<StreamingExecution> run = ExecutePlanStreaming(
+        plan, shard_dbs[s], &group->device(d), &group->cache(d));
     if (run.ok()) {
       runs[i] = std::move(run).value();
     } else {
@@ -446,7 +531,7 @@ StatusOr<ShardedStreamingExecution> ExecuteStreamingSharded(
     host_seconds = std::max(host_seconds, run.breakdown.host_seconds);
     out.merged.breakdown.host_cpu_seconds += run.breakdown.host_cpu_seconds;
   }
-  out.merged.result = MergeExactResults(query, results);
+  out.merged.result = MergeExactResults(shape, results);
   out.merged.breakdown.host_seconds = host_seconds + wall.Seconds();
   return out;
 }

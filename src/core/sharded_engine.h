@@ -37,6 +37,7 @@
 #include "bwd/partition.h"
 #include "columnstore/database.h"
 #include "core/ar_engine.h"
+#include "core/plan_exec.h"
 #include "core/streaming_engine.h"
 #include "device/device_group.h"
 #include "util/status.h"
@@ -91,6 +92,18 @@ StatusOr<ShardedArExecution> ExecuteArSharded(
     const std::vector<bwd::BwdTable>* dim_replicas, device::DeviceGroup* group,
     const ShardedArOptions& options = {});
 
+/// Plan analogue: executes `plan` shard-parallel. `dim_maps` (may be null
+/// for scan-only plans) holds one decomposed-table map per group device —
+/// every FkJoinNode dimension and ThetaJoinNode right side the plan
+/// references, replicated per device; shard s resolves against the map of
+/// its own device (s % group size). ExecuteArSharded lowers onto this with
+/// singleton maps, so single-join specs stay bit-identical; the merge
+/// discipline (exact key-tuple union, sound interval merge) is shared.
+StatusOr<ShardedArExecution> ExecutePlanArSharded(
+    const PhysicalPlan& plan, const bwd::ShardedBwdTable& fact,
+    const std::vector<BwdTableMap>* dim_maps, device::DeviceGroup* group,
+    const ShardedArOptions& options = {});
+
 /// A merged sharded streaming execution.
 struct ShardedStreamingExecution {
   /// Merged exact result; transfer bytes and cache hit/miss counters sum
@@ -109,10 +122,21 @@ StatusOr<ShardedStreamingExecution> ExecuteStreamingSharded(
     device::DeviceGroup* group, const bwd::TablePartition* partition = nullptr,
     unsigned fan_out_threads = 0);
 
+/// Plan analogue of ExecuteStreamingSharded (same conventions).
+StatusOr<ShardedStreamingExecution> ExecutePlanStreamingSharded(
+    const PhysicalPlan& plan, const std::vector<cs::Database>& shard_dbs,
+    device::DeviceGroup* group, const bwd::TablePartition* partition = nullptr,
+    unsigned fan_out_threads = 0);
+
 /// The conjunction of `query`'s predicates on `key_column` as one range
 /// (full-domain when the query has none) — what data-local pruning feeds
 /// to bwd::TargetShards. Exposed for the server's shard-aware dispatch.
 cs::RangePred PartitionKeyRange(const QuerySpec& query,
+                                const std::string& key_column);
+
+/// Plan overload: only hop-0 filters (on the scanned, partitioned table)
+/// participate; dimension filters cannot prune fact shards.
+cs::RangePred PartitionKeyRange(const PhysicalPlan& plan,
                                 const std::string& key_column);
 
 }  // namespace wastenot::core

@@ -32,10 +32,11 @@ InputSet CollectInputs(const QuerySpec& query) {
 
 }  // namespace
 
-StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
-                                              const cs::Database& db,
-                                              device::Device* dev,
-                                              device::ResidencyCache* cache) {
+namespace detail {
+
+StatusOr<StreamingExecution> ExecuteStreamingLegacy(
+    const QuerySpec& query, const cs::Database& db, device::Device* dev,
+    device::ResidencyCache* cache) {
   if (!db.HasTable(query.table)) {
     return Status::NotFound("table '" + query.table + "' not found");
   }
@@ -47,6 +48,25 @@ StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
                               "' not found");
     }
     dim = &db.table(query.join->dim_table);
+  }
+
+  // Every input the pin loop below dereferences must exist — pin() reads
+  // the column storage directly, so an unknown name would assert inside
+  // Table::column before ExecuteClassic could surface a Status.
+  const InputSet pre_inputs = CollectInputs(query);
+  for (const auto& c : pre_inputs.fact_columns) {
+    if (!fact.HasColumn(c)) {
+      return Status::InvalidArgument("unknown column '" + c + "' in table '" +
+                                     fact.name() + "'");
+    }
+  }
+  if (dim != nullptr) {
+    for (const auto& c : pre_inputs.dim_columns) {
+      if (!dim->HasColumn(c)) {
+        return Status::InvalidArgument("unknown column '" + c +
+                                       "' in table '" + dim->name() + "'");
+      }
+    }
   }
 
   StreamingExecution exec;
@@ -83,7 +103,7 @@ StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
   // each streaming kernel reads and writes.
   ClassicOptions copts;
   copts.threads = 1;
-  WN_ASSIGN_OR_RETURN(exec.result, ExecuteClassic(query, db, copts));
+  WN_ASSIGN_OR_RETURN(exec.result, ExecuteClassicLegacy(query, db, copts));
 
   const uint64_t n = fact.num_rows();
   const uint64_t selected = exec.result.selected_rows;
@@ -142,5 +162,7 @@ StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
   exec.breakdown.bus_seconds = query_clock.bus_seconds();
   return exec;
 }
+
+}  // namespace detail
 
 }  // namespace wastenot::core

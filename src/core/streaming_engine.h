@@ -43,6 +43,18 @@ StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
                                               device::Device* dev,
                                               device::ResidencyCache* cache);
 
+namespace detail {
+
+/// The original single-join body. The public ExecuteStreaming (defined in
+/// plan_exec.cpp) routes lowered single-join plans straight back here so
+/// results and error statuses stay bit-identical; multi-join plans take
+/// the general plan executor.
+StatusOr<StreamingExecution> ExecuteStreamingLegacy(
+    const QuerySpec& query, const cs::Database& db, device::Device* dev,
+    device::ResidencyCache* cache);
+
+}  // namespace detail
+
 }  // namespace wastenot::core
 
 #endif  // WASTENOT_CORE_STREAMING_ENGINE_H_

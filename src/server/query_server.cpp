@@ -12,14 +12,29 @@ namespace wastenot::server {
 
 namespace {
 
+/// The request's aggregate functions, whichever form it carries — what
+/// ExactAnswerBounds needs to know to treat kAvg sums correctly.
+std::vector<core::AggFunc> AggFuncsOf(const QueryRequest& request) {
+  std::vector<core::AggFunc> funcs;
+  if (request.plan.has_value()) {
+    for (const auto& a : request.plan->group_agg.aggregates) {
+      funcs.push_back(a.func);
+    }
+  } else {
+    for (const auto& a : request.query.aggregates) funcs.push_back(a.func);
+  }
+  return funcs;
+}
+
 /// The exact result as a (trivially sound) approximate answer: every
 /// interval is a point. Used to resolve the approximate future of a
 /// progressive request served by an engine with no Phase A. kAvg values
 /// store the group *sum* (see QueryResult), so their intervals come from
 /// AvgBounds over the exact sum and count — the same rounding the A&R
 /// Phase A applies, keeping progressive consumers engine-agnostic.
-core::ApproximateAnswer ExactAnswerBounds(const core::QuerySpec& query,
-                                          const core::QueryResult& result) {
+core::ApproximateAnswer ExactAnswerBounds(
+    const std::vector<core::AggFunc>& funcs,
+    const core::QueryResult& result) {
   core::ApproximateAnswer answer;
   const uint64_t groups = result.num_groups();
   answer.key_bounds.resize(groups);
@@ -32,8 +47,7 @@ core::ApproximateAnswer ExactAnswerBounds(const core::QuerySpec& query,
     answer.agg_bounds[g].reserve(result.agg_values[g].size());
     for (size_t a = 0; a < result.agg_values[g].size(); ++a) {
       const int64_t value = result.agg_values[g][a];
-      if (a < query.aggregates.size() &&
-          query.aggregates[a].func == core::AggFunc::kAvg) {
+      if (a < funcs.size() && funcs[a] == core::AggFunc::kAvg) {
         const int64_t count = g < result.group_counts.size()
                                   ? result.group_counts[g]
                                   : 0;
@@ -65,6 +79,16 @@ std::vector<uint32_t> AllShards(uint32_t n) {
   return all;
 }
 
+/// Partition-key range for shard pruning, from whichever form the request
+/// carries (plan requests prune on hop-0 filters only).
+cs::RangePred RequestKeyRange(const QueryRequest& request,
+                                const std::string& key_column) {
+  if (request.plan.has_value()) {
+    return core::PartitionKeyRange(*request.plan, key_column);
+  }
+  return core::PartitionKeyRange(request.query, key_column);
+}
+
 }  // namespace
 
 QueryServer::QueryServer(Backend backend, ServerOptions options)
@@ -92,16 +116,14 @@ std::vector<uint32_t> QueryServer::TargetShardsFor(
       }
       return bwd::TargetShards(
           *backend_.sharded_fact,
-          core::PartitionKeyRange(request.query,
-                                  backend_.sharded_fact->spec().key_column));
+          RequestKeyRange(request, backend_.sharded_fact->spec().key_column));
     case EngineKind::kStreaming:
       if (backend_.shard_dbs == nullptr) return {};
       if (backend_.sharded_fact != nullptr &&
           backend_.sharded_fact->num_shards() == n) {
         return bwd::TargetShards(
             backend_.sharded_fact->partition,
-            core::PartitionKeyRange(request.query,
-                                    backend_.sharded_fact->spec().key_column));
+            RequestKeyRange(request, backend_.sharded_fact->spec().key_column));
       }
       return AllShards(n);
     case EngineKind::kClassic:
@@ -264,7 +286,7 @@ void QueryServer::WorkerLoop(unsigned worker) {
       approx.exact_fallback = true;
       approx.latency_seconds = response.latency_seconds;
       if (response.status.ok()) {
-        approx.approx = ExactAnswerBounds(pending.request.query,
+        approx.approx = ExactAnswerBounds(AggFuncsOf(pending.request),
                                           response.result);
       }
       pending.progressive->Resolve(std::move(approx));
@@ -310,9 +332,14 @@ QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
       if (backend_.sharded_fact != nullptr && backend_.group != nullptr) {
         core::ShardedArOptions sharded_options = options_.sharded_ar_options;
         sharded_options.on_approximate = std::move(on_approximate);
-        auto exec = core::ExecuteArSharded(
-            request.query, *backend_.sharded_fact, backend_.dim_replicas,
-            backend_.group, sharded_options);
+        auto exec =
+            request.plan.has_value()
+                ? core::ExecutePlanArSharded(
+                      *request.plan, *backend_.sharded_fact, backend_.dim_maps,
+                      backend_.group, sharded_options)
+                : core::ExecuteArSharded(
+                      request.query, *backend_.sharded_fact,
+                      backend_.dim_replicas, backend_.group, sharded_options);
         response.status = exec.status();
         if (exec.ok()) {
           response.result = std::move(exec->merged.result);
@@ -327,6 +354,19 @@ QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
       }
       core::ArOptions ar_options = options_.ar_options;
       ar_options.on_approximate = std::move(on_approximate);
+      if (request.plan.has_value()) {
+        static const core::BwdTableMap kNoDims;
+        const core::BwdTableMap& dims =
+            backend_.dim_tables != nullptr ? *backend_.dim_tables : kNoDims;
+        auto exec = core::ExecutePlanAr(*request.plan, *backend_.fact, dims,
+                                        backend_.device, ar_options);
+        response.status = exec.status();
+        if (exec.ok()) {
+          response.result = std::move(exec->result);
+          response.breakdown = exec->breakdown;
+        }
+        return response;
+      }
       auto exec = core::ExecuteAr(request.query, *backend_.fact, backend_.dim,
                                   backend_.device, ar_options);
       response.status = exec.status();
@@ -343,7 +383,9 @@ QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
         return response;
       }
       WallTimer timer;
-      auto result = core::ExecuteClassic(request.query, *backend_.db);
+      auto result = request.plan.has_value()
+                        ? core::ExecutePlanClassic(*request.plan, *backend_.db)
+                        : core::ExecuteClassic(request.query, *backend_.db);
       response.status = result.status();
       if (result.ok()) {
         response.result = std::move(*result);
@@ -359,9 +401,14 @@ QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
              backend_.sharded_fact->num_shards() == backend_.shard_dbs->size())
                 ? &backend_.sharded_fact->partition
                 : nullptr;
-        auto exec = core::ExecuteStreamingSharded(
-            request.query, *backend_.shard_dbs, backend_.group, partition,
-            /*fan_out_threads=*/1);
+        auto exec =
+            request.plan.has_value()
+                ? core::ExecutePlanStreamingSharded(
+                      *request.plan, *backend_.shard_dbs, backend_.group,
+                      partition, /*fan_out_threads=*/1)
+                : core::ExecuteStreamingSharded(
+                      request.query, *backend_.shard_dbs, backend_.group,
+                      partition, /*fan_out_threads=*/1);
         response.status = exec.status();
         if (exec.ok()) {
           response.result = std::move(exec->merged.result);
@@ -374,8 +421,12 @@ QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
             "server has no streaming backend (db/device)");
         return response;
       }
-      auto exec = core::ExecuteStreaming(request.query, *backend_.db,
-                                         backend_.device, &streaming_cache_);
+      auto exec =
+          request.plan.has_value()
+              ? core::ExecutePlanStreaming(*request.plan, *backend_.db,
+                                           backend_.device, &streaming_cache_)
+              : core::ExecuteStreaming(request.query, *backend_.db,
+                                       backend_.device, &streaming_cache_);
       response.status = exec.status();
       if (exec.ok()) {
         response.result = std::move(exec->result);

@@ -24,6 +24,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -51,6 +52,11 @@ struct QueryResponse;
 struct QueryRequest {
   core::QuerySpec query;
   EngineKind engine = EngineKind::kAr;
+  /// When set, the request is a physical plan and `query` is ignored:
+  /// multi-join shapes (TPC-H Q3/Q10) that no QuerySpec expresses. Served
+  /// by the same engines through the plan executors; A&R plan requests
+  /// resolve dimension tables against Backend::dim_tables / dim_maps.
+  std::optional<core::PhysicalPlan> plan;
   /// Optional completion hook (the adaptive scheduler's per-tenant
   /// accounting, src/server/scheduler.h): invoked exactly once, immediately
   /// *before* the refined promise resolves — on the serving worker for
@@ -230,6 +236,14 @@ class QueryServer {
     const std::vector<bwd::BwdTable>* dim_replicas = nullptr;
     const std::vector<cs::Database>* shard_dbs = nullptr;
     device::DeviceGroup* group = nullptr;
+
+    /// Plan-request backends: every decomposed side table a multi-join
+    /// plan may reference, by table name (single-device kAr), and the
+    /// per-device replica maps (sharded kAr). May be null when no plan
+    /// requests join — a plan that needs a missing table fails that
+    /// request with InvalidArgument rather than the server.
+    const core::BwdTableMap* dim_tables = nullptr;
+    const std::vector<core::BwdTableMap>* dim_maps = nullptr;
   };
 
   QueryServer(Backend backend, ServerOptions options = {});

@@ -5,15 +5,18 @@
 
 namespace wastenot::server {
 
-SchedulerDecision ChooseEngine(const device::DeviceSpec& spec,
-                               device::ServingWorkload workload,
-                               const ServingSignals& signals,
-                               const PolicyOptions& policy) {
-  workload.cache_hit_rate = signals.cache_hit_rate;
+namespace {
+
+/// The decision rules shared by ChooseEngine and ChoosePlanEngine: take a
+/// priced estimate, apply the contention penalty, pick the cheapest engine,
+/// then the queue-pressure degrade rule. Keeping the rules in one place is
+/// what makes spec and plan decisions agree whenever their estimates do.
+SchedulerDecision DecideFromEstimate(const device::ServingEstimate& est,
+                                     uint32_t device_bits,
+                                     const ServingSignals& signals,
+                                     const PolicyOptions& policy) {
   SchedulerDecision decision;
-  decision.device_bits = device::ChooseDeviceBits(spec, workload);
-  const device::ServingEstimate est =
-      device::EstimateServingCost(spec, workload);
+  decision.device_bits = device_bits;
   // A busy device serves this query later and slower; the host does not.
   const double penalty =
       1.0 + policy.contention_penalty *
@@ -46,6 +49,29 @@ SchedulerDecision ChooseEngine(const device::DeviceSpec& spec,
     decision.reason = "queue pressure: degraded to classic";
   }
   return decision;
+}
+
+}  // namespace
+
+SchedulerDecision ChooseEngine(const device::DeviceSpec& spec,
+                               device::ServingWorkload workload,
+                               const ServingSignals& signals,
+                               const PolicyOptions& policy) {
+  workload.cache_hit_rate = signals.cache_hit_rate;
+  return DecideFromEstimate(device::EstimateServingCost(spec, workload),
+                            device::ChooseDeviceBits(spec, workload), signals,
+                            policy);
+}
+
+SchedulerDecision ChoosePlanEngine(const device::DeviceSpec& spec,
+                                   const core::PhysicalPlan& plan,
+                                   device::ServingWorkload workload,
+                                   const ServingSignals& signals,
+                                   const PolicyOptions& policy) {
+  workload.cache_hit_rate = signals.cache_hit_rate;
+  return DecideFromEstimate(core::EstimatePlanCost(spec, plan, workload),
+                            device::ChooseDeviceBits(spec, workload), signals,
+                            policy);
 }
 
 AdaptiveScheduler::AdaptiveScheduler(QueryServer::Backend backend,
@@ -110,11 +136,8 @@ void AdaptiveScheduler::ResolveCancelled(Entry&& entry, Status status) {
   entry.refined.set_value(std::move(response));
 }
 
-bool AdaptiveScheduler::EnqueueTenant(const std::string& name,
-                                      core::QuerySpec&& query, bool blocking,
-                                      ProgressiveFutures* out) {
-  Entry entry;
-  entry.query = std::move(query);
+bool AdaptiveScheduler::EnqueueTenant(const std::string& name, Entry&& entry,
+                                      bool blocking, ProgressiveFutures* out) {
   entry.progressive = std::make_shared<ProgressiveState>();
   ProgressiveFutures futures;
   futures.approximate = entry.progressive->promise.get_future();
@@ -158,19 +181,65 @@ bool AdaptiveScheduler::EnqueueTenant(const std::string& name,
 
 ProgressiveFutures AdaptiveScheduler::Submit(const std::string& tenant,
                                              core::QuerySpec query) {
+  Entry entry;
+  entry.query = std::move(query);
   ProgressiveFutures futures;
-  EnqueueTenant(tenant, std::move(query), /*blocking=*/true, &futures);
+  EnqueueTenant(tenant, std::move(entry), /*blocking=*/true, &futures);
+  return futures;
+}
+
+ProgressiveFutures AdaptiveScheduler::Submit(const std::string& tenant,
+                                             core::PhysicalPlan plan) {
+  Entry entry;
+  entry.plan = std::move(plan);
+  ProgressiveFutures futures;
+  EnqueueTenant(tenant, std::move(entry), /*blocking=*/true, &futures);
   return futures;
 }
 
 bool AdaptiveScheduler::TrySubmit(const std::string& tenant,
                                   core::QuerySpec query,
                                   ProgressiveFutures* out) {
-  return EnqueueTenant(tenant, std::move(query), /*blocking=*/false, out);
+  Entry entry;
+  entry.query = std::move(query);
+  return EnqueueTenant(tenant, std::move(entry), /*blocking=*/false, out);
+}
+
+bool AdaptiveScheduler::TrySubmit(const std::string& tenant,
+                                  core::PhysicalPlan plan,
+                                  ProgressiveFutures* out) {
+  Entry entry;
+  entry.plan = std::move(plan);
+  return EnqueueTenant(tenant, std::move(entry), /*blocking=*/false, out);
 }
 
 device::ServingWorkload AdaptiveScheduler::EstimateWorkload(
     const core::QuerySpec& query) const {
+  std::vector<std::pair<std::string, cs::RangePred>> preds;
+  preds.reserve(query.predicates.size());
+  for (const core::Predicate& pred : query.predicates) {
+    preds.emplace_back(pred.column, pred.range);
+  }
+  return EstimateWorkloadFromShape(preds, query.aggregates.size());
+}
+
+device::ServingWorkload AdaptiveScheduler::EstimateWorkload(
+    const core::PhysicalPlan& plan) const {
+  // Hop-0 filters stand in for the predicates — they are what the Phase-A
+  // scan over the fact table prices; deeper filters and extra joins are
+  // EstimatePlanCost's per-node increments, not part of the base shape.
+  std::vector<std::pair<std::string, cs::RangePred>> preds;
+  for (const auto& op : plan.ops) {
+    if (const auto* f = std::get_if<core::FilterNode>(&op)) {
+      if (f->hop == 0) preds.emplace_back(f->column, f->range);
+    }
+  }
+  return EstimateWorkloadFromShape(preds, plan.group_agg.aggregates.size());
+}
+
+device::ServingWorkload AdaptiveScheduler::EstimateWorkloadFromShape(
+    const std::vector<std::pair<std::string, cs::RangePred>>& preds,
+    size_t num_aggregates) const {
   device::ServingWorkload w = options_.workload;
   const bwd::BwdTable* fact = backend_.fact;
   if (backend_.sharded_fact != nullptr &&
@@ -182,19 +251,18 @@ device::ServingWorkload AdaptiveScheduler::EstimateWorkload(
   } else if (fact != nullptr) {
     w.rows = fact->num_rows();
   }
-  w.num_predicates =
-      static_cast<uint32_t>(std::max<size_t>(1, query.predicates.size()));
+  w.num_predicates = static_cast<uint32_t>(std::max<size_t>(1, preds.size()));
   w.num_aggregates =
-      static_cast<uint32_t>(std::max<size_t>(1, query.aggregates.size()));
+      static_cast<uint32_t>(std::max<size_t>(1, num_aggregates));
   if (fact == nullptr) return w;  // ServingWorkload defaults stand in
 
   double selectivity = 1.0;
   uint32_t value_bits = 0;
   uint32_t device_bits = 64;
   bool any = false;
-  for (const core::Predicate& pred : query.predicates) {
-    if (!fact->HasColumn(pred.column)) continue;
-    const bwd::DecompositionSpec& spec = fact->column(pred.column).spec();
+  for (const auto& [column, range] : preds) {
+    if (!fact->HasColumn(column)) continue;
+    const bwd::DecompositionSpec& spec = fact->column(column).spec();
     any = true;
     value_bits = std::max(value_bits, spec.value_bits);
     device_bits = std::min(device_bits, spec.approximation_bits());
@@ -206,9 +274,9 @@ device::ServingWorkload AdaptiveScheduler::EstimateWorkload(
         std::ldexp(1.0, static_cast<int>(std::min<uint32_t>(
                         std::max<uint32_t>(spec.value_bits, 1), 62)));
     const double base = static_cast<double>(spec.prefix_base);
-    const double lo = std::max(static_cast<double>(pred.range.lo), base);
+    const double lo = std::max(static_cast<double>(range.lo), base);
     const double hi =
-        std::min(static_cast<double>(pred.range.hi), base + domain - 1.0);
+        std::min(static_cast<double>(range.hi), base + domain - 1.0);
     const double width = std::clamp(hi - lo + 1.0, 0.0, domain);
     selectivity *= width / domain;
   }
@@ -292,6 +360,11 @@ SchedulerDecision AdaptiveScheduler::Decide(const core::QuerySpec& query) {
                       SampleSignals(), options_.policy);
 }
 
+SchedulerDecision AdaptiveScheduler::Decide(const core::PhysicalPlan& plan) {
+  return ChoosePlanEngine(SpecOf(backend_), plan, EstimateWorkload(plan),
+                          SampleSignals(), options_.policy);
+}
+
 void AdaptiveScheduler::DispatchLoop() {
   for (;;) {
     Entry entry;
@@ -333,8 +406,12 @@ void AdaptiveScheduler::DispatchLoop() {
     }
 
     SchedulerDecision decision =
-        ChooseEngine(SpecOf(backend_), EstimateWorkload(entry.query),
-                     SampleSignals(), options_.policy);
+        entry.plan.has_value()
+            ? ChoosePlanEngine(SpecOf(backend_), *entry.plan,
+                               EstimateWorkload(*entry.plan), SampleSignals(),
+                               options_.policy)
+            : ChooseEngine(SpecOf(backend_), EstimateWorkload(entry.query),
+                           SampleSignals(), options_.policy);
     if (tenant_degrade && decision.engine != EngineKind::kClassic) {
       decision.engine = EngineKind::kClassic;
       decision.degraded = true;
@@ -343,6 +420,7 @@ void AdaptiveScheduler::DispatchLoop() {
 
     QueryRequest request;
     request.query = std::move(entry.query);
+    request.plan = std::move(entry.plan);
     request.engine = decision.engine;
     request.on_complete = [this, name](const QueryResponse&) {
       std::lock_guard<std::mutex> lock(mu_);

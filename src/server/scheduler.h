@@ -35,10 +35,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
+#include "core/plan.h"
 #include "core/query.h"
 #include "device/cost_model.h"
 #include "server/query_server.h"
@@ -104,6 +107,17 @@ SchedulerDecision ChooseEngine(const device::DeviceSpec& spec,
                                const ServingSignals& signals,
                                const PolicyOptions& policy = {});
 
+/// ChooseEngine for a physical plan: identical decision rules, but priced
+/// by core::EstimatePlanCost (the per-node plan estimate) instead of the
+/// single-join closed form. On lowered single-join plans the two estimates
+/// are equal, so the decisions agree; multi-join plans pay their extra
+/// join/filter passes in every engine's estimate.
+SchedulerDecision ChoosePlanEngine(const device::DeviceSpec& spec,
+                                   const core::PhysicalPlan& plan,
+                                   device::ServingWorkload workload,
+                                   const ServingSignals& signals,
+                                   const PolicyOptions& policy = {});
+
 /// Scheduler construction knobs.
 struct SchedulerOptions {
   ServerOptions server;  ///< inner QueryServer knobs
@@ -166,16 +180,26 @@ class AdaptiveScheduler {
   /// at its outstanding-work budget (backpressure). Both returned futures
   /// always resolve — on success, error and shutdown alike.
   ProgressiveFutures Submit(const std::string& tenant, core::QuerySpec query);
+  /// Physical-plan admission: the dispatcher prices the plan with
+  /// ChoosePlanEngine and forwards it as a plan request (QueryRequest::plan).
+  ProgressiveFutures Submit(const std::string& tenant,
+                            core::PhysicalPlan plan);
 
   /// Non-blocking admission: returns false (leaving `out` untouched) when
   /// the tenant is at its budget or the scheduler is shut down.
   bool TrySubmit(const std::string& tenant, core::QuerySpec query,
+                 ProgressiveFutures* out);
+  bool TrySubmit(const std::string& tenant, core::PhysicalPlan plan,
                  ProgressiveFutures* out);
 
   /// The workload shape the policy would price for `query`, derived from
   /// the backend's resident tables (rows, decomposed widths, predicate
   /// selectivity). Exposed for tests and benchmarks.
   device::ServingWorkload EstimateWorkload(const core::QuerySpec& query) const;
+  /// Same derivation for a plan: hop-0 filters stand in for the predicates
+  /// (deeper filters are priced by EstimatePlanCost's node increments).
+  device::ServingWorkload EstimateWorkload(
+      const core::PhysicalPlan& plan) const;
 
   /// Samples the live signals (queue fill, cache hit rate, device
   /// contention since the previous sample).
@@ -184,6 +208,7 @@ class AdaptiveScheduler {
   /// The decision the policy would make for `query` right now — the same
   /// function dispatch applies, minus the tenant-budget degrade rule.
   SchedulerDecision Decide(const core::QuerySpec& query);
+  SchedulerDecision Decide(const core::PhysicalPlan& plan);
 
   /// Stops admission, cancels queued entries (both futures of each
   /// resolve), shuts the server down, joins the dispatcher. Idempotent.
@@ -196,6 +221,7 @@ class AdaptiveScheduler {
   /// One accepted submission waiting for dispatch.
   struct Entry {
     core::QuerySpec query;
+    std::optional<core::PhysicalPlan> plan;  ///< plan submissions only
     std::promise<QueryResponse> refined;
     std::shared_ptr<ProgressiveState> progressive;
     double vtag = 0;  ///< WFQ virtual finish tag (stamped at admission)
@@ -211,10 +237,16 @@ class AdaptiveScheduler {
     uint64_t in_flight() const { return entries.size() + outstanding; }
   };
 
+  /// Shared derivation behind both EstimateWorkload overloads: prices the
+  /// given fact-table predicate shape against the backend's resident tables.
+  device::ServingWorkload EstimateWorkloadFromShape(
+      const std::vector<std::pair<std::string, cs::RangePred>>& preds,
+      size_t num_aggregates) const;
+
   Tenant& TenantLocked(const std::string& name);
   uint64_t BudgetLocked(const Tenant& tenant) const;
-  bool EnqueueTenant(const std::string& name, core::QuerySpec&& query,
-                     bool blocking, ProgressiveFutures* out);
+  bool EnqueueTenant(const std::string& name, Entry&& entry, bool blocking,
+                     ProgressiveFutures* out);
   void DispatchLoop();
   /// Resolves both of `entry`'s futures with `status` (shutdown paths).
   static void ResolveCancelled(Entry&& entry, Status status);

@@ -38,6 +38,18 @@ int64_t RetailPriceCents(uint64_t partkey) {
 
 const int64_t kReceiptCutoff = DateToDays(1995, 6, 17);
 
+// c_mktsegment values (spec 4.2.2.13), pre-sorted so dictionary codes are
+// positional: AUTOMOBILE=0, BUILDING=1, FURNITURE=2, HOUSEHOLD=3,
+// MACHINERY=4 (TpchQ3 relies on BUILDING=1 the same way the generator
+// relies on the A/N/R returnflag codes).
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD",
+                           "MACHINERY"};
+
+/// Lines per order: dbgen draws 1..7, fixed at 4 here so l_orderkey is a
+/// pure function of the row id (no draw — the lineitem RNG sequence
+/// predates orders and must not move).
+constexpr uint64_t kLinesPerOrder = 4;
+
 }  // namespace
 
 int64_t DateToDays(int year, int month, int day) {
@@ -84,11 +96,16 @@ uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db) {
     db->AddTable(std::move(part));
   }
 
+  const uint64_t num_orders = (num_lines + kLinesPerOrder - 1) / kLinesPerOrder;
+  const uint64_t num_customers = std::max<uint64_t>(
+      32, static_cast<uint64_t>(150'000.0 * sf));
+
   // ---- lineitem -------------------------------------------------------------
   {
-    std::vector<int32_t> partkey(num_lines), quantity(num_lines),
-        extendedprice(num_lines), discount(num_lines), tax(num_lines),
-        shipdate(num_lines), returnflag(num_lines), linestatus(num_lines);
+    std::vector<int32_t> orderkey(num_lines), partkey(num_lines),
+        quantity(num_lines), extendedprice(num_lines), discount(num_lines),
+        tax(num_lines), shipdate(num_lines), returnflag(num_lines),
+        linestatus(num_lines);
 
     const int64_t order_lo = DateToDays(1992, 1, 1);
     const int64_t order_hi = DateToDays(1998, 8, 2);  // ENDDATE - 151 days
@@ -96,6 +113,7 @@ uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db) {
     ParallelFor(num_lines, [&](uint64_t begin, uint64_t end) {
       Xoshiro256 rng(seed ^ Mix64(begin));
       for (uint64_t i = begin; i < end; ++i) {
+        orderkey[i] = static_cast<int32_t>(i / kLinesPerOrder + 1);
         const uint64_t pk = 1 + rng.Below(num_parts);
         const int64_t qty = 1 + static_cast<int64_t>(rng.Below(50));
         partkey[i] = static_cast<int32_t>(pk);
@@ -126,6 +144,7 @@ uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db) {
       col.ComputeStats();
       (void)lineitem.AddColumn(name, std::move(col));
     };
+    add("l_orderkey", orderkey);
     add("l_partkey", partkey);
     add("l_quantity", quantity);
     add("l_extendedprice", extendedprice);
@@ -138,6 +157,68 @@ uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db) {
         "l_returnflag", cs::Dictionary::Build({"A", "N", "R"}));
     lineitem.AttachDictionary("l_linestatus", cs::Dictionary::Build({"F", "O"}));
     db->AddTable(std::move(lineitem));
+  }
+
+  // ---- orders ---------------------------------------------------------------
+  // A fresh seed stream: the lineitem and part draw sequences above are
+  // pinned by tests and must not move when tables are added. o_orderdate is
+  // drawn independently of the lineitem dates (the plans never correlate
+  // the two, only join on the key).
+  {
+    std::vector<int32_t> orderdate(num_orders), custkey(num_orders),
+        shippriority(num_orders);
+    const int64_t order_lo = DateToDays(1992, 1, 1);
+    const int64_t order_hi = DateToDays(1998, 8, 2);
+    ParallelFor(num_orders, [&](uint64_t begin, uint64_t end) {
+      Xoshiro256 rng(seed ^ 0x6f7264657273ULL ^ Mix64(begin));  // "orders"
+      for (uint64_t i = begin; i < end; ++i) {
+        orderdate[i] = static_cast<int32_t>(
+            order_lo + static_cast<int64_t>(rng.Below(
+                           static_cast<uint64_t>(order_hi - order_lo))));
+        custkey[i] = static_cast<int32_t>(1 + rng.Below(num_customers));
+        shippriority[i] = 0;  // spec 4.2.3: constant
+      }
+    });
+    cs::Table orders("orders");
+    auto add = [&orders](const char* name, std::vector<int32_t>& v) {
+      cs::Column col = cs::Column::FromI32(v);
+      col.ComputeStats();
+      (void)orders.AddColumn(name, std::move(col));
+    };
+    add("o_orderdate", orderdate);
+    add("o_custkey", custkey);
+    add("o_shippriority", shippriority);
+    db->AddTable(std::move(orders));
+  }
+
+  // ---- customer -------------------------------------------------------------
+  {
+    std::vector<int32_t> mktsegment(num_customers), nationkey(num_customers),
+        acctbal(num_customers);
+    ParallelFor(num_customers, [&](uint64_t begin, uint64_t end) {
+      Xoshiro256 rng(seed ^ 0x63757374ULL ^ Mix64(begin));  // "cust"
+      for (uint64_t i = begin; i < end; ++i) {
+        mktsegment[i] = static_cast<int32_t>(rng.Below(5));
+        nationkey[i] = static_cast<int32_t>(rng.Below(25));
+        // -999.99 .. 9999.99, cents.
+        acctbal[i] = static_cast<int32_t>(
+            -99'999 + static_cast<int64_t>(rng.Below(1'100'000)));
+      }
+    });
+    cs::Table customer("customer");
+    auto add = [&customer](const char* name, std::vector<int32_t>& v) {
+      cs::Column col = cs::Column::FromI32(v);
+      col.ComputeStats();
+      (void)customer.AddColumn(name, std::move(col));
+    };
+    add("c_mktsegment", mktsegment);
+    add("c_nationkey", nationkey);
+    add("c_acctbal", acctbal);
+    customer.AttachDictionary(
+        "c_mktsegment",
+        cs::Dictionary::Build(
+            std::vector<std::string>(std::begin(kSegments), std::end(kSegments))));
+    db->AddTable(std::move(customer));
   }
   return num_parts;
 }
@@ -253,6 +334,61 @@ core::QuerySpec TpchQ14() {
   return q;
 }
 
+core::PhysicalPlan TpchQ3() {
+  using core::ColumnRef;
+  core::PhysicalPlan plan;
+  plan.name = "TPC-H Q3";
+  plan.scan = core::ScanNode{"lineitem"};
+  const int64_t date = DateToDays(1995, 3, 15);
+  plan.ops.push_back(core::FilterNode{0, "l_shipdate", cs::RangePred::Gt(date)});
+  plan.ops.push_back(core::FkJoinNode{0, "l_orderkey", "orders", 1});
+  plan.ops.push_back(
+      core::FilterNode{1, "o_orderdate", cs::RangePred::Lt(date)});
+  plan.ops.push_back(core::FkJoinNode{1, "o_custkey", "customer", 1});
+  plan.ops.push_back(core::FilterNode{
+      2, "c_mktsegment", cs::RangePred::Eq(1)});  // BUILDING (see kSegments)
+  plan.group_agg.group_by = {ColumnRef{"l_orderkey", 0},
+                             ColumnRef{"o_orderdate", 1},
+                             ColumnRef{"o_shippriority", 1}};
+  core::PlanAggregate revenue;
+  revenue.func = core::AggFunc::kSum;
+  revenue.terms = {core::PlanTerm{ColumnRef{"l_extendedprice", 0}, 0, +1},
+                   core::PlanTerm{ColumnRef{"l_discount", 0}, 100, -1}};
+  revenue.label = "revenue";
+  revenue.display_scale = 1e4;  // cents * hundredths
+  plan.group_agg.aggregates.push_back(revenue);
+  return plan;
+}
+
+core::PhysicalPlan TpchQ10() {
+  using core::ColumnRef;
+  core::PhysicalPlan plan;
+  plan.name = "TPC-H Q10";
+  plan.scan = core::ScanNode{"lineitem"};
+  plan.ops.push_back(
+      core::FilterNode{0, "l_returnflag", cs::RangePred::Eq(2)});  // "R"
+  plan.ops.push_back(core::FkJoinNode{0, "l_orderkey", "orders", 1});
+  plan.ops.push_back(core::FilterNode{
+      1, "o_orderdate",
+      cs::RangePred::Between(DateToDays(1993, 10, 1),
+                             DateToDays(1994, 1, 1) - 1)});
+  plan.ops.push_back(core::FkJoinNode{1, "o_custkey", "customer", 1});
+  plan.group_agg.group_by = {ColumnRef{"o_custkey", 1},
+                             ColumnRef{"c_nationkey", 2}};
+  core::PlanAggregate revenue;
+  revenue.func = core::AggFunc::kSum;
+  revenue.terms = {core::PlanTerm{ColumnRef{"l_extendedprice", 0}, 0, +1},
+                   core::PlanTerm{ColumnRef{"l_discount", 0}, 100, -1}};
+  revenue.label = "revenue";
+  revenue.display_scale = 1e4;
+  plan.group_agg.aggregates.push_back(revenue);
+  core::PlanAggregate lines;
+  lines.func = core::AggFunc::kCount;
+  lines.label = "line_count";
+  plan.group_agg.aggregates.push_back(lines);
+  return plan;
+}
+
 std::vector<bwd::DecomposeRequest> TpchAllResident() {
   using bwd::Compression;
   return {
@@ -280,6 +416,32 @@ std::vector<bwd::DecomposeRequest> TpchPartResident() {
   return {
       {"p_type", 32, Compression::kBitPacked},
       {"p_retailprice", 32, Compression::kBitPacked},
+  };
+}
+
+std::vector<bwd::DecomposeRequest> TpchMultiJoinResident() {
+  using bwd::Compression;
+  // The l_orderkey FK must be fully device-resident (the A&R join-key
+  // invariant); kept out of TpchAllResident so the single-join experiments'
+  // device footprint is unchanged.
+  return {{"l_orderkey", 32, Compression::kBitPacked}};
+}
+
+std::vector<bwd::DecomposeRequest> TpchOrdersResident() {
+  using bwd::Compression;
+  return {
+      {"o_orderdate", 32, Compression::kBitPacked},
+      {"o_custkey", 32, Compression::kBitPacked},
+      {"o_shippriority", 32, Compression::kBitPacked},
+  };
+}
+
+std::vector<bwd::DecomposeRequest> TpchCustomerResident() {
+  using bwd::Compression;
+  return {
+      {"c_mktsegment", 32, Compression::kBitPacked},
+      {"c_nationkey", 32, Compression::kBitPacked},
+      {"c_acctbal", 32, Compression::kBitPacked},
   };
 }
 

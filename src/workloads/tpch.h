@@ -28,6 +28,7 @@
 
 #include "bwd/bwd_table.h"
 #include "columnstore/database.h"
+#include "core/plan.h"
 #include "core/query.h"
 
 namespace wastenot::workloads {
@@ -35,18 +36,33 @@ namespace wastenot::workloads {
 /// Days since 1992-01-01 for a YYYY-MM-DD date (proleptic Gregorian).
 int64_t DateToDays(int year, int month, int day);
 
-/// Rows per scale factor (spec: SF * 6M lineitems, SF * 200k parts).
+/// Rows per scale factor (spec: SF * 6M lineitems, SF * 200k parts,
+/// SF * 150k customers; orders = lineitems / 4).
 inline constexpr uint64_t kLineitemPerSf = 6'000'000;
 inline constexpr uint64_t kPartPerSf = 200'000;
+inline constexpr uint64_t kCustomerPerSf = 150'000;
 
-/// Generates both tables into `db` at scale factor `sf` (fractional SFs
-/// supported for smoke tests). Returns the part count (fk domain).
+/// Generates `lineitem`, `part`, `orders` and `customer` into `db` at
+/// scale factor `sf` (fractional SFs supported for smoke tests). Returns
+/// the part count (fk domain). l_orderkey is a dense FK into orders
+/// (4 lines per order, keys start at 1), o_custkey a uniform FK into
+/// customer; the new tables draw from their own seed streams, so the
+/// lineitem/part value sequences are unchanged from earlier versions.
 uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db);
 
 /// Query builders (fixed-point constants per the spec).
 core::QuerySpec TpchQ1();
 core::QuerySpec TpchQ6();
 core::QuerySpec TpchQ14();
+
+/// Multi-join physical plans (no single-join QuerySpec lowering exists for
+/// these — they exercise the general plan executors in every engine).
+/// Q3: shipping-priority revenue — lineitem ⋈ orders ⋈ customer, filters on
+/// all three hops, grouped by (l_orderkey, o_orderdate, o_shippriority).
+core::PhysicalPlan TpchQ3();
+/// Q10: returned-item revenue — same join spine, grouped by
+/// (o_custkey, c_nationkey) with a revenue sum and a line count.
+core::PhysicalPlan TpchQ10();
 
 /// Q6 with the shipdate year rotated by `variant` (1993..1997) — the
 /// selectivity-varied per-iteration query of the throughput experiments
@@ -61,6 +77,14 @@ std::vector<bwd::DecomposeRequest> TpchAllResident();
 std::vector<bwd::DecomposeRequest> TpchSpaceConstrained();
 /// Part-side columns (always resident: p_type is 150 values / 8 bits).
 std::vector<bwd::DecomposeRequest> TpchPartResident();
+/// Fact-side addition for the multi-join plans: l_orderkey, fully resident
+/// (the A&R join-key invariant). Separate from TpchAllResident so the
+/// single-join experiments keep their device footprint.
+std::vector<bwd::DecomposeRequest> TpchMultiJoinResident();
+/// Orders-side columns for Q3/Q10 (all fully resident).
+std::vector<bwd::DecomposeRequest> TpchOrdersResident();
+/// Customer-side columns for Q3/Q10 (all fully resident).
+std::vector<bwd::DecomposeRequest> TpchCustomerResident();
 
 /// Resolves Q14's 'PROMO%' prefix predicate against the part table's
 /// ordered p_type dictionary (must be called after GenerateTpch).

@@ -1,0 +1,240 @@
+// Multi-join plan serving, end to end: TPC-H Q3 and Q10 submitted as
+// physical-plan requests through QueryServer (every engine, single-device
+// and sharded backends) and through the AdaptiveScheduler, whose policy
+// prices plans with core::EstimatePlanCost. All paths must produce the
+// classic reference result exactly (canonical SortByKeys order).
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bwd/partition.h"
+#include "server/scheduler.h"
+#include "workloads/tpch.h"
+
+namespace wastenot::server {
+namespace {
+
+std::vector<bwd::DecomposeRequest> LineitemResident() {
+  std::vector<bwd::DecomposeRequest> reqs = workloads::TpchAllResident();
+  for (auto& r : workloads::TpchMultiJoinResident()) reqs.push_back(r);
+  return reqs;
+}
+
+/// A small TPC-H instance (lineitem + orders + customer), decomposed for
+/// every serving mode: single device, and range-sharded on l_orderkey over
+/// a 3-device group with per-device dimension replicas.
+struct TpchServingFixture {
+  cs::Database db;
+  std::unique_ptr<device::Device> dev;
+  std::unique_ptr<bwd::BwdTable> lineitem;
+  std::unique_ptr<bwd::BwdTable> orders;
+  std::unique_ptr<bwd::BwdTable> customer;
+  core::BwdTableMap dim_tables;
+
+  std::unique_ptr<device::DeviceGroup> group;
+  std::unique_ptr<bwd::ShardedBwdTable> sharded_fact;
+  std::vector<bwd::BwdTable> orders_replicas;
+  std::vector<bwd::BwdTable> customer_replicas;
+  std::vector<core::BwdTableMap> dim_maps;
+  std::vector<cs::Database> shard_dbs;
+
+  TpchServingFixture() {
+    workloads::GenerateTpch(/*sf=*/0.001, /*seed=*/7, &db);
+
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    auto decompose = [this](const char* table,
+                            const std::vector<bwd::DecomposeRequest>& reqs) {
+      return std::make_unique<bwd::BwdTable>(std::move(
+          bwd::BwdTable::Decompose(db.table(table), reqs, dev.get())
+              .value()));
+    };
+    lineitem = decompose("lineitem", LineitemResident());
+    orders = decompose("orders", workloads::TpchOrdersResident());
+    customer = decompose("customer", workloads::TpchCustomerResident());
+    dim_tables = {{"orders", orders.get()}, {"customer", customer.get()}};
+
+    const uint32_t shards = 3;
+    device::DeviceGroupOptions gopts;
+    gopts.num_devices = shards;
+    gopts.base.memory_capacity = 256 << 20;
+    gopts.worker_threads = 1;
+    group = std::make_unique<device::DeviceGroup>(gopts);
+    sharded_fact = std::make_unique<bwd::ShardedBwdTable>(
+        std::move(bwd::DecomposeSharded(
+                      db.table("lineitem"), LineitemResident(),
+                      bwd::PartitionSpec{bwd::PartitionKind::kRange,
+                                         "l_orderkey", shards},
+                      group.get())
+                      .value()));
+    orders_replicas = std::move(
+        bwd::ReplicatePerDevice(db.table("orders"),
+                                workloads::TpchOrdersResident(), group.get())
+            .value());
+    customer_replicas =
+        std::move(bwd::ReplicatePerDevice(db.table("customer"),
+                                          workloads::TpchCustomerResident(),
+                                          group.get())
+                      .value());
+    for (uint32_t d = 0; d < shards; ++d) {
+      dim_maps.push_back({{"orders", &orders_replicas[d]},
+                          {"customer", &customer_replicas[d]}});
+    }
+    shard_dbs = bwd::BuildShardDatabases(
+        sharded_fact->partition,
+        {&db.table("orders"), &db.table("customer")});
+  }
+
+  QueryServer::Backend SingleDevice() {
+    QueryServer::Backend b;
+    b.db = &db;
+    b.fact = lineitem.get();
+    b.device = dev.get();
+    b.dim_tables = &dim_tables;
+    return b;
+  }
+
+  QueryServer::Backend Sharded() {
+    QueryServer::Backend b;
+    b.db = &db;
+    b.sharded_fact = sharded_fact.get();
+    b.shard_dbs = &shard_dbs;
+    b.group = group.get();
+    b.dim_maps = &dim_maps;
+    return b;
+  }
+};
+
+class PlanServerTest : public ::testing::Test {
+ protected:
+  static TpchServingFixture& fixture() {
+    static TpchServingFixture* f = new TpchServingFixture();
+    return *f;
+  }
+};
+
+TEST_F(PlanServerTest, Q3AndQ10ThroughEveryEngineSingleDevice) {
+  TpchServingFixture& f = fixture();
+  ServerOptions opts;
+  opts.num_workers = 2;
+  QueryServer server(f.SingleDevice(), opts);
+
+  for (core::PhysicalPlan plan :
+       {workloads::TpchQ3(), workloads::TpchQ10()}) {
+    auto reference = core::ExecutePlanClassic(plan, f.db);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    ASSERT_GT(reference->num_groups(), 0u) << plan.name;
+    for (EngineKind engine : {EngineKind::kAr, EngineKind::kClassic,
+                              EngineKind::kStreaming}) {
+      QueryRequest req;
+      req.plan = plan;
+      req.engine = engine;
+      QueryResponse resp = server.Submit(std::move(req)).get();
+      ASSERT_TRUE(resp.status.ok())
+          << plan.name << " engine " << static_cast<int>(engine) << ": "
+          << resp.status.ToString();
+      EXPECT_EQ(resp.result, *reference)
+          << plan.name << " engine " << static_cast<int>(engine);
+    }
+  }
+  server.Shutdown();
+}
+
+TEST_F(PlanServerTest, Q3AndQ10ThroughEveryEngineSharded) {
+  TpchServingFixture& f = fixture();
+  ServerOptions opts;
+  opts.num_workers = 2;
+  QueryServer server(f.Sharded(), opts);
+
+  for (core::PhysicalPlan plan :
+       {workloads::TpchQ3(), workloads::TpchQ10()}) {
+    auto reference = core::ExecutePlanClassic(plan, f.db);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    for (EngineKind engine : {EngineKind::kAr, EngineKind::kClassic,
+                              EngineKind::kStreaming}) {
+      QueryRequest req;
+      req.plan = plan;
+      req.engine = engine;
+      QueryResponse resp = server.Submit(std::move(req)).get();
+      ASSERT_TRUE(resp.status.ok())
+          << plan.name << " engine " << static_cast<int>(engine) << ": "
+          << resp.status.ToString();
+      EXPECT_EQ(resp.result, *reference)
+          << plan.name << " engine " << static_cast<int>(engine);
+    }
+  }
+  server.Shutdown();
+}
+
+TEST_F(PlanServerTest, AdaptiveSchedulerServesPlans) {
+  TpchServingFixture& f = fixture();
+  SchedulerOptions opts;
+  opts.server.num_workers = 2;
+  AdaptiveScheduler scheduler(f.SingleDevice(), opts);
+
+  for (core::PhysicalPlan plan :
+       {workloads::TpchQ3(), workloads::TpchQ10()}) {
+    auto reference = core::ExecutePlanClassic(plan, f.db);
+    ASSERT_TRUE(reference.ok());
+
+    // The policy prices the plan (EstimatePlanCost) and names a rule.
+    const SchedulerDecision decision = scheduler.Decide(plan);
+    EXPECT_GT(decision.est_ar_seconds, 0.0);
+    EXPECT_GT(decision.est_classic_seconds, 0.0);
+    EXPECT_GT(decision.est_streaming_seconds, 0.0);
+
+    ProgressiveFutures futures = scheduler.Submit("analyst", plan);
+    ApproximateResponse approx = futures.approximate.get();
+    ASSERT_TRUE(approx.status.ok()) << approx.status.ToString();
+    QueryResponse refined = futures.refined.get();
+    ASSERT_TRUE(refined.status.ok()) << refined.status.ToString();
+    EXPECT_EQ(refined.result, *reference) << plan.name;
+  }
+  const SchedulerStats stats = scheduler.stats();
+  uint64_t dispatched = 0;
+  for (uint64_t d : stats.dispatched) dispatched += d;
+  EXPECT_EQ(dispatched, 2u);
+  scheduler.Shutdown();
+}
+
+TEST_F(PlanServerTest, PlanWorkloadEstimateSeesHopZeroFilters) {
+  TpchServingFixture& f = fixture();
+  SchedulerOptions opts;
+  opts.server.num_workers = 1;
+  AdaptiveScheduler scheduler(f.SingleDevice(), opts);
+  // Q3's only hop-0 filter is the shipdate cut; the derived workload must
+  // reflect it (one predicate, selective) rather than the defaults.
+  const device::ServingWorkload w =
+      scheduler.EstimateWorkload(workloads::TpchQ3());
+  EXPECT_EQ(w.num_predicates, 1u);
+  EXPECT_EQ(w.rows, f.db.table("lineitem").num_rows());
+  EXPECT_LT(w.selectivity, 1.0);
+  scheduler.Shutdown();
+}
+
+TEST_F(PlanServerTest, MissingDimensionFailsRequestNotServer) {
+  TpchServingFixture& f = fixture();
+  QueryServer::Backend backend = f.SingleDevice();
+  backend.dim_tables = nullptr;  // no decomposed side tables registered
+  ServerOptions opts;
+  opts.num_workers = 1;
+  QueryServer server(backend, opts);
+  QueryRequest req;
+  req.plan = workloads::TpchQ3();
+  req.engine = EngineKind::kAr;
+  QueryResponse resp = server.Submit(std::move(req)).get();
+  EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument);
+  // The server survives and keeps serving.
+  QueryRequest classic;
+  classic.plan = workloads::TpchQ3();
+  classic.engine = EngineKind::kClassic;
+  EXPECT_TRUE(server.Submit(std::move(classic)).get().status.ok());
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace wastenot::server
