@@ -1,0 +1,199 @@
+// Mutable-ingest bench (DESIGN.md §9): what crash-consistent ingest costs
+// and what queries pay while it happens.
+//
+//   Series 1  append + group-commit throughput by flush batch size (one
+//             WAL fsync per batch — the knee is the fsync amortization).
+//   Series 2  served query latency (p50) across the table's life cycle:
+//             phase 0 = everything in the delta (base empty, A&R serves
+//             via the exact classic fallback), phase 1 = sampled while a
+//             re-decomposition pass runs underneath the queries, phase 2
+//             = quiesced (delta absorbed, A&R runs a real Phase A).
+//
+// Scale: WN_SCALE_MICRO rows (default 200k here; --rows overrides).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/classic_engine.h"
+#include "device/device.h"
+#include "storage/mutable_table.h"
+#include "util/env.h"
+#include "util/timer.h"
+
+namespace wastenot {
+namespace {
+
+namespace fs = std::filesystem;
+
+int64_t Value(uint64_t row, uint64_t col) {
+  uint64_t x = (row + 1) * 0x9E3779B97F4A7C15ull + col;
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 32;
+  return static_cast<int64_t>(x % 1000);
+}
+
+storage::MutableTableOptions Options(const fs::path& dir,
+                                     device::Device* dev) {
+  storage::MutableTableOptions opts;
+  opts.dir = dir.string();
+  opts.name = "fact";
+  opts.columns = {"a", "g", "v"};
+  opts.device = dev;
+  opts.background = false;  // the bench drives drains explicitly
+  return opts;
+}
+
+void IngestRows(storage::MutableTable* table, uint64_t rows,
+                uint64_t batch) {
+  for (uint64_t r = 0; r < rows; ++r) {
+    const int64_t row[3] = {Value(r, 0), Value(r, 1) % 4, Value(r, 2)};
+    (void)table->Append(row);
+    if ((r + 1) % batch == 0 || r + 1 == rows) (void)table->Flush();
+  }
+}
+
+core::QuerySpec Query() {
+  core::QuerySpec q;
+  q.table = "fact";
+  q.predicates = {{"a", cs::RangePred::Lt(500)}};
+  q.group_by = {"g"};
+  q.aggregates = {core::Aggregate::SumOf("v", "sum_v"),
+                  core::Aggregate::CountStar("n")};
+  return q;
+}
+
+/// One served query over the current view, the way the QueryServer routes
+/// it: A&R when the view has a decomposed base, the exact classic
+/// fallback otherwise; classic always unions the delta in.
+double QueryOnceMs(storage::MutableTable* table, bool prefer_ar) {
+  const storage::TableView view = table->View();
+  WallTimer timer;
+  if (prefer_ar && view.bwd != nullptr) {
+    core::ArOptions opts;
+    opts.delta = view.delta_or_null();
+    auto r = core::ExecuteAr(Query(), *view.bwd, /*dim=*/nullptr,
+                             view.bwd->device(), opts);
+    if (!r.ok()) std::abort();
+  } else {
+    core::ClassicOptions opts;
+    opts.delta = view.delta_or_null();
+    auto r = core::ExecuteClassic(Query(), *view.db, opts);
+    if (!r.ok()) std::abort();
+  }
+  return timer.Seconds() * 1e3;
+}
+
+double P50(std::vector<double> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Samples served latency until the time budget or `stop` says enough.
+std::vector<double> Sample(storage::MutableTable* table, bool prefer_ar,
+                           const std::atomic<bool>* stop) {
+  std::vector<double> samples;
+  WallTimer timer;
+  while (samples.size() < 256) {
+    samples.push_back(QueryOnceMs(table, prefer_ar));
+    if (stop != nullptr && stop->load()) break;
+    if (stop == nullptr && samples.size() >= 16 &&
+        timer.Seconds() > bench::BenchSeconds()) {
+      break;
+    }
+  }
+  return samples;
+}
+
+}  // namespace
+}  // namespace wastenot
+
+int main(int argc, char** argv) {
+  using namespace wastenot;
+  bench::ParseArgs(argc, argv);
+  const uint64_t rows =
+      static_cast<uint64_t>(EnvInt64("WN_SCALE_MICRO", 200'000));
+  bench::Header(
+      "Mutable ingest",
+      "WAL group-commit throughput and served latency across drains",
+      "rows=" + std::to_string(rows) + " (WN_SCALE_MICRO / --rows)");
+
+  const fs::path root =
+      fs::temp_directory_path() /
+      ("wn_bench_ingest_" + std::to_string(::getpid()));
+  fs::remove_all(root);
+
+  // --- Series 1: append + group-commit throughput by batch size. -------
+  std::vector<bench::SeriesRow> throughput;
+  for (uint64_t batch : {64u, 256u, 1024u, 4096u}) {
+    const fs::path dir = root / ("tp_" + std::to_string(batch));
+    fs::create_directories(dir);
+    auto table = storage::MutableTable::Open(Options(dir, nullptr));
+    if (!table.ok()) return 1;
+    WallTimer timer;
+    IngestRows(table->get(), rows, batch);
+    const double seconds = timer.Seconds();
+    table->reset();
+    fs::remove_all(dir);
+    throughput.push_back(
+        {static_cast<double>(batch),
+         {static_cast<double>(rows) / seconds / 1e3}});
+  }
+  std::printf("\nDurable append throughput (one fsync per batch):\n");
+  bench::PrintSeries("batch rows", {"append_flush"}, throughput, "Krows/s");
+
+  // --- Series 2: served p50 across the life cycle. ---------------------
+  device::DeviceSpec spec;
+  spec.memory_capacity = 1ull << 30;
+  auto dev = std::make_unique<device::Device>(spec, 2);
+  const fs::path dir = root / "latency";
+  fs::create_directories(dir);
+  auto table = storage::MutableTable::Open(Options(dir, dev.get()));
+  if (!table.ok()) return 1;
+  IngestRows(table->get(), rows, 4096);
+
+  // Phase 0: the whole table is delta.
+  const double classic_delta = P50(Sample(table->get(), false, nullptr));
+  const double ar_delta = P50(Sample(table->get(), true, nullptr));
+
+  // Phase 1: queries racing one full re-decomposition pass.
+  std::atomic<bool> drain_done{false};
+  std::vector<double> classic_during, ar_during;
+  std::thread drain([&] {
+    (void)(*table)->Drain();
+    drain_done.store(true);
+  });
+  classic_during = Sample(table->get(), false, &drain_done);
+  ar_during = Sample(table->get(), true, &drain_done);
+  drain.join();
+  (void)(*table)->Drain();  // absorb anything the race left behind
+
+  // Phase 2: quiesced — empty delta, A&R runs a real Phase A.
+  const double classic_quiesced = P50(Sample(table->get(), false, nullptr));
+  const double ar_quiesced = P50(Sample(table->get(), true, nullptr));
+
+  std::printf(
+      "\nServed p50 by phase (0 = delta only, 1 = during re-decomposition, "
+      "2 = quiesced):\n");
+  bench::PrintSeries(
+      "phase", {"served_classic_p50", "served_ar_p50"},
+      {{0, {classic_delta, ar_delta}},
+       {1, {P50(classic_during), P50(ar_during)}},
+       {2, {classic_quiesced, ar_quiesced}}},
+      "ms");
+
+  table->reset();
+  fs::remove_all(root);
+  return 0;
+}

@@ -212,9 +212,9 @@ std::vector<cs::Database> BuildShardDatabases(
   dbs.reserve(partition.num_shards());
   for (uint32_t s = 0; s < partition.num_shards(); ++s) {
     cs::Database db;
-    db.AddTable(partition.shards[s].Clone());
+    (void)db.AddTable(partition.shards[s].Clone());
     for (const cs::Table* extra : extra_tables) {
-      if (extra != nullptr) db.AddTable(extra->Clone());
+      if (extra != nullptr) (void)db.AddTable(extra->Clone());
     }
     dbs.push_back(std::move(db));
   }

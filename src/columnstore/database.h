@@ -7,28 +7,57 @@
 #include <cassert>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "columnstore/table.h"
+#include "util/status.h"
 
 namespace wastenot::cs {
 
 /// Owning map of tables by name.
 class Database {
  public:
-  Table* AddTable(Table table) {
+  /// Registers `table` under its name. AlreadyExists (and the database
+  /// unchanged) when the name is taken — server-facing paths register
+  /// tables from requests, so a collision must be a Status, not an
+  /// assert. The returned pointer stays valid for the database's
+  /// lifetime (node-based map).
+  StatusOr<Table*> AddTable(Table table) {
     auto [it, inserted] = tables_.emplace(table.name(), std::move(table));
-    assert(inserted && "duplicate table");
-    (void)inserted;
+    if (!inserted) {
+      return Status::AlreadyExists("table '" + it->first +
+                                   "' already exists");
+    }
     return &it->second;
   }
 
   bool HasTable(const std::string& name) const {
     return tables_.count(name) != 0;
   }
+
+  /// Nullable lookup — the spelling for request-driven paths where the
+  /// name may be wrong (map to NotFound, keep serving).
+  const Table* FindTable(const std::string& name) const {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+  Table* FindTable(const std::string& name) {
+    auto it = tables_.find(name);
+    return it == tables_.end() ? nullptr : &it->second;
+  }
+
+  /// Checked accessor for names the caller has already validated.
   const Table& table(const std::string& name) const {
     auto it = tables_.find(name);
     assert(it != tables_.end() && "unknown table");
     return it->second;
+  }
+
+  std::vector<std::string> table_names() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [name, _] : tables_) names.push_back(name);
+    return names;
   }
 
   uint64_t byte_size() const {

@@ -32,6 +32,10 @@
 #include "device/device.h"
 #include "util/status.h"
 
+namespace wastenot::storage {
+class DeltaBatch;  // storage/delta_store.h
+}
+
 namespace wastenot::core {
 
 /// Per-device time attribution of one execution.
@@ -79,6 +83,16 @@ struct ArOptions {
   /// before Phase A completes. Leaving it empty changes nothing: results
   /// are bit-identical with and without the hook.
   std::function<void(const ApproximateAnswer&)> on_approximate;
+  /// Unabsorbed fact-table delta rows (DESIGN.md §9.2): appended rows the
+  /// base BwdTable does not cover yet. When set, the execution unions them
+  /// in exactly — delta rows are host-resident exact candidates, so their
+  /// "refinement" is a direct evaluation — and the result is bit-identical
+  /// to executing against a table that already absorbed them. The
+  /// ApproximateAnswer (returned and passed to on_approximate) is merged
+  /// soundly: its bounds still contain the combined exact result. The
+  /// caller keeps the batch alive for the whole call (engines hold no
+  /// reference afterwards). Null = base table only.
+  const storage::DeltaBatch* delta = nullptr;
 };
 
 /// Everything one A&R execution produces.

@@ -10,12 +10,19 @@
 #include "core/query.h"
 #include "util/status.h"
 
+namespace wastenot::storage {
+class DeltaBatch;  // storage/delta_store.h
+}
+
 namespace wastenot::core {
 
 struct ClassicOptions {
   /// Threads for the selection scans (1 = the single-threaded stream of
   /// the throughput experiment; >1 = intra-operator parallelism).
   unsigned threads = 1;
+  /// Unabsorbed fact-table delta rows to union into the result exactly
+  /// (see ArOptions::delta). Null = base table only.
+  const storage::DeltaBatch* delta = nullptr;
 };
 
 /// Executes `query` on the CPU engine. The result is in canonical

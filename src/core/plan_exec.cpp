@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/select.h"
+#include "storage/delta_store.h"
 #include "util/timer.h"
 
 namespace wastenot::core {
@@ -246,6 +247,353 @@ Status CheckShape(const PhysicalPlan& plan) {
     }
   }
   return Status::OK();
+}
+
+// ---------- delta overlay -------------------------------------------------
+//
+// Appended rows not yet absorbed into the base table (storage::DeltaBatch)
+// are host-resident and exact, so the delta side of a query is EvalPlanExact
+// with a hop-0 accessor reading the batch — dimension hops and theta right
+// sides still come from the base tables. The delta part merges into the
+// base result at the result level, by exact key tuple; every aggregate the
+// engines support combines losslessly that way (count/sum/avg-sums add,
+// min/max take extrema gated on per-side group counts), which is what makes
+// base+delta bit-identical to executing a table that absorbed the rows.
+
+/// Structural delta checks: every hop-0 reference must be a delta column,
+/// and the scanned table must not reappear as a join dimension or theta
+/// right side (the delta rows would have to be unioned there too).
+Status CheckDeltaPlan(const PhysicalPlan& plan,
+                      const storage::DeltaBatch& delta) {
+  auto need = [&](const std::string& column) -> Status {
+    if (delta.ColumnIndex(column) < 0) {
+      return Status::InvalidArgument("delta rows for '" + plan.scan.table +
+                                     "' do not carry column '" + column + "'");
+    }
+    return Status::OK();
+  };
+  for (const PlanOp& op : plan.ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      if (f->hop == 0) WN_RETURN_IF_ERROR(need(f->column));
+    } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      if (j->dim_table == plan.scan.table) {
+        return Status::Unsupported(
+            "delta execution cannot join the scanned table to itself");
+      }
+      if (j->fk_hop == 0) WN_RETURN_IF_ERROR(need(j->fk_column));
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      if (t->right_table == plan.scan.table) {
+        return Status::Unsupported(
+            "delta execution cannot theta-join against the scanned table");
+      }
+      if (t->left_hop == 0) WN_RETURN_IF_ERROR(need(t->left_column));
+    }
+  }
+  for (const ColumnRef& k : plan.group_agg.group_by) {
+    if (k.hop == 0) WN_RETURN_IF_ERROR(need(k.column));
+  }
+  for (const PlanAggregate& a : plan.group_agg.aggregates) {
+    for (const PlanTerm& t : a.terms) {
+      if (t.col.hop == 0) WN_RETURN_IF_ERROR(need(t.col.column));
+    }
+    if (a.filter.has_value() && a.filter->col.hop == 0) {
+      WN_RETURN_IF_ERROR(need(a.filter->col.column));
+    }
+  }
+  return Status::OK();
+}
+
+/// How the delta evaluation reaches base data: values of hops >= 1, sorted
+/// theta right sides, and per-hop row counts (for FK range validation).
+struct DeltaHopAccess {
+  ExactGetFn get_base;
+  RightValuesFn rights;
+  std::function<uint64_t(uint32_t hop)> hop_rows;
+};
+
+/// Evaluates the delta side of `plan` exactly: hop 0 reads the batch,
+/// everything else goes through `access`. Hop-0 FK values are validated
+/// against the dimension row count up front (InvalidArgument names the
+/// first bad row) — base-table FK values carry the base's own guarantees.
+StatusOr<QueryResult> EvalDeltaPart(const PhysicalPlan& plan,
+                                    const storage::DeltaBatch& delta,
+                                    const DeltaHopAccess& access) {
+  WN_RETURN_IF_ERROR(CheckShape(plan));
+  WN_RETURN_IF_ERROR(CheckDeltaPlan(plan, delta));
+
+  uint32_t hop = 1;
+  for (const PlanOp& op : plan.ops) {
+    const auto* j = std::get_if<FkJoinNode>(&op);
+    if (j == nullptr) continue;
+    if (j->fk_hop == 0) {
+      const int idx = delta.ColumnIndex(j->fk_column);
+      const uint64_t dim_rows = access.hop_rows(hop);
+      for (uint64_t r = 0; r < delta.num_rows(); ++r) {
+        const int64_t oid = delta.Get(r, static_cast<uint64_t>(idx)) - j->fk_base;
+        if (oid < 0 || static_cast<uint64_t>(oid) >= dim_rows) {
+          return Status::InvalidArgument(
+              "delta row " + std::to_string(delta.first_row_index() + r) +
+              ": FK '" + j->fk_column + "' = " +
+              std::to_string(delta.Get(r, static_cast<uint64_t>(idx))) +
+              " is outside dimension '" + j->dim_table + "'");
+        }
+      }
+    }
+    ++hop;
+  }
+
+  const ExactGetFn get = [&](uint32_t h, const std::string& column,
+                             uint64_t row) -> int64_t {
+    if (h == 0) {
+      return delta.Get(row,
+                       static_cast<uint64_t>(delta.ColumnIndex(column)));
+    }
+    return access.get_base(h, column, row);
+  };
+  return EvalPlanExact(plan, delta.num_rows(), get, access.rights, nullptr);
+}
+
+/// Delta evaluation against base cs::Tables (classic/streaming modes). Run
+/// after base execution, so `plan` is already validated against `db`.
+StatusOr<QueryResult> EvalDeltaClassic(const PhysicalPlan& plan,
+                                       const storage::DeltaBatch& delta,
+                                       const cs::Database& db) {
+  std::vector<const cs::Table*> hop_tables;
+  for (const std::string& t : HopTables(plan)) {
+    hop_tables.push_back(&db.table(t));
+  }
+  DeltaHopAccess access;
+  access.get_base = [hop_tables](uint32_t hop, const std::string& column,
+                                 uint64_t row) {
+    return hop_tables[hop]->column(column).Get(row);
+  };
+  access.rights = [&db](const std::string& table, const std::string& column) {
+    const cs::Column& col = db.table(table).column(column);
+    std::vector<int64_t> out(col.size());
+    for (uint64_t i = 0; i < col.size(); ++i) out[i] = col.Get(i);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  access.hop_rows = [hop_tables](uint32_t hop) {
+    return hop_tables[hop]->num_rows();
+  };
+  return EvalDeltaPart(plan, delta, access);
+}
+
+/// Delta evaluation against decomposed base tables (A&R mode): dimension
+/// values come from exact residual reconstruction. Runs *before* base
+/// execution (the progressive hook needs the delta part at the phase
+/// boundary), so it resolves and checks its own references.
+StatusOr<QueryResult> EvalDeltaAr(const PhysicalPlan& plan,
+                                  const storage::DeltaBatch& delta,
+                                  const BwdTableMap& dims) {
+  std::vector<const bwd::BwdTable*> hops{nullptr};  // hop 0 = the delta
+  std::map<std::string, const bwd::BwdTable*> right_tables;
+  for (const PlanOp& op : plan.ops) {
+    if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      auto it = dims.find(j->dim_table);
+      if (it == dims.end() || it->second == nullptr) {
+        return Status::InvalidArgument("plan joins table '" + j->dim_table +
+                                       "' but no decomposed table was given");
+      }
+      hops.push_back(it->second);
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      auto it = dims.find(t->right_table);
+      if (it == dims.end() || it->second == nullptr) {
+        return Status::InvalidArgument("plan references table '" +
+                                       t->right_table +
+                                       "' but no decomposed table was given");
+      }
+      right_tables[t->right_table] = it->second;
+    }
+  }
+  // Existence checks for every base-side reference the evaluation gathers
+  // (hop-0 references are checked against the batch in CheckDeltaPlan).
+  auto check = [](const bwd::BwdTable* table,
+                  const std::string& column) -> Status {
+    if (table != nullptr && !table->HasColumn(column)) {
+      return Status::NotFound("column '" + column + "' is not decomposed in '" +
+                              table->name() + "'");
+    }
+    return Status::OK();
+  };
+  for (const PlanOp& op : plan.ops) {
+    if (const auto* f = std::get_if<FilterNode>(&op)) {
+      if (f->hop > 0) WN_RETURN_IF_ERROR(check(hops[f->hop], f->column));
+    } else if (const auto* j = std::get_if<FkJoinNode>(&op)) {
+      if (j->fk_hop > 0) WN_RETURN_IF_ERROR(check(hops[j->fk_hop], j->fk_column));
+    } else if (const auto* t = std::get_if<ThetaJoinNode>(&op)) {
+      if (t->left_hop > 0) {
+        WN_RETURN_IF_ERROR(check(hops[t->left_hop], t->left_column));
+      }
+      WN_RETURN_IF_ERROR(check(right_tables.at(t->right_table), t->right_column));
+    }
+  }
+  for (const ColumnRef& k : plan.group_agg.group_by) {
+    if (k.hop > 0) WN_RETURN_IF_ERROR(check(hops[k.hop], k.column));
+  }
+  for (const PlanAggregate& a : plan.group_agg.aggregates) {
+    for (const PlanTerm& t : a.terms) {
+      if (t.col.hop > 0) WN_RETURN_IF_ERROR(check(hops[t.col.hop], t.col.column));
+    }
+    if (a.filter.has_value() && a.filter->col.hop > 0) {
+      WN_RETURN_IF_ERROR(
+          check(hops[a.filter->col.hop], a.filter->col.column));
+    }
+  }
+
+  DeltaHopAccess access;
+  access.get_base = [hops](uint32_t hop, const std::string& column,
+                           uint64_t row) {
+    return hops[hop]->column(column).Reconstruct(row);
+  };
+  access.rights = [right_tables](const std::string& table,
+                                 const std::string& column) {
+    const bwd::BwdColumn& c = right_tables.at(table)->column(column);
+    std::vector<int64_t> out(c.size());
+    for (uint64_t i = 0; i < out.size(); ++i) out[i] = c.Reconstruct(i);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  access.hop_rows = [hops](uint32_t hop) { return hops[hop]->num_rows(); };
+  return EvalDeltaPart(plan, delta, access);
+}
+
+/// Merges the delta part into the base exact result, per exact key tuple.
+/// Count/sum/avg-sum add; min/max take the extremum, gated on per-side
+/// group counts (an empty side contributes nothing, matching the engines'
+/// report-0-for-empty convention); group counts and selected rows add; new
+/// delta-only groups append and the result re-sorts to canonical order.
+void MergeDeltaResult(const PhysicalPlan& plan, const QueryResult& delta,
+                      QueryResult* base) {
+  const std::vector<PlanAggregate>& aggs = plan.group_agg.aggregates;
+  base->selected_rows += delta.selected_rows;
+
+  auto combine = [&](uint64_t d, uint64_t g) {
+    for (uint64_t i = 0; i < aggs.size(); ++i) {
+      int64_t& b = base->agg_values[g][i];
+      const int64_t dv = delta.agg_values[d][i];
+      switch (aggs[i].func) {
+        case AggFunc::kCount:
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          b += dv;
+          break;
+        case AggFunc::kMin:
+          if (base->group_counts[g] == 0) {
+            b = dv;
+          } else if (delta.group_counts[d] != 0) {
+            b = std::min(b, dv);
+          }
+          break;
+        case AggFunc::kMax:
+          if (base->group_counts[g] == 0) {
+            b = dv;
+          } else if (delta.group_counts[d] != 0) {
+            b = std::max(b, dv);
+          }
+          break;
+      }
+    }
+    base->group_counts[g] += delta.group_counts[d];
+  };
+
+  if (plan.group_agg.group_by.empty()) {
+    // Ungrouped: both sides always report exactly one group.
+    combine(0, 0);
+    return;
+  }
+  if (delta.num_groups() == 0) return;
+  std::map<std::vector<int64_t>, uint64_t> index;
+  for (uint64_t g = 0; g < base->num_groups(); ++g) {
+    index[base->group_keys[g]] = g;
+  }
+  for (uint64_t d = 0; d < delta.num_groups(); ++d) {
+    auto it = index.find(delta.group_keys[d]);
+    if (it != index.end()) {
+      combine(d, it->second);
+    } else {
+      base->group_keys.push_back(delta.group_keys[d]);
+      base->agg_values.push_back(delta.agg_values[d]);
+      base->group_counts.push_back(delta.group_counts[d]);
+    }
+  }
+  base->SortByKeys();
+}
+
+/// Merges the (exact) delta part into an approximate answer, keeping it
+/// sound for the merged exact result: each delta group lands in the first
+/// approx group whose key bounds contain its exact keys (digit intervals
+/// partition the key space, so containment identifies the digit group) or
+/// appends as a new point-bounds group. Count/sum bounds shift by the
+/// exact delta value; avg bounds hull-extend with the delta average (the
+/// merged average is a convex combination of the two sides); min (max)
+/// upper (lower) ends clamp to the delta extremum, which the merged
+/// extremum can never exceed (fall below).
+void MergeDeltaApprox(const PhysicalPlan& plan, const QueryResult& delta,
+                      ApproximateAnswer* approx) {
+  const std::vector<PlanAggregate>& aggs = plan.group_agg.aggregates;
+  approx->row_count.lo += static_cast<int64_t>(delta.selected_rows);
+  approx->row_count.hi += static_cast<int64_t>(delta.selected_rows);
+
+  for (uint64_t d = 0; d < delta.num_groups(); ++d) {
+    if (delta.group_counts[d] == 0) continue;  // nothing selected: no-op
+    const std::vector<int64_t>& key = delta.group_keys[d];
+    const int64_t dcount = delta.group_counts[d];
+
+    uint64_t g = approx->num_groups();
+    for (uint64_t c = 0; c < approx->num_groups(); ++c) {
+      bool contains = true;
+      for (uint64_t k = 0; k < key.size() && contains; ++k) {
+        contains = approx->key_bounds[c][k].Contains(key[k]);
+      }
+      if (contains) {
+        g = c;
+        break;
+      }
+    }
+
+    if (g == approx->num_groups()) {
+      // Delta-only group: exact point bounds.
+      std::vector<ValueBounds> kb;
+      for (const int64_t k : key) kb.push_back(ValueBounds::Exact(k));
+      std::vector<ValueBounds> ab;
+      for (uint64_t i = 0; i < aggs.size(); ++i) {
+        const int64_t dv = delta.agg_values[d][i];
+        ab.push_back(aggs[i].func == AggFunc::kAvg
+                         ? ValueBounds{FloorDiv(dv, dcount),
+                                       CeilDivSigned(dv, dcount)}
+                         : ValueBounds::Exact(dv));
+      }
+      approx->key_bounds.push_back(std::move(kb));
+      approx->agg_bounds.push_back(std::move(ab));
+      continue;
+    }
+
+    for (uint64_t i = 0; i < aggs.size(); ++i) {
+      ValueBounds& b = approx->agg_bounds[g][i];
+      const int64_t dv = delta.agg_values[d][i];
+      switch (aggs[i].func) {
+        case AggFunc::kCount:
+        case AggFunc::kSum:
+          b.lo += dv;
+          b.hi += dv;
+          break;
+        case AggFunc::kAvg:
+          b.lo = std::min(b.lo, FloorDiv(dv, dcount));
+          b.hi = std::max(b.hi, CeilDivSigned(dv, dcount));
+          break;
+        case AggFunc::kMin:
+          b.lo = std::min(b.lo, dv);
+          b.hi = dv;  // the merged minimum can never exceed the delta's
+          break;
+        case AggFunc::kMax:
+          b.lo = dv;  // the merged maximum can never fall below the delta's
+          b.hi = std::max(b.hi, dv);
+          break;
+      }
+    }
+  }
 }
 
 // ---------- classic general path -----------------------------------------
@@ -922,35 +1270,91 @@ StatusOr<ArExecution> ExecutePlanAr(const PhysicalPlan& plan,
                                     const BwdTableMap& dims,
                                     device::Device* dev,
                                     const ArOptions& options) {
-  StatusOr<QuerySpec> spec = PlanToSpec(plan);
-  if (spec.ok()) {
-    const QuerySpec& query = spec.value();
-    const bwd::BwdTable* dim = nullptr;
-    if (query.join.has_value()) {
-      auto it = dims.find(query.join->dim_table);
-      if (it != dims.end()) dim = it->second;
+  // The delta side is evaluated up front so the progressive hook can hand
+  // out a merged (still sound) approximate answer at the true phase
+  // boundary, not after refinement.
+  const storage::DeltaBatch* delta = options.delta;
+  if (delta != nullptr && delta->empty()) delta = nullptr;
+  QueryResult delta_part;
+  double delta_seconds = 0;
+  ArOptions inner = options;
+  inner.delta = nullptr;
+  if (delta != nullptr) {
+    WallTimer delta_timer;
+    WN_ASSIGN_OR_RETURN(delta_part, EvalDeltaAr(plan, *delta, dims));
+    delta_seconds = delta_timer.Seconds();
+    if (options.on_approximate) {
+      inner.on_approximate = [&options, &delta_part,
+                              &plan](const ApproximateAnswer& a) {
+        ApproximateAnswer merged = a;
+        MergeDeltaApprox(plan, delta_part, &merged);
+        options.on_approximate(merged);
+      };
     }
-    return detail::ExecuteArLegacy(query, fact, dim, dev, options);
   }
-  return ExecutePlanArGeneral(plan, fact, dims, dev, options);
+
+  StatusOr<ArExecution> exec = [&]() -> StatusOr<ArExecution> {
+    StatusOr<QuerySpec> spec = PlanToSpec(plan);
+    if (spec.ok()) {
+      const QuerySpec& query = spec.value();
+      const bwd::BwdTable* dim = nullptr;
+      if (query.join.has_value()) {
+        auto it = dims.find(query.join->dim_table);
+        if (it != dims.end()) dim = it->second;
+      }
+      return detail::ExecuteArLegacy(query, fact, dim, dev, inner);
+    }
+    return ExecutePlanArGeneral(plan, fact, dims, dev, inner);
+  }();
+  if (!exec.ok() || delta == nullptr) return exec;
+
+  WallTimer merge_timer;
+  MergeDeltaResult(plan, delta_part, &exec->result);
+  MergeDeltaApprox(plan, delta_part, &exec->approx);
+  exec->num_candidates += delta->num_rows();
+  exec->num_refined += delta_part.selected_rows;
+  const double host = delta_seconds + merge_timer.Seconds();
+  exec->breakdown.host_seconds += host;
+  exec->breakdown.host_cpu_seconds += host;
+  return exec;
 }
 
 StatusOr<QueryResult> ExecutePlanClassic(const PhysicalPlan& plan,
                                          const cs::Database& db,
                                          const ClassicOptions& options) {
-  StatusOr<QuerySpec> spec = PlanToSpec(plan);
-  if (spec.ok()) return detail::ExecuteClassicLegacy(spec.value(), db, options);
-  return ExecutePlanClassicGeneral(plan, db);
+  ClassicOptions inner = options;
+  inner.delta = nullptr;
+  StatusOr<QueryResult> base = [&]() -> StatusOr<QueryResult> {
+    StatusOr<QuerySpec> spec = PlanToSpec(plan);
+    if (spec.ok()) return detail::ExecuteClassicLegacy(spec.value(), db, inner);
+    return ExecutePlanClassicGeneral(plan, db);
+  }();
+  if (!base.ok() || options.delta == nullptr || options.delta->empty()) {
+    return base;
+  }
+  WN_ASSIGN_OR_RETURN(const QueryResult delta_part,
+                      EvalDeltaClassic(plan, *options.delta, db));
+  MergeDeltaResult(plan, delta_part, &base.value());
+  return base;
 }
 
 StatusOr<StreamingExecution> ExecutePlanStreaming(
     const PhysicalPlan& plan, const cs::Database& db, device::Device* dev,
-    device::ResidencyCache* cache) {
-  StatusOr<QuerySpec> spec = PlanToSpec(plan);
-  if (spec.ok()) {
-    return detail::ExecuteStreamingLegacy(spec.value(), db, dev, cache);
-  }
-  return ExecutePlanStreamingGeneral(plan, db, dev, cache);
+    device::ResidencyCache* cache, const storage::DeltaBatch* delta) {
+  StatusOr<StreamingExecution> exec = [&]() -> StatusOr<StreamingExecution> {
+    StatusOr<QuerySpec> spec = PlanToSpec(plan);
+    if (spec.ok()) {
+      return detail::ExecuteStreamingLegacy(spec.value(), db, dev, cache);
+    }
+    return ExecutePlanStreamingGeneral(plan, db, dev, cache);
+  }();
+  if (!exec.ok() || delta == nullptr || delta->empty()) return exec;
+  WallTimer timer;
+  WN_ASSIGN_OR_RETURN(const QueryResult delta_part,
+                      EvalDeltaClassic(plan, *delta, db));
+  MergeDeltaResult(plan, delta_part, &exec->result);
+  exec->breakdown.host_seconds += timer.Seconds();
+  return exec;
 }
 
 // ---------- public engine entry points -----------------------------------
@@ -980,8 +1384,9 @@ StatusOr<QueryResult> ExecuteClassic(const QuerySpec& query,
 StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
                                               const cs::Database& db,
                                               device::Device* dev,
-                                              device::ResidencyCache* cache) {
-  return ExecutePlanStreaming(LowerToPlan(query), db, dev, cache);
+                                              device::ResidencyCache* cache,
+                                              const storage::DeltaBatch* delta) {
+  return ExecutePlanStreaming(LowerToPlan(query), db, dev, cache, delta);
 }
 
 }  // namespace wastenot::core

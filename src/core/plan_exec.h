@@ -52,6 +52,15 @@ using BwdTableMap = std::map<std::string, const bwd::BwdTable*>;
 /// bit-identical to ExecuteAr on the equivalent QuerySpec. In the general
 /// path min/max aggregates are Unsupported and ArOptions::num_threads has
 /// no effect (refinement runs serially); results remain deterministic.
+///
+/// With options.delta set, the unabsorbed fact rows are evaluated exactly
+/// host-side and merged in: the result is bit-identical to executing
+/// against a base table that already absorbed them, and the approximate
+/// answer stays sound (bounds contain the merged exact result). Plans
+/// whose FK-join dimension or theta right side is the scanned table itself
+/// are Unsupported with a delta (the delta rows would have to appear on
+/// the right side too); delta FK values out of the dimension's row range
+/// are InvalidArgument.
 StatusOr<ArExecution> ExecutePlanAr(const PhysicalPlan& plan,
                                     const bwd::BwdTable& fact,
                                     const BwdTableMap& dims,
@@ -64,10 +73,12 @@ StatusOr<QueryResult> ExecutePlanClassic(const PhysicalPlan& plan,
                                          const ClassicOptions& options = {});
 
 /// Executes `plan` in streaming mode (exact result, raw-width charges,
-/// inputs pinned into `cache`).
+/// inputs pinned into `cache`). `delta` unions unabsorbed fact rows into
+/// the exact result host-side (see ExecutePlanAr).
 StatusOr<StreamingExecution> ExecutePlanStreaming(
     const PhysicalPlan& plan, const cs::Database& db, device::Device* dev,
-    device::ResidencyCache* cache);
+    device::ResidencyCache* cache,
+    const storage::DeltaBatch* delta = nullptr);
 
 }  // namespace wastenot::core
 

@@ -322,6 +322,12 @@ StatusOr<ShardedArExecution> ExecuteArSharded(
   if (group == nullptr || group->size() == 0) {
     return Status::InvalidArgument("ExecuteArSharded requires a DeviceGroup");
   }
+  if (options.ar.delta != nullptr) {
+    return Status::InvalidArgument(
+        "delta overlays are not supported in sharded execution (each shard "
+        "would double-count the delta rows); query the mutable table's "
+        "single-device view instead");
+  }
   if (fact.num_shards() == 0) {
     return Status::InvalidArgument("sharded table has no shards");
   }
@@ -346,6 +352,12 @@ StatusOr<ShardedArExecution> ExecutePlanArSharded(
     const ShardedArOptions& options) {
   if (group == nullptr || group->size() == 0) {
     return Status::InvalidArgument("ExecuteArSharded requires a DeviceGroup");
+  }
+  if (options.ar.delta != nullptr) {
+    return Status::InvalidArgument(
+        "delta overlays are not supported in sharded execution (each shard "
+        "would double-count the delta rows); query the mutable table's "
+        "single-device view instead");
   }
   if (fact.num_shards() == 0) {
     return Status::InvalidArgument("sharded table has no shards");

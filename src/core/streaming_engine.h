@@ -20,6 +20,10 @@
 #include "device/residency_cache.h"
 #include "util/status.h"
 
+namespace wastenot::storage {
+class DeltaBatch;  // storage/delta_store.h
+}
+
 namespace wastenot::core {
 
 /// Outcome of a streaming execution.
@@ -37,11 +41,13 @@ struct StreamingExecution {
 /// a device-resident hot set become transfer-free, oversized hot sets
 /// thrash. Thread-safe: concurrent streams may share one device and one
 /// cache (the cache serializes pins internally; clock attribution is
-/// per query via SimClock::QueryScope).
-StatusOr<StreamingExecution> ExecuteStreaming(const QuerySpec& query,
-                                              const cs::Database& db,
-                                              device::Device* dev,
-                                              device::ResidencyCache* cache);
+/// per query via SimClock::QueryScope). `delta` (optional) unions
+/// unabsorbed fact-table rows into the exact result host-side (see
+/// ArOptions::delta); their merge time lands in breakdown.host_seconds.
+StatusOr<StreamingExecution> ExecuteStreaming(
+    const QuerySpec& query, const cs::Database& db, device::Device* dev,
+    device::ResidencyCache* cache,
+    const storage::DeltaBatch* delta = nullptr);
 
 namespace detail {
 

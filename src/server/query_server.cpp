@@ -308,10 +308,57 @@ void QueryServer::WorkerLoop(unsigned worker) {
   }
 }
 
+Status QueryServer::Append(std::span<const int64_t> row) {
+  if (backend_.mutable_table == nullptr) {
+    return Status::InvalidArgument("server has no mutable ingest backend");
+  }
+  // Admission control on the unabsorbed backlog: durable delta rows plus
+  // the uncommitted buffer. Checked against a snapshot (a concurrent
+  // append may overshoot by the number of racing ingesters — admission
+  // control, not a hard memory bound).
+  const storage::MutableTableStats table_stats =
+      backend_.mutable_table->Stats();
+  if (table_stats.pending_rows + table_stats.buffered_rows >=
+      options_.max_delta_backlog) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.ingest_rejected;
+    return Status::OutOfMemory(
+        "ingest backlog at capacity (" +
+        std::to_string(options_.max_delta_backlog) +
+        " unabsorbed rows): re-decomposition is behind, retry later");
+  }
+  WN_RETURN_IF_ERROR(backend_.mutable_table->Append(row));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.ingest_appended;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> QueryServer::FlushIngest() {
+  if (backend_.mutable_table == nullptr) {
+    return Status::InvalidArgument("server has no mutable ingest backend");
+  }
+  StatusOr<uint64_t> durable = backend_.mutable_table->Flush();
+  if (durable.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.ingest_commits;
+  }
+  return durable;
+}
+
 QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
   const QueryRequest& request = pending.request;
   QueryResponse response;
   response.worker = worker;
+  // Requests scanning the mutable backend's table are served from its
+  // current view: base epoch + exact delta union, consistent for the
+  // whole execution however many swaps land meanwhile.
+  const std::string& scan_table = request.plan.has_value()
+                                      ? request.plan->scan.table
+                                      : request.query.table;
+  const bool mutable_scan = backend_.mutable_table != nullptr &&
+                            scan_table == backend_.mutable_table->name();
+  storage::TableView mutable_view;
+  if (mutable_scan) mutable_view = backend_.mutable_table->View();
   // Progressive A&R: resolve the approximate future at the Phase-A/Phase-R
   // boundary, on this worker thread, before any refinement runs. The
   // WallTimer is read concurrently-safely (it only stores a start point).
@@ -329,6 +376,53 @@ QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
   }
   switch (request.engine) {
     case EngineKind::kAr: {
+      if (mutable_scan) {
+        if (mutable_view.bwd == nullptr) {
+          // Nothing decomposed yet (empty base, or a host-only table):
+          // Phase A has nowhere to run, so serve the exact answer from
+          // base+delta instead of failing the request. The progressive
+          // approximate future resolves as an exact fallback.
+          WallTimer timer;
+          core::ClassicOptions classic_options;
+          classic_options.delta = mutable_view.delta_or_null();
+          auto result = request.plan.has_value()
+                            ? core::ExecutePlanClassic(
+                                  *request.plan, *mutable_view.db,
+                                  classic_options)
+                            : core::ExecuteClassic(request.query,
+                                                   *mutable_view.db,
+                                                   classic_options);
+          response.status = result.status();
+          if (result.ok()) {
+            response.result = std::move(*result);
+            response.breakdown.host_seconds = timer.Seconds();
+            response.breakdown.host_cpu_seconds =
+                response.breakdown.host_seconds;
+          }
+          return response;
+        }
+        core::ArOptions ar_options = options_.ar_options;
+        ar_options.on_approximate = std::move(on_approximate);
+        ar_options.delta = mutable_view.delta_or_null();
+        // The epoch's BwdTable lives on the device it was re-decomposed
+        // onto — not necessarily Backend::device.
+        device::Device* dev = mutable_view.bwd->device();
+        static const core::BwdTableMap kNoDims;
+        const core::BwdTableMap& dims =
+            backend_.dim_tables != nullptr ? *backend_.dim_tables : kNoDims;
+        auto exec =
+            request.plan.has_value()
+                ? core::ExecutePlanAr(*request.plan, *mutable_view.bwd, dims,
+                                      dev, ar_options)
+                : core::ExecuteAr(request.query, *mutable_view.bwd,
+                                  backend_.dim, dev, ar_options);
+        response.status = exec.status();
+        if (exec.ok()) {
+          response.result = std::move(exec->result);
+          response.breakdown = exec->breakdown;
+        }
+        return response;
+      }
       if (backend_.sharded_fact != nullptr && backend_.group != nullptr) {
         core::ShardedArOptions sharded_options = options_.sharded_ar_options;
         sharded_options.on_approximate = std::move(on_approximate);
@@ -377,6 +471,25 @@ QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
       return response;
     }
     case EngineKind::kClassic: {
+      if (mutable_scan) {
+        WallTimer timer;
+        core::ClassicOptions classic_options;
+        classic_options.delta = mutable_view.delta_or_null();
+        auto result =
+            request.plan.has_value()
+                ? core::ExecutePlanClassic(*request.plan, *mutable_view.db,
+                                           classic_options)
+                : core::ExecuteClassic(request.query, *mutable_view.db,
+                                       classic_options);
+        response.status = result.status();
+        if (result.ok()) {
+          response.result = std::move(*result);
+          response.breakdown.host_seconds = timer.Seconds();
+          response.breakdown.host_cpu_seconds =
+              response.breakdown.host_seconds;
+        }
+        return response;
+      }
       if (backend_.db == nullptr) {
         response.status =
             Status::InvalidArgument("server has no classic backend (db)");
@@ -395,6 +508,28 @@ QueryResponse QueryServer::Execute(const Pending& pending, unsigned worker) {
       return response;
     }
     case EngineKind::kStreaming: {
+      if (mutable_scan) {
+        if (backend_.device == nullptr) {
+          response.status = Status::InvalidArgument(
+              "server has no streaming backend (device)");
+          return response;
+        }
+        auto exec =
+            request.plan.has_value()
+                ? core::ExecutePlanStreaming(*request.plan, *mutable_view.db,
+                                             backend_.device,
+                                             &streaming_cache_,
+                                             mutable_view.delta_or_null())
+                : core::ExecuteStreaming(request.query, *mutable_view.db,
+                                         backend_.device, &streaming_cache_,
+                                         mutable_view.delta_or_null());
+        response.status = exec.status();
+        if (exec.ok()) {
+          response.result = std::move(exec->result);
+          response.breakdown = exec->breakdown;
+        }
+        return response;
+      }
       if (backend_.shard_dbs != nullptr && backend_.group != nullptr) {
         const bwd::TablePartition* partition =
             (backend_.sharded_fact != nullptr &&
@@ -527,6 +662,11 @@ ServerStats QueryServer::stats() const {
     out = stats_;
     out.queue_depth = queue_.size();
     window = latencies_;
+  }
+  if (backend_.mutable_table != nullptr) {
+    const storage::MutableTableStats table_stats =
+        backend_.mutable_table->Stats();
+    out.ingest_backlog = table_stats.pending_rows + table_stats.buffered_rows;
   }
 
   // Windowed qps (see the ServerStats::qps contract): rate across the

@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "device/device.h"
 #include "device/device_group.h"
 #include "device/residency_cache.h"
+#include "storage/mutable_table.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -151,6 +153,12 @@ struct ServerOptions {
     o.ar.num_threads = 1;
     return o;
   }();
+  /// Ingest admission control: Append is refused (OutOfMemory) while the
+  /// mutable backend's unabsorbed rows — durable delta plus uncommitted
+  /// buffer — are at or past this. Bounds delta memory and query-time
+  /// delta work when the background re-decomposition falls behind
+  /// (device OOM backoff); the backlog drains, appends succeed again.
+  uint64_t max_delta_backlog = 1 << 20;
 };
 
 /// Nearest-rank percentile: the smallest sample such that at least
@@ -207,6 +215,11 @@ struct ServerStats {
   /// without bound nor averages away the current latency regime).
   double p50_latency_seconds = 0;
   double p99_latency_seconds = 0;
+  /// Ingest counters (all zero without a mutable backend).
+  uint64_t ingest_appended = 0;  ///< rows accepted by Append
+  uint64_t ingest_rejected = 0;  ///< Append refusals (backlog full)
+  uint64_t ingest_commits = 0;   ///< OK FlushIngest group commits
+  uint64_t ingest_backlog = 0;   ///< current unabsorbed rows (sampled)
 };
 
 /// A fixed pool of session workers serving queries from a bounded queue
@@ -244,6 +257,16 @@ class QueryServer {
     /// request with InvalidArgument rather than the server.
     const core::BwdTableMap* dim_tables = nullptr;
     const std::vector<core::BwdTableMap>* dim_maps = nullptr;
+
+    /// Mutable ingest backend (DESIGN.md §9). When set, Append/FlushIngest
+    /// write into it and every request scanning its table name is served
+    /// from its current View — base epoch + exact delta union — on all
+    /// three engines, concurrently with background re-decomposition
+    /// swaps. Requests scanning other tables use the static backends
+    /// above. While the base is empty (nothing decomposed yet), kAr
+    /// requests on it are served exactly from the delta instead of
+    /// failing; their approximate future resolves as an exact fallback.
+    storage::MutableTable* mutable_table = nullptr;
   };
 
   QueryServer(Backend backend, ServerOptions options = {});
@@ -288,6 +311,17 @@ class QueryServer {
   bool SubmitAdopted(QueryRequest request,
                      std::promise<QueryResponse> refined,
                      std::shared_ptr<ProgressiveState> progressive);
+
+  /// Ingest: buffers one row into the mutable backend (schema order).
+  /// Not durable or visible until FlushIngest. OutOfMemory while the
+  /// unabsorbed backlog is at max_delta_backlog (admission control —
+  /// retry after the drain catches up); InvalidArgument without a
+  /// mutable backend. Thread-safe, like every other public method.
+  Status Append(std::span<const int64_t> row);
+
+  /// Group-commits every buffered row (one WAL fsync) and publishes them
+  /// to queries. Returns the durable row count. Safe to retry on error.
+  StatusOr<uint64_t> FlushIngest();
 
   /// Blocks until every admitted request has completed — or until the
   /// server shuts down, in which case it returns without waiting for

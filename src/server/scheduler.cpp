@@ -213,6 +213,43 @@ bool AdaptiveScheduler::TrySubmit(const std::string& tenant,
   return EnqueueTenant(tenant, std::move(entry), /*blocking=*/false, out);
 }
 
+Status AdaptiveScheduler::Append(const std::string& tenant_name,
+                                 std::span<const int64_t> row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return Status::Internal("scheduler is shut down");
+  Tenant& tenant = TenantLocked(tenant_name);
+  if (tenant.in_flight() >= BudgetLocked(tenant)) {
+    ++tenant.stats.ingest_rejected;
+    return Status::OutOfMemory("tenant '" + tenant_name +
+                               "' is at its outstanding-work budget; "
+                               "FlushIngest releases the pending charge");
+  }
+  // Under mu_ so the charge is atomic with the admission check; the inner
+  // append is a buffered write (the fsync is FlushIngest's), so this holds
+  // the scheduler lock for a memcpy, not an I/O stall.
+  Status appended = server_.Append(row);
+  if (!appended.ok()) {
+    ++tenant.stats.ingest_rejected;  // server delta backlog at capacity
+    return appended;
+  }
+  ++tenant.stats.ingest_rows;
+  ++tenant.pending_ingest_rows;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> AdaptiveScheduler::FlushIngest(
+    const std::string& tenant_name) {
+  // The fsync happens outside mu_ — dispatch keeps running while the
+  // commit is in flight; the charge is only released once it stuck.
+  StatusOr<uint64_t> durable = server_.FlushIngest();
+  if (!durable.ok()) return durable;
+  std::lock_guard<std::mutex> lock(mu_);
+  Tenant& tenant = TenantLocked(tenant_name);
+  tenant.pending_ingest_rows = 0;
+  budget_cv_.notify_all();
+  return durable;
+}
+
 device::ServingWorkload AdaptiveScheduler::EstimateWorkload(
     const core::QuerySpec& query) const {
   std::vector<std::pair<std::string, cs::RangePred>> preds;
@@ -496,6 +533,7 @@ SchedulerStats AdaptiveScheduler::stats() const {
     s.queued = tenant.entries.size();
     s.outstanding = tenant.outstanding;
     s.budget = BudgetLocked(tenant);
+    s.pending_ingest_rows = tenant.pending_ingest_rows;
     out.rejected += s.rejected;
     out.tenants.emplace(tenant_name, std::move(s));
   }

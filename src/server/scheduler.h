@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <utility>
@@ -136,6 +137,11 @@ struct SchedulerOptions {
   device::ServingWorkload workload;
 };
 
+/// Pending ingest rows per unit of a tenant's outstanding-work budget:
+/// a tenant's unflushed appends charge ceil(rows / 256) budget units, so
+/// a bulk loader draws on the same WFQ share as its queries.
+inline constexpr uint64_t kIngestRowsPerUnit = 256;
+
 /// Per-tenant slice of the scheduler counters.
 struct TenantStats {
   double weight = 1.0;
@@ -148,6 +154,9 @@ struct TenantStats {
   uint64_t queued = 0;      ///< waiting in this tenant's scheduler queue
   uint64_t outstanding = 0; ///< dispatched, refined answer not yet delivered
   uint64_t budget = 0;      ///< current outstanding-work budget
+  uint64_t ingest_rows = 0;      ///< rows appended on this tenant's behalf
+  uint64_t ingest_rejected = 0;  ///< appends refused (budget or backlog)
+  uint64_t pending_ingest_rows = 0;  ///< appended, not yet flushed
 };
 
 /// Aggregate scheduler statistics (since construction).
@@ -192,6 +201,19 @@ class AdaptiveScheduler {
   bool TrySubmit(const std::string& tenant, core::PhysicalPlan plan,
                  ProgressiveFutures* out);
 
+  /// Appends one row to the backend's mutable table on behalf of
+  /// `tenant`. Unflushed appends charge the tenant's outstanding-work
+  /// budget at one unit per kIngestRowsPerUnit rows, so a bulk loader
+  /// competes with its own queries — not other tenants' — and, through
+  /// the tenant-degrade rule, a tenant ingesting heavily serves its
+  /// queries from the classic engine until it flushes. OutOfMemory at
+  /// budget, or when the server's delta backlog is full; retry after
+  /// FlushIngest (or once the background drain catches up).
+  Status Append(const std::string& tenant, std::span<const int64_t> row);
+  /// Commits every buffered append (one fsync) and releases `tenant`'s
+  /// pending-ingest budget charge. Returns the durable row count.
+  StatusOr<uint64_t> FlushIngest(const std::string& tenant);
+
   /// The workload shape the policy would price for `query`, derived from
   /// the backend's resident tables (rows, decomposed widths, predicate
   /// selectivity). Exposed for tests and benchmarks.
@@ -232,9 +254,14 @@ class AdaptiveScheduler {
     double last_vtag = 0;
     std::deque<Entry> entries;
     uint64_t outstanding = 0;
+    uint64_t pending_ingest_rows = 0;  ///< appended, not yet flushed
     TenantStats stats;
 
-    uint64_t in_flight() const { return entries.size() + outstanding; }
+    uint64_t in_flight() const {
+      return entries.size() + outstanding +
+             (pending_ingest_rows + kIngestRowsPerUnit - 1) /
+                 kIngestRowsPerUnit;
+    }
   };
 
   /// Shared derivation behind both EstimateWorkload overloads: prices the

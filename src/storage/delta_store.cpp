@@ -1,0 +1,54 @@
+#include "storage/delta_store.h"
+
+#include <algorithm>
+
+namespace wastenot::storage {
+
+Status DeltaStore::Append(std::span<const int64_t> row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "delta row has " + std::to_string(row.size()) + " values, schema has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.insert(values_.end(), row.begin(), row.end());
+  ++next_;
+  cached_.reset();
+  return Status::OK();
+}
+
+uint64_t DeltaStore::total_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+uint64_t DeltaStore::pending_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ - first_;
+}
+
+std::shared_ptr<const DeltaBatch> DeltaStore::Snapshot(uint64_t from) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t lo = std::max(from, first_);
+  if (cached_ && cached_from_ == lo && cached_to_ == next_) return cached_;
+  const size_t w = columns_.size();
+  const size_t begin = static_cast<size_t>(lo - first_) * w;
+  std::vector<int64_t> values(values_.begin() + begin, values_.end());
+  cached_ = std::make_shared<DeltaBatch>(columns_, std::move(values), lo);
+  cached_from_ = lo;
+  cached_to_ = next_;
+  return cached_;
+}
+
+void DeltaStore::Fold(uint64_t upto) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t to = std::min(upto, next_);
+  if (to <= first_) return;
+  const size_t w = columns_.size();
+  values_.erase(values_.begin(),
+                values_.begin() + static_cast<size_t>(to - first_) * w);
+  first_ = to;
+  cached_.reset();
+}
+
+}  // namespace wastenot::storage

@@ -1,0 +1,117 @@
+// DeltaStore: the row-major append buffer between ingest and the packed
+// BWD representation (DESIGN.md §9.2).
+//
+// Appended rows land here (host-resident, exact, row-major) and become
+// queryable immediately: every engine unions a DeltaBatch snapshot into
+// its result — delta rows are always "candidates" in the paper's A&R
+// sense, and their values are exact, so the residual check is a direct
+// evaluation (no decomposition, no device round trip). The background
+// re-decomposition thread drains rows past a threshold into a new base
+// table + BwdTable and Fold()s them out of the store.
+//
+// Rows carry absolute ingest indices (rows since table creation) so a
+// store rebuilt by WAL replay and an epoch published by a swap agree on
+// which rows the base already absorbed.
+
+#ifndef WASTENOT_STORAGE_DELTA_STORE_H_
+#define WASTENOT_STORAGE_DELTA_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wastenot::storage {
+
+/// An immutable snapshot of delta rows, shared by queries: the engines
+/// hold the shared_ptr for the whole execution, so a concurrent Fold can
+/// never pull rows out from under a running query.
+class DeltaBatch {
+ public:
+  DeltaBatch(std::vector<std::string> columns, std::vector<int64_t> values,
+             uint64_t first_row_index)
+      : columns_(std::move(columns)),
+        values_(std::move(values)),
+        first_row_index_(first_row_index) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  uint64_t num_columns() const { return columns_.size(); }
+  uint64_t num_rows() const {
+    return columns_.empty() ? 0 : values_.size() / columns_.size();
+  }
+  bool empty() const { return values_.empty(); }
+
+  /// Absolute ingest index of row 0 of this batch.
+  uint64_t first_row_index() const { return first_row_index_; }
+
+  /// Position of `name` in columns(), or -1.
+  int ColumnIndex(std::string_view name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  int64_t Get(uint64_t row, uint64_t col) const {
+    return values_[row * columns_.size() + col];
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<int64_t> values_;  ///< row-major, num_rows × num_columns
+  uint64_t first_row_index_ = 0;
+};
+
+/// Thread-safe append buffer of rows not yet folded into the base table.
+class DeltaStore {
+ public:
+  /// `columns` fixes the append schema (one value per column, in order);
+  /// `first_row_index` is the absolute ingest index of the first appended
+  /// row (the snapshot's absorbed count during recovery, 0 for a fresh
+  /// table).
+  DeltaStore(std::vector<std::string> columns, uint64_t first_row_index = 0)
+      : columns_(std::move(columns)),
+        first_(first_row_index),
+        next_(first_row_index) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  /// Appends one row; its absolute index is total_rows() before the call.
+  Status Append(std::span<const int64_t> row);
+
+  /// Absolute ingest index of the next row ( = rows ever appended, plus
+  /// the recovery offset).
+  uint64_t total_rows() const;
+
+  /// Rows currently buffered ( = total_rows() - folded rows).
+  uint64_t pending_rows() const;
+
+  /// Immutable snapshot of the rows with absolute index in
+  /// [from, total_rows()). `from` below the fold point clamps to it (those
+  /// rows are gone — the base absorbed them). Cached: repeated snapshots
+  /// between appends/folds share one batch.
+  std::shared_ptr<const DeltaBatch> Snapshot(uint64_t from) const;
+
+  /// Drops rows with absolute index < upto (they are durable in the base
+  /// now). No-op when upto is behind the fold point.
+  void Fold(uint64_t upto);
+
+ private:
+  const std::vector<std::string> columns_;
+
+  mutable std::mutex mu_;
+  std::vector<int64_t> values_;  ///< row-major, rows [first_, next_)
+  uint64_t first_;               ///< absolute index of values_' row 0
+  uint64_t next_;                ///< absolute index of the next append
+  mutable std::shared_ptr<const DeltaBatch> cached_;
+  mutable uint64_t cached_from_ = 0;
+  mutable uint64_t cached_to_ = 0;
+};
+
+}  // namespace wastenot::storage
+
+#endif  // WASTENOT_STORAGE_DELTA_STORE_H_

@@ -1,0 +1,115 @@
+// Length+checksum record framing shared by the WAL and the base-snapshot
+// file (DESIGN.md §9.1): [u32 payload_len][u32 crc32c(payload)][payload].
+//
+// Every durable byte the storage layer writes goes through this frame, so
+// a reader can always tell "valid record", "torn tail" (fewer bytes than
+// the header promises) and "corrupt record" (checksum mismatch) apart —
+// the three cases WAL replay must distinguish to truncate instead of
+// aborting. Integers are host-endian (the files are node-local state, not
+// an interchange format).
+
+#ifndef WASTENOT_STORAGE_FRAMING_H_
+#define WASTENOT_STORAGE_FRAMING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/crc32c.h"
+
+namespace wastenot::storage {
+
+/// Bytes the frame header adds in front of a payload.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Payloads above this are rejected as corrupt on read (no legitimate
+/// record comes close; a garbage length would otherwise make the reader
+/// wait for gigabytes of "torn tail").
+inline constexpr uint32_t kMaxFramePayload = 1u << 28;
+
+/// Appends [len][crc][payload] to `out`.
+inline void AppendFrame(std::string* out, std::string_view payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = util::Crc32c(payload.data(), payload.size());
+  out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out->append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out->append(payload.data(), payload.size());
+}
+
+/// Outcome of reading one frame at an offset of a byte buffer.
+enum class FrameRead : uint8_t {
+  kOk,       ///< `payload` set, frame occupies header + payload bytes
+  kTorn,     ///< buffer ends before the frame does (crash mid-write)
+  kCorrupt,  ///< checksum mismatch or implausible length (bit rot / torn
+             ///< write that happened to leave enough bytes behind)
+};
+
+/// Reads the frame starting at `data[offset]`; on kOk sets `payload` (a
+/// view into `data`) and advances `offset` past the frame.
+inline FrameRead ReadFrame(std::string_view data, size_t* offset,
+                           std::string_view* payload) {
+  if (data.size() - *offset < kFrameHeaderBytes) return FrameRead::kTorn;
+  uint32_t len = 0, crc = 0;
+  std::memcpy(&len, data.data() + *offset, sizeof(len));
+  std::memcpy(&crc, data.data() + *offset + sizeof(len), sizeof(crc));
+  if (len > kMaxFramePayload) return FrameRead::kCorrupt;
+  if (data.size() - *offset - kFrameHeaderBytes < len) return FrameRead::kTorn;
+  const char* p = data.data() + *offset + kFrameHeaderBytes;
+  if (util::Crc32c(p, len) != crc) return FrameRead::kCorrupt;
+  *payload = std::string_view(p, len);
+  *offset += kFrameHeaderBytes + len;
+  return FrameRead::kOk;
+}
+
+/// Little serialization helpers for frame payloads (host-endian).
+inline void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+inline void PutU16(std::string* out, uint16_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+inline void PutI64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounds-checked reads; return false when the payload is too short (a
+/// corrupt-but-checksummed record — only reachable through version skew,
+/// so callers surface IoError rather than asserting).
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : data_(payload) {}
+
+  bool ReadU8(uint8_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU16(uint16_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadI64(int64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadString(size_t len, std::string_view* v) {
+    if (data_.size() - pos_ < len) return false;
+    *v = data_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool ReadRaw(void* v, size_t n) {
+    if (data_.size() - pos_ < n) return false;
+    std::memcpy(v, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wastenot::storage
+
+#endif  // WASTENOT_STORAGE_FRAMING_H_

@@ -1,0 +1,510 @@
+#include "storage/mutable_table.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "storage/framing.h"
+#include "util/fault_injection.h"
+
+namespace wastenot::storage {
+
+namespace {
+
+/// Snapshot record types (one CRC32C frame each, storage/framing.h):
+///   kHeader  [u8][u64 absorbed][u16 name_len][name][u16 n_columns]
+///   kColumn  [u8][u16 name_len][name][u64 n_rows][i64 value]*
+/// The file is replaced atomically (tmp + fsync + rename + dir fsync), so
+/// a parse failure is bit rot or version skew, not a crash artifact.
+enum SnapshotRecord : uint8_t { kHeader = 1, kColumn = 2 };
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t len,
+                const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads `path` into `out`; sets `*found = false` on ENOENT.
+Status ReadFileIfExists(const std::string& path, std::string* out,
+                        bool* found) {
+  *found = false;
+  out->clear();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::OK();
+    return ErrnoStatus("open", path);
+  }
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read", path);
+    }
+    if (n == 0) break;
+    out->append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  *found = true;
+  return Status::OK();
+}
+
+Status FsyncPath(const std::string& path, int open_flags) {
+  const int fd = ::open(path.c_str(), open_flags);
+  if (fd < 0) return ErrnoStatus("open", path);
+  if (::fsync(fd) < 0) {
+    ::close(fd);
+    return ErrnoStatus("fsync", path);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status CorruptSnapshot(const std::string& what) {
+  return Status::IoError("base snapshot corrupt: " + what);
+}
+
+}  // namespace
+
+std::string MutableTable::WalPath(const std::string& dir) {
+  return dir + "/wal.log";
+}
+
+std::string MutableTable::SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.tbl";
+}
+
+MutableTable::MutableTable(MutableTableOptions options)
+    : options_(std::move(options)), requests_(options_.requests) {
+  if (requests_.empty()) {
+    for (const std::string& c : options_.columns) {
+      requests_.push_back(bwd::DecomposeRequest{c});
+    }
+  }
+}
+
+StatusOr<std::unique_ptr<MutableTable>> MutableTable::Open(
+    MutableTableOptions options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("MutableTable needs a data directory");
+  }
+  if (options.name.empty()) {
+    return Status::InvalidArgument("MutableTable needs a table name");
+  }
+  if (options.columns.empty()) {
+    return Status::InvalidArgument("MutableTable needs at least one column");
+  }
+  std::unique_ptr<MutableTable> table(new MutableTable(std::move(options)));
+  WN_RETURN_IF_ERROR(table->Recover());
+  if (table->options_.background) {
+    table->drain_thread_ = std::thread(&MutableTable::DrainLoop, table.get());
+  }
+  return table;
+}
+
+MutableTable::~MutableTable() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (drain_thread_.joinable()) drain_thread_.join();
+}
+
+Status MutableTable::Recover() {
+  if (::mkdir(options_.dir.c_str(), 0755) < 0 && errno != EEXIST) {
+    return ErrnoStatus("mkdir", options_.dir);
+  }
+
+  std::vector<std::vector<int64_t>> base_columns;
+  uint64_t absorbed = 0;
+  WN_RETURN_IF_ERROR(LoadSnapshot(&base_columns, &absorbed));
+
+  delta_store_ = std::make_unique<DeltaStore>(options_.columns, absorbed);
+
+  // Redo the log. Rows the snapshot already absorbed — and duplicates a
+  // retried commit re-wrote after a failed fsync — replay below the
+  // store's next index and are skipped; a row index *above* it would mean
+  // a hole in the ingest sequence, which no crash can produce.
+  const WalApplyFn apply = [&](uint64_t row_index, std::string_view table,
+                               std::span<const int64_t> values) -> Status {
+    if (table != options_.name) {
+      return Status::InvalidArgument(
+          "WAL row for table '" + std::string(table) + "' in the log of '" +
+          options_.name + "'");
+    }
+    if (values.size() != options_.columns.size()) {
+      return Status::InvalidArgument("WAL row width mismatch for '" +
+                                     options_.name + "'");
+    }
+    const uint64_t next = delta_store_->total_rows();
+    if (row_index < next) return Status::OK();  // absorbed or duplicate
+    if (row_index > next) {
+      return Status::Internal("WAL gap: expected row " + std::to_string(next) +
+                              ", found row " + std::to_string(row_index));
+    }
+    ++replayed_rows_;
+    return delta_store_->Append(values);
+  };
+  StatusOr<WalReplayStats> replay = ReplayWal(WalPath(options_.dir), apply);
+  WN_RETURN_IF_ERROR(replay.status());
+
+  WN_ASSIGN_OR_RETURN(wal_, WalWriter::Open(WalPath(options_.dir)));
+  WN_ASSIGN_OR_RETURN(epoch_, BuildEpoch(base_columns, absorbed));
+  next_index_ = delta_store_->total_rows();
+  return Status::OK();
+}
+
+Status MutableTable::Append(std::span<const int64_t> row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (row.size() != options_.columns.size()) {
+    return Status::InvalidArgument(
+        "append width " + std::to_string(row.size()) + " != schema width " +
+        std::to_string(options_.columns.size()) + " of '" + options_.name +
+        "'");
+  }
+  WN_RETURN_IF_ERROR(wal_->Append(options_.name, next_index_, row));
+  buffered_.insert(buffered_.end(), row.begin(), row.end());
+  ++next_index_;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> MutableTable::Flush() {
+  bool wake = false;
+  uint64_t durable = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Commit is a no-op on an empty buffer; on error the WAL keeps its
+    // buffer and we keep ours, so a retry re-commits the same rows (the
+    // duplicate records a half-written batch may leave behind are skipped
+    // by index at replay).
+    WN_RETURN_IF_ERROR(wal_->Commit(next_index_));
+    const size_t width = options_.columns.size();
+    for (size_t off = 0; off < buffered_.size(); off += width) {
+      WN_RETURN_IF_ERROR(delta_store_->Append(
+          std::span<const int64_t>(buffered_.data() + off, width)));
+    }
+    buffered_.clear();
+    durable = delta_store_->total_rows();
+    wake = delta_store_->pending_rows() >= options_.drain_threshold;
+  }
+  if (wake) cv_.notify_one();
+  return durable;
+}
+
+TableView MutableTable::View() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TableView view;
+  view.db = epoch_->db;
+  view.bwd = epoch_->bwd;
+  view.absorbed = epoch_->absorbed;
+  view.delta = delta_store_->Snapshot(epoch_->absorbed);
+  view.durable = view.absorbed + view.delta->num_rows();
+  return view;
+}
+
+MutableTableStats MutableTable::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MutableTableStats s;
+  s.appended_rows = next_index_;
+  s.durable_rows = delta_store_->total_rows();
+  s.absorbed_rows = epoch_->absorbed;
+  s.buffered_rows = s.appended_rows - s.durable_rows;
+  s.pending_rows = s.durable_rows - s.absorbed_rows;
+  s.swaps = swaps_;
+  s.failed_swaps = failed_swaps_;
+  s.wal_commits = wal_->commits();
+  s.replayed_rows = replayed_rows_;
+  return s;
+}
+
+Status MutableTable::Drain() {
+  const Status drained = DrainOnce();
+  if (!drained.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failed_swaps_;
+  }
+  return drained;
+}
+
+StatusOr<std::shared_ptr<const MutableTable::Epoch>> MutableTable::BuildEpoch(
+    const std::vector<std::vector<int64_t>>& column_values,
+    uint64_t absorbed) const {
+  auto db = std::make_shared<cs::Database>();
+  cs::Table fact(options_.name);
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    const std::vector<int64_t>& values = column_values[c];
+    // Re-run the physical choice on the merged distribution: narrow to
+    // int32 when every value fits (the width the decomposition planner
+    // and the classic scans both prefer), and recompute the min/max the
+    // planner derives digit widths from.
+    bool fits_i32 = true;
+    for (int64_t v : values) {
+      if (v < std::numeric_limits<int32_t>::min() ||
+          v > std::numeric_limits<int32_t>::max()) {
+        fits_i32 = false;
+        break;
+      }
+    }
+    cs::Column col;
+    if (fits_i32) {
+      std::vector<int32_t> narrow(values.begin(), values.end());
+      col = cs::Column::FromI32(narrow);
+    } else {
+      col = cs::Column::FromI64(values);
+    }
+    if (!values.empty()) col.ComputeStats();
+    WN_RETURN_IF_ERROR(fact.AddColumn(options_.columns[c], std::move(col)));
+  }
+  cs::Table* fact_ptr = nullptr;
+  WN_ASSIGN_OR_RETURN(fact_ptr, db->AddTable(std::move(fact)));
+  if (options_.dims != nullptr) {
+    for (const std::string& n : options_.dims->table_names()) {
+      if (n == options_.name) continue;
+      WN_RETURN_IF_ERROR(db->AddTable(options_.dims->table(n).Clone())
+                             .status());
+    }
+  }
+
+  auto epoch = std::make_shared<Epoch>();
+  epoch->db = std::move(db);
+  epoch->absorbed = absorbed;
+  if (options_.device != nullptr && fact_ptr->num_rows() > 0) {
+    // The failure path here is real device OOM: the previous epoch's
+    // allocations are still live (in-flight queries hold them), so a
+    // swap transiently needs room for both generations. The caller keeps
+    // serving base+delta and retries after backoff.
+    WN_ASSIGN_OR_RETURN(
+        bwd::BwdTable bwd,
+        bwd::BwdTable::Decompose(*fact_ptr, requests_, options_.device));
+    epoch->bwd = std::make_shared<bwd::BwdTable>(std::move(bwd));
+  }
+  return std::shared_ptr<const Epoch>(std::move(epoch));
+}
+
+Status MutableTable::WriteSnapshot(
+    const std::vector<std::vector<int64_t>>& column_values,
+    uint64_t absorbed) const {
+  std::string blob;
+  {
+    std::string payload;
+    PutU8(&payload, kHeader);
+    PutU64(&payload, absorbed);
+    PutU16(&payload, static_cast<uint16_t>(options_.name.size()));
+    payload.append(options_.name);
+    PutU16(&payload, static_cast<uint16_t>(options_.columns.size()));
+    AppendFrame(&blob, payload);
+  }
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    std::string payload;
+    payload.reserve(1 + 2 + options_.columns[c].size() + 8 +
+                    column_values[c].size() * 8);
+    PutU8(&payload, kColumn);
+    PutU16(&payload, static_cast<uint16_t>(options_.columns[c].size()));
+    payload.append(options_.columns[c]);
+    PutU64(&payload, column_values[c].size());
+    for (int64_t v : column_values[c]) PutI64(&payload, v);
+    AppendFrame(&blob, payload);
+  }
+
+  const std::string tmp = options_.dir + "/snapshot.tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  const fault::WriteCheck wc = fault::CheckWrite(kFaultSnapshotWrite,
+                                                 blob.size());
+  if (!wc.status.ok()) {
+    ::close(fd);
+    return wc.status;
+  }
+  if (wc.torn_bytes.has_value()) {
+    (void)WriteAll(fd, blob.data(), *wc.torn_bytes, tmp);
+    fault::Crash();  // torn tmp file: invisible to recovery until renamed
+  }
+  {
+    const Status s = WriteAll(fd, blob.data(), blob.size(), tmp);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  }
+  if (::fsync(fd) < 0) {
+    ::close(fd);
+    return ErrnoStatus("fsync", tmp);
+  }
+  ::close(fd);
+
+  // The rename is the commit point: before it recovery sees the old
+  // snapshot (WAL still covers the delta), after it the new one (replay
+  // skips the absorbed prefix by index). The directory fsync makes the
+  // rename itself power-cut durable.
+  WN_RETURN_IF_ERROR(fault::Check(kFaultSnapshotRename));
+  if (::rename(tmp.c_str(), SnapshotPath(options_.dir).c_str()) < 0) {
+    return ErrnoStatus("rename", tmp);
+  }
+  return FsyncPath(options_.dir, O_RDONLY | O_DIRECTORY);
+}
+
+Status MutableTable::LoadSnapshot(
+    std::vector<std::vector<int64_t>>* column_values,
+    uint64_t* absorbed) const {
+  column_values->assign(options_.columns.size(), {});
+  *absorbed = 0;
+
+  const std::string path = SnapshotPath(options_.dir);
+  std::string data;
+  bool found = false;
+  WN_RETURN_IF_ERROR(ReadFileIfExists(path, &data, &found));
+  if (!found) return Status::OK();  // fresh table
+
+  size_t offset = 0;
+  std::string_view payload;
+  if (ReadFrame(data, &offset, &payload) != FrameRead::kOk) {
+    return CorruptSnapshot("unreadable header frame in '" + path + "'");
+  }
+  PayloadReader header(payload);
+  uint8_t type = 0;
+  uint16_t name_len = 0, n_columns = 0;
+  std::string_view name;
+  if (!header.ReadU8(&type) || type != kHeader ||
+      !header.ReadU64(absorbed) || !header.ReadU16(&name_len) ||
+      !header.ReadString(name_len, &name) || !header.ReadU16(&n_columns)) {
+    return CorruptSnapshot("malformed header in '" + path + "'");
+  }
+  if (name != options_.name) {
+    return Status::InvalidArgument("snapshot holds table '" +
+                                   std::string(name) + "', expected '" +
+                                   options_.name + "'");
+  }
+  if (n_columns != options_.columns.size()) {
+    return Status::InvalidArgument(
+        "snapshot has " + std::to_string(n_columns) + " columns, schema has " +
+        std::to_string(options_.columns.size()));
+  }
+
+  uint64_t rows = 0;
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    if (ReadFrame(data, &offset, &payload) != FrameRead::kOk) {
+      return CorruptSnapshot("unreadable column frame in '" + path + "'");
+    }
+    PayloadReader col(payload);
+    uint16_t col_name_len = 0;
+    std::string_view col_name;
+    uint64_t n_rows = 0;
+    if (!col.ReadU8(&type) || type != kColumn || !col.ReadU16(&col_name_len) ||
+        !col.ReadString(col_name_len, &col_name) || !col.ReadU64(&n_rows)) {
+      return CorruptSnapshot("malformed column frame in '" + path + "'");
+    }
+    if (col_name != options_.columns[c]) {
+      return Status::InvalidArgument("snapshot column '" +
+                                     std::string(col_name) +
+                                     "' does not match schema column '" +
+                                     options_.columns[c] + "'");
+    }
+    if (c == 0) {
+      rows = n_rows;
+    } else if (n_rows != rows) {
+      return CorruptSnapshot("ragged columns in '" + path + "'");
+    }
+    std::vector<int64_t>& out = (*column_values)[c];
+    out.resize(n_rows);
+    for (uint64_t r = 0; r < n_rows; ++r) {
+      if (!col.ReadI64(&out[r])) {
+        return CorruptSnapshot("short column frame in '" + path + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MutableTable::DrainOnce() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+
+  std::shared_ptr<const Epoch> old_epoch;
+  std::shared_ptr<const DeltaBatch> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    old_epoch = epoch_;
+    batch = delta_store_->Snapshot(old_epoch->absorbed);
+  }
+  if (batch->empty()) return Status::OK();
+  const uint64_t target = batch->first_row_index() + batch->num_rows();
+
+  // Merge base + delta into plain value vectors. Both inputs are
+  // immutable (the epoch is published, the batch snapshotted), so this
+  // runs lock-free while ingest and queries proceed.
+  const cs::Table& base = old_epoch->db->table(options_.name);
+  const uint64_t base_rows = base.num_rows();
+  std::vector<std::vector<int64_t>> merged(options_.columns.size());
+  for (size_t c = 0; c < options_.columns.size(); ++c) {
+    merged[c].reserve(base_rows + batch->num_rows());
+    if (base_rows > 0) {
+      const cs::Column& col = base.column(options_.columns[c]);
+      for (uint64_t r = 0; r < base_rows; ++r) merged[c].push_back(col.Get(r));
+    }
+    for (uint64_t r = 0; r < batch->num_rows(); ++r) {
+      merged[c].push_back(batch->Get(r, c));
+    }
+  }
+
+  WN_RETURN_IF_ERROR(fault::Check(kFaultSwapReencode));
+  WN_ASSIGN_OR_RETURN(std::shared_ptr<const Epoch> next,
+                      BuildEpoch(merged, target));
+  WN_RETURN_IF_ERROR(WriteSnapshot(merged, target));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WN_RETURN_IF_ERROR(fault::Check(kFaultSwapPublish));
+    epoch_ = std::move(next);
+    delta_store_->Fold(target);
+    ++swaps_;
+    if (delta_store_->total_rows() == target) {
+      // Quiesced: the durable snapshot covers every logged row, so the
+      // log can restart empty. (Buffered, uncommitted appends survive in
+      // the writer and re-commit with indices >= target.) When ingest
+      // raced past `target` the log keeps both halves and replay filters
+      // by index; a truncate failure degrades the same way — the log
+      // just stays longer than it needs to be.
+      (void)wal_->Truncate();
+    }
+  }
+  return Status::OK();
+}
+
+void MutableTable::DrainLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait(lock, [&] {
+      return stop_ ||
+             delta_store_->pending_rows() >= options_.drain_threshold;
+    });
+    if (stop_) break;
+    lock.unlock();
+    const Status drained = Drain();
+    lock.lock();
+    if (!drained.ok()) {
+      cv_.wait_for(lock, std::chrono::milliseconds(options_.backoff_ms),
+                   [&] { return stop_; });
+    }
+  }
+}
+
+}  // namespace wastenot::storage

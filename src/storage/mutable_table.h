@@ -1,0 +1,213 @@
+// MutableTable: a crash-consistent, queryable, append-only fact table
+// (DESIGN.md §9). It ties the storage layer together:
+//
+//   Append/Flush  rows go to the WAL (group commit, one fsync per Flush)
+//                 and, once durable, into the DeltaStore — a Flush that
+//                 returned OK survives any crash.
+//   View()        a consistent {base Database, BwdTable, DeltaBatch}
+//                 triple. Every engine executes against it: the base part
+//                 runs the normal classic/A&R/streaming paths, the delta
+//                 part is unioned in exactly (core/plan_exec.cpp), so
+//                 results are bit-identical to a table that had already
+//                 absorbed the delta rows.
+//   drain thread  once the delta passes a threshold, a background pass
+//                 rebuilds base+delta into a new cs::Table, re-runs the
+//                 decomposition width choice on the *merged* value
+//                 distribution (ComputeStats → DecompositionSpec::Plan),
+//                 writes a durable base snapshot (tmp + fsync + rename),
+//                 and publishes the new epoch while in-flight queries keep
+//                 serving the old one (shared_ptr epochs). The WAL is
+//                 truncated only when the snapshot covers every logged
+//                 row; otherwise replay filters by absolute row index.
+//
+// Failure model: a failed re-decomposition (device OOM, injected fault)
+// degrades service, never correctness — the table keeps answering from
+// base+delta and the drain retries with backoff. Crash points threaded
+// through every durability boundary (util/fault_injection.h) let the
+// recovery fuzz kill the process anywhere and assert that Open() restores
+// exactly the acknowledged rows.
+
+#ifndef WASTENOT_STORAGE_MUTABLE_TABLE_H_
+#define WASTENOT_STORAGE_MUTABLE_TABLE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bwd/bwd_table.h"
+#include "columnstore/database.h"
+#include "storage/delta_store.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace wastenot::storage {
+
+/// Fault-injection sites on the re-decomposition swap path (the WAL has
+/// its own, storage/wal.h).
+inline constexpr char kFaultSnapshotWrite[] = "snapshot.write";
+inline constexpr char kFaultSnapshotRename[] = "snapshot.rename";
+inline constexpr char kFaultSwapReencode[] = "swap.reencode";
+inline constexpr char kFaultSwapPublish[] = "swap.publish";
+
+struct MutableTableOptions {
+  /// Directory holding the table's durable state (wal.log, snapshot.tbl).
+  /// Created if absent.
+  std::string dir;
+  /// Table name (what queries scan).
+  std::string name = "fact";
+  /// Append schema: one int64 value per column, in this order.
+  std::vector<std::string> columns;
+  /// Decomposition requests for the device representation. Empty = every
+  /// schema column at the defaults (32 device bits, bit-packed).
+  std::vector<bwd::DecomposeRequest> requests;
+  /// Device for the decomposed representation; null = host-only (views
+  /// carry no BwdTable, classic/streaming still work).
+  device::Device* device = nullptr;
+  /// Dimension tables cloned into every epoch's Database so classic plans
+  /// can join against them; the entry matching `name` (if any) is skipped.
+  const cs::Database* dims = nullptr;
+  /// Committed-but-unabsorbed rows that trigger a background drain.
+  uint64_t drain_threshold = 4096;
+  /// Spawn the background drain thread. Off = drain only via Drain().
+  bool background = true;
+  /// Backoff before retrying a failed drain (device OOM degradation).
+  uint64_t backoff_ms = 50;
+};
+
+/// A consistent point-in-time view of the table. Queries hold it for the
+/// whole execution: the shared_ptrs keep the epoch's columns, device
+/// allocations and delta rows alive across concurrent swaps and folds.
+struct TableView {
+  /// Base rows as a Database: the fact table plus cloned dimensions.
+  std::shared_ptr<const cs::Database> db;
+  /// Decomposed base representation; null when the table was opened
+  /// without a device or the base is still empty (query classically).
+  std::shared_ptr<const bwd::BwdTable> bwd;
+  /// Durable rows the base has not absorbed (maybe empty).
+  std::shared_ptr<const DeltaBatch> delta;
+  uint64_t absorbed = 0;  ///< base rows ( = delta->first_row_index())
+  uint64_t durable = 0;   ///< absorbed + delta rows
+
+  /// What the engines take as ClassicOptions/ArOptions::delta.
+  const DeltaBatch* delta_or_null() const {
+    return (delta != nullptr && !delta->empty()) ? delta.get() : nullptr;
+  }
+};
+
+/// Ingest/recovery counters (one consistent sample).
+struct MutableTableStats {
+  uint64_t appended_rows = 0;   ///< rows ever Append()ed (incl. buffered)
+  uint64_t durable_rows = 0;    ///< rows covered by an OK Flush()
+  uint64_t absorbed_rows = 0;   ///< rows in the published base epoch
+  uint64_t buffered_rows = 0;   ///< appended - durable (lost on crash)
+  uint64_t pending_rows = 0;    ///< durable - absorbed (served from delta)
+  uint64_t swaps = 0;           ///< successful re-decomposition swaps
+  uint64_t failed_swaps = 0;    ///< drains that errored (OOM/fault), retried
+  uint64_t wal_commits = 0;     ///< group commits since Open
+  uint64_t replayed_rows = 0;   ///< rows recovered from the WAL at Open
+};
+
+class MutableTable {
+ public:
+  /// Opens (or creates) the table at options.dir: loads the base snapshot
+  /// if one exists, replays the WAL for rows the snapshot had not
+  /// absorbed, and starts the drain thread. Crash-safe against any
+  /// interleaving of its own writes: the snapshot is replaced atomically
+  /// and WAL replay filters by absolute row index, so double-covered rows
+  /// are skipped and torn tails truncated.
+  static StatusOr<std::unique_ptr<MutableTable>> Open(
+      MutableTableOptions options);
+
+  /// Stops the drain thread. Buffered, unflushed appends are dropped —
+  /// exactly what a crash would do to them; Flush() first to keep them.
+  ~MutableTable();
+
+  MutableTable(const MutableTable&) = delete;
+  MutableTable& operator=(const MutableTable&) = delete;
+
+  /// Buffers one row (schema order). Not durable or visible until
+  /// Flush() returns OK.
+  Status Append(std::span<const int64_t> row);
+
+  /// Group-commits every buffered row (one WAL write + fsync) and
+  /// publishes them to queries. Returns the durable row count. On error
+  /// (injected fault, I/O) the rows stay buffered and a retry is safe —
+  /// replay skips any duplicate records a failed fsync left behind.
+  StatusOr<uint64_t> Flush();
+
+  /// A consistent snapshot for query execution.
+  TableView View() const;
+
+  /// Synchronously drains every committed delta row into a new base
+  /// epoch (the background thread runs this same pass). No-op when the
+  /// delta is empty. On error the old epoch keeps serving.
+  Status Drain();
+
+  MutableTableStats Stats() const;
+
+  const std::string& name() const { return options_.name; }
+  const std::vector<std::string>& columns() const { return options_.columns; }
+
+  /// Durable file names within options.dir.
+  static std::string WalPath(const std::string& dir);
+  static std::string SnapshotPath(const std::string& dir);
+
+ private:
+  /// One published generation of the base table. Immutable once built;
+  /// `bwd` borrows dictionaries/columns from `db`'s fact table, so the
+  /// two travel together.
+  struct Epoch {
+    std::shared_ptr<cs::Database> db;
+    std::shared_ptr<bwd::BwdTable> bwd;
+    uint64_t absorbed = 0;
+  };
+
+  explicit MutableTable(MutableTableOptions options);
+
+  Status Recover();
+  /// Builds a fresh epoch from full column value vectors (row-major base
+  /// content). Chooses i32/i64 physical columns, recomputes stats, and
+  /// re-decomposes onto the device.
+  StatusOr<std::shared_ptr<const Epoch>> BuildEpoch(
+      const std::vector<std::vector<int64_t>>& column_values,
+      uint64_t absorbed) const;
+  /// Writes the base snapshot durably (tmp + fsync + rename + dir fsync).
+  Status WriteSnapshot(const std::vector<std::vector<int64_t>>& column_values,
+                       uint64_t absorbed) const;
+  /// Loads the snapshot into `column_values`/`absorbed`; absent file
+  /// leaves them empty/zero.
+  Status LoadSnapshot(std::vector<std::vector<int64_t>>* column_values,
+                      uint64_t* absorbed) const;
+  Status DrainOnce();
+  void DrainLoop();
+
+  const MutableTableOptions options_;
+  std::vector<bwd::DecomposeRequest> requests_;  ///< resolved (never empty)
+
+  std::unique_ptr<DeltaStore> delta_store_;  ///< built by Recover (its
+                                             ///< first_row_index is the
+                                             ///< snapshot's absorbed count)
+  std::unique_ptr<WalWriter> wal_;
+
+  mutable std::mutex mu_;  ///< ingest + epoch publication + counters
+  std::condition_variable cv_;
+  std::shared_ptr<const Epoch> epoch_;
+  std::vector<int64_t> buffered_;  ///< appended, not yet committed (row-major)
+  uint64_t next_index_ = 0;        ///< absolute index of the next Append
+  uint64_t swaps_ = 0;
+  uint64_t failed_swaps_ = 0;
+  uint64_t replayed_rows_ = 0;
+  bool stop_ = false;
+
+  std::mutex drain_mu_;  ///< serializes whole drain passes
+  std::thread drain_thread_;
+};
+
+}  // namespace wastenot::storage
+
+#endif  // WASTENOT_STORAGE_MUTABLE_TABLE_H_

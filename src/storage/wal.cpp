@@ -1,0 +1,203 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include "storage/framing.h"
+#include "util/fault_injection.h"
+
+namespace wastenot::storage {
+
+namespace {
+
+enum RecordType : uint8_t { kAppend = 1, kCommit = 2 };
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::IoError(op + " '" + path + "': " + std::strerror(errno));
+}
+
+/// write() until `len` bytes of `data` are down (short writes retried).
+Status WriteAll(int fd, const char* data, size_t len,
+                const std::string& path) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<WalWriter>> WalWriter::Open(std::string path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  return std::unique_ptr<WalWriter>(new WalWriter(std::move(path), fd));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Append(std::string_view table, uint64_t row_index,
+                         std::span<const int64_t> values) {
+  if (table.size() > std::numeric_limits<uint16_t>::max()) {
+    return Status::InvalidArgument("table name too long for a WAL record");
+  }
+  if (values.size() > std::numeric_limits<uint16_t>::max()) {
+    return Status::InvalidArgument("row too wide for a WAL record");
+  }
+  std::string payload;
+  payload.reserve(1 + 8 + 2 + table.size() + 2 + values.size() * 8);
+  PutU8(&payload, kAppend);
+  PutU64(&payload, row_index);
+  PutU16(&payload, static_cast<uint16_t>(table.size()));
+  payload.append(table.data(), table.size());
+  PutU16(&payload, static_cast<uint16_t>(values.size()));
+  for (int64_t v : values) PutI64(&payload, v);
+  AppendFrame(&buffer_, payload);
+  return Status::OK();
+}
+
+Status WalWriter::Commit(uint64_t committed_rows) {
+  if (buffer_.empty()) return Status::OK();
+  std::string payload;
+  PutU8(&payload, kCommit);
+  PutU64(&payload, committed_rows);
+  AppendFrame(&buffer_, payload);
+
+  // One write, one fsync: the group-commit batch. A torn-write fault
+  // leaves a prefix of the batch on disk — exactly what a power cut
+  // between the write and the platter does — and replay drops it at the
+  // checksum or the missing commit record.
+  const fault::WriteCheck wc = fault::CheckWrite(kFaultWalWrite,
+                                                 buffer_.size());
+  if (!wc.status.ok()) return wc.status;
+  if (wc.torn_bytes.has_value()) {
+    (void)WriteAll(fd_, buffer_.data(), *wc.torn_bytes, path_);
+    fault::Crash();
+  }
+  WN_RETURN_IF_ERROR(WriteAll(fd_, buffer_.data(), buffer_.size(), path_));
+
+  WN_RETURN_IF_ERROR(fault::Check(kFaultWalFsync));
+  if (::fsync(fd_) < 0) return ErrnoStatus("fsync", path_);
+
+  synced_bytes_ += buffer_.size();
+  ++commits_;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status WalWriter::Truncate() {
+  WN_RETURN_IF_ERROR(fault::Check(kFaultWalTruncate));
+  if (::ftruncate(fd_, 0) < 0) return ErrnoStatus("ftruncate", path_);
+  if (::fsync(fd_) < 0) return ErrnoStatus("fsync", path_);
+  return Status::OK();
+}
+
+StatusOr<WalReplayStats> ReplayWal(const std::string& path,
+                                   const WalApplyFn& apply) {
+  WalReplayStats stats;
+
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno == ENOENT) return stats;  // no log = empty log
+    return ErrnoStatus("open", path);
+  }
+
+  std::string data;
+  {
+    char chunk[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return ErrnoStatus("read", path);
+      }
+      if (n == 0) break;
+      data.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  // One committed batch at a time: appends accumulate in `pending` and are
+  // delivered only once their commit record checks out; whatever follows
+  // the last valid commit (torn frame, corrupt frame, or valid appends
+  // that never got their commit) is discarded and truncated away.
+  struct PendingRow {
+    uint64_t row_index;
+    std::string table;
+    std::vector<int64_t> values;
+  };
+  std::vector<PendingRow> pending;
+  size_t offset = 0;
+  size_t durable_end = 0;  // file offset after the last valid commit record
+
+  while (offset < data.size()) {
+    std::string_view payload;
+    const FrameRead read = ReadFrame(data, &offset, &payload);
+    if (read != FrameRead::kOk) break;  // torn or corrupt: stop, truncate
+
+    PayloadReader r(payload);
+    uint8_t type = 0;
+    if (!r.ReadU8(&type)) break;
+    if (type == kAppend) {
+      PendingRow row;
+      uint16_t table_len = 0, n_values = 0;
+      std::string_view table;
+      if (!r.ReadU64(&row.row_index) || !r.ReadU16(&table_len) ||
+          !r.ReadString(table_len, &table) || !r.ReadU16(&n_values)) {
+        break;
+      }
+      row.table.assign(table);
+      row.values.resize(n_values);
+      bool ok = true;
+      for (uint16_t i = 0; i < n_values && ok; ++i) {
+        ok = r.ReadI64(&row.values[i]);
+      }
+      if (!ok) break;
+      pending.push_back(std::move(row));
+    } else if (type == kCommit) {
+      uint64_t committed_rows = 0;
+      if (!r.ReadU64(&committed_rows)) break;
+      for (PendingRow& row : pending) {
+        const Status s = apply(row.row_index, row.table, row.values);
+        if (!s.ok()) {
+          ::close(fd);
+          return s;
+        }
+        ++stats.applied_rows;
+      }
+      pending.clear();
+      ++stats.commits;
+      durable_end = offset;
+    } else {
+      break;  // unknown type: version skew or corruption — truncate here
+    }
+  }
+
+  stats.dropped_rows = pending.size();
+  if (durable_end < data.size()) {
+    stats.truncated_bytes = data.size() - durable_end;
+    if (::ftruncate(fd, static_cast<off_t>(durable_end)) < 0) {
+      ::close(fd);
+      return ErrnoStatus("ftruncate", path);
+    }
+    if (::fsync(fd) < 0) {
+      ::close(fd);
+      return ErrnoStatus("fsync", path);
+    }
+  }
+  ::close(fd);
+  return stats;
+}
+
+}  // namespace wastenot::storage

@@ -1,0 +1,114 @@
+// Minimal redo log for crash-consistent ingest (DESIGN.md §9.1).
+//
+// The log is a sequence of CRC32C-framed records (src/storage/framing.h),
+// two kinds:
+//
+//   kAppend  [u8 type][u64 row_index][u16 table_len][table]
+//            [u16 n_values][i64 value]*        — one appended row, stamped
+//            with its absolute ingest index (rows since table creation),
+//   kCommit  [u8 type][u64 row_count]          — every preceding append is
+//            durable; row_count is the ingest index after them.
+//
+// Appends buffer in memory; Commit() flushes the buffered appends plus
+// one commit record with a single write() and a single fsync — group
+// commit: N appends share one disk round trip. Replay applies *committed*
+// appends only (a redo log: uncommitted tail records were never
+// acknowledged) and stops at the first torn or corrupt record, truncating
+// the file there instead of aborting — the crash model is "any prefix of
+// the written bytes is on disk".
+//
+// Append records carry absolute row indices so recovery can skip rows the
+// base snapshot already absorbed: after a background re-decomposition
+// swap, the WAL is truncated only when every logged row is covered by the
+// durable snapshot; when ingest raced the swap, the log keeps both halves
+// and replay filters by index (see MutableTable::Open).
+
+#ifndef WASTENOT_STORAGE_WAL_H_
+#define WASTENOT_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wastenot::storage {
+
+/// Fault-injection sites the WAL threads through its durability
+/// boundaries (util/fault_injection.h).
+inline constexpr char kFaultWalWrite[] = "wal.write";
+inline constexpr char kFaultWalFsync[] = "wal.fsync";
+inline constexpr char kFaultWalTruncate[] = "wal.truncate";
+
+/// Appends redo records to one log file. Not thread-safe (MutableTable
+/// serializes ingest); reads never go through this class.
+class WalWriter {
+ public:
+  /// Opens (creating if absent) `path` for appending. Recovery must run
+  /// ReplayWal first so a torn tail has been truncated away.
+  static StatusOr<std::unique_ptr<WalWriter>> Open(std::string path);
+
+  /// Closes the fd. Buffered, uncommitted appends are dropped — exactly
+  /// what a crash would do to them; call Commit() first to keep them.
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Buffers one append record (no I/O).
+  Status Append(std::string_view table, uint64_t row_index,
+                std::span<const int64_t> values);
+
+  /// Writes the buffered appends plus a commit record covering them, then
+  /// fsyncs: after OK, every appended row with index < committed_rows is
+  /// durable. No-op when nothing is buffered.
+  Status Commit(uint64_t committed_rows);
+
+  /// Empties the log (ftruncate + fsync) — called after a re-decomposition
+  /// swap is durable and covers every logged row. Buffered appends survive
+  /// (they describe rows the snapshot does not cover).
+  Status Truncate();
+
+  /// Buffered-but-unwritten record bytes.
+  uint64_t pending_bytes() const { return buffer_.size(); }
+  /// Bytes durably written since Open.
+  uint64_t synced_bytes() const { return synced_bytes_; }
+  /// Commit (group-fsync) count since Open.
+  uint64_t commits() const { return commits_; }
+
+ private:
+  WalWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  std::string buffer_;  ///< framed append records awaiting Commit
+  uint64_t synced_bytes_ = 0;
+  uint64_t commits_ = 0;
+};
+
+/// Replay statistics (what recovery observed in the log).
+struct WalReplayStats {
+  uint64_t applied_rows = 0;    ///< committed appends delivered to `apply`
+  uint64_t commits = 0;         ///< valid commit records
+  uint64_t dropped_rows = 0;    ///< appends after the last valid commit
+  uint64_t truncated_bytes = 0; ///< torn/corrupt tail bytes removed
+};
+
+/// One committed append during replay.
+using WalApplyFn = std::function<Status(
+    uint64_t row_index, std::string_view table, std::span<const int64_t>)>;
+
+/// Replays the log at `path` (absent file = empty log), invoking `apply`
+/// for every committed append in log order. Stops at the first torn or
+/// corrupt record — never an error — and truncates the file back to the
+/// last valid commit boundary so the writer appends onto a clean tail.
+StatusOr<WalReplayStats> ReplayWal(const std::string& path,
+                                   const WalApplyFn& apply);
+
+}  // namespace wastenot::storage
+
+#endif  // WASTENOT_STORAGE_WAL_H_

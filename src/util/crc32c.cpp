@@ -1,0 +1,121 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/env.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define WASTENOT_CRC32C_X86 1
+#endif
+
+namespace wastenot::util {
+
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82F63B78u;
+
+// Slice-by-4 tables: table[0] is the classic byte-at-a-time table,
+// tables 1-3 advance a byte through 1-3 additional zero bytes so the word
+// loop folds four input bytes per iteration.
+constexpr std::array<std::array<uint32_t, 256>, 4> MakeTables() {
+  std::array<std::array<uint32_t, 256>, 4> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (kPolyReflected ^ (c >> 1)) : (c >> 1);
+    }
+    t[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = t[0][i];
+    for (size_t slice = 1; slice < 4; ++slice) {
+      c = t[0][c & 0xFF] ^ (c >> 8);
+      t[slice][i] = c;
+    }
+  }
+  return t;
+}
+
+constexpr auto kTables = MakeTables();
+
+}  // namespace
+
+namespace detail {
+
+uint32_t Crc32cScalar(const void* data, size_t len, uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~crc;
+  while (len >= 4) {
+    uint32_t word;
+    std::memcpy(&word, p, 4);
+    c ^= word;
+    c = kTables[3][c & 0xFF] ^ kTables[2][(c >> 8) & 0xFF] ^
+        kTables[1][(c >> 16) & 0xFF] ^ kTables[0][c >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    c = kTables[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace detail
+
+namespace {
+
+#ifdef WASTENOT_CRC32C_X86
+__attribute__((target("sse4.2"))) uint32_t Crc32cHw(const void* data,
+                                                    size_t len, uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t c = ~crc;
+  // Align to 8 bytes, then fold a word at a time.
+  while (len > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    c = _mm_crc32_u8(static_cast<uint32_t>(c), *p++);
+    --len;
+  }
+  while (len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    c = _mm_crc32_u8(static_cast<uint32_t>(c), *p++);
+  }
+  return ~static_cast<uint32_t>(c);
+}
+#endif
+
+struct Impl {
+  uint32_t (*fn)(const void*, size_t, uint32_t);
+  const char* name;
+};
+
+Impl Resolve() {
+#ifdef WASTENOT_CRC32C_X86
+  if (!EnvBool("WASTENOT_FORCE_SCALAR", false) &&
+      __builtin_cpu_supports("sse4.2")) {
+    return Impl{&Crc32cHw, "sse4.2"};
+  }
+#endif
+  return Impl{&detail::Crc32cScalar, "scalar"};
+}
+
+const Impl& Dispatch() {
+  static const Impl impl = Resolve();
+  return impl;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc) {
+  return Dispatch().fn(data, len, crc);
+}
+
+const char* Crc32cImpl() { return Dispatch().name; }
+
+}  // namespace wastenot::util

@@ -1,0 +1,40 @@
+// CRC32C (Castagnoli) — the checksum behind every durable byte of the
+// storage layer: WAL record framing and base-snapshot framing both carry
+// it (src/storage/framing.h), so a torn or bit-flipped tail is detected
+// on replay instead of being applied.
+//
+// The polynomial is Castagnoli's (0x1EDC6F41, reflected 0x82F63B78) — the
+// one iSCSI, ext4 and the SSE4.2 `crc32` instruction implement — so the
+// hardware path and the scalar table fallback produce identical sums.
+// Dispatch is resolved once per process (like the packed codec's kernel
+// tables): SSE4.2 when the CPU has it, scalar otherwise, and the
+// WASTENOT_FORCE_SCALAR environment variable pins scalar for testing.
+
+#ifndef WASTENOT_UTIL_CRC32C_H_
+#define WASTENOT_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wastenot::util {
+
+/// CRC32C of `data[0, len)`, continuing from `crc` — pass 0 for a fresh
+/// sum, or a previous return value to extend it over concatenated spans:
+/// Crc32c(b, nb, Crc32c(a, na)) == Crc32c(ab, na + nb).
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc = 0);
+
+/// Name of the implementation the dispatcher resolved ("sse4.2" or
+/// "scalar").
+const char* Crc32cImpl();
+
+namespace detail {
+
+/// The table-driven fallback, exposed so tests can pin hardware/scalar
+/// equality on the machine they actually run on.
+uint32_t Crc32cScalar(const void* data, size_t len, uint32_t crc);
+
+}  // namespace detail
+
+}  // namespace wastenot::util
+
+#endif  // WASTENOT_UTIL_CRC32C_H_

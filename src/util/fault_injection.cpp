@@ -1,0 +1,168 @@
+#include "util/fault_injection.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/env.h"
+
+namespace wastenot::fault {
+
+namespace {
+
+struct Site {
+  bool armed = false;
+  Kind kind = Kind::kError;
+  uint64_t trigger_hit = 1;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;
+  // Armed-site count, readable without the mutex: the unarmed fast path
+  // of Check/CheckWrite is one relaxed load.
+  std::atomic<uint64_t> armed{0};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: sites may fire at exit
+  return *r;
+}
+
+void ParseEnvOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const std::string spec = EnvString("WN_FAULTS", "");
+    if (!spec.empty()) (void)ArmFromSpec(spec);
+  });
+}
+
+/// What the current hit of `site` should do. Counts the hit.
+std::optional<Kind> Fire(const char* site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Site& s = r.sites[site];
+  ++s.hits;
+  if (s.armed && s.hits == s.trigger_hit) return s.kind;
+  return std::nullopt;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, Kind kind, uint64_t trigger_hit) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Site& s = r.sites[site];
+  if (!s.armed) r.armed.fetch_add(1, std::memory_order_relaxed);
+  s.armed = true;
+  s.kind = kind;
+  s.trigger_hit = trigger_hit;
+  s.hits = 0;
+}
+
+void Disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it != r.sites.end() && it->second.armed) {
+    it->second.armed = false;
+    r.armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  r.armed.store(0, std::memory_order_relaxed);
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("WN_FAULTS entry '" + entry +
+                                     "': expected site=kind[@hit]");
+    }
+    const std::string site = entry.substr(0, eq);
+    std::string kind_str = entry.substr(eq + 1);
+    uint64_t hit = 1;
+    if (const size_t at = kind_str.find('@'); at != std::string::npos) {
+      const std::string hit_str = kind_str.substr(at + 1);
+      kind_str = kind_str.substr(0, at);
+      char* parse_end = nullptr;
+      hit = std::strtoull(hit_str.c_str(), &parse_end, 10);
+      if (hit == 0 || parse_end == nullptr || *parse_end != '\0') {
+        return Status::InvalidArgument("WN_FAULTS entry '" + entry +
+                                       "': bad hit count");
+      }
+    }
+    Kind kind;
+    if (kind_str == "error") {
+      kind = Kind::kError;
+    } else if (kind_str == "crash") {
+      kind = Kind::kCrash;
+    } else if (kind_str == "torn") {
+      kind = Kind::kTornWrite;
+    } else {
+      return Status::InvalidArgument("WN_FAULTS entry '" + entry +
+                                     "': kind must be error|crash|torn");
+    }
+    Arm(site, kind, hit);
+  }
+  return Status::OK();
+}
+
+uint64_t Hits(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+bool AnyArmed() {
+  ParseEnvOnce();
+  return registry().armed.load(std::memory_order_relaxed) != 0;
+}
+
+Status Check(const char* site) {
+  if (!AnyArmed()) return Status::OK();
+  const std::optional<Kind> fire = Fire(site);
+  if (!fire.has_value()) return Status::OK();
+  if (*fire == Kind::kError) {
+    return Status::IoError(std::string("injected fault at ") + site);
+  }
+  Crash();  // kCrash; kTornWrite degrades to a clean-boundary kill
+}
+
+WriteCheck CheckWrite(const char* site, size_t full_len) {
+  WriteCheck result;
+  if (!AnyArmed()) return result;
+  const std::optional<Kind> fire = Fire(site);
+  if (!fire.has_value()) return result;
+  switch (*fire) {
+    case Kind::kError:
+      result.status = Status::IoError(std::string("injected fault at ") + site);
+      return result;
+    case Kind::kCrash:
+      Crash();
+    case Kind::kTornWrite:
+      result.torn_bytes = full_len / 2;
+      return result;
+  }
+  return result;
+}
+
+void Crash() { _exit(kCrashExitCode); }
+
+}  // namespace wastenot::fault

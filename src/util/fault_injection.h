@@ -1,0 +1,89 @@
+// Deterministic named fault points for crash-consistency testing
+// (DESIGN.md §9.4).
+//
+// The storage layer threads named sites through every durability boundary
+// — WAL record write, WAL fsync, snapshot write/fsync/rename, epoch
+// publication, device upload — and the recovery fuzz arms each one in a
+// forked child, lets the child die there, and asserts the parent recovers
+// to a bit-identical state. Three failure kinds:
+//
+//   kError     the site returns an injected IoError Status instead of
+//              performing the operation (the "device OOM / poisoned
+//              re-encode" degradation paths),
+//   kCrash     the process exits immediately with kCrashExitCode — a
+//              clean-boundary kill (power cut between syscalls),
+//   kTornWrite write sites only: the caller is told to write a prefix of
+//              the buffer, then kill the process — a torn tail the WAL
+//              replay must detect by checksum.
+//
+// Sites are armed programmatically (Arm/Disarm, for tests) or from the
+// WN_FAULTS environment variable: "site=kind@hit;site2=kind", where kind
+// is error|crash|torn and @hit (1-based, default 1) picks which hit of
+// the site fires. Unarmed processes pay one relaxed atomic load per site.
+
+#ifndef WASTENOT_UTIL_FAULT_INJECTION_H_
+#define WASTENOT_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wastenot::fault {
+
+/// What an armed site does when its trigger hit is reached.
+enum class Kind : uint8_t { kError, kCrash, kTornWrite };
+
+/// Exit code of a kCrash/kTornWrite kill — distinguishable from both a
+/// clean exit and a sanitizer abort in the fuzz parent.
+inline constexpr int kCrashExitCode = 0x5A;
+
+/// Arms `site` to fire `kind` on its `trigger_hit`-th hit (1-based).
+/// Re-arming an armed site replaces kind/trigger and resets its counter.
+void Arm(const std::string& site, Kind kind, uint64_t trigger_hit = 1);
+
+/// Disarms one site (its hit counter is kept).
+void Disarm(const std::string& site);
+
+/// Disarms every site and zeroes every hit counter.
+void Reset();
+
+/// Parses one WN_FAULTS-syntax spec ("a=crash@2;b=error") and arms it.
+/// Exposed so tests can exercise the env syntax without a fresh process;
+/// the environment variable itself is parsed once at first Check.
+Status ArmFromSpec(const std::string& spec);
+
+/// Hits recorded for `site` since the last Reset.
+uint64_t Hits(const std::string& site);
+
+/// True when any site is armed (after env parsing). One atomic load.
+bool AnyArmed();
+
+/// Non-write site check: counts a hit; returns an IoError when armed
+/// kError fires, kills the process when kCrash (or kTornWrite, which
+/// degrades to kCrash off write sites) fires, and returns OK otherwise.
+Status Check(const char* site);
+
+/// Write-site check result: either an injected error, or the number of
+/// prefix bytes the caller must write before invoking Crash() (torn
+/// write), or neither (proceed normally).
+struct WriteCheck {
+  Status status;  ///< non-OK: injected error, do not write
+  std::optional<size_t> torn_bytes;  ///< set: write this prefix, then Crash()
+};
+
+/// Check for a site that is about to write `full_len` bytes. kError
+/// returns the error; kCrash kills before any byte is written; kTornWrite
+/// returns torn_bytes = full_len / 2 for the caller to write, after which
+/// it must call Crash().
+WriteCheck CheckWrite(const char* site, size_t full_len);
+
+/// Immediate kill with kCrashExitCode (no atexit handlers, no flushing —
+/// the moral equivalent of a power cut for everything not yet fsynced).
+[[noreturn]] void Crash();
+
+}  // namespace wastenot::fault
+
+#endif  // WASTENOT_UTIL_FAULT_INJECTION_H_

@@ -93,7 +93,7 @@ uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db) {
     (void)part.AddColumn("p_type", std::move(type_col));
     (void)part.AddColumn("p_retailprice", std::move(retail_col));
     part.AttachDictionary("p_type", std::move(dict));
-    db->AddTable(std::move(part));
+    (void)db->AddTable(std::move(part));
   }
 
   const uint64_t num_orders = (num_lines + kLinesPerOrder - 1) / kLinesPerOrder;
@@ -156,7 +156,7 @@ uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db) {
     lineitem.AttachDictionary(
         "l_returnflag", cs::Dictionary::Build({"A", "N", "R"}));
     lineitem.AttachDictionary("l_linestatus", cs::Dictionary::Build({"F", "O"}));
-    db->AddTable(std::move(lineitem));
+    (void)db->AddTable(std::move(lineitem));
   }
 
   // ---- orders ---------------------------------------------------------------
@@ -188,7 +188,7 @@ uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db) {
     add("o_orderdate", orderdate);
     add("o_custkey", custkey);
     add("o_shippriority", shippriority);
-    db->AddTable(std::move(orders));
+    (void)db->AddTable(std::move(orders));
   }
 
   // ---- customer -------------------------------------------------------------
@@ -218,7 +218,7 @@ uint64_t GenerateTpch(double sf, uint64_t seed, cs::Database* db) {
         "c_mktsegment",
         cs::Dictionary::Build(
             std::vector<std::string>(std::begin(kSegments), std::end(kSegments))));
-    db->AddTable(std::move(customer));
+    (void)db->AddTable(std::move(customer));
   }
   return num_parts;
 }

@@ -51,11 +51,57 @@ TEST(DatabaseTest, AddAndLookup) {
   Database db;
   Table t("r");
   ASSERT_TRUE(t.AddColumn("a", Column::FromI32({1})).ok());
-  db.AddTable(std::move(t));
+  auto added = db.AddTable(std::move(t));
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ((*added)->name(), "r");
   EXPECT_TRUE(db.HasTable("r"));
   EXPECT_FALSE(db.HasTable("s"));
   EXPECT_EQ(db.table("r").num_rows(), 1u);
   EXPECT_EQ(db.byte_size(), 4u);
+}
+
+TEST(DatabaseTest, DuplicateTableIsAlreadyExists) {
+  Database db;
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn("a", Column::FromI32({1})).ok());
+  ASSERT_TRUE(db.AddTable(std::move(t)).ok());
+
+  Table dup("r");
+  ASSERT_TRUE(dup.AddColumn("b", Column::FromI32({2, 3})).ok());
+  EXPECT_EQ(db.AddTable(std::move(dup)).status().code(),
+            StatusCode::kAlreadyExists);
+  // The incumbent is untouched.
+  EXPECT_EQ(db.table("r").num_rows(), 1u);
+  EXPECT_TRUE(db.table("r").HasColumn("a"));
+}
+
+TEST(DatabaseTest, FindTableIsNullableAndMutable) {
+  Database db;
+  Table t("r");
+  ASSERT_TRUE(t.AddColumn("a", Column::FromI32({1, 2})).ok());
+  ASSERT_TRUE(db.AddTable(std::move(t)).ok());
+
+  EXPECT_EQ(db.FindTable("missing"), nullptr);
+  const Database& cdb = db;
+  EXPECT_EQ(cdb.FindTable("missing"), nullptr);
+  ASSERT_NE(cdb.FindTable("r"), nullptr);
+  EXPECT_EQ(cdb.FindTable("r")->num_rows(), 2u);
+
+  Table* mutable_r = db.FindTable("r");
+  ASSERT_NE(mutable_r, nullptr);
+  mutable_r->mutable_column("a")->Set(0, 9);
+  EXPECT_EQ(cdb.FindTable("r")->column("a").Get(0), 9);
+}
+
+TEST(DatabaseTest, TableNamesAreSorted) {
+  Database db;
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    Table t(name);
+    ASSERT_TRUE(t.AddColumn("a", Column::FromI32({1})).ok());
+    ASSERT_TRUE(db.AddTable(std::move(t)).ok());
+  }
+  EXPECT_EQ(db.table_names(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
 }
 
 }  // namespace

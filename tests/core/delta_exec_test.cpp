@@ -1,0 +1,424 @@
+// Delta-overlay identity: executing base + DeltaBatch through any engine
+// is bit-identical to executing a table that already absorbed the delta
+// rows (the exactness contract of DESIGN.md §9.2), and the approximate
+// answer stays sound for the merged exact result. Also pins the delta
+// validation surface: missing delta columns, out-of-range FK values,
+// self-join guards, and the sharded rejection.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bwd/partition.h"
+#include "core/plan_exec.h"
+#include "core/sharded_engine.h"
+#include "storage/delta_store.h"
+#include "util/random.h"
+
+namespace wastenot::core {
+namespace {
+
+void AddI32(cs::Table* t, const char* name, std::vector<int32_t>& vals) {
+  cs::Column col = cs::Column::FromI32(vals);
+  col.ComputeStats();
+  (void)t->AddColumn(name, std::move(col));
+}
+
+constexpr uint64_t kDimRows = 32;
+
+/// Full fact table vs (base prefix + delta tail of the same rows): both
+/// databases share the dimension contents, and the delta tail lives in a
+/// DeltaStore snapshot.
+struct DeltaFixture {
+  cs::Database full_db;
+  cs::Database base_db;
+  std::unique_ptr<device::Device> dev;
+  std::unique_ptr<bwd::BwdTable> base_fact;
+  std::unique_ptr<bwd::BwdTable> dim;
+  storage::DeltaStore store{{"a", "g", "v", "fk"}};
+  std::shared_ptr<const storage::DeltaBatch> batch;
+  uint64_t n = 0;
+  uint64_t n_base = 0;
+
+  explicit DeltaFixture(uint64_t seed) {
+    Xoshiro256 rng(seed * 9176 + 3);
+    n = 300 + rng.Below(900);
+    n_base = n / 2 + rng.Below(n / 3);
+    std::vector<int32_t> a(n), g(n), v(n), fk(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      a[i] = static_cast<int32_t>(rng.Below(1 << 12));
+      g[i] = static_cast<int32_t>(rng.Below(9));
+      v[i] = static_cast<int32_t>(rng.Below(1000));
+      fk[i] = static_cast<int32_t>(1 + rng.Below(kDimRows));
+    }
+    auto build_fact = [&](uint64_t rows) {
+      cs::Table t("fact");
+      std::vector<int32_t> ca(a.begin(), a.begin() + rows);
+      std::vector<int32_t> cg(g.begin(), g.begin() + rows);
+      std::vector<int32_t> cv(v.begin(), v.begin() + rows);
+      std::vector<int32_t> cfk(fk.begin(), fk.begin() + rows);
+      AddI32(&t, "a", ca);
+      AddI32(&t, "g", cg);
+      AddI32(&t, "v", cv);
+      AddI32(&t, "fk", cfk);
+      return t;
+    };
+    full_db.AddTable(build_fact(n));
+    base_db.AddTable(build_fact(n_base));
+    {
+      std::vector<int32_t> t(kDimRows), w(kDimRows);
+      for (uint64_t i = 0; i < kDimRows; ++i) {
+        t[i] = static_cast<int32_t>(rng.Below(16));
+        w[i] = static_cast<int32_t>(rng.Below(30));
+      }
+      cs::Table dim_full("dim"), dim_base("dim");
+      AddI32(&dim_full, "t", t);
+      AddI32(&dim_full, "w", w);
+      AddI32(&dim_base, "t", t);
+      AddI32(&dim_base, "w", w);
+      full_db.AddTable(std::move(dim_full));
+      base_db.AddTable(std::move(dim_base));
+    }
+
+    for (uint64_t i = n_base; i < n; ++i) {
+      EXPECT_TRUE(
+          store.Append(std::vector<int64_t>{a[i], g[i], v[i], fk[i]}).ok());
+    }
+    batch = store.Snapshot(0);
+
+    device::DeviceSpec spec;
+    spec.memory_capacity = 256 << 20;
+    dev = std::make_unique<device::Device>(spec, 2);
+    const uint32_t bits = static_cast<uint32_t>(5 + rng.Below(24));
+    base_fact = std::make_unique<bwd::BwdTable>(std::move(
+        bwd::BwdTable::Decompose(base_db.table("fact"),
+                                 {{"a", bits, bwd::Compression::kBitPacked},
+                                  {"g", bits, bwd::Compression::kBitPacked},
+                                  {"v", bits, bwd::Compression::kBitPacked},
+                                  {"fk", 32, bwd::Compression::kBitPacked}},
+                                 dev.get())
+            .value()));
+    dim = std::make_unique<bwd::BwdTable>(std::move(
+        bwd::BwdTable::Decompose(base_db.table("dim"),
+                                 {{"t", 32, bwd::Compression::kBitPacked},
+                                  {"w", 32, bwd::Compression::kBitPacked}},
+                                 dev.get())
+            .value()));
+  }
+};
+
+/// Seed-varied single-join spec: count/sum/avg (the shapes every path
+/// supports, including the general executors).
+QuerySpec RandomDeltaSpec(uint64_t seed) {
+  Xoshiro256 rng(seed * 4211 + 29);
+  QuerySpec q;
+  q.table = "fact";
+  const int64_t lo = static_cast<int64_t>(rng.Below(1 << 11));
+  const int64_t hi = lo + static_cast<int64_t>(rng.Below(1 << 11)) + 1;
+  q.predicates.push_back({"a", cs::RangePred{lo, hi}});
+  const bool join = rng.Below(2) == 0;
+  if (join) q.join = JoinSpec{"fk", "dim", 1};
+  if (rng.Below(2) == 0) q.group_by = {"g"};
+  q.aggregates = {Aggregate::CountStar("n"), Aggregate::SumOf("v", "sum_v")};
+  if (rng.Below(2) == 0) {
+    Aggregate avg;
+    avg.func = AggFunc::kAvg;
+    avg.terms = {Term::Col("v")};
+    avg.label = "avg_v";
+    q.aggregates.push_back(std::move(avg));
+  }
+  if (join && rng.Below(2) == 0) {
+    Aggregate gated;
+    gated.func = AggFunc::kSum;
+    Term dim_term = Term::Col("w");
+    dim_term.from_dimension = true;
+    gated.terms = {Term::Col("v"), dim_term};
+    gated.filter = CaseFilter{"t", cs::RangePred::Lt(8)};
+    gated.label = "gated";
+    q.aggregates.push_back(std::move(gated));
+  }
+  return q;
+}
+
+/// The strict-bounds contract against the *merged* exact result: every
+/// exact group is covered by exactly one approx group and every aggregate
+/// value lies inside its interval.
+void CheckApproxCoversExact(const ApproximateAnswer& approx,
+                            const QueryResult& exact,
+                            const std::vector<Aggregate>& aggs,
+                            const std::string& tag) {
+  EXPECT_LE(approx.row_count.lo, static_cast<int64_t>(exact.selected_rows))
+      << tag;
+  EXPECT_GE(approx.row_count.hi, static_cast<int64_t>(exact.selected_rows))
+      << tag;
+  for (uint64_t ge = 0; ge < exact.num_groups(); ++ge) {
+    if (exact.group_counts[ge] == 0) continue;
+    int64_t match = -1;
+    for (uint64_t ga = 0; ga < approx.num_groups(); ++ga) {
+      bool contains = true;
+      for (uint64_t k = 0; k < exact.group_keys[ge].size(); ++k) {
+        contains &= approx.key_bounds[ga][k].Contains(exact.group_keys[ge][k]);
+      }
+      if (!contains) continue;
+      EXPECT_EQ(match, -1) << tag << ": group " << ge << " covered twice";
+      match = static_cast<int64_t>(ga);
+    }
+    ASSERT_NE(match, -1) << tag << ": exact group " << ge << " not covered";
+    // A digit group can hold several exact groups, so per-agg containment
+    // is only checked when the mapping is one-to-one (exact point keys).
+    bool point_keys = true;
+    for (uint64_t k = 0; k < exact.group_keys[ge].size(); ++k) {
+      point_keys &=
+          approx.key_bounds[static_cast<size_t>(match)][k].IsExact();
+    }
+    if (!point_keys && !exact.group_keys[ge].empty()) continue;
+    for (uint64_t i = 0; i < aggs.size(); ++i) {
+      const ValueBounds& b = approx.agg_bounds[static_cast<size_t>(match)][i];
+      const int64_t value = exact.agg_values[ge][i];
+      const int64_t count = exact.group_counts[ge];
+      const std::string where = tag + ": group " + std::to_string(ge) +
+                                " agg " + std::to_string(i) + " " +
+                                b.ToString();
+      switch (aggs[i].func) {
+        case AggFunc::kCount:
+        case AggFunc::kSum:
+          EXPECT_TRUE(b.Contains(value)) << where << " misses " << value;
+          break;
+        case AggFunc::kAvg:
+          EXPECT_TRUE(b.Contains(FloorDiv(value, count))) << where;
+          EXPECT_TRUE(b.Contains(CeilDivSigned(value, count))) << where;
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          EXPECT_TRUE(b.Contains(value)) << where << " misses " << value;
+          break;
+      }
+    }
+  }
+}
+
+class DeltaIdentityFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaIdentityFuzz, BasePlusDeltaMatchesAbsorbedTable) {
+  const uint64_t seed = GetParam();
+  DeltaFixture f(seed);
+  const QuerySpec q = RandomDeltaSpec(seed);
+
+  auto reference = detail::ExecuteClassicLegacy(q, f.full_db, {});
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // Classic.
+  ClassicOptions copts;
+  copts.delta = f.batch.get();
+  auto classic = ExecuteClassic(q, f.base_db, copts);
+  ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+  EXPECT_EQ(*classic, *reference) << "classic seed " << seed;
+  EXPECT_EQ(classic->selected_rows, reference->selected_rows);
+
+  // A&R: exact identity plus approximate soundness for the merged result.
+  ArOptions aopts;
+  aopts.delta = f.batch.get();
+  auto ar = ExecuteAr(q, *f.base_fact, f.dim.get(), f.dev.get(), aopts);
+  ASSERT_TRUE(ar.ok()) << ar.status().ToString();
+  EXPECT_EQ(ar->result, *reference) << "ar seed " << seed;
+  CheckApproxCoversExact(ar->approx, *reference, q.aggregates,
+                         "ar seed " + std::to_string(seed));
+
+  // Streaming.
+  device::ResidencyCache cache(f.dev.get());
+  auto streaming =
+      ExecuteStreaming(q, f.base_db, f.dev.get(), &cache, f.batch.get());
+  ASSERT_TRUE(streaming.ok()) << streaming.status().ToString();
+  EXPECT_EQ(streaming->result, *reference) << "streaming seed " << seed;
+
+  // Force the general executors onto the same shape (ProjectNode defeats
+  // PlanToSpec): the delta path must hold there too.
+  PhysicalPlan general = LowerToPlan(q);
+  general.ops.push_back(ProjectNode{});
+  auto general_classic = ExecutePlanClassic(general, f.base_db, copts);
+  ASSERT_TRUE(general_classic.ok()) << general_classic.status().ToString();
+  EXPECT_EQ(*general_classic, *reference) << "general classic seed " << seed;
+  const BwdTableMap dims = {{"dim", f.dim.get()}};
+  auto general_ar =
+      ExecutePlanAr(general, *f.base_fact, dims, f.dev.get(), aopts);
+  ASSERT_TRUE(general_ar.ok()) << general_ar.status().ToString();
+  EXPECT_EQ(general_ar->result, *reference) << "general ar seed " << seed;
+  CheckApproxCoversExact(general_ar->approx, *reference, q.aggregates,
+                         "general ar seed " + std::to_string(seed));
+  device::ResidencyCache gcache(f.dev.get());
+  auto general_str = ExecutePlanStreaming(general, f.base_db, f.dev.get(),
+                                          &gcache, f.batch.get());
+  ASSERT_TRUE(general_str.ok()) << general_str.status().ToString();
+  EXPECT_EQ(general_str->result, *reference) << "general streaming " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaIdentityFuzz,
+                         ::testing::Range<uint64_t>(0, 8));
+
+TEST(DeltaExecTest, MinMaxAggregatesMergeThroughExtrema) {
+  // Legacy single-join path (the one that supports min/max): delta rows
+  // both extend existing groups' extrema and create a brand-new group.
+  for (const uint64_t seed : {3u, 11u}) {
+    DeltaFixture f(seed);
+    QuerySpec q;
+    q.table = "fact";
+    q.predicates.push_back({"a", cs::RangePred{0, 1 << 11}});
+    q.group_by = {"g"};
+    Aggregate mn, mx;
+    mn.func = AggFunc::kMin;
+    mn.terms = {Term::Col("v")};
+    mn.label = "min_v";
+    mx.func = AggFunc::kMax;
+    mx.terms = {Term::Col("v")};
+    mx.label = "max_v";
+    q.aggregates = {mn, mx, Aggregate::CountStar("n")};
+
+    auto reference = detail::ExecuteClassicLegacy(q, f.full_db, {});
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    ClassicOptions copts;
+    copts.delta = f.batch.get();
+    auto classic = ExecuteClassic(q, f.base_db, copts);
+    ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+    EXPECT_EQ(*classic, *reference) << "seed " << seed;
+
+    // The A&R engine supports min/max ungrouped with a bare column term.
+    QuerySpec uq = q;
+    uq.group_by.clear();
+    uq.aggregates = {mn, mx};
+    auto ureference = detail::ExecuteClassicLegacy(uq, f.full_db, {});
+    ASSERT_TRUE(ureference.ok()) << ureference.status().ToString();
+    ArOptions aopts;
+    aopts.delta = f.batch.get();
+    auto ar = ExecuteAr(uq, *f.base_fact, nullptr, f.dev.get(), aopts);
+    ASSERT_TRUE(ar.ok()) << ar.status().ToString();
+    EXPECT_EQ(ar->result, *ureference) << "seed " << seed;
+    CheckApproxCoversExact(ar->approx, *ureference, uq.aggregates,
+                           "minmax seed " + std::to_string(seed));
+  }
+}
+
+TEST(DeltaExecTest, EmptyDeltaChangesNothing) {
+  DeltaFixture f(5);
+  storage::DeltaStore empty({"a", "g", "v", "fk"});
+  const auto empty_batch = empty.Snapshot(0);
+  const QuerySpec q = RandomDeltaSpec(5);
+
+  auto plain = ExecuteClassic(q, f.base_db, {});
+  ASSERT_TRUE(plain.ok());
+  ClassicOptions copts;
+  copts.delta = empty_batch.get();
+  auto with_empty = ExecuteClassic(q, f.base_db, copts);
+  ASSERT_TRUE(with_empty.ok());
+  EXPECT_EQ(*with_empty, *plain);
+
+  ArOptions aopts;
+  aopts.delta = empty_batch.get();
+  auto ar_plain = ExecuteAr(q, *f.base_fact, f.dim.get(), f.dev.get(), {});
+  auto ar_empty = ExecuteAr(q, *f.base_fact, f.dim.get(), f.dev.get(), aopts);
+  ASSERT_TRUE(ar_plain.ok() && ar_empty.ok());
+  EXPECT_EQ(ar_empty->result, ar_plain->result);
+  EXPECT_EQ(ar_empty->num_candidates, ar_plain->num_candidates);
+}
+
+TEST(DeltaExecTest, ProgressiveHookSeesTheMergedAnswer) {
+  DeltaFixture f(7);
+  const QuerySpec q = RandomDeltaSpec(7);
+  ArOptions aopts;
+  aopts.delta = f.batch.get();
+  ApproximateAnswer at_boundary;
+  int calls = 0;
+  aopts.on_approximate = [&](const ApproximateAnswer& a) {
+    at_boundary = a;
+    ++calls;
+  };
+  auto ar = ExecuteAr(q, *f.base_fact, f.dim.get(), f.dev.get(), aopts);
+  ASSERT_TRUE(ar.ok()) << ar.status().ToString();
+  ASSERT_EQ(calls, 1);
+  // The hook's answer is the same merged answer the execution returns, and
+  // it already covers the merged exact result — a progressive consumer
+  // never sees bounds that the delta rows later escape.
+  EXPECT_EQ(at_boundary.num_groups(), ar->approx.num_groups());
+  EXPECT_EQ(at_boundary.row_count.lo, ar->approx.row_count.lo);
+  EXPECT_EQ(at_boundary.row_count.hi, ar->approx.row_count.hi);
+  CheckApproxCoversExact(at_boundary, ar->result, q.aggregates, "hook");
+}
+
+TEST(DeltaExecTest, MissingDeltaColumnIsInvalidArgument) {
+  DeltaFixture f(2);
+  storage::DeltaStore narrow({"a", "g"});  // no "v", no "fk"
+  ASSERT_TRUE(narrow.Append(std::vector<int64_t>{1, 2}).ok());
+  const auto batch = narrow.Snapshot(0);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates.push_back({"a", cs::RangePred{0, 1 << 12}});
+  q.aggregates = {Aggregate::SumOf("v", "sum_v")};
+  ClassicOptions copts;
+  copts.delta = batch.get();
+  auto result = ExecuteClassic(q, f.base_db, copts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaExecTest, OutOfRangeDeltaFkIsInvalidArgument) {
+  DeltaFixture f(2);
+  storage::DeltaStore store({"a", "g", "v", "fk"});
+  ASSERT_TRUE(store.Append(
+      std::vector<int64_t>{1, 2, 3,
+                           static_cast<int64_t>(kDimRows) + 7}).ok());
+  const auto batch = store.Snapshot(0);
+  QuerySpec q;
+  q.table = "fact";
+  q.predicates.push_back({"a", cs::RangePred{0, 1 << 12}});
+  q.join = JoinSpec{"fk", "dim", 1};
+  q.aggregates = {Aggregate::CountStar("n")};
+  ClassicOptions copts;
+  copts.delta = batch.get();
+  auto classic = ExecuteClassic(q, f.base_db, copts);
+  ASSERT_FALSE(classic.ok());
+  EXPECT_EQ(classic.status().code(), StatusCode::kInvalidArgument);
+  ArOptions aopts;
+  aopts.delta = batch.get();
+  auto ar = ExecuteAr(q, *f.base_fact, f.dim.get(), f.dev.get(), aopts);
+  ASSERT_FALSE(ar.ok());
+  EXPECT_EQ(ar.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaExecTest, SelfJoinWithDeltaIsUnsupported) {
+  DeltaFixture f(2);
+  // Theta right side = the scanned table itself: the delta rows would have
+  // to appear on the right side too, which the overlay cannot express.
+  PhysicalPlan plan;
+  plan.scan = ScanNode{"fact"};
+  plan.ops.push_back(ThetaJoinNode{0, "v", "fact", "v", ThetaOp::kLess, 0});
+  plan.group_agg.aggregates = {
+      PlanAggregate{AggFunc::kCount, 1, {}, std::nullopt, "n", 1.0}};
+  ClassicOptions copts;
+  copts.delta = f.batch.get();
+  auto result = ExecutePlanClassic(plan, f.base_db, copts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DeltaExecTest, ShardedExecutionRejectsDelta) {
+  DeltaFixture f(2);
+  device::DeviceGroupOptions gopts;
+  device::DeviceGroup group(gopts);
+  ShardedArOptions sopts;
+  sopts.ar.delta = f.batch.get();
+  bwd::ShardedBwdTable sharded;
+  QuerySpec q;
+  q.table = "fact";
+  q.aggregates = {Aggregate::CountStar("n")};
+  auto result = ExecuteArSharded(q, sharded, nullptr, &group, sopts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  auto plan_result = ExecutePlanArSharded(LowerToPlan(q), sharded, nullptr,
+                                          &group, sopts);
+  ASSERT_FALSE(plan_result.ok());
+  EXPECT_EQ(plan_result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wastenot::core

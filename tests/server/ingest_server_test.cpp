@@ -1,0 +1,274 @@
+// Serving-layer coverage for mutable ingest (DESIGN.md §9): rows arrive
+// through QueryServer::Append/FlushIngest instead of a load-time
+// Decompose, and every engine must serve the same bit-exact results from
+// the MutableTable's view — before the first drain (empty base, delta
+// only), after a drain (decomposed base), and with a fresh delta on top.
+
+#include <unistd.h>
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/classic_engine.h"
+#include "server/query_server.h"
+#include "server/scheduler.h"
+#include "storage/mutable_table.h"
+#include "util/random.h"
+
+namespace wastenot::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IngestServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("wn_ingest_srv_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    device::DeviceSpec spec;
+    spec.memory_capacity = 64 << 20;
+    dev_ = std::make_unique<device::Device>(spec, 2);
+    // A dimension for the epochs to clone — unused by the join-free
+    // queries here, present so the cloning path runs end-to-end.
+    {
+      cs::Table dim("dim");
+      std::vector<int32_t> w(16);
+      for (int i = 0; i < 16; ++i) w[i] = i;
+      cs::Column col = cs::Column::FromI32(w);
+      col.ComputeStats();
+      (void)dim.AddColumn("w", std::move(col));
+      (void)dims_.AddTable(std::move(dim));
+    }
+    storage::MutableTableOptions opts;
+    opts.dir = dir_.string();
+    opts.columns = {"a", "g", "v"};
+    opts.device = dev_.get();
+    opts.dims = &dims_;
+    opts.background = false;  // drains are explicit in these tests
+    auto table = storage::MutableTable::Open(opts);
+    ASSERT_TRUE(table.ok()) << table.status().ToString();
+    table_ = std::move(*table);
+  }
+
+  void TearDown() override {
+    table_.reset();
+    fs::remove_all(dir_);
+  }
+
+  QueryServer::Backend Backend() {
+    QueryServer::Backend b;
+    b.db = &dims_;
+    b.device = dev_.get();
+    b.mutable_table = table_.get();
+    return b;
+  }
+
+  std::array<int64_t, 3> NextRow() {
+    std::array<int64_t, 3> row = {static_cast<int64_t>(rng_.Below(1 << 10)),
+                                  static_cast<int64_t>(rng_.Below(4)),
+                                  static_cast<int64_t>(rng_.Below(100))};
+    rows_.push_back(row);
+    return row;
+  }
+
+  /// Appends `n` deterministic rows through `server` and flushes.
+  void IngestThrough(QueryServer& server, uint64_t n) {
+    for (uint64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(server.Append(NextRow()).ok());
+    }
+    auto durable = server.FlushIngest();
+    ASSERT_TRUE(durable.ok()) << durable.status().ToString();
+    EXPECT_EQ(*durable, rows_.size());
+  }
+
+  core::QuerySpec Query() const {
+    core::QuerySpec q;
+    q.table = "fact";
+    q.predicates = {{"a", cs::RangePred::Lt(600)}};
+    q.group_by = {"g"};
+    q.aggregates = {core::Aggregate::SumOf("v", "sum_v"),
+                    core::Aggregate::CountStar("n")};
+    return q;
+  }
+
+  /// Classic reference over a plain Database holding every ingested row.
+  core::QueryResult Reference() {
+    cs::Table fact("fact");
+    for (size_t c = 0; c < 3; ++c) {
+      std::vector<int64_t> vals;
+      vals.reserve(rows_.size());
+      for (const auto& row : rows_) vals.push_back(row[c]);
+      cs::Column col = cs::Column::FromI64(vals);
+      col.ComputeStats();
+      (void)fact.AddColumn(std::array{"a", "g", "v"}[c], std::move(col));
+    }
+    cs::Database ref;
+    (void)ref.AddTable(std::move(fact));
+    auto result = core::ExecuteClassic(Query(), ref);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  QueryRequest Request(EngineKind engine) {
+    QueryRequest req;
+    req.query = Query();
+    req.engine = engine;
+    return req;
+  }
+
+  fs::path dir_;
+  cs::Database dims_;
+  std::unique_ptr<device::Device> dev_;
+  std::unique_ptr<storage::MutableTable> table_;
+  std::vector<std::array<int64_t, 3>> rows_;
+  Xoshiro256 rng_{77};
+};
+
+TEST_F(IngestServerTest, IngestIsServedExactlyOnAllEnginesAcrossDrains) {
+  ServerOptions opts;
+  opts.num_workers = 2;
+  QueryServer server(Backend(), opts);
+
+  auto expect_all = [&](const char* when) {
+    const core::QueryResult reference = Reference();
+    for (EngineKind engine : {EngineKind::kAr, EngineKind::kClassic,
+                              EngineKind::kStreaming}) {
+      QueryResponse resp = server.Submit(Request(engine)).get();
+      ASSERT_TRUE(resp.status.ok())
+          << when << ": " << resp.status.ToString();
+      EXPECT_EQ(resp.result, reference)
+          << when << ", engine " << static_cast<int>(engine);
+    }
+  };
+
+  IngestThrough(server, 300);
+  expect_all("delta only, empty base");  // kAr = exact classic fallback
+  ASSERT_TRUE(table_->Drain().ok());
+  expect_all("absorbed base, empty delta");  // kAr = real Phase A + refine
+  IngestThrough(server, 120);
+  expect_all("base plus fresh delta");
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.ingest_appended, 420u);
+  EXPECT_EQ(stats.ingest_commits, 2u);
+  EXPECT_EQ(stats.ingest_backlog, 120u);
+  EXPECT_EQ(stats.ingest_rejected, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(IngestServerTest, AppendIsInvisibleUntilFlush) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  QueryServer server(Backend(), opts);
+
+  ASSERT_TRUE(server.Append(std::array<int64_t, 3>{1, 0, 5}).ok());
+  QueryResponse before = server.Submit(Request(EngineKind::kClassic)).get();
+  ASSERT_TRUE(before.status.ok());
+  EXPECT_EQ(before.result.selected_rows, 0u)
+      << "buffered rows are not durable yet, so queries must not see them";
+
+  ASSERT_TRUE(server.FlushIngest().ok());
+  QueryResponse after = server.Submit(Request(EngineKind::kClassic)).get();
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.result.selected_rows, 1u);
+}
+
+TEST_F(IngestServerTest, BacklogAtCapacityRefusesAppendsUntilDrain) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  opts.max_delta_backlog = 4;
+  QueryServer server(Backend(), opts);
+
+  const std::array<int64_t, 3> row = {1, 0, 5};
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(server.Append(row).ok());
+  EXPECT_EQ(server.Append(row).code(), StatusCode::kOutOfMemory);
+  ASSERT_TRUE(server.FlushIngest().ok());
+  EXPECT_EQ(server.Append(row).code(), StatusCode::kOutOfMemory)
+      << "flushed-but-unabsorbed rows still count against the backlog";
+  ASSERT_TRUE(table_->Drain().ok());
+  EXPECT_TRUE(server.Append(row).ok());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.ingest_appended, 5u);
+  EXPECT_EQ(stats.ingest_rejected, 2u);
+}
+
+// The satellite regression for nullable table lookup: a request naming a
+// table nobody registered fails with NotFound — a response, not an abort
+// — and the server keeps serving afterwards.
+TEST_F(IngestServerTest, UnknownTableIsNotFoundAndTheServerKeepsServing) {
+  ServerOptions opts;
+  opts.num_workers = 1;
+  QueryServer server(Backend(), opts);
+  IngestThrough(server, 50);
+
+  QueryRequest bad = Request(EngineKind::kClassic);
+  bad.query.table = "no_such_table";
+  QueryResponse resp = server.Submit(std::move(bad)).get();
+  EXPECT_EQ(resp.status.code(), StatusCode::kNotFound);
+
+  QueryResponse good = server.Submit(Request(EngineKind::kClassic)).get();
+  ASSERT_TRUE(good.status.ok());
+  EXPECT_EQ(good.result, Reference());
+  EXPECT_EQ(server.stats().failed, 1u);
+}
+
+TEST_F(IngestServerTest, SchedulerChargesIngestAgainstTenantBudget) {
+  SchedulerOptions opts;
+  opts.capacity = 1;  // tenant budget: one outstanding-work unit
+  opts.server.num_workers = 1;
+  AdaptiveScheduler scheduler(Backend(), opts);
+
+  const std::array<int64_t, 3> row = {1, 0, 5};
+  ASSERT_TRUE(scheduler.Append("loader", row).ok());
+  // One pending row already rounds up to a full budget unit.
+  EXPECT_EQ(scheduler.Append("loader", row).code(),
+            StatusCode::kOutOfMemory);
+  // The charge is the loader's alone: another tenant still ingests.
+  EXPECT_TRUE(scheduler.Append("analyst", row).ok());
+
+  TenantStats loader = scheduler.stats().tenants.at("loader");
+  EXPECT_EQ(loader.ingest_rows, 1u);
+  EXPECT_EQ(loader.ingest_rejected, 1u);
+  EXPECT_EQ(loader.pending_ingest_rows, 1u);
+
+  auto durable = scheduler.FlushIngest("loader");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, 2u) << "the group commit covers both tenants' rows";
+  EXPECT_TRUE(scheduler.Append("loader", row).ok())
+      << "FlushIngest released the pending-ingest charge";
+  EXPECT_EQ(scheduler.stats().tenants.at("loader").pending_ingest_rows, 1u);
+  EXPECT_EQ(scheduler.stats().tenants.at("analyst").pending_ingest_rows, 1u)
+      << "the loader's flush does not release the analyst's charge";
+}
+
+TEST_F(IngestServerTest, SchedulerServesMutableScansProgressively) {
+  SchedulerOptions opts;
+  opts.server.num_workers = 1;
+  AdaptiveScheduler scheduler(Backend(), opts);
+
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(scheduler.Append("t", NextRow()).ok());
+  }
+  auto durable = scheduler.FlushIngest("t");
+  ASSERT_TRUE(durable.ok());
+  EXPECT_EQ(*durable, 40u);
+
+  ProgressiveFutures futures = scheduler.Submit("t", Query());
+  ApproximateResponse approx = futures.approximate.get();
+  EXPECT_TRUE(approx.status.ok()) << approx.status.ToString();
+  QueryResponse refined = futures.refined.get();
+  ASSERT_TRUE(refined.status.ok()) << refined.status.ToString();
+  EXPECT_EQ(refined.result, Reference());
+}
+
+}  // namespace
+}  // namespace wastenot::server

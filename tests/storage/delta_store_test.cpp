@@ -1,0 +1,96 @@
+#include "storage/delta_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wastenot::storage {
+namespace {
+
+TEST(DeltaStoreTest, AppendAndSnapshot) {
+  DeltaStore store({"a", "b"});
+  EXPECT_EQ(store.total_rows(), 0u);
+  EXPECT_EQ(store.pending_rows(), 0u);
+  ASSERT_TRUE(store.Append(std::vector<int64_t>{1, 2}).ok());
+  ASSERT_TRUE(store.Append(std::vector<int64_t>{3, 4}).ok());
+  EXPECT_EQ(store.total_rows(), 2u);
+  EXPECT_EQ(store.pending_rows(), 2u);
+
+  const auto batch = store.Snapshot(0);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->num_rows(), 2u);
+  EXPECT_EQ(batch->first_row_index(), 0u);
+  EXPECT_EQ(batch->ColumnIndex("a"), 0);
+  EXPECT_EQ(batch->ColumnIndex("b"), 1);
+  EXPECT_EQ(batch->ColumnIndex("missing"), -1);
+  EXPECT_EQ(batch->Get(0, 0), 1);
+  EXPECT_EQ(batch->Get(1, 1), 4);
+}
+
+TEST(DeltaStoreTest, WidthMismatchRejected) {
+  DeltaStore store({"a", "b"});
+  EXPECT_EQ(store.Append(std::vector<int64_t>{1}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.Append(std::vector<int64_t>{1, 2, 3}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store.total_rows(), 0u);
+}
+
+TEST(DeltaStoreTest, SnapshotFromOffset) {
+  DeltaStore store({"a"});
+  for (int64_t v = 0; v < 5; ++v) {
+    ASSERT_TRUE(store.Append(std::vector<int64_t>{v * 10}).ok());
+  }
+  const auto tail = store.Snapshot(3);
+  ASSERT_EQ(tail->num_rows(), 2u);
+  EXPECT_EQ(tail->first_row_index(), 3u);
+  EXPECT_EQ(tail->Get(0, 0), 30);
+  EXPECT_EQ(tail->Get(1, 0), 40);
+}
+
+TEST(DeltaStoreTest, SnapshotCacheSharedBetweenCalls) {
+  DeltaStore store({"a"});
+  ASSERT_TRUE(store.Append(std::vector<int64_t>{1}).ok());
+  const auto s1 = store.Snapshot(0);
+  const auto s2 = store.Snapshot(0);
+  EXPECT_EQ(s1.get(), s2.get());  // no copy between mutations
+  ASSERT_TRUE(store.Append(std::vector<int64_t>{2}).ok());
+  const auto s3 = store.Snapshot(0);
+  EXPECT_NE(s1.get(), s3.get());
+  EXPECT_EQ(s1->num_rows(), 1u);  // old snapshot unaffected
+  EXPECT_EQ(s3->num_rows(), 2u);
+}
+
+TEST(DeltaStoreTest, FoldDropsAbsorbedRows) {
+  DeltaStore store({"a"});
+  for (int64_t v = 0; v < 4; ++v) {
+    ASSERT_TRUE(store.Append(std::vector<int64_t>{v}).ok());
+  }
+  const auto before = store.Snapshot(0);
+  store.Fold(3);
+  EXPECT_EQ(store.total_rows(), 4u);
+  EXPECT_EQ(store.pending_rows(), 1u);
+  // Snapshots from before the fold point clamp to it.
+  const auto after = store.Snapshot(0);
+  ASSERT_EQ(after->num_rows(), 1u);
+  EXPECT_EQ(after->first_row_index(), 3u);
+  EXPECT_EQ(after->Get(0, 0), 3);
+  // The pre-fold snapshot still holds all four rows (queries in flight).
+  EXPECT_EQ(before->num_rows(), 4u);
+  // Folding behind the fold point is a no-op.
+  store.Fold(1);
+  EXPECT_EQ(store.pending_rows(), 1u);
+}
+
+TEST(DeltaStoreTest, RecoveryOffsetSetsAbsoluteIndices) {
+  DeltaStore store({"a"}, /*first_row_index=*/100);
+  EXPECT_EQ(store.total_rows(), 100u);
+  ASSERT_TRUE(store.Append(std::vector<int64_t>{7}).ok());
+  EXPECT_EQ(store.total_rows(), 101u);
+  const auto batch = store.Snapshot(0);  // clamps to 100
+  ASSERT_EQ(batch->num_rows(), 1u);
+  EXPECT_EQ(batch->first_row_index(), 100u);
+}
+
+}  // namespace
+}  // namespace wastenot::storage

@@ -1,0 +1,364 @@
+#include "storage/mutable_table.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "columnstore/column.h"
+#include "columnstore/database.h"
+#include "device/device.h"
+#include "util/fault_injection.h"
+
+namespace wastenot::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::unique_ptr<device::Device> MakeDevice(uint64_t capacity = 64 << 20) {
+  device::DeviceSpec spec;
+  spec.memory_capacity = capacity;
+  return std::make_unique<device::Device>(spec, 2);
+}
+
+class MutableTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fault::Reset();
+    dir_ = fs::temp_directory_path() /
+           ("wn_mutable_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fault::Reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  MutableTableOptions BaseOptions() {
+    MutableTableOptions opts;
+    opts.dir = dir_.string();
+    opts.name = "fact";
+    opts.columns = {"a", "v"};
+    opts.background = false;
+    return opts;
+  }
+
+  /// Appends and flushes rows {a = base + i, v = 10 * (base + i)}.
+  void Ingest(MutableTable* table, uint64_t n, int64_t base = 0) {
+    for (uint64_t i = 0; i < n; ++i) {
+      const int64_t a = base + static_cast<int64_t>(i);
+      const std::vector<int64_t> row = {a, 10 * a};
+      ASSERT_TRUE(table->Append(row).ok());
+    }
+    auto flushed = table->Flush();
+    ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+  }
+
+  /// Reads logical row `r` of column `name` through the view (base rows
+  /// first, then delta rows) — the row image every engine serves.
+  static int64_t ViewValue(const TableView& view, const std::string& table,
+                           const std::string& name, uint64_t r) {
+    const cs::Table& base = view.db->table(table);
+    if (r < base.num_rows()) return base.column(name).Get(r);
+    const uint64_t d = r - base.num_rows();
+    return view.delta->Get(d, view.delta->ColumnIndex(name));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(MutableTableTest, OpenValidatesOptions) {
+  MutableTableOptions opts = BaseOptions();
+  opts.dir.clear();
+  EXPECT_EQ(MutableTable::Open(opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = BaseOptions();
+  opts.columns.clear();
+  EXPECT_EQ(MutableTable::Open(opts).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MutableTableTest, FlushPublishesRowsToTheView) {
+  auto table = MutableTable::Open(BaseOptions());
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  MutableTable* t = table->get();
+
+  // Appended but unflushed rows are invisible.
+  ASSERT_TRUE(t->Append(std::vector<int64_t>{1, 10}).ok());
+  TableView view = t->View();
+  EXPECT_EQ(view.durable, 0u);
+  EXPECT_EQ(view.delta_or_null(), nullptr);
+
+  auto flushed = t->Flush();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(*flushed, 1u);
+  view = t->View();
+  EXPECT_EQ(view.durable, 1u);
+  ASSERT_NE(view.delta_or_null(), nullptr);
+  EXPECT_EQ(ViewValue(view, "fact", "v", 0), 10);
+
+  const MutableTableStats stats = t->Stats();
+  EXPECT_EQ(stats.appended_rows, 1u);
+  EXPECT_EQ(stats.durable_rows, 1u);
+  EXPECT_EQ(stats.buffered_rows, 0u);
+  EXPECT_EQ(stats.pending_rows, 1u);
+  EXPECT_EQ(stats.wal_commits, 1u);
+}
+
+TEST_F(MutableTableTest, AppendWidthMismatchIsInvalidArgument) {
+  auto table = MutableTable::Open(BaseOptions());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->Append(std::vector<int64_t>{1}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MutableTableTest, FlushedRowsSurviveReopenUnflushedRowsDoNot) {
+  {
+    auto table = MutableTable::Open(BaseOptions());
+    ASSERT_TRUE(table.ok());
+    Ingest(table->get(), 5);
+    // One extra appended row never flushed: a crash (or close) drops it.
+    ASSERT_TRUE((*table)->Append(std::vector<int64_t>{99, 990}).ok());
+  }
+  auto reopened = MutableTable::Open(BaseOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const MutableTableStats stats = (*reopened)->Stats();
+  EXPECT_EQ(stats.durable_rows, 5u);
+  EXPECT_EQ(stats.replayed_rows, 5u);
+  EXPECT_EQ(stats.absorbed_rows, 0u);
+  const TableView view = (*reopened)->View();
+  for (uint64_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(ViewValue(view, "fact", "a", r), static_cast<int64_t>(r));
+    EXPECT_EQ(ViewValue(view, "fact", "v", r), static_cast<int64_t>(10 * r));
+  }
+}
+
+TEST_F(MutableTableTest, DrainAbsorbsDeltaAndTruncatesTheWal) {
+  auto dev = MakeDevice();
+  MutableTableOptions opts = BaseOptions();
+  opts.device = dev.get();
+  auto table = MutableTable::Open(opts);
+  ASSERT_TRUE(table.ok());
+  MutableTable* t = table->get();
+  Ingest(t, 64);
+
+  // Before the drain: empty base, all rows in the delta, no device form.
+  TableView view = t->View();
+  EXPECT_EQ(view.db->table("fact").num_rows(), 0u);
+  EXPECT_EQ(view.bwd, nullptr);
+  EXPECT_EQ(view.delta->num_rows(), 64u);
+
+  ASSERT_TRUE(t->Drain().ok());
+
+  view = t->View();
+  EXPECT_EQ(view.absorbed, 64u);
+  EXPECT_EQ(view.db->table("fact").num_rows(), 64u);
+  ASSERT_NE(view.bwd, nullptr);
+  EXPECT_EQ(view.bwd->num_rows(), 64u);
+  EXPECT_EQ(view.delta_or_null(), nullptr);
+  for (uint64_t r = 0; r < 64; ++r) {
+    EXPECT_EQ(ViewValue(view, "fact", "v", r), static_cast<int64_t>(10 * r));
+  }
+  const MutableTableStats stats = t->Stats();
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(stats.pending_rows, 0u);
+  // Quiesced swap: the WAL restarted empty.
+  EXPECT_EQ(fs::file_size(MutableTable::WalPath(dir_.string())), 0u);
+
+  // An empty delta drains as a no-op.
+  ASSERT_TRUE(t->Drain().ok());
+  EXPECT_EQ(t->Stats().swaps, 1u);
+}
+
+TEST_F(MutableTableTest, InFlightViewOutlivesTheSwap) {
+  auto dev = MakeDevice();
+  MutableTableOptions opts = BaseOptions();
+  opts.device = dev.get();
+  auto table = MutableTable::Open(opts);
+  ASSERT_TRUE(table.ok());
+  MutableTable* t = table->get();
+  Ingest(t, 16);
+
+  const TableView old_view = t->View();  // held across the swap
+  ASSERT_TRUE(t->Drain().ok());
+  Ingest(t, 16, /*base=*/16);
+
+  // The old view still reads the pre-swap image: empty base + 16 deltas.
+  EXPECT_EQ(old_view.db->table("fact").num_rows(), 0u);
+  EXPECT_EQ(old_view.delta->num_rows(), 16u);
+  EXPECT_EQ(ViewValue(old_view, "fact", "v", 3), 30);
+
+  const TableView new_view = t->View();
+  EXPECT_EQ(new_view.db->table("fact").num_rows(), 16u);
+  EXPECT_EQ(new_view.delta->num_rows(), 16u);
+  EXPECT_EQ(ViewValue(new_view, "fact", "v", 20), 200);
+}
+
+TEST_F(MutableTableTest, ReopenAfterSwapLoadsSnapshotAndReplaysTheRace) {
+  auto dev = MakeDevice();
+  MutableTableOptions opts = BaseOptions();
+  opts.device = dev.get();
+  {
+    auto table = MutableTable::Open(opts);
+    ASSERT_TRUE(table.ok());
+    Ingest(table->get(), 32);
+    ASSERT_TRUE((*table)->Drain().ok());
+    // Rows committed after the swap live only in the restarted WAL.
+    Ingest(table->get(), 8, /*base=*/32);
+  }
+  auto reopened = MutableTable::Open(opts);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  const MutableTableStats stats = (*reopened)->Stats();
+  EXPECT_EQ(stats.absorbed_rows, 32u);
+  EXPECT_EQ(stats.durable_rows, 40u);
+  EXPECT_EQ(stats.replayed_rows, 8u);
+  const TableView view = (*reopened)->View();
+  EXPECT_EQ(view.db->table("fact").num_rows(), 32u);
+  ASSERT_NE(view.bwd, nullptr);
+  EXPECT_EQ(view.delta->num_rows(), 8u);
+  for (uint64_t r = 0; r < 40; ++r) {
+    EXPECT_EQ(ViewValue(view, "fact", "v", r), static_cast<int64_t>(10 * r));
+  }
+}
+
+TEST_F(MutableTableTest, FailedReencodeKeepsServingAndRetrySucceeds) {
+  auto dev = MakeDevice();
+  MutableTableOptions opts = BaseOptions();
+  opts.device = dev.get();
+  auto table = MutableTable::Open(opts);
+  ASSERT_TRUE(table.ok());
+  MutableTable* t = table->get();
+  Ingest(t, 16);
+
+  fault::Arm(kFaultSwapReencode, fault::Kind::kError);
+  EXPECT_EQ(t->Drain().code(), StatusCode::kIoError);
+  fault::Disarm(kFaultSwapReencode);
+
+  // Degraded, not broken: the delta still serves and nothing was lost.
+  MutableTableStats stats = t->Stats();
+  EXPECT_EQ(stats.failed_swaps, 1u);
+  EXPECT_EQ(stats.swaps, 0u);
+  TableView view = t->View();
+  EXPECT_EQ(view.delta->num_rows(), 16u);
+
+  ASSERT_TRUE(t->Drain().ok());
+  stats = t->Stats();
+  EXPECT_EQ(stats.swaps, 1u);
+  EXPECT_EQ(t->View().db->table("fact").num_rows(), 16u);
+}
+
+TEST_F(MutableTableTest, DeviceOomDegradesGracefully) {
+  auto dev = MakeDevice(/*capacity=*/64);  // too small for any decomposition
+  MutableTableOptions opts = BaseOptions();
+  opts.device = dev.get();
+  auto table = MutableTable::Open(opts);
+  ASSERT_TRUE(table.ok());
+  MutableTable* t = table->get();
+  Ingest(t, 32);
+
+  EXPECT_FALSE(t->Drain().ok());
+  EXPECT_EQ(t->Stats().failed_swaps, 1u);
+  const TableView view = t->View();
+  EXPECT_EQ(view.delta->num_rows(), 32u);
+  EXPECT_EQ(ViewValue(view, "fact", "v", 31), 310);
+}
+
+TEST_F(MutableTableTest, FailedRenameLeavesOldStateRecoverable) {
+  auto table = MutableTable::Open(BaseOptions());
+  ASSERT_TRUE(table.ok());
+  Ingest(table->get(), 12);
+
+  // The snapshot tmp file is fully written, but the commit point (rename)
+  // fails: recovery must still see "no snapshot" + the full WAL.
+  fault::Arm(kFaultSnapshotRename, fault::Kind::kError);
+  EXPECT_EQ((*table)->Drain().code(), StatusCode::kIoError);
+  fault::Reset();
+  table->reset();
+
+  EXPECT_FALSE(fs::exists(MutableTable::SnapshotPath(dir_.string())));
+  auto reopened = MutableTable::Open(BaseOptions());
+  ASSERT_TRUE(reopened.ok());
+  const MutableTableStats stats = (*reopened)->Stats();
+  EXPECT_EQ(stats.absorbed_rows, 0u);
+  EXPECT_EQ(stats.durable_rows, 12u);
+  EXPECT_EQ(stats.replayed_rows, 12u);
+}
+
+TEST_F(MutableTableTest, WideValuesGetAnI64PhysicalColumn) {
+  auto table = MutableTable::Open(BaseOptions());
+  ASSERT_TRUE(table.ok());
+  MutableTable* t = table->get();
+  const int64_t wide = (int64_t{1} << 40) + 7;
+  ASSERT_TRUE(t->Append(std::vector<int64_t>{wide, -wide}).ok());
+  ASSERT_TRUE(t->Append(std::vector<int64_t>{3, 30}).ok());
+  ASSERT_TRUE(t->Flush().ok());
+  ASSERT_TRUE(t->Drain().ok());
+
+  const TableView view = t->View();
+  const cs::Column& a = view.db->table("fact").column("a");
+  EXPECT_EQ(a.type(), cs::ValueType::kInt64);
+  EXPECT_EQ(a.Get(0), wide);
+  EXPECT_EQ(view.db->table("fact").column("v").Get(0), -wide);
+
+  // And the snapshot round-trips the full width.
+  table->reset();
+  auto reopened = MutableTable::Open(BaseOptions());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->View().db->table("fact").column("a").Get(0), wide);
+}
+
+TEST_F(MutableTableTest, DimensionsAreClonedIntoEveryEpoch) {
+  cs::Database dims;
+  cs::Table dim("dim");
+  cs::Column dc = cs::Column::FromI32({7, 8, 9});
+  dc.ComputeStats();
+  ASSERT_TRUE(dim.AddColumn("w", std::move(dc)).ok());
+  dims.AddTable(std::move(dim));
+
+  MutableTableOptions opts = BaseOptions();
+  opts.dims = &dims;
+  auto table = MutableTable::Open(opts);
+  ASSERT_TRUE(table.ok());
+  TableView view = (*table)->View();
+  ASSERT_TRUE(view.db->HasTable("dim"));
+  EXPECT_EQ(view.db->table("dim").column("w").Get(2), 9);
+
+  Ingest(table->get(), 4);
+  ASSERT_TRUE((*table)->Drain().ok());
+  view = (*table)->View();
+  ASSERT_TRUE(view.db->HasTable("dim"));
+  EXPECT_EQ(view.db->table("dim").num_rows(), 3u);
+}
+
+TEST_F(MutableTableTest, BackgroundDrainFiresAtTheThreshold) {
+  auto dev = MakeDevice();
+  MutableTableOptions opts = BaseOptions();
+  opts.device = dev.get();
+  opts.background = true;
+  opts.drain_threshold = 8;
+  auto table = MutableTable::Open(opts);
+  ASSERT_TRUE(table.ok());
+  MutableTable* t = table->get();
+  Ingest(t, 10);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (t->Stats().swaps == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const MutableTableStats stats = t->Stats();
+  EXPECT_GE(stats.swaps, 1u);
+  EXPECT_EQ(stats.absorbed_rows, 10u);
+  EXPECT_EQ(t->View().db->table("fact").num_rows(), 10u);
+}
+
+}  // namespace
+}  // namespace wastenot::storage

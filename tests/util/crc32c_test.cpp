@@ -1,0 +1,89 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace wastenot::util {
+namespace {
+
+TEST(Crc32c, EmptyInputIsZero) { EXPECT_EQ(Crc32c(nullptr, 0), 0u); }
+
+TEST(Crc32c, CheckVector) {
+  // The classic CRC check string — every Castagnoli implementation must
+  // produce 0xE3069283 on it.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32c(s, std::strlen(s)), 0xE3069283u);
+}
+
+TEST(Crc32c, IscsiTestVectors) {
+  // RFC 3720 §B.4 test patterns (32 bytes each).
+  std::vector<uint8_t> zeros(32, 0x00);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+
+  std::vector<uint8_t> ones(32, 0xFF);
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+
+  std::vector<uint8_t> incrementing(32);
+  for (size_t i = 0; i < incrementing.size(); ++i) {
+    incrementing[i] = static_cast<uint8_t>(i);
+  }
+  EXPECT_EQ(Crc32c(incrementing.data(), incrementing.size()), 0x46DD794Eu);
+
+  std::vector<uint8_t> decrementing(32);
+  for (size_t i = 0; i < decrementing.size(); ++i) {
+    decrementing[i] = static_cast<uint8_t>(31 - i);
+  }
+  EXPECT_EQ(Crc32c(decrementing.data(), decrementing.size()), 0x113FDB5Cu);
+}
+
+TEST(Crc32c, ChainingEqualsWhole) {
+  std::mt19937 rng(7);
+  std::vector<uint8_t> data(257);
+  for (auto& b : data) b = static_cast<uint8_t>(rng());
+  const uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                       size_t{255}, data.size()}) {
+    const uint32_t head = Crc32c(data.data(), split);
+    const uint32_t chained =
+        Crc32c(data.data() + split, data.size() - split, head);
+    EXPECT_EQ(chained, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DispatchMatchesScalar) {
+  // Whatever implementation the dispatcher resolved, it must agree with
+  // the table fallback bit for bit — including on unaligned spans.
+  std::mt19937 rng(11);
+  std::vector<uint8_t> data(1024 + 16);
+  for (auto& b : data) b = static_cast<uint8_t>(rng());
+  for (size_t offset : {size_t{0}, size_t{1}, size_t{3}, size_t{7}}) {
+    for (size_t len : {size_t{0}, size_t{1}, size_t{8}, size_t{13},
+                       size_t{512}, size_t{1024}}) {
+      EXPECT_EQ(Crc32c(data.data() + offset, len),
+                detail::Crc32cScalar(data.data() + offset, len, 0))
+          << "offset " << offset << " len " << len;
+    }
+  }
+}
+
+TEST(Crc32c, ImplNameIsKnown) {
+  const std::string impl = Crc32cImpl();
+  EXPECT_TRUE(impl == "sse4.2" || impl == "scalar") << impl;
+}
+
+TEST(Crc32c, SensitiveToSingleBitFlips) {
+  std::vector<uint8_t> data(64, 0xAB);
+  const uint32_t base = Crc32c(data.data(), data.size());
+  for (size_t byte : {size_t{0}, size_t{31}, size_t{63}}) {
+    data[byte] ^= 0x01;
+    EXPECT_NE(Crc32c(data.data(), data.size()), base);
+    data[byte] ^= 0x01;
+  }
+}
+
+}  // namespace
+}  // namespace wastenot::util

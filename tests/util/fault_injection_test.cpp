@@ -1,0 +1,93 @@
+#include "util/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wastenot::fault {
+namespace {
+
+// Every test leaves the registry clean: the storage tests in this binary
+// share the process-global fault state.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Reset(); }
+  void TearDown() override { Reset(); }
+};
+
+TEST_F(FaultInjectionTest, UnarmedSitesAreOk) {
+  EXPECT_TRUE(Check("some.site").ok());
+  const WriteCheck wc = CheckWrite("some.write", 128);
+  EXPECT_TRUE(wc.status.ok());
+  EXPECT_FALSE(wc.torn_bytes.has_value());
+}
+
+TEST_F(FaultInjectionTest, ErrorKindInjectsIoErrorNamingTheSite) {
+  Arm("wal.fsync", Kind::kError);
+  const Status s = Check("wal.fsync");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("wal.fsync"), std::string::npos);
+  // The trigger fired; later hits pass.
+  EXPECT_TRUE(Check("wal.fsync").ok());
+}
+
+TEST_F(FaultInjectionTest, TriggerHitSelectsTheNthHit) {
+  Arm("site.a", Kind::kError, 3);
+  EXPECT_TRUE(Check("site.a").ok());
+  EXPECT_TRUE(Check("site.a").ok());
+  EXPECT_FALSE(Check("site.a").ok());
+  EXPECT_TRUE(Check("site.a").ok());
+  EXPECT_EQ(Hits("site.a"), 4u);
+}
+
+TEST_F(FaultInjectionTest, DisarmAndResetClear) {
+  Arm("site.b", Kind::kError);
+  EXPECT_TRUE(AnyArmed());
+  Disarm("site.b");
+  EXPECT_TRUE(Check("site.b").ok());
+  Arm("site.c", Kind::kError);
+  Reset();
+  EXPECT_TRUE(Check("site.c").ok());
+  EXPECT_EQ(Hits("site.c"), 0u);  // Reset before the Check zeroed counters;
+                                  // unarmed hits are not recorded.
+}
+
+TEST_F(FaultInjectionTest, TornWriteReturnsHalfThePayload) {
+  Arm("wal.write", Kind::kTornWrite);
+  const WriteCheck wc = CheckWrite("wal.write", 100);
+  EXPECT_TRUE(wc.status.ok());
+  ASSERT_TRUE(wc.torn_bytes.has_value());
+  EXPECT_EQ(*wc.torn_bytes, 50u);
+  Reset();  // do NOT call Crash() — that would kill the test binary
+}
+
+TEST_F(FaultInjectionTest, WriteSiteErrorKind) {
+  Arm("snapshot.write", Kind::kError, 2);
+  EXPECT_TRUE(CheckWrite("snapshot.write", 8).status.ok());
+  const WriteCheck wc = CheckWrite("snapshot.write", 8);
+  EXPECT_EQ(wc.status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(wc.torn_bytes.has_value());
+}
+
+TEST_F(FaultInjectionTest, SpecParsing) {
+  EXPECT_TRUE(ArmFromSpec("a.b=error@2;c.d=torn").ok());
+  EXPECT_TRUE(Check("a.b").ok());
+  EXPECT_FALSE(Check("a.b").ok());
+  ASSERT_TRUE(CheckWrite("c.d", 10).torn_bytes.has_value());
+
+  EXPECT_FALSE(ArmFromSpec("missing-equals").ok());
+  EXPECT_FALSE(ArmFromSpec("x=unknownkind").ok());
+  EXPECT_FALSE(ArmFromSpec("x=crash@zero").ok());
+  EXPECT_FALSE(ArmFromSpec("x=crash@0").ok());
+  EXPECT_TRUE(ArmFromSpec("").ok());
+  EXPECT_TRUE(ArmFromSpec(";;").ok());
+}
+
+TEST_F(FaultInjectionTest, CrashKindKillsWithTheAgreedExitCode) {
+  Arm("boom", Kind::kCrash);
+  EXPECT_EXIT((void)Check("boom"), ::testing::ExitedWithCode(kCrashExitCode),
+              "");
+}
+
+}  // namespace
+}  // namespace wastenot::fault
